@@ -1,0 +1,64 @@
+"""Figure 12 — consumer time breakdown per component.
+
+Paper: within one streaming window, ~80% of consumer time goes to the ML
+classification, an insignificant share to the historic (MongoDB) lookup,
+and the rest to the streaming component (deserialization, distinct device
+extraction).  The bench runs the real consumer application over a window of
+alarms with pre-loaded history and prints the measured shares.
+"""
+
+from conftest import SITASYS_FEATURES, make_pipeline, print_table
+
+from repro.core import (
+    AlarmHistory,
+    ConsumerApplication,
+    ProducerApplication,
+    VerificationService,
+)
+from repro.core.labeling import label_alarms
+from repro.streaming import Broker
+
+WINDOW = 8_000
+PAPER_SHARES = {"ml": 0.80, "streaming": 0.15, "batch": 0.03, "store": 0.02}
+
+
+def test_fig12_consumer_breakdown(benchmark, sitasys_alarms):
+    train, test = sitasys_alarms[:10_000], sitasys_alarms[10_000:]
+    labeled = label_alarms(train, 60.0)
+    pipeline = make_pipeline("RF", SITASYS_FEATURES, n_estimators=40)
+    pipeline.fit([l.features() for l in labeled], [l.is_false for l in labeled])
+    service = VerificationService(pipeline)
+
+    history = AlarmHistory()
+    history.record_batch(train)  # pre-existing alarm history
+
+    def consume_window():
+        broker = Broker()
+        broker.create_topic("alarms", num_partitions=4)
+        ProducerApplication(broker, "alarms", test, seed=1).run(WINDOW)
+        consumer = ConsumerApplication(
+            broker, "alarms", "bench", service, history=history,
+        )
+        return consumer.process_available(max_records=WINDOW)
+
+    report = benchmark.pedantic(consume_window, rounds=2, iterations=1)
+    breakdown = report.breakdown()
+
+    print_table(
+        "Figure 12: consumer time breakdown per component",
+        ["component", "measured share", "paper share"],
+        [
+            [name, f"{breakdown[name]:.1%}", f"~{PAPER_SHARES[name]:.0%}"]
+            for name in ("ml", "streaming", "batch", "store")
+        ],
+    )
+    print(f"window: {report.alarms_processed} alarms, "
+          f"throughput {report.throughput:,.0f}/s")
+    print("note: our vectorized classifiers shrink the ML share relative to "
+          "Spark ML's ~80%; the ordering (ML largest, history lookup minor) "
+          "is the reproduced shape.")
+
+    # Published shape: ML is the largest component; historic lookup minor.
+    assert breakdown["ml"] == max(breakdown.values())
+    assert breakdown["ml"] > 0.35
+    assert breakdown["batch"] < breakdown["ml"]

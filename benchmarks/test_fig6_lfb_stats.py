@@ -1,0 +1,35 @@
+"""Figure 6 — London Fire Brigade statistics.
+
+Paper: 885K incidents 2009-2016, 430K (48%) false alarms, three incident
+groups.  The bench generates the scaled LFB corpus, prints per-group and
+per-year counts, and checks the false ratio lands near the published 48%.
+"""
+
+from conftest import LFB_INCIDENTS, print_table
+
+from repro.datasets import LondonGenerator
+
+
+def test_fig6_lfb_statistics(benchmark):
+    generator = LondonGenerator(seed=23)
+    incidents = benchmark.pedantic(
+        generator.generate, args=(LFB_INCIDENTS,), rounds=3, iterations=1
+    )
+    stats = generator.statistics(incidents)
+
+    print_table(
+        "Figure 6: LFB incident groups (paper: 885K total, 48% false)",
+        ["Incident group", "count", "share"],
+        [
+            [group, count, f"{count / stats['total']:.1%}"]
+            for group, count in stats["by_group"].items()
+        ],
+    )
+    print_table(
+        "Figure 6: incidents per year",
+        ["year", "count"],
+        [[year, count] for year, count in stats["by_year"].items()],
+    )
+    print(f"false ratio: measured {stats['false_ratio']:.3f} | paper 0.486 (430K/885K)")
+    assert 0.42 <= stats["false_ratio"] <= 0.56
+    assert set(stats["by_year"]) == set(range(2009, 2017))

@@ -1,0 +1,53 @@
+"""Figure 7 — discrepancy: true fire/intrusion alarms vs incident reports.
+
+Paper: per location, the number of collected incident reports is far
+smaller than the number of true fire/intrusion alarms (e.g. ZIP 3013).  The
+bench runs the real chain (alarms -> duration labels; reports -> incident
+pipeline) and prints the two counts side by side for the busiest locations.
+"""
+
+from conftest import print_table
+
+from repro.core.labeling import label_alarms
+from repro.risk import incident_counts
+from repro.storage import DocumentStore
+from repro.text import IncidentPipeline
+
+
+def test_fig7_incidents_vs_true_alarms(benchmark, gazetteer, sitasys_alarms,
+                                       incident_reports):
+    store = DocumentStore()
+    collection = store.collection("incidents")
+    pipeline = IncidentPipeline(gazetteer.names())
+
+    def run_pipeline():
+        collection.delete_many({})
+        return pipeline.run(incident_reports, collection)
+
+    stats = benchmark.pedantic(run_pipeline, rounds=2, iterations=1)
+    report_counts = incident_counts(collection.all_documents())
+
+    labeled = label_alarms(sitasys_alarms, 60.0)
+    true_fi: dict[str, int] = {}
+    for alarm, lab in zip(sitasys_alarms, labeled):
+        if alarm.alarm_type in ("fire", "intrusion") and not lab.is_false:
+            true_fi[alarm.locality] = true_fi.get(alarm.locality, 0) + 1
+
+    top = sorted(true_fi, key=lambda loc: -true_fi[loc])[:10]
+    rows = [
+        [loc, true_fi[loc], report_counts.get(loc, 0),
+         f"{report_counts.get(loc, 0) / true_fi[loc]:.2f}"]
+        for loc in top
+    ]
+    print_table(
+        "Figure 7: true F/I alarms vs collected incident reports "
+        "(paper: reports are a small fraction of true alarms)",
+        ["locality", "#-true-alarms", "#-incidents", "ratio"],
+        rows,
+    )
+    print(f"pipeline: {stats.stored} stored / {stats.collected} collected; "
+          f"languages {stats.by_language} (paper: 2743 de / 1516 fr / 797 en)")
+    covered = [loc for loc in top if loc in report_counts]
+    # The published discrepancy: incidents under-count true alarms.
+    assert all(report_counts.get(loc, 0) < true_fi[loc] for loc in top)
+    assert len(covered) >= 3  # but the busiest places are mostly covered

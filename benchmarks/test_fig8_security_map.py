@@ -1,0 +1,48 @@
+"""Figure 8 — the security map of Switzerland.
+
+Paper: incident history rendered as a map with green (safe), yellow
+(medium) and red (high risk) areas.  The bench computes per-locality risk
+factors from the incident pipeline output, places them on the synthetic
+geography, renders the ASCII map and checks the level structure.
+"""
+
+from conftest import print_table
+
+from repro.risk import PlacedRisk, RiskLevel, RiskModel, SecurityMap, incident_counts
+from repro.storage import DocumentStore
+from repro.text import IncidentPipeline
+
+
+def test_fig8_security_map(benchmark, gazetteer, incident_reports):
+    store = DocumentStore()
+    collection = store.collection("incidents")
+    IncidentPipeline(gazetteer.names()).run(incident_reports, collection)
+    risk_model = RiskModel(
+        incident_counts(collection.all_documents()), gazetteer.populations()
+    )
+
+    places = [
+        PlacedRisk(
+            name=loc.name, x=loc.x, y=loc.y,
+            risk=risk_model.normalized(loc.name),
+        )
+        for loc in gazetteer
+    ]
+
+    smap = benchmark.pedantic(
+        lambda: SecurityMap(places, width=60, height=24),
+        rounds=3, iterations=1,
+    )
+    print("\n=== Figure 8: security map (. safe / o medium / # high) ===")
+    print(smap.render())
+
+    counts = smap.level_counts()
+    print_table(
+        "Figure 8: risk-level cell counts",
+        ["level", "cells"],
+        [[level, counts[level]] for level in RiskLevel.ORDER],
+    )
+    # Shape: most of the map is safe, high-risk cells exist but are rare.
+    assert counts[RiskLevel.SAFE] > counts[RiskLevel.MEDIUM] > 0
+    assert counts[RiskLevel.HIGH] > 0
+    assert counts[RiskLevel.HIGH] < counts[RiskLevel.SAFE]

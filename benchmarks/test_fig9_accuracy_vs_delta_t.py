@@ -1,0 +1,67 @@
+"""Figure 9 — verification accuracy vs the duration threshold Δt (Sitasys).
+
+Paper: sweeping Δt from 1 to 10 minutes, accuracy is best at 1 minute and
+stays stable (mild decrease) as Δt grows; RF and DNN exceed 90% across the
+sweep.  The bench re-labels the same alarm stream at each Δt, retrains all
+four algorithms and prints the accuracy matrix.
+"""
+
+import numpy as np
+from conftest import SITASYS_FEATURES, make_pipeline, print_table, split_records
+
+from repro.core.labeling import label_alarms
+from repro.ml import accuracy_score
+
+DELTA_T_MINUTES = (1, 2, 4, 6, 8, 10)  # paper sweeps 1..10; subset for runtime
+ALGORITHMS = ("RF", "LR", "SVM", "DNN")
+SUBSET = 16_000
+
+
+def test_fig9_accuracy_vs_delta_t(benchmark, sitasys_alarms):
+    alarms = sitasys_alarms[:SUBSET]
+    matrix: dict[str, dict[int, float]] = {name: {} for name in ALGORITHMS}
+
+    def evaluate(delta_minutes: int, name: str) -> float:
+        labeled = label_alarms(alarms, delta_minutes * 60.0)
+        records = [l.features() for l in labeled]
+        labels = [l.is_false for l in labeled]
+        rec_tr, lab_tr, rec_te, lab_te = split_records(records, labels, seed=0)
+        pipe = make_pipeline(name, SITASYS_FEATURES, n_estimators=30, max_epochs=40)
+        pipe.fit(rec_tr, lab_tr)
+        return pipe.score(rec_te, lab_te)
+
+    # Benchmark one representative cell; fill the rest of the grid directly.
+    matrix["RF"][1] = float(benchmark.pedantic(
+        evaluate, args=(1, "RF"), rounds=1, iterations=1
+    ))
+    for name in ALGORITHMS:
+        for minutes in DELTA_T_MINUTES:
+            if minutes in matrix[name]:
+                continue
+            matrix[name][minutes] = evaluate(minutes, name)
+
+    rows = [
+        [name] + [f"{matrix[name][m]:.4f}" for m in DELTA_T_MINUTES]
+        for name in ALGORITHMS
+    ]
+    print_table(
+        "Figure 9: accuracy vs delta-t [minutes] (paper: best at 1 min; "
+        "RF/DNN > 0.90 and stable)",
+        ["algorithm"] + [f"{m} min" for m in DELTA_T_MINUTES],
+        rows,
+    )
+
+    # Published shape checks:
+    for name in ("RF", "DNN"):
+        # RF and DNN are the top pair at every threshold.
+        for minutes in DELTA_T_MINUTES:
+            linear_best = max(matrix["LR"][minutes], matrix["SVM"][minutes])
+            assert matrix[name][minutes] >= linear_best - 0.02
+    # Small thresholds beat the largest one for the best model.
+    assert matrix["RF"][1] >= matrix["RF"][10] - 0.005
+    assert matrix["DNN"][1] > 0.88
+    assert matrix["RF"][1] > 0.88
+    # Stability: the swing across the sweep stays bounded (paper: stable).
+    for name in ("RF", "DNN"):
+        values = list(matrix[name].values())
+        assert max(values) - min(values) < 0.08

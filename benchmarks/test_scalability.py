@@ -1,0 +1,104 @@
+"""Scalability checks (Sections 4.3 and 5.1.2).
+
+The paper uses the LFB dataset ("twice as large as those provided by our
+industrial partner") as a scalability test and reports "satisfying
+scalability results of MongoDB queries for large datasets".  These benches
+measure how the reproduction scales with data volume:
+
+1. **indexed storage queries** — per-device equality lookups must stay
+   near-constant per query as the collection grows (index-driven), while
+   unindexed scans grow linearly;
+2. **ML training time** — Random Forest training should grow roughly
+   linearly (n log n) in the number of alarms.
+"""
+
+import time
+
+import numpy as np
+from conftest import SITASYS_FEATURES, make_pipeline, print_table
+
+from repro.core.labeling import label_alarms
+from repro.storage import Collection
+
+SIZES = (2_000, 8_000, 32_000)
+
+
+def test_scalability_indexed_queries(benchmark, sitasys_generator):
+    alarms = sitasys_generator.generate(max(SIZES), seed_offset=77)
+    rows = []
+    per_query_times = {}
+    for size in SIZES:
+        indexed = Collection("indexed")
+        indexed.create_index("device_address", kind="hash")
+        indexed.insert_many(a.to_document() for a in alarms[:size])
+        plain = Collection("plain")
+        plain.insert_many(a.to_document() for a in alarms[:size])
+        devices = sorted({a.device_address for a in alarms[:200]})[:50]
+
+        def run_queries(coll):
+            started = time.perf_counter()
+            total = sum(coll.count({"device_address": d}) for d in devices)
+            return (time.perf_counter() - started) / len(devices), total
+
+        if size == max(SIZES):
+            indexed_time, _ = benchmark.pedantic(
+                run_queries, args=(indexed,), rounds=3, iterations=1
+            )
+            indexed_time = float(indexed_time)
+        else:
+            indexed_time, _ = run_queries(indexed)
+        scan_time, _ = run_queries(plain)
+        per_query_times[size] = (indexed_time, scan_time)
+        rows.append([
+            size, f"{indexed_time * 1e6:,.0f} us", f"{scan_time * 1e6:,.0f} us",
+            f"{scan_time / indexed_time:,.1f}x",
+        ])
+    print_table(
+        "Scalability: per-query latency of device lookups vs collection size "
+        "(paper Sec. 4.3: 'satisfying scalability results of MongoDB queries')",
+        ["documents", "hash-indexed", "full scan", "index advantage"],
+        rows,
+    )
+    smallest, largest = SIZES[0], SIZES[-1]
+    growth_indexed = per_query_times[largest][0] / per_query_times[smallest][0]
+    growth_scan = per_query_times[largest][1] / per_query_times[smallest][1]
+    data_growth = largest / smallest
+    # Index keeps per-query cost sub-linear in data size; scans do not.
+    assert growth_indexed < data_growth / 2
+    assert growth_scan > growth_indexed
+
+
+def test_scalability_training_time(benchmark, sitasys_generator):
+    alarms = sitasys_generator.generate(max(SIZES), seed_offset=88)
+    labeled = label_alarms(alarms, 60.0)
+    rows = []
+    times = {}
+    for size in SIZES:
+        subset = labeled[:size]
+        records = [l.features() for l in subset]
+        labels = [l.is_false for l in subset]
+
+        def fit_once():
+            pipeline = make_pipeline("RF", SITASYS_FEATURES, n_estimators=15,
+                                     max_depth=20)
+            started = time.perf_counter()
+            pipeline.fit(records, labels)
+            return time.perf_counter() - started
+
+        if size == max(SIZES):
+            elapsed = float(benchmark.pedantic(fit_once, rounds=1, iterations=1))
+        else:
+            elapsed = fit_once()
+        times[size] = elapsed
+        rows.append([size, f"{elapsed:.2f} s",
+                     f"{size / elapsed:,.0f} alarms/s"])
+    print_table(
+        "Scalability: Random Forest training time vs dataset size "
+        "(paper Sec. 5.1.2 uses the 2x-larger LFB data as a scale test)",
+        ["alarms", "training time", "rate"],
+        rows,
+    )
+    data_growth = SIZES[-1] / SIZES[0]
+    time_growth = times[SIZES[-1]] / times[SIZES[0]]
+    # Near-linear: much better than quadratic over a 16x size range.
+    assert time_growth < data_growth**1.7

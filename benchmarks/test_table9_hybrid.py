@@ -1,0 +1,155 @@
+"""Table 9 — the hybrid approach: a-priori risk factors in four scenarios.
+
+Paper: alarm-classification accuracy with three risk encodings (ARF/NRF/
+BRF) against a no-risk baseline, in four scenarios — (a) all locations /
+all alarm types, (b) all locations / fire+intrusion only, (c) single-ZIP
+locations / all types, (d) single-ZIP locations / fire+intrusion only.
+Published effects are small (at most +1.0 point, scenario d) and roughly
+neutral in scenario (a); results averaged over 10 runs.
+
+The bench runs the full chain — incident pipeline -> risk model ->
+enriched Random Forest — over every scenario and encoding, averaged over
+multiple train/test splits, and checks the published shape: the strongest
+(and a positive) effect in the single-ZIP fire/intrusion scenario, near-
+neutral impact on scenario (a).
+"""
+
+import numpy as np
+from conftest import SITASYS_FEATURES, print_table
+
+from repro.core.labeling import label_alarms
+from repro.ml import FeaturePipeline, RandomForestClassifier
+from repro.risk import RiskModel, incident_counts
+from repro.storage import DocumentStore
+from repro.text import IncidentPipeline
+
+PAPER = {
+    # scenario: (baseline, ARF, NRF, BRF)
+    "(a) all locations, all types": (89.35, 89.29, 89.39, 89.31),
+    "(b) all locations, F/I": (85.73, 85.95, 85.67, 85.79),
+    "(c) single-ZIP, all types": (87.16, 87.56, 87.41, 87.51),
+    "(d) single-ZIP, F/I": (86.56, 87.45, 87.56, 87.48),
+}
+REPETITIONS = 3   # paper: 10
+EXTRA_ALARMS = 50_000
+MAX_TRAIN = 9_000
+
+
+def run_once(labeled, risks, seed):
+    rng = np.random.default_rng(seed)
+    idx = rng.permutation(len(labeled))
+    cut = len(idx) // 2
+    train_idx = idx[:cut][:MAX_TRAIN]
+    test_idx = idx[cut:][: 2 * MAX_TRAIN]
+    numeric = ["risk"] if risks is not None else []
+    pipe = FeaturePipeline(
+        RandomForestClassifier(
+            n_estimators=25, max_depth=25, max_features=6, random_state=seed
+        ),
+        SITASYS_FEATURES, numeric_features=numeric, encoding="ordinal",
+    )
+    def record(i):
+        base = labeled[i].features()
+        if risks is not None:
+            base["risk"] = risks[i]
+        return base
+    pipe.fit([record(i) for i in train_idx],
+             [labeled[i].is_false for i in train_idx])
+    return pipe.score([record(i) for i in test_idx],
+                      [labeled[i].is_false for i in test_idx])
+
+
+def test_table9_hybrid_risk_factors(benchmark, gazetteer, sitasys_generator,
+                                    sitasys_alarms, incident_reports):
+    store = DocumentStore()
+    collection = store.collection("incidents")
+    IncidentPipeline(gazetteer.names()).run(incident_reports, collection)
+    risk_model = RiskModel(
+        incident_counts(collection.all_documents()), gazetteer.populations()
+    )
+    covered = set(risk_model.covered_locations())
+    single_zip = {loc.name for loc in gazetteer.single_zip_localities()}
+
+    alarms = list(sitasys_alarms) + sitasys_generator.generate(
+        EXTRA_ALARMS, seed_offset=9
+    )
+    labeled_all = label_alarms(alarms, 60.0)
+
+    def scenario_subset(single_zip_only: bool, fi_only: bool):
+        pairs = []
+        for alarm, lab in zip(alarms, labeled_all):
+            if alarm.locality not in covered:
+                continue
+            if single_zip_only and alarm.locality not in single_zip:
+                continue
+            if fi_only and alarm.alarm_type not in ("fire", "intrusion"):
+                continue
+            pairs.append((alarm, lab))
+        return pairs
+
+    scenarios = {
+        "(a) all locations, all types": scenario_subset(False, False),
+        "(b) all locations, F/I": scenario_subset(False, True),
+        "(c) single-ZIP, all types": scenario_subset(True, False),
+        "(d) single-ZIP, F/I": scenario_subset(True, True),
+    }
+
+    measured: dict[str, dict[str, float]] = {}
+    benchmarked = False
+    for scenario_name, pairs in scenarios.items():
+        scenario_alarms = [a for a, _ in pairs]
+        labeled = [l for _, l in pairs]
+        variants: dict[str, list | None] = {"baseline": None}
+        for kind in ("absolute", "normalized", "binary"):
+            variants[kind] = [
+                risk_model.factor(a.locality, kind) for a in scenario_alarms
+            ]
+        measured[scenario_name] = {}
+        for variant_name, risks in variants.items():
+            if not benchmarked:
+                first = float(benchmark.pedantic(
+                    run_once, args=(labeled, risks, 0), rounds=1, iterations=1
+                ))
+                scores = [first] + [
+                    run_once(labeled, risks, seed) for seed in range(1, REPETITIONS)
+                ]
+                benchmarked = True
+            else:
+                scores = [
+                    run_once(labeled, risks, seed) for seed in range(REPETITIONS)
+                ]
+            measured[scenario_name][variant_name] = float(np.mean(scores))
+
+    rows = []
+    for scenario_name in scenarios:
+        m = measured[scenario_name]
+        paper = PAPER[scenario_name]
+        rows.append([
+            scenario_name,
+            f"{m['baseline'] * 100:.2f}",
+            f"{m['absolute'] * 100:.2f}",
+            f"{m['normalized'] * 100:.2f}",
+            f"{m['binary'] * 100:.2f}",
+            f"{paper[0]:.2f}/{paper[1]:.2f}/{paper[2]:.2f}/{paper[3]:.2f}",
+            len(scenarios[scenario_name]),
+        ])
+    print_table(
+        f"Table 9: hybrid-approach accuracy (mean of {REPETITIONS} runs; "
+        "paper: 10 runs)",
+        ["scenario", "baseline", "ARF", "NRF", "BRF",
+         "paper base/ARF/NRF/BRF", "#alarms"],
+        rows,
+    )
+
+    def best_delta(scenario_name):
+        m = measured[scenario_name]
+        return max(m["absolute"], m["normalized"], m["binary"]) - m["baseline"]
+
+    # Published shape: risk factors genuinely help in the single-ZIP F/I
+    # scenario (paper: +0.9 to +1.0 points) and are near-neutral where the
+    # city/ZIP granularity mismatch dilutes them (scenario a).
+    assert best_delta("(d) single-ZIP, F/I") > 0.002
+    assert abs(best_delta("(a) all locations, all types")) < 0.01
+    assert best_delta("(d) single-ZIP, F/I") > best_delta(
+        "(a) all locations, all types"
+    )

@@ -1,0 +1,54 @@
+"""Quickstart: train an alarm-verification model and classify new alarms.
+
+Reproduces the paper's core loop in ~40 lines:
+
+1. generate production-style alarms (stand-in for the Sitasys data);
+2. label them with the duration heuristic (alarms reset within delta-t
+   are false, Section 5.1.1);
+3. train the paper's best model (Random Forest, Table 3 configuration);
+4. verify unseen alarms with class + confidence.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import VerificationService, label_alarms
+from repro.datasets import SitasysGenerator
+from repro.ml import FeaturePipeline, RandomForestClassifier
+
+FEATURES = [
+    "location", "property_type", "alarm_type", "hour_of_day", "day_of_week",
+    "sensor_type", "software_version",
+]
+
+
+def main() -> None:
+    generator = SitasysGenerator(num_devices=1000, seed=11)
+    alarms = generator.generate(20_000)
+    train, test = alarms[:10_000], alarms[10_000:]
+
+    labeled = label_alarms(train, delta_t_seconds=60.0)
+    pipeline = FeaturePipeline(
+        RandomForestClassifier(n_estimators=50, max_depth=30, random_state=0),
+        categorical_features=FEATURES,
+        encoding="ordinal",
+    )
+    pipeline.fit([l.features() for l in labeled], [l.is_false for l in labeled])
+
+    test_labeled = label_alarms(test, delta_t_seconds=60.0)
+    accuracy = pipeline.score(
+        [l.features() for l in test_labeled], [l.is_false for l in test_labeled]
+    )
+    print(f"verification accuracy on held-out alarms: {accuracy:.3f} "
+          "(paper: >0.90 on production data)")
+
+    service = VerificationService(pipeline)
+    print("\nfirst five verifications (class + confidence):")
+    for verification in service.verify_batch(test[:5]):
+        alarm = verification.alarm
+        print(f"  {alarm.alarm_type:10s} at {alarm.zip_code} "
+              f"-> {'FALSE' if verification.is_false else 'TRUE ':5s} "
+              f"(p_false={verification.probability_false:.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Legacy setup shim.
+
+The execution environment is offline and has no ``wheel`` package, so PEP 660
+editable installs cannot build; this file lets ``pip install -e .`` fall back
+to the classic ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'A Hybrid Approach for Alarm Verification using "
+        "Stream Processing, Machine Learning and Text Analytics' (EDBT 2018)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -1,0 +1,35 @@
+"""repro: reproduction of "A Hybrid Approach for Alarm Verification using
+Stream Processing, Machine Learning and Text Analytics" (EDBT 2018).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's application: alarm types, duration-threshold labeling, the
+    verification service, alarm history, producer/consumer applications and
+    My Security Center routing.
+``repro.streaming``
+    Kafka + Spark-Streaming analogue: broker, producer/consumer with
+    exactly-once offsets, micro-batch streaming, lazy cacheable datasets,
+    fast and slow JSON serializers.
+``repro.storage``
+    MongoDB analogue: document collections, filter queries, indexes,
+    aggregation pipelines, JSONL persistence.
+``repro.ml``
+    The four paper classifiers (Random Forest, SVM, Logistic Regression,
+    DNN) from scratch on numpy, plus encoders, metrics, grid search and
+    Pearson feature screening.
+``repro.text``
+    Incident-report analytics: tokenization, language identification,
+    keyword topic filtering, date/location extraction, the incident
+    pipeline.
+``repro.risk``
+    A-priori risk factors (absolute / normalized / binary) and the
+    security map.
+``repro.datasets``
+    Synthetic generators for the Sitasys, London and San Francisco alarm
+    datasets, the multilingual incident corpus and the Swiss gazetteer.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,269 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the main workflows of the reproduced system without writing code:
+
+* ``generate``       — write a synthetic alarm dataset as JSONL;
+* ``train``          — train a verification model from an alarm JSONL
+                       (duration-threshold labeling, Section 5.1.1) and
+                       save the fitted pipeline;
+* ``verify``         — classify alarms from a JSONL with a saved model;
+* ``stream-demo``    — run the end-to-end producer/consumer pipeline and
+                       print the Figure 12 breakdown;
+* ``incidents``      — run the Figure 5 incident pipeline over the
+                       synthetic report corpus and print corpus stats;
+* ``security-map``   — render the Figure 8 ASCII risk map.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.core import (
+    AlarmHistory,
+    Alarm,
+    ConsumerApplication,
+    ProducerApplication,
+    VerificationService,
+    label_alarms,
+)
+from repro.datasets import Gazetteer, IncidentReportGenerator, SitasysGenerator
+from repro.ml import (
+    FeaturePipeline,
+    LinearSVC,
+    LogisticRegression,
+    NeuralNetworkClassifier,
+    RandomForestClassifier,
+)
+from repro.risk import PlacedRisk, RiskModel, SecurityMap, incident_counts
+from repro.storage import DocumentStore
+from repro.streaming import Broker
+from repro.text import IncidentPipeline
+
+FEATURES = [
+    "location", "property_type", "alarm_type", "hour_of_day", "day_of_week",
+    "sensor_type", "software_version",
+]
+
+_ALGORITHMS = {
+    "rf": lambda seed: RandomForestClassifier(
+        n_estimators=50, max_depth=30, random_state=seed
+    ),
+    "lr": lambda seed: LogisticRegression(max_iter=500, learning_rate=1.0),
+    "svm": lambda seed: LinearSVC(max_iter=2000, random_state=seed),
+    "dnn": lambda seed: NeuralNetworkClassifier(
+        hidden_layers=(50, 2), max_epochs=60, batch_size=200, random_state=seed
+    ),
+}
+
+
+def _write_jsonl(path: str, documents) -> int:
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for doc in documents:
+            handle.write(json.dumps(doc, separators=(",", ":")))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def _read_alarms(path: str) -> list[Alarm]:
+    alarms = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                alarms.append(Alarm.from_document(json.loads(line)))
+    return alarms
+
+
+def _build_pipeline(algorithm: str, seed: int) -> FeaturePipeline:
+    encoding = "ordinal" if algorithm == "rf" else "onehot"
+    return FeaturePipeline(
+        _ALGORITHMS[algorithm](seed), categorical_features=FEATURES,
+        encoding=encoding,
+    )
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """``repro generate``: write synthetic Sitasys-style alarms as JSONL."""
+    generator = SitasysGenerator(num_devices=args.devices, seed=args.seed)
+    alarms = generator.generate(args.count)
+    written = _write_jsonl(args.out, (a.to_document() for a in alarms))
+    print(f"wrote {written} alarms to {args.out}")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    """``repro train``: fit a verification pipeline from an alarm JSONL."""
+    alarms = _read_alarms(args.alarms)
+    if not alarms:
+        print("no alarms in input", file=sys.stderr)
+        return 1
+    labeled = label_alarms(alarms, args.delta_t)
+    pipeline = _build_pipeline(args.algorithm, args.seed)
+    pipeline.fit([l.features() for l in labeled], [l.is_false for l in labeled])
+    accuracy = pipeline.score(
+        [l.features() for l in labeled], [l.is_false for l in labeled]
+    )
+    pipeline.save(args.model)
+    print(f"trained {args.algorithm} on {len(alarms)} alarms "
+          f"(delta-t {args.delta_t:.0f}s, training accuracy {accuracy:.3f}); "
+          f"saved to {args.model}")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """``repro verify``: classify alarms with a saved pipeline."""
+    pipeline = FeaturePipeline.load(args.model)
+    alarms = _read_alarms(args.alarms)
+    service = VerificationService(pipeline)
+    verifications = service.verify_batch(alarms)
+    shown = verifications[: args.limit] if args.limit else verifications
+    for verification in shown:
+        alarm = verification.alarm
+        print(f"{alarm.device_address}  {alarm.alarm_type:10s} "
+              f"zip={alarm.zip_code}  "
+              f"{'FALSE' if verification.is_false else 'TRUE'} "
+              f"p_false={verification.probability_false:.3f}")
+    n_false = sum(1 for v in verifications if v.is_false)
+    print(f"-- {len(verifications)} alarms verified: {n_false} false, "
+          f"{len(verifications) - n_false} true")
+    return 0
+
+
+def cmd_stream_demo(args: argparse.Namespace) -> int:
+    """``repro stream-demo``: run the end-to-end streaming pipeline."""
+    generator = SitasysGenerator(num_devices=1000, seed=args.seed)
+    alarms = generator.generate(2 * args.count)
+    train, test = alarms[: args.count], alarms[args.count :]
+    labeled = label_alarms(train, 60.0)
+    pipeline = _build_pipeline(args.algorithm, args.seed)
+    pipeline.fit([l.features() for l in labeled], [l.is_false for l in labeled])
+
+    broker = Broker()
+    broker.create_topic("alarms", num_partitions=4)
+    ProducerApplication(broker, "alarms", test, seed=args.seed).run(args.count)
+    consumer = ConsumerApplication(
+        broker, "alarms", "cli-demo", VerificationService(pipeline),
+        history=AlarmHistory(),
+    )
+    report = consumer.process_available(max_records=args.count)
+    print(f"verified {report.alarms_processed} alarms in {report.windows} "
+          f"windows at {report.throughput:,.0f}/s")
+    for component, share in report.breakdown().items():
+        print(f"  {component:10s} {share:6.1%}")
+    return 0
+
+
+def _incident_state(seed: int, reports: int):
+    gazetteer = Gazetteer(seed=7)
+    generator = SitasysGenerator(gazetteer=gazetteer, num_devices=500, seed=seed)
+    raw = IncidentReportGenerator(
+        gazetteer, generator.locality_risk, seed=seed
+    ).generate(reports)
+    store = DocumentStore()
+    collection = store.collection("incidents")
+    stats = IncidentPipeline(gazetteer.names()).run(raw, collection)
+    return gazetteer, collection, stats
+
+
+def cmd_incidents(args: argparse.Namespace) -> int:
+    """``repro incidents``: run the Figure 5 incident pipeline."""
+    gazetteer, collection, stats = _incident_state(args.seed, args.count)
+    print(f"collected {stats.collected} raw reports; stored {stats.stored} "
+          f"({stats.irrelevant} irrelevant, {stats.no_location} unlocatable)")
+    print(f"languages: {stats.by_language}")
+    print(f"topics:    {stats.by_topic}")
+    if args.out:
+        written = _write_jsonl(
+            args.out,
+            ({k: v for k, v in doc.items() if k != "_id"}
+             for doc in collection.all_documents()),
+        )
+        print(f"wrote {written} annotated incidents to {args.out}")
+    return 0
+
+
+def cmd_security_map(args: argparse.Namespace) -> int:
+    """``repro security-map``: render the Figure 8 ASCII risk map."""
+    gazetteer, collection, _ = _incident_state(args.seed, args.count)
+    risk_model = RiskModel(
+        incident_counts(collection.all_documents()), gazetteer.populations()
+    )
+    places = [
+        PlacedRisk(loc.name, loc.x, loc.y, risk_model.normalized(loc.name))
+        for loc in gazetteer
+    ]
+    smap = SecurityMap(places, width=args.width, height=args.height)
+    print(smap.render())
+    counts = smap.level_counts()
+    print(f"cells: {counts['safe']} safe / {counts['medium']} medium / "
+          f"{counts['high']} high")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Alarm-verification system (EDBT 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="write synthetic alarms as JSONL")
+    generate.add_argument("--count", type=int, default=10_000)
+    generate.add_argument("--devices", type=int, default=1_000)
+    generate.add_argument("--seed", type=int, default=11)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(func=cmd_generate)
+
+    train = sub.add_parser("train", help="train a verification model")
+    train.add_argument("--alarms", required=True, help="alarm JSONL path")
+    train.add_argument("--model", required=True, help="output pipeline path")
+    train.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="rf")
+    train.add_argument("--delta-t", type=float, default=60.0,
+                       help="duration threshold in seconds (Section 5.1.1)")
+    train.add_argument("--seed", type=int, default=0)
+    train.set_defaults(func=cmd_train)
+
+    verify = sub.add_parser("verify", help="classify alarms with a saved model")
+    verify.add_argument("--model", required=True)
+    verify.add_argument("--alarms", required=True)
+    verify.add_argument("--limit", type=int, default=20,
+                        help="print at most this many verifications (0 = all)")
+    verify.set_defaults(func=cmd_verify)
+
+    demo = sub.add_parser("stream-demo", help="end-to-end streaming demo")
+    demo.add_argument("--count", type=int, default=5_000)
+    demo.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="rf")
+    demo.add_argument("--seed", type=int, default=11)
+    demo.set_defaults(func=cmd_stream_demo)
+
+    incidents = sub.add_parser("incidents", help="run the incident pipeline")
+    incidents.add_argument("--count", type=int, default=2_000)
+    incidents.add_argument("--seed", type=int, default=11)
+    incidents.add_argument("--out", help="optional annotated-incident JSONL")
+    incidents.set_defaults(func=cmd_incidents)
+
+    security_map = sub.add_parser("security-map", help="render the risk map")
+    security_map.add_argument("--count", type=int, default=2_000)
+    security_map.add_argument("--seed", type=int, default=11)
+    security_map.add_argument("--width", type=int, default=60)
+    security_map.add_argument("--height", type=int, default=22)
+    security_map.set_defaults(func=cmd_security_map)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Core application layer: the paper's alarm-verification system.
+
+* :class:`~repro.core.alarm.Alarm` / :class:`~repro.core.alarm.LabeledAlarm`
+  — alarm records (Figure 4 message + the generic reusable type).
+* :mod:`~repro.core.labeling` — the duration-threshold heuristic (Δt).
+* :class:`~repro.core.verification.VerificationService` — ML classification
+  with confidence, optionally risk-enriched.
+* :class:`~repro.core.history.AlarmHistory` — batch analytics + storage.
+* :class:`~repro.core.producer_app.ProducerApplication` /
+  :class:`~repro.core.consumer_app.ConsumerApplication` — the Section 5.5
+  end-to-end streaming applications with per-component timing.
+* :class:`~repro.core.routing.MySecurityCenter` — threshold routing and
+  ARC prioritization (Section 3).
+"""
+
+from repro.core.alarm import Alarm, LabeledAlarm
+from repro.core.consumer_app import ConsumerApplication, ConsumerRunReport
+from repro.core.costs import CostModel, ThresholdOperatingPoint
+from repro.core.history import AlarmHistory
+from repro.core.labeling import (
+    DEFAULT_DELTA_T,
+    delta_t_sweep,
+    label_alarms,
+    label_by_duration,
+)
+from repro.core.producer_app import ProducerApplication, ProducerRunReport
+from repro.core.retraining import RetrainingManager, RetrainRecord
+from repro.core.routing import (
+    MySecurityCenter,
+    Route,
+    RoutingPolicy,
+    RoutingReport,
+    prioritize,
+)
+from repro.core.verification import Verification, VerificationService
+
+__all__ = [
+    "Alarm",
+    "LabeledAlarm",
+    "ConsumerApplication",
+    "ConsumerRunReport",
+    "CostModel",
+    "ThresholdOperatingPoint",
+    "RetrainingManager",
+    "RetrainRecord",
+    "AlarmHistory",
+    "DEFAULT_DELTA_T",
+    "delta_t_sweep",
+    "label_alarms",
+    "label_by_duration",
+    "ProducerApplication",
+    "ProducerRunReport",
+    "MySecurityCenter",
+    "Route",
+    "RoutingPolicy",
+    "RoutingReport",
+    "prioritize",
+    "Verification",
+    "VerificationService",
+]

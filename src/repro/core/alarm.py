@@ -1,0 +1,130 @@
+"""Alarm record types.
+
+:class:`Alarm` mirrors the simplified Sitasys sensor message of Figure 4
+(device address, location ZIP, timestamp, alarm type, property type, sensor
+metadata, duration).  :class:`LabeledAlarm` is the paper's "generic data
+type that describes our problem" (Section 6.1, *design for reusability*):
+the dataset-independent categorical features — Location, PropertyType,
+HourOfDay, DayOfWeek, AlarmType — plus optional extras, so the same ML
+pipeline trains on Sitasys, London and San Francisco data.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["Alarm", "LabeledAlarm"]
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One raw alarm event as transmitted by a sensor."""
+
+    device_address: str
+    zip_code: str
+    timestamp: float  # unix seconds
+    alarm_type: str   # fire | intrusion | technical | sabotage | ...
+    property_type: str  # residential | industrial | commercial | public
+    duration_seconds: float
+    sensor_type: str = "generic"
+    software_version: str = "1.0"
+    locality: str = ""  # city/village name (for the hybrid approach)
+    extras: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def datetime(self) -> dt.datetime:
+        """Timestamp as an aware UTC datetime."""
+        return dt.datetime.fromtimestamp(self.timestamp, tz=dt.timezone.utc)
+
+    @property
+    def hour_of_day(self) -> int:
+        """Hour 0-23 (UTC)."""
+        return self.datetime.hour
+
+    @property
+    def day_of_week(self) -> int:
+        """Day 0 (Monday) - 6 (Sunday)."""
+        return self.datetime.weekday()
+
+    def to_document(self) -> dict[str, Any]:
+        """JSON-compatible document for the alarm-history store."""
+        return {
+            "device_address": self.device_address,
+            "zip_code": self.zip_code,
+            "timestamp": self.timestamp,
+            "alarm_type": self.alarm_type,
+            "property_type": self.property_type,
+            "duration_seconds": self.duration_seconds,
+            "sensor_type": self.sensor_type,
+            "software_version": self.software_version,
+            "locality": self.locality,
+            **dict(self.extras),
+        }
+
+    @staticmethod
+    def from_document(document: Mapping[str, Any]) -> "Alarm":
+        """Inverse of :meth:`to_document` (unknown fields go to ``extras``)."""
+        known = {
+            "device_address", "zip_code", "timestamp", "alarm_type",
+            "property_type", "duration_seconds", "sensor_type",
+            "software_version", "locality",
+        }
+        extras = {k: v for k, v in document.items() if k not in known and k != "_id"}
+        return Alarm(
+            device_address=document["device_address"],
+            zip_code=document["zip_code"],
+            timestamp=float(document["timestamp"]),
+            alarm_type=document["alarm_type"],
+            property_type=document["property_type"],
+            duration_seconds=float(document["duration_seconds"]),
+            sensor_type=document.get("sensor_type", "generic"),
+            software_version=document.get("software_version", "1.0"),
+            locality=document.get("locality", ""),
+            extras=extras,
+        )
+
+
+@dataclass(frozen=True)
+class LabeledAlarm:
+    """Dataset-independent alarm features plus a boolean label.
+
+    ``is_false`` is the classification target: True when the alarm is a
+    false alarm.  ``extra_features`` carries dataset-specific categorical
+    features (Sitasys sensor type / software version) that the paper credits
+    for its higher accuracy on the production data (Section 5.3.4).
+    """
+
+    location: str
+    property_type: str
+    alarm_type: str
+    hour_of_day: int
+    day_of_week: int
+    is_false: bool
+    extra_features: Mapping[str, Any] = field(default_factory=dict)
+
+    def features(self, include_extras: bool = True,
+                 risk: float | None = None) -> dict[str, Any]:
+        """Feature dict for :class:`repro.ml.pipeline.FeaturePipeline`.
+
+        ``risk`` appends the hybrid approach's a-priori risk factor as a
+        numeric feature.
+        """
+        out: dict[str, Any] = {
+            "location": self.location,
+            "property_type": self.property_type,
+            "alarm_type": self.alarm_type,
+            "hour_of_day": self.hour_of_day,
+            "day_of_week": self.day_of_week,
+        }
+        if include_extras:
+            out.update(self.extra_features)
+        if risk is not None:
+            out["risk"] = risk
+        return out
+
+    @property
+    def label(self) -> str:
+        """Human-readable label: ``"false"`` or ``"true"`` alarm."""
+        return "false" if self.is_false else "true"

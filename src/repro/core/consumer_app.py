@@ -1,0 +1,202 @@
+"""Consumer application: stream -> verify -> historic analysis.
+
+The paper's consumer (Sections 5.5.1-5.5.2 and Figure 12): for every
+streaming window it
+
+1. **streaming** — deserializes the window into a partitioned dataset and
+   extracts the distinct device addresses (the dataset is ``cache()``-ed:
+   the paper's "cache data that will be reused" lesson, because the same
+   batch feeds both the ML step and the history query);
+2. **batch** — queries the alarm history for a histogram of past alarms of
+   exactly those devices;
+3. **ml** — classifies every alarm in the window with the verification
+   service (the dominant cost in Figure 12, ~80%);
+4. appends the window to the alarm history.
+
+Per-component wall times are accumulated in :class:`ConsumerRunReport`,
+which is what the Figure 12 benchmark prints.  ``repartition`` raises the
+parallelism of single-partition topics (the Kafka fix of Section 5.5.2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.alarm import Alarm
+from repro.core.history import AlarmHistory
+from repro.core.verification import Verification, VerificationService
+from repro.errors import ConfigurationError
+from repro.streaming.broker import Broker
+from repro.streaming.dstream import MicroBatch, StreamingContext
+from repro.streaming.serializers import Serializer
+
+__all__ = ["ConsumerApplication", "ConsumerRunReport"]
+
+
+@dataclass
+class ConsumerRunReport:
+    """Aggregated per-component timings over a consumer run."""
+
+    alarms_processed: int = 0
+    windows: int = 0
+    streaming_seconds: float = 0.0  # deserialize + distinct-addresses
+    batch_seconds: float = 0.0      # history histogram query
+    ml_seconds: float = 0.0         # classification
+    store_seconds: float = 0.0      # appending the window to history
+    elapsed_seconds: float = 0.0
+    verifications: list[Verification] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Verified alarms per second of wall time."""
+        if self.elapsed_seconds <= 0:
+            return float(self.alarms_processed)
+        return self.alarms_processed / self.elapsed_seconds
+
+    def breakdown(self) -> dict[str, float]:
+        """Fraction of component time per component (Figure 12)."""
+        total = (
+            self.streaming_seconds + self.batch_seconds
+            + self.ml_seconds + self.store_seconds
+        )
+        if total <= 0:
+            return {"streaming": 0.0, "batch": 0.0, "ml": 0.0, "store": 0.0}
+        return {
+            "streaming": self.streaming_seconds / total,
+            "batch": self.batch_seconds / total,
+            "ml": self.ml_seconds / total,
+            "store": self.store_seconds / total,
+        }
+
+
+class ConsumerApplication:
+    """End-to-end alarm consumer over a broker topic.
+
+    Parameters
+    ----------
+    broker, topic, group:
+        Source stream and consumer group.
+    service:
+        Fitted verification service.
+    history:
+        Alarm history for batch analytics and persistence (a fresh
+        in-memory one when omitted).
+    serializer:
+        Wire serializer (must match the producer's format; both built-ins
+        are mutually compatible).
+    repartition:
+        When set, each window's dataset is repartitioned to this many
+        partitions before the ML step (the Section 5.5.2 parallelism fix —
+        in Spark this raises executor parallelism; here it controls the
+        task granularity).
+    parallel_ml:
+        Run the per-partition ML tasks on a thread pool.  Off by default:
+        the classifiers are already vectorized with numpy and, under
+        CPython's GIL, thread-level parallelism slows this workload down —
+        a real divergence from the paper's Spark cluster, documented in
+        EXPERIMENTS.md.
+    keep_verifications:
+        Retain every verification in the report (disable for throughput
+        benchmarks to avoid unbounded memory).
+    """
+
+    def __init__(self, broker: Broker, topic: str, group: str,
+                 service: VerificationService,
+                 history: AlarmHistory | None = None,
+                 serializer: Serializer | None = None,
+                 repartition: int | None = None,
+                 parallel_ml: bool = False,
+                 keep_verifications: bool = False,
+                 histogram_since: float | None = None) -> None:
+        if repartition is not None and repartition < 1:
+            raise ConfigurationError(f"repartition must be >= 1, got {repartition}")
+        self.context = StreamingContext(broker, topic, group, serializer=serializer)
+        self.service = service
+        self.history = history if history is not None else AlarmHistory()
+        self.repartition = repartition
+        self.parallel_ml = parallel_ml
+        self.keep_verifications = keep_verifications
+        self.histogram_since = histogram_since
+        self.last_histogram: dict[str, int] = {}
+
+    # -- window processing -----------------------------------------------------------
+
+    def _handle_window(self, batch: MicroBatch, report: ConsumerRunReport) -> None:
+        # (1) streaming: dataset of alarm documents, cached because it is
+        # consumed twice (distinct addresses + classification input).
+        started = time.perf_counter()
+        dataset = batch.dataset
+        if self.repartition is not None:
+            dataset = dataset.repartition(self.repartition)
+        dataset.cache()
+        addresses = sorted(
+            dataset.map(lambda doc: doc["device_address"]).distinct().collect()
+        )
+        report.streaming_seconds += (
+            time.perf_counter() - started + batch.deserialize_seconds
+        )
+
+        # (2) batch: histogram of past alarms for the alarming devices.
+        started = time.perf_counter()
+        self.last_histogram = self.history.device_histogram(
+            addresses, since=self.histogram_since
+        )
+        report.batch_seconds += time.perf_counter() - started
+
+        # (3) ml: classify the window (one vectorized call per partition).
+        started = time.perf_counter()
+        def classify(partition: list) -> list[Verification]:
+            alarms = [Alarm.from_document(doc) for doc in partition]
+            return self.service.verify_batch(alarms)
+        if self.parallel_ml:
+            partition_results = dataset.map_partitions_parallel(classify)
+        else:
+            partition_results = [
+                classify(part) for part in dataset.collect_partitions()
+            ]
+        verifications = [v for part in partition_results for v in part]
+        report.ml_seconds += time.perf_counter() - started
+
+        # (4) persist the window into the history.
+        started = time.perf_counter()
+        self.history.record_batch(v.alarm for v in verifications)
+        report.store_seconds += time.perf_counter() - started
+
+        report.alarms_processed += len(verifications)
+        report.windows += 1
+        if self.keep_verifications:
+            report.verifications.extend(verifications)
+
+    # -- run loops ---------------------------------------------------------------------
+
+    def process_available(self, max_records: int | None = None) -> ConsumerRunReport:
+        """Drain and process everything currently in the topic."""
+        report = ConsumerRunReport()
+        started = time.perf_counter()
+        self.context.process_available(
+            lambda batch: self._handle_window(batch, report),
+            max_records=max_records,
+        )
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+    def run(self, duration_seconds: float,
+            max_records: int | None = None) -> ConsumerRunReport:
+        """Process windows for ``duration_seconds`` of wall time.
+
+        Use together with a concurrently-running producer for the
+        Section 5.5 throughput experiments.
+        """
+        report = ConsumerRunReport()
+        started = time.perf_counter()
+        deadline = started + duration_seconds
+        while time.perf_counter() < deadline:
+            processed = self.context.process_available(
+                lambda batch: self._handle_window(batch, report),
+                max_records=max_records,
+            )
+            if not processed:
+                time.sleep(0.02)
+        report.elapsed_seconds = time.perf_counter() - started
+        return report

@@ -1,0 +1,106 @@
+"""Alarm history: the batch component over the document store.
+
+Implements the paper's component (2): long-term alarm storage in the
+MongoDB analogue plus the batch analytics the workflow needs — most
+importantly the per-device histogram "of the number of alarms starting from
+a specific time t" (Section 4.1) that accompanies each verification so
+operators can spot recurring problems (Section 6, lesson 3).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.alarm import Alarm
+from repro.storage.aggregate import aggregate
+from repro.storage.store import DocumentStore
+
+__all__ = ["AlarmHistory"]
+
+
+class AlarmHistory:
+    """Persistence and batch analytics for alarms.
+
+    Parameters
+    ----------
+    store:
+        Backing document store; the history uses (and indexes) the
+        ``alarms`` collection.
+    """
+
+    COLLECTION = "alarms"
+
+    def __init__(self, store: DocumentStore | None = None) -> None:
+        self.store = store if store is not None else DocumentStore()
+        collection = self.store.collection(self.COLLECTION)
+        if "device_address" not in collection.index_fields():
+            collection.create_index("device_address", kind="hash")
+        if "timestamp" not in collection.index_fields():
+            collection.create_index("timestamp", kind="sorted")
+
+    @property
+    def collection(self):
+        """The underlying ``alarms`` collection."""
+        return self.store.collection(self.COLLECTION)
+
+    def record(self, alarm: Alarm) -> int:
+        """Persist one alarm; returns its document id."""
+        return self.collection.insert_one(alarm.to_document())
+
+    def record_batch(self, alarms: Iterable[Alarm]) -> int:
+        """Persist several alarms; returns the count stored."""
+        return len(self.collection.insert_many(
+            alarm.to_document() for alarm in alarms
+        ))
+
+    def __len__(self) -> int:
+        return len(self.collection)
+
+    # -- batch analytics ---------------------------------------------------------
+
+    def device_histogram(self, device_addresses: Sequence[str],
+                         since: float | None = None) -> dict[str, int]:
+        """Alarm counts per device (for devices that just alarmed).
+
+        This is the query the consumer application issues for every
+        streaming window: how often has each currently-alarming device
+        alarmed since time ``t``?  Devices with no history count 0.
+
+        One indexed equality count per device is issued rather than a
+        single ``$in`` query: with hundreds of alarming devices per window
+        the per-document ``$in`` membership scan dominates the window time,
+        while per-device hash-index lookups stay linear in the number of
+        matching documents.
+        """
+        histogram: dict[str, int] = {}
+        for address in set(device_addresses):
+            filter_doc: dict = {"device_address": address}
+            if since is not None:
+                filter_doc["timestamp"] = {"$gte": since}
+            histogram[address] = self.collection.count(filter_doc)
+        return histogram
+
+    def alarms_by_zip(self, alarm_types: Sequence[str] | None = None) -> dict[str, int]:
+        """Alarm counts per ZIP code, optionally restricted by alarm type."""
+        pipeline: list[dict] = []
+        if alarm_types is not None:
+            pipeline.append({"$match": {"alarm_type": {"$in": list(alarm_types)}}})
+        pipeline.append({"$group": {"_id": "$zip_code", "count": {"$sum": 1}}})
+        rows = self.store.aggregate(self.COLLECTION, pipeline)
+        return {row["_id"]: row["count"] for row in rows}
+
+    def hourly_profile(self, device_address: str) -> dict[int, int]:
+        """Alarm counts per hour-of-day for one device (recurrence analysis)."""
+        docs = self.collection.find({"device_address": device_address})
+        profile: dict[int, int] = {}
+        for doc in docs:
+            hour = Alarm.from_document(doc).hour_of_day
+            profile[hour] = profile.get(hour, 0) + 1
+        return profile
+
+    def recent(self, since: float, limit: int | None = None) -> list[Alarm]:
+        """Alarms with ``timestamp >= since``, newest first."""
+        docs = self.collection.find(
+            {"timestamp": {"$gte": since}}, sort=("timestamp", -1), limit=limit
+        )
+        return [Alarm.from_document(doc) for doc in docs]

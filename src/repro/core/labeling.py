@@ -1,0 +1,62 @@
+"""Duration-threshold labeling heuristic (Sections 5.1.1 and 5.3.2).
+
+The Sitasys production data has no ground-truth labels; the paper infers
+them from the alarm reset duration: *"the more quickly the alarm was reset
+after being triggered, the higher the likelihood that the alarm was false"*.
+An alarm with ``duration < delta_t`` is labelled **false**.
+
+Figure 9 sweeps ``delta_t`` from 1 to 10 minutes; :func:`delta_t_sweep`
+provides that grid.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.alarm import Alarm, LabeledAlarm
+from repro.errors import ConfigurationError
+
+__all__ = ["label_by_duration", "label_alarms", "delta_t_sweep", "DEFAULT_DELTA_T"]
+
+#: The paper's best-performing threshold: 1 minute.
+DEFAULT_DELTA_T = 60.0
+
+
+def label_by_duration(duration_seconds: float, delta_t_seconds: float = DEFAULT_DELTA_T) -> bool:
+    """True (= false alarm) when the alarm was reset within ``delta_t``."""
+    if delta_t_seconds <= 0:
+        raise ConfigurationError(f"delta_t must be > 0, got {delta_t_seconds}")
+    if duration_seconds < 0:
+        raise ConfigurationError(f"duration must be >= 0, got {duration_seconds}")
+    return duration_seconds < delta_t_seconds
+
+
+def label_alarms(alarms: Iterable[Alarm],
+                 delta_t_seconds: float = DEFAULT_DELTA_T) -> list[LabeledAlarm]:
+    """Apply the duration heuristic to raw alarms.
+
+    The resulting :class:`LabeledAlarm` records use the generic feature set
+    plus the Sitasys-specific sensor features as extras.
+    """
+    labeled = []
+    for alarm in alarms:
+        labeled.append(LabeledAlarm(
+            location=alarm.zip_code,
+            property_type=alarm.property_type,
+            alarm_type=alarm.alarm_type,
+            hour_of_day=alarm.hour_of_day,
+            day_of_week=alarm.day_of_week,
+            is_false=label_by_duration(alarm.duration_seconds, delta_t_seconds),
+            extra_features={
+                "sensor_type": alarm.sensor_type,
+                "software_version": alarm.software_version,
+            },
+        ))
+    return labeled
+
+
+def delta_t_sweep(minutes: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8, 9, 10)) -> list[float]:
+    """The Figure 9 threshold grid, in seconds."""
+    if any(m <= 0 for m in minutes):
+        raise ConfigurationError("all delta_t values must be positive minutes")
+    return [m * 60.0 for m in minutes]

@@ -1,0 +1,167 @@
+"""Periodic offline retraining from the alarm history.
+
+Section 4.1: the classifier is "trained periodically offline (for example,
+once per day during idle periods, such as after midnight)" on the history
+of alarms; Section 5.3.3 motivates why training time matters — it bounds
+how often the model can be rebuilt.
+
+:class:`RetrainingManager` owns that loop for the reproduction: it decides
+*when* a retrain is due (enough new alarms since the last build, or a
+wall-clock interval), pulls the training set from the
+:class:`~repro.core.history.AlarmHistory`, relabels it with the duration
+heuristic, fits a fresh pipeline, and atomically swaps it into the serving
+:class:`~repro.core.verification.VerificationService`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.alarm import Alarm
+from repro.core.history import AlarmHistory
+from repro.core.labeling import DEFAULT_DELTA_T, label_alarms
+from repro.core.verification import VerificationService
+from repro.errors import ConfigurationError
+from repro.ml.pipeline import FeaturePipeline
+
+__all__ = ["RetrainingManager", "RetrainRecord"]
+
+
+@dataclass
+class RetrainRecord:
+    """Metadata of one completed retrain."""
+
+    trained_at: float
+    training_alarms: int
+    training_seconds: float
+    training_accuracy: float
+    version: int = 0
+
+
+@dataclass
+class _RetrainState:
+    last_history_size: int = 0
+    last_trained_at: float | None = None
+    version: int = 0
+    history_log: list[RetrainRecord] = field(default_factory=list)
+
+
+class RetrainingManager:
+    """Rebuilds the verification model from the alarm history.
+
+    Parameters
+    ----------
+    history:
+        The long-term alarm store to train from.
+    pipeline_factory:
+        Zero-argument callable returning a *fresh, unfitted*
+        :class:`FeaturePipeline` (so every retrain starts clean).
+    service:
+        The serving verification service whose pipeline gets swapped.
+    min_new_alarms:
+        Retrain only once this many alarms arrived since the last build
+        ("upon reception of a large enough number of new events",
+        Section 5.3.3).
+    min_interval_seconds:
+        And no more often than this (the nightly cadence).  ``0`` disables
+        the time gate.
+    delta_t_seconds:
+        Duration threshold for the labeling heuristic.
+    max_training_alarms:
+        Cap on the training-set size (most recent alarms win), bounding
+        the training time.
+    """
+
+    def __init__(self, history: AlarmHistory,
+                 pipeline_factory: Callable[[], FeaturePipeline],
+                 service: VerificationService,
+                 min_new_alarms: int = 1000,
+                 min_interval_seconds: float = 0.0,
+                 delta_t_seconds: float = DEFAULT_DELTA_T,
+                 max_training_alarms: int | None = None) -> None:
+        if min_new_alarms < 1:
+            raise ConfigurationError(f"min_new_alarms must be >= 1, got {min_new_alarms}")
+        if min_interval_seconds < 0:
+            raise ConfigurationError("min_interval_seconds must be >= 0")
+        if max_training_alarms is not None and max_training_alarms < 1:
+            raise ConfigurationError("max_training_alarms must be >= 1")
+        self.history = history
+        self.pipeline_factory = pipeline_factory
+        self.service = service
+        self.min_new_alarms = min_new_alarms
+        self.min_interval_seconds = min_interval_seconds
+        self.delta_t_seconds = delta_t_seconds
+        self.max_training_alarms = max_training_alarms
+        self._state = _RetrainState(last_history_size=len(history))
+
+    # -- scheduling --------------------------------------------------------------
+
+    def new_alarms_since_last_build(self) -> int:
+        """Alarms recorded since the last (or initial) build."""
+        return len(self.history) - self._state.last_history_size
+
+    def is_due(self, now: float | None = None) -> bool:
+        """Whether a retrain should run now."""
+        if self.new_alarms_since_last_build() < self.min_new_alarms:
+            return False
+        if self.min_interval_seconds > 0 and self._state.last_trained_at is not None:
+            current = now if now is not None else time.time()
+            if current - self._state.last_trained_at < self.min_interval_seconds:
+                return False
+        return True
+
+    def maybe_retrain(self, now: float | None = None) -> RetrainRecord | None:
+        """Retrain if due; returns the record of the build (or None)."""
+        if not self.is_due(now=now):
+            return None
+        return self.retrain(now=now)
+
+    # -- building -----------------------------------------------------------------
+
+    def _training_alarms(self) -> list[Alarm]:
+        documents = self.history.collection.find(sort=("timestamp", -1),
+                                                 limit=self.max_training_alarms)
+        return [Alarm.from_document(doc) for doc in documents]
+
+    def retrain(self, now: float | None = None) -> RetrainRecord:
+        """Unconditionally rebuild and swap the serving model."""
+        alarms = self._training_alarms()
+        if not alarms:
+            raise ConfigurationError("cannot retrain: alarm history is empty")
+        labeled = label_alarms(alarms, self.delta_t_seconds)
+        records = [l.features() for l in labeled]
+        labels = [l.is_false for l in labeled]
+
+        pipeline = self.pipeline_factory()
+        started = time.perf_counter()
+        pipeline.fit(records, labels)
+        training_seconds = time.perf_counter() - started
+        training_accuracy = pipeline.score(records, labels)
+
+        # Atomic swap: readers either see the old or the new model.
+        self.service.pipeline = pipeline
+
+        self._state.version += 1
+        self._state.last_history_size = len(self.history)
+        self._state.last_trained_at = now if now is not None else time.time()
+        record = RetrainRecord(
+            trained_at=self._state.last_trained_at,
+            training_alarms=len(alarms),
+            training_seconds=training_seconds,
+            training_accuracy=training_accuracy,
+            version=self._state.version,
+        )
+        self._state.history_log.append(record)
+        return record
+
+    @property
+    def version(self) -> int:
+        """Number of completed retrains."""
+        return self._state.version
+
+    @property
+    def log(self) -> list[RetrainRecord]:
+        """All completed retrain records, oldest first."""
+        return list(self._state.history_log)

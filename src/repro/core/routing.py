@@ -1,0 +1,127 @@
+"""My Security Center: threshold routing and ARC prioritization.
+
+Section 3 of the paper describes the envisioned product: the customer
+configures a probability threshold; alarms that are probably false go to
+the customer's phone first (with a confirmation window), alarms that are
+probably true — and those the customer did not answer in time — go straight
+to the Alarm Receiving Center.  Technical alarms can be suppressed
+entirely.  At the ARC, alarms are prioritized by their probability of being
+true so operators handle the most critical ones first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.verification import Verification
+from repro.errors import ConfigurationError
+
+__all__ = ["Route", "RoutingPolicy", "RoutingReport", "MySecurityCenter", "prioritize"]
+
+
+class Route:
+    """Destinations an alarm can be routed to."""
+
+    ARC = "arc"                # straight to the Alarm Receiving Center
+    CUSTOMER = "customer"      # to the customer's phone first
+    SUPPRESSED = "suppressed"  # not transmitted at all (e.g. technical)
+
+
+@dataclass(frozen=True)
+class RoutingPolicy:
+    """Customer-configurable routing rules.
+
+    Parameters
+    ----------
+    true_threshold:
+        Alarms with ``probability_true >= true_threshold`` go directly to
+        the ARC.
+    suppress_alarm_types:
+        Alarm types never transmitted (e.g. ``{"technical"}`` — connection
+        interruptions, per Section 3).
+    customer_window_seconds:
+        How long the customer may confirm before the alarm escalates to
+        the ARC anyway.
+    """
+
+    true_threshold: float = 0.5
+    suppress_alarm_types: frozenset[str] = frozenset()
+    customer_window_seconds: float = 120.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.true_threshold <= 1.0:
+            raise ConfigurationError(
+                f"true_threshold must be in [0, 1], got {self.true_threshold}"
+            )
+        if self.customer_window_seconds <= 0:
+            raise ConfigurationError("customer_window_seconds must be > 0")
+
+
+@dataclass
+class RoutingReport:
+    """Counters over a routed stream."""
+
+    to_arc: int = 0
+    to_customer: int = 0
+    suppressed: int = 0
+    escalated: int = 0  # customer did not answer -> forwarded to ARC
+
+    @property
+    def total(self) -> int:
+        return self.to_arc + self.to_customer + self.suppressed
+
+    @property
+    def arc_load_reduction(self) -> float:
+        """Fraction of alarms the ARC never saw directly (the cost saving)."""
+        if self.total == 0:
+            return 0.0
+        return 1.0 - (self.to_arc + self.escalated) / self.total
+
+
+class MySecurityCenter:
+    """Routes verified alarms according to a customer's policy."""
+
+    def __init__(self, policy: RoutingPolicy | None = None) -> None:
+        self.policy = policy if policy is not None else RoutingPolicy()
+        self.report = RoutingReport()
+
+    def route(self, verification: Verification,
+              customer_confirmed_false: bool | None = None) -> str:
+        """Route one verified alarm; returns a :class:`Route` constant.
+
+        ``customer_confirmed_false`` models the customer's reaction for
+        alarms sent to the phone: True (confirmed false, stop), False
+        (confirmed real or no answer — escalate to the ARC), None (pending;
+        treated as escalation for accounting, the safe default).
+        """
+        alarm = verification.alarm
+        if alarm.alarm_type in self.policy.suppress_alarm_types:
+            self.report.suppressed += 1
+            return Route.SUPPRESSED
+        if verification.probability_true >= self.policy.true_threshold:
+            self.report.to_arc += 1
+            return Route.ARC
+        self.report.to_customer += 1
+        if customer_confirmed_false is not True:
+            self.report.escalated += 1
+        return Route.CUSTOMER
+
+    def route_batch(self, verifications: Iterable[Verification]) -> dict[str, int]:
+        """Route many alarms (no customer interaction); returns counts."""
+        counts = {Route.ARC: 0, Route.CUSTOMER: 0, Route.SUPPRESSED: 0}
+        for verification in verifications:
+            counts[self.route(verification)] += 1
+        return counts
+
+
+def prioritize(verifications: Iterable[Verification]) -> list[Verification]:
+    """ARC work queue: most-likely-true alarms first (Section 3).
+
+    Ties break toward higher overall confidence so clear-cut cases surface
+    before ambiguous ones.
+    """
+    return sorted(
+        verifications,
+        key=lambda v: (-v.probability_true, -v.confidence),
+    )

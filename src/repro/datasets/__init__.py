@@ -1,0 +1,52 @@
+"""Synthetic dataset generators standing in for the paper's data sources.
+
+* :class:`~repro.datasets.gazetteer.Gazetteer` — synthetic Swiss geography.
+* :class:`~repro.datasets.sitasys.SitasysGenerator` — production alarms
+  with the duration-based labeling chain (Section 5.1.1).
+* :class:`~repro.datasets.london.LondonGenerator` — LFB open-data analogue
+  (Section 5.1.2).
+* :class:`~repro.datasets.sanfrancisco.SanFranciscoGenerator` — SFFD
+  analogue with label-quality defects (Section 5.1.3).
+* :class:`~repro.datasets.incidents.IncidentReportGenerator` — multilingual
+  incident-report corpus for the hybrid approach (Section 5.2).
+* :mod:`~repro.datasets.features` — Table 1 adapters onto the generic
+  ``LabeledAlarm`` schema.
+"""
+
+from repro.datasets.features import (
+    GENERIC_FEATURES,
+    SITASYS_EXTRA_FEATURES,
+    TABLE1_SCHEMA,
+    london_to_labeled,
+    sanfrancisco_to_labeled,
+    sitasys_to_labeled,
+)
+from repro.datasets.gazetteer import Gazetteer, Locality
+from repro.datasets.incidents import IncidentReportGenerator
+from repro.datasets.london import LONDON_BOROUGHS, LondonGenerator, LondonIncident
+from repro.datasets.sanfrancisco import (
+    SF_CALL_TYPES,
+    SanFranciscoGenerator,
+    SFCall,
+)
+from repro.datasets.sitasys import Device, SitasysGenerator
+
+__all__ = [
+    "GENERIC_FEATURES",
+    "SITASYS_EXTRA_FEATURES",
+    "TABLE1_SCHEMA",
+    "london_to_labeled",
+    "sanfrancisco_to_labeled",
+    "sitasys_to_labeled",
+    "Gazetteer",
+    "Locality",
+    "IncidentReportGenerator",
+    "LONDON_BOROUGHS",
+    "LondonGenerator",
+    "LondonIncident",
+    "SF_CALL_TYPES",
+    "SanFranciscoGenerator",
+    "SFCall",
+    "Device",
+    "SitasysGenerator",
+]

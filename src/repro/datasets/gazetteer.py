@@ -1,0 +1,182 @@
+"""Synthetic Swiss gazetteer.
+
+The paper's geography is proprietary alarm metadata plus public Swiss
+localities: alarms carry ZIP codes, incident reports carry only city/village
+names, large cities span several ZIP codes (Table 2: Basel has 4001, 4051,
+4057, 4058) and risk factors are normalized per capita.  This module
+generates a deterministic synthetic equivalent:
+
+* ``num_localities`` places with unique pseudo-Swiss names;
+* Zipf-distributed populations (a few large cities, many villages);
+* the largest cities get multiple ZIP codes, everything else exactly one —
+  the single-ZIP distinction drives the Table 9 scenarios (c)/(d);
+* planar coordinates and a language region (``de`` east, ``fr`` west) that
+  feed the security map and the multilingual report generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+__all__ = ["Locality", "Gazetteer"]
+
+_DE_PREFIXES = ["Ober", "Unter", "Nieder", "Alt", "Neu", "Gross", "Klein", "Hinter", ""]
+_DE_STEMS = ["wett", "berg", "bach", "feld", "horn", "matt", "stein", "wald",
+             "brugg", "egg", "ried", "tal", "hof", "burg", "see", "muhl"]
+_DE_SUFFIXES = ["ingen", "ikon", "wil", "dorf", "hausen", "heim", "au", "en", "berg"]
+_FR_PREFIXES = ["Ville", "Mont", "Saint", "Val", "Champ", "Bel", "Cor", "Grand"]
+_FR_STEMS = ["neuve", "roux", "martin", "fleuri", "pierre", "mont", "lac",
+             "pre", "bois", "clair", "fontaine", "joux"]
+_FR_JOINERS = ["-", "-sur-", "-le-", "-la-", "-aux-"]
+
+
+@dataclass(frozen=True)
+class Locality:
+    """One city or village of the synthetic gazetteer."""
+
+    name: str
+    zip_codes: tuple[str, ...]
+    population: int
+    x: float
+    y: float
+    language: str  # dominant region language: "de" or "fr"
+
+    @property
+    def is_single_zip(self) -> bool:
+        """True for villages/small towns with exactly one ZIP code."""
+        return len(self.zip_codes) == 1
+
+
+class Gazetteer:
+    """Deterministic synthetic gazetteer.
+
+    Parameters
+    ----------
+    num_localities:
+        Number of places (Switzerland has ~4,000 ZIP-bearing localities;
+        smaller values keep tests fast).
+    multi_zip_fraction:
+        Fraction of places (the most populous ones) that get several ZIPs.
+    seed:
+        RNG seed; two gazetteers with equal parameters are identical.
+    """
+
+    #: Planar extent, roughly Switzerland in kilometres.
+    X_SPAN = 350.0
+    Y_SPAN = 220.0
+
+    def __init__(self, num_localities: int = 1200, multi_zip_fraction: float = 0.03,
+                 seed: int = 7) -> None:
+        if num_localities < 10:
+            raise DatasetError(f"num_localities must be >= 10, got {num_localities}")
+        if not 0.0 <= multi_zip_fraction < 0.5:
+            raise DatasetError(
+                f"multi_zip_fraction must be in [0, 0.5), got {multi_zip_fraction}"
+            )
+        rng = np.random.default_rng(seed)
+        names = self._generate_names(rng, num_localities)
+
+        # Zipf populations: rank 1 ~ 420k down to villages of a few hundred.
+        ranks = np.arange(1, num_localities + 1, dtype=np.float64)
+        populations = np.maximum(200, (420_000 / ranks**0.95)).astype(np.int64)
+
+        n_multi_zip = max(1, int(round(num_localities * multi_zip_fraction)))
+        next_zip = 1000
+        localities: list[Locality] = []
+        for i in range(num_localities):
+            x = float(rng.uniform(0.0, self.X_SPAN))
+            y = float(rng.uniform(0.0, self.Y_SPAN))
+            language = "fr" if x < 0.28 * self.X_SPAN else "de"
+            if i < n_multi_zip:
+                # 3-8 districts for the biggest cities (Table 2: Basel has 4+).
+                n_zips = int(rng.integers(3, 9))
+            else:
+                n_zips = 1
+            zips = tuple(str(next_zip + j) for j in range(n_zips))
+            next_zip += n_zips
+            if next_zip > 9999:
+                raise DatasetError("ZIP space exhausted; lower num_localities")
+            localities.append(Locality(
+                name=names[i],
+                zip_codes=zips,
+                population=int(populations[i]),
+                x=x,
+                y=y,
+                language=language,
+            ))
+        self._localities = localities
+        self._by_name = {loc.name: loc for loc in localities}
+        self._by_zip = {z: loc for loc in localities for z in loc.zip_codes}
+
+    @staticmethod
+    def _generate_names(rng: np.random.Generator, count: int) -> list[str]:
+        names: list[str] = []
+        seen: set[str] = set()
+        while len(names) < count:
+            if rng.random() < 0.72:  # German-style name
+                name = (
+                    str(rng.choice(_DE_PREFIXES))
+                    + str(rng.choice(_DE_STEMS))
+                    + str(rng.choice(_DE_SUFFIXES))
+                ).capitalize()
+            else:  # French-style name
+                name = (
+                    str(rng.choice(_FR_PREFIXES))
+                    + str(rng.choice(_FR_JOINERS))
+                    + str(rng.choice(_FR_STEMS)).capitalize()
+                )
+            if name not in seen:
+                seen.add(name)
+                names.append(name)
+        return names
+
+    # -- lookups -----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._localities)
+
+    def __iter__(self):
+        return iter(self._localities)
+
+    @property
+    def localities(self) -> list[Locality]:
+        """All places, largest population first."""
+        return list(self._localities)
+
+    def by_name(self, name: str) -> Locality:
+        """Locality by canonical name; raises :class:`DatasetError` if unknown."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise DatasetError(f"unknown locality {name!r}") from None
+
+    def by_zip(self, zip_code: str) -> Locality:
+        """Locality owning ``zip_code``; raises :class:`DatasetError` if unknown."""
+        try:
+            return self._by_zip[zip_code]
+        except KeyError:
+            raise DatasetError(f"unknown ZIP code {zip_code!r}") from None
+
+    def names(self) -> list[str]:
+        """All canonical place names."""
+        return [loc.name for loc in self._localities]
+
+    def zip_codes(self) -> list[str]:
+        """All ZIP codes across all places."""
+        return sorted(self._by_zip)
+
+    def populations(self) -> dict[str, int]:
+        """Locality name -> population (for per-capita risk factors)."""
+        return {loc.name: loc.population for loc in self._localities}
+
+    def single_zip_localities(self) -> list[Locality]:
+        """Places with exactly one ZIP code (Table 9 scenarios c/d)."""
+        return [loc for loc in self._localities if loc.is_single_zip]
+
+    def multi_zip_localities(self) -> list[Locality]:
+        """Places with several ZIP codes (large cities)."""
+        return [loc for loc in self._localities if not loc.is_single_zip]

@@ -1,0 +1,164 @@
+"""Synthetic London Fire Brigade incident generator.
+
+Models the open LFB incident-records dataset of Section 5.1.2: 885K
+incidents from 2009-2016, 48% false alarms — nearly balanced classes.  Only
+the *generic* features exist (location, time, property category): there is
+no sensor metadata, which is why the paper's accuracy tops out around 85%
+here versus >90% on the production data.
+
+The latent structure is predominantly **additive** (borough, property and
+hour main effects), so the linear models are competitive — the paper's best
+LFB result comes from the SVM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+__all__ = ["LondonGenerator", "LondonIncident", "LONDON_BOROUGHS"]
+
+LONDON_BOROUGHS = (
+    "Barnet", "Bexley", "Brent", "Bromley", "Camden", "Croydon", "Ealing",
+    "Enfield", "Greenwich", "Hackney", "Hammersmith", "Haringey", "Harrow",
+    "Havering", "Hillingdon", "Hounslow", "Islington", "Kensington",
+    "Kingston", "Lambeth", "Lewisham", "Merton", "Newham", "Redbridge",
+    "Richmond", "Southwark", "Sutton", "Tower Hamlets", "Waltham Forest",
+    "Wandsworth", "Westminster", "City of London", "Barking",
+)
+
+_PROPERTY_CATEGORIES = (
+    "Dwelling", "House", "Purpose Built Flats", "Office", "Shop",
+    "Hospital", "School", "Warehouse", "Car Park", "Outdoor",
+)
+#: AFA (automatic fire alarm) installations dominate in institutional
+#: buildings and are the classic false-alarm source.
+_PROPERTY_FALSE_EFFECT = {
+    "Dwelling": -0.4, "House": -0.5, "Purpose Built Flats": 0.3,
+    "Office": 1.3, "Shop": 0.7, "Hospital": 1.7, "School": 1.4,
+    "Warehouse": 0.2, "Car Park": -0.2, "Outdoor": -2.2,
+}
+
+_INCIDENT_GROUPS = ("Fire", "Special Service", "False Alarm")
+
+
+def _sigmoid(x: float) -> float:
+    return 1.0 / (1.0 + float(np.exp(-np.clip(x, -60, 60))))
+
+
+@dataclass(frozen=True)
+class LondonIncident:
+    """One LFB-style incident record (Table 1 schema)."""
+
+    borough: str
+    property_category: str
+    year: int
+    hour_of_day: int
+    day_of_week: int
+    incident_group: str  # "False Alarm" | "Fire" | "Special Service"
+
+    @property
+    def is_false(self) -> bool:
+        """Binary target: False Alarm incidents."""
+        return self.incident_group == "False Alarm"
+
+
+class LondonGenerator:
+    """Deterministic LFB-style incident generator.
+
+    Parameters
+    ----------
+    seed:
+        Controls borough effects and all sampling.
+    sharpness:
+        Inverse temperature; the default calibrates peak accuracy ~85%.
+    """
+
+    YEARS = tuple(range(2009, 2017))
+
+    def __init__(self, seed: int = 23, sharpness: float = 2.6) -> None:
+        if sharpness <= 0:
+            raise DatasetError(f"sharpness must be > 0, got {sharpness}")
+        self.seed = seed
+        self.sharpness = sharpness
+        rng = np.random.default_rng(seed)
+        self.borough_effect = {
+            borough: float(rng.normal(0.0, 0.6)) for borough in LONDON_BOROUGHS
+        }
+        # Borough mix is skewed: central boroughs report more incidents.
+        weights = rng.uniform(0.4, 2.5, size=len(LONDON_BOROUGHS))
+        self._borough_weights = weights / weights.sum()
+
+    def false_logit(self, borough: str, property_category: str, hour: int,
+                    day_of_week: int) -> float:
+        """Log-odds that an incident is a false alarm."""
+        logit = -0.25
+        logit += self.borough_effect.get(borough, 0.0)
+        logit += _PROPERTY_FALSE_EFFECT.get(property_category, 0.0)
+        # AFA false alarms cluster in working hours (testing, cooking, dust).
+        if 8 <= hour < 19:
+            logit += 0.8
+        elif hour >= 23 or hour < 5:
+            logit -= 0.7
+        if day_of_week >= 5:
+            logit -= 0.2  # weekend: fewer AFA tests, more real incidents
+        return float(self.sharpness * logit)
+
+    def generate(self, num_incidents: int, seed_offset: int = 0) -> list[LondonIncident]:
+        """Generate ``num_incidents`` incidents (deterministic per arguments)."""
+        if num_incidents < 1:
+            raise DatasetError(f"num_incidents must be >= 1, got {num_incidents}")
+        rng = np.random.default_rng((self.seed, 301, seed_offset))
+        boroughs = rng.choice(
+            len(LONDON_BOROUGHS), size=num_incidents, p=self._borough_weights
+        )
+        properties = rng.choice(
+            len(_PROPERTY_CATEGORIES), size=num_incidents,
+            p=[0.22, 0.15, 0.13, 0.12, 0.09, 0.06, 0.07, 0.05, 0.04, 0.07],
+        )
+        years = rng.choice(len(self.YEARS), size=num_incidents)
+        hours = rng.integers(0, 24, size=num_incidents)
+        days = rng.integers(0, 7, size=num_incidents)
+        uniforms = rng.uniform(size=num_incidents)
+        group_draws = rng.uniform(size=num_incidents)
+
+        incidents: list[LondonIncident] = []
+        for i in range(num_incidents):
+            borough = LONDON_BOROUGHS[int(boroughs[i])]
+            prop = _PROPERTY_CATEGORIES[int(properties[i])]
+            hour = int(hours[i])
+            dow = int(days[i])
+            p_false = _sigmoid(self.false_logit(borough, prop, hour, dow))
+            if uniforms[i] < p_false:
+                group = "False Alarm"
+            else:
+                # Real incidents split between fires and special services.
+                group = "Fire" if group_draws[i] < 0.45 else "Special Service"
+            incidents.append(LondonIncident(
+                borough=borough,
+                property_category=prop,
+                year=self.YEARS[int(years[i])],
+                hour_of_day=hour,
+                day_of_week=dow,
+                incident_group=group,
+            ))
+        return incidents
+
+    def statistics(self, incidents: list[LondonIncident]) -> dict[str, object]:
+        """Figure 6 style summary: per-group counts and the false ratio."""
+        by_group: dict[str, int] = {}
+        by_year: dict[int, int] = {}
+        for incident in incidents:
+            by_group[incident.incident_group] = by_group.get(incident.incident_group, 0) + 1
+            by_year[incident.year] = by_year.get(incident.year, 0) + 1
+        total = len(incidents)
+        false = by_group.get("False Alarm", 0)
+        return {
+            "total": total,
+            "by_group": dict(sorted(by_group.items())),
+            "by_year": dict(sorted(by_year.items())),
+            "false_ratio": false / total if total else 0.0,
+        }

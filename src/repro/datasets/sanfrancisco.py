@@ -1,0 +1,194 @@
+"""Synthetic San Francisco Fire Department calls generator.
+
+Reproduces the *data-quality funnel* of Section 5.1.3 rather than just a
+labelled dataset: of 4.3M raw calls, more than half carry the useless
+disposition "other", over half are medical calls (absent from the other
+datasets), there is no property-type column at all, and only ~12K alarm/fire
+calls end up properly labelled.  The paper reports ~80% accuracy on that
+usable subset (Random Forest best) and only ~53% when medical and other
+categories are included — medical call outcomes are essentially
+feature-independent here, which reproduces that collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+
+__all__ = ["SanFranciscoGenerator", "SFCall", "SF_CALL_TYPES"]
+
+SF_CALL_TYPES = (
+    "Medical Incident", "Alarms", "Structure Fire", "Outside Fire",
+    "Traffic Collision", "Water Rescue", "Gas Leak",
+)
+_CALL_TYPE_WEIGHTS = (0.55, 0.15, 0.08, 0.05, 0.10, 0.03, 0.04)
+
+#: Call types the paper could use ("alarm" and "fire" categories).
+USABLE_CALL_TYPES = frozenset({"Alarms", "Structure Fire", "Outside Fire"})
+
+_ZIP_CODES = tuple(f"941{suffix:02d}" for suffix in range(2, 35))
+_BATTALIONS = tuple(f"B{i:02d}" for i in range(1, 11))
+
+_DISPOSITION_FALSE = "No Merit"
+_DISPOSITION_TRUE = "Fire"
+_DISPOSITION_OTHER = "Other"
+
+
+def _sigmoid(x: float) -> float:
+    return 1.0 / (1.0 + float(np.exp(-np.clip(x, -60, 60))))
+
+
+@dataclass(frozen=True)
+class SFCall:
+    """One SFFD call-for-service record (Table 1 schema; no property type)."""
+
+    zip_code: str
+    call_type: str
+    battalion: str
+    hour_of_day: int
+    day_of_week: int
+    call_final_disposition: str  # "No Merit" | "Fire" | "Other"
+
+    @property
+    def is_labeled(self) -> bool:
+        """Whether the disposition is a usable true/false label."""
+        return self.call_final_disposition != _DISPOSITION_OTHER
+
+    @property
+    def is_false(self) -> bool:
+        """Binary target (only meaningful when :attr:`is_labeled`)."""
+        return self.call_final_disposition == _DISPOSITION_FALSE
+
+
+class SanFranciscoGenerator:
+    """Deterministic SFFD-style call generator with label-quality defects.
+
+    Parameters
+    ----------
+    seed:
+        Controls area effects and all sampling.
+    sharpness:
+        Inverse temperature for the usable call types; calibrated for ~80%
+        peak accuracy (weaker than LFB: no property feature).
+    unlabeled_fraction:
+        Fraction of calls whose disposition is "Other" (paper: >50%).
+    """
+
+    def __init__(self, seed: int = 31, sharpness: float = 2.1,
+                 unlabeled_fraction: float = 0.58) -> None:
+        if sharpness <= 0:
+            raise DatasetError(f"sharpness must be > 0, got {sharpness}")
+        if not 0.0 <= unlabeled_fraction < 1.0:
+            raise DatasetError(
+                f"unlabeled_fraction must be in [0, 1), got {unlabeled_fraction}"
+            )
+        self.seed = seed
+        self.sharpness = sharpness
+        self.unlabeled_fraction = unlabeled_fraction
+        rng = np.random.default_rng(seed)
+        self.zip_effect = {z: float(rng.normal(0.0, 0.5)) for z in _ZIP_CODES}
+        self.battalion_effect = {b: float(rng.normal(0.0, 0.3)) for b in _BATTALIONS}
+        weights = rng.uniform(0.5, 2.0, size=len(_ZIP_CODES))
+        self._zip_weights = weights / weights.sum()
+
+    def false_logit(self, zip_code: str, call_type: str, battalion: str,
+                    hour: int, day_of_week: int) -> float:
+        """Log-odds of a false outcome for *usable* call types.
+
+        Medical and other non-alarm calls do not go through this model —
+        their labels are intentionally near-random (see Section 5.1.3's
+        53% accuracy when including them).
+        """
+        logit = 0.1
+        logit += self.zip_effect.get(zip_code, 0.0)
+        logit += self.battalion_effect.get(battalion, 0.0)
+        logit += {"Alarms": 1.1, "Structure Fire": -0.9, "Outside Fire": -0.4}.get(
+            call_type, 0.0
+        )
+        # Hour effect *reverses* by call type (an interaction the linear
+        # models cannot express — Random Forest leads on SF in Figure 10):
+        # automatic alarms are mostly false during business hours, while
+        # daytime fire calls are mostly real.
+        daytime = 9 <= hour < 18
+        if call_type == "Alarms":
+            logit += 0.9 if daytime else -0.7
+        else:
+            logit += -0.6 if daytime else 0.4
+        if day_of_week >= 5:
+            logit -= 0.15
+        return float(self.sharpness * logit)
+
+    def generate(self, num_calls: int, seed_offset: int = 0) -> list[SFCall]:
+        """Generate ``num_calls`` raw calls including all quality defects."""
+        if num_calls < 1:
+            raise DatasetError(f"num_calls must be >= 1, got {num_calls}")
+        rng = np.random.default_rng((self.seed, 401, seed_offset))
+        zips = rng.choice(len(_ZIP_CODES), size=num_calls, p=self._zip_weights)
+        call_types = rng.choice(len(SF_CALL_TYPES), size=num_calls, p=_CALL_TYPE_WEIGHTS)
+        battalions = rng.integers(0, len(_BATTALIONS), size=num_calls)
+        hours = rng.integers(0, 24, size=num_calls)
+        days = rng.integers(0, 7, size=num_calls)
+        label_draws = rng.uniform(size=num_calls)
+        other_draws = rng.uniform(size=num_calls)
+        medical_draws = rng.uniform(size=num_calls)
+
+        calls: list[SFCall] = []
+        for i in range(num_calls):
+            zip_code = _ZIP_CODES[int(zips[i])]
+            call_type = SF_CALL_TYPES[int(call_types[i])]
+            battalion = _BATTALIONS[int(battalions[i])]
+            hour = int(hours[i])
+            dow = int(days[i])
+            if other_draws[i] < self.unlabeled_fraction:
+                disposition = _DISPOSITION_OTHER
+            elif call_type in USABLE_CALL_TYPES:
+                p_false = _sigmoid(
+                    self.false_logit(zip_code, call_type, battalion, hour, dow)
+                )
+                disposition = (
+                    _DISPOSITION_FALSE if label_draws[i] < p_false else _DISPOSITION_TRUE
+                )
+            else:
+                # Medical/traffic/etc. outcomes barely depend on the features:
+                # a tiny hour effect keeps accuracy just above chance (~53%).
+                p_false = _sigmoid(0.05 * (1.0 if 9 <= hour < 18 else -1.0))
+                disposition = (
+                    _DISPOSITION_FALSE if medical_draws[i] < p_false else _DISPOSITION_TRUE
+                )
+            calls.append(SFCall(
+                zip_code=zip_code,
+                call_type=call_type,
+                battalion=battalion,
+                hour_of_day=hour,
+                day_of_week=dow,
+                call_final_disposition=disposition,
+            ))
+        return calls
+
+    @staticmethod
+    def usable_subset(calls: list[SFCall]) -> list[SFCall]:
+        """The paper's usable subset: labelled alarm/fire calls only."""
+        return [
+            call for call in calls
+            if call.is_labeled and call.call_type in USABLE_CALL_TYPES
+        ]
+
+    @staticmethod
+    def labeled_subset(calls: list[SFCall]) -> list[SFCall]:
+        """All labelled calls regardless of type (the ~53%-accuracy set)."""
+        return [call for call in calls if call.is_labeled]
+
+    @staticmethod
+    def funnel(calls: list[SFCall]) -> dict[str, int]:
+        """Section 5.1.3 data-quality funnel counts."""
+        usable = SanFranciscoGenerator.usable_subset(calls)
+        return {
+            "total": len(calls),
+            "disposition_other": sum(1 for c in calls if not c.is_labeled),
+            "medical": sum(1 for c in calls if c.call_type == "Medical Incident"),
+            "alarm_or_fire": sum(1 for c in calls if c.call_type in USABLE_CALL_TYPES),
+            "usable_labeled": len(usable),
+        }

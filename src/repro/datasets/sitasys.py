@@ -1,0 +1,275 @@
+"""Synthetic Sitasys production-alarm generator.
+
+The real dataset (350K anonymized alarms, Oct 2015 - Apr 2016, Section
+5.1.1) is proprietary.  This generator reproduces the *chain* the paper
+describes rather than the raw data:
+
+1. a fleet of devices, each with a fixed location (ZIP), property type and
+   sensor metadata (sensor type, software version);
+2. a latent per-alarm false-alarm propensity driven by the features —
+   including effects that the paper's results imply:
+
+   * sensor-specific features carry strong signal (old software on flaky
+     sensor types mostly produces false alarms) — this is why Sitasys
+     accuracy beats the open datasets (Section 5.3.4);
+   * a property-type × time-of-day × alarm-type interaction (who is on the
+     premises when) that is *non-linear*, which is why Random Forest and
+     the DNN beat the linear models (Figure 10);
+   * a per-ZIP latent area risk that modulates fire/intrusion truth rates —
+     the hook the hybrid approach's a-priori risk factors exploit
+     (Table 9);
+
+3. an alarm-reset **duration** drawn conditional on the latent truth
+   (false alarms are reset quickly), so that the paper's duration-threshold
+   labeling heuristic (Section 5.3.2, Figure 9) can be applied downstream
+   exactly as published.
+
+The generator never emits the latent truth on the alarm record — labels
+must be re-derived from duration via :mod:`repro.core.labeling`, as in the
+paper.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.alarm import Alarm
+from repro.datasets.gazetteer import Gazetteer
+from repro.errors import DatasetError
+
+__all__ = ["SitasysGenerator", "Device"]
+
+_SENSOR_TYPES = ("motion", "smoke", "glass_break", "door_contact")
+_SOFTWARE_VERSIONS = ("1.0", "1.2", "2.0", "2.1", "3.0")
+_PROPERTY_TYPES = ("residential", "industrial", "commercial", "public")
+_ALARM_TYPES = ("intrusion", "fire", "technical", "sabotage")
+#: Mix of alarm types; intrusion dominates physical-security traffic.
+_ALARM_TYPE_WEIGHTS = (0.48, 0.22, 0.22, 0.08)
+
+#: Data collection window of the paper: October 2015 - April 2016.
+_WINDOW_START = dt.datetime(2015, 10, 1, tzinfo=dt.timezone.utc).timestamp()
+_WINDOW_END = dt.datetime(2016, 4, 30, tzinfo=dt.timezone.utc).timestamp()
+
+
+@dataclass(frozen=True)
+class Device:
+    """One installed sensor with its fixed attributes."""
+
+    address: str
+    zip_code: str
+    locality: str
+    property_type: str
+    sensor_type: str
+    software_version: str
+    noise: float  # per-device idiosyncrasy on the false-propensity logit
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60)))
+
+
+class SitasysGenerator:
+    """Generates devices, latent risks and alarm streams deterministically.
+
+    Parameters
+    ----------
+    gazetteer:
+        Shared geography; constructing one here keeps single-call usage easy
+        but passing the same instance to the incident generator is required
+        for the hybrid-approach experiments to line up.
+    num_devices:
+        Fleet size; each alarm comes from one device.
+    seed:
+        All randomness (devices, risks, alarms) derives from this seed.
+    sharpness:
+        Inverse temperature on the false-propensity logit.  Higher values
+        make the process more deterministic given the features (higher
+        Bayes accuracy) without changing any relative effect.  The default
+        is calibrated so the best classifiers reach the paper's ~92%.
+    """
+
+    def __init__(self, gazetteer: Gazetteer | None = None, num_devices: int = 2000,
+                 seed: int = 11, sharpness: float = 3.5) -> None:
+        if num_devices < 10:
+            raise DatasetError(f"num_devices must be >= 10, got {num_devices}")
+        if sharpness <= 0:
+            raise DatasetError(f"sharpness must be > 0, got {sharpness}")
+        self.sharpness = sharpness
+        self.gazetteer = gazetteer if gazetteer is not None else Gazetteer(seed=seed)
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+
+        # Latent area risk, at two granularities.  ``locality_risk`` is what
+        # the media report on (it drives the incident corpus); ``zip_risk``
+        # is what the alarms actually experience.  For single-ZIP villages
+        # the two coincide, so a per-capita incident rate is a clean proxy
+        # for the alarm-level risk.  In multi-ZIP cities the district risks
+        # are *independent* of the citywide reporting level (rich and rough
+        # neighbourhoods inside one famous city), so a city-level risk
+        # factor contributes no — or wrong — information there.  This is
+        # precisely the granularity mismatch the paper blames for the
+        # neutral Table 9 scenarios (a)/(b): "we make sure the a-priori
+        # risk factor does not contribute wrong information to larger
+        # cities with multiple ZIP codes".
+        self.zip_risk: dict[str, float] = {}
+        self.locality_risk: dict[str, float] = {}
+        for locality in self.gazetteer:
+            city_risk = float(rng.normal(0.0, 1.0))
+            self.locality_risk[locality.name] = city_risk
+            for zip_code in locality.zip_codes:
+                if locality.is_single_zip:
+                    self.zip_risk[zip_code] = city_risk
+                else:
+                    self.zip_risk[zip_code] = float(rng.normal(0.0, 1.3))
+
+        # Device fleet: placement weighted by a super-linear function of
+        # population — alarm installations concentrate strongly in cities,
+        # which also keeps per-ZIP sample counts high enough for location to
+        # be a learnable feature (as it was for the paper's classifiers).
+        localities = self.gazetteer.localities
+        weights = np.array([loc.population for loc in localities], dtype=np.float64)
+        weights = weights**1.4
+        weights /= weights.sum()
+        placement = rng.choice(len(localities), size=num_devices, p=weights)
+        self.devices: list[Device] = []
+        for i in range(num_devices):
+            locality = localities[int(placement[i])]
+            zip_code = str(rng.choice(list(locality.zip_codes)))
+            self.devices.append(Device(
+                address=f"00:1A:{(i >> 8) & 0xFF:02X}:{i & 0xFF:02X}",
+                zip_code=zip_code,
+                locality=locality.name,
+                property_type=str(rng.choice(
+                    _PROPERTY_TYPES, p=[0.55, 0.18, 0.17, 0.10]
+                )),
+                sensor_type=str(rng.choice(_SENSOR_TYPES)),
+                software_version=str(rng.choice(
+                    _SOFTWARE_VERSIONS, p=[0.15, 0.15, 0.25, 0.25, 0.20]
+                )),
+                noise=float(rng.normal(0.0, 0.1)),
+            ))
+
+    # -- latent model ---------------------------------------------------------------
+
+    def false_logit(self, device: Device, alarm_type: str, hour: int,
+                    day_of_week: int) -> float:
+        """Log-odds that an alarm with these attributes is false."""
+        logit = -1.35 + device.noise
+
+        # Alarm-type main effects: technical alarms are almost always false.
+        logit += {
+            "technical": 5.5, "sabotage": 1.2, "fire": 0.3, "intrusion": 0.0,
+        }[alarm_type]
+
+        # Sensor reliability: old firmware on trigger-happy sensor types.
+        old_software = device.software_version in ("1.0", "1.2")
+        flaky_sensor = device.sensor_type in ("motion", "glass_break")
+        if old_software and flaky_sensor:
+            logit += 4.2
+        elif old_software:
+            logit += 1.8
+        elif device.software_version == "3.0":
+            logit -= 2.2
+
+        # Time-of-day structure.  Most of it is additive (hour and property
+        # main effects, learnable by the linear models), with a smaller
+        # occupancy *interaction* on top — who is on the premises depends on
+        # property type × time, and that part only the non-linear models
+        # capture.  The paper observes exactly this: all four algorithms are
+        # within ~5 points, with RF/DNN on top (Section 5.3.4).
+        night = hour >= 22 or hour < 6
+        if alarm_type == "intrusion":
+            logit += -1.4 if night else 0.6
+            occupied = (device.property_type == "residential") == night
+            logit += 1.0 if occupied else -1.0
+        if alarm_type == "fire":
+            cooking_hours = hour in (11, 12, 13, 18, 19, 20)
+            if cooking_hours:
+                logit += 1.1  # burnt meals trip smoke detectors
+                if device.property_type == "residential":
+                    logit += 1.0
+            if device.property_type == "industrial":
+                # Industrial fires during operating hours are usually real.
+                logit += 0.5 if night else -0.9
+
+        # Area risk lowers the false-probability of fire/intrusion alarms.
+        if alarm_type in ("fire", "intrusion"):
+            logit -= 0.5 * self.zip_risk.get(device.zip_code, 0.0)
+
+        # Weekend: more user-error arming mistakes.
+        if day_of_week >= 5 and alarm_type == "intrusion":
+            logit += 0.7
+        return float(self.sharpness * logit)
+
+    # -- generation -------------------------------------------------------------------
+
+    def generate(self, num_alarms: int, seed_offset: int = 0) -> list[Alarm]:
+        """Generate ``num_alarms`` alarms (deterministic for fixed arguments)."""
+        if num_alarms < 1:
+            raise DatasetError(f"num_alarms must be >= 1, got {num_alarms}")
+        rng = np.random.default_rng((self.seed, 101, seed_offset))
+        n_devices = len(self.devices)
+        device_idx = rng.integers(0, n_devices, size=num_alarms)
+        alarm_types = rng.choice(
+            len(_ALARM_TYPES), size=num_alarms, p=_ALARM_TYPE_WEIGHTS
+        )
+        timestamps = rng.uniform(_WINDOW_START, _WINDOW_END, size=num_alarms)
+        # Non-uniform hour-of-day: alarms peak in waking hours.
+        hour_weights = np.array(
+            [2, 1.5, 1, 1, 1, 1.5, 3, 5, 6, 6, 5, 5, 5, 5, 5, 5, 6, 7, 8, 8, 7, 6, 4, 3],
+            dtype=np.float64,
+        )
+        hours = rng.choice(24, size=num_alarms, p=hour_weights / hour_weights.sum())
+        # Re-anchor each timestamp to its drawn hour (keep date + minute).
+        day_starts = (timestamps // 86_400) * 86_400
+        minutes = rng.uniform(0, 3600, size=num_alarms)
+        timestamps = day_starts + hours * 3600 + minutes
+
+        alarms: list[Alarm] = []
+        uniforms = rng.uniform(size=num_alarms)
+        duration_normals = rng.normal(size=num_alarms)
+        for i in range(num_alarms):
+            device = self.devices[int(device_idx[i])]
+            alarm_type = _ALARM_TYPES[int(alarm_types[i])]
+            ts = float(timestamps[i])
+            when = dt.datetime.fromtimestamp(ts, tz=dt.timezone.utc)
+            logit = self.false_logit(device, alarm_type, when.hour, when.weekday())
+            is_false = uniforms[i] < _sigmoid(np.array([logit]))[0]
+            # Reset duration conditional on latent truth: quickly-reset
+            # alarms are the false ones (the labeling heuristic's premise).
+            if is_false:
+                duration = float(np.exp(np.log(18.0) + 0.5 * duration_normals[i]))
+            else:
+                duration = float(np.exp(np.log(2400.0) + 0.7 * duration_normals[i]))
+            alarms.append(Alarm(
+                device_address=device.address,
+                zip_code=device.zip_code,
+                timestamp=ts,
+                alarm_type=alarm_type,
+                property_type=device.property_type,
+                duration_seconds=duration,
+                sensor_type=device.sensor_type,
+                software_version=device.software_version,
+                locality=device.locality,
+            ))
+        return alarms
+
+    def bayes_accuracy_estimate(self, num_samples: int = 20_000) -> float:
+        """Monte-Carlo estimate of the best achievable accuracy.
+
+        Useful for calibrating expectations: no classifier can beat
+        ``E[max(p_false, 1 - p_false)]`` on this generative process.
+        """
+        rng = np.random.default_rng((self.seed, 202))
+        total = 0.0
+        for _ in range(num_samples):
+            device = self.devices[int(rng.integers(0, len(self.devices)))]
+            alarm_type = _ALARM_TYPES[int(rng.choice(len(_ALARM_TYPES), p=_ALARM_TYPE_WEIGHTS))]
+            hour = int(rng.integers(0, 24))
+            dow = int(rng.integers(0, 7))
+            p = float(_sigmoid(np.array([self.false_logit(device, alarm_type, hour, dow)]))[0])
+            total += max(p, 1.0 - p)
+        return total / num_samples

@@ -1,0 +1,96 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause, while
+still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this package."""
+
+
+class StreamingError(ReproError):
+    """Base class for errors raised by the streaming substrate."""
+
+
+class UnknownTopicError(StreamingError):
+    """A producer or consumer referenced a topic that does not exist."""
+
+
+class UnknownPartitionError(StreamingError):
+    """A partition index was out of range for its topic."""
+
+
+class OffsetOutOfRangeError(StreamingError):
+    """A consumer requested an offset outside the partition log."""
+
+
+class SerializationError(StreamingError):
+    """A record could not be serialized or deserialized."""
+
+
+class ProducerClosedError(StreamingError):
+    """An operation was attempted on a closed producer."""
+
+
+class ConsumerClosedError(StreamingError):
+    """An operation was attempted on a closed consumer."""
+
+
+class RebalanceError(StreamingError):
+    """A consumer-group rebalance could not be completed."""
+
+
+class StorageError(ReproError):
+    """Base class for errors raised by the document store."""
+
+
+class DuplicateKeyError(StorageError):
+    """An insert would violate a unique index."""
+
+
+class QueryError(StorageError):
+    """A filter document or aggregation pipeline was malformed."""
+
+
+class IndexError_(StorageError):
+    """An index definition was invalid or refers to a missing index."""
+
+
+class PersistenceError(StorageError):
+    """The store could not be saved to or loaded from disk."""
+
+
+class MLError(ReproError):
+    """Base class for errors raised by the machine-learning subsystem."""
+
+
+class NotFittedError(MLError):
+    """``predict`` was called before ``fit``."""
+
+
+class DimensionMismatchError(MLError):
+    """Input arrays had inconsistent shapes."""
+
+
+class ConvergenceWarning(UserWarning):
+    """An iterative solver stopped before reaching its tolerance."""
+
+
+class TextError(ReproError):
+    """Base class for errors raised by the text-analytics subsystem."""
+
+
+class LanguageDetectionError(TextError):
+    """No language profile matched the input text."""
+
+
+class DatasetError(ReproError):
+    """Base class for errors raised by the dataset generators."""
+
+
+class ConfigurationError(ReproError):
+    """A component received an invalid configuration value."""

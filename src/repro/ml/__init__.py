@@ -1,0 +1,92 @@
+"""Machine-learning subsystem: the four paper algorithms plus tooling.
+
+Models (all pure numpy, same fit/predict/predict_proba contract):
+
+* :class:`~repro.ml.forest.RandomForestClassifier` (paper Table 3)
+* :class:`~repro.ml.linear.LinearSVC` (paper Table 4)
+* :class:`~repro.ml.linear.LogisticRegression` (paper Table 5)
+* :class:`~repro.ml.network.NeuralNetworkClassifier` (paper Tables 6-7)
+* :class:`~repro.ml.tree.DecisionTreeClassifier` (forest building block)
+
+Tooling: encoders, metrics, train/test split + grid search, Pearson feature
+screening, and :class:`~repro.ml.pipeline.FeaturePipeline` for end-to-end
+record-dict training.
+"""
+
+from repro.ml.adaptive import AdaptiveModelSelector
+from repro.ml.base import BaseClassifier, check_X, check_Xy
+from repro.ml.calibration import (
+    CalibrationBin,
+    brier_score,
+    confidence_histogram,
+    expected_calibration_error,
+    reliability_curve,
+)
+from repro.ml.ensemble import MajorityVoteClassifier
+from repro.ml.correlation import (
+    correlation_matrix,
+    feature_label_correlations,
+    pearson_correlation,
+    select_features_by_correlation,
+)
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.linear import LinearSVC, LogisticRegression, softmax
+from repro.ml.metrics import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    error_rate_reduction,
+    log_loss,
+    precision_recall_f1,
+    roc_auc_score,
+)
+from repro.ml.network import NeuralNetworkClassifier
+from repro.ml.pipeline import FeaturePipeline
+from repro.ml.preprocessing import (
+    HashingEncoder,
+    LabelIndexer,
+    OneHotEncoder,
+    StandardScaler,
+)
+from repro.ml.selection import GridSearch, GridSearchResult, KFold, train_test_split
+from repro.ml.tree import DecisionTreeClassifier, TreeNode
+
+__all__ = [
+    "AdaptiveModelSelector",
+    "MajorityVoteClassifier",
+    "CalibrationBin",
+    "brier_score",
+    "confidence_histogram",
+    "expected_calibration_error",
+    "reliability_curve",
+    "BaseClassifier",
+    "check_X",
+    "check_Xy",
+    "correlation_matrix",
+    "feature_label_correlations",
+    "pearson_correlation",
+    "select_features_by_correlation",
+    "RandomForestClassifier",
+    "LinearSVC",
+    "LogisticRegression",
+    "softmax",
+    "accuracy_score",
+    "classification_report",
+    "confusion_matrix",
+    "error_rate_reduction",
+    "log_loss",
+    "precision_recall_f1",
+    "roc_auc_score",
+    "NeuralNetworkClassifier",
+    "FeaturePipeline",
+    "HashingEncoder",
+    "LabelIndexer",
+    "OneHotEncoder",
+    "StandardScaler",
+    "GridSearch",
+    "GridSearchResult",
+    "KFold",
+    "train_test_split",
+    "DecisionTreeClassifier",
+    "TreeNode",
+]

@@ -1,0 +1,117 @@
+"""Run-time adaptive classifier selection.
+
+Section 2.4 cites Meng & Kwok's adaptive false-alarm filter and notes:
+*"this could be an interesting path for future work in our system, as we
+have already implemented 4 machine learning pipelines, therefore we would
+only require the logic to adaptively choose among these at run-time."*
+
+:class:`AdaptiveModelSelector` is that logic: it serves predictions from
+the currently-active model and, as verified ground-truth labels trickle in
+(e.g. the customer's confirmations from My Security Center), keeps a
+rolling accuracy estimate per model.  When the active model's rolling
+accuracy falls below the best alternative by more than ``switch_margin``,
+the selector switches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ml.base import BaseClassifier
+
+__all__ = ["AdaptiveModelSelector"]
+
+
+class AdaptiveModelSelector:
+    """Chooses among fitted models based on rolling observed accuracy.
+
+    Parameters
+    ----------
+    models:
+        Mapping of name -> fitted classifier.
+    window:
+        Number of most recent feedback observations per model used for the
+        rolling accuracy.
+    switch_margin:
+        Minimum rolling-accuracy advantage an alternative needs before the
+        selector switches (hysteresis against oscillation).
+    min_observations:
+        Feedback observations required per model before it can win a switch.
+    """
+
+    def __init__(self, models: Mapping[str, BaseClassifier], window: int = 200,
+                 switch_margin: float = 0.02, min_observations: int = 20) -> None:
+        if not models:
+            raise ConfigurationError("need at least one model")
+        if window < 1 or min_observations < 1:
+            raise ConfigurationError("window and min_observations must be >= 1")
+        if switch_margin < 0:
+            raise ConfigurationError("switch_margin must be >= 0")
+        self.models = dict(models)
+        self.window = window
+        self.switch_margin = switch_margin
+        self.min_observations = min_observations
+        self.active = next(iter(self.models))
+        self._outcomes: dict[str, deque[bool]] = {
+            name: deque(maxlen=window) for name in self.models
+        }
+        self.switches: list[tuple[str, str]] = []
+
+    # -- serving -----------------------------------------------------------------
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predict with the currently-active model."""
+        return self.models[self.active].predict(X)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Probabilities from the currently-active model."""
+        return self.models[self.active].predict_proba(X)
+
+    # -- feedback ----------------------------------------------------------------
+
+    def record_feedback(self, X: np.ndarray, y_true: Sequence[int]) -> str:
+        """Score *every* model on the verified batch and maybe switch.
+
+        All models are evaluated shadow-mode on the same feedback so their
+        rolling accuracies stay comparable.  Returns the name of the model
+        active after the update.
+        """
+        y_arr = np.asarray(y_true)
+        for name, model in self.models.items():
+            predictions = model.predict(X)
+            for correct in predictions == y_arr:
+                self._outcomes[name].append(bool(correct))
+        self._maybe_switch()
+        return self.active
+
+    def rolling_accuracy(self, name: str) -> float | None:
+        """Rolling accuracy of ``name`` (None until it has feedback)."""
+        outcomes = self._outcomes[name]
+        if not outcomes:
+            return None
+        return sum(outcomes) / len(outcomes)
+
+    def accuracies(self) -> dict[str, float | None]:
+        """Rolling accuracies of all models."""
+        return {name: self.rolling_accuracy(name) for name in self.models}
+
+    def _maybe_switch(self) -> None:
+        current = self.rolling_accuracy(self.active)
+        if current is None:
+            return
+        best_name, best_accuracy = self.active, current
+        for name in self.models:
+            if name == self.active:
+                continue
+            if len(self._outcomes[name]) < self.min_observations:
+                continue
+            accuracy = self.rolling_accuracy(name)
+            if accuracy is not None and accuracy > best_accuracy:
+                best_name, best_accuracy = name, accuracy
+        if best_name != self.active and best_accuracy >= current + self.switch_margin:
+            self.switches.append((self.active, best_name))
+            self.active = best_name

@@ -1,0 +1,105 @@
+"""Shared classifier interface and input validation.
+
+Every model in :mod:`repro.ml` implements the same contract:
+
+* ``fit(X, y) -> self`` — train on a float matrix ``X`` (n_samples,
+  n_features) and integer labels ``y`` in ``[0, n_classes)``;
+* ``predict(X) -> labels``;
+* ``predict_proba(X) -> (n_samples, n_classes)`` row-stochastic matrix.
+
+The paper stresses (Section 6.1, "provide probability of verification") that
+the class probability matters as much as the class itself for the human
+operators, so ``predict_proba`` is a first-class part of the interface, not
+an afterthought.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, NotFittedError
+
+__all__ = ["BaseClassifier", "check_Xy", "check_X", "check_fitted"]
+
+
+def check_X(X: Any) -> np.ndarray:
+    """Coerce ``X`` to a 2-D float64 array; reject empties and bad shapes."""
+    arr = np.asarray(X, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    if arr.ndim != 2:
+        raise DimensionMismatchError(f"X must be 2-D, got shape {arr.shape}")
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise DimensionMismatchError(f"X must be non-empty, got shape {arr.shape}")
+    if not np.isfinite(arr).all():
+        raise DimensionMismatchError("X contains NaN or infinite values")
+    return arr
+
+
+def check_Xy(X: Any, y: Any) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a training pair: shapes agree, labels are 0..k-1 integers."""
+    X_arr = check_X(X)
+    y_arr = np.asarray(y)
+    if y_arr.ndim != 1:
+        raise DimensionMismatchError(f"y must be 1-D, got shape {y_arr.shape}")
+    if y_arr.shape[0] != X_arr.shape[0]:
+        raise DimensionMismatchError(
+            f"X has {X_arr.shape[0]} rows but y has {y_arr.shape[0]}"
+        )
+    if not np.issubdtype(y_arr.dtype, np.integer):
+        rounded = np.rint(np.asarray(y_arr, dtype=np.float64))
+        if not np.array_equal(rounded, np.asarray(y_arr, dtype=np.float64)):
+            raise DimensionMismatchError("y must contain integer class labels")
+        y_arr = rounded.astype(np.int64)
+    else:
+        y_arr = y_arr.astype(np.int64)
+    if y_arr.min() < 0:
+        raise DimensionMismatchError("class labels must be >= 0")
+    return X_arr, y_arr
+
+
+def check_fitted(model: Any, attribute: str = "n_classes_") -> None:
+    """Raise :class:`NotFittedError` unless ``model`` has ``attribute`` set."""
+    if getattr(model, attribute, None) is None:
+        raise NotFittedError(
+            f"{type(model).__name__} must be fitted before this operation"
+        )
+
+
+class BaseClassifier:
+    """Mixin with the derived behaviour shared by every classifier."""
+
+    n_classes_: int | None = None
+    n_features_: int | None = None
+
+    def predict_proba(self, X: Any) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def predict(self, X: Any) -> np.ndarray:
+        """Most-probable class per row of ``X``."""
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    def score(self, X: Any, y: Any) -> float:
+        """Mean accuracy of ``predict(X)`` against ``y``."""
+        X_arr, y_arr = check_Xy(X, y)
+        return float(np.mean(self.predict(X_arr) == y_arr))
+
+    def _check_predict_input(self, X: Any) -> np.ndarray:
+        check_fitted(self)
+        X_arr = check_X(X)
+        if self.n_features_ is not None and X_arr.shape[1] != self.n_features_:
+            raise DimensionMismatchError(
+                f"model was fitted with {self.n_features_} features, "
+                f"got {X_arr.shape[1]}"
+            )
+        return X_arr
+
+    def get_params(self) -> dict[str, Any]:
+        """Constructor parameters (anything not ending in ``_``), for grid search."""
+        return {
+            name: value
+            for name, value in vars(self).items()
+            if not name.endswith("_") and not name.startswith("_")
+        }

@@ -1,0 +1,129 @@
+"""Probability-calibration diagnostics.
+
+The paper's decision-support framing (Section 6.1) makes the *confidence*
+of a verification as important as the class: ARC operators act on the
+probability.  A probability is only actionable if it is calibrated — among
+alarms scored "90% false", about 90% should actually be false.
+
+This module provides the standard diagnostics:
+
+* :func:`brier_score` — mean squared error of the probability;
+* :func:`reliability_curve` — per-confidence-bin mean predicted
+  probability vs observed frequency;
+* :func:`expected_calibration_error` — the weighted gap between those two;
+* :func:`confidence_histogram` — how decisive the model is overall.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionMismatchError
+
+__all__ = [
+    "brier_score",
+    "CalibrationBin",
+    "reliability_curve",
+    "expected_calibration_error",
+    "confidence_histogram",
+]
+
+
+def _validate(y_true, proba) -> tuple[np.ndarray, np.ndarray]:
+    y_arr = np.asarray(y_true).ravel().astype(np.float64)
+    p_arr = np.asarray(proba, dtype=np.float64).ravel()
+    if y_arr.shape != p_arr.shape:
+        raise DimensionMismatchError("y_true and proba must have equal length")
+    if y_arr.size == 0:
+        raise DimensionMismatchError("need at least one sample")
+    if ((p_arr < 0) | (p_arr > 1)).any():
+        raise DimensionMismatchError("probabilities must lie in [0, 1]")
+    if not np.isin(y_arr, (0.0, 1.0)).all():
+        raise DimensionMismatchError("y_true must be binary 0/1")
+    return y_arr, p_arr
+
+
+def brier_score(y_true, proba) -> float:
+    """Mean squared error of the positive-class probability (lower better)."""
+    y_arr, p_arr = _validate(y_true, proba)
+    return float(np.mean((p_arr - y_arr) ** 2))
+
+
+@dataclass(frozen=True)
+class CalibrationBin:
+    """One reliability-curve bin."""
+
+    lower: float
+    upper: float
+    count: int
+    mean_predicted: float
+    observed_frequency: float
+
+    @property
+    def gap(self) -> float:
+        """|predicted - observed| inside the bin."""
+        return abs(self.mean_predicted - self.observed_frequency)
+
+
+def reliability_curve(y_true, proba, n_bins: int = 10) -> list[CalibrationBin]:
+    """Equal-width reliability bins over predicted probability.
+
+    Empty bins are omitted.  A perfectly calibrated model has
+    ``mean_predicted == observed_frequency`` in every bin.
+    """
+    if n_bins < 1:
+        raise ConfigurationError(f"n_bins must be >= 1, got {n_bins}")
+    y_arr, p_arr = _validate(y_true, proba)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bins: list[CalibrationBin] = []
+    for i in range(n_bins):
+        lower, upper = float(edges[i]), float(edges[i + 1])
+        if i + 1 == n_bins:
+            mask = (p_arr >= lower) & (p_arr <= upper)
+        else:
+            mask = (p_arr >= lower) & (p_arr < upper)
+        if not mask.any():
+            continue
+        bins.append(CalibrationBin(
+            lower=lower,
+            upper=upper,
+            count=int(mask.sum()),
+            mean_predicted=float(p_arr[mask].mean()),
+            observed_frequency=float(y_arr[mask].mean()),
+        ))
+    return bins
+
+
+def expected_calibration_error(y_true, proba, n_bins: int = 10) -> float:
+    """ECE: count-weighted mean |predicted - observed| over the bins."""
+    bins = reliability_curve(y_true, proba, n_bins=n_bins)
+    total = sum(b.count for b in bins)
+    if total == 0:
+        return 0.0
+    return float(sum(b.count * b.gap for b in bins) / total)
+
+
+def confidence_histogram(proba, n_bins: int = 5) -> dict[str, int]:
+    """Counts of predictions per confidence band (max class probability).
+
+    Operators triage on confidence; this shows how often the model is
+    actually decisive vs on the fence.
+    """
+    if n_bins < 1:
+        raise ConfigurationError(f"n_bins must be >= 1, got {n_bins}")
+    p_arr = np.asarray(proba, dtype=np.float64).ravel()
+    if ((p_arr < 0) | (p_arr > 1)).any():
+        raise DimensionMismatchError("probabilities must lie in [0, 1]")
+    confidence = np.maximum(p_arr, 1.0 - p_arr)
+    edges = np.linspace(0.5, 1.0, n_bins + 1)
+    out: dict[str, int] = {}
+    for i in range(n_bins):
+        lower, upper = edges[i], edges[i + 1]
+        if i + 1 == n_bins:
+            mask = (confidence >= lower) & (confidence <= upper)
+        else:
+            mask = (confidence >= lower) & (confidence < upper)
+        out[f"[{lower:.2f},{upper:.2f})"] = int(mask.sum())
+    return out

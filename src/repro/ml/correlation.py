@@ -1,0 +1,89 @@
+"""Pearson-correlation feature analysis.
+
+The paper selects features by computing Pearson correlation between
+candidate features and labels, and among features, "inspired by [Rettig et
+al., IEEE Big Data 2015]" (Section 5.3).  These helpers reproduce that
+analysis: a per-feature correlation-with-label ranking and a full
+feature-feature correlation matrix for redundancy detection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError
+
+__all__ = [
+    "pearson_correlation",
+    "feature_label_correlations",
+    "correlation_matrix",
+    "select_features_by_correlation",
+]
+
+
+def pearson_correlation(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson's r between two equal-length vectors.
+
+    Returns 0.0 when either vector is constant (undefined correlation), a
+    pragmatic convention for automated feature screening.
+    """
+    x = np.asarray(x, dtype=np.float64).ravel()
+    y = np.asarray(y, dtype=np.float64).ravel()
+    if x.shape != y.shape:
+        raise DimensionMismatchError("x and y must have the same length")
+    if x.size < 2:
+        raise DimensionMismatchError("need at least 2 samples")
+    x_centered = x - x.mean()
+    y_centered = y - y.mean()
+    denominator = np.sqrt((x_centered**2).sum() * (y_centered**2).sum())
+    if denominator == 0.0:
+        return 0.0
+    return float(np.clip((x_centered * y_centered).sum() / denominator, -1.0, 1.0))
+
+
+def feature_label_correlations(X: np.ndarray, y: np.ndarray) -> np.ndarray:
+    """|Pearson r| of each feature column against the label vector."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise DimensionMismatchError(f"X must be 2-D, got shape {X.shape}")
+    return np.array([
+        abs(pearson_correlation(X[:, j], y)) for j in range(X.shape[1])
+    ])
+
+
+def correlation_matrix(X: np.ndarray) -> np.ndarray:
+    """Symmetric feature-feature Pearson matrix with unit diagonal."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise DimensionMismatchError(f"X must be 2-D, got shape {X.shape}")
+    n_features = X.shape[1]
+    matrix = np.eye(n_features)
+    for i in range(n_features):
+        for j in range(i + 1, n_features):
+            r = pearson_correlation(X[:, i], X[:, j])
+            matrix[i, j] = matrix[j, i] = r
+    return matrix
+
+
+def select_features_by_correlation(X: np.ndarray, y: np.ndarray,
+                                   min_label_correlation: float = 0.01,
+                                   max_feature_correlation: float = 0.95) -> list[int]:
+    """Greedy correlation-based feature selection (the paper's screening step).
+
+    Keeps features whose |r| with the label is at least
+    ``min_label_correlation``, visiting them in decreasing label correlation
+    and dropping any candidate correlated above ``max_feature_correlation``
+    with an already-kept feature (redundancy pruning).
+    Returns selected column indexes, ordered by label correlation.
+    """
+    label_corr = feature_label_correlations(X, y)
+    candidates = [j for j in np.argsort(-label_corr) if label_corr[j] >= min_label_correlation]
+    selected: list[int] = []
+    for j in candidates:
+        redundant = any(
+            abs(pearson_correlation(X[:, j], X[:, kept])) > max_feature_correlation
+            for kept in selected
+        )
+        if not redundant:
+            selected.append(int(j))
+    return selected

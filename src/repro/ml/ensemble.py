@@ -1,0 +1,105 @@
+"""Classifier ensembles across the four paper algorithms.
+
+Section 2.4 of the paper sketches two extensions it leaves as future work:
+
+* *"a majority vote among the different classifiers, providing the overall
+  verification and probability as an aggregate of the information provided
+  by all 4 classifiers"* — :class:`MajorityVoteClassifier`;
+* adaptive selection of the best current algorithm — implemented in
+  :mod:`repro.ml.adaptive`.
+
+The ensemble treats members as already following the
+:mod:`repro.ml.base` contract and supports both hard voting (majority of
+predicted classes; aggregate probability = vote share) and soft voting
+(average of member probabilities).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ml.base import BaseClassifier, check_Xy
+
+__all__ = ["MajorityVoteClassifier"]
+
+
+class MajorityVoteClassifier(BaseClassifier):
+    """Vote across heterogeneous classifiers.
+
+    Parameters
+    ----------
+    members:
+        Unfitted classifiers (fitted jointly by :meth:`fit`) — typically
+        one of each paper algorithm.
+    voting:
+        ``"soft"`` (default): average member probabilities.
+        ``"hard"``: majority of member class votes; the aggregate
+        probability of a class is its vote share.
+    weights:
+        Optional per-member weights (e.g. from validation accuracy).
+    """
+
+    def __init__(self, members: Sequence[BaseClassifier], voting: str = "soft",
+                 weights: Sequence[float] | None = None) -> None:
+        if not members:
+            raise ConfigurationError("ensemble needs at least one member")
+        if voting not in ("soft", "hard"):
+            raise ConfigurationError(f"voting must be soft|hard, got {voting!r}")
+        if weights is not None:
+            if len(weights) != len(members):
+                raise ConfigurationError(
+                    f"{len(weights)} weights for {len(members)} members"
+                )
+            if any(w < 0 for w in weights) or sum(weights) == 0:
+                raise ConfigurationError("weights must be non-negative, not all zero")
+        self.members = list(members)
+        self.voting = voting
+        self.weights = list(weights) if weights is not None else [1.0] * len(members)
+        self.n_classes_: int | None = None
+        self.n_features_: int | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MajorityVoteClassifier":
+        """Fit every member on the same data."""
+        X, y = check_Xy(X, y)
+        self.n_classes_ = int(y.max()) + 1
+        self.n_features_ = X.shape[1]
+        for member in self.members:
+            member.fit(X, y)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Aggregate probabilities per the voting mode."""
+        X = self._check_predict_input(X)
+        assert self.n_classes_ is not None
+        total_weight = float(sum(self.weights))
+        if self.voting == "soft":
+            aggregate = np.zeros((X.shape[0], self.n_classes_), dtype=np.float64)
+            for weight, member in zip(self.weights, self.members):
+                proba = member.predict_proba(X)
+                if proba.shape[1] < self.n_classes_:
+                    padded = np.zeros((X.shape[0], self.n_classes_))
+                    padded[:, : proba.shape[1]] = proba
+                    proba = padded
+                aggregate += weight * proba
+            return aggregate / total_weight
+        votes = np.zeros((X.shape[0], self.n_classes_), dtype=np.float64)
+        for weight, member in zip(self.weights, self.members):
+            predicted = member.predict(X)
+            votes[np.arange(X.shape[0]), predicted] += weight
+        return votes / total_weight
+
+    def member_agreement(self, X: np.ndarray) -> np.ndarray:
+        """Fraction of members agreeing with the ensemble, per row.
+
+        Low agreement flags alarms where the four algorithms disagree —
+        exactly the cases a human ARC operator should look at first.
+        """
+        X = self._check_predict_input(X)
+        ensemble_pred = self.predict(X)
+        agreements = np.zeros(X.shape[0], dtype=np.float64)
+        for member in self.members:
+            agreements += member.predict(X) == ensemble_pred
+        return agreements / len(self.members)

@@ -1,0 +1,203 @@
+"""Linear classifiers: logistic regression and a linear SVM.
+
+Both models follow the paper's Spark-ML configurations:
+
+* :class:`LogisticRegression` — full-batch gradient descent with a maximum
+  iteration count and a convergence tolerance (Table 5: 500 iterations,
+  tol 1e-6).  Multinomial softmax, so it handles 2+ classes uniformly.
+* :class:`LinearSVC` — hinge loss trained by mini-batch SGD with a step
+  size, mini-batch fraction and squared-L2 regularized updates (Table 4:
+  2000 iterations, step 1.0, mini-batch fraction 0.2, reg 1e-2, linear
+  kernel, squared-L2 update), matching Spark MLlib's ``SVMWithSGD``.
+
+The SVM's ``predict_proba`` passes margins through a logistic link fitted on
+the training margins (Platt-style calibration), because the verification
+service must expose confidence for every model (Section 6.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ml.base import BaseClassifier, check_Xy
+
+__all__ = ["LogisticRegression", "LinearSVC", "softmax"]
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise numerically-stable softmax."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class LogisticRegression(BaseClassifier):
+    """Multinomial logistic regression trained by gradient descent.
+
+    Parameters
+    ----------
+    max_iter:
+        Maximum gradient steps (paper Table 5: 500).
+    tol:
+        Convergence tolerance on the gradient norm (paper Table 5: 1e-6).
+    learning_rate:
+        Step size for plain gradient descent.
+    reg_param:
+        L2 regularization strength (0 disables).
+    """
+
+    def __init__(self, max_iter: int = 500, tol: float = 1e-6,
+                 learning_rate: float = 0.5, reg_param: float = 0.0) -> None:
+        if max_iter < 1:
+            raise ConfigurationError(f"max_iter must be >= 1, got {max_iter}")
+        if tol < 0 or learning_rate <= 0 or reg_param < 0:
+            raise ConfigurationError("tol/reg_param must be >= 0 and learning_rate > 0")
+        self.max_iter = max_iter
+        self.tol = tol
+        self.learning_rate = learning_rate
+        self.reg_param = reg_param
+        self.coef_: np.ndarray | None = None
+        self.intercept_: np.ndarray | None = None
+        self.n_iter_: int | None = None
+        self.n_classes_: int | None = None
+        self.n_features_: int | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        """Minimize cross-entropy until ``tol`` or ``max_iter``."""
+        X, y = check_Xy(X, y)
+        n_samples, n_features = X.shape
+        self.n_classes_ = max(int(y.max()) + 1, 2)
+        self.n_features_ = n_features
+
+        onehot = np.zeros((n_samples, self.n_classes_), dtype=np.float64)
+        onehot[np.arange(n_samples), y] = 1.0
+        weights = np.zeros((n_features, self.n_classes_), dtype=np.float64)
+        bias = np.zeros(self.n_classes_, dtype=np.float64)
+
+        self.n_iter_ = 0
+        for _ in range(self.max_iter):
+            proba = softmax(X @ weights + bias)
+            residual = (proba - onehot) / n_samples
+            grad_w = X.T @ residual + self.reg_param * weights
+            grad_b = residual.sum(axis=0)
+            weights -= self.learning_rate * grad_w
+            bias -= self.learning_rate * grad_b
+            self.n_iter_ += 1
+            gradient_norm = float(np.sqrt((grad_w**2).sum() + (grad_b**2).sum()))
+            if gradient_norm < self.tol:
+                break
+
+        self.coef_ = weights
+        self.intercept_ = bias
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Softmax class probabilities."""
+        X = self._check_predict_input(X)
+        assert self.coef_ is not None and self.intercept_ is not None
+        return softmax(X @ self.coef_ + self.intercept_)
+
+
+class LinearSVC(BaseClassifier):
+    """Binary linear SVM trained with mini-batch SGD on the hinge loss.
+
+    Follows Spark MLlib's ``SVMWithSGD`` update: each step samples a
+    mini-batch fraction of the data, computes the hinge sub-gradient, adds
+    the squared-L2 regularization gradient, and steps with
+    ``step_size / sqrt(t)``.
+
+    Labels must be binary (0/1); internally they map to -1/+1.
+    """
+
+    def __init__(self, max_iter: int = 2000, step_size: float = 1.0,
+                 mini_batch_fraction: float = 0.2, reg_param: float = 1e-2,
+                 random_state: int | None = None) -> None:
+        if max_iter < 1:
+            raise ConfigurationError(f"max_iter must be >= 1, got {max_iter}")
+        if not 0 < mini_batch_fraction <= 1:
+            raise ConfigurationError(
+                f"mini_batch_fraction must be in (0, 1], got {mini_batch_fraction}"
+            )
+        if step_size <= 0 or reg_param < 0:
+            raise ConfigurationError("step_size must be > 0 and reg_param >= 0")
+        self.max_iter = max_iter
+        self.step_size = step_size
+        self.mini_batch_fraction = mini_batch_fraction
+        self.reg_param = reg_param
+        self.random_state = random_state
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float | None = None
+        self.n_classes_: int | None = None
+        self.n_features_: int | None = None
+        self._calibration: tuple[float, float] | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSVC":
+        """Run mini-batch SGD on the regularized hinge objective."""
+        X, y = check_Xy(X, y)
+        if y.max() > 1:
+            raise ConfigurationError("LinearSVC supports binary labels (0/1) only")
+        n_samples, n_features = X.shape
+        self.n_classes_ = 2
+        self.n_features_ = n_features
+        signs = np.where(y == 1, 1.0, -1.0)
+        rng = np.random.default_rng(self.random_state)
+
+        weights = np.zeros(n_features, dtype=np.float64)
+        bias = 0.0
+        batch_size = max(1, int(round(self.mini_batch_fraction * n_samples)))
+
+        for t in range(1, self.max_iter + 1):
+            batch = rng.integers(0, n_samples, size=batch_size)
+            Xb, sb = X[batch], signs[batch]
+            margins = sb * (Xb @ weights + bias)
+            violating = margins < 1.0
+            if violating.any():
+                grad_w = -(sb[violating, None] * Xb[violating]).sum(axis=0) / batch_size
+                grad_b = -sb[violating].sum() / batch_size
+            else:
+                grad_w = np.zeros(n_features)
+                grad_b = 0.0
+            grad_w += self.reg_param * weights  # squared-L2 update
+            step = self.step_size / np.sqrt(t)
+            weights -= step * grad_w
+            bias -= step * grad_b
+
+        self.coef_ = weights
+        self.intercept_ = float(bias)
+        self._fit_calibration(X, signs)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Signed margin per row (positive means class 1)."""
+        X = self._check_predict_input(X)
+        assert self.coef_ is not None and self.intercept_ is not None
+        return X @ self.coef_ + self.intercept_
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Class labels from the margin sign."""
+        return (self.decision_function(X) >= 0).astype(np.int64)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Platt-calibrated probabilities from the margin."""
+        margins = self.decision_function(X)
+        assert self._calibration is not None
+        a, b = self._calibration
+        p1 = 1.0 / (1.0 + np.exp(np.clip(-(a * margins + b), -500, 500)))
+        return np.column_stack([1.0 - p1, p1])
+
+    def _fit_calibration(self, X: np.ndarray, signs: np.ndarray) -> None:
+        """Fit sigmoid ``P(y=1 | margin)`` on training margins (Platt scaling)."""
+        margins = X @ self.coef_ + self.intercept_
+        targets = (signs > 0).astype(np.float64)
+        a, b = 1.0, 0.0
+        for _ in range(100):
+            z = np.clip(a * margins + b, -500, 500)
+            p = 1.0 / (1.0 + np.exp(-z))
+            grad_a = float(np.mean((p - targets) * margins))
+            grad_b = float(np.mean(p - targets))
+            a -= 0.1 * grad_a
+            b -= 0.1 * grad_b
+            if abs(grad_a) < 1e-8 and abs(grad_b) < 1e-8:
+                break
+        self._calibration = (a, b)

@@ -1,0 +1,185 @@
+"""Feed-forward neural network classifier (the paper's DNN).
+
+Implements the Table 6/7 configuration: fully-connected ReLU hidden layers,
+softmax output, cross-entropy loss, mini-batch training and Nesterov
+momentum.  The paper's architecture for the one-hot encoded Sitasys data was
+803 → 50 → 2 → 2 (softmax); the layer sizes here are a constructor argument
+so the same class covers all three datasets.
+
+He-initialized weights, an optional early-stopping tolerance on the epoch
+loss, and a held-out-free design (the paper tunes via grid search over
+hyperparameters with a train/test split handled by the caller).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.ml.base import BaseClassifier, check_Xy
+from repro.ml.linear import softmax
+
+__all__ = ["NeuralNetworkClassifier"]
+
+
+class NeuralNetworkClassifier(BaseClassifier):
+    """Multi-layer perceptron with ReLU hidden layers and softmax output.
+
+    Parameters
+    ----------
+    hidden_layers:
+        Sizes of the hidden layers (paper Table 7: ``(50, 2)``).
+    max_epochs:
+        Upper bound on training epochs (paper Table 6: 10,000; practical
+        values are far smaller on synthetic data).
+    batch_size:
+        Mini-batch size (paper Table 6: 200).
+    learning_rate / momentum:
+        Nesterov-momentum hyperparameters (paper Table 6: 0.1 / 0.9).
+    tol / patience:
+        Early stopping: stop when the epoch loss improves by less than
+        ``tol`` for ``patience`` consecutive epochs.  ``tol=0`` disables.
+    random_state:
+        Seed for weight init and batch shuffling.
+    """
+
+    def __init__(self, hidden_layers: tuple[int, ...] = (50, 2),
+                 max_epochs: int = 200, batch_size: int = 200,
+                 learning_rate: float = 0.1, momentum: float = 0.9,
+                 tol: float = 1e-5, patience: int = 5,
+                 random_state: int | None = None) -> None:
+        if not hidden_layers or any(h < 1 for h in hidden_layers):
+            raise ConfigurationError(f"hidden_layers must be positive, got {hidden_layers}")
+        if max_epochs < 1 or batch_size < 1:
+            raise ConfigurationError("max_epochs and batch_size must be >= 1")
+        if learning_rate <= 0 or not 0 <= momentum < 1:
+            raise ConfigurationError("learning_rate > 0 and momentum in [0, 1) required")
+        self.hidden_layers = tuple(hidden_layers)
+        self.max_epochs = max_epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.tol = tol
+        self.patience = patience
+        self.random_state = random_state
+        self.weights_: list[np.ndarray] | None = None
+        self.biases_: list[np.ndarray] | None = None
+        self.loss_curve_: list[float] | None = None
+        self.n_epochs_: int | None = None
+        self.n_classes_: int | None = None
+        self.n_features_: int | None = None
+
+    # -- training ----------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "NeuralNetworkClassifier":
+        """Train with mini-batch Nesterov-momentum SGD on cross-entropy."""
+        X, y = check_Xy(X, y)
+        n_samples, n_features = X.shape
+        self.n_classes_ = max(int(y.max()) + 1, 2)
+        self.n_features_ = n_features
+        rng = np.random.default_rng(self.random_state)
+
+        sizes = [n_features, *self.hidden_layers, self.n_classes_]
+        weights = [
+            rng.normal(0.0, np.sqrt(2.0 / sizes[i]), size=(sizes[i], sizes[i + 1]))
+            for i in range(len(sizes) - 1)
+        ]
+        biases = [np.zeros(sizes[i + 1]) for i in range(len(sizes) - 1)]
+        velocity_w = [np.zeros_like(w) for w in weights]
+        velocity_b = [np.zeros_like(b) for b in biases]
+
+        onehot = np.zeros((n_samples, self.n_classes_), dtype=np.float64)
+        onehot[np.arange(n_samples), y] = 1.0
+
+        self.loss_curve_ = []
+        stall = 0
+        best_loss = np.inf
+        for epoch in range(self.max_epochs):
+            order = rng.permutation(n_samples)
+            epoch_loss = 0.0
+            for start in range(0, n_samples, self.batch_size):
+                batch = order[start : start + self.batch_size]
+                Xb, Tb = X[batch], onehot[batch]
+                # Nesterov: evaluate the gradient at the look-ahead point.
+                ahead_w = [w + self.momentum * v for w, v in zip(weights, velocity_w)]
+                ahead_b = [b + self.momentum * v for b, v in zip(biases, velocity_b)]
+                activations, pre_activations = self._forward(Xb, ahead_w, ahead_b)
+                proba = activations[-1]
+                batch_loss = -np.sum(Tb * np.log(np.clip(proba, 1e-12, 1.0)))
+                epoch_loss += float(batch_loss)
+                grads_w, grads_b = self._backward(
+                    Xb, Tb, activations, pre_activations, ahead_w
+                )
+                for layer in range(len(weights)):
+                    velocity_w[layer] = (
+                        self.momentum * velocity_w[layer]
+                        - self.learning_rate * grads_w[layer]
+                    )
+                    velocity_b[layer] = (
+                        self.momentum * velocity_b[layer]
+                        - self.learning_rate * grads_b[layer]
+                    )
+                    weights[layer] += velocity_w[layer]
+                    biases[layer] += velocity_b[layer]
+            epoch_loss /= n_samples
+            self.loss_curve_.append(epoch_loss)
+            self.n_epochs_ = epoch + 1
+            if self.tol > 0:
+                if epoch_loss > best_loss - self.tol:
+                    stall += 1
+                    if stall >= self.patience:
+                        break
+                else:
+                    stall = 0
+                best_loss = min(best_loss, epoch_loss)
+
+        self.weights_ = weights
+        self.biases_ = biases
+        return self
+
+    @staticmethod
+    def _forward(X: np.ndarray, weights: list[np.ndarray],
+                 biases: list[np.ndarray]) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Forward pass; returns (activations incl. input, pre-activations)."""
+        activations = [X]
+        pre_activations = []
+        current = X
+        last = len(weights) - 1
+        for layer, (w, b) in enumerate(zip(weights, biases)):
+            z = current @ w + b
+            pre_activations.append(z)
+            current = softmax(z) if layer == last else np.maximum(z, 0.0)
+            activations.append(current)
+        return activations, pre_activations
+
+    def _backward(self, Xb: np.ndarray, Tb: np.ndarray,
+                  activations: list[np.ndarray], pre_activations: list[np.ndarray],
+                  weights: list[np.ndarray]) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Backpropagate cross-entropy gradients through softmax and ReLU."""
+        batch_size = Xb.shape[0]
+        n_layers = len(weights)
+        grads_w: list[np.ndarray] = [np.empty(0)] * n_layers
+        grads_b: list[np.ndarray] = [np.empty(0)] * n_layers
+        # Softmax + cross-entropy gives (p - t) at the output pre-activation.
+        delta = (activations[-1] - Tb) / batch_size
+        for layer in range(n_layers - 1, -1, -1):
+            grads_w[layer] = activations[layer].T @ delta
+            grads_b[layer] = delta.sum(axis=0)
+            if layer > 0:
+                delta = (delta @ weights[layer].T) * (pre_activations[layer - 1] > 0)
+        return grads_w, grads_b
+
+    # -- prediction ---------------------------------------------------------------
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Softmax output probabilities."""
+        X = self._check_predict_input(X)
+        assert self.weights_ is not None and self.biases_ is not None
+        activations, _ = self._forward(X, self.weights_, self.biases_)
+        return activations[-1]
+
+    def architecture(self) -> list[int]:
+        """Layer sizes including input and output (paper Table 7 format)."""
+        if self.weights_ is None:
+            return []
+        return [self.weights_[0].shape[0]] + [w.shape[1] for w in self.weights_]

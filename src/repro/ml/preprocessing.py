@@ -1,0 +1,237 @@
+"""Feature encoders: one-hot encoding, scaling, label indexing.
+
+The paper one-hot encodes categorical alarm features before the DNN
+(Section 5.3.3: ~800 input features for Sitasys after One Hot Encoding,
+~300 for the open datasets), and the same encoding feeds the linear models.
+:class:`OneHotEncoder` here fits on columns of arbitrary hashable categories
+and tolerates unseen categories at transform time (all-zero block), which is
+what a production system needs when new sensor types appear (Section 6.1,
+"design for reusability").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Sequence
+
+import numpy as np
+
+from repro.errors import DimensionMismatchError, NotFittedError
+
+__all__ = ["OneHotEncoder", "StandardScaler", "LabelIndexer", "HashingEncoder"]
+
+
+class OneHotEncoder:
+    """One-hot encodes columns of categorical values.
+
+    ``fit`` learns per-column category vocabularies; ``transform`` produces a
+    dense float matrix whose width is the sum of vocabulary sizes.  Unknown
+    categories encode as all-zeros in their column block.
+    """
+
+    def __init__(self) -> None:
+        self.categories_: list[list[Hashable]] | None = None
+        self._positions: list[dict[Hashable, int]] | None = None
+        self._offsets: list[int] | None = None
+        self.n_output_features_: int | None = None
+
+    def fit(self, rows: Sequence[Sequence[Hashable]]) -> "OneHotEncoder":
+        """Learn vocabularies from ``rows`` (sequence of equal-length tuples)."""
+        if not rows:
+            raise DimensionMismatchError("cannot fit OneHotEncoder on no rows")
+        width = len(rows[0])
+        if width == 0:
+            raise DimensionMismatchError("rows must have at least one column")
+        vocabularies: list[dict[Hashable, int]] = [{} for _ in range(width)]
+        for row in rows:
+            if len(row) != width:
+                raise DimensionMismatchError(
+                    f"inconsistent row width: expected {width}, got {len(row)}"
+                )
+            for col, value in enumerate(row):
+                if value not in vocabularies[col]:
+                    vocabularies[col][value] = len(vocabularies[col])
+        self._positions = vocabularies
+        self.categories_ = [list(vocab) for vocab in vocabularies]
+        offsets = [0]
+        for vocab in vocabularies:
+            offsets.append(offsets[-1] + len(vocab))
+        self._offsets = offsets[:-1]
+        self.n_output_features_ = offsets[-1]
+        return self
+
+    def transform(self, rows: Sequence[Sequence[Hashable]]) -> np.ndarray:
+        """Encode ``rows`` into a dense ``(len(rows), n_output_features_)`` matrix."""
+        if self._positions is None or self._offsets is None:
+            raise NotFittedError("OneHotEncoder must be fitted before transform")
+        width = len(self._positions)
+        out = np.zeros((len(rows), self.n_output_features_), dtype=np.float64)
+        for i, row in enumerate(rows):
+            if len(row) != width:
+                raise DimensionMismatchError(
+                    f"inconsistent row width: expected {width}, got {len(row)}"
+                )
+            for col, value in enumerate(row):
+                position = self._positions[col].get(value)
+                if position is not None:
+                    out[i, self._offsets[col] + position] = 1.0
+        return out
+
+    def fit_transform(self, rows: Sequence[Sequence[Hashable]]) -> np.ndarray:
+        """``fit`` then ``transform`` on the same rows."""
+        return self.fit(rows).transform(rows)
+
+    def ordinal_transform(self, rows: Sequence[Sequence[Hashable]]) -> np.ndarray:
+        """Encode each category as its vocabulary index (for tree models).
+
+        Trees split on thresholds, so a compact ordinal encoding is both
+        smaller and faster than one-hot while remaining lossless.  Unknown
+        categories map to ``-1``.
+        """
+        if self._positions is None:
+            raise NotFittedError("OneHotEncoder must be fitted before transform")
+        width = len(self._positions)
+        out = np.full((len(rows), width), -1.0, dtype=np.float64)
+        for i, row in enumerate(rows):
+            if len(row) != width:
+                raise DimensionMismatchError(
+                    f"inconsistent row width: expected {width}, got {len(row)}"
+                )
+            for col, value in enumerate(row):
+                position = self._positions[col].get(value)
+                if position is not None:
+                    out[i, col] = float(position)
+        return out
+
+
+class HashingEncoder:
+    """Stateless feature hashing for categorical columns.
+
+    The paper's production data arrived with the location "anonymized
+    (hashed) for privacy reasons" (Section 5.1.1) — the classifier never
+    sees raw ZIP codes, only stable hash buckets.  This encoder reproduces
+    that privacy-preserving representation: each column value is hashed
+    (FNV-1a, salted per column) into one of ``n_buckets`` indicator
+    positions.  No fit step and no stored vocabulary, so the original
+    values cannot be read back from the model.
+
+    Collisions are the accepted trade-off (two locations may share a
+    bucket); with buckets >> distinct values they are rare.
+    """
+
+    def __init__(self, n_buckets: int = 256) -> None:
+        if n_buckets < 2:
+            raise DimensionMismatchError(f"n_buckets must be >= 2, got {n_buckets}")
+        self.n_buckets = n_buckets
+
+    @staticmethod
+    def _fnv1a(data: bytes) -> int:
+        acc = 0xCBF29CE484222325
+        for byte in data:
+            acc = ((acc ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+        # Finalization mix (murmur-style): FNV's low bits are weak, which
+        # shows up as excess collisions under power-of-two bucket counts.
+        acc ^= acc >> 33
+        acc = (acc * 0xFF51AFD7ED558CCD) & 0xFFFFFFFFFFFFFFFF
+        acc ^= acc >> 33
+        return acc
+
+    def bucket(self, column: int, value: Hashable) -> int:
+        """Stable bucket of ``value`` in ``column``."""
+        payload = f"{column}\x1f{value!r}".encode("utf-8")
+        return self._fnv1a(payload) % self.n_buckets
+
+    def transform(self, rows: Sequence[Sequence[Hashable]]) -> np.ndarray:
+        """Encode rows into ``(len(rows), n_columns * n_buckets)`` indicators."""
+        if not rows:
+            return np.zeros((0, 0), dtype=np.float64)
+        width = len(rows[0])
+        out = np.zeros((len(rows), width * self.n_buckets), dtype=np.float64)
+        for i, row in enumerate(rows):
+            if len(row) != width:
+                raise DimensionMismatchError(
+                    f"inconsistent row width: expected {width}, got {len(row)}"
+                )
+            for col, value in enumerate(row):
+                out[i, col * self.n_buckets + self.bucket(col, value)] = 1.0
+        return out
+
+    def hash_value(self, value: Hashable, column: int = 0) -> str:
+        """Anonymized stand-in string for ``value`` (what Sitasys shipped)."""
+        return f"h{self.bucket(column, value):0{len(str(self.n_buckets))}d}"
+
+
+class StandardScaler:
+    """Standardize features to zero mean and unit variance.
+
+    Constant features (zero variance) pass through unscaled to avoid
+    division by zero.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        """Learn per-feature mean and standard deviation."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise DimensionMismatchError(f"X must be 2-D, got shape {X.shape}")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Apply the learned standardization."""
+        if self.mean_ is None or self.scale_ is None:
+            raise NotFittedError("StandardScaler must be fitted before transform")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.mean_.shape[0]:
+            raise DimensionMismatchError(
+                f"expected {self.mean_.shape[0]} features, got shape {X.shape}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """``fit`` then ``transform`` on the same matrix."""
+        return self.fit(X).transform(X)
+
+
+class LabelIndexer:
+    """Bijective mapping between arbitrary label values and 0..k-1 indexes."""
+
+    def __init__(self) -> None:
+        self.classes_: list[Any] | None = None
+        self._index: dict[Any, int] | None = None
+
+    def fit(self, labels: Sequence[Any]) -> "LabelIndexer":
+        """Learn the label vocabulary in first-seen order."""
+        if len(labels) == 0:
+            raise DimensionMismatchError("cannot fit LabelIndexer on no labels")
+        index: dict[Any, int] = {}
+        for label in labels:
+            if label not in index:
+                index[label] = len(index)
+        self._index = index
+        self.classes_ = list(index)
+        return self
+
+    def transform(self, labels: Sequence[Any]) -> np.ndarray:
+        """Map labels to their integer indexes; unknown labels raise KeyError."""
+        if self._index is None:
+            raise NotFittedError("LabelIndexer must be fitted before transform")
+        try:
+            return np.array([self._index[label] for label in labels], dtype=np.int64)
+        except KeyError as exc:
+            raise KeyError(f"unseen label {exc.args[0]!r}") from None
+
+    def fit_transform(self, labels: Sequence[Any]) -> np.ndarray:
+        """``fit`` then ``transform`` on the same labels."""
+        return self.fit(labels).transform(labels)
+
+    def inverse_transform(self, indexes: Sequence[int]) -> list[Any]:
+        """Map integer indexes back to original labels."""
+        if self.classes_ is None:
+            raise NotFittedError("LabelIndexer must be fitted before inverse_transform")
+        return [self.classes_[int(i)] for i in indexes]

@@ -1,0 +1,175 @@
+"""Model selection: splits, cross-validation, grid search.
+
+The paper tunes every algorithm's hyperparameters with grid search
+(Section 5.3.2, Tables 3-7) and evaluates on a 50/50 train/test split of the
+alarm data (Section 5.1.1).  :class:`GridSearch` reproduces that workflow for
+any classifier following the :mod:`repro.ml.base` contract.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, DimensionMismatchError
+from repro.ml.metrics import accuracy_score
+
+__all__ = ["train_test_split", "KFold", "GridSearch", "GridSearchResult"]
+
+
+def train_test_split(X: np.ndarray, y: np.ndarray, test_fraction: float = 0.5,
+                     random_state: int | None = None,
+                     stratify: bool = False) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into ``(X_train, X_test, y_train, y_test)``.
+
+    ``stratify=True`` preserves per-class proportions in both halves, which
+    keeps the paper's roughly-balanced true/false split intact.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ConfigurationError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise DimensionMismatchError(
+            f"X has {X.shape[0]} rows but y has {y.shape[0]}"
+        )
+    rng = np.random.default_rng(random_state)
+    n_samples = X.shape[0]
+    if stratify:
+        test_idx_parts = []
+        train_idx_parts = []
+        for cls in np.unique(y):
+            members = np.flatnonzero(y == cls)
+            members = members[rng.permutation(members.size)]
+            cut = int(round(members.size * test_fraction))
+            test_idx_parts.append(members[:cut])
+            train_idx_parts.append(members[cut:])
+        test_idx = np.concatenate(test_idx_parts)
+        train_idx = np.concatenate(train_idx_parts)
+        rng.shuffle(test_idx)
+        rng.shuffle(train_idx)
+    else:
+        order = rng.permutation(n_samples)
+        cut = int(round(n_samples * test_fraction))
+        test_idx, train_idx = order[:cut], order[cut:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+class KFold:
+    """K-fold cross-validation index generator."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True,
+                 random_state: int | None = None) -> None:
+        if n_splits < 2:
+            raise ConfigurationError(f"n_splits must be >= 2, got {n_splits}")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(train_indices, test_indices)`` per fold."""
+        if n_samples < self.n_splits:
+            raise ConfigurationError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            rng = np.random.default_rng(self.random_state)
+            rng.shuffle(indices)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test = folds[i]
+            train = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train, test
+
+
+@dataclass
+class GridSearchResult:
+    """Outcome of one grid-search run."""
+
+    best_params: dict[str, Any]
+    best_score: float
+    results: list[dict[str, Any]] = field(default_factory=list)
+
+    def top(self, n: int = 5) -> list[dict[str, Any]]:
+        """Best ``n`` parameter combinations by mean score."""
+        return sorted(self.results, key=lambda r: -r["score"])[:n]
+
+
+class GridSearch:
+    """Exhaustive hyperparameter search for any repro classifier.
+
+    Parameters
+    ----------
+    model_factory:
+        Callable receiving keyword hyperparameters and returning an unfitted
+        model.
+    param_grid:
+        Mapping of parameter name to candidate values.
+    scorer:
+        ``(model, X, y) -> float``; defaults to accuracy.
+    cv:
+        Number of folds.  ``cv=1`` means a single 75/25 holdout split
+        (fast path for the larger paper experiments).
+    """
+
+    def __init__(self, model_factory: Callable[..., Any],
+                 param_grid: dict[str, Sequence[Any]],
+                 scorer: Callable[[Any, np.ndarray, np.ndarray], float] | None = None,
+                 cv: int = 3, random_state: int | None = None) -> None:
+        if not param_grid:
+            raise ConfigurationError("param_grid must not be empty")
+        if cv < 1:
+            raise ConfigurationError(f"cv must be >= 1, got {cv}")
+        self.model_factory = model_factory
+        self.param_grid = dict(param_grid)
+        self.scorer = scorer or (lambda model, X, y: accuracy_score(y, model.predict(X)))
+        self.cv = cv
+        self.random_state = random_state
+
+    def combinations(self) -> Iterator[dict[str, Any]]:
+        """Iterate every parameter combination in the grid."""
+        names = sorted(self.param_grid)
+        for values in itertools.product(*(self.param_grid[name] for name in names)):
+            yield dict(zip(names, values))
+
+    def run(self, X: np.ndarray, y: np.ndarray) -> GridSearchResult:
+        """Evaluate every combination; returns the full ranking."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        records: list[dict[str, Any]] = []
+        for params in self.combinations():
+            started = time.perf_counter()
+            scores = [
+                self._score_split(params, X, y, train_idx, test_idx)
+                for train_idx, test_idx in self._splits(X.shape[0])
+            ]
+            records.append({
+                "params": params,
+                "score": float(np.mean(scores)),
+                "scores": scores,
+                "fit_seconds": time.perf_counter() - started,
+            })
+        best = max(records, key=lambda r: r["score"])
+        return GridSearchResult(
+            best_params=best["params"], best_score=best["score"], results=records
+        )
+
+    def _splits(self, n_samples: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if self.cv == 1:
+            rng = np.random.default_rng(self.random_state)
+            order = rng.permutation(n_samples)
+            cut = max(1, int(round(n_samples * 0.25)))
+            yield order[cut:], order[:cut]
+        else:
+            yield from KFold(self.cv, random_state=self.random_state).split(n_samples)
+
+    def _score_split(self, params: dict[str, Any], X: np.ndarray, y: np.ndarray,
+                     train_idx: np.ndarray, test_idx: np.ndarray) -> float:
+        model = self.model_factory(**params)
+        model.fit(X[train_idx], y[train_idx])
+        return float(self.scorer(model, X[test_idx], y[test_idx]))

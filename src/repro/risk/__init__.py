@@ -1,0 +1,7 @@
+"""Risk subsystem: a-priori risk factors (Section 5.4) and the security map
+(Figure 8)."""
+
+from repro.risk.factors import RiskModel, incident_counts
+from repro.risk.security_map import PlacedRisk, RiskLevel, SecurityMap
+
+__all__ = ["RiskModel", "incident_counts", "PlacedRisk", "RiskLevel", "SecurityMap"]

@@ -1,0 +1,140 @@
+"""A-priori risk factors from the incident history (Section 5.4).
+
+The hybrid approach turns per-location incident counts into three risk
+encodings that become extra ML features:
+
+1. **absolute risk factor (ARF)** — incidents per capita:
+   ``count / population``.
+2. **normalized risk factor (NRF)** — ARF min-max scaled into [0, 1]:
+   ``(x - min(x)) / (max(x) - min(x))``.
+3. **binary risk factor (BRF)** — 1 when the location is among the most
+   frequent 25% of locations by ARF, else 0.
+
+Locations without incident reports get risk 0 under every encoding — the
+paper's corpus covers only ~1/4 of Swiss localities, so absent evidence is
+treated as baseline risk, not missing data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RiskModel", "incident_counts"]
+
+
+def incident_counts(incident_documents: Iterable[Mapping],
+                    topic: str | None = None) -> dict[str, int]:
+    """Count incidents per location, optionally restricted to one topic.
+
+    ``incident_documents`` are the pipeline's stored documents (each with
+    ``location`` and ``topics`` fields).
+    """
+    counts: dict[str, int] = {}
+    for doc in incident_documents:
+        if topic is not None and topic not in doc.get("topics", []):
+            continue
+        location = doc.get("location")
+        if location:
+            counts[location] = counts.get(location, 0) + 1
+    return counts
+
+
+@dataclass(frozen=True)
+class _LocationRisk:
+    absolute: float
+    normalized: float
+    binary: int
+
+
+class RiskModel:
+    """Per-location a-priori risk factors with the three paper encodings.
+
+    Parameters
+    ----------
+    counts:
+        Incidents per location (from :func:`incident_counts`).
+    populations:
+        Population per location; locations missing here are skipped (no
+        per-capita denominator).
+    top_fraction:
+        BRF cutoff — fraction of covered locations labelled high-risk
+        (paper: most frequent 25%).
+    """
+
+    def __init__(self, counts: Mapping[str, int], populations: Mapping[str, int],
+                 top_fraction: float = 0.25) -> None:
+        if not 0.0 < top_fraction <= 1.0:
+            raise ConfigurationError(
+                f"top_fraction must be in (0, 1], got {top_fraction}"
+            )
+        absolute: dict[str, float] = {}
+        for location, count in counts.items():
+            population = populations.get(location)
+            if population is None or population <= 0:
+                continue
+            if count < 0:
+                raise ConfigurationError(f"negative count for {location!r}")
+            absolute[location] = count / population
+
+        self._risks: dict[str, _LocationRisk] = {}
+        if absolute:
+            values = list(absolute.values())
+            low, high = min(values), max(values)
+            value_range = high - low
+            ranked = sorted(absolute, key=lambda loc: -absolute[loc])
+            top_count = max(1, int(round(len(ranked) * top_fraction)))
+            high_risk = set(ranked[:top_count])
+            for location, arf in absolute.items():
+                nrf = (arf - low) / value_range if value_range > 0 else 0.0
+                self._risks[location] = _LocationRisk(
+                    absolute=arf,
+                    normalized=nrf,
+                    binary=1 if location in high_risk else 0,
+                )
+        self.top_fraction = top_fraction
+
+    # -- lookups -------------------------------------------------------------------
+
+    def absolute(self, location: str) -> float:
+        """ARF of ``location`` (0.0 when uncovered)."""
+        risk = self._risks.get(location)
+        return risk.absolute if risk else 0.0
+
+    def normalized(self, location: str) -> float:
+        """NRF of ``location`` (0.0 when uncovered)."""
+        risk = self._risks.get(location)
+        return risk.normalized if risk else 0.0
+
+    def binary(self, location: str) -> int:
+        """BRF of ``location`` (0 when uncovered)."""
+        risk = self._risks.get(location)
+        return risk.binary if risk else 0
+
+    def factor(self, location: str, kind: str) -> float:
+        """Risk by encoding name: ``"absolute"|"normalized"|"binary"``."""
+        if kind == "absolute":
+            return self.absolute(location)
+        if kind == "normalized":
+            return self.normalized(location)
+        if kind == "binary":
+            return float(self.binary(location))
+        raise ConfigurationError(
+            f"unknown risk kind {kind!r}; use absolute|normalized|binary"
+        )
+
+    def covered_locations(self) -> list[str]:
+        """Locations with a computed risk, sorted."""
+        return sorted(self._risks)
+
+    def coverage(self, all_locations: Iterable[str]) -> float:
+        """Fraction of ``all_locations`` that have a computed risk."""
+        universe = list(all_locations)
+        if not universe:
+            return 0.0
+        return sum(1 for loc in universe if loc in self._risks) / len(universe)
+
+    def __len__(self) -> int:
+        return len(self._risks)

@@ -1,0 +1,152 @@
+"""Security map: spatial risk levels over a set of located places (Figure 8).
+
+The paper renders the incident history as a map of Switzerland where green
+areas are safe, yellow medium-risk and red high-risk.  Our analogue bins
+located places (each with x/y coordinates and a risk value) onto a grid,
+classifies each cell by quantile thresholds, and renders the grid as ASCII
+(``.`` safe, ``o`` medium, ``#`` high) or as structured rows for plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SecurityMap", "RiskLevel", "PlacedRisk"]
+
+
+class RiskLevel:
+    """The three Figure 8 risk levels."""
+
+    SAFE = "safe"
+    MEDIUM = "medium"
+    HIGH = "high"
+
+    ORDER = (SAFE, MEDIUM, HIGH)
+    GLYPHS = {SAFE: ".", MEDIUM: "o", HIGH: "#"}
+
+
+@dataclass(frozen=True)
+class PlacedRisk:
+    """One place with coordinates and an a-priori risk value."""
+
+    name: str
+    x: float
+    y: float
+    risk: float
+
+
+class SecurityMap:
+    """Grid aggregation of per-place risks with quantile level thresholds.
+
+    Parameters
+    ----------
+    places:
+        Located risks (e.g. built from a gazetteer and a
+        :class:`~repro.risk.factors.RiskModel`).
+    width, height:
+        Grid resolution in cells.
+    medium_quantile, high_quantile:
+        Cells whose aggregated risk exceeds these quantiles of the non-empty
+        cell distribution are classified medium / high.
+    """
+
+    def __init__(self, places: Iterable[PlacedRisk], width: int = 40, height: int = 20,
+                 medium_quantile: float = 0.5, high_quantile: float = 0.85) -> None:
+        if width < 1 or height < 1:
+            raise ConfigurationError("width and height must be >= 1")
+        if not 0.0 <= medium_quantile < high_quantile <= 1.0:
+            raise ConfigurationError(
+                "need 0 <= medium_quantile < high_quantile <= 1"
+            )
+        self.width = width
+        self.height = height
+        self._places = list(places)
+        if not self._places:
+            raise ConfigurationError("security map needs at least one place")
+        xs = [p.x for p in self._places]
+        ys = [p.y for p in self._places]
+        self._x_min, self._x_max = min(xs), max(xs)
+        self._y_min, self._y_max = min(ys), max(ys)
+        self._cells: dict[tuple[int, int], float] = {}
+        for place in self._places:
+            cell = self.cell_of(place.x, place.y)
+            self._cells[cell] = self._cells.get(cell, 0.0) + place.risk
+        non_empty = sorted(self._cells.values())
+        self._medium_threshold = _quantile(non_empty, medium_quantile)
+        self._high_threshold = _quantile(non_empty, high_quantile)
+
+    def cell_of(self, x: float, y: float) -> tuple[int, int]:
+        """Grid cell (column, row) containing the point ``(x, y)``."""
+        x_span = self._x_max - self._x_min or 1.0
+        y_span = self._y_max - self._y_min or 1.0
+        col = min(self.width - 1, int((x - self._x_min) / x_span * self.width))
+        row = min(self.height - 1, int((y - self._y_min) / y_span * self.height))
+        return col, row
+
+    def cell_risk(self, col: int, row: int) -> float:
+        """Aggregated risk of one cell (0.0 for empty cells)."""
+        return self._cells.get((col, row), 0.0)
+
+    def level_of_cell(self, col: int, row: int) -> str:
+        """Risk level of one cell."""
+        risk = self.cell_risk(col, row)
+        if risk > self._high_threshold:
+            return RiskLevel.HIGH
+        if risk > self._medium_threshold:
+            return RiskLevel.MEDIUM
+        return RiskLevel.SAFE
+
+    def level_of_place(self, name: str) -> str:
+        """Risk level of the cell containing the named place."""
+        for place in self._places:
+            if place.name == name:
+                col, row = self.cell_of(place.x, place.y)
+                return self.level_of_cell(col, row)
+        raise KeyError(f"unknown place {name!r}")
+
+    def level_counts(self) -> dict[str, int]:
+        """Cells per level over the whole grid."""
+        counts = {level: 0 for level in RiskLevel.ORDER}
+        for row in range(self.height):
+            for col in range(self.width):
+                counts[self.level_of_cell(col, row)] += 1
+        return counts
+
+    def rows(self) -> list[dict[str, object]]:
+        """Structured non-empty cells: col, row, risk, level (for plotting)."""
+        out = []
+        for (col, row), risk in sorted(self._cells.items()):
+            out.append({
+                "col": col,
+                "row": row,
+                "risk": risk,
+                "level": self.level_of_cell(col, row),
+            })
+        return out
+
+    def render(self) -> str:
+        """ASCII rendering, north (max y) at the top."""
+        lines = []
+        for row in range(self.height - 1, -1, -1):
+            line = "".join(
+                RiskLevel.GLYPHS[self.level_of_cell(col, row)]
+                for col in range(self.width)
+            )
+            lines.append(line)
+        return "\n".join(lines)
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    """Quantile with linear interpolation over a pre-sorted list."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction

@@ -1,0 +1,31 @@
+"""Document-store substrate: an in-process MongoDB analogue.
+
+Public API:
+
+* :class:`~repro.storage.store.DocumentStore` — a database of collections
+  with JSONL persistence.
+* :class:`~repro.storage.collection.Collection` — schemaless documents,
+  filter-document queries, hash and sorted indexes.
+* :func:`~repro.storage.aggregate.aggregate` /
+  :func:`~repro.storage.aggregate.group_histogram` — aggregation pipelines
+  (the paper's per-device alarm histogram is ``group_histogram``).
+* :func:`~repro.storage.query.matches` — the pure filter matcher.
+"""
+
+from repro.storage.aggregate import aggregate, group_histogram
+from repro.storage.collection import Collection
+from repro.storage.index import HashIndex, SortedIndex
+from repro.storage.query import matches, resolve_path, validate_filter
+from repro.storage.store import DocumentStore
+
+__all__ = [
+    "aggregate",
+    "group_histogram",
+    "Collection",
+    "HashIndex",
+    "SortedIndex",
+    "matches",
+    "resolve_path",
+    "validate_filter",
+    "DocumentStore",
+]

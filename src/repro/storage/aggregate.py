@@ -1,0 +1,234 @@
+"""Aggregation pipeline (MongoDB ``aggregate`` analogue).
+
+Implements the stages the paper's batch component needs — histogram-of-alarms
+per device is a ``$match`` + ``$group`` + ``$sort`` pipeline — plus the
+stages any downstream user of a document store expects:
+
+``$match``, ``$project``, ``$group``, ``$sort``, ``$limit``, ``$skip``,
+``$count``, ``$unwind``.
+
+Group accumulators: ``$sum``, ``$avg``, ``$min``, ``$max``, ``$push``,
+``$addToSet``, ``$first``, ``$last``, and ``{"$sum": 1}`` counting.
+
+Expressions: ``"$field"`` path references (dotted paths supported) and
+literal values.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Iterable, Mapping
+
+from repro.errors import QueryError
+from repro.storage.query import matches, resolve_path
+
+__all__ = ["aggregate", "group_histogram"]
+
+
+def _evaluate(expression: Any, document: Mapping[str, Any]) -> Any:
+    """Evaluate an aggregation expression against one document."""
+    if isinstance(expression, str) and expression.startswith("$"):
+        values = resolve_path(document, expression[1:])
+        if not values:
+            return None
+        return values[0] if len(values) == 1 else values
+    return expression
+
+
+class _Accumulator:
+    """One group accumulator instance (e.g. a running ``$sum``)."""
+
+    def __init__(self, op: str, expression: Any):
+        self.op = op
+        self.expression = expression
+        self.values: list[Any] = []
+
+    def feed(self, document: Mapping[str, Any]) -> None:
+        self.values.append(_evaluate(self.expression, document))
+
+    def result(self) -> Any:
+        numeric = [v for v in self.values
+                   if isinstance(v, (int, float)) and not isinstance(v, bool)]
+        if self.op == "$sum":
+            return sum(numeric) if numeric else 0
+        if self.op == "$avg":
+            return sum(numeric) / len(numeric) if numeric else None
+        if self.op == "$min":
+            return min(numeric) if numeric else None
+        if self.op == "$max":
+            return max(numeric) if numeric else None
+        if self.op == "$push":
+            return list(self.values)
+        if self.op == "$addToSet":
+            unique: list[Any] = []
+            for value in self.values:
+                if value not in unique:
+                    unique.append(value)
+            return unique
+        if self.op == "$first":
+            return self.values[0] if self.values else None
+        if self.op == "$last":
+            return self.values[-1] if self.values else None
+        raise QueryError(f"unknown accumulator {self.op!r}")
+
+
+_KNOWN_ACCUMULATORS = {"$sum", "$avg", "$min", "$max", "$push", "$addToSet", "$first", "$last"}
+
+
+def _stage_group(documents: list[dict[str, Any]], spec: Mapping[str, Any]) -> list[dict[str, Any]]:
+    if "_id" not in spec:
+        raise QueryError("$group requires an _id expression")
+    field_specs: dict[str, tuple[str, Any]] = {}
+    for field, accumulator in spec.items():
+        if field == "_id":
+            continue
+        if not isinstance(accumulator, Mapping) or len(accumulator) != 1:
+            raise QueryError(f"accumulator for {field!r} must be a single-operator document")
+        (op, expression), = accumulator.items()
+        if op not in _KNOWN_ACCUMULATORS:
+            raise QueryError(f"unknown accumulator {op!r}")
+        field_specs[field] = (op, expression)
+
+    groups: dict[str, tuple[Any, dict[str, _Accumulator]]] = {}
+    order: list[str] = []
+    for document in documents:
+        group_id = _evaluate(spec["_id"], document)
+        group_key = repr(group_id)  # repr: hashable stand-in for any id value
+        if group_key not in groups:
+            groups[group_key] = (
+                group_id,
+                {f: _Accumulator(op, expr) for f, (op, expr) in field_specs.items()},
+            )
+            order.append(group_key)
+        for accumulator in groups[group_key][1].values():
+            accumulator.feed(document)
+
+    results = []
+    for group_key in order:
+        group_id, accumulators = groups[group_key]
+        row: dict[str, Any] = {"_id": group_id}
+        for field, accumulator in accumulators.items():
+            row[field] = accumulator.result()
+        results.append(row)
+    return results
+
+
+def _stage_project(documents: list[dict[str, Any]], spec: Mapping[str, Any]) -> list[dict[str, Any]]:
+    include = {field for field, flag in spec.items() if flag == 1 or flag is True}
+    computed = {field: expr for field, expr in spec.items()
+                if not (expr in (0, 1) or isinstance(expr, bool))}
+    exclude_id = spec.get("_id") in (0, False)
+    out = []
+    for document in documents:
+        row: dict[str, Any] = {}
+        if not exclude_id and "_id" in document:
+            row["_id"] = document["_id"]
+        for field in include:
+            values = resolve_path(document, field)
+            if values:
+                row[field] = copy.deepcopy(values[0] if len(values) == 1 else values)
+        for field, expression in computed.items():
+            row[field] = copy.deepcopy(_evaluate(expression, document))
+        out.append(row)
+    return out
+
+
+def _stage_sort(documents: list[dict[str, Any]], spec: Mapping[str, Any]) -> list[dict[str, Any]]:
+    result = list(documents)
+    # Apply sort keys in reverse so the first key is the primary one.
+    for field, direction in reversed(list(spec.items())):
+        if direction not in (1, -1):
+            raise QueryError(f"$sort direction must be 1 or -1, got {direction!r}")
+        result.sort(key=lambda d, f=field: _orderable(_evaluate(f"${f}", d)),
+                    reverse=direction == -1)
+    return result
+
+
+def _orderable(value: Any) -> tuple[int, Any]:
+    """Type-ranked wrapper so mixed-type sorts never raise."""
+    if value is None:
+        return (3, 0)
+    if isinstance(value, bool):
+        return (0, int(value))
+    if isinstance(value, (int, float)):
+        return (0, value)
+    if isinstance(value, str):
+        return (1, value)
+    return (2, repr(value))
+
+
+def _stage_unwind(documents: list[dict[str, Any]], spec: Any) -> list[dict[str, Any]]:
+    if isinstance(spec, str):
+        path = spec
+    elif isinstance(spec, Mapping) and "path" in spec:
+        path = spec["path"]
+    else:
+        raise QueryError("$unwind requires a path string or {'path': ...}")
+    if not path.startswith("$"):
+        raise QueryError("$unwind path must start with '$'")
+    field = path[1:]
+    out = []
+    for document in documents:
+        values = resolve_path(document, field)
+        value = values[0] if values else None
+        if isinstance(value, list):
+            for element in value:
+                clone = copy.deepcopy(document)
+                clone[field] = element
+                out.append(clone)
+        elif values:
+            out.append(copy.deepcopy(document))
+        # Missing/empty-array fields drop the document (Mongo default).
+    return out
+
+
+def aggregate(documents: Iterable[Mapping[str, Any]],
+              pipeline: list[Mapping[str, Any]]) -> list[dict[str, Any]]:
+    """Run ``pipeline`` over ``documents`` and return the resulting rows."""
+    current: list[dict[str, Any]] = [dict(doc) for doc in documents]
+    for stage in pipeline:
+        if not isinstance(stage, Mapping) or len(stage) != 1:
+            raise QueryError("each pipeline stage must be a single-operator document")
+        (op, spec), = stage.items()
+        if op == "$match":
+            current = [doc for doc in current if matches(doc, spec)]
+        elif op == "$group":
+            current = _stage_group(current, spec)
+        elif op == "$project":
+            current = _stage_project(current, spec)
+        elif op == "$sort":
+            current = _stage_sort(current, spec)
+        elif op == "$limit":
+            if not isinstance(spec, int) or spec < 0:
+                raise QueryError("$limit requires a non-negative integer")
+            current = current[:spec]
+        elif op == "$skip":
+            if not isinstance(spec, int) or spec < 0:
+                raise QueryError("$skip requires a non-negative integer")
+            current = current[spec:]
+        elif op == "$count":
+            if not isinstance(spec, str) or not spec:
+                raise QueryError("$count requires a field-name string")
+            current = [{spec: len(current)}]
+        elif op == "$unwind":
+            current = _stage_unwind(current, spec)
+        else:
+            raise QueryError(f"unknown pipeline stage {op!r}")
+    return current
+
+
+def group_histogram(documents: Iterable[Mapping[str, Any]], field: str,
+                    since: float | None = None,
+                    time_field: str = "timestamp") -> dict[Any, int]:
+    """Histogram of ``field`` values, optionally restricted to recent documents.
+
+    This is the paper's batch-component query: "produce a histogram of the
+    number of alarms per device starting from a specific time t"
+    (Section 4.1).
+    """
+    pipeline: list[dict[str, Any]] = []
+    if since is not None:
+        pipeline.append({"$match": {time_field: {"$gte": since}}})
+    pipeline.append({"$group": {"_id": f"${field}", "count": {"$sum": 1}}})
+    rows = aggregate(documents, pipeline)
+    return {row["_id"]: row["count"] for row in rows}

@@ -1,0 +1,341 @@
+"""Document collection with index-assisted queries (MongoDB analogue).
+
+A :class:`Collection` stores schemaless JSON-like documents under an
+auto-assigned integer ``_id`` and answers filter-document queries.  The query
+planner is intentionally simple but real: top-level equality / ``$in`` /
+range conditions that have a matching index produce a candidate id set,
+and the full filter is then verified per candidate — i.e. indexes are an
+optimization, never a semantic change.  This is validated by property tests
+comparing indexed and non-indexed execution.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable, Iterator, Mapping
+
+from repro.errors import IndexError_, QueryError
+from repro.storage.index import HashIndex, SortedIndex
+from repro.storage.query import matches, resolve_path, validate_filter
+
+__all__ = ["Collection"]
+
+_RANGE_OPS = {"$gt", "$gte", "$lt", "$lte"}
+
+
+def _clone(value: Any) -> Any:
+    """Structural copy for JSON-like values.
+
+    Equivalent to ``copy.deepcopy`` for the document shapes this store
+    accepts (dicts, lists, scalars) but several times faster, which matters
+    on the streaming hot path (every insert and read copies documents so
+    callers can never alias internal state).
+    """
+    if isinstance(value, dict):
+        return {key: _clone(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_clone(item) for item in value]
+    return value
+
+
+class Collection:
+    """A named set of documents with secondary indexes."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._documents: dict[int, dict[str, Any]] = {}
+        self._next_id = 0
+        self._indexes: dict[str, HashIndex | SortedIndex] = {}
+        self._lock = threading.RLock()
+        # Planner instrumentation (observable by benchmarks/tests).
+        self.scans = 0
+        self.index_hits = 0
+
+    # -- writes -----------------------------------------------------------------
+
+    def insert_one(self, document: Mapping[str, Any]) -> int:
+        """Insert a copy of ``document``; returns its assigned ``_id``."""
+        if not isinstance(document, Mapping):
+            raise QueryError(f"documents must be mappings, got {type(document).__name__}")
+        with self._lock:
+            doc = _clone(dict(document))
+            doc_id = self._next_id
+            doc["_id"] = doc_id
+            # Validate unique constraints before mutating any index.
+            for index in self._indexes.values():
+                if isinstance(index, HashIndex) and index.unique:
+                    index.add(doc_id, doc)  # raises DuplicateKeyError
+            for index in self._indexes.values():
+                if not (isinstance(index, HashIndex) and index.unique):
+                    index.add(doc_id, doc)
+            self._documents[doc_id] = doc
+            self._next_id += 1
+            return doc_id
+
+    def insert_many(self, documents: Iterable[Mapping[str, Any]]) -> list[int]:
+        """Insert several documents; returns their ids in order."""
+        return [self.insert_one(doc) for doc in documents]
+
+    def update_many(self, filter_doc: Mapping[str, Any],
+                    update: Callable[[dict[str, Any]], None] | Mapping[str, Any]) -> int:
+        """Update matching documents in place; returns the count updated.
+
+        ``update`` is either a ``$set``-style mapping (``{"$set": {...}}``)
+        or a callable mutating the document dict directly.
+        """
+        updater = self._compile_update(update)
+        with self._lock:
+            count = 0
+            for doc_id, doc in list(self._documents.items()):
+                if not matches(doc, filter_doc):
+                    continue
+                for index in self._indexes.values():
+                    index.remove(doc_id, doc)
+                updater(doc)
+                doc["_id"] = doc_id  # _id is immutable
+                for index in self._indexes.values():
+                    index.add(doc_id, doc)
+                count += 1
+            return count
+
+    def delete_many(self, filter_doc: Mapping[str, Any]) -> int:
+        """Delete matching documents; returns the count deleted."""
+        with self._lock:
+            doomed = [doc_id for doc_id in self._candidate_ids(filter_doc)
+                      if matches(self._documents[doc_id], filter_doc)]
+            for doc_id in doomed:
+                doc = self._documents.pop(doc_id)
+                for index in self._indexes.values():
+                    index.remove(doc_id, doc)
+            return len(doomed)
+
+    _UPDATE_OPERATORS = ("$set", "$inc", "$unset", "$push")
+
+    @classmethod
+    def _compile_update(cls, update: Callable[[dict[str, Any]], None] | Mapping[str, Any]):
+        if callable(update):
+            return update
+        if not isinstance(update, Mapping) or not update:
+            raise QueryError(
+                "update must be a callable or an update-operator document"
+            )
+        unknown = set(update) - set(cls._UPDATE_OPERATORS)
+        if unknown:
+            raise QueryError(
+                f"unknown update operators {sorted(unknown)}; "
+                f"supported: {list(cls._UPDATE_OPERATORS)}"
+            )
+        operations = {op: dict(spec) for op, spec in update.items()}
+        for op in ("$set", "$inc", "$unset", "$push"):
+            if op in operations and not isinstance(update[op], Mapping):
+                raise QueryError(f"{op} requires a field document")
+
+        def apply(doc: dict[str, Any]) -> None:
+            for field, value in operations.get("$set", {}).items():
+                doc[field] = _clone(value)
+            for field, amount in operations.get("$inc", {}).items():
+                if not isinstance(amount, (int, float)) or isinstance(amount, bool):
+                    raise QueryError("$inc amounts must be numbers")
+                current = doc.get(field, 0)
+                if not isinstance(current, (int, float)) or isinstance(current, bool):
+                    raise QueryError(f"$inc target {field!r} is not a number")
+                doc[field] = current + amount
+            for field in operations.get("$unset", {}):
+                doc.pop(field, None)
+            for field, value in operations.get("$push", {}).items():
+                current = doc.setdefault(field, [])
+                if not isinstance(current, list):
+                    raise QueryError(f"$push target {field!r} is not an array")
+                current.append(_clone(value))
+
+        return apply
+
+    # -- indexes ------------------------------------------------------------------
+
+    def create_index(self, field: str, kind: str = "hash", unique: bool = False) -> None:
+        """Create and backfill an index on ``field`` (``kind``: hash | sorted)."""
+        with self._lock:
+            if field in self._indexes:
+                raise IndexError_(f"index on {field!r} already exists")
+            if kind == "hash":
+                index: HashIndex | SortedIndex = HashIndex(field, unique=unique)
+            elif kind == "sorted":
+                if unique:
+                    raise IndexError_("unique is only supported on hash indexes")
+                index = SortedIndex(field)
+            else:
+                raise IndexError_(f"unknown index kind {kind!r}")
+            for doc_id, doc in self._documents.items():
+                index.add(doc_id, doc)
+            self._indexes[field] = index
+
+    def drop_index(self, field: str) -> None:
+        """Remove the index on ``field``."""
+        with self._lock:
+            if field not in self._indexes:
+                raise IndexError_(f"no index on {field!r}")
+            del self._indexes[field]
+
+    def index_fields(self) -> list[str]:
+        """Fields that currently have an index, sorted."""
+        with self._lock:
+            return sorted(self._indexes)
+
+    # -- reads --------------------------------------------------------------------
+
+    def find(self, filter_doc: Mapping[str, Any] | None = None,
+             projection: list[str] | None = None,
+             sort: str | tuple[str, int] | None = None,
+             limit: int | None = None,
+             skip: int = 0) -> list[dict[str, Any]]:
+        """Return copies of matching documents.
+
+        ``sort`` is a field name or ``(field, direction)`` with direction
+        ``1``/``-1``.  ``projection`` keeps only the listed fields plus
+        ``_id``.
+        """
+        filter_doc = filter_doc or {}
+        validate_filter(filter_doc)
+        with self._lock:
+            results = [_clone(self._documents[doc_id])
+                       for doc_id in self._matching_ids(filter_doc)]
+        if sort is not None:
+            field, direction = sort if isinstance(sort, tuple) else (sort, 1)
+            results.sort(
+                key=lambda d: _sort_key(d, field),
+                reverse=direction < 0,
+            )
+        else:
+            results.sort(key=lambda d: d["_id"])
+        if skip:
+            results = results[skip:]
+        if limit is not None:
+            results = results[:limit]
+        if projection is not None:
+            keep = set(projection) | {"_id"}
+            results = [{k: v for k, v in doc.items() if k in keep} for doc in results]
+        return results
+
+    def find_one(self, filter_doc: Mapping[str, Any] | None = None) -> dict[str, Any] | None:
+        """First matching document in ``_id`` order, or None."""
+        found = self.find(filter_doc, limit=1)
+        return found[0] if found else None
+
+    def get(self, doc_id: int) -> dict[str, Any] | None:
+        """Fetch one document by ``_id`` (a copy), or None."""
+        with self._lock:
+            doc = self._documents.get(doc_id)
+            return _clone(doc) if doc is not None else None
+
+    def count(self, filter_doc: Mapping[str, Any] | None = None) -> int:
+        """Number of matching documents."""
+        filter_doc = filter_doc or {}
+        validate_filter(filter_doc)
+        with self._lock:
+            if not filter_doc:
+                return len(self._documents)
+            return sum(1 for _ in self._matching_ids(filter_doc))
+
+    def distinct(self, field: str, filter_doc: Mapping[str, Any] | None = None) -> list[Any]:
+        """Distinct values of ``field`` over matching documents, sorted when possible."""
+        filter_doc = filter_doc or {}
+        with self._lock:
+            seen: list[Any] = []
+            for doc_id in self._matching_ids(filter_doc):
+                for value in resolve_path(self._documents[doc_id], field):
+                    candidates = value if isinstance(value, list) else [value]
+                    for candidate in candidates:
+                        if candidate not in seen:
+                            seen.append(candidate)
+        try:
+            return sorted(seen)
+        except TypeError:
+            return seen
+
+    def all_documents(self) -> Iterator[dict[str, Any]]:
+        """Iterate copies of all documents in ``_id`` order."""
+        with self._lock:
+            ids = sorted(self._documents)
+        for doc_id in ids:
+            doc = self.get(doc_id)
+            if doc is not None:
+                yield doc
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._documents)
+
+    # -- planner ---------------------------------------------------------------------
+
+    def _matching_ids(self, filter_doc: Mapping[str, Any]) -> list[int]:
+        candidates = self._candidate_ids(filter_doc)
+        return sorted(
+            doc_id for doc_id in candidates if matches(self._documents[doc_id], filter_doc)
+        )
+
+    def _candidate_ids(self, filter_doc: Mapping[str, Any]) -> set[int]:
+        """Narrow the id set using the most selective applicable index."""
+        best: set[int] | None = None
+        for field, condition in filter_doc.items():
+            if field.startswith("$"):
+                continue
+            index = self._indexes.get(field)
+            if index is None:
+                continue
+            ids = self._ids_from_index(index, condition)
+            if ids is None:
+                continue
+            if best is None or len(ids) < len(best):
+                best = ids
+        if best is None:
+            self.scans += 1
+            return set(self._documents)
+        self.index_hits += 1
+        return best
+
+    @staticmethod
+    def _ids_from_index(index: HashIndex | SortedIndex, condition: Any) -> set[int] | None:
+        is_operator_doc = isinstance(condition, Mapping) and any(
+            key.startswith("$") for key in condition
+        )
+        if not is_operator_doc:
+            if isinstance(condition, Mapping) or condition is None:
+                return None  # nested-doc equality / null: fall back to scan
+            return index.lookup(condition)
+        if isinstance(index, HashIndex):
+            if set(condition) == {"$eq"}:
+                return index.lookup(condition["$eq"])
+            if set(condition) == {"$in"} and isinstance(condition["$in"], (list, tuple)):
+                return index.lookup_in(list(condition["$in"]))
+            return None
+        # SortedIndex: handle pure range/equality operator documents.
+        if not set(condition) <= (_RANGE_OPS | {"$eq"}):
+            return None
+        if "$eq" in condition:
+            return index.lookup(condition["$eq"])
+        low = condition.get("$gt", condition.get("$gte"))
+        high = condition.get("$lt", condition.get("$lte"))
+        return index.range(
+            low=low,
+            high=high,
+            include_low="$gte" in condition or "$gt" not in condition,
+            include_high="$lte" in condition or "$lt" not in condition,
+        )
+
+
+def _sort_key(document: Mapping[str, Any], field: str) -> tuple[int, int, Any]:
+    """Missing-last, type-ranked sort key so mixed-type sorts never raise.
+
+    Rank order: numbers < strings < everything else < missing/None.
+    """
+    values = resolve_path(document, field)
+    if not values or values[0] is None:
+        return (3, 0, 0)
+    value = values[0]
+    if isinstance(value, bool):
+        return (0, 0, int(value))
+    if isinstance(value, (int, float)):
+        return (0, 0, value)
+    if isinstance(value, str):
+        return (1, 0, value)
+    return (2, 0, str(value))

@@ -1,0 +1,171 @@
+"""Secondary indexes for the document store.
+
+Two index types cover the query shapes the paper's batch component issues:
+
+* :class:`HashIndex` — equality lookups (``find({"address": ...})`` for the
+  per-device alarm histogram).
+* :class:`SortedIndex` — range lookups (``$gt/$gte/$lt/$lte`` on timestamps,
+  e.g. "alarms since time t").
+
+Indexes map field values to document ids and are maintained incrementally on
+insert/update/delete.  ``unique=True`` on a hash index enforces a uniqueness
+constraint at insert time.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Hashable, Iterator
+
+from repro.errors import DuplicateKeyError
+from repro.storage.query import resolve_path
+
+__all__ = ["HashIndex", "SortedIndex"]
+
+
+def _index_keys(document: dict[str, Any], field: str) -> list[Hashable]:
+    """Values of ``field`` to index for ``document``.
+
+    Array values fan out (multi-key index, like MongoDB).  Unhashable values
+    (nested documents) are skipped — they are still reachable by full scan.
+    """
+    keys: list[Hashable] = []
+    for value in resolve_path(document, field):
+        candidates = value if isinstance(value, list) else [value]
+        for candidate in candidates:
+            if isinstance(candidate, Hashable):
+                keys.append(candidate)
+    return keys
+
+
+class HashIndex:
+    """Equality index: value -> set of document ids."""
+
+    kind = "hash"
+
+    def __init__(self, field: str, unique: bool = False):
+        self.field = field
+        self.unique = unique
+        self._entries: dict[Hashable, set[int]] = {}
+
+    def add(self, doc_id: int, document: dict[str, Any]) -> None:
+        """Index ``document``; raises :class:`DuplicateKeyError` if unique is violated."""
+        keys = _index_keys(document, self.field)
+        if self.unique:
+            for key in keys:
+                existing = self._entries.get(key)
+                if existing and doc_id not in existing:
+                    raise DuplicateKeyError(
+                        f"duplicate value {key!r} for unique index on {self.field!r}"
+                    )
+        for key in keys:
+            self._entries.setdefault(key, set()).add(doc_id)
+
+    def remove(self, doc_id: int, document: dict[str, Any]) -> None:
+        """Un-index ``document`` (must be the version that was indexed)."""
+        for key in _index_keys(document, self.field):
+            ids = self._entries.get(key)
+            if ids is not None:
+                ids.discard(doc_id)
+                if not ids:
+                    del self._entries[key]
+
+    def lookup(self, value: Hashable) -> set[int]:
+        """Document ids whose field equals ``value``."""
+        return set(self._entries.get(value, ()))
+
+    def lookup_in(self, values: list[Hashable]) -> set[int]:
+        """Document ids whose field equals any of ``values`` ($in)."""
+        result: set[int] = set()
+        for value in values:
+            result |= self.lookup(value)
+        return result
+
+    def keys(self) -> Iterator[Hashable]:
+        """Distinct indexed values."""
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return sum(len(ids) for ids in self._entries.values())
+
+
+class SortedIndex:
+    """Range index: sorted (value, doc_id) pairs supporting bound queries.
+
+    Only values of one orderable type family should be indexed together;
+    mixed-type values raise ``TypeError`` from ``bisect``, so the index skips
+    values that do not compare against its first key.
+    """
+
+    kind = "sorted"
+
+    def __init__(self, field: str):
+        self.field = field
+        self._keys: list[Any] = []
+        self._ids: list[int] = []
+
+    def add(self, doc_id: int, document: dict[str, Any]) -> None:
+        """Index orderable values of ``document``'s field."""
+        for key in _index_keys(document, self.field):
+            if key is None or isinstance(key, bool):
+                continue
+            if self._keys and not self._comparable(key):
+                continue
+            pos = bisect.bisect_left(self._keys, key)
+            # Skip past equal keys with smaller doc ids for deterministic order.
+            while pos < len(self._keys) and self._keys[pos] == key and self._ids[pos] < doc_id:
+                pos += 1
+            self._keys.insert(pos, key)
+            self._ids.insert(pos, doc_id)
+
+    def remove(self, doc_id: int, document: dict[str, Any]) -> None:
+        """Un-index ``document``'s values."""
+        for key in _index_keys(document, self.field):
+            if key is None or isinstance(key, bool) or not self._comparable(key):
+                continue
+            pos = bisect.bisect_left(self._keys, key)
+            while pos < len(self._keys) and self._keys[pos] == key:
+                if self._ids[pos] == doc_id:
+                    del self._keys[pos]
+                    del self._ids[pos]
+                    break
+                pos += 1
+
+    def range(self, low: Any = None, high: Any = None,
+              include_low: bool = True, include_high: bool = True) -> set[int]:
+        """Document ids with indexed value in the given (optionally open) range."""
+        if low is None:
+            start = 0
+        elif include_low:
+            start = bisect.bisect_left(self._keys, low)
+        else:
+            start = bisect.bisect_right(self._keys, low)
+        if high is None:
+            stop = len(self._keys)
+        elif include_high:
+            stop = bisect.bisect_right(self._keys, high)
+        else:
+            stop = bisect.bisect_left(self._keys, high)
+        return set(self._ids[start:stop])
+
+    def lookup(self, value: Any) -> set[int]:
+        """Equality via the range machinery."""
+        return self.range(low=value, high=value)
+
+    def min_key(self) -> Any:
+        """Smallest indexed value (None when empty)."""
+        return self._keys[0] if self._keys else None
+
+    def max_key(self) -> Any:
+        """Largest indexed value (None when empty)."""
+        return self._keys[-1] if self._keys else None
+
+    def _comparable(self, key: Any) -> bool:
+        try:
+            self._keys[0] <= key  # noqa: B015 — probe comparison only
+            return True
+        except TypeError:
+            return False
+
+    def __len__(self) -> int:
+        return len(self._keys)

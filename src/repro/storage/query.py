@@ -1,0 +1,264 @@
+"""Filter-document query matching (MongoDB query-language analogue).
+
+Implements the subset of the MongoDB filter language that the paper's batch
+component needs, plus the common comparison/logical operators a downstream
+user would expect:
+
+* implicit equality: ``{"zip": "8001"}``
+* comparison: ``$eq $ne $gt $gte $lt $lte $in $nin``
+* element: ``$exists $type``
+* evaluation: ``$regex $mod``
+* array: ``$size $all $elemMatch``
+* logical: ``$and $or $nor $not``
+* dotted paths: ``{"device.sensor": "smoke"}`` descends nested documents and
+  fans out over arrays, following MongoDB semantics.
+
+The entry point is :func:`matches` — pure, side-effect free, usable both by
+collection scans and by tests that compare index-assisted queries against a
+naive full scan.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Mapping
+
+from repro.errors import QueryError
+
+__all__ = ["matches", "resolve_path", "validate_filter", "OPERATORS"]
+
+_MISSING = object()
+
+
+def resolve_path(document: Mapping[str, Any], path: str) -> list[Any]:
+    """Resolve dotted ``path`` inside ``document``.
+
+    Returns a list of reached values because MongoDB paths fan out over
+    arrays: ``a.b`` on ``{"a": [{"b": 1}, {"b": 2}]}`` reaches ``[1, 2]``.
+    An unreachable path yields an empty list.
+    """
+    values: list[Any] = [document]
+    for part in path.split("."):
+        next_values: list[Any] = []
+        for value in values:
+            if isinstance(value, Mapping):
+                if part in value:
+                    next_values.append(value[part])
+            elif isinstance(value, list):
+                # Numeric part indexes into the array; otherwise descend
+                # into each element that is a document.
+                if part.isdigit():
+                    idx = int(part)
+                    if 0 <= idx < len(value):
+                        next_values.append(value[idx])
+                else:
+                    for element in value:
+                        if isinstance(element, Mapping) and part in element:
+                            next_values.append(element[part])
+        values = next_values
+        if not values:
+            return []
+    return values
+
+
+def _compare(a: Any, b: Any, op: str) -> bool:
+    """Ordered comparison that never raises on mixed types (returns False)."""
+    try:
+        if op == "gt":
+            return a > b
+        if op == "gte":
+            return a >= b
+        if op == "lt":
+            return a < b
+        return a <= b
+    except TypeError:
+        return False
+
+
+def _values_for(document: Mapping[str, Any], path: str) -> list[Any]:
+    """Candidate values at ``path``: the reached values plus array fan-out.
+
+    Mirrors MongoDB: a filter on an array field matches if the array itself
+    or any of its elements satisfies the predicate.
+    """
+    reached = resolve_path(document, path)
+    candidates: list[Any] = []
+    for value in reached:
+        candidates.append(value)
+        if isinstance(value, list):
+            candidates.extend(value)
+    return candidates
+
+
+# -- operator implementations -----------------------------------------------------
+
+def _op_eq(doc: Mapping[str, Any], path: str, operand: Any) -> bool:
+    values = _values_for(doc, path)
+    if operand is None:
+        # Mongo semantics: {field: None} also matches missing fields.
+        return not resolve_path(doc, path) or any(v is None for v in values)
+    return any(v == operand for v in values)
+
+
+def _op_ne(doc: Mapping[str, Any], path: str, operand: Any) -> bool:
+    return not _op_eq(doc, path, operand)
+
+
+def _op_in(doc: Mapping[str, Any], path: str, operand: Any) -> bool:
+    if not isinstance(operand, (list, tuple)):
+        raise QueryError("$in requires a list operand")
+    return any(_op_eq(doc, path, candidate) for candidate in operand)
+
+
+def _op_nin(doc: Mapping[str, Any], path: str, operand: Any) -> bool:
+    if not isinstance(operand, (list, tuple)):
+        raise QueryError("$nin requires a list operand")
+    return not _op_in(doc, path, operand)
+
+
+def _op_exists(doc: Mapping[str, Any], path: str, operand: Any) -> bool:
+    exists = bool(resolve_path(doc, path))
+    return exists if operand else not exists
+
+
+_TYPE_NAMES = {
+    "string": str,
+    "int": int,
+    "double": float,
+    "bool": bool,
+    "array": list,
+    "object": dict,
+    "null": type(None),
+}
+
+
+def _op_type(doc: Mapping[str, Any], path: str, operand: Any) -> bool:
+    expected = _TYPE_NAMES.get(operand)
+    if expected is None:
+        raise QueryError(f"unknown $type name {operand!r}")
+    values = resolve_path(doc, path)
+    if expected is int:
+        # bool is a subclass of int in Python; exclude it explicitly.
+        return any(isinstance(v, int) and not isinstance(v, bool) for v in values)
+    return any(isinstance(v, expected) for v in values)
+
+
+def _op_regex(doc: Mapping[str, Any], path: str, operand: Any) -> bool:
+    try:
+        pattern = re.compile(operand)
+    except re.error as exc:
+        raise QueryError(f"invalid $regex pattern: {exc}") from exc
+    return any(isinstance(v, str) and pattern.search(v) for v in _values_for(doc, path))
+
+
+def _op_mod(doc: Mapping[str, Any], path: str, operand: Any) -> bool:
+    if not isinstance(operand, (list, tuple)) or len(operand) != 2:
+        raise QueryError("$mod requires [divisor, remainder]")
+    divisor, remainder = operand
+    if divisor == 0:
+        raise QueryError("$mod divisor must be non-zero")
+    return any(
+        isinstance(v, (int, float)) and not isinstance(v, bool) and v % divisor == remainder
+        for v in _values_for(doc, path)
+    )
+
+
+def _op_size(doc: Mapping[str, Any], path: str, operand: Any) -> bool:
+    if not isinstance(operand, int) or isinstance(operand, bool):
+        raise QueryError("$size requires an integer operand")
+    return any(isinstance(v, list) and len(v) == operand for v in resolve_path(doc, path))
+
+
+def _op_all(doc: Mapping[str, Any], path: str, operand: Any) -> bool:
+    if not isinstance(operand, (list, tuple)):
+        raise QueryError("$all requires a list operand")
+    return all(_op_eq(doc, path, needed) for needed in operand)
+
+
+def _op_elem_match(doc: Mapping[str, Any], path: str, operand: Any) -> bool:
+    if not isinstance(operand, Mapping):
+        raise QueryError("$elemMatch requires a filter document")
+    for value in resolve_path(doc, path):
+        if isinstance(value, list):
+            for element in value:
+                if isinstance(element, Mapping) and matches(element, operand):
+                    return True
+    return False
+
+
+OPERATORS = {
+    "$eq": _op_eq,
+    "$ne": _op_ne,
+    "$gt": lambda d, p, o: any(_compare(v, o, "gt") for v in _values_for(d, p)),
+    "$gte": lambda d, p, o: any(_compare(v, o, "gte") for v in _values_for(d, p)),
+    "$lt": lambda d, p, o: any(_compare(v, o, "lt") for v in _values_for(d, p)),
+    "$lte": lambda d, p, o: any(_compare(v, o, "lte") for v in _values_for(d, p)),
+    "$in": _op_in,
+    "$nin": _op_nin,
+    "$exists": _op_exists,
+    "$type": _op_type,
+    "$regex": _op_regex,
+    "$mod": _op_mod,
+    "$size": _op_size,
+    "$all": _op_all,
+    "$elemMatch": _op_elem_match,
+}
+
+
+def _match_condition(document: Mapping[str, Any], path: str, condition: Any) -> bool:
+    """Match one ``path: condition`` pair of a filter document."""
+    if isinstance(condition, Mapping) and any(k.startswith("$") for k in condition):
+        for op_name, operand in condition.items():
+            if op_name == "$not":
+                if not isinstance(operand, Mapping):
+                    raise QueryError("$not requires an operator document")
+                if _match_condition(document, path, operand):
+                    return False
+                continue
+            handler = OPERATORS.get(op_name)
+            if handler is None:
+                raise QueryError(f"unknown operator {op_name!r}")
+            if not handler(document, path, operand):
+                return False
+        return True
+    return _op_eq(document, path, condition)
+
+
+def matches(document: Mapping[str, Any], filter_doc: Mapping[str, Any]) -> bool:
+    """True if ``document`` satisfies ``filter_doc``.
+
+    An empty filter matches every document (MongoDB ``find({})``).
+    """
+    for key, condition in filter_doc.items():
+        if key == "$and":
+            if not isinstance(condition, (list, tuple)) or not condition:
+                raise QueryError("$and requires a non-empty list of filters")
+            if not all(matches(document, sub) for sub in condition):
+                return False
+        elif key == "$or":
+            if not isinstance(condition, (list, tuple)) or not condition:
+                raise QueryError("$or requires a non-empty list of filters")
+            if not any(matches(document, sub) for sub in condition):
+                return False
+        elif key == "$nor":
+            if not isinstance(condition, (list, tuple)) or not condition:
+                raise QueryError("$nor requires a non-empty list of filters")
+            if any(matches(document, sub) for sub in condition):
+                return False
+        elif key.startswith("$"):
+            raise QueryError(f"unknown top-level operator {key!r}")
+        else:
+            if not _match_condition(document, key, condition):
+                return False
+    return True
+
+
+def validate_filter(filter_doc: Mapping[str, Any]) -> None:
+    """Raise :class:`QueryError` if ``filter_doc`` is structurally malformed.
+
+    Evaluating against an empty document exercises every operator's operand
+    validation without touching data.
+    """
+    if not isinstance(filter_doc, Mapping):
+        raise QueryError(f"filter must be a mapping, got {type(filter_doc).__name__}")
+    matches({}, filter_doc)

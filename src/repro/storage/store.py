@@ -1,0 +1,127 @@
+"""Document store: a database of collections with JSONL persistence.
+
+:class:`DocumentStore` plays MongoDB's role in the paper's architecture
+(Section 4.2, component 2): long-term storage of alarms as schemaless
+documents plus batch analytics over them.  Persistence is line-delimited
+JSON per collection with a small manifest describing indexes, so a store can
+be saved and reloaded across processes — the "leverage the existing alarm
+collection" requirement of Section 4.3.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import PersistenceError, StorageError
+from repro.storage.aggregate import aggregate
+from repro.storage.collection import Collection
+
+__all__ = ["DocumentStore"]
+
+_MANIFEST_NAME = "manifest.json"
+
+
+class DocumentStore:
+    """A named set of collections, the MongoDB-database analogue."""
+
+    def __init__(self) -> None:
+        self._collections: dict[str, Collection] = {}
+        self._lock = threading.RLock()
+
+    def collection(self, name: str) -> Collection:
+        """Get or create the collection ``name`` (Mongo's implicit creation)."""
+        if not name or "/" in name or name.startswith("."):
+            raise StorageError(f"invalid collection name {name!r}")
+        with self._lock:
+            if name not in self._collections:
+                self._collections[name] = Collection(name)
+            return self._collections[name]
+
+    def drop_collection(self, name: str) -> None:
+        """Remove a collection and its documents."""
+        with self._lock:
+            if name not in self._collections:
+                raise StorageError(f"no collection named {name!r}")
+            del self._collections[name]
+
+    def collection_names(self) -> list[str]:
+        """Existing collection names, sorted."""
+        with self._lock:
+            return sorted(self._collections)
+
+    def aggregate(self, collection: str, pipeline: list[Mapping[str, Any]]) -> list[dict[str, Any]]:
+        """Run an aggregation pipeline over one collection."""
+        return aggregate(self.collection(collection).all_documents(), pipeline)
+
+    # -- persistence ----------------------------------------------------------------
+
+    def save(self, directory: str | Path) -> None:
+        """Write every collection as ``<name>.jsonl`` plus a manifest."""
+        path = Path(directory)
+        try:
+            path.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise PersistenceError(f"cannot create {path}: {exc}") from exc
+        manifest: dict[str, Any] = {"collections": {}}
+        with self._lock:
+            for name, coll in self._collections.items():
+                file_path = path / f"{name}.jsonl"
+                try:
+                    with file_path.open("w", encoding="utf-8") as handle:
+                        for doc in coll.all_documents():
+                            handle.write(json.dumps(doc, separators=(",", ":")))
+                            handle.write("\n")
+                except (OSError, TypeError, ValueError) as exc:
+                    raise PersistenceError(f"cannot save collection {name!r}: {exc}") from exc
+                manifest["collections"][name] = {"indexes": self._index_specs(coll)}
+        try:
+            (path / _MANIFEST_NAME).write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+        except OSError as exc:
+            raise PersistenceError(f"cannot write manifest: {exc}") from exc
+
+    @staticmethod
+    def _index_specs(coll: Collection) -> list[dict[str, Any]]:
+        specs = []
+        for field in coll.index_fields():
+            index = coll._indexes[field]
+            spec: dict[str, Any] = {"field": field, "kind": index.kind}
+            if getattr(index, "unique", False):
+                spec["unique"] = True
+            specs.append(spec)
+        return specs
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "DocumentStore":
+        """Rebuild a store previously written by :meth:`save`."""
+        path = Path(directory)
+        manifest_path = path / _MANIFEST_NAME
+        if not manifest_path.exists():
+            raise PersistenceError(f"no manifest at {manifest_path}")
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise PersistenceError(f"cannot read manifest: {exc}") from exc
+        store = cls()
+        for name, meta in manifest.get("collections", {}).items():
+            coll = store.collection(name)
+            for spec in meta.get("indexes", []):
+                coll.create_index(spec["field"], kind=spec.get("kind", "hash"),
+                                  unique=spec.get("unique", False))
+            file_path = path / f"{name}.jsonl"
+            if not file_path.exists():
+                continue
+            try:
+                with file_path.open("r", encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        doc = json.loads(line)
+                        doc.pop("_id", None)  # ids are reassigned on insert
+                        coll.insert_one(doc)
+            except (OSError, json.JSONDecodeError) as exc:
+                raise PersistenceError(f"cannot load collection {name!r}: {exc}") from exc
+        return store

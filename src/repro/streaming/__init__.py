@@ -1,0 +1,69 @@
+"""Streaming substrate: an in-process Kafka + Spark-Streaming analogue.
+
+Public API:
+
+* :class:`~repro.streaming.broker.Broker` — partitioned append-only logs
+  with consumer-group committed offsets.
+* :class:`~repro.streaming.producer.Producer` /
+  :class:`~repro.streaming.consumer.Consumer` — serialize/deserialize
+  records; offset commit gives exactly-once processing.
+* :class:`~repro.streaming.dstream.StreamingContext` — micro-batch
+  processing with per-batch datasets.
+* :class:`~repro.streaming.rdd.PartitionedDataset` — lazy cacheable
+  partitioned collections (the Spark RDD role).
+* Serializers: :class:`~repro.streaming.serializers.CompactJsonSerializer`
+  (fast, "Gson") and
+  :class:`~repro.streaming.serializers.ReflectiveJsonSerializer`
+  (slow, "Jackson") — the Figure 11 experiment.
+"""
+
+from repro.streaming.broker import Broker, PartitionLog, TopicMetadata
+from repro.streaming.consumer import Consumer, assign_partitions
+from repro.streaming.dstream import BatchStats, MicroBatch, StreamingContext
+from repro.streaming.message import Record, RecordBatch, TopicPartition
+from repro.streaming.producer import (
+    Producer,
+    ProducerStats,
+    hash_partitioner,
+    round_robin_partitioner,
+)
+from repro.streaming.rdd import PartitionedDataset
+from repro.streaming.windows import (
+    SlidingWindows,
+    TumblingWindows,
+    Window,
+    windowed_counts,
+)
+from repro.streaming.serializers import (
+    CompactJsonSerializer,
+    ReflectiveJsonSerializer,
+    Serializer,
+    serializer_by_name,
+)
+
+__all__ = [
+    "Broker",
+    "PartitionLog",
+    "TopicMetadata",
+    "Consumer",
+    "assign_partitions",
+    "BatchStats",
+    "MicroBatch",
+    "StreamingContext",
+    "Record",
+    "RecordBatch",
+    "TopicPartition",
+    "Producer",
+    "ProducerStats",
+    "hash_partitioner",
+    "round_robin_partitioner",
+    "PartitionedDataset",
+    "SlidingWindows",
+    "TumblingWindows",
+    "Window",
+    "windowed_counts",
+    "CompactJsonSerializer",
+    "ReflectiveJsonSerializer",
+    "Serializer",
+    "serializer_by_name",
+]

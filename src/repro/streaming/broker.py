@@ -1,0 +1,227 @@
+"""In-process message broker modelled on Apache Kafka.
+
+The broker stores records in append-only per-partition logs.  Consumers read
+by offset and commit consumed offsets per consumer group, which is what gives
+the system the paper's "exactly-once out of the box" property (Section 4.2):
+a record is neither skipped nor double-processed as long as processing and
+offset commits happen in order, because re-reading after a failure resumes
+from the last committed offset.
+
+Thread safety: all public methods take an internal lock, so one broker can be
+shared by multi-threaded producer and consumer applications (the setup used
+for the throughput experiments in Section 5.5.2).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    OffsetOutOfRangeError,
+    UnknownPartitionError,
+    UnknownTopicError,
+)
+from repro.streaming.message import Record, TopicPartition, monotonic_timestamp
+
+__all__ = ["Broker", "PartitionLog", "TopicMetadata"]
+
+
+class PartitionLog:
+    """Append-only record log for a single partition."""
+
+    def __init__(self, topic: str, partition: int):
+        self.topic = topic
+        self.partition = partition
+        self._records: list[Record] = []
+
+    def append(self, key: bytes | None, value: bytes, timestamp: float | None = None,
+               headers: dict[str, str] | None = None) -> int:
+        """Append one record and return its assigned offset."""
+        offset = len(self._records)
+        record = Record(
+            topic=self.topic,
+            partition=self.partition,
+            offset=offset,
+            key=key,
+            value=value,
+            timestamp=timestamp if timestamp is not None else monotonic_timestamp(),
+            headers=headers or {},
+        )
+        self._records.append(record)
+        return offset
+
+    def read(self, offset: int, max_records: int) -> list[Record]:
+        """Read up to ``max_records`` records starting at ``offset``.
+
+        Reading exactly at the end of the log returns an empty list (there is
+        simply nothing new yet); reading beyond it or at a negative offset is
+        an error, mirroring Kafka's ``OffsetOutOfRange``.
+        """
+        if offset < 0 or offset > len(self._records):
+            raise OffsetOutOfRangeError(
+                f"{self.topic}[{self.partition}]: offset {offset} outside [0, {len(self._records)}]"
+            )
+        return self._records[offset : offset + max_records]
+
+    def end_offset(self) -> int:
+        """The offset that the next appended record will receive."""
+        return len(self._records)
+
+    def size_bytes(self) -> int:
+        """Total payload bytes currently retained in the log."""
+        return sum(record.size_bytes() for record in self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+@dataclass
+class TopicMetadata:
+    """Shape of a topic: name and number of partitions."""
+
+    name: str
+    num_partitions: int
+    logs: list[PartitionLog] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.logs:
+            self.logs = [PartitionLog(self.name, p) for p in range(self.num_partitions)]
+
+
+class Broker:
+    """An in-process, thread-safe, partitioned message broker.
+
+    Supports topic creation, record append, offset-based fetch, per-group
+    committed offsets, and end-offset (high watermark) queries — the subset
+    of the Kafka protocol that the paper's system exercises.
+    """
+
+    def __init__(self) -> None:
+        self._topics: dict[str, TopicMetadata] = {}
+        # committed[(group, TopicPartition)] = next offset to consume
+        self._committed: dict[tuple[str, TopicPartition], int] = {}
+        self._lock = threading.RLock()
+
+    # -- topic administration -------------------------------------------------
+
+    def create_topic(self, name: str, num_partitions: int = 1) -> TopicMetadata:
+        """Create a topic.  Re-creating with the same partition count is a no-op."""
+        if num_partitions < 1:
+            raise UnknownPartitionError(f"num_partitions must be >= 1, got {num_partitions}")
+        with self._lock:
+            existing = self._topics.get(name)
+            if existing is not None:
+                if existing.num_partitions != num_partitions:
+                    raise UnknownPartitionError(
+                        f"topic {name!r} already exists with "
+                        f"{existing.num_partitions} partitions"
+                    )
+                return existing
+            meta = TopicMetadata(name=name, num_partitions=num_partitions)
+            self._topics[name] = meta
+            return meta
+
+    def delete_topic(self, name: str) -> None:
+        """Remove a topic and all committed offsets referring to it."""
+        with self._lock:
+            if name not in self._topics:
+                raise UnknownTopicError(f"unknown topic {name!r}")
+            del self._topics[name]
+            stale = [key for key in self._committed if key[1].topic == name]
+            for key in stale:
+                del self._committed[key]
+
+    def topics(self) -> list[str]:
+        """Names of all existing topics, sorted."""
+        with self._lock:
+            return sorted(self._topics)
+
+    def num_partitions(self, topic: str) -> int:
+        """Partition count of ``topic``."""
+        return self._metadata(topic).num_partitions
+
+    def partitions_for(self, topic: str) -> list[TopicPartition]:
+        """All :class:`TopicPartition` addresses of ``topic``."""
+        meta = self._metadata(topic)
+        return [TopicPartition(topic, p) for p in range(meta.num_partitions)]
+
+    # -- produce / fetch -------------------------------------------------------
+
+    def append(self, topic: str, partition: int, key: bytes | None, value: bytes,
+               timestamp: float | None = None,
+               headers: dict[str, str] | None = None) -> int:
+        """Append one record; returns the assigned offset."""
+        with self._lock:
+            log = self._log(topic, partition)
+            return log.append(key, value, timestamp=timestamp, headers=headers)
+
+    def fetch(self, tp: TopicPartition, offset: int, max_records: int = 500) -> list[Record]:
+        """Fetch up to ``max_records`` records from ``tp`` starting at ``offset``."""
+        with self._lock:
+            return self._log(tp.topic, tp.partition).read(offset, max_records)
+
+    def end_offset(self, tp: TopicPartition) -> int:
+        """High watermark of ``tp`` (offset the next record will get)."""
+        with self._lock:
+            return self._log(tp.topic, tp.partition).end_offset()
+
+    def end_offsets(self, topic: str) -> dict[TopicPartition, int]:
+        """High watermarks of every partition of ``topic``."""
+        with self._lock:
+            meta = self._metadata(topic)
+            return {
+                TopicPartition(topic, p): meta.logs[p].end_offset()
+                for p in range(meta.num_partitions)
+            }
+
+    # -- consumer-group offsets ------------------------------------------------
+
+    def commit(self, group: str, offsets: dict[TopicPartition, int]) -> None:
+        """Record ``offsets`` (next offset to consume) for consumer ``group``."""
+        with self._lock:
+            for tp, offset in offsets.items():
+                end = self._log(tp.topic, tp.partition).end_offset()
+                if offset < 0 or offset > end:
+                    raise OffsetOutOfRangeError(
+                        f"cannot commit offset {offset} for {tp} (log end {end})"
+                    )
+                self._committed[(group, tp)] = offset
+
+    def committed(self, group: str, tp: TopicPartition) -> int | None:
+        """Committed next-offset of ``group`` on ``tp``, or None if never committed."""
+        with self._lock:
+            self._log(tp.topic, tp.partition)  # validate existence
+            return self._committed.get((group, tp))
+
+    # -- stats -----------------------------------------------------------------
+
+    def total_records(self, topic: str) -> int:
+        """Total records across all partitions of ``topic``."""
+        with self._lock:
+            meta = self._metadata(topic)
+            return sum(len(log) for log in meta.logs)
+
+    def partition_sizes(self, topic: str) -> list[int]:
+        """Per-partition record counts (useful for skew diagnostics)."""
+        with self._lock:
+            meta = self._metadata(topic)
+            return [len(log) for log in meta.logs]
+
+    # -- internals ---------------------------------------------------------------
+
+    def _metadata(self, topic: str) -> TopicMetadata:
+        with self._lock:
+            try:
+                return self._topics[topic]
+            except KeyError:
+                raise UnknownTopicError(f"unknown topic {topic!r}") from None
+
+    def _log(self, topic: str, partition: int) -> PartitionLog:
+        meta = self._metadata(topic)
+        if not 0 <= partition < meta.num_partitions:
+            raise UnknownPartitionError(
+                f"topic {topic!r} has {meta.num_partitions} partitions; "
+                f"partition {partition} does not exist"
+            )
+        return meta.logs[partition]

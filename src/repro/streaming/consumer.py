@@ -1,0 +1,203 @@
+"""Consumer API with consumer-group offset management.
+
+A :class:`Consumer` polls records from assigned partitions, deserializes
+them, and commits offsets back to the broker under its consumer group.  The
+combination of offset-based fetch and explicit commit is what yields the
+paper's exactly-once processing guarantee (Section 4.2): after a crash, a new
+consumer in the same group resumes from the last committed offset, so every
+record is processed exactly once provided commits follow processing.
+
+:func:`assign_partitions` implements a range-style group assignment so that
+several consumers in one group share a topic's partitions without overlap.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterator
+
+from repro.errors import ConsumerClosedError, RebalanceError
+from repro.streaming.broker import Broker
+from repro.streaming.message import Record, RecordBatch, TopicPartition
+from repro.streaming.serializers import CompactJsonSerializer, Serializer
+
+__all__ = ["Consumer", "assign_partitions"]
+
+
+def assign_partitions(partitions: list[TopicPartition], num_members: int,
+                      member_index: int) -> list[TopicPartition]:
+    """Range assignment of ``partitions`` across ``num_members`` consumers.
+
+    Deterministic and gap-free: the union over all member indexes is exactly
+    ``partitions`` and the intersection of any two members is empty.
+    """
+    if num_members < 1:
+        raise RebalanceError(f"num_members must be >= 1, got {num_members}")
+    if not 0 <= member_index < num_members:
+        raise RebalanceError(
+            f"member_index {member_index} outside [0, {num_members})"
+        )
+    ordered = sorted(partitions)
+    return [tp for i, tp in enumerate(ordered) if i % num_members == member_index]
+
+
+class Consumer:
+    """Polls and deserializes records from a broker.
+
+    Parameters
+    ----------
+    broker:
+        Source broker.
+    group:
+        Consumer-group name; committed offsets are stored per group.
+    serializer:
+        Must be wire-compatible with the producer's serializer (both built-in
+        serializers are mutually compatible at the JSON level).
+    auto_offset_reset:
+        Where to start when the group has no committed offset:
+        ``"earliest"`` (default) or ``"latest"``.
+    """
+
+    def __init__(
+        self,
+        broker: Broker,
+        group: str,
+        serializer: Serializer | None = None,
+        auto_offset_reset: str = "earliest",
+    ) -> None:
+        if auto_offset_reset not in ("earliest", "latest"):
+            raise ValueError(
+                f"auto_offset_reset must be 'earliest' or 'latest', got {auto_offset_reset!r}"
+            )
+        self._broker = broker
+        self._group = group
+        self._serializer = serializer if serializer is not None else CompactJsonSerializer()
+        self._auto_offset_reset = auto_offset_reset
+        self._positions: dict[TopicPartition, int] = {}
+        self._assignment: list[TopicPartition] = []
+        self._closed = False
+        self._lock = threading.Lock()
+
+    @property
+    def group(self) -> str:
+        """Consumer-group name."""
+        return self._group
+
+    @property
+    def serializer(self) -> Serializer:
+        """The serializer in use (read-only)."""
+        return self._serializer
+
+    # -- assignment -------------------------------------------------------------
+
+    def subscribe(self, topic: str, num_members: int = 1, member_index: int = 0) -> None:
+        """Assign this consumer its share of ``topic``'s partitions."""
+        partitions = self._broker.partitions_for(topic)
+        self.assign(assign_partitions(partitions, num_members, member_index))
+
+    def assign(self, partitions: list[TopicPartition]) -> None:
+        """Explicitly assign ``partitions``; resets positions from committed offsets."""
+        with self._lock:
+            self._check_open()
+            self._assignment = sorted(partitions)
+            self._positions = {}
+            for tp in self._assignment:
+                committed = self._broker.committed(self._group, tp)
+                if committed is not None:
+                    self._positions[tp] = committed
+                elif self._auto_offset_reset == "earliest":
+                    self._positions[tp] = 0
+                else:
+                    self._positions[tp] = self._broker.end_offset(tp)
+
+    def assignment(self) -> list[TopicPartition]:
+        """Currently assigned partitions."""
+        with self._lock:
+            return list(self._assignment)
+
+    def position(self, tp: TopicPartition) -> int:
+        """Next offset this consumer will fetch from ``tp``."""
+        with self._lock:
+            try:
+                return self._positions[tp]
+            except KeyError:
+                raise RebalanceError(f"{tp} is not assigned to this consumer") from None
+
+    def seek(self, tp: TopicPartition, offset: int) -> None:
+        """Move the fetch position of ``tp`` to ``offset``."""
+        with self._lock:
+            if tp not in self._positions:
+                raise RebalanceError(f"{tp} is not assigned to this consumer")
+            self._positions[tp] = offset
+
+    # -- fetch ------------------------------------------------------------------
+
+    def poll(self, max_records: int = 500) -> RecordBatch:
+        """Fetch up to ``max_records`` raw records across assigned partitions.
+
+        Records are fetched fairly (per-partition quota) and the consumer's
+        in-memory positions advance; offsets are durable only after
+        :meth:`commit`.
+        """
+        with self._lock:
+            self._check_open()
+            if not self._assignment:
+                return RecordBatch.empty()
+            per_partition = max(1, max_records // len(self._assignment))
+            fetched: dict[TopicPartition, list[Record]] = {}
+            for tp in self._assignment:
+                records = self._broker.fetch(tp, self._positions[tp], per_partition)
+                if records:
+                    fetched[tp] = records
+                    self._positions[tp] = records[-1].offset + 1
+            return RecordBatch(fetched)
+
+    def poll_values(self, max_records: int = 500) -> list[Any]:
+        """Poll and deserialize payloads, in partition/offset order."""
+        return [self._serializer.deserialize(r.value) for r in self.poll(max_records)]
+
+    def stream_values(self, max_records: int = 500) -> Iterator[Any]:
+        """Yield deserialized payloads until the assigned partitions are drained."""
+        while True:
+            batch = self.poll(max_records)
+            if not batch:
+                return
+            for record in batch:
+                yield self._serializer.deserialize(record.value)
+
+    # -- commit -----------------------------------------------------------------
+
+    def commit(self) -> dict[TopicPartition, int]:
+        """Commit current positions for the group; returns what was committed."""
+        with self._lock:
+            self._check_open()
+            offsets = dict(self._positions)
+            self._broker.commit(self._group, offsets)
+            return offsets
+
+    def committed(self, tp: TopicPartition) -> int | None:
+        """The group's committed next-offset on ``tp`` (None if never committed)."""
+        return self._broker.committed(self._group, tp)
+
+    def lag(self) -> dict[TopicPartition, int]:
+        """Records remaining per assigned partition (end offset - position)."""
+        with self._lock:
+            return {
+                tp: self._broker.end_offset(tp) - self._positions[tp]
+                for tp in self._assignment
+            }
+
+    def close(self) -> None:
+        """Close the consumer; further operations raise :class:`ConsumerClosedError`."""
+        with self._lock:
+            self._closed = True
+
+    def __enter__(self) -> "Consumer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConsumerClosedError("operation on closed consumer")

@@ -1,0 +1,133 @@
+"""Record and addressing types for the streaming substrate.
+
+These mirror the basic Kafka abstractions: a :class:`Record` is one message
+(key, value, timestamp, headers) stored at a concrete ``(topic, partition,
+offset)`` coordinate, and a :class:`TopicPartition` names one partition of a
+topic for assignment and offset bookkeeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+
+@dataclass(frozen=True, slots=True)
+class TopicPartition:
+    """Address of one partition of one topic.
+
+    Hashable and orderable so it can be used as a dictionary key for offset
+    maps and sorted for deterministic assignment.
+    """
+
+    topic: str
+    partition: int
+
+    def __post_init__(self) -> None:
+        if self.partition < 0:
+            raise ValueError(f"partition must be >= 0, got {self.partition}")
+
+    def __lt__(self, other: "TopicPartition") -> bool:
+        return (self.topic, self.partition) < (other.topic, other.partition)
+
+
+@dataclass(frozen=True, slots=True)
+class Record:
+    """One message in a partition log.
+
+    ``value`` is the serialized payload (``bytes``).  ``key`` optionally
+    routes the record to a partition and travels with it.  ``offset`` is
+    assigned by the broker on append; records created by a producer before
+    the append carry ``offset=-1``.
+    """
+
+    topic: str
+    partition: int
+    offset: int
+    key: bytes | None
+    value: bytes
+    timestamp: float
+    headers: Mapping[str, str] = field(default_factory=dict)
+
+    @property
+    def topic_partition(self) -> TopicPartition:
+        """The :class:`TopicPartition` this record belongs to."""
+        return TopicPartition(self.topic, self.partition)
+
+    def size_bytes(self) -> int:
+        """Approximate wire size of the record (key + value + headers)."""
+        size = len(self.value)
+        if self.key is not None:
+            size += len(self.key)
+        for name, val in self.headers.items():
+            size += len(name.encode("utf-8")) + len(val.encode("utf-8"))
+        return size
+
+
+class RecordBatch:
+    """An ordered batch of records fetched from one or more partitions.
+
+    Returned by :meth:`repro.streaming.consumer.Consumer.poll`.  Iterating a
+    batch yields records in per-partition offset order.
+    """
+
+    def __init__(self, records_by_partition: Mapping[TopicPartition, list[Record]]):
+        self._by_partition = {
+            tp: list(records) for tp, records in records_by_partition.items() if records
+        }
+
+    def __iter__(self) -> Iterator[Record]:
+        for tp in sorted(self._by_partition):
+            yield from self._by_partition[tp]
+
+    def __len__(self) -> int:
+        return sum(len(records) for records in self._by_partition.values())
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+    def partitions(self) -> list[TopicPartition]:
+        """Partitions that contributed at least one record, sorted."""
+        return sorted(self._by_partition)
+
+    def records(self, tp: TopicPartition) -> list[Record]:
+        """Records fetched from ``tp`` (empty list if none)."""
+        return list(self._by_partition.get(tp, []))
+
+    def max_offsets(self) -> dict[TopicPartition, int]:
+        """Highest offset seen per partition, for commit bookkeeping."""
+        return {tp: records[-1].offset for tp, records in self._by_partition.items()}
+
+    @staticmethod
+    def empty() -> "RecordBatch":
+        """A batch containing no records."""
+        return RecordBatch({})
+
+
+_clock_lock = threading.Lock()
+_clock_last = 0.0
+
+
+def monotonic_timestamp() -> float:
+    """Wall-clock timestamp, strictly increasing within the process.
+
+    ``time.time()`` can return identical values for records produced in a
+    tight loop (and a sub-microsecond additive tie-breaker would vanish in
+    float64 at epoch magnitude), so the last issued value is tracked and
+    each call returns at least one microsecond more than the previous one.
+    """
+    global _clock_last
+    with _clock_lock:
+        now = time.time()
+        if now <= _clock_last:
+            now = _clock_last + 1e-6
+        _clock_last = now
+        return now
+
+
+def iter_values(records: Iterable[Record]) -> Iterator[bytes]:
+    """Yield just the payloads of ``records`` (helper for tests/examples)."""
+    for record in records:
+        yield record.value

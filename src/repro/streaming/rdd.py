@@ -1,0 +1,215 @@
+"""A miniature RDD: lazy, partitioned, cacheable datasets.
+
+Spark's Resilient Distributed Datasets are lazy — a transformation builds a
+plan, and every action re-executes that plan unless the dataset was
+explicitly cached.  The paper's "cache data that will be reused" lesson
+(Section 6.2) is about exactly this: their deserialization step silently ran
+twice because the same stream batch fed both the ML classifier and the
+history query without a ``cache()`` in between.
+
+:class:`PartitionedDataset` reproduces that semantics faithfully:
+
+* transformations (``map``, ``filter``, ``flat_map``, ``distinct``,
+  ``repartition``) are lazy and return a new dataset;
+* actions (``collect``, ``count``, ``reduce``, ``foreach_partition``)
+  execute the plan — *each time they are called*, unless :meth:`cache` was
+  invoked;
+* ``num_computations`` counts how many times the source was materialized, so
+  tests and benchmarks can observe the recompute-versus-cache effect.
+
+Parallel execution uses a thread pool over partitions, mirroring Spark's
+task-per-partition model (and the Kafka repartitioning fix of Section 5.5.2).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterable, Iterator, TypeVar
+
+T = TypeVar("T")
+U = TypeVar("U")
+
+__all__ = ["PartitionedDataset"]
+
+
+class PartitionedDataset:
+    """Lazy partitioned dataset with Spark-like transformation/action split."""
+
+    def __init__(self, compute: Callable[[], list[list[Any]]],
+                 parent: "PartitionedDataset | None" = None):
+        self._compute = compute
+        self._parent = parent
+        self._cached: list[list[Any]] | None = None
+        self._cache_enabled = False
+        self._lock = threading.Lock()
+        self._computations = 0
+
+    # -- construction -----------------------------------------------------------
+
+    @staticmethod
+    def from_partitions(partitions: list[list[Any]]) -> "PartitionedDataset":
+        """Wrap already-materialized partitions (copies are not taken)."""
+        snapshot = [list(p) for p in partitions]
+        return PartitionedDataset(lambda: [list(p) for p in snapshot])
+
+    @staticmethod
+    def from_iterable(items: Iterable[Any], num_partitions: int = 1) -> "PartitionedDataset":
+        """Distribute ``items`` round-robin over ``num_partitions`` partitions."""
+        if num_partitions < 1:
+            raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+        partitions: list[list[Any]] = [[] for _ in range(num_partitions)]
+        for i, item in enumerate(items):
+            partitions[i % num_partitions].append(item)
+        return PartitionedDataset.from_partitions(partitions)
+
+    # -- transformations (lazy) ---------------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any]) -> "PartitionedDataset":
+        """Apply ``fn`` to every element (lazy)."""
+        return PartitionedDataset(
+            lambda: [[fn(x) for x in part] for part in self._materialize()], parent=self
+        )
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "PartitionedDataset":
+        """Keep elements where ``predicate`` is true (lazy)."""
+        return PartitionedDataset(
+            lambda: [[x for x in part if predicate(x)] for part in self._materialize()],
+            parent=self,
+        )
+
+    def flat_map(self, fn: Callable[[Any], Iterable[Any]]) -> "PartitionedDataset":
+        """Apply ``fn`` and flatten its results within each partition (lazy)."""
+        def compute() -> list[list[Any]]:
+            return [[y for x in part for y in fn(x)] for part in self._materialize()]
+        return PartitionedDataset(compute, parent=self)
+
+    def distinct(self) -> "PartitionedDataset":
+        """Global distinct; results land in the same number of partitions (lazy).
+
+        Element order follows first occurrence across partitions in order,
+        which keeps the operation deterministic.
+        """
+        def compute() -> list[list[Any]]:
+            parts = self._materialize()
+            seen: set[Any] = set()
+            unique: list[Any] = []
+            for part in parts:
+                for x in part:
+                    if x not in seen:
+                        seen.add(x)
+                        unique.append(x)
+            n = max(1, len(parts))
+            redistributed: list[list[Any]] = [[] for _ in range(n)]
+            for i, x in enumerate(unique):
+                redistributed[i % n].append(x)
+            return redistributed
+        return PartitionedDataset(compute, parent=self)
+
+    def repartition(self, num_partitions: int) -> "PartitionedDataset":
+        """Redistribute elements round-robin into ``num_partitions`` (lazy).
+
+        This is the fix from Section 5.5.2: an un-partitioned Kafka stream
+        arrives as a single partition and is processed serially; after
+        ``repartition(n)`` actions can use ``n`` parallel workers.
+        """
+        if num_partitions < 1:
+            raise ValueError(f"num_partitions must be >= 1, got {num_partitions}")
+        def compute() -> list[list[Any]]:
+            flat = [x for part in self._materialize() for x in part]
+            out: list[list[Any]] = [[] for _ in range(num_partitions)]
+            for i, x in enumerate(flat):
+                out[i % num_partitions].append(x)
+            return out
+        return PartitionedDataset(compute, parent=self)
+
+    def union(self, other: "PartitionedDataset") -> "PartitionedDataset":
+        """Concatenate two datasets partition-wise (lazy)."""
+        return PartitionedDataset(
+            lambda: self._materialize() + other._materialize(), parent=self
+        )
+
+    # -- caching ------------------------------------------------------------------
+
+    def cache(self) -> "PartitionedDataset":
+        """Materialize at most once; later actions reuse the stored partitions."""
+        self._cache_enabled = True
+        return self
+
+    def unpersist(self) -> "PartitionedDataset":
+        """Drop any cached partitions and disable caching."""
+        with self._lock:
+            self._cache_enabled = False
+            self._cached = None
+        return self
+
+    @property
+    def is_cached(self) -> bool:
+        """Whether :meth:`cache` is enabled on this dataset."""
+        return self._cache_enabled
+
+    @property
+    def num_computations(self) -> int:
+        """How many times this dataset's plan has been executed."""
+        return self._computations
+
+    # -- actions (eager) ------------------------------------------------------------
+
+    def collect(self) -> list[Any]:
+        """Execute the plan and return all elements in partition order."""
+        return [x for part in self._materialize() for x in part]
+
+    def collect_partitions(self) -> list[list[Any]]:
+        """Execute the plan and return the raw partitions."""
+        return [list(p) for p in self._materialize()]
+
+    def count(self) -> int:
+        """Execute the plan and count elements."""
+        return sum(len(part) for part in self._materialize())
+
+    def num_partitions(self) -> int:
+        """Number of partitions (requires executing the plan)."""
+        return len(self._materialize())
+
+    def reduce(self, fn: Callable[[Any, Any], Any]) -> Any:
+        """Fold all elements with ``fn``; raises ValueError on empty datasets."""
+        items = self.collect()
+        if not items:
+            raise ValueError("reduce() of empty dataset")
+        acc = items[0]
+        for item in items[1:]:
+            acc = fn(acc, item)
+        return acc
+
+    def map_partitions_parallel(self, fn: Callable[[list[Any]], Any],
+                                max_workers: int | None = None) -> list[Any]:
+        """Run ``fn`` once per partition on a thread pool; returns per-partition results.
+
+        This is the task-per-partition execution model: with ``p`` partitions
+        and ``max_workers >= p``, all partitions are processed concurrently.
+        """
+        parts = self._materialize()
+        if len(parts) == 1:
+            return [fn(parts[0])]
+        with ThreadPoolExecutor(max_workers=max_workers or len(parts)) as pool:
+            return list(pool.map(fn, parts))
+
+    def foreach_partition(self, fn: Callable[[list[Any]], None]) -> None:
+        """Run a side-effecting ``fn`` serially on each partition."""
+        for part in self._materialize():
+            fn(part)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.collect())
+
+    # -- internals --------------------------------------------------------------------
+
+    def _materialize(self) -> list[list[Any]]:
+        with self._lock:
+            if self._cache_enabled and self._cached is not None:
+                return self._cached
+            self._computations += 1
+            result = self._compute()
+            if self._cache_enabled:
+                self._cached = result
+            return result

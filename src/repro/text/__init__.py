@@ -1,0 +1,34 @@
+"""Text-analytics subsystem for the hybrid approach (Figure 5).
+
+Public API: tokenization, language identification (de/fr/en), multilingual
+fire/intrusion keyword filtering, date and location extraction, and the
+:class:`~repro.text.pipeline.IncidentPipeline` that wires them into the
+incident-history collection.
+"""
+
+from repro.text.dates import extract_date, parse_textual_date
+from repro.text.keywords import TOPIC_KEYWORDS, KeywordFilter, is_relevant, match_topics
+from repro.text.language import SUPPORTED_LANGUAGES, detect_language, language_scores
+from repro.text.locations import LocationExtractor
+from repro.text.pipeline import AnnotatedIncident, IncidentPipeline, PipelineReport
+from repro.text.tokenize import ngrams, normalize, sentence_split, tokenize
+
+__all__ = [
+    "extract_date",
+    "parse_textual_date",
+    "TOPIC_KEYWORDS",
+    "KeywordFilter",
+    "is_relevant",
+    "match_topics",
+    "SUPPORTED_LANGUAGES",
+    "detect_language",
+    "language_scores",
+    "LocationExtractor",
+    "AnnotatedIncident",
+    "IncidentPipeline",
+    "PipelineReport",
+    "ngrams",
+    "normalize",
+    "sentence_split",
+    "tokenize",
+]

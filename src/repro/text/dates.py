@@ -1,0 +1,117 @@
+"""Date extraction from incident-report text and metadata.
+
+Each report is "annotated with a time ... extracted directly from the
+textual data or from the metadata (if available)" (Section 4.2).  Supported
+textual forms cover the conventions of the corpus languages:
+
+* numeric: ``13.06.2026`` (Swiss/German), ``13/06/2026`` (French),
+  ``2026-06-13`` (ISO)
+* month names: ``13. Juni 2026``, ``13 juin 2026``, ``June 13, 2026``
+* relative words resolved against a reference date: ``heute``, ``gestern``,
+  ``aujourd'hui``, ``hier``, ``today``, ``yesterday``.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import re
+
+__all__ = ["extract_date", "parse_textual_date"]
+
+_MONTHS = {
+    # German
+    "januar": 1, "februar": 2, "marz": 3, "april": 4, "mai": 5, "juni": 6,
+    "juli": 7, "august": 8, "september": 9, "oktober": 10, "november": 11,
+    "dezember": 12,
+    # French
+    "janvier": 1, "fevrier": 2, "mars": 3, "avril": 4, "juin": 6,
+    "juillet": 7, "aout": 8, "septembre": 9, "octobre": 10, "novembre": 11,
+    "decembre": 12,
+    # English
+    "january": 1, "february": 2, "march": 3, "may": 5, "june": 6, "july": 7,
+    "october": 10, "december": 12,
+}
+
+_NUMERIC_DMY = re.compile(r"\b(\d{1,2})[./](\d{1,2})[./](\d{4})\b")
+_NUMERIC_ISO = re.compile(r"\b(\d{4})-(\d{2})-(\d{2})\b")
+_MONTH_NAME_DMY = re.compile(
+    r"\b(\d{1,2})\.?\s+([a-zA-ZÀ-ſ]+)\s+(\d{4})\b"
+)
+_MONTH_NAME_MDY = re.compile(
+    r"\b([a-zA-Z]+)\s+(\d{1,2}),\s*(\d{4})\b"
+)
+
+_RELATIVE = {
+    "heute": 0, "gestern": -1, "vorgestern": -2,
+    "aujourd'hui": 0, "hier": -1, "avant-hier": -2,
+    "today": 0, "yesterday": -1,
+}
+
+
+def _normalize_month(name: str) -> str:
+    import unicodedata
+    decomposed = unicodedata.normalize("NFKD", name.casefold())
+    return "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+
+
+def _safe_date(year: int, month: int, day: int) -> dt.date | None:
+    try:
+        return dt.date(year, month, day)
+    except ValueError:
+        return None
+
+
+def parse_textual_date(text: str,
+                       reference: dt.date | None = None) -> dt.date | None:
+    """First date found in ``text``, or None.
+
+    Search order: ISO, numeric day-first, month-name (day-first then
+    US-style), then relative words resolved against ``reference``
+    (defaults to nothing — relative words without a reference return None).
+    """
+    iso = _NUMERIC_ISO.search(text)
+    if iso:
+        date = _safe_date(int(iso.group(1)), int(iso.group(2)), int(iso.group(3)))
+        if date:
+            return date
+    dmy = _NUMERIC_DMY.search(text)
+    if dmy:
+        date = _safe_date(int(dmy.group(3)), int(dmy.group(2)), int(dmy.group(1)))
+        if date:
+            return date
+    named = _MONTH_NAME_DMY.search(text)
+    if named:
+        month = _MONTHS.get(_normalize_month(named.group(2)))
+        if month:
+            date = _safe_date(int(named.group(3)), month, int(named.group(1)))
+            if date:
+                return date
+    us_named = _MONTH_NAME_MDY.search(text)
+    if us_named:
+        month = _MONTHS.get(_normalize_month(us_named.group(1)))
+        if month:
+            date = _safe_date(int(us_named.group(3)), month, int(us_named.group(2)))
+            if date:
+                return date
+    if reference is not None:
+        lowered = text.casefold()
+        for word, delta in _RELATIVE.items():
+            if word in lowered:
+                return reference + dt.timedelta(days=delta)
+    return None
+
+
+def extract_date(text: str, metadata_date: str | None = None,
+                 reference: dt.date | None = None) -> dt.date | None:
+    """Date of an incident report: metadata first, then the text itself.
+
+    ``metadata_date`` is an ISO string (e.g. a tweet's post date) and wins
+    over textual extraction when present and valid, matching the pipeline's
+    "from the metadata (if available)" rule.
+    """
+    if metadata_date:
+        try:
+            return dt.date.fromisoformat(metadata_date[:10])
+        except ValueError:
+            pass
+    return parse_textual_date(text, reference=reference)

@@ -1,0 +1,78 @@
+"""Topic filtering by multilingual keyword sets.
+
+The incidents pipeline "filters those pertaining to relevant topics (fire
+and intrusion), based on a set of keywords defined in the pipeline"
+(Section 4.2).  Keywords are stored pre-normalized (lowercase, accent-free)
+and matched against normalized tokens, so "Einbruch", "cambriolage" and
+"burglary" all route to the ``intrusion`` topic regardless of case or
+diacritics.
+"""
+
+from __future__ import annotations
+
+from repro.text.tokenize import normalize, tokenize
+
+__all__ = ["TOPIC_KEYWORDS", "match_topics", "is_relevant", "KeywordFilter"]
+
+TOPIC_KEYWORDS: dict[str, frozenset[str]] = {
+    "fire": frozenset("""
+        brand feuer grossbrand wohnungsbrand dachstockbrand brandstiftung
+        rauch flammen brandalarm
+        incendie feu flammes fumee embrasement sinistre
+        fire blaze flames smoke arson wildfire
+    """.split()),
+    "intrusion": frozenset("""
+        einbruch einbrecher eingebrochen einbruchdiebstahl diebstahl raub
+        einschleichdieb
+        cambriolage cambrioleur effraction vol voleur intrusion
+        burglary burglar intruder breakin robbery theft
+    """.split()),
+}
+
+
+def match_topics(text: str, topics: dict[str, frozenset[str]] | None = None) -> set[str]:
+    """Topics whose keyword set intersects the normalized tokens of ``text``."""
+    vocabulary = topics if topics is not None else TOPIC_KEYWORDS
+    tokens = set(tokenize(text))
+    return {topic for topic, keywords in vocabulary.items() if tokens & keywords}
+
+
+def is_relevant(text: str, topics: dict[str, frozenset[str]] | None = None) -> bool:
+    """True when ``text`` matches at least one topic."""
+    return bool(match_topics(text, topics))
+
+
+class KeywordFilter:
+    """Configurable topic filter (custom topics can extend the defaults).
+
+    ``extra_keywords`` maps topic name to additional keywords; they are
+    normalized on construction so callers may pass accented forms.
+    """
+
+    def __init__(self, topics: dict[str, set[str]] | None = None,
+                 extra_keywords: dict[str, set[str]] | None = None) -> None:
+        base = topics if topics is not None else {
+            name: set(words) for name, words in TOPIC_KEYWORDS.items()
+        }
+        merged = {name: set(words) for name, words in base.items()}
+        for topic, words in (extra_keywords or {}).items():
+            merged.setdefault(topic, set()).update(normalize(w) for w in words)
+        self._topics = {name: frozenset(words) for name, words in merged.items()}
+
+    @property
+    def topic_names(self) -> list[str]:
+        """Configured topic names, sorted."""
+        return sorted(self._topics)
+
+    def topics_of(self, text: str) -> set[str]:
+        """Topics matched by ``text``."""
+        return match_topics(text, self._topics)
+
+    def filter(self, texts: list[str]) -> list[tuple[str, set[str]]]:
+        """Keep only relevant texts, paired with their matched topics."""
+        results = []
+        for text in texts:
+            matched = self.topics_of(text)
+            if matched:
+                results.append((text, matched))
+        return results

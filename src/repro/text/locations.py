@@ -1,0 +1,74 @@
+"""Gazetteer-based location extraction.
+
+Incident reports carry locations only at city/village granularity
+(Section 5.2 — metadata has no ZIP codes), so extraction is a gazetteer
+lookup: normalized token n-grams of the text are matched against normalized
+place names.  Multi-word names ("La Chaux-de-Fonds") are matched before
+shorter ones so the most specific place wins.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.text.tokenize import ngrams, normalize, tokenize
+
+__all__ = ["LocationExtractor"]
+
+
+class LocationExtractor:
+    """Matches place names from a gazetteer inside free text.
+
+    Parameters
+    ----------
+    place_names:
+        Canonical place names.  Matching is case- and accent-insensitive;
+        the *canonical* spelling is returned.
+    """
+
+    def __init__(self, place_names: Iterable[str]) -> None:
+        self._by_tokens: dict[tuple[str, ...], str] = {}
+        self._max_words = 1
+        for name in place_names:
+            key = tuple(tokenize(name))
+            if not key:
+                continue
+            self._by_tokens[key] = name
+            self._max_words = max(self._max_words, len(key))
+
+    def __len__(self) -> int:
+        return len(self._by_tokens)
+
+    def extract_all(self, text: str) -> list[str]:
+        """All distinct places mentioned, in order of first occurrence.
+
+        Longest-match-wins: once a multi-word name matches, its tokens are
+        consumed and shorter names inside it are not reported.
+        """
+        tokens = tokenize(text)
+        matches: list[tuple[int, str]] = []
+        consumed = [False] * len(tokens)
+        for size in range(self._max_words, 0, -1):
+            for start, window in enumerate(ngrams(tokens, size)):
+                if any(consumed[start : start + size]):
+                    continue
+                place = self._by_tokens.get(window)
+                if place is not None:
+                    for i in range(start, start + size):
+                        consumed[i] = True
+                    matches.append((start, place))
+        matches.sort(key=lambda pair: pair[0])
+        ordered: list[str] = []
+        for _, place in matches:
+            if place not in ordered:
+                ordered.append(place)
+        return ordered
+
+    def extract(self, text: str) -> str | None:
+        """First place mentioned in ``text``, or None."""
+        places = self.extract_all(text)
+        return places[0] if places else None
+
+    def contains(self, name: str) -> bool:
+        """Whether ``name`` is in the gazetteer (normalized comparison)."""
+        return tuple(tokenize(name)) in self._by_tokens

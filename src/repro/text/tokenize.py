@@ -1,0 +1,59 @@
+"""Unicode-aware tokenization for incident reports.
+
+Incident reports arrive as free text in German, French and English
+(Section 5.2), so the tokenizer must handle umlauts, accents and
+apostrophe-joined French clitics ("l'incendie" -> "l", "incendie").
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+from typing import Iterator
+
+__all__ = ["tokenize", "normalize", "ngrams", "sentence_split"]
+
+_WORD_RE = re.compile(r"[^\W\d_]+", re.UNICODE)
+_SENTENCE_RE = re.compile(r"(?<=[.!?])\s+")
+
+
+def normalize(text: str) -> str:
+    """Lowercase and strip combining accents (é -> e, ü -> u).
+
+    German sharp-s is expanded to "ss" by NFKD + casefold, which keeps
+    keyword matching robust across spellings ("Straße" vs "Strasse").
+
+    The pass runs twice because compatibility decomposition can surface new
+    cased characters (e.g. mathematical bold '𝑨' decomposes to 'A'); the
+    second pass makes the function idempotent.
+    """
+    def one_pass(value: str) -> str:
+        decomposed = unicodedata.normalize("NFKD", value.casefold())
+        return "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+
+    return one_pass(one_pass(text))
+
+
+def tokenize(text: str, normalized: bool = True) -> list[str]:
+    """Split ``text`` into word tokens (letters only, digits dropped).
+
+    The regex class ``[^\\W\\d_]`` still admits non-decimal numerals
+    (e.g. Tibetan half-digits, category No), so tokens are additionally
+    required to be fully alphabetic.
+    """
+    source = normalize(text) if normalized else text
+    return [token for token in _WORD_RE.findall(source) if token.isalpha()]
+
+
+def ngrams(tokens: list[str], n: int) -> Iterator[tuple[str, ...]]:
+    """Yield consecutive ``n``-token windows."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    for i in range(len(tokens) - n + 1):
+        yield tuple(tokens[i : i + n])
+
+
+def sentence_split(text: str) -> list[str]:
+    """Naive sentence segmentation on terminal punctuation."""
+    sentences = [s.strip() for s in _SENTENCE_RE.split(text)]
+    return [s for s in sentences if s]

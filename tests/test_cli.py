@@ -1,0 +1,117 @@
+"""CLI tests: each subcommand exercised through ``repro.cli.main``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.ml import FeaturePipeline
+
+
+@pytest.fixture(scope="module")
+def alarm_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "alarms.jsonl"
+    code = main([
+        "generate", "--count", "1200", "--devices", "120",
+        "--seed", "5", "--out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def model_file(tmp_path_factory, alarm_file):
+    path = tmp_path_factory.mktemp("cli") / "model.pkl"
+    code = main([
+        "train", "--alarms", str(alarm_file), "--model", str(path),
+        "--algorithm", "lr",
+    ])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_writes_valid_jsonl(self, alarm_file):
+        lines = alarm_file.read_text().strip().splitlines()
+        assert len(lines) == 1200
+        doc = json.loads(lines[0])
+        assert {"device_address", "zip_code", "timestamp", "alarm_type",
+                "duration_seconds"} <= set(doc)
+
+    def test_deterministic_for_seed(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        main(["generate", "--count", "50", "--seed", "9", "--out", str(a)])
+        main(["generate", "--count", "50", "--seed", "9", "--out", str(b)])
+        assert a.read_text() == b.read_text()
+
+
+class TestTrain:
+    def test_saves_loadable_pipeline(self, model_file):
+        pipeline = FeaturePipeline.load(model_file)
+        assert set(pipeline.classes_) == {True, False}
+
+    def test_training_prints_accuracy(self, capsys, alarm_file, tmp_path):
+        main(["train", "--alarms", str(alarm_file),
+              "--model", str(tmp_path / "m.pkl"), "--algorithm", "lr"])
+        out = capsys.readouterr().out
+        assert "training accuracy" in out
+
+    def test_empty_input_fails(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        code = main(["train", "--alarms", str(empty),
+                     "--model", str(tmp_path / "m.pkl")])
+        assert code == 1
+
+
+class TestVerify:
+    def test_prints_verifications_and_summary(self, capsys, alarm_file, model_file):
+        code = main(["verify", "--model", str(model_file),
+                     "--alarms", str(alarm_file), "--limit", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alarms verified" in out
+        assert "p_false=" in out
+
+
+class TestStreamDemo:
+    def test_runs_end_to_end(self, capsys):
+        code = main(["stream-demo", "--count", "600", "--algorithm", "lr"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified 600 alarms" in out
+        assert "ml" in out
+
+
+class TestIncidents:
+    def test_prints_corpus_stats_and_writes_jsonl(self, capsys, tmp_path):
+        out_path = tmp_path / "incidents.jsonl"
+        code = main(["incidents", "--count", "300", "--out", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "languages:" in out
+        lines = out_path.read_text().strip().splitlines()
+        assert lines
+        doc = json.loads(lines[0])
+        assert {"text", "topics", "language", "location"} <= set(doc)
+
+
+class TestSecurityMap:
+    def test_renders_grid(self, capsys):
+        code = main(["security-map", "--count", "300",
+                     "--width", "30", "--height", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        grid_lines = [l for l in out.splitlines() if set(l) <= {".", "o", "#"} and l]
+        assert len(grid_lines) == 10
+        assert "cells:" in out
+
+
+class TestParser:
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,114 @@
+"""Alarm record and duration-labeling tests."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core import (
+    Alarm,
+    DEFAULT_DELTA_T,
+    LabeledAlarm,
+    delta_t_sweep,
+    label_alarms,
+    label_by_duration,
+)
+from repro.errors import ConfigurationError
+
+
+def make_alarm(**overrides):
+    defaults = dict(
+        device_address="00:1A:00:01",
+        zip_code="8001",
+        timestamp=dt.datetime(2016, 1, 15, 14, 30, tzinfo=dt.timezone.utc).timestamp(),
+        alarm_type="intrusion",
+        property_type="residential",
+        duration_seconds=30.0,
+        sensor_type="motion",
+        software_version="2.0",
+        locality="Zurichberg",
+    )
+    defaults.update(overrides)
+    return Alarm(**defaults)
+
+
+class TestAlarm:
+    def test_time_derivations(self):
+        alarm = make_alarm()
+        assert alarm.hour_of_day == 14
+        assert alarm.day_of_week == 4  # 2016-01-15 was a Friday
+
+    def test_document_round_trip(self):
+        alarm = make_alarm(extras={"battery": "low"})
+        restored = Alarm.from_document(alarm.to_document())
+        assert restored == alarm
+
+    def test_document_round_trip_ignores_store_id(self):
+        doc = make_alarm().to_document()
+        doc["_id"] = 42
+        assert Alarm.from_document(doc) == make_alarm()
+
+    def test_document_defaults_for_optional_fields(self):
+        doc = make_alarm().to_document()
+        del doc["sensor_type"], doc["software_version"], doc["locality"]
+        restored = Alarm.from_document(doc)
+        assert restored.sensor_type == "generic"
+        assert restored.software_version == "1.0"
+
+
+class TestLabeledAlarm:
+    def test_features_with_and_without_extras(self):
+        labeled = LabeledAlarm(
+            location="8001", property_type="residential", alarm_type="fire",
+            hour_of_day=9, day_of_week=2, is_false=True,
+            extra_features={"sensor_type": "smoke"},
+        )
+        assert "sensor_type" in labeled.features()
+        assert "sensor_type" not in labeled.features(include_extras=False)
+
+    def test_features_with_risk(self):
+        labeled = LabeledAlarm("8001", "residential", "fire", 9, 2, False)
+        features = labeled.features(risk=0.25)
+        assert features["risk"] == 0.25
+
+    def test_label_string(self):
+        assert LabeledAlarm("z", "p", "a", 0, 0, True).label == "false"
+        assert LabeledAlarm("z", "p", "a", 0, 0, False).label == "true"
+
+
+class TestLabeling:
+    def test_short_duration_is_false_alarm(self):
+        assert label_by_duration(10.0, delta_t_seconds=60.0) is True
+
+    def test_long_duration_is_true_alarm(self):
+        assert label_by_duration(600.0, delta_t_seconds=60.0) is False
+
+    def test_boundary_is_true_alarm(self):
+        assert label_by_duration(60.0, delta_t_seconds=60.0) is False
+
+    def test_default_delta_t_is_one_minute(self):
+        assert DEFAULT_DELTA_T == 60.0
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ConfigurationError):
+            label_by_duration(10.0, delta_t_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            label_by_duration(-5.0)
+
+    def test_label_alarms_carries_features(self):
+        labeled = label_alarms([make_alarm(duration_seconds=5.0)], 60.0)
+        assert labeled[0].is_false is True
+        assert labeled[0].location == "8001"
+        assert labeled[0].extra_features["software_version"] == "2.0"
+
+    def test_larger_delta_t_labels_more_false(self):
+        alarms = [make_alarm(duration_seconds=d) for d in (5, 90, 400, 1200)]
+        small = sum(l.is_false for l in label_alarms(alarms, 60.0))
+        large = sum(l.is_false for l in label_alarms(alarms, 600.0))
+        assert small == 1 and large == 3
+
+    def test_delta_t_sweep_default_grid(self):
+        assert delta_t_sweep() == [60.0 * m for m in range(1, 11)]
+
+    def test_delta_t_sweep_validation(self):
+        with pytest.raises(ConfigurationError):
+            delta_t_sweep([0])

@@ -1,0 +1,113 @@
+"""My Security Center routing and prioritization tests (Section 3)."""
+
+import pytest
+
+from repro.core import (
+    Alarm,
+    MySecurityCenter,
+    Route,
+    RoutingPolicy,
+    Verification,
+    prioritize,
+)
+from repro.errors import ConfigurationError
+
+
+def make_verification(p_false, alarm_type="intrusion"):
+    alarm = Alarm(
+        device_address="d", zip_code="8001", timestamp=0.0,
+        alarm_type=alarm_type, property_type="residential",
+        duration_seconds=10.0,
+    )
+    return Verification(alarm=alarm, is_false=p_false >= 0.5,
+                        probability_false=p_false)
+
+
+class TestRoutingPolicy:
+    def test_defaults(self):
+        policy = RoutingPolicy()
+        assert policy.true_threshold == 0.5
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            RoutingPolicy(true_threshold=1.5)
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            RoutingPolicy(customer_window_seconds=0)
+
+
+class TestRouting:
+    def test_likely_true_goes_to_arc(self):
+        center = MySecurityCenter(RoutingPolicy(true_threshold=0.7))
+        assert center.route(make_verification(p_false=0.1)) == Route.ARC
+
+    def test_likely_false_goes_to_customer(self):
+        center = MySecurityCenter(RoutingPolicy(true_threshold=0.7))
+        assert center.route(make_verification(p_false=0.9)) == Route.CUSTOMER
+
+    def test_technical_alarms_suppressed(self):
+        policy = RoutingPolicy(suppress_alarm_types=frozenset({"technical"}))
+        center = MySecurityCenter(policy)
+        assert center.route(make_verification(0.2, "technical")) == Route.SUPPRESSED
+
+    def test_customer_confirmation_stops_escalation(self):
+        center = MySecurityCenter(RoutingPolicy(true_threshold=0.9))
+        center.route(make_verification(0.8), customer_confirmed_false=True)
+        assert center.report.escalated == 0
+
+    def test_no_answer_escalates(self):
+        center = MySecurityCenter(RoutingPolicy(true_threshold=0.9))
+        center.route(make_verification(0.8), customer_confirmed_false=None)
+        center.route(make_verification(0.8), customer_confirmed_false=False)
+        assert center.report.escalated == 2
+
+    def test_report_counters(self):
+        policy = RoutingPolicy(
+            true_threshold=0.6, suppress_alarm_types=frozenset({"technical"})
+        )
+        center = MySecurityCenter(policy)
+        center.route_batch([
+            make_verification(0.1),               # arc
+            make_verification(0.9),               # customer (escalates)
+            make_verification(0.5, "technical"),  # suppressed
+        ])
+        report = center.report
+        assert report.to_arc == 1
+        assert report.to_customer == 1
+        assert report.suppressed == 1
+        assert report.total == 3
+
+    def test_arc_load_reduction(self):
+        center = MySecurityCenter(RoutingPolicy(true_threshold=0.5))
+        # 1 to ARC, 1 suppressed technical, 1 customer-confirmed false.
+        center.route(make_verification(0.1))
+        policy_center = center  # keep flow explicit
+        policy_center.policy = RoutingPolicy(
+            true_threshold=0.5, suppress_alarm_types=frozenset({"technical"})
+        )
+        policy_center.route(make_verification(0.4, "technical"))
+        policy_center.route(make_verification(0.9), customer_confirmed_false=True)
+        assert policy_center.report.arc_load_reduction == pytest.approx(2 / 3)
+
+    def test_empty_report(self):
+        assert MySecurityCenter().report.arc_load_reduction == 0.0
+
+
+class TestPrioritize:
+    def test_most_likely_true_first(self):
+        queue = prioritize([
+            make_verification(0.9),
+            make_verification(0.1),
+            make_verification(0.5),
+        ])
+        assert [v.probability_true for v in queue] == pytest.approx([0.9, 0.5, 0.1])
+
+    def test_stable_for_equal_probabilities(self):
+        a = make_verification(0.5)
+        b = make_verification(0.5)
+        queue = prioritize([a, b])
+        assert len(queue) == 2
+
+    def test_empty(self):
+        assert prioritize([]) == []

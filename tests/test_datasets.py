@@ -1,0 +1,262 @@
+"""Dataset-generator tests: determinism, published statistics, structure."""
+
+import numpy as np
+import pytest
+
+from repro.core.labeling import label_alarms
+from repro.datasets import (
+    Gazetteer,
+    IncidentReportGenerator,
+    LondonGenerator,
+    SanFranciscoGenerator,
+    SitasysGenerator,
+    TABLE1_SCHEMA,
+    london_to_labeled,
+    sanfrancisco_to_labeled,
+    sitasys_to_labeled,
+)
+from repro.errors import DatasetError
+
+
+class TestGazetteer:
+    @pytest.fixture(scope="class")
+    def gaz(self):
+        return Gazetteer(num_localities=300, seed=7)
+
+    def test_deterministic(self):
+        a = Gazetteer(num_localities=50, seed=1)
+        b = Gazetteer(num_localities=50, seed=1)
+        assert a.names() == b.names()
+        assert a.populations() == b.populations()
+
+    def test_unique_names_and_zips(self, gaz):
+        names = gaz.names()
+        zips = gaz.zip_codes()
+        assert len(names) == len(set(names)) == 300
+        assert len(zips) == len(set(zips))
+
+    def test_multi_zip_cities_are_the_largest(self, gaz):
+        multi = gaz.multi_zip_localities()
+        single = gaz.single_zip_localities()
+        assert multi and single
+        assert min(m.population for m in multi) >= max(s.population for s in single)
+
+    def test_multi_zip_cities_have_3_to_8_zips(self, gaz):
+        for city in gaz.multi_zip_localities():
+            assert 3 <= len(city.zip_codes) <= 8
+
+    def test_zip_lookup_round_trip(self, gaz):
+        for locality in list(gaz)[:20]:
+            for zip_code in locality.zip_codes:
+                assert gaz.by_zip(zip_code).name == locality.name
+
+    def test_by_name_unknown_raises(self, gaz):
+        with pytest.raises(DatasetError):
+            gaz.by_name("Atlantis")
+
+    def test_language_regions(self, gaz):
+        languages = {loc.language for loc in gaz}
+        assert languages == {"de", "fr"}
+        for loc in gaz:
+            assert (loc.language == "fr") == (loc.x < 0.28 * Gazetteer.X_SPAN)
+
+    def test_populations_zipf_like(self, gaz):
+        pops = [loc.population for loc in gaz.localities]
+        assert pops[0] > 50 * pops[-1]  # heavy head
+        assert pops == sorted(pops, reverse=True)
+
+    def test_too_few_localities_raises(self):
+        with pytest.raises(DatasetError):
+            Gazetteer(num_localities=5)
+
+
+class TestSitasysGenerator:
+    @pytest.fixture(scope="class")
+    def gen(self):
+        return SitasysGenerator(num_devices=300, seed=11)
+
+    @pytest.fixture(scope="class")
+    def alarms(self, gen):
+        return gen.generate(4000)
+
+    def test_deterministic(self):
+        g1 = SitasysGenerator(num_devices=50, seed=3)
+        g2 = SitasysGenerator(num_devices=50, seed=3)
+        assert g1.generate(100) == g2.generate(100)
+
+    def test_seed_offset_varies_stream(self, gen):
+        assert gen.generate(50, seed_offset=0) != gen.generate(50, seed_offset=1)
+
+    def test_devices_have_stable_attributes(self, gen, alarms):
+        by_device = {}
+        for alarm in alarms:
+            attrs = (alarm.zip_code, alarm.property_type, alarm.sensor_type,
+                     alarm.software_version, alarm.locality)
+            by_device.setdefault(alarm.device_address, set()).add(attrs)
+        assert all(len(variants) == 1 for variants in by_device.values())
+
+    def test_roughly_balanced_labels_at_one_minute(self, alarms):
+        labeled = label_alarms(alarms, 60.0)
+        false_rate = np.mean([l.is_false for l in labeled])
+        assert 0.40 <= false_rate <= 0.65  # paper: "roughly equal proportions"
+
+    def test_false_rate_grows_with_delta_t(self, alarms):
+        rates = [
+            np.mean([l.is_false for l in label_alarms(alarms, dt)])
+            for dt in (60.0, 300.0, 600.0)
+        ]
+        assert rates[0] <= rates[1] <= rates[2]
+
+    def test_technical_alarms_mostly_short(self, alarms):
+        technical = [a.duration_seconds for a in alarms if a.alarm_type == "technical"]
+        assert np.median(technical) < 60.0
+
+    def test_timestamps_inside_collection_window(self, alarms):
+        import datetime as dt
+        for alarm in alarms[:200]:
+            when = alarm.datetime
+            assert dt.datetime(2015, 9, 30, tzinfo=dt.timezone.utc) <= when
+            assert when <= dt.datetime(2016, 5, 2, tzinfo=dt.timezone.utc)
+
+    def test_zip_risk_within_city_varies_only_for_multi_zip(self, gen):
+        for locality in gen.gazetteer:
+            risks = {gen.zip_risk[z] for z in locality.zip_codes}
+            if locality.is_single_zip:
+                assert risks == {gen.locality_risk[locality.name]}
+
+    def test_bayes_accuracy_is_high(self, gen):
+        assert gen.bayes_accuracy_estimate(2000) > 0.85
+
+    def test_sharpness_validation(self):
+        with pytest.raises(DatasetError):
+            SitasysGenerator(sharpness=0.0)
+
+    def test_labeled_adapter_includes_sensor_extras(self, alarms):
+        labeled = sitasys_to_labeled(alarms[:5])
+        assert all("sensor_type" in l.extra_features for l in labeled)
+        features = labeled[0].features()
+        assert set(features) >= {"location", "property_type", "alarm_type",
+                                 "hour_of_day", "day_of_week", "sensor_type",
+                                 "software_version"}
+
+
+class TestLondonGenerator:
+    @pytest.fixture(scope="class")
+    def incidents(self):
+        return LondonGenerator(seed=23).generate(8000)
+
+    def test_deterministic(self):
+        assert LondonGenerator(seed=1).generate(50) == LondonGenerator(seed=1).generate(50)
+
+    def test_false_ratio_near_published_48_percent(self, incidents):
+        stats = LondonGenerator(seed=23).statistics(incidents)
+        assert 0.42 <= stats["false_ratio"] <= 0.56
+
+    def test_years_cover_2009_to_2016(self, incidents):
+        years = {i.year for i in incidents}
+        assert years == set(range(2009, 2017))
+
+    def test_three_incident_groups(self, incidents):
+        groups = {i.incident_group for i in incidents}
+        assert groups == {"False Alarm", "Fire", "Special Service"}
+
+    def test_statistics_totals(self, incidents):
+        stats = LondonGenerator(seed=23).statistics(incidents)
+        assert stats["total"] == 8000
+        assert sum(stats["by_group"].values()) == 8000
+        assert sum(stats["by_year"].values()) == 8000
+
+    def test_labeled_adapter_does_not_leak_group(self, incidents):
+        labeled = london_to_labeled(incidents[:100])
+        assert {l.alarm_type for l in labeled} == {"incident"}
+
+
+class TestSanFranciscoGenerator:
+    @pytest.fixture(scope="class")
+    def calls(self):
+        return SanFranciscoGenerator(seed=31).generate(20000)
+
+    def test_deterministic(self):
+        g = SanFranciscoGenerator(seed=2)
+        assert g.generate(50) == g.generate(50)
+
+    def test_funnel_shape_matches_paper(self, calls):
+        funnel = SanFranciscoGenerator.funnel(calls)
+        assert funnel["disposition_other"] / funnel["total"] > 0.5
+        assert funnel["medical"] / funnel["total"] > 0.5
+        assert funnel["usable_labeled"] < funnel["alarm_or_fire"]
+        assert funnel["usable_labeled"] > 0
+
+    def test_usable_subset_is_labeled_alarm_fire(self, calls):
+        for call in SanFranciscoGenerator.usable_subset(calls):
+            assert call.is_labeled
+            assert call.call_type in ("Alarms", "Structure Fire", "Outside Fire")
+
+    def test_medical_labels_near_random(self, calls):
+        medical = [c for c in SanFranciscoGenerator.labeled_subset(calls)
+                   if c.call_type == "Medical Incident"]
+        rate = np.mean([c.is_false for c in medical])
+        assert 0.42 <= rate <= 0.58
+
+    def test_no_property_type_in_adapter(self, calls):
+        labeled = sanfrancisco_to_labeled(SanFranciscoGenerator.usable_subset(calls)[:50])
+        assert {l.property_type for l in labeled} == {"unknown"}
+
+
+class TestIncidentReports:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        gaz = Gazetteer(num_localities=200, seed=7)
+        sit = SitasysGenerator(gazetteer=gaz, num_devices=100, seed=11)
+        gen = IncidentReportGenerator(gaz, sit.locality_risk, coverage=0.3, seed=17)
+        return gaz, gen, gen.generate(800)
+
+    def test_coverage_fraction(self, setup):
+        gaz, gen, _ = setup
+        assert len(gen.covered_localities) == round(200 * 0.3)
+
+    def test_reports_have_text_and_source(self, setup):
+        _, _, reports = setup
+        assert all(r.get("text") for r in reports)
+        assert all(r.get("source") in ("twitter", "rss", "web") for r in reports)
+
+    def test_risk_increases_expected_count(self, setup):
+        gaz, gen, _ = setup
+        # Among covered localities with similar population, higher latent
+        # risk must give a higher expected report count.
+        sit_risk = gen.locality_risk
+        covered = gen.covered_localities
+        pairs = [(sit_risk[name], gen.expected_count(name) /
+                  gaz.by_name(name).population) for name in covered]
+        pairs.sort()
+        low_third = np.mean([rate for _, rate in pairs[: len(pairs) // 3]])
+        top_third = np.mean([rate for _, rate in pairs[-len(pairs) // 3:]])
+        assert top_third > low_third
+
+    def test_corpus_feeds_pipeline(self, setup):
+        gaz, _, reports = setup
+        from repro.storage import Collection
+        from repro.text import IncidentPipeline
+        coll = Collection("incidents")
+        stats = IncidentPipeline(gaz.names()).run(reports, coll)
+        assert stats.stored > 0.7 * stats.collected  # most reports usable
+        assert set(stats.by_language) <= {"de", "fr", "en"}
+        assert set(stats.by_topic) == {"fire", "intrusion"}
+
+    def test_invalid_coverage_raises(self, setup):
+        gaz, gen, _ = setup
+        with pytest.raises(DatasetError):
+            IncidentReportGenerator(gaz, {}, coverage=0.0)
+
+
+class TestTable1Schema:
+    def test_all_three_datasets_described(self):
+        assert set(TABLE1_SCHEMA) == {"Sitasys", "London", "San Francisco"}
+
+    def test_san_francisco_has_no_property_type(self):
+        assert TABLE1_SCHEMA["San Francisco"]["Type of Location"] == "-"
+
+    def test_labels_match_paper(self):
+        assert TABLE1_SCHEMA["Sitasys"]["Label"] == "Alarm Duration"
+        assert TABLE1_SCHEMA["London"]["Label"] == "Incident Group"
+        assert TABLE1_SCHEMA["San Francisco"]["Label"] == "Call Final Disposition"

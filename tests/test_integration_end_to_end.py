@@ -1,0 +1,201 @@
+"""Integration tests across the whole system.
+
+These wire real components together the way the paper's deployment does:
+train offline -> produce alarms into the broker -> consume, verify and
+archive -> inspect histograms, routing and timing breakdowns; plus the
+hybrid path incidents -> risk model -> enriched verification.
+"""
+
+import pytest
+
+from repro.core import (
+    AlarmHistory,
+    ConsumerApplication,
+    MySecurityCenter,
+    ProducerApplication,
+    RoutingPolicy,
+    VerificationService,
+    label_alarms,
+)
+from repro.datasets import (
+    Gazetteer,
+    IncidentReportGenerator,
+    SitasysGenerator,
+)
+from repro.ml import FeaturePipeline, LogisticRegression, RandomForestClassifier
+from repro.risk import RiskModel, incident_counts
+from repro.storage import DocumentStore
+from repro.streaming import Broker, ReflectiveJsonSerializer
+from repro.text import IncidentPipeline
+
+CATS = ["location", "property_type", "alarm_type", "hour_of_day",
+        "day_of_week", "sensor_type", "software_version"]
+
+
+@pytest.fixture(scope="module")
+def world():
+    gazetteer = Gazetteer(num_localities=300, seed=7)
+    generator = SitasysGenerator(gazetteer=gazetteer, num_devices=300, seed=11)
+    alarms = generator.generate(3000)
+    train, test = alarms[:1500], alarms[1500:]
+    labeled = label_alarms(train, 60.0)
+    pipeline = FeaturePipeline(LogisticRegression(max_iter=120), CATS)
+    pipeline.fit([l.features() for l in labeled], [l.is_false for l in labeled])
+    return gazetteer, generator, train, test, pipeline
+
+
+class TestStreamingEndToEnd:
+    def test_produce_consume_verify_archive(self, world):
+        _, _, _, test, pipeline = world
+        broker = Broker()
+        broker.create_topic("alarms", num_partitions=4)
+        producer = ProducerApplication(broker, "alarms", test, seed=1)
+        report = producer.run(600, num_threads=2)
+        assert report.records_sent == 600
+
+        history = AlarmHistory()
+        consumer = ConsumerApplication(
+            broker, "alarms", "verify", VerificationService(pipeline),
+            history=history, keep_verifications=True,
+        )
+        run = consumer.process_available(max_records=250)
+        assert run.alarms_processed == 600
+        assert len(history) == 600
+        assert len(run.verifications) == 600
+        assert run.windows >= 2  # multiple micro-batches
+
+    def test_breakdown_is_ml_dominated(self, world):
+        _, _, _, test, pipeline = world
+        broker = Broker()
+        broker.create_topic("alarms", num_partitions=2)
+        ProducerApplication(broker, "alarms", test, seed=2).run(400)
+        consumer = ConsumerApplication(
+            broker, "alarms", "verify", VerificationService(pipeline)
+        )
+        run = consumer.process_available()
+        breakdown = run.breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+        assert breakdown["ml"] == max(breakdown.values())  # Figure 12 shape
+
+    def test_exactly_once_across_consumer_restart(self, world):
+        _, _, _, test, pipeline = world
+        broker = Broker()
+        broker.create_topic("alarms", num_partitions=2)
+        ProducerApplication(broker, "alarms", test, seed=3).run(300)
+        history = AlarmHistory()
+
+        first = ConsumerApplication(
+            broker, "alarms", "grp", VerificationService(pipeline), history=history
+        )
+        first.process_available(max_records=120)
+
+        second = ConsumerApplication(
+            broker, "alarms", "grp", VerificationService(pipeline), history=history
+        )
+        second.process_available(max_records=120)
+        assert len(history) == 300  # every alarm archived exactly once
+
+    def test_reflective_serializer_end_to_end(self, world):
+        _, _, _, test, pipeline = world
+        broker = Broker()
+        broker.create_topic("alarms", num_partitions=1)
+        ProducerApplication(
+            broker, "alarms", test, serializer=ReflectiveJsonSerializer(), seed=4
+        ).run(100)
+        consumer = ConsumerApplication(
+            broker, "alarms", "verify", VerificationService(pipeline),
+            serializer=ReflectiveJsonSerializer(),
+        )
+        assert consumer.process_available().alarms_processed == 100
+
+    def test_repartition_processes_everything(self, world):
+        _, _, _, test, pipeline = world
+        broker = Broker()
+        broker.create_topic("alarms", num_partitions=1)
+        ProducerApplication(broker, "alarms", test, seed=5).run(200)
+        consumer = ConsumerApplication(
+            broker, "alarms", "verify", VerificationService(pipeline),
+            repartition=4,
+        )
+        assert consumer.process_available().alarms_processed == 200
+
+    def test_histogram_reflects_device_history(self, world):
+        _, _, _, test, pipeline = world
+        broker = Broker()
+        broker.create_topic("alarms", num_partitions=2)
+        ProducerApplication(broker, "alarms", test, seed=6).run(150)
+        consumer = ConsumerApplication(
+            broker, "alarms", "verify", VerificationService(pipeline)
+        )
+        consumer.process_available()
+        assert sum(consumer.last_histogram.values()) >= 0
+        assert len(consumer.history) == 150
+
+    def test_routing_after_verification(self, world):
+        _, _, _, test, pipeline = world
+        broker = Broker()
+        broker.create_topic("alarms", num_partitions=2)
+        ProducerApplication(broker, "alarms", test, seed=7).run(200)
+        consumer = ConsumerApplication(
+            broker, "alarms", "verify", VerificationService(pipeline),
+            keep_verifications=True,
+        )
+        run = consumer.process_available()
+        center = MySecurityCenter(RoutingPolicy(
+            true_threshold=0.6, suppress_alarm_types=frozenset({"technical"})
+        ))
+        counts = center.route_batch(run.verifications)
+        assert sum(counts.values()) == 200
+        assert counts["suppressed"] > 0  # technical alarms exist in the mix
+
+
+class TestHybridEndToEnd:
+    def test_incidents_to_risk_to_enriched_model(self, world):
+        gazetteer, generator, train, test, _ = world
+        reports = IncidentReportGenerator(
+            gazetteer, generator.locality_risk, coverage=0.3, seed=17
+        ).generate(600)
+        store = DocumentStore()
+        incidents = store.collection("incidents")
+        stats = IncidentPipeline(gazetteer.names()).run(reports, incidents)
+        assert stats.stored > 0
+
+        risk = RiskModel(
+            incident_counts(incidents.all_documents()), gazetteer.populations()
+        )
+        assert len(risk) > 0
+
+        labeled = label_alarms(train, 60.0)
+        enriched_pipeline = FeaturePipeline(
+            RandomForestClassifier(n_estimators=5, max_depth=10, random_state=0),
+            CATS, numeric_features=["risk"], encoding="ordinal",
+        )
+        records = [
+            l.features(risk=risk.absolute(a.locality))
+            for l, a in zip(labeled, train)
+        ]
+        enriched_pipeline.fit(records, [l.is_false for l in labeled])
+        service = VerificationService(
+            enriched_pipeline, risk_model=risk, risk_kind="absolute"
+        )
+        verifications = service.verify_batch(test[:50])
+        assert len(verifications) == 50
+        assert all(0.0 <= v.probability_false <= 1.0 for v in verifications)
+
+    def test_store_persistence_of_full_state(self, world, tmp_path):
+        gazetteer, generator, train, _, _ = world
+        store = DocumentStore()
+        history = AlarmHistory(store=store)
+        history.record_batch(train[:50])
+        reports = IncidentReportGenerator(
+            gazetteer, generator.locality_risk, coverage=0.3, seed=18
+        ).generate(100)
+        IncidentPipeline(gazetteer.names()).run(reports, store.collection("incidents"))
+        store.save(tmp_path / "db")
+
+        loaded = DocumentStore.load(tmp_path / "db")
+        assert len(loaded.collection("alarms")) == 50
+        assert len(loaded.collection("incidents")) > 0
+        # Rebuild a history over the loaded store and query it.
+        loaded_history = AlarmHistory(store=loaded)
+        assert sum(loaded_history.alarms_by_zip().values()) == 50

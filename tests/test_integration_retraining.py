@@ -1,0 +1,147 @@
+"""Integration: the nightly-retrain loop inside the streaming deployment,
+plus broker thread-safety under concurrent producers."""
+
+import threading
+
+import pytest
+
+from repro.core import (
+    AlarmHistory,
+    ConsumerApplication,
+    ProducerApplication,
+    RetrainingManager,
+    VerificationService,
+    label_alarms,
+)
+from repro.datasets import SitasysGenerator
+from repro.ml import FeaturePipeline, LogisticRegression
+from repro.streaming import Broker, Consumer, Producer
+
+CATS = ["location", "property_type", "alarm_type", "hour_of_day",
+        "day_of_week", "sensor_type", "software_version"]
+
+
+def pipeline_factory():
+    return FeaturePipeline(LogisticRegression(max_iter=80), CATS)
+
+
+class TestRetrainInsideStreamingLoop:
+    def test_consumer_traffic_triggers_retrain_and_service_improves(self):
+        generator = SitasysGenerator(num_devices=150, seed=11)
+        alarms = generator.generate(3000)
+        seed_alarms, live_traffic, evaluation = (
+            alarms[:300], alarms[300:2300], alarms[2300:]
+        )
+
+        # Day 0: a weak model trained on very little history.
+        history = AlarmHistory()
+        history.record_batch(seed_alarms)
+        labeled_seed = label_alarms(seed_alarms[:100], 60.0)
+        weak = pipeline_factory()
+        weak.fit([l.features() for l in labeled_seed],
+                 [l.is_false for l in labeled_seed])
+        service = VerificationService(weak)
+        manager = RetrainingManager(
+            history, pipeline_factory, service, min_new_alarms=1500,
+        )
+
+        labeled_eval = label_alarms(evaluation, 60.0)
+        def service_accuracy() -> float:
+            verifications = service.verify_batch(evaluation)
+            return sum(
+                v.is_false == l.is_false
+                for v, l in zip(verifications, labeled_eval)
+            ) / len(evaluation)
+
+        accuracy_before = service_accuracy()
+        assert manager.maybe_retrain() is None  # not enough new data yet
+
+        # A day of live traffic flows through the streaming deployment and
+        # lands in the history via the consumer.
+        broker = Broker()
+        broker.create_topic("alarms", num_partitions=3)
+        ProducerApplication(broker, "alarms", live_traffic, seed=1).run(2000)
+        consumer = ConsumerApplication(
+            broker, "alarms", "verify", service, history=history,
+        )
+        consumer.process_available(max_records=500)
+        assert manager.new_alarms_since_last_build() >= 1500
+
+        # Midnight: the retrain fires and swaps the model atomically.
+        record = manager.maybe_retrain()
+        assert record is not None and record.version == 1
+        accuracy_after = service_accuracy()
+        assert accuracy_after >= accuracy_before - 0.02
+        assert record.training_alarms == len(history)
+
+    def test_repeated_cycles_bump_versions(self):
+        generator = SitasysGenerator(num_devices=80, seed=3)
+        alarms = generator.generate(1200)
+        history = AlarmHistory()
+        history.record_batch(alarms[:400])
+        labeled = label_alarms(alarms[:100], 60.0)
+        pipe = pipeline_factory()
+        pipe.fit([l.features() for l in labeled], [l.is_false for l in labeled])
+        service = VerificationService(pipe)
+        manager = RetrainingManager(
+            history, pipeline_factory, service, min_new_alarms=300,
+        )
+        for cycle, start in enumerate((400, 700), start=1):
+            history.record_batch(alarms[start : start + 300])
+            record = manager.maybe_retrain()
+            assert record is not None
+            assert record.version == cycle
+        assert len(manager.log) == 2
+
+
+class TestBrokerThreadSafety:
+    def test_concurrent_producers_conserve_records(self):
+        broker = Broker()
+        broker.create_topic("alarms", num_partitions=4)
+
+        def produce(offset: int) -> None:
+            producer = Producer(broker)
+            producer.send_many(
+                "alarms",
+                [{"i": offset + i} for i in range(500)],
+                key_fn=lambda v: str(v["i"] % 7),
+            )
+
+        threads = [
+            threading.Thread(target=produce, args=(t * 500,)) for t in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        consumer = Consumer(broker, "check")
+        consumer.subscribe("alarms")
+        seen = sorted(v["i"] for v in consumer.stream_values(max_records=97))
+        assert seen == list(range(2000))
+
+    def test_concurrent_producer_and_consumer(self):
+        broker = Broker()
+        broker.create_topic("alarms", num_partitions=2)
+        received: list[int] = []
+        done = threading.Event()
+
+        def produce() -> None:
+            producer = Producer(broker)
+            producer.send_many("alarms", [{"i": i} for i in range(800)])
+            done.set()
+
+        def consume() -> None:
+            consumer = Consumer(broker, "g")
+            consumer.subscribe("alarms")
+            while not done.is_set() or sum(consumer.lag().values()) > 0:
+                received.extend(v["i"] for v in consumer.poll_values(50))
+                consumer.commit()
+
+        producer_thread = threading.Thread(target=produce)
+        consumer_thread = threading.Thread(target=consume)
+        consumer_thread.start()
+        producer_thread.start()
+        producer_thread.join()
+        consumer_thread.join(timeout=10)
+        assert sorted(received) == list(range(800))

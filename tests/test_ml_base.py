@@ -1,0 +1,104 @@
+"""Tests for the shared classifier contract helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError, NotFittedError
+from repro.ml import FeaturePipeline, RandomForestClassifier, check_X, check_Xy
+from repro.ml.base import BaseClassifier, check_fitted
+
+
+class TestCheckX:
+    def test_coerces_lists(self):
+        out = check_X([[1, 2], [3, 4]])
+        assert out.dtype == np.float64
+        assert out.shape == (2, 2)
+
+    def test_promotes_1d_to_column(self):
+        assert check_X([1.0, 2.0, 3.0]).shape == (3, 1)
+
+    def test_rejects_3d(self):
+        with pytest.raises(DimensionMismatchError):
+            check_X(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DimensionMismatchError):
+            check_X(np.zeros((0, 3)))
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(DimensionMismatchError):
+            check_X([[np.nan]])
+        with pytest.raises(DimensionMismatchError):
+            check_X([[np.inf]])
+
+
+class TestCheckXy:
+    def test_accepts_float_integer_labels(self):
+        _, y = check_Xy([[1.0], [2.0]], [0.0, 1.0])
+        assert y.dtype == np.int64
+
+    def test_rejects_fractional_labels(self):
+        with pytest.raises(DimensionMismatchError):
+            check_Xy([[1.0]], [0.5])
+
+    def test_rejects_negative_labels(self):
+        with pytest.raises(DimensionMismatchError):
+            check_Xy([[1.0]], [-1])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            check_Xy([[1.0], [2.0]], [0])
+
+    def test_rejects_2d_labels(self):
+        with pytest.raises(DimensionMismatchError):
+            check_Xy([[1.0]], [[0]])
+
+
+class TestCheckFitted:
+    def test_raises_before_fit(self):
+        class Stub(BaseClassifier):
+            pass
+
+        with pytest.raises(NotFittedError):
+            check_fitted(Stub())
+
+    def test_passes_after_attribute_set(self):
+        class Stub(BaseClassifier):
+            pass
+
+        model = Stub()
+        model.n_classes_ = 2
+        check_fitted(model)
+
+    def test_get_params_excludes_fitted_state(self):
+        model = RandomForestClassifier(n_estimators=3, max_depth=2)
+        params = model.get_params()
+        assert params["n_estimators"] == 3
+        assert "trees_" not in params
+        assert "n_classes_" not in params
+
+
+class TestArityCappedMarking:
+    """FeaturePipeline's Spark-maxBins-style categorical marking."""
+
+    def test_high_arity_column_stays_continuous(self):
+        records = (
+            [{"wide": str(i), "narrow": i % 3} for i in range(100)]
+        )
+        labels = [i % 2 == 0 for i in range(100)]
+        model = RandomForestClassifier(n_estimators=2, max_depth=3, random_state=0)
+        FeaturePipeline(
+            model, ["wide", "narrow"], encoding="ordinal",
+            max_categorical_arity=32,
+        ).fit(records, labels)
+        # "wide" has 100 categories -> continuous; "narrow" has 3 -> marked.
+        assert model.categorical_features == frozenset({1})
+
+    def test_cap_is_configurable(self):
+        records = [{"wide": str(i)} for i in range(50)]
+        labels = [i % 2 == 0 for i in range(50)]
+        model = RandomForestClassifier(n_estimators=2, max_depth=3, random_state=0)
+        FeaturePipeline(
+            model, ["wide"], encoding="ordinal", max_categorical_arity=100,
+        ).fit(records, labels)
+        assert model.categorical_features == frozenset({0})

@@ -1,0 +1,162 @@
+"""Tests for the Section 2.4 extensions: majority vote + adaptive selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ml import (
+    AdaptiveModelSelector,
+    DecisionTreeClassifier,
+    LogisticRegression,
+    MajorityVoteClassifier,
+    NeuralNetworkClassifier,
+)
+
+
+def make_linear(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = ((X[:, 0] - X[:, 1]) > 0).astype(int)
+    return X, y
+
+
+def make_members():
+    return [
+        DecisionTreeClassifier(max_depth=6, random_state=0),
+        LogisticRegression(max_iter=150),
+        NeuralNetworkClassifier(hidden_layers=(8,), max_epochs=25,
+                                batch_size=64, random_state=0),
+    ]
+
+
+class TestMajorityVote:
+    def test_soft_vote_learns(self):
+        X, y = make_linear()
+        ensemble = MajorityVoteClassifier(make_members()).fit(X, y)
+        assert ensemble.score(X, y) >= 0.93
+
+    def test_soft_proba_is_mean_of_members(self):
+        X, y = make_linear(200)
+        ensemble = MajorityVoteClassifier(make_members()).fit(X, y)
+        manual = np.mean([m.predict_proba(X) for m in ensemble.members], axis=0)
+        assert np.allclose(ensemble.predict_proba(X), manual)
+
+    def test_hard_vote_probability_is_vote_share(self):
+        X, y = make_linear(200)
+        ensemble = MajorityVoteClassifier(make_members(), voting="hard").fit(X, y)
+        proba = ensemble.predict_proba(X)
+        share = 1.0 / len(ensemble.members)
+        # Every entry is a multiple of one vote share.
+        assert np.allclose(np.mod(proba / share, 1.0), 0.0, atol=1e-9)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_weights_bias_the_vote(self):
+        X, y = make_linear(200)
+        members = make_members()
+        heavy_first = MajorityVoteClassifier(members, weights=[10.0, 0.1, 0.1]).fit(X, y)
+        first_only = members[0]
+        agreement = np.mean(heavy_first.predict(X) == first_only.predict(X))
+        assert agreement > 0.95
+
+    def test_member_agreement_bounds(self):
+        X, y = make_linear(200)
+        ensemble = MajorityVoteClassifier(make_members()).fit(X, y)
+        agreement = ensemble.member_agreement(X)
+        assert ((agreement >= 0) & (agreement <= 1)).all()
+        assert agreement.mean() > 0.6
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MajorityVoteClassifier([])
+        with pytest.raises(ConfigurationError):
+            MajorityVoteClassifier(make_members(), voting="ranked")
+        with pytest.raises(ConfigurationError):
+            MajorityVoteClassifier(make_members(), weights=[1.0])
+        with pytest.raises(ConfigurationError):
+            MajorityVoteClassifier(make_members(), weights=[0.0, 0.0, 0.0])
+
+
+class _FixedAccuracyModel:
+    """Stub model whose predictions are correct with a fixed probability."""
+
+    def __init__(self, accuracy, seed=0):
+        self.accuracy = accuracy
+        self._rng = np.random.default_rng(seed)
+
+    def predict(self, X):
+        # "Truth" is all-ones; be right with probability `accuracy`.
+        correct = self._rng.uniform(size=len(X)) < self.accuracy
+        return np.where(correct, 1, 0)
+
+    def predict_proba(self, X):
+        predictions = self.predict(X)
+        return np.column_stack([1 - predictions, predictions]).astype(float)
+
+
+class TestAdaptiveSelector:
+    def make_selector(self, good=0.95, bad=0.6, **kwargs):
+        return AdaptiveModelSelector(
+            {"bad": _FixedAccuracyModel(bad, seed=1),
+             "good": _FixedAccuracyModel(good, seed=2)},
+            **kwargs,
+        )
+
+    def test_starts_with_first_model(self):
+        selector = self.make_selector()
+        assert selector.active == "bad"
+
+    def test_switches_to_better_model(self):
+        selector = self.make_selector(window=100, min_observations=20)
+        X = np.zeros((50, 1))
+        y = np.ones(50, dtype=int)
+        for _ in range(4):
+            selector.record_feedback(X, y)
+        assert selector.active == "good"
+        assert selector.switches and selector.switches[0] == ("bad", "good")
+
+    def test_no_switch_without_margin(self):
+        selector = AdaptiveModelSelector(
+            {"a": _FixedAccuracyModel(0.90, seed=1),
+             "b": _FixedAccuracyModel(0.905, seed=2)},
+            window=400, switch_margin=0.05, min_observations=20,
+        )
+        X = np.zeros((100, 1))
+        y = np.ones(100, dtype=int)
+        for _ in range(4):
+            selector.record_feedback(X, y)
+        assert selector.active == "a"  # margin not cleared
+
+    def test_rolling_accuracy_tracks_observations(self):
+        selector = self.make_selector()
+        assert selector.rolling_accuracy("good") is None
+        X = np.zeros((200, 1))
+        y = np.ones(200, dtype=int)
+        selector.record_feedback(X, y)
+        accuracy = selector.rolling_accuracy("good")
+        assert accuracy is not None and 0.85 <= accuracy <= 1.0
+
+    def test_min_observations_gate(self):
+        selector = self.make_selector(min_observations=500, window=600)
+        X = np.zeros((50, 1))
+        y = np.ones(50, dtype=int)
+        selector.record_feedback(X, y)
+        assert selector.active == "bad"  # alternative lacks observations
+
+    def test_predict_uses_active_model(self):
+        selector = self.make_selector()
+        X = np.zeros((30, 1))
+        selector.predict(X)
+        selector.predict_proba(X)  # smoke: routed to active model
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveModelSelector({})
+        with pytest.raises(ConfigurationError):
+            self.make_selector(window=0)
+        with pytest.raises(ConfigurationError):
+            self.make_selector(switch_margin=-0.1)
+
+    def test_accuracies_snapshot(self):
+        selector = self.make_selector()
+        snapshot = selector.accuracies()
+        assert set(snapshot) == {"bad", "good"}

@@ -1,0 +1,82 @@
+"""HashingEncoder tests (the paper's hashed-location privacy scheme)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError
+from repro.ml import HashingEncoder
+
+
+class TestHashingEncoder:
+    def test_stable_buckets(self):
+        encoder = HashingEncoder(n_buckets=64)
+        assert encoder.bucket(0, "8001") == encoder.bucket(0, "8001")
+
+    def test_column_salting_differs(self):
+        encoder = HashingEncoder(n_buckets=64)
+        # Same value in different columns should (almost surely) hash apart.
+        buckets = {encoder.bucket(col, "8001") for col in range(8)}
+        assert len(buckets) > 1
+
+    def test_transform_shape_and_one_bit_per_column(self):
+        encoder = HashingEncoder(n_buckets=16)
+        out = encoder.transform([("8001", "fire"), ("4001", "intrusion")])
+        assert out.shape == (2, 32)
+        assert (out.sum(axis=1) == 2.0).all()
+
+    def test_no_vocabulary_state(self):
+        """Stateless: transforming unseen values needs no fit."""
+        encoder = HashingEncoder(n_buckets=16)
+        out = encoder.transform([("never-seen-before",)])
+        assert out.sum() == 1.0
+
+    def test_equal_values_equal_vectors(self):
+        encoder = HashingEncoder(n_buckets=32)
+        a = encoder.transform([("8001",)])
+        b = encoder.transform([("8001",)])
+        assert np.array_equal(a, b)
+
+    def test_collision_rate_is_low_with_many_buckets(self):
+        encoder = HashingEncoder(n_buckets=4096)
+        values = [str(1000 + i) for i in range(400)]
+        buckets = {encoder.bucket(0, v) for v in values}
+        assert len(buckets) > 380  # few collisions
+
+    def test_inconsistent_width_raises(self):
+        encoder = HashingEncoder(n_buckets=8)
+        with pytest.raises(DimensionMismatchError):
+            encoder.transform([("a", "b"), ("c",)])
+
+    def test_invalid_buckets_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            HashingEncoder(n_buckets=1)
+
+    def test_hash_value_anonymizes(self):
+        encoder = HashingEncoder(n_buckets=256)
+        anonymized = encoder.hash_value("8001")
+        assert anonymized.startswith("h")
+        assert "8001" not in anonymized
+        assert encoder.hash_value("8001") == anonymized  # stable
+
+    def test_empty_rows(self):
+        assert HashingEncoder(n_buckets=8).transform([]).shape == (0, 0)
+
+    def test_hashed_features_remain_learnable(self):
+        """A model trained on hashed locations still learns location effects
+        — the property that made the paper's hashed data usable at all."""
+        from repro.ml import LogisticRegression, accuracy_score
+        rng = np.random.default_rng(0)
+        locations = [f"{z}" for z in rng.integers(1000, 1050, size=2000)]
+        # sorted(): set iteration order is hash-salted per process and would
+        # make the latent effects (and thus the achievable accuracy) flaky.
+        effect = {loc: rng.normal() for loc in sorted(set(locations))}
+        y = np.array([
+            1 if effect[loc] + rng.normal(scale=0.4) > 0 else 0
+            for loc in locations
+        ])
+        X = HashingEncoder(n_buckets=512).transform([(loc,) for loc in locations])
+        model = LogisticRegression(max_iter=300, learning_rate=1.0)
+        model.fit(X[:1000], y[:1000])
+        # Well above the ~50% base rate: the hashed representation keeps
+        # the location signal (measured ~0.79 on this configuration).
+        assert accuracy_score(y[1000:], model.predict(X[1000:])) > 0.72

@@ -1,0 +1,200 @@
+"""Linear-model and neural-network tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.ml import LinearSVC, LogisticRegression, NeuralNetworkClassifier, softmax
+
+
+def make_linear(n=500, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = ((1.5 * X[:, 0] - 2.0 * X[:, 1] + 0.5) > 0).astype(int)
+    return X, y
+
+
+def make_xor(n=600, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = np.array([[1.0, 2.0, 3.0], [-5.0, 0.0, 5.0]])
+        proba = softmax(logits)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_shift_invariance(self):
+        logits = np.array([[1.0, 2.0]])
+        assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_extreme_values_are_stable(self):
+        proba = softmax(np.array([[1000.0, -1000.0]]))
+        assert np.isfinite(proba).all()
+        assert proba[0, 0] == pytest.approx(1.0)
+
+
+class TestLogisticRegression:
+    def test_linear_data_is_learned(self):
+        X, y = make_linear()
+        model = LogisticRegression(max_iter=300).fit(X, y)
+        assert model.score(X, y) >= 0.95
+
+    def test_cannot_learn_xor(self):
+        X, y = make_xor()
+        model = LogisticRegression(max_iter=300).fit(X, y)
+        assert model.score(X, y) <= 0.65  # chance-ish: XOR is not linear
+
+    def test_proba_rows_sum_to_one(self):
+        X, y = make_linear()
+        proba = LogisticRegression(max_iter=100).fit(X, y).predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_convergence_tolerance_stops_early(self):
+        X, y = make_linear(100)
+        model = LogisticRegression(max_iter=100_000, tol=1e-2).fit(X, y)
+        assert model.n_iter_ < 100_000
+
+    def test_multiclass_softmax(self):
+        rng = np.random.default_rng(0)
+        centers = np.array([[-3, 0], [3, 0], [0, 4]])
+        X = np.vstack([rng.normal(c, 0.5, size=(50, 2)) for c in centers])
+        y = np.repeat([0, 1, 2], 50)
+        model = LogisticRegression(max_iter=500).fit(X, y)
+        assert model.score(X, y) >= 0.95
+        assert model.predict_proba(X).shape == (150, 3)
+
+    def test_regularization_shrinks_weights(self):
+        X, y = make_linear()
+        free = LogisticRegression(max_iter=200).fit(X, y)
+        ridge = LogisticRegression(max_iter=200, reg_param=1.0).fit(X, y)
+        assert np.abs(ridge.coef_).sum() < np.abs(free.coef_).sum()
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict(np.zeros((1, 2)))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ConfigurationError):
+            LogisticRegression(max_iter=0)
+        with pytest.raises(ConfigurationError):
+            LogisticRegression(learning_rate=-1.0)
+
+
+class TestLinearSVC:
+    def test_linear_data_is_learned(self):
+        X, y = make_linear()
+        model = LinearSVC(max_iter=800, random_state=0).fit(X, y)
+        assert model.score(X, y) >= 0.93
+
+    def test_decision_function_sign_matches_predict(self):
+        X, y = make_linear()
+        model = LinearSVC(max_iter=500, random_state=0).fit(X, y)
+        margins = model.decision_function(X)
+        assert np.array_equal(model.predict(X), (margins >= 0).astype(int))
+
+    def test_proba_is_calibrated_monotone_in_margin(self):
+        X, y = make_linear()
+        model = LinearSVC(max_iter=500, random_state=0).fit(X, y)
+        margins = model.decision_function(X)
+        proba = model.predict_proba(X)[:, 1]
+        order = np.argsort(margins)
+        assert (np.diff(proba[order]) >= -1e-12).all()
+        assert np.allclose(model.predict_proba(X).sum(axis=1), 1.0)
+
+    def test_multiclass_rejected(self):
+        X = np.zeros((3, 2))
+        y = np.array([0, 1, 2])
+        with pytest.raises(ConfigurationError):
+            LinearSVC().fit(X, y)
+
+    def test_paper_table4_configuration_runs(self):
+        """Table 4: 2000 iterations, step 1.0, batch fraction 0.2, reg 1e-2."""
+        X, y = make_linear(300)
+        model = LinearSVC(
+            max_iter=2000, step_size=1.0, mini_batch_fraction=0.2,
+            reg_param=1e-2, random_state=0,
+        ).fit(X, y)
+        assert model.score(X, y) >= 0.9
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ConfigurationError):
+            LinearSVC(mini_batch_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            LinearSVC(step_size=-1.0)
+
+    def test_deterministic_given_seed(self):
+        X, y = make_linear()
+        a = LinearSVC(max_iter=300, random_state=3).fit(X, y)
+        b = LinearSVC(max_iter=300, random_state=3).fit(X, y)
+        assert np.allclose(a.coef_, b.coef_)
+
+
+class TestNeuralNetwork:
+    def test_linear_data_is_learned(self):
+        X, y = make_linear()
+        model = NeuralNetworkClassifier(
+            hidden_layers=(16,), max_epochs=60, batch_size=64, random_state=0
+        ).fit(X, y)
+        assert model.score(X, y) >= 0.95
+
+    def test_xor_is_learned(self):
+        """The non-linear benchmark the linear models fail."""
+        X, y = make_xor()
+        model = NeuralNetworkClassifier(
+            hidden_layers=(24, 8), max_epochs=150, batch_size=64,
+            learning_rate=0.2, random_state=0,
+        ).fit(X, y)
+        assert model.score(X, y) >= 0.9
+
+    def test_paper_table7_architecture(self):
+        """Input -> 50 -> 2 -> softmax(2), as published."""
+        X, y = make_linear(200)
+        model = NeuralNetworkClassifier(
+            hidden_layers=(50, 2), max_epochs=30, batch_size=200, random_state=0
+        ).fit(X, y)
+        assert model.architecture() == [3, 50, 2, 2]
+
+    def test_loss_decreases(self):
+        X, y = make_linear()
+        model = NeuralNetworkClassifier(
+            hidden_layers=(16,), max_epochs=40, batch_size=64, tol=0.0,
+            random_state=0,
+        ).fit(X, y)
+        losses = model.loss_curve_
+        assert losses[-1] < losses[0]
+
+    def test_early_stopping_respects_patience(self):
+        X, y = make_linear(150)
+        model = NeuralNetworkClassifier(
+            hidden_layers=(8,), max_epochs=10_000, tol=1e-3, patience=3,
+            batch_size=64, random_state=0,
+        ).fit(X, y)
+        assert model.n_epochs_ < 10_000
+
+    def test_proba_rows_sum_to_one(self):
+        X, y = make_linear()
+        model = NeuralNetworkClassifier(
+            hidden_layers=(8,), max_epochs=20, batch_size=64, random_state=0
+        ).fit(X, y)
+        proba = model.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all()
+
+    def test_deterministic_given_seed(self):
+        X, y = make_linear(200)
+        kwargs = dict(hidden_layers=(8,), max_epochs=15, batch_size=64, random_state=9)
+        a = NeuralNetworkClassifier(**kwargs).fit(X, y)
+        b = NeuralNetworkClassifier(**kwargs).fit(X, y)
+        assert np.allclose(a.weights_[0], b.weights_[0])
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ConfigurationError):
+            NeuralNetworkClassifier(hidden_layers=())
+        with pytest.raises(ConfigurationError):
+            NeuralNetworkClassifier(momentum=1.5)
+        with pytest.raises(ConfigurationError):
+            NeuralNetworkClassifier(learning_rate=0.0)

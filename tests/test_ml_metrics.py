@@ -1,0 +1,147 @@
+"""Metric tests against hand-computed values."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError
+from repro.ml import (
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    error_rate_reduction,
+    log_loss,
+    precision_recall_f1,
+    roc_auc_score,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([0, 1, 1], [0, 1, 1]) == 1.0
+
+    def test_partial(self):
+        assert accuracy_score([0, 1, 1, 0], [0, 1, 0, 1]) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DimensionMismatchError):
+            accuracy_score([0, 1], [0])
+
+    def test_empty_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            accuracy_score([], [])
+
+
+class TestConfusionMatrix:
+    def test_binary_counts(self):
+        m = confusion_matrix([0, 0, 1, 1, 1], [0, 1, 1, 1, 0])
+        assert m.tolist() == [[1, 1], [1, 2]]
+
+    def test_explicit_n_classes(self):
+        m = confusion_matrix([0, 0], [0, 0], n_classes=3)
+        assert m.shape == (3, 3)
+        assert m[0, 0] == 2
+
+    def test_diagonal_sum_equals_correct_predictions(self):
+        y_true = [0, 1, 2, 2, 1, 0]
+        y_pred = [0, 2, 2, 1, 1, 0]
+        m = confusion_matrix(y_true, y_pred)
+        assert np.trace(m) == sum(t == p for t, p in zip(y_true, y_pred))
+
+    def test_negative_labels_raise(self):
+        with pytest.raises(DimensionMismatchError):
+            confusion_matrix([-1, 0], [0, 0])
+
+
+class TestPrecisionRecallF1:
+    def test_hand_computed_binary(self):
+        # TP=2, FP=1, FN=1 for class 1.
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 1, 0, 1, 0]
+        precision, recall, f1 = precision_recall_f1(y_true, y_pred, average="binary")
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(2 / 3)
+        assert f1 == pytest.approx(2 / 3)
+
+    def test_macro_averages_classes(self):
+        y_true = [0, 0, 1, 1]
+        y_pred = [0, 0, 0, 1]
+        precision, recall, f1 = precision_recall_f1(y_true, y_pred, average="macro")
+        # class0: p=2/3 r=1; class1: p=1 r=1/2
+        assert precision == pytest.approx((2 / 3 + 1) / 2)
+        assert recall == pytest.approx((1 + 0.5) / 2)
+        assert 0 < f1 < 1
+
+    def test_unknown_average_raises(self):
+        with pytest.raises(ValueError):
+            precision_recall_f1([0, 1], [0, 1], average="weighted")
+
+    def test_perfect_prediction_scores_one(self):
+        p, r, f1 = precision_recall_f1([0, 1, 0, 1], [0, 1, 0, 1], average="macro")
+        assert (p, r, f1) == (1.0, 1.0, 1.0)
+
+
+class TestClassificationReport:
+    def test_contains_classes_and_accuracy(self):
+        report = classification_report([0, 1, 1], [0, 1, 0], class_names=["true", "false"])
+        assert "true" in report and "false" in report
+        assert "accuracy" in report
+
+    def test_wrong_name_count_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            classification_report([0, 1], [0, 1], class_names=["only-one"])
+
+
+class TestLogLoss:
+    def test_confident_correct_is_small(self):
+        small = log_loss([0, 1], np.array([[0.99, 0.01], [0.01, 0.99]]))
+        big = log_loss([0, 1], np.array([[0.6, 0.4], [0.4, 0.6]]))
+        assert small < big
+
+    def test_hand_computed(self):
+        value = log_loss([0], np.array([[0.5, 0.5]]))
+        assert value == pytest.approx(np.log(2))
+
+    def test_clipping_avoids_infinity(self):
+        assert np.isfinite(log_loss([0], np.array([[0.0, 1.0]])))
+
+    def test_label_outside_columns_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            log_loss([5], np.array([[0.5, 0.5]]))
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_scores(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_ties_give_half(self):
+        assert roc_auc_score([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_hand_computed(self):
+        # pairs: (0.3 vs 0.6)=win, (0.3 vs 0.2)=loss ... compute directly
+        auc = roc_auc_score([0, 0, 1, 1], [0.3, 0.7, 0.6, 0.2])
+        # positive scores 0.6,0.2 vs negatives 0.3,0.7:
+        # (0.6>0.3)=1, (0.6<0.7)=0, (0.2<0.3)=0, (0.2<0.7)=0 -> 1/4
+        assert auc == pytest.approx(0.25)
+
+    def test_single_class_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            roc_auc_score([1, 1], [0.5, 0.6])
+
+
+class TestErrorRateReduction:
+    def test_paper_example(self):
+        # 85% -> 90% halves... actually cuts the error by 1/3.
+        assert error_rate_reduction(0.85, 0.90) == pytest.approx(1 / 3)
+
+    def test_no_improvement(self):
+        assert error_rate_reduction(0.9, 0.9) == 0.0
+
+    def test_perfect_baseline(self):
+        assert error_rate_reduction(1.0, 1.0) == 0.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            error_rate_reduction(1.2, 0.9)

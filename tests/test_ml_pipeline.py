@@ -1,0 +1,140 @@
+"""FeaturePipeline tests: encodings, label mapping, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, NotFittedError
+from repro.ml import (
+    DecisionTreeClassifier,
+    FeaturePipeline,
+    LogisticRegression,
+    RandomForestClassifier,
+)
+
+RECORDS = [
+    {"zip": "8001", "type": "fire", "hour": 3, "duration": 20.0},
+    {"zip": "8001", "type": "intrusion", "hour": 14, "duration": 300.0},
+    {"zip": "4001", "type": "fire", "hour": 9, "duration": 15.0},
+    {"zip": "4001", "type": "technical", "hour": 22, "duration": 2.0},
+] * 10
+LABELS = ([True, False, True, True] * 10)
+
+
+@pytest.fixture
+def fitted():
+    pipe = FeaturePipeline(
+        LogisticRegression(max_iter=100),
+        categorical_features=["zip", "type", "hour"],
+        numeric_features=["duration"],
+    )
+    return pipe.fit(RECORDS, LABELS)
+
+
+class TestFitPredict:
+    def test_predict_returns_original_label_type(self, fitted):
+        predictions = fitted.predict(RECORDS[:4])
+        assert all(isinstance(p, bool) for p in predictions)
+
+    def test_score_on_training_data(self, fitted):
+        assert fitted.score(RECORDS, LABELS) >= 0.9
+
+    def test_proba_shape_and_columns(self, fitted):
+        proba = fitted.predict_proba(RECORDS[:4])
+        assert proba.shape == (4, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert set(fitted.classes_) == {True, False}
+
+    def test_unseen_category_is_handled(self, fitted):
+        prediction = fitted.predict([
+            {"zip": "9999", "type": "flood", "hour": 99, "duration": 1.0}
+        ])
+        assert prediction[0] in (True, False)
+
+    def test_missing_numeric_defaults_to_zero(self, fitted):
+        prediction = fitted.predict([{"zip": "8001", "type": "fire", "hour": 3}])
+        assert prediction[0] in (True, False)
+
+    def test_n_input_features_counts_onehot_width(self, fitted):
+        # zips(2) + types(3) + hours(4) + duration(1)
+        assert fitted.n_input_features_ == 2 + 3 + 4 + 1
+
+
+class TestEncodingModes:
+    def test_ordinal_encoding_width(self):
+        pipe = FeaturePipeline(
+            DecisionTreeClassifier(max_depth=5, random_state=0),
+            categorical_features=["zip", "type", "hour"],
+            encoding="ordinal",
+        ).fit(RECORDS, LABELS)
+        assert pipe.n_input_features_ == 3
+
+    def test_ordinal_marks_tree_categoricals(self):
+        model = RandomForestClassifier(n_estimators=3, max_depth=5, random_state=0)
+        FeaturePipeline(
+            model, categorical_features=["zip", "type"], encoding="ordinal"
+        ).fit(RECORDS, LABELS)
+        assert model.categorical_features == frozenset({0, 1})
+
+    def test_onehot_does_not_mark_categoricals(self):
+        model = RandomForestClassifier(n_estimators=3, max_depth=5, random_state=0)
+        FeaturePipeline(
+            model, categorical_features=["zip", "type"], encoding="onehot"
+        ).fit(RECORDS, LABELS)
+        assert model.categorical_features == frozenset()
+
+    def test_invalid_encoding_raises(self):
+        with pytest.raises(ConfigurationError):
+            FeaturePipeline(LogisticRegression(), ["a"], encoding="hash")
+
+    def test_numeric_only_pipeline(self):
+        pipe = FeaturePipeline(
+            LogisticRegression(max_iter=100),
+            categorical_features=[],
+            numeric_features=["duration"],
+        ).fit(RECORDS, LABELS)
+        assert pipe.n_input_features_ == 1
+
+    def test_no_features_raises(self):
+        with pytest.raises(ConfigurationError):
+            FeaturePipeline(LogisticRegression(), [], numeric_features=[])
+
+
+class TestValidation:
+    def test_mismatched_lengths_raise(self):
+        pipe = FeaturePipeline(LogisticRegression(), ["zip"])
+        with pytest.raises(ConfigurationError):
+            pipe.fit(RECORDS, LABELS[:-1])
+
+    def test_empty_fit_raises(self):
+        pipe = FeaturePipeline(LogisticRegression(), ["zip"])
+        with pytest.raises(ConfigurationError):
+            pipe.fit([], [])
+
+    def test_encode_before_fit_raises(self):
+        pipe = FeaturePipeline(LogisticRegression(), ["zip"])
+        with pytest.raises(NotFittedError):
+            pipe.encode(RECORDS[:1])
+
+    def test_classes_before_fit_raises(self):
+        pipe = FeaturePipeline(LogisticRegression(), ["zip"])
+        with pytest.raises(NotFittedError):
+            pipe.classes_
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, fitted, tmp_path):
+        path = tmp_path / "model.pkl"
+        fitted.save(path)
+        loaded = FeaturePipeline.load(path)
+        assert loaded.predict(RECORDS[:8]) == fitted.predict(RECORDS[:8])
+        assert np.allclose(
+            loaded.predict_proba(RECORDS[:8]), fitted.predict_proba(RECORDS[:8])
+        )
+
+    def test_load_rejects_wrong_type(self, tmp_path):
+        import pickle
+        path = tmp_path / "junk.pkl"
+        with path.open("wb") as handle:
+            pickle.dump({"not": "a pipeline"}, handle)
+        with pytest.raises(ConfigurationError):
+            FeaturePipeline.load(path)

@@ -1,0 +1,117 @@
+"""Encoder tests: one-hot, ordinal, scaling, label indexing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionMismatchError, NotFittedError
+from repro.ml import LabelIndexer, OneHotEncoder, StandardScaler
+
+
+class TestOneHotEncoder:
+    @pytest.fixture
+    def encoder(self):
+        return OneHotEncoder().fit([
+            ("8001", "fire"), ("4001", "intrusion"), ("8001", "technical"),
+        ])
+
+    def test_output_width_is_total_vocabulary(self, encoder):
+        assert encoder.n_output_features_ == 2 + 3
+
+    def test_rows_are_one_hot_per_column(self, encoder):
+        out = encoder.transform([("8001", "fire")])
+        assert out.shape == (1, 5)
+        assert out.sum() == 2.0  # one hot bit per column
+
+    def test_round_trip_identity_of_distinct_rows(self, encoder):
+        a = encoder.transform([("8001", "fire")])
+        b = encoder.transform([("4001", "fire")])
+        assert not np.array_equal(a, b)
+
+    def test_unknown_category_encodes_as_zeros(self, encoder):
+        out = encoder.transform([("9999", "flood")])
+        assert out.sum() == 0.0
+
+    def test_inconsistent_width_raises(self, encoder):
+        with pytest.raises(DimensionMismatchError):
+            encoder.transform([("8001",)])
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            OneHotEncoder().fit([])
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            OneHotEncoder().transform([("a",)])
+
+    def test_ordinal_transform_maps_to_indexes(self, encoder):
+        out = encoder.ordinal_transform([("8001", "technical"), ("4001", "fire")])
+        assert out.tolist() == [[0.0, 2.0], [1.0, 0.0]]
+
+    def test_ordinal_unknown_is_minus_one(self, encoder):
+        assert encoder.ordinal_transform([("zzz", "fire")])[0, 0] == -1.0
+
+    def test_fit_transform_equals_fit_then_transform(self):
+        rows = [("a", "x"), ("b", "y")]
+        direct = OneHotEncoder().fit_transform(rows)
+        two_step = OneHotEncoder().fit(rows).transform(rows)
+        assert np.array_equal(direct, two_step)
+
+    def test_numeric_categories_supported(self):
+        enc = OneHotEncoder().fit([(0,), (5,), (23,)])
+        assert enc.transform([(5,)])[0].tolist() == [0.0, 1.0, 0.0]
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        X = np.array([[1.0, 10.0], [3.0, 30.0], [5.0, 50.0]])
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled.mean(axis=0), 0.0)
+        assert np.allclose(scaled.std(axis=0), 1.0)
+
+    def test_constant_feature_passes_through(self):
+        X = np.array([[1.0, 7.0], [2.0, 7.0]])
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled[:, 1], 0.0)
+        assert np.isfinite(scaled).all()
+
+    def test_transform_uses_training_statistics(self):
+        scaler = StandardScaler().fit(np.array([[0.0], [10.0]]))
+        assert scaler.transform(np.array([[5.0]]))[0, 0] == pytest.approx(0.0)
+
+    def test_wrong_width_raises(self):
+        scaler = StandardScaler().fit(np.array([[1.0, 2.0]]))
+        with pytest.raises(DimensionMismatchError):
+            scaler.transform(np.array([[1.0]]))
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            StandardScaler().transform(np.array([[1.0]]))
+
+
+class TestLabelIndexer:
+    def test_first_seen_order(self):
+        indexer = LabelIndexer().fit(["true", "false", "true"])
+        assert indexer.classes_ == ["true", "false"]
+        assert indexer.transform(["false", "true"]).tolist() == [1, 0]
+
+    def test_inverse_transform(self):
+        indexer = LabelIndexer().fit([False, True])
+        assert indexer.inverse_transform([1, 0, 1]) == [True, False, True]
+
+    def test_round_trip(self):
+        labels = ["a", "b", "c", "a", "b"]
+        indexer = LabelIndexer().fit(labels)
+        assert indexer.inverse_transform(indexer.transform(labels)) == labels
+
+    def test_unseen_label_raises(self):
+        indexer = LabelIndexer().fit(["a"])
+        with pytest.raises(KeyError):
+            indexer.transform(["b"])
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            LabelIndexer().fit([])
+
+    def test_unfitted_raises(self):
+        with pytest.raises(NotFittedError):
+            LabelIndexer().transform(["a"])

@@ -1,0 +1,186 @@
+"""Model-selection and correlation-analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ml import (
+    DecisionTreeClassifier,
+    GridSearch,
+    KFold,
+    LogisticRegression,
+    correlation_matrix,
+    feature_label_correlations,
+    pearson_correlation,
+    select_features_by_correlation,
+    train_test_split,
+)
+
+
+class TestTrainTestSplit:
+    def test_partition_is_complete_and_disjoint(self):
+        X = np.arange(100).reshape(-1, 1)
+        y = np.arange(100) % 2
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, 0.3, random_state=0)
+        assert len(X_tr) == 70 and len(X_te) == 30
+        together = sorted(np.concatenate([X_tr, X_te]).ravel().tolist())
+        assert together == list(range(100))
+
+    def test_fifty_fifty_paper_split(self):
+        X = np.zeros((100, 1))
+        y = np.zeros(100, dtype=int)
+        X_tr, X_te, _, _ = train_test_split(X, y, 0.5, random_state=0)
+        assert len(X_tr) == len(X_te) == 50
+
+    def test_stratified_preserves_class_balance(self):
+        y = np.array([0] * 80 + [1] * 20)
+        X = np.zeros((100, 1))
+        _, _, y_tr, y_te = train_test_split(X, y, 0.5, random_state=0, stratify=True)
+        assert y_tr.sum() == 10 and y_te.sum() == 10
+
+    def test_deterministic_given_seed(self):
+        X = np.arange(50).reshape(-1, 1)
+        y = np.arange(50) % 2
+        a = train_test_split(X, y, 0.4, random_state=7)
+        b = train_test_split(X, y, 0.4, random_state=7)
+        assert np.array_equal(a[0], b[0])
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ConfigurationError):
+            train_test_split(np.zeros((2, 1)), np.zeros(2), 1.5)
+
+    def test_length_mismatch_raises(self):
+        from repro.errors import DimensionMismatchError
+        with pytest.raises(DimensionMismatchError):
+            train_test_split(np.zeros((3, 1)), np.zeros(2), 0.5)
+
+
+class TestKFold:
+    def test_folds_cover_everything_once(self):
+        kf = KFold(n_splits=4, random_state=0)
+        seen = []
+        for train, test in kf.split(20):
+            seen.extend(test.tolist())
+            assert set(train) & set(test) == set()
+            assert len(train) + len(test) == 20
+        assert sorted(seen) == list(range(20))
+
+    def test_too_few_samples_raises(self):
+        with pytest.raises(ConfigurationError):
+            list(KFold(n_splits=5).split(3))
+
+    def test_invalid_splits_raises(self):
+        with pytest.raises(ConfigurationError):
+            KFold(n_splits=1)
+
+
+class TestGridSearch:
+    def test_finds_better_depth(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-1, 1, size=(300, 2))
+        y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)  # needs depth >= 2
+        search = GridSearch(
+            lambda **kw: DecisionTreeClassifier(random_state=0, **kw),
+            {"max_depth": [1, 5]},
+            cv=3, random_state=0,
+        )
+        result = search.run(X, y)
+        assert result.best_params == {"max_depth": 5}
+        assert result.best_score > 0.8
+
+    def test_all_combinations_evaluated(self):
+        search = GridSearch(
+            lambda **kw: DecisionTreeClassifier(random_state=0, **kw),
+            {"max_depth": [1, 2, 3], "criterion": ["gini", "entropy"]},
+            cv=2,
+        )
+        assert len(list(search.combinations())) == 6
+
+    def test_holdout_mode(self):
+        X = np.random.default_rng(0).normal(size=(80, 2))
+        y = (X[:, 0] > 0).astype(int)
+        search = GridSearch(
+            lambda **kw: LogisticRegression(max_iter=50, **kw),
+            {"learning_rate": [0.1, 0.5]},
+            cv=1, random_state=0,
+        )
+        result = search.run(X, y)
+        assert len(result.results) == 2
+        assert all(len(r["scores"]) == 1 for r in result.results)
+
+    def test_top_ranks_by_score(self):
+        X = np.random.default_rng(0).normal(size=(60, 2))
+        y = (X[:, 0] > 0).astype(int)
+        search = GridSearch(
+            lambda **kw: DecisionTreeClassifier(random_state=0, **kw),
+            {"max_depth": [1, 3, 6]},
+            cv=2, random_state=0,
+        )
+        result = search.run(X, y)
+        tops = result.top(3)
+        assert tops[0]["score"] >= tops[-1]["score"]
+
+    def test_empty_grid_raises(self):
+        with pytest.raises(ConfigurationError):
+            GridSearch(lambda: None, {})
+
+    def test_records_fit_seconds(self):
+        X = np.random.default_rng(0).normal(size=(40, 2))
+        y = (X[:, 0] > 0).astype(int)
+        search = GridSearch(
+            lambda **kw: DecisionTreeClassifier(random_state=0, **kw),
+            {"max_depth": [2]}, cv=2,
+        )
+        result = search.run(X, y)
+        assert result.results[0]["fit_seconds"] > 0
+
+
+class TestCorrelation:
+    def test_perfect_positive(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, 2 * x + 1) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        x = np.arange(10.0)
+        assert pearson_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_constant_vector_is_zero(self):
+        assert pearson_correlation(np.ones(5), np.arange(5.0)) == 0.0
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.normal(size=50), rng.normal(size=50)
+        assert pearson_correlation(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+    def test_feature_label_ranking(self):
+        rng = np.random.default_rng(0)
+        n = 400
+        signal = rng.normal(size=n)
+        noise = rng.normal(size=n)
+        y = (signal > 0).astype(int)
+        X = np.column_stack([signal, noise])
+        corr = feature_label_correlations(X, y)
+        assert corr[0] > corr[1]
+
+    def test_correlation_matrix_properties(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 4))
+        m = correlation_matrix(X)
+        assert np.allclose(np.diag(m), 1.0)
+        assert np.allclose(m, m.T)
+        assert (np.abs(m) <= 1.0 + 1e-12).all()
+
+    def test_select_features_drops_redundant(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=300)
+        y = (base > 0).astype(int)
+        X = np.column_stack([
+            base,                     # informative
+            base + rng.normal(scale=1e-6, size=300),  # duplicate of it
+            rng.normal(size=300),     # noise
+        ])
+        selected = select_features_by_correlation(
+            X, y, min_label_correlation=0.05, max_feature_correlation=0.9
+        )
+        assert 0 in selected or 1 in selected
+        assert not (0 in selected and 1 in selected)  # redundancy pruned

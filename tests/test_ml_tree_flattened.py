@@ -1,0 +1,72 @@
+"""Equivalence of the vectorized flattened-tree predictor with a reference
+node-by-node traversal (including categorical splits and unseen codes)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.tree import DecisionTreeClassifier, TreeNode
+
+
+def reference_predict(node: TreeNode, x: np.ndarray) -> np.ndarray:
+    """Slow, obviously-correct traversal of one sample."""
+    while not node.is_leaf:
+        if node.categories_left is not None:
+            go_left = float(x[node.feature]) in node.categories_left
+        else:
+            go_left = x[node.feature] <= node.threshold
+        node = node.left if go_left else node.right
+    return node.proba
+
+
+def make_mixed_data(rng, n=300):
+    X = np.column_stack([
+        rng.integers(0, 12, size=n).astype(float),   # categorical col 0
+        rng.integers(0, 30, size=n).astype(float),   # categorical col 1
+        rng.normal(size=n), rng.normal(size=n), rng.normal(size=n),
+    ])
+    y = ((X[:, 0] % 3 == 0) ^ (X[:, 2] > 0)).astype(int)
+    return X, y
+
+
+@pytest.mark.parametrize("trial", range(8))
+def test_flattened_matches_reference_traversal(trial):
+    rng = np.random.default_rng(trial)
+    X, y = make_mixed_data(rng)
+    tree = DecisionTreeClassifier(
+        max_depth=8, random_state=trial, categorical_features={0, 1}
+    ).fit(X, y)
+    X_test = np.column_stack([
+        rng.integers(-2, 15, size=60).astype(float),  # incl. unseen/negative
+        rng.integers(0, 35, size=60).astype(float),
+        rng.normal(size=60), rng.normal(size=60), rng.normal(size=60),
+    ])
+    fast = tree.predict_proba(X_test)
+    slow = np.array([reference_predict(tree.root_, x) for x in X_test])
+    assert np.allclose(fast, slow)
+
+
+def test_flattened_rebuilds_after_pickle_round_trip():
+    import pickle
+    rng = np.random.default_rng(42)
+    X, y = make_mixed_data(rng)
+    tree = DecisionTreeClassifier(
+        max_depth=6, random_state=0, categorical_features={0, 1}
+    ).fit(X, y)
+    expected = tree.predict_proba(X[:30])
+    restored = pickle.loads(pickle.dumps(tree))
+    assert restored._flat is None  # dropped on pickling, rebuilt lazily
+    assert np.allclose(restored.predict_proba(X[:30]), expected)
+
+
+def test_flattened_handles_non_integer_category_codes():
+    """Non-integer categorical values route through the fallback path."""
+    rng = np.random.default_rng(1)
+    codes = np.array([0.5, 1.5, 2.5, 3.5])
+    X = rng.choice(codes, size=(200, 1))
+    y = (np.isin(X[:, 0], [0.5, 2.5])).astype(int)
+    tree = DecisionTreeClassifier(
+        max_depth=3, random_state=0, categorical_features={0}
+    ).fit(X, y)
+    assert tree.score(X, y) == 1.0
+    slow = np.array([reference_predict(tree.root_, x) for x in X[:50]])
+    assert np.allclose(tree.predict_proba(X[:50]), slow)

@@ -1,0 +1,225 @@
+"""Decision-tree and random-forest tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    DimensionMismatchError,
+    NotFittedError,
+)
+from repro.ml import DecisionTreeClassifier, RandomForestClassifier
+
+
+def make_blobs(n=300, seed=0):
+    """Two well-separated Gaussian blobs."""
+    rng = np.random.default_rng(seed)
+    X0 = rng.normal(loc=-2.0, scale=0.7, size=(n // 2, 2))
+    X1 = rng.normal(loc=+2.0, scale=0.7, size=(n - n // 2, 2))
+    X = np.vstack([X0, X1])
+    y = np.array([0] * (n // 2) + [1] * (n - n // 2))
+    return X, y
+
+
+def make_xor(n=400, seed=0):
+    """The XOR pattern no linear model can solve."""
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_separable_data_is_learned(self):
+        X, y = make_blobs()
+        tree = DecisionTreeClassifier(max_depth=5, random_state=0).fit(X, y)
+        assert tree.score(X, y) >= 0.98
+
+    def test_xor_is_learned(self):
+        X, y = make_xor()
+        tree = DecisionTreeClassifier(max_depth=6, random_state=0).fit(X, y)
+        assert tree.score(X, y) >= 0.95
+
+    def test_max_depth_one_is_a_stump(self):
+        X, y = make_blobs()
+        tree = DecisionTreeClassifier(max_depth=1, random_state=0).fit(X, y)
+        assert tree.depth() == 1
+
+    def test_depth_respects_limit(self):
+        X, y = make_xor()
+        tree = DecisionTreeClassifier(max_depth=3, random_state=0).fit(X, y)
+        assert tree.depth() <= 3
+
+    def test_pure_node_stops_growing(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = np.array([1, 1, 1])
+        tree = DecisionTreeClassifier().fit(X, y)
+        assert tree.root_.is_leaf
+
+    def test_min_samples_leaf_enforced(self):
+        X, y = make_blobs(100)
+        tree = DecisionTreeClassifier(min_samples_leaf=20, random_state=0).fit(X, y)
+
+        def check(node, X_mask_size):
+            if node.is_leaf:
+                return
+            check(node.left, None)
+            check(node.right, None)
+        check(tree.root_, len(X))  # structural walk only; key assertion below
+        # With 100 points and 20-per-leaf there can be at most 5 leaves.
+        def leaves(node):
+            if node.is_leaf:
+                return 1
+            return leaves(node.left) + leaves(node.right)
+        assert leaves(tree.root_) <= 5
+
+    def test_proba_rows_sum_to_one(self):
+        X, y = make_blobs()
+        tree = DecisionTreeClassifier(max_depth=4, random_state=0).fit(X, y)
+        proba = tree.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert (proba >= 0).all()
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            DecisionTreeClassifier().predict(np.zeros((2, 2)))
+
+    def test_feature_count_mismatch_raises(self):
+        X, y = make_blobs()
+        tree = DecisionTreeClassifier(max_depth=2, random_state=0).fit(X, y)
+        with pytest.raises(DimensionMismatchError):
+            tree.predict(np.zeros((2, 5)))
+
+    def test_nan_input_rejected(self):
+        with pytest.raises(DimensionMismatchError):
+            DecisionTreeClassifier().fit(np.array([[np.nan]]), np.array([0]))
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ConfigurationError):
+            DecisionTreeClassifier(max_depth=0)
+        with pytest.raises(ConfigurationError):
+            DecisionTreeClassifier(min_samples_split=1)
+        with pytest.raises(ConfigurationError):
+            DecisionTreeClassifier(criterion="mse")
+
+    def test_entropy_criterion_works(self):
+        X, y = make_blobs()
+        tree = DecisionTreeClassifier(criterion="entropy", max_depth=4,
+                                      random_state=0).fit(X, y)
+        assert tree.score(X, y) >= 0.98
+
+    def test_feature_importances_sum_to_one(self):
+        X, y = make_blobs()
+        tree = DecisionTreeClassifier(max_depth=4, random_state=0).fit(X, y)
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_deterministic_given_seed(self):
+        X, y = make_xor()
+        a = DecisionTreeClassifier(max_depth=5, max_features=1, random_state=7).fit(X, y)
+        b = DecisionTreeClassifier(max_depth=5, max_features=1, random_state=7).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_n_classes_widening_for_forest_use(self):
+        X = np.array([[0.0], [1.0]])
+        y = np.array([0, 0])
+        tree = DecisionTreeClassifier().fit(X, y, n_classes=3)
+        assert tree.predict_proba(X).shape == (2, 3)
+
+
+class TestCategoricalSplits:
+    def test_categorical_feature_with_arbitrary_codes(self):
+        """Category codes carry no ordinal meaning; the exact categorical
+        split must still separate them."""
+        rng = np.random.default_rng(0)
+        codes = rng.permutation(20)  # class of code c determined by lookup
+        is_positive = {float(c): i % 2 == 0 for i, c in enumerate(codes)}
+        X = rng.choice(codes, size=(500, 1)).astype(float)
+        y = np.array([1 if is_positive[float(v)] else 0 for v in X[:, 0]])
+        plain = DecisionTreeClassifier(max_depth=3, random_state=0).fit(X, y)
+        categorical = DecisionTreeClassifier(
+            max_depth=3, random_state=0, categorical_features={0}
+        ).fit(X, y)
+        # One categorical split nails it; threshold splits at depth 3 cannot.
+        assert categorical.score(X, y) == 1.0
+        assert plain.score(X, y) < 1.0
+
+    def test_unseen_category_routes_without_error(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]] * 10)
+        y = np.array([0, 0, 1, 1] * 10)
+        tree = DecisionTreeClassifier(
+            max_depth=2, random_state=0, categorical_features={0}
+        ).fit(X, y)
+        proba = tree.predict_proba(np.array([[99.0]]))
+        assert proba.shape == (1, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_multiclass_falls_back_to_threshold(self):
+        X = np.array([[0.0], [1.0], [2.0]] * 20)
+        y = np.array([0, 1, 2] * 20)
+        tree = DecisionTreeClassifier(
+            max_depth=4, random_state=0, categorical_features={0}
+        ).fit(X, y)
+        assert tree.score(X, y) == 1.0
+
+
+class TestRandomForest:
+    def test_forest_beats_or_matches_single_tree_on_noise(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(400, 6))
+        y = ((X[:, 0] + 0.5 * X[:, 1] + rng.normal(scale=0.8, size=400)) > 0).astype(int)
+        X_test = rng.normal(size=(400, 6))
+        y_test = ((X_test[:, 0] + 0.5 * X_test[:, 1]) > 0).astype(int)
+        tree = DecisionTreeClassifier(max_depth=12, random_state=0).fit(X, y)
+        forest = RandomForestClassifier(
+            n_estimators=25, max_depth=12, random_state=0
+        ).fit(X, y)
+        assert forest.score(X_test, y_test) >= tree.score(X_test, y_test) - 0.01
+
+    def test_proba_is_mean_of_trees(self):
+        X, y = make_blobs(100)
+        forest = RandomForestClassifier(n_estimators=5, max_depth=3, random_state=0).fit(X, y)
+        manual = np.mean([t.predict_proba(X) for t in forest.trees_], axis=0)
+        assert np.allclose(forest.predict_proba(X), manual)
+
+    def test_oob_score_close_to_test_accuracy(self):
+        X, y = make_blobs(400)
+        forest = RandomForestClassifier(
+            n_estimators=20, max_depth=4, oob_score=True, random_state=0
+        ).fit(X, y)
+        assert forest.oob_score_ is not None
+        assert forest.oob_score_ >= 0.9
+
+    def test_oob_requires_bootstrap(self):
+        with pytest.raises(ConfigurationError):
+            RandomForestClassifier(bootstrap=False, oob_score=True)
+
+    def test_no_bootstrap_uses_full_data(self):
+        X, y = make_blobs(100)
+        forest = RandomForestClassifier(
+            n_estimators=3, max_depth=3, bootstrap=False, random_state=0
+        ).fit(X, y)
+        assert forest.score(X, y) >= 0.97
+
+    def test_deterministic_given_seed(self):
+        X, y = make_xor()
+        a = RandomForestClassifier(n_estimators=8, max_depth=6, random_state=5).fit(X, y)
+        b = RandomForestClassifier(n_estimators=8, max_depth=6, random_state=5).fit(X, y)
+        assert np.array_equal(a.predict(X), b.predict(X))
+
+    def test_feature_importances_normalized(self):
+        X, y = make_blobs()
+        forest = RandomForestClassifier(n_estimators=5, max_depth=3, random_state=0).fit(X, y)
+        assert forest.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ConfigurationError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_paper_table3_configuration_runs(self):
+        """Table 3: 50 trees, depth 30 — must train on a small sample."""
+        X, y = make_blobs(200)
+        forest = RandomForestClassifier(
+            n_estimators=50, max_depth=30, random_state=0
+        ).fit(X, y)
+        assert len(forest.trees_) == 50
+        assert forest.score(X, y) >= 0.98

@@ -1,0 +1,209 @@
+"""Property-based tests for ML components (hypothesis)."""
+
+import hypothesis.strategies as st
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis.extra.numpy import arrays
+
+from repro.ml import (
+    DecisionTreeClassifier,
+    LabelIndexer,
+    OneHotEncoder,
+    StandardScaler,
+    accuracy_score,
+    confusion_matrix,
+    error_rate_reduction,
+    pearson_correlation,
+    precision_recall_f1,
+    roc_auc_score,
+    softmax,
+    train_test_split,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@given(
+    labels=st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=60)
+)
+@settings(max_examples=100, deadline=None)
+def test_accuracy_of_self_is_one(labels):
+    assert accuracy_score(labels, labels) == 1.0
+
+
+@given(
+    y_true=st.lists(st.integers(0, 3), min_size=1, max_size=60),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=100, deadline=None)
+def test_confusion_matrix_marginals(y_true, seed):
+    rng = np.random.default_rng(seed)
+    y_pred = rng.integers(0, 4, size=len(y_true))
+    matrix = confusion_matrix(y_true, y_pred, n_classes=4)
+    assert matrix.sum() == len(y_true)
+    row_sums = matrix.sum(axis=1)
+    for cls in range(4):
+        assert row_sums[cls] == sum(1 for t in y_true if t == cls)
+
+
+@given(
+    y_true=st.lists(st.sampled_from([0, 1]), min_size=2, max_size=60),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=100, deadline=None)
+def test_precision_recall_f1_in_unit_interval(y_true, seed):
+    rng = np.random.default_rng(seed)
+    y_pred = rng.integers(0, 2, size=len(y_true))
+    p, r, f1 = precision_recall_f1(y_true, y_pred, n_classes=2)
+    for value in (p, r, f1):
+        assert 0.0 <= value <= 1.0
+
+
+@given(
+    scores=st.lists(finite_floats, min_size=4, max_size=60),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=100, deadline=None)
+def test_roc_auc_complement_symmetry(scores, seed):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, size=len(scores))
+    assume(0 < y.sum() < len(y))
+    auc = roc_auc_score(y, scores)
+    flipped = roc_auc_score(1 - y, [-s for s in scores])
+    assert 0.0 <= auc <= 1.0
+    assert auc == np.clip(flipped, 0, 1) or abs(auc - flipped) < 1e-9
+
+
+@given(logits=arrays(np.float64, (7, 4), elements=st.floats(-50, 50)))
+@settings(max_examples=100, deadline=None)
+def test_softmax_is_distribution(logits):
+    proba = softmax(logits)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+    assert (proba >= 0).all()
+
+
+@given(
+    x=st.lists(finite_floats, min_size=2, max_size=50),
+    scale=st.floats(min_value=0.1, max_value=100, allow_nan=False),
+    shift=finite_floats,
+)
+@settings(max_examples=100, deadline=None)
+def test_pearson_invariant_to_positive_affine_transform(x, scale, shift):
+    x_arr = np.array(x)
+    assume(np.std(x_arr) > 1e-6)
+    y = 2.0 * x_arr + 1.0
+    r1 = pearson_correlation(x_arr, y)
+    r2 = pearson_correlation(x_arr * scale + shift, y)
+    assert abs(r1 - r2) < 1e-6
+
+
+@given(
+    baseline=st.floats(0.0, 0.999),
+    improved=st.floats(0.0, 1.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_error_rate_reduction_sign_tracks_improvement(baseline, improved):
+    reduction = error_rate_reduction(baseline, improved)
+    if improved > baseline:
+        assert reduction > 0
+    elif improved < baseline:
+        assert reduction < 0
+    else:
+        assert reduction == 0
+
+
+@given(
+    rows=st.lists(
+        st.tuples(st.sampled_from("abcd"), st.integers(0, 5)),
+        min_size=1, max_size=40,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_onehot_rows_have_one_bit_per_column(rows):
+    encoder = OneHotEncoder().fit(rows)
+    out = encoder.transform(rows)
+    assert out.shape[0] == len(rows)
+    # Every fitted row must set exactly one bit per column block.
+    assert (out.sum(axis=1) == 2.0).all()
+
+
+@given(
+    rows=st.lists(
+        st.tuples(st.sampled_from("abcd")), min_size=1, max_size=30
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_ordinal_encoding_is_injective_per_category(rows):
+    encoder = OneHotEncoder().fit(rows)
+    out = encoder.ordinal_transform(rows)
+    mapping = {}
+    for (category,), code in zip(rows, out[:, 0]):
+        mapping.setdefault(category, set()).add(code)
+    assert all(len(codes) == 1 for codes in mapping.values())
+
+
+@given(
+    X=arrays(np.float64, (12, 3), elements=st.floats(-1e4, 1e4)),
+)
+@settings(max_examples=80, deadline=None)
+def test_scaler_round_trip_statistics(X):
+    scaler = StandardScaler().fit(X)
+    scaled = scaler.transform(X)
+    assert np.isfinite(scaled).all()
+    # Columns with real variance end up zero-mean; (near-)constant columns
+    # pass through and keep their offset, so exclude them.
+    varying = X.std(axis=0) > 1e-9 * (1.0 + np.abs(X).max())
+    if varying.any():
+        assert np.allclose(scaled.mean(axis=0)[varying], 0.0, atol=1e-6)
+
+
+@given(labels=st.lists(st.sampled_from(["a", "b", "c", True, 7]), min_size=1, max_size=40))
+@settings(max_examples=100, deadline=None)
+def test_label_indexer_round_trip(labels):
+    indexer = LabelIndexer().fit(labels)
+    assert indexer.inverse_transform(indexer.transform(labels)) == labels
+
+
+@given(
+    n=st.integers(min_value=4, max_value=80),
+    fraction=st.floats(min_value=0.1, max_value=0.9),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=100, deadline=None)
+def test_split_partitions_data(n, fraction, seed):
+    X = np.arange(n).reshape(-1, 1)
+    y = np.arange(n) % 2
+    X_tr, X_te, y_tr, y_te = train_test_split(X, y, fraction, random_state=seed)
+    assert len(X_tr) + len(X_te) == n
+    assert sorted(np.concatenate([X_tr, X_te]).ravel().tolist()) == list(range(n))
+    assert len(y_tr) == len(X_tr) and len(y_te) == len(X_te)
+
+
+@given(
+    seed=st.integers(0, 30),
+    n=st.integers(min_value=20, max_value=80),
+)
+@settings(max_examples=30, deadline=None)
+def test_tree_training_accuracy_at_least_majority(seed, n):
+    """A fitted tree can never do worse than predicting the majority class
+    on its own training data."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = rng.integers(0, 2, size=n)
+    tree = DecisionTreeClassifier(max_depth=4, random_state=0).fit(X, y)
+    majority = max(np.mean(y), 1 - np.mean(y))
+    assert tree.score(X, y) >= majority - 1e-12
+
+
+@given(seed=st.integers(0, 50))
+@settings(max_examples=20, deadline=None)
+def test_tree_proba_always_distribution(seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(60, 4))
+    y = rng.integers(0, 3, size=60)
+    tree = DecisionTreeClassifier(max_depth=5, random_state=0).fit(X, y)
+    proba = tree.predict_proba(rng.normal(size=(30, 4)))
+    assert np.allclose(proba.sum(axis=1), 1.0)
+    assert (proba >= 0).all() and (proba <= 1).all()

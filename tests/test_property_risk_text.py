@@ -1,0 +1,90 @@
+"""Property-based tests for risk factors and text analytics (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.risk import RiskModel
+from repro.text import match_topics, normalize, tokenize
+
+location_names = st.sampled_from(
+    ["Adorf", "Bedorf", "Cedorf", "Dedorf", "Edorf", "Fedorf"]
+)
+
+
+@given(
+    counts=st.dictionaries(location_names, st.integers(0, 500), max_size=6),
+    populations=st.dictionaries(location_names, st.integers(1, 100_000), min_size=6),
+    top_fraction=st.floats(min_value=0.05, max_value=1.0),
+)
+@settings(max_examples=150, deadline=None)
+def test_risk_model_invariants(counts, populations, top_fraction):
+    model = RiskModel(counts, populations, top_fraction=top_fraction)
+    covered = model.covered_locations()
+    # Normalized values are always in [0, 1].
+    for location in covered:
+        assert 0.0 <= model.normalized(location) <= 1.0
+        assert model.binary(location) in (0, 1)
+        assert model.absolute(location) >= 0.0
+    # When anything is covered, the normalization reaches its bounds.
+    if len(covered) >= 2:
+        values = [model.normalized(loc) for loc in covered]
+        arf = [model.absolute(loc) for loc in covered]
+        if max(arf) > min(arf):
+            assert min(values) == 0.0
+            assert max(values) == 1.0
+    # The binary flag marks at least one and at most all covered locations.
+    if covered:
+        flags = sum(model.binary(loc) for loc in covered)
+        assert 1 <= flags <= len(covered)
+    # Uncovered locations are all-zero.
+    assert model.absolute("Nowhere") == 0.0
+    assert model.binary("Nowhere") == 0
+
+
+@given(
+    counts=st.dictionaries(location_names, st.integers(0, 100), min_size=2, max_size=6),
+    populations=st.dictionaries(location_names, st.integers(1, 10_000), min_size=6),
+)
+@settings(max_examples=100, deadline=None)
+def test_binary_risk_marks_highest_per_capita(counts, populations):
+    model = RiskModel(counts, populations, top_fraction=0.25)
+    covered = model.covered_locations()
+    assume(len(covered) >= 2)
+    flagged = [loc for loc in covered if model.binary(loc)]
+    unflagged = [loc for loc in covered if not model.binary(loc)]
+    assume(flagged and unflagged)
+    assert min(model.absolute(loc) for loc in flagged) >= max(
+        model.absolute(loc) for loc in unflagged
+    )
+
+
+@given(text=st.text(max_size=200))
+@settings(max_examples=200, deadline=None)
+def test_tokenize_never_crashes_and_is_normalized(text):
+    tokens = tokenize(text)
+    for token in tokens:
+        assert token == normalize(token)
+        assert token.isalpha() or token == ""
+
+
+@given(text=st.text(max_size=200))
+@settings(max_examples=150, deadline=None)
+def test_match_topics_subset_of_known_topics(text):
+    assert match_topics(text) <= {"fire", "intrusion"}
+
+
+@given(
+    prefix=st.text(max_size=30),
+    suffix=st.text(max_size=30),
+)
+@settings(max_examples=100, deadline=None)
+def test_fire_keyword_always_detected_regardless_of_context(prefix, suffix):
+    text = f"{prefix} Brand {suffix}"
+    assert "fire" in match_topics(text)
+
+
+@given(text=st.text(max_size=100))
+@settings(max_examples=150, deadline=None)
+def test_normalize_is_idempotent(text):
+    once = normalize(text)
+    assert normalize(once) == once

@@ -1,0 +1,135 @@
+"""Property-based tests for the document store (hypothesis).
+
+The central invariant: indexes are an *optimization* — for any documents,
+any filter, the result of an index-assisted query equals a naive full scan
+with the pure matcher.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.storage import Collection, aggregate, group_histogram, matches
+
+# JSON-ish scalar values that can appear in alarm documents.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-1000, max_value=1000),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.sampled_from(["8001", "4001", "fire", "intrusion", "x", ""]),
+)
+
+documents = st.lists(
+    st.fixed_dictionaries(
+        {"zip": st.sampled_from(["8001", "4001", "4051", "9000"]),
+         "duration": st.integers(min_value=0, max_value=600),
+         "type": st.sampled_from(["fire", "intrusion", "technical"])},
+        optional={"extra": scalars},
+    ),
+    max_size=40,
+)
+
+filters = st.one_of(
+    st.fixed_dictionaries({"zip": st.sampled_from(["8001", "4001", "nope"])}),
+    st.fixed_dictionaries(
+        {"duration": st.fixed_dictionaries(
+            {"$gte": st.integers(0, 600), "$lt": st.integers(0, 600)}
+        )}
+    ),
+    st.fixed_dictionaries(
+        {"zip": st.fixed_dictionaries(
+            {"$in": st.lists(st.sampled_from(["8001", "4001"]), max_size=2)}
+        )}
+    ).filter(lambda f: f["zip"]["$in"]),
+    st.fixed_dictionaries({
+        "$or": st.lists(
+            st.fixed_dictionaries({"type": st.sampled_from(["fire", "technical"])}),
+            min_size=1, max_size=2,
+        )
+    }),
+)
+
+
+@given(docs=documents, flt=filters)
+@settings(max_examples=120, deadline=None)
+def test_indexed_query_equals_full_scan(docs, flt):
+    indexed = Collection("indexed")
+    indexed.create_index("zip", kind="hash")
+    indexed.create_index("duration", kind="sorted")
+    plain = Collection("plain")
+    indexed.insert_many(docs)
+    plain.insert_many(docs)
+    assert indexed.find(flt) == plain.find(flt)
+
+
+@given(docs=documents, flt=filters)
+@settings(max_examples=80, deadline=None)
+def test_find_results_actually_match(docs, flt):
+    coll = Collection("c")
+    coll.insert_many(docs)
+    for doc in coll.find(flt):
+        assert matches(doc, flt)
+
+
+@given(docs=documents, flt=filters)
+@settings(max_examples=80, deadline=None)
+def test_count_equals_len_find(docs, flt):
+    coll = Collection("c")
+    coll.insert_many(docs)
+    assert coll.count(flt) == len(coll.find(flt))
+
+
+@given(docs=documents)
+@settings(max_examples=60, deadline=None)
+def test_delete_plus_remaining_partitions_collection(docs):
+    coll = Collection("c")
+    coll.insert_many(docs)
+    flt = {"type": "fire"}
+    total = len(coll)
+    deleted = coll.delete_many(flt)
+    assert deleted + len(coll) == total
+    assert coll.count(flt) == 0
+
+
+@given(docs=documents)
+@settings(max_examples=60, deadline=None)
+def test_group_histogram_sums_to_document_count(docs):
+    histogram = group_histogram(docs, "zip")
+    assert sum(histogram.values()) == len(docs)
+
+
+@given(docs=documents)
+@settings(max_examples=60, deadline=None)
+def test_group_counts_match_manual_counting(docs):
+    rows = aggregate(docs, [{"$group": {"_id": "$type", "n": {"$sum": 1}}}])
+    manual = {}
+    for doc in docs:
+        manual[doc["type"]] = manual.get(doc["type"], 0) + 1
+    assert {r["_id"]: r["n"] for r in rows} == manual
+
+
+@given(docs=documents, low=st.integers(0, 600), high=st.integers(0, 600))
+@settings(max_examples=80, deadline=None)
+def test_sorted_index_range_equals_manual_filter(docs, low, high):
+    coll = Collection("c")
+    coll.create_index("duration", kind="sorted")
+    coll.insert_many(docs)
+    found = coll.find({"duration": {"$gte": low, "$lte": high}})
+    manual = [d for d in docs if low <= d["duration"] <= high]
+    assert len(found) == len(manual)
+
+
+@given(docs=documents)
+@settings(max_examples=40, deadline=None)
+def test_persistence_round_trip_preserves_documents(docs, tmp_path_factory):
+    from repro.storage import DocumentStore
+    store = DocumentStore()
+    store.collection("c").insert_many(docs)
+    directory = tmp_path_factory.mktemp("db")
+    store.save(directory)
+    loaded = DocumentStore.load(directory)
+    original = [{k: v for k, v in d.items() if k != "_id"}
+                for d in store.collection("c").all_documents()]
+    restored = [{k: v for k, v in d.items() if k != "_id"}
+                for d in loaded.collection("c").all_documents()]
+    assert original == restored

@@ -1,0 +1,136 @@
+"""Property-based tests for the streaming substrate (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.streaming import (
+    Broker,
+    CompactJsonSerializer,
+    Consumer,
+    PartitionedDataset,
+    Producer,
+    ReflectiveJsonSerializer,
+    assign_partitions,
+)
+
+json_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**31), max_value=2**31),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.text(max_size=20),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+@given(obj=json_values)
+@settings(max_examples=150, deadline=None)
+def test_serializers_round_trip_any_json(obj):
+    for serializer in (CompactJsonSerializer(), ReflectiveJsonSerializer()):
+        assert serializer.deserialize(serializer.serialize(obj)) == obj
+
+
+@given(obj=json_values)
+@settings(max_examples=100, deadline=None)
+def test_serializers_are_wire_compatible(obj):
+    compact, reflective = CompactJsonSerializer(), ReflectiveJsonSerializer()
+    assert reflective.deserialize(compact.serialize(obj)) == obj
+    assert compact.deserialize(reflective.serialize(obj)) == obj
+
+
+@given(
+    values=st.lists(st.integers(), min_size=1, max_size=60),
+    num_partitions=st.integers(min_value=1, max_value=6),
+    keyed=st.booleans(),
+)
+@settings(max_examples=100, deadline=None)
+def test_no_record_lost_or_duplicated(values, num_partitions, keyed):
+    """Conservation: everything produced is consumed exactly once."""
+    broker = Broker()
+    broker.create_topic("t", num_partitions=num_partitions)
+    producer = Producer(broker)
+    key_fn = (lambda v: str(v % 5)) if keyed else None
+    producer.send_many("t", values, key_fn=key_fn)
+    consumer = Consumer(broker, "g")
+    consumer.subscribe("t")
+    consumed = list(consumer.stream_values(max_records=7))
+    assert sorted(consumed) == sorted(values)
+
+
+@given(
+    values=st.lists(st.integers(), min_size=1, max_size=40),
+    commit_after=st.integers(min_value=1, max_value=40),
+)
+@settings(max_examples=80, deadline=None)
+def test_exactly_once_with_restart_at_any_point(values, commit_after):
+    """Conservation across a crash/restart at an arbitrary commit point."""
+    broker = Broker()
+    broker.create_topic("t", num_partitions=2)
+    Producer(broker).send_many("t", values)
+
+    first = Consumer(broker, "g")
+    first.subscribe("t")
+    consumed = []
+    while len(consumed) < min(commit_after, len(values)):
+        batch = first.poll_values(max_records=3)
+        if not batch:
+            break
+        consumed.extend(batch)
+        first.commit()
+    # first consumer "crashes" here; a replacement takes over.
+    second = Consumer(broker, "g")
+    second.subscribe("t")
+    consumed.extend(second.stream_values(max_records=5))
+    assert sorted(consumed) == sorted(values)
+
+
+@given(
+    num_partitions=st.integers(min_value=1, max_value=12),
+    num_members=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=80, deadline=None)
+def test_group_assignment_partitions_exactly(num_partitions, num_members):
+    broker = Broker()
+    broker.create_topic("t", num_partitions=num_partitions)
+    partitions = broker.partitions_for("t")
+    shares = [assign_partitions(partitions, num_members, m) for m in range(num_members)]
+    union = [tp for share in shares for tp in share]
+    assert sorted(union) == sorted(partitions)
+    assert len(union) == len(set(union))
+
+
+@given(
+    items=st.lists(st.integers(), max_size=50),
+    partitions_a=st.integers(min_value=1, max_value=5),
+    partitions_b=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=100, deadline=None)
+def test_repartition_preserves_elements(items, partitions_a, partitions_b):
+    ds = PartitionedDataset.from_iterable(items, partitions_a)
+    assert sorted(ds.repartition(partitions_b).collect()) == sorted(items)
+
+
+@given(items=st.lists(st.integers(min_value=-50, max_value=50), max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_dataset_transformations_match_list_semantics(items):
+    ds = PartitionedDataset.from_iterable(items, 3)
+    assert sorted(ds.map(lambda x: x * 2).collect()) == sorted(x * 2 for x in items)
+    assert sorted(ds.filter(lambda x: x > 0).collect()) == sorted(
+        x for x in items if x > 0
+    )
+    assert sorted(ds.distinct().collect()) == sorted(set(items))
+
+
+@given(items=st.lists(st.integers(), min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_cache_does_not_change_results(items):
+    plain = PartitionedDataset.from_iterable(items, 2).map(lambda x: x + 1)
+    cached = PartitionedDataset.from_iterable(items, 2).map(lambda x: x + 1).cache()
+    assert plain.collect() == cached.collect()
+    assert cached.collect() == cached.collect()

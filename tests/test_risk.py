@@ -1,0 +1,152 @@
+"""Risk-factor and security-map tests (Section 5.4 / Figure 8)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.risk import PlacedRisk, RiskLevel, RiskModel, SecurityMap, incident_counts
+
+INCIDENT_DOCS = [
+    {"location": "Adorf", "topics": ["fire"]},
+    {"location": "Adorf", "topics": ["fire"]},
+    {"location": "Adorf", "topics": ["intrusion"]},
+    {"location": "Bedorf", "topics": ["intrusion"]},
+    {"location": "Cedorf", "topics": ["fire", "intrusion"]},
+    {"location": None, "topics": ["fire"]},
+]
+
+POPULATIONS = {"Adorf": 1000, "Bedorf": 500, "Cedorf": 100, "Dedorf": 2000}
+
+
+class TestIncidentCounts:
+    def test_counts_all_topics(self):
+        assert incident_counts(INCIDENT_DOCS) == {"Adorf": 3, "Bedorf": 1, "Cedorf": 1}
+
+    def test_counts_by_topic(self):
+        assert incident_counts(INCIDENT_DOCS, topic="fire") == {"Adorf": 2, "Cedorf": 1}
+
+    def test_missing_location_skipped(self):
+        assert None not in incident_counts(INCIDENT_DOCS)
+
+
+class TestRiskModel:
+    @pytest.fixture
+    def model(self):
+        return RiskModel(incident_counts(INCIDENT_DOCS), POPULATIONS, top_fraction=0.34)
+
+    def test_absolute_is_per_capita(self, model):
+        assert model.absolute("Adorf") == pytest.approx(3 / 1000)
+        assert model.absolute("Cedorf") == pytest.approx(1 / 100)
+
+    def test_normalized_bounds(self, model):
+        values = [model.normalized(loc) for loc in model.covered_locations()]
+        assert min(values) == 0.0
+        assert max(values) == 1.0
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_normalized_formula(self, model):
+        # x' = (x - min) / (max - min); Cedorf has the max ARF, Bedorf the min.
+        arf = {loc: model.absolute(loc) for loc in model.covered_locations()}
+        low, high = min(arf.values()), max(arf.values())
+        expected = (arf["Adorf"] - low) / (high - low)
+        assert model.normalized("Adorf") == pytest.approx(expected)
+
+    def test_binary_marks_top_fraction(self, model):
+        # 3 covered locations, top 34% -> exactly 1 high-risk location.
+        flags = [model.binary(loc) for loc in model.covered_locations()]
+        assert sum(flags) == 1
+        assert model.binary("Cedorf") == 1  # highest per-capita rate
+
+    def test_uncovered_location_is_zero(self, model):
+        assert model.absolute("Dedorf") == 0.0
+        assert model.normalized("Dedorf") == 0.0
+        assert model.binary("Dedorf") == 0
+
+    def test_factor_dispatch(self, model):
+        assert model.factor("Cedorf", "absolute") == model.absolute("Cedorf")
+        assert model.factor("Cedorf", "normalized") == model.normalized("Cedorf")
+        assert model.factor("Cedorf", "binary") == float(model.binary("Cedorf"))
+
+    def test_factor_unknown_kind_raises(self, model):
+        with pytest.raises(ConfigurationError):
+            model.factor("Adorf", "quadratic")
+
+    def test_coverage(self, model):
+        assert model.coverage(POPULATIONS) == pytest.approx(3 / 4)
+        assert model.coverage([]) == 0.0
+
+    def test_location_without_population_is_skipped(self):
+        model = RiskModel({"Ghost": 5}, POPULATIONS)
+        assert len(model) == 0
+
+    def test_invalid_top_fraction(self):
+        with pytest.raises(ConfigurationError):
+            RiskModel({}, {}, top_fraction=0.0)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ConfigurationError):
+            RiskModel({"Adorf": -1}, POPULATIONS)
+
+    def test_empty_model(self):
+        model = RiskModel({}, {})
+        assert model.covered_locations() == []
+        assert model.absolute("anything") == 0.0
+
+
+class TestSecurityMap:
+    @pytest.fixture
+    def places(self):
+        return [
+            PlacedRisk("Safe1", 0.0, 0.0, 0.0),
+            PlacedRisk("Safe2", 10.0, 0.0, 0.1),
+            PlacedRisk("Mid", 0.0, 10.0, 1.0),
+            PlacedRisk("Hot", 10.0, 10.0, 10.0),
+        ]
+
+    def test_levels_ordered_by_risk(self, places):
+        smap = SecurityMap(places, width=2, height=2)
+        assert smap.level_of_place("Hot") == RiskLevel.HIGH
+        assert smap.level_of_place("Safe1") == RiskLevel.SAFE
+
+    def test_cell_aggregation_sums_risk(self):
+        smap = SecurityMap([
+            PlacedRisk("a", 0.0, 0.0, 1.0),
+            PlacedRisk("b", 0.0, 0.0, 2.0),
+            PlacedRisk("far", 100.0, 100.0, 0.5),
+        ], width=4, height=4)
+        col, row = smap.cell_of(0.0, 0.0)
+        assert smap.cell_risk(col, row) == pytest.approx(3.0)
+
+    def test_render_dimensions_and_glyphs(self, places):
+        smap = SecurityMap(places, width=6, height=3)
+        rendering = smap.render()
+        lines = rendering.split("\n")
+        assert len(lines) == 3
+        assert all(len(line) == 6 for line in lines)
+        assert set(rendering) <= {".", "o", "#", "\n"}
+
+    def test_level_counts_cover_grid(self, places):
+        smap = SecurityMap(places, width=5, height=4)
+        counts = smap.level_counts()
+        assert sum(counts.values()) == 20
+
+    def test_rows_structured_output(self, places):
+        smap = SecurityMap(places, width=2, height=2)
+        rows = smap.rows()
+        assert len(rows) == 4  # four distinct occupied cells
+        assert {"col", "row", "risk", "level"} <= set(rows[0])
+
+    def test_unknown_place_raises(self, places):
+        with pytest.raises(KeyError):
+            SecurityMap(places).level_of_place("Atlantis")
+
+    def test_empty_places_raises(self):
+        with pytest.raises(ConfigurationError):
+            SecurityMap([])
+
+    def test_invalid_quantiles_raise(self, places):
+        with pytest.raises(ConfigurationError):
+            SecurityMap(places, medium_quantile=0.9, high_quantile=0.5)
+
+    def test_single_place_map(self):
+        smap = SecurityMap([PlacedRisk("Only", 5.0, 5.0, 1.0)], width=3, height=3)
+        assert sum(smap.level_counts().values()) == 9

@@ -1,0 +1,132 @@
+"""Aggregation-pipeline tests, including the paper's histogram query."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.storage import aggregate, group_histogram
+
+ALARMS = [
+    {"device": "d1", "zip": "8001", "duration": 30, "timestamp": 100},
+    {"device": "d1", "zip": "8001", "duration": 40, "timestamp": 200},
+    {"device": "d2", "zip": "4001", "duration": 50, "timestamp": 300},
+    {"device": "d3", "zip": "8001", "duration": 60, "timestamp": 400},
+    {"device": "d2", "zip": "4001", "duration": 70, "timestamp": 500},
+]
+
+
+class TestStages:
+    def test_match(self):
+        rows = aggregate(ALARMS, [{"$match": {"zip": "8001"}}])
+        assert len(rows) == 3
+
+    def test_group_count(self):
+        rows = aggregate(ALARMS, [
+            {"$group": {"_id": "$device", "n": {"$sum": 1}}},
+        ])
+        assert {r["_id"]: r["n"] for r in rows} == {"d1": 2, "d2": 2, "d3": 1}
+
+    def test_group_accumulators(self):
+        rows = aggregate(ALARMS, [
+            {"$group": {
+                "_id": "$zip",
+                "total": {"$sum": "$duration"},
+                "avg": {"$avg": "$duration"},
+                "lo": {"$min": "$duration"},
+                "hi": {"$max": "$duration"},
+                "first": {"$first": "$device"},
+                "last": {"$last": "$device"},
+                "devices": {"$addToSet": "$device"},
+                "all": {"$push": "$duration"},
+            }},
+            {"$sort": {"_id": 1}},
+        ])
+        z4001 = rows[0]
+        assert z4001["_id"] == "4001"
+        assert z4001["total"] == 120
+        assert z4001["avg"] == 60
+        assert z4001["lo"] == 50 and z4001["hi"] == 70
+        assert z4001["first"] == "d2" and z4001["last"] == "d2"
+        assert z4001["devices"] == ["d2"]
+        assert z4001["all"] == [50, 70]
+
+    def test_group_null_id_aggregates_everything(self):
+        rows = aggregate(ALARMS, [
+            {"$group": {"_id": None, "n": {"$sum": 1}}},
+        ])
+        assert rows == [{"_id": None, "n": 5}]
+
+    def test_project_include(self):
+        rows = aggregate(ALARMS, [{"$project": {"device": 1, "_id": 0}}])
+        assert rows[0] == {"device": "d1"}
+
+    def test_project_computed(self):
+        rows = aggregate(ALARMS[:1], [{"$project": {"d": "$duration", "_id": 0}}])
+        assert rows == [{"d": 30}]
+
+    def test_sort_multiple_keys(self):
+        rows = aggregate(ALARMS, [{"$sort": {"zip": 1, "duration": -1}}])
+        assert [r["duration"] for r in rows] == [70, 50, 60, 40, 30]
+
+    def test_limit_skip(self):
+        rows = aggregate(ALARMS, [{"$sort": {"timestamp": 1}}, {"$skip": 1}, {"$limit": 2}])
+        assert [r["timestamp"] for r in rows] == [200, 300]
+
+    def test_count(self):
+        assert aggregate(ALARMS, [{"$count": "n"}]) == [{"n": 5}]
+
+    def test_unwind(self):
+        docs = [{"id": 1, "tags": ["a", "b"]}, {"id": 2, "tags": []}, {"id": 3}]
+        rows = aggregate(docs, [{"$unwind": "$tags"}])
+        assert [(r["id"], r["tags"]) for r in rows] == [(1, "a"), (1, "b")]
+
+    def test_chained_pipeline(self):
+        rows = aggregate(ALARMS, [
+            {"$match": {"duration": {"$gte": 40}}},
+            {"$group": {"_id": "$zip", "n": {"$sum": 1}}},
+            {"$sort": {"n": -1, "_id": 1}},
+            {"$limit": 1},
+        ])
+        assert rows == [{"_id": "4001", "n": 2}]
+
+
+class TestValidation:
+    def test_multi_operator_stage_raises(self):
+        with pytest.raises(QueryError):
+            aggregate(ALARMS, [{"$match": {}, "$limit": 2}])
+
+    def test_unknown_stage_raises(self):
+        with pytest.raises(QueryError):
+            aggregate(ALARMS, [{"$lookup": {}}])
+
+    def test_group_requires_id(self):
+        with pytest.raises(QueryError):
+            aggregate(ALARMS, [{"$group": {"n": {"$sum": 1}}}])
+
+    def test_unknown_accumulator_raises(self):
+        with pytest.raises(QueryError):
+            aggregate(ALARMS, [{"$group": {"_id": None, "n": {"$median": "$duration"}}}])
+
+    def test_negative_limit_raises(self):
+        with pytest.raises(QueryError):
+            aggregate(ALARMS, [{"$limit": -1}])
+
+    def test_bad_sort_direction_raises(self):
+        with pytest.raises(QueryError):
+            aggregate(ALARMS, [{"$sort": {"zip": 2}}])
+
+    def test_bad_unwind_spec_raises(self):
+        with pytest.raises(QueryError):
+            aggregate(ALARMS, [{"$unwind": {"bad": True}}])
+
+
+class TestGroupHistogram:
+    """The paper's batch query: alarms per device since time t."""
+
+    def test_histogram_counts_per_device(self):
+        assert group_histogram(ALARMS, "device") == {"d1": 2, "d2": 2, "d3": 1}
+
+    def test_histogram_since_cutoff(self):
+        assert group_histogram(ALARMS, "device", since=300) == {"d2": 2, "d3": 1}
+
+    def test_histogram_empty_input(self):
+        assert group_histogram([], "device") == {}

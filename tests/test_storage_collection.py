@@ -1,0 +1,225 @@
+"""Collection tests: CRUD, sort/limit/projection, index planning."""
+
+import pytest
+
+from repro.errors import DuplicateKeyError, IndexError_, QueryError
+from repro.storage import Collection
+
+
+@pytest.fixture
+def alarms():
+    coll = Collection("alarms")
+    coll.insert_many([
+        {"zip": "8001", "type": "fire", "duration": 30.0, "ts": 100},
+        {"zip": "8001", "type": "intrusion", "duration": 200.0, "ts": 200},
+        {"zip": "4001", "type": "fire", "duration": 45.0, "ts": 300},
+        {"zip": "4051", "type": "technical", "duration": 5.0, "ts": 400},
+        {"zip": "4001", "type": "intrusion", "duration": 600.0, "ts": 500},
+    ])
+    return coll
+
+
+class TestInserts:
+    def test_ids_are_sequential(self):
+        coll = Collection("c")
+        assert coll.insert_one({"a": 1}) == 0
+        assert coll.insert_one({"a": 2}) == 1
+
+    def test_inserted_documents_are_copies(self):
+        coll = Collection("c")
+        doc = {"nested": {"x": 1}}
+        coll.insert_one(doc)
+        doc["nested"]["x"] = 99
+        assert coll.get(0)["nested"]["x"] == 1
+
+    def test_get_returns_copy(self):
+        coll = Collection("c")
+        coll.insert_one({"x": [1]})
+        coll.get(0)["x"].append(2)
+        assert coll.get(0)["x"] == [1]
+
+    def test_non_mapping_insert_raises(self):
+        with pytest.raises(QueryError):
+            Collection("c").insert_one([1, 2])
+
+    def test_len_counts_documents(self, alarms):
+        assert len(alarms) == 5
+
+
+class TestFind:
+    def test_find_all(self, alarms):
+        assert len(alarms.find()) == 5
+
+    def test_find_filters(self, alarms):
+        assert len(alarms.find({"zip": "4001"})) == 2
+
+    def test_find_sorted_ascending(self, alarms):
+        durations = [d["duration"] for d in alarms.find(sort="duration")]
+        assert durations == sorted(durations)
+
+    def test_find_sorted_descending(self, alarms):
+        durations = [d["duration"] for d in alarms.find(sort=("duration", -1))]
+        assert durations == sorted(durations, reverse=True)
+
+    def test_limit_and_skip(self, alarms):
+        page = alarms.find(sort="ts", skip=1, limit=2)
+        assert [d["ts"] for d in page] == [200, 300]
+
+    def test_projection_keeps_id(self, alarms):
+        docs = alarms.find({"zip": "8001"}, projection=["type"])
+        assert all(set(d) == {"_id", "type"} for d in docs)
+
+    def test_find_one(self, alarms):
+        doc = alarms.find_one({"type": "technical"})
+        assert doc["zip"] == "4051"
+        assert alarms.find_one({"zip": "nope"}) is None
+
+    def test_count(self, alarms):
+        assert alarms.count() == 5
+        assert alarms.count({"type": "fire"}) == 2
+
+    def test_distinct(self, alarms):
+        assert alarms.distinct("zip") == ["4001", "4051", "8001"]
+
+    def test_distinct_with_filter(self, alarms):
+        assert alarms.distinct("zip", {"type": "fire"}) == ["4001", "8001"]
+
+    def test_malformed_filter_raises(self, alarms):
+        with pytest.raises(QueryError):
+            alarms.find({"zip": {"$bogus": 1}})
+
+
+class TestUpdateDelete:
+    def test_update_with_set(self, alarms):
+        changed = alarms.update_many({"zip": "8001"}, {"$set": {"reviewed": True}})
+        assert changed == 2
+        assert alarms.count({"reviewed": True}) == 2
+
+    def test_update_with_callable(self, alarms):
+        alarms.update_many({}, lambda d: d.__setitem__("duration", d["duration"] * 2))
+        assert alarms.find_one({"ts": 100})["duration"] == 60.0
+
+    def test_update_cannot_change_id(self, alarms):
+        alarms.update_many({"ts": 100}, {"$set": {"_id": 999}})
+        assert alarms.get(0) is not None
+
+    def test_update_rejects_bad_spec(self, alarms):
+        with pytest.raises(QueryError):
+            alarms.update_many({}, {"$rename": {"duration": "len"}})
+        with pytest.raises(QueryError):
+            alarms.update_many({}, {})
+
+    def test_update_inc(self, alarms):
+        alarms.update_many({"zip": "8001"}, {"$inc": {"duration": 10.0}})
+        assert alarms.find_one({"ts": 100})["duration"] == 40.0
+
+    def test_update_inc_creates_missing_field(self, alarms):
+        alarms.update_many({"ts": 100}, {"$inc": {"retries": 1}})
+        assert alarms.find_one({"ts": 100})["retries"] == 1
+
+    def test_update_inc_non_numeric_target_raises(self, alarms):
+        with pytest.raises(QueryError):
+            alarms.update_many({"ts": 100}, {"$inc": {"zip": 1}})
+
+    def test_update_unset(self, alarms):
+        alarms.update_many({"ts": 100}, {"$unset": {"duration": ""}})
+        assert "duration" not in alarms.find_one({"ts": 100})
+
+    def test_update_push(self, alarms):
+        alarms.update_many({"ts": 100}, {"$push": {"notes": "checked"}})
+        alarms.update_many({"ts": 100}, {"$push": {"notes": "again"}})
+        assert alarms.find_one({"ts": 100})["notes"] == ["checked", "again"]
+
+    def test_update_push_non_array_raises(self, alarms):
+        with pytest.raises(QueryError):
+            alarms.update_many({"ts": 100}, {"$push": {"zip": "x"}})
+
+    def test_update_combined_operators(self, alarms):
+        alarms.update_many(
+            {"ts": 100},
+            {"$set": {"reviewed": True}, "$inc": {"duration": 5}},
+        )
+        doc = alarms.find_one({"ts": 100})
+        assert doc["reviewed"] is True
+        assert doc["duration"] == 35.0
+
+    def test_delete_many(self, alarms):
+        assert alarms.delete_many({"type": "fire"}) == 2
+        assert len(alarms) == 3
+        assert alarms.count({"type": "fire"}) == 0
+
+    def test_delete_with_empty_filter_deletes_all(self, alarms):
+        assert alarms.delete_many({}) == 5
+        assert len(alarms) == 0
+
+
+class TestIndexes:
+    def test_hash_index_results_match_full_scan(self, alarms):
+        unindexed = alarms.find({"zip": "4001"})
+        alarms.create_index("zip", kind="hash")
+        assert alarms.find({"zip": "4001"}) == unindexed
+
+    def test_sorted_index_range_matches_full_scan(self, alarms):
+        expected = alarms.find({"ts": {"$gte": 200, "$lt": 500}})
+        alarms.create_index("ts", kind="sorted")
+        assert alarms.find({"ts": {"$gte": 200, "$lt": 500}}) == expected
+
+    def test_index_is_used_for_planning(self, alarms):
+        alarms.create_index("zip")
+        before = alarms.index_hits
+        alarms.find({"zip": "8001"})
+        assert alarms.index_hits == before + 1
+
+    def test_unindexed_query_scans(self, alarms):
+        before = alarms.scans
+        alarms.find({"type": "fire"})
+        assert alarms.scans == before + 1
+
+    def test_index_maintained_on_update(self, alarms):
+        alarms.create_index("zip")
+        alarms.update_many({"zip": "4051"}, {"$set": {"zip": "9000"}})
+        assert alarms.count({"zip": "9000"}) == 1
+        assert alarms.count({"zip": "4051"}) == 0
+
+    def test_index_maintained_on_delete(self, alarms):
+        alarms.create_index("zip")
+        alarms.delete_many({"zip": "4001"})
+        assert alarms.find({"zip": "4001"}) == []
+
+    def test_in_uses_hash_index(self, alarms):
+        alarms.create_index("zip")
+        docs = alarms.find({"zip": {"$in": ["8001", "4051"]}})
+        assert len(docs) == 3
+
+    def test_unique_index_rejects_duplicates(self):
+        coll = Collection("devices")
+        coll.create_index("mac", kind="hash", unique=True)
+        coll.insert_one({"mac": "aa:bb"})
+        with pytest.raises(DuplicateKeyError):
+            coll.insert_one({"mac": "aa:bb"})
+
+    def test_unique_index_backfill_detects_existing_duplicates(self):
+        coll = Collection("devices")
+        coll.insert_many([{"mac": "x"}, {"mac": "x"}])
+        with pytest.raises(DuplicateKeyError):
+            coll.create_index("mac", unique=True)
+
+    def test_duplicate_index_raises(self, alarms):
+        alarms.create_index("zip")
+        with pytest.raises(IndexError_):
+            alarms.create_index("zip")
+
+    def test_drop_index(self, alarms):
+        alarms.create_index("zip")
+        alarms.drop_index("zip")
+        assert alarms.index_fields() == []
+        with pytest.raises(IndexError_):
+            alarms.drop_index("zip")
+
+    def test_unknown_index_kind_raises(self, alarms):
+        with pytest.raises(IndexError_):
+            alarms.create_index("zip", kind="btree")
+
+    def test_unique_sorted_index_rejected(self, alarms):
+        with pytest.raises(IndexError_):
+            alarms.create_index("ts", kind="sorted", unique=True)

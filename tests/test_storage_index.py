@@ -1,0 +1,117 @@
+"""Direct tests of the index structures."""
+
+import pytest
+
+from repro.errors import DuplicateKeyError
+from repro.storage import HashIndex, SortedIndex
+
+
+class TestHashIndex:
+    def test_lookup_after_add(self):
+        idx = HashIndex("zip")
+        idx.add(1, {"zip": "8001"})
+        idx.add(2, {"zip": "8001"})
+        idx.add(3, {"zip": "4001"})
+        assert idx.lookup("8001") == {1, 2}
+        assert idx.lookup("nope") == set()
+
+    def test_lookup_in(self):
+        idx = HashIndex("zip")
+        idx.add(1, {"zip": "a"})
+        idx.add(2, {"zip": "b"})
+        idx.add(3, {"zip": "c"})
+        assert idx.lookup_in(["a", "c", "z"]) == {1, 3}
+
+    def test_array_values_are_multikey(self):
+        idx = HashIndex("tags")
+        idx.add(1, {"tags": ["fire", "night"]})
+        assert idx.lookup("fire") == {1}
+        assert idx.lookup("night") == {1}
+
+    def test_remove(self):
+        idx = HashIndex("zip")
+        idx.add(1, {"zip": "a"})
+        idx.remove(1, {"zip": "a"})
+        assert idx.lookup("a") == set()
+        assert len(idx) == 0
+
+    def test_missing_field_not_indexed(self):
+        idx = HashIndex("zip")
+        idx.add(1, {"other": 1})
+        assert len(idx) == 0
+
+    def test_unique_violation(self):
+        idx = HashIndex("mac", unique=True)
+        idx.add(1, {"mac": "x"})
+        with pytest.raises(DuplicateKeyError):
+            idx.add(2, {"mac": "x"})
+
+    def test_unique_same_doc_readd_ok(self):
+        idx = HashIndex("mac", unique=True)
+        idx.add(1, {"mac": "x"})
+        idx.add(1, {"mac": "x"})  # same doc id is not a violation
+
+    def test_keys_iteration(self):
+        idx = HashIndex("zip")
+        idx.add(1, {"zip": "a"})
+        idx.add(2, {"zip": "b"})
+        assert sorted(idx.keys()) == ["a", "b"]
+
+
+class TestSortedIndex:
+    @pytest.fixture
+    def idx(self):
+        index = SortedIndex("ts")
+        for doc_id, ts in enumerate([50, 10, 30, 20, 40]):
+            index.add(doc_id, {"ts": ts})
+        return index
+
+    def test_range_inclusive(self, idx):
+        assert idx.range(low=20, high=40) == {2, 3, 4}
+
+    def test_range_exclusive(self, idx):
+        assert idx.range(low=20, high=40, include_low=False, include_high=False) == {2}
+
+    def test_open_ranges(self, idx):
+        assert idx.range(low=30) == {0, 2, 4}
+        assert idx.range(high=20) == {1, 3}
+        assert idx.range() == {0, 1, 2, 3, 4}
+
+    def test_equality_lookup(self, idx):
+        assert idx.lookup(30) == {2}
+        assert idx.lookup(31) == set()
+
+    def test_min_max(self, idx):
+        assert idx.min_key() == 10
+        assert idx.max_key() == 50
+
+    def test_remove(self, idx):
+        idx.remove(2, {"ts": 30})
+        assert idx.lookup(30) == set()
+        assert len(idx) == 4
+
+    def test_duplicate_keys_supported(self):
+        idx = SortedIndex("ts")
+        idx.add(1, {"ts": 5})
+        idx.add(2, {"ts": 5})
+        assert idx.lookup(5) == {1, 2}
+        idx.remove(1, {"ts": 5})
+        assert idx.lookup(5) == {2}
+
+    def test_none_and_bool_skipped(self):
+        idx = SortedIndex("ts")
+        idx.add(1, {"ts": None})
+        idx.add(2, {"ts": True})
+        assert len(idx) == 0
+
+    def test_incomparable_values_skipped(self):
+        idx = SortedIndex("ts")
+        idx.add(1, {"ts": 5})
+        idx.add(2, {"ts": "string"})  # cannot compare with 5 -> skipped
+        assert len(idx) == 1
+
+    def test_empty_index(self):
+        idx = SortedIndex("ts")
+        assert idx.min_key() is None
+        assert idx.max_key() is None
+        assert idx.range(low=0, high=10) == set()

@@ -1,0 +1,192 @@
+"""Query-language tests: every operator plus dotted paths and logicals."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.storage import matches, resolve_path, validate_filter
+
+DOC = {
+    "zip": "8001",
+    "duration": 42.5,
+    "count": 7,
+    "active": True,
+    "tags": ["fire", "night"],
+    "device": {"sensor": "smoke", "versions": [1, 2]},
+    "nullable": None,
+    "readings": [{"v": 10}, {"v": 20}],
+}
+
+
+class TestResolvePath:
+    def test_top_level(self):
+        assert resolve_path(DOC, "zip") == ["8001"]
+
+    def test_nested(self):
+        assert resolve_path(DOC, "device.sensor") == ["smoke"]
+
+    def test_array_fan_out(self):
+        assert resolve_path(DOC, "readings.v") == [10, 20]
+
+    def test_array_index(self):
+        assert resolve_path(DOC, "readings.0") == [{"v": 10}]
+
+    def test_missing(self):
+        assert resolve_path(DOC, "ghost.path") == []
+
+
+class TestEquality:
+    def test_implicit_eq(self):
+        assert matches(DOC, {"zip": "8001"})
+        assert not matches(DOC, {"zip": "9999"})
+
+    def test_explicit_eq(self):
+        assert matches(DOC, {"count": {"$eq": 7}})
+
+    def test_eq_matches_array_element(self):
+        assert matches(DOC, {"tags": "fire"})
+
+    def test_eq_matches_whole_array(self):
+        assert matches(DOC, {"tags": ["fire", "night"]})
+
+    def test_none_matches_null_and_missing(self):
+        assert matches(DOC, {"nullable": None})
+        assert matches(DOC, {"missing_field": None})
+        assert not matches(DOC, {"zip": None})
+
+    def test_ne(self):
+        assert matches(DOC, {"zip": {"$ne": "9999"}})
+        assert not matches(DOC, {"zip": {"$ne": "8001"}})
+
+    def test_empty_filter_matches_everything(self):
+        assert matches(DOC, {})
+        assert matches({}, {})
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("flt,expected", [
+        ({"duration": {"$gt": 42}}, True),
+        ({"duration": {"$gt": 42.5}}, False),
+        ({"duration": {"$gte": 42.5}}, True),
+        ({"duration": {"$lt": 100}}, True),
+        ({"duration": {"$lte": 42.4}}, False),
+        ({"count": {"$gte": 7, "$lte": 7}}, True),
+        ({"count": {"$gt": 2, "$lt": 5}}, False),
+    ])
+    def test_ranges(self, flt, expected):
+        assert matches(DOC, flt) is expected
+
+    def test_mixed_type_comparison_is_false_not_error(self):
+        assert not matches(DOC, {"zip": {"$gt": 5}})
+
+    def test_in_and_nin(self):
+        assert matches(DOC, {"zip": {"$in": ["8000", "8001"]}})
+        assert not matches(DOC, {"zip": {"$in": ["8000"]}})
+        assert matches(DOC, {"zip": {"$nin": ["8000"]}})
+
+    def test_in_requires_list(self):
+        with pytest.raises(QueryError):
+            matches(DOC, {"zip": {"$in": "8001"}})
+
+
+class TestElementOperators:
+    def test_exists(self):
+        assert matches(DOC, {"zip": {"$exists": True}})
+        assert matches(DOC, {"ghost": {"$exists": False}})
+        assert not matches(DOC, {"ghost": {"$exists": True}})
+
+    @pytest.mark.parametrize("field,type_name", [
+        ("zip", "string"), ("count", "int"), ("duration", "double"),
+        ("active", "bool"), ("tags", "array"), ("device", "object"),
+        ("nullable", "null"),
+    ])
+    def test_type(self, field, type_name):
+        assert matches(DOC, {field: {"$type": type_name}})
+
+    def test_bool_is_not_int(self):
+        assert not matches(DOC, {"active": {"$type": "int"}})
+
+    def test_unknown_type_name_raises(self):
+        with pytest.raises(QueryError):
+            matches(DOC, {"zip": {"$type": "decimal128"}})
+
+
+class TestEvaluationOperators:
+    def test_regex(self):
+        assert matches(DOC, {"zip": {"$regex": r"^80"}})
+        assert not matches(DOC, {"zip": {"$regex": r"^90"}})
+
+    def test_invalid_regex_raises(self):
+        with pytest.raises(QueryError):
+            matches(DOC, {"zip": {"$regex": "("}})
+
+    def test_mod(self):
+        assert matches(DOC, {"count": {"$mod": [3, 1]}})
+        assert not matches(DOC, {"count": {"$mod": [3, 0]}})
+
+    def test_mod_validations(self):
+        with pytest.raises(QueryError):
+            matches(DOC, {"count": {"$mod": [0, 1]}})
+        with pytest.raises(QueryError):
+            matches(DOC, {"count": {"$mod": [3]}})
+
+
+class TestArrayOperators:
+    def test_size(self):
+        assert matches(DOC, {"tags": {"$size": 2}})
+        assert not matches(DOC, {"tags": {"$size": 3}})
+
+    def test_all(self):
+        assert matches(DOC, {"tags": {"$all": ["night", "fire"]}})
+        assert not matches(DOC, {"tags": {"$all": ["fire", "smoke"]}})
+
+    def test_elem_match(self):
+        assert matches(DOC, {"readings": {"$elemMatch": {"v": {"$gt": 15}}}})
+        assert not matches(DOC, {"readings": {"$elemMatch": {"v": {"$gt": 25}}}})
+
+
+class TestLogicalOperators:
+    def test_and(self):
+        assert matches(DOC, {"$and": [{"zip": "8001"}, {"count": 7}]})
+        assert not matches(DOC, {"$and": [{"zip": "8001"}, {"count": 8}]})
+
+    def test_or(self):
+        assert matches(DOC, {"$or": [{"zip": "bad"}, {"count": 7}]})
+        assert not matches(DOC, {"$or": [{"zip": "bad"}, {"count": 8}]})
+
+    def test_nor(self):
+        assert matches(DOC, {"$nor": [{"zip": "bad"}, {"count": 8}]})
+        assert not matches(DOC, {"$nor": [{"zip": "8001"}]})
+
+    def test_not(self):
+        assert matches(DOC, {"count": {"$not": {"$gt": 10}}})
+        assert not matches(DOC, {"count": {"$not": {"$gt": 5}}})
+
+    def test_implicit_and_between_fields(self):
+        assert matches(DOC, {"zip": "8001", "count": {"$lt": 10}})
+        assert not matches(DOC, {"zip": "8001", "count": {"$gt": 10}})
+
+    def test_empty_logical_lists_raise(self):
+        for op in ("$and", "$or", "$nor"):
+            with pytest.raises(QueryError):
+                matches(DOC, {op: []})
+
+    def test_unknown_top_level_operator_raises(self):
+        with pytest.raises(QueryError):
+            matches(DOC, {"$xor": [{"a": 1}]})
+
+    def test_unknown_field_operator_raises(self):
+        with pytest.raises(QueryError):
+            matches(DOC, {"zip": {"$near": "8001"}})
+
+
+class TestValidateFilter:
+    def test_accepts_well_formed(self):
+        validate_filter({"a": 1, "$or": [{"b": {"$gt": 2}}, {"c": {"$in": [1]}}]})
+
+    def test_rejects_non_mapping(self):
+        with pytest.raises(QueryError):
+            validate_filter(["not", "a", "filter"])
+
+    def test_rejects_bad_operand(self):
+        with pytest.raises(QueryError):
+            validate_filter({"a": {"$in": 5}})

@@ -1,0 +1,86 @@
+"""DocumentStore tests: collections, aggregation entry point, persistence."""
+
+import pytest
+
+from repro.errors import PersistenceError, StorageError
+from repro.storage import DocumentStore
+
+
+class TestCollections:
+    def test_collection_is_created_implicitly(self):
+        store = DocumentStore()
+        store.collection("alarms").insert_one({"x": 1})
+        assert store.collection_names() == ["alarms"]
+
+    def test_collection_returns_same_object(self):
+        store = DocumentStore()
+        assert store.collection("a") is store.collection("a")
+
+    def test_invalid_collection_names_raise(self):
+        store = DocumentStore()
+        for bad in ("", "a/b", ".hidden"):
+            with pytest.raises(StorageError):
+                store.collection(bad)
+
+    def test_drop_collection(self):
+        store = DocumentStore()
+        store.collection("a").insert_one({"x": 1})
+        store.drop_collection("a")
+        assert store.collection_names() == []
+        with pytest.raises(StorageError):
+            store.drop_collection("a")
+
+    def test_aggregate_entry_point(self):
+        store = DocumentStore()
+        store.collection("a").insert_many([{"k": "x"}, {"k": "x"}, {"k": "y"}])
+        rows = store.aggregate("a", [{"$group": {"_id": "$k", "n": {"$sum": 1}}}])
+        assert {r["_id"]: r["n"] for r in rows} == {"x": 2, "y": 1}
+
+
+class TestPersistence:
+    def test_save_and_load_round_trip(self, tmp_path):
+        store = DocumentStore()
+        alarms = store.collection("alarms")
+        alarms.create_index("zip")
+        alarms.create_index("ts", kind="sorted")
+        alarms.insert_many([
+            {"zip": "8001", "ts": 1, "nested": {"a": [1, 2]}},
+            {"zip": "4001", "ts": 2, "text": "ümlaut"},
+        ])
+        store.collection("incidents").insert_one({"topic": "fire"})
+        store.save(tmp_path / "db")
+
+        loaded = DocumentStore.load(tmp_path / "db")
+        assert loaded.collection_names() == ["alarms", "incidents"]
+        assert len(loaded.collection("alarms")) == 2
+        assert loaded.collection("alarms").find_one({"zip": "8001"})["nested"] == {"a": [1, 2]}
+        assert loaded.collection("alarms").index_fields() == ["ts", "zip"]
+
+    def test_loaded_indexes_work(self, tmp_path):
+        store = DocumentStore()
+        store.collection("a").create_index("k")
+        store.collection("a").insert_many([{"k": i % 3} for i in range(9)])
+        store.save(tmp_path / "db")
+        loaded = DocumentStore.load(tmp_path / "db")
+        coll = loaded.collection("a")
+        before = coll.index_hits
+        assert coll.count({"k": 1}) == 3
+        assert coll.index_hits == before + 1
+
+    def test_load_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            DocumentStore.load(tmp_path / "nowhere")
+
+    def test_load_corrupt_manifest_raises(self, tmp_path):
+        d = tmp_path / "db"
+        d.mkdir()
+        (d / "manifest.json").write_text("{broken")
+        with pytest.raises(PersistenceError):
+            DocumentStore.load(d)
+
+    def test_save_is_idempotent(self, tmp_path):
+        store = DocumentStore()
+        store.collection("a").insert_one({"x": 1})
+        store.save(tmp_path / "db")
+        store.save(tmp_path / "db")
+        assert len(DocumentStore.load(tmp_path / "db").collection("a")) == 1

@@ -1,0 +1,141 @@
+"""Unit tests for the broker: topics, partitions, offsets, commits."""
+
+import pytest
+
+from repro.errors import (
+    OffsetOutOfRangeError,
+    UnknownPartitionError,
+    UnknownTopicError,
+)
+from repro.streaming import Broker, TopicPartition
+
+
+@pytest.fixture
+def broker():
+    b = Broker()
+    b.create_topic("alarms", num_partitions=3)
+    return b
+
+
+class TestTopicAdministration:
+    def test_create_topic_registers_partitions(self, broker):
+        assert broker.num_partitions("alarms") == 3
+        assert broker.partitions_for("alarms") == [
+            TopicPartition("alarms", p) for p in range(3)
+        ]
+
+    def test_create_topic_is_idempotent_with_same_partitions(self, broker):
+        broker.create_topic("alarms", num_partitions=3)
+        assert broker.topics() == ["alarms"]
+
+    def test_create_topic_conflicting_partitions_raises(self, broker):
+        with pytest.raises(UnknownPartitionError):
+            broker.create_topic("alarms", num_partitions=5)
+
+    def test_create_topic_rejects_zero_partitions(self, broker):
+        with pytest.raises(UnknownPartitionError):
+            broker.create_topic("bad", num_partitions=0)
+
+    def test_delete_topic_removes_everything(self, broker):
+        broker.append("alarms", 0, None, b"x")
+        broker.commit("g", {TopicPartition("alarms", 0): 1})
+        broker.delete_topic("alarms")
+        assert broker.topics() == []
+        with pytest.raises(UnknownTopicError):
+            broker.end_offset(TopicPartition("alarms", 0))
+
+    def test_delete_unknown_topic_raises(self, broker):
+        with pytest.raises(UnknownTopicError):
+            broker.delete_topic("nope")
+
+    def test_unknown_topic_raises_on_fetch(self, broker):
+        with pytest.raises(UnknownTopicError):
+            broker.fetch(TopicPartition("ghost", 0), 0)
+
+    def test_unknown_partition_raises(self, broker):
+        with pytest.raises(UnknownPartitionError):
+            broker.append("alarms", 9, None, b"x")
+
+
+class TestAppendFetch:
+    def test_offsets_are_sequential_per_partition(self, broker):
+        assert broker.append("alarms", 0, None, b"a") == 0
+        assert broker.append("alarms", 0, None, b"b") == 1
+        assert broker.append("alarms", 1, None, b"c") == 0
+
+    def test_fetch_returns_records_in_offset_order(self, broker):
+        for i in range(5):
+            broker.append("alarms", 0, None, f"m{i}".encode())
+        records = broker.fetch(TopicPartition("alarms", 0), 0, max_records=10)
+        assert [r.value for r in records] == [b"m0", b"m1", b"m2", b"m3", b"m4"]
+        assert [r.offset for r in records] == list(range(5))
+
+    def test_fetch_respects_max_records(self, broker):
+        for i in range(10):
+            broker.append("alarms", 0, None, b"x")
+        records = broker.fetch(TopicPartition("alarms", 0), 2, max_records=3)
+        assert [r.offset for r in records] == [2, 3, 4]
+
+    def test_fetch_at_log_end_returns_empty(self, broker):
+        broker.append("alarms", 0, None, b"x")
+        assert broker.fetch(TopicPartition("alarms", 0), 1) == []
+
+    def test_fetch_beyond_log_end_raises(self, broker):
+        with pytest.raises(OffsetOutOfRangeError):
+            broker.fetch(TopicPartition("alarms", 0), 5)
+
+    def test_fetch_negative_offset_raises(self, broker):
+        with pytest.raises(OffsetOutOfRangeError):
+            broker.fetch(TopicPartition("alarms", 0), -1)
+
+    def test_end_offsets_per_partition(self, broker):
+        broker.append("alarms", 0, None, b"x")
+        broker.append("alarms", 2, None, b"y")
+        broker.append("alarms", 2, None, b"z")
+        offsets = broker.end_offsets("alarms")
+        assert offsets[TopicPartition("alarms", 0)] == 1
+        assert offsets[TopicPartition("alarms", 1)] == 0
+        assert offsets[TopicPartition("alarms", 2)] == 2
+
+    def test_record_carries_key_and_headers(self, broker):
+        broker.append("alarms", 0, b"dev1", b"payload", headers={"v": "2"})
+        record = broker.fetch(TopicPartition("alarms", 0), 0)[0]
+        assert record.key == b"dev1"
+        assert record.headers["v"] == "2"
+        assert record.topic == "alarms"
+
+    def test_total_records_and_partition_sizes(self, broker):
+        for p in (0, 0, 1):
+            broker.append("alarms", p, None, b"x")
+        assert broker.total_records("alarms") == 3
+        assert broker.partition_sizes("alarms") == [2, 1, 0]
+
+
+class TestCommittedOffsets:
+    def test_commit_and_read_back(self, broker):
+        tp = TopicPartition("alarms", 0)
+        broker.append("alarms", 0, None, b"x")
+        broker.commit("group-a", {tp: 1})
+        assert broker.committed("group-a", tp) == 1
+
+    def test_committed_is_per_group(self, broker):
+        tp = TopicPartition("alarms", 0)
+        broker.append("alarms", 0, None, b"x")
+        broker.commit("group-a", {tp: 1})
+        assert broker.committed("group-b", tp) is None
+
+    def test_commit_beyond_log_end_raises(self, broker):
+        tp = TopicPartition("alarms", 0)
+        with pytest.raises(OffsetOutOfRangeError):
+            broker.commit("g", {tp: 3})
+
+    def test_commit_negative_raises(self, broker):
+        tp = TopicPartition("alarms", 0)
+        with pytest.raises(OffsetOutOfRangeError):
+            broker.commit("g", {tp: -1})
+
+    def test_commit_at_log_end_is_allowed(self, broker):
+        tp = TopicPartition("alarms", 0)
+        broker.append("alarms", 0, None, b"x")
+        broker.commit("g", {tp: 1})  # == end offset, means "all consumed"
+        assert broker.committed("g", tp) == 1

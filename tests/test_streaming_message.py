@@ -1,0 +1,98 @@
+"""Tests for the record/addressing primitives."""
+
+import pytest
+
+from repro.streaming import Record, RecordBatch, TopicPartition
+from repro.streaming.message import iter_values, monotonic_timestamp
+
+
+def make_record(partition=0, offset=0, value=b"x", key=None, headers=None):
+    return Record(
+        topic="alarms", partition=partition, offset=offset, key=key,
+        value=value, timestamp=1.0, headers=headers or {},
+    )
+
+
+class TestTopicPartition:
+    def test_hashable_and_equal(self):
+        assert TopicPartition("t", 0) == TopicPartition("t", 0)
+        assert len({TopicPartition("t", 0), TopicPartition("t", 0)}) == 1
+
+    def test_ordering(self):
+        tps = [TopicPartition("b", 0), TopicPartition("a", 1), TopicPartition("a", 0)]
+        assert sorted(tps) == [
+            TopicPartition("a", 0), TopicPartition("a", 1), TopicPartition("b", 0)
+        ]
+
+    def test_negative_partition_rejected(self):
+        with pytest.raises(ValueError):
+            TopicPartition("t", -1)
+
+
+class TestRecord:
+    def test_topic_partition_property(self):
+        record = make_record(partition=3)
+        assert record.topic_partition == TopicPartition("alarms", 3)
+
+    def test_size_bytes_counts_key_value_headers(self):
+        record = make_record(value=b"12345", key=b"abc", headers={"h": "vv"})
+        assert record.size_bytes() == 5 + 3 + 1 + 2
+
+    def test_size_bytes_without_key(self):
+        assert make_record(value=b"12345").size_bytes() == 5
+
+    def test_records_are_immutable(self):
+        record = make_record()
+        with pytest.raises(AttributeError):
+            record.offset = 5
+
+
+class TestRecordBatch:
+    def make_batch(self):
+        tp0 = TopicPartition("alarms", 0)
+        tp1 = TopicPartition("alarms", 1)
+        return RecordBatch({
+            tp1: [make_record(1, 0, b"c")],
+            tp0: [make_record(0, 0, b"a"), make_record(0, 1, b"b")],
+        })
+
+    def test_len_and_bool(self):
+        batch = self.make_batch()
+        assert len(batch) == 3
+        assert batch
+        assert not RecordBatch.empty()
+        assert len(RecordBatch.empty()) == 0
+
+    def test_iteration_is_partition_then_offset_ordered(self):
+        values = [r.value for r in self.make_batch()]
+        assert values == [b"a", b"b", b"c"]
+
+    def test_partitions_sorted(self):
+        assert self.make_batch().partitions() == [
+            TopicPartition("alarms", 0), TopicPartition("alarms", 1)
+        ]
+
+    def test_records_per_partition(self):
+        batch = self.make_batch()
+        assert len(batch.records(TopicPartition("alarms", 0))) == 2
+        assert batch.records(TopicPartition("alarms", 9)) == []
+
+    def test_max_offsets(self):
+        offsets = self.make_batch().max_offsets()
+        assert offsets[TopicPartition("alarms", 0)] == 1
+        assert offsets[TopicPartition("alarms", 1)] == 0
+
+    def test_empty_partition_lists_dropped(self):
+        batch = RecordBatch({TopicPartition("alarms", 0): []})
+        assert not batch
+        assert batch.partitions() == []
+
+
+class TestHelpers:
+    def test_monotonic_timestamp_strictly_increases(self):
+        stamps = [monotonic_timestamp() for _ in range(100)]
+        assert all(b > a for a, b in zip(stamps, stamps[1:]))
+
+    def test_iter_values(self):
+        records = [make_record(value=b"a"), make_record(value=b"b")]
+        assert list(iter_values(records)) == [b"a", b"b"]

@@ -1,0 +1,215 @@
+"""Producer/consumer tests: partitioning, exactly-once offsets, groups."""
+
+import pytest
+
+from repro.errors import ConsumerClosedError, ProducerClosedError, RebalanceError
+from repro.streaming import (
+    Broker,
+    Consumer,
+    Producer,
+    ReflectiveJsonSerializer,
+    TopicPartition,
+    assign_partitions,
+    hash_partitioner,
+    round_robin_partitioner,
+)
+
+
+@pytest.fixture
+def broker():
+    b = Broker()
+    b.create_topic("alarms", num_partitions=4)
+    return b
+
+
+class TestPartitioners:
+    def test_hash_partitioner_is_stable(self):
+        assert hash_partitioner(b"dev-1", 4, 0) == hash_partitioner(b"dev-1", 4, 99)
+
+    def test_hash_partitioner_within_range(self):
+        for key in (b"a", b"bb", b"ccc", b"device:42"):
+            assert 0 <= hash_partitioner(key, 7, 0) < 7
+
+    def test_keyless_records_round_robin(self):
+        got = [hash_partitioner(None, 4, i) for i in range(8)]
+        assert got == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_round_robin_ignores_key(self):
+        assert round_robin_partitioner(b"same", 4, 5) == 1
+
+
+class TestProducer:
+    def test_send_returns_partition_and_offset(self, broker):
+        producer = Producer(broker)
+        partition, offset = producer.send("alarms", {"id": 1}, key="dev")
+        assert 0 <= partition < 4
+        assert offset == 0
+
+    def test_same_key_same_partition(self, broker):
+        producer = Producer(broker)
+        partitions = {producer.send("alarms", {"i": i}, key="dev-7")[0] for i in range(10)}
+        assert len(partitions) == 1
+
+    def test_explicit_partition_wins(self, broker):
+        producer = Producer(broker)
+        partition, _ = producer.send("alarms", {"x": 1}, key="k", partition=2)
+        assert partition == 2
+
+    def test_send_many_counts(self, broker):
+        producer = Producer(broker)
+        sent = producer.send_many("alarms", [{"i": i} for i in range(25)])
+        assert sent == 25
+        assert broker.total_records("alarms") == 25
+
+    def test_stats_track_records_and_bytes(self, broker):
+        producer = Producer(broker)
+        producer.send_many("alarms", [{"i": i} for i in range(10)])
+        assert producer.stats.records_sent == 10
+        assert producer.stats.bytes_sent > 0
+        assert producer.stats.throughput() > 0
+
+    def test_closed_producer_raises(self, broker):
+        producer = Producer(broker)
+        producer.close()
+        with pytest.raises(ProducerClosedError):
+            producer.send("alarms", {"x": 1})
+
+    def test_context_manager_closes(self, broker):
+        with Producer(broker) as producer:
+            producer.send("alarms", {"x": 1})
+        with pytest.raises(ProducerClosedError):
+            producer.send("alarms", {"x": 2})
+
+    def test_rate_limit_slows_production(self, broker):
+        import time
+        producer = Producer(broker, rate_limit=200.0)
+        started = time.perf_counter()
+        producer.send_many("alarms", [{"i": i} for i in range(30)])
+        assert time.perf_counter() - started >= 30 / 200.0 * 0.8
+
+
+class TestConsumer:
+    def test_poll_values_round_trip(self, broker):
+        Producer(broker).send_many("alarms", [{"i": i} for i in range(20)])
+        consumer = Consumer(broker, "g")
+        consumer.subscribe("alarms")
+        values = consumer.poll_values(max_records=100)
+        assert sorted(v["i"] for v in values) == list(range(20))
+
+    def test_cross_serializer_consumption(self, broker):
+        Producer(broker, serializer=ReflectiveJsonSerializer()).send_many(
+            "alarms", [{"i": i} for i in range(5)]
+        )
+        consumer = Consumer(broker, "g")  # compact by default
+        consumer.subscribe("alarms")
+        assert len(consumer.poll_values(100)) == 5
+
+    def test_poll_advances_position_without_commit(self, broker):
+        Producer(broker).send_many("alarms", [{"i": i} for i in range(8)])
+        consumer = Consumer(broker, "g")
+        consumer.subscribe("alarms")
+        consumer.poll(100)
+        assert consumer.poll(100).partitions() == []  # drained in memory
+        # but nothing was committed:
+        for tp in consumer.assignment():
+            assert consumer.committed(tp) is None
+
+    def test_exactly_once_resume_from_commit(self, broker):
+        """A replacement consumer resumes exactly after the committed batch."""
+        Producer(broker).send_many("alarms", [{"i": i} for i in range(30)])
+        first = Consumer(broker, "g")
+        first.subscribe("alarms")
+        first_batch = first.poll_values(max_records=12)
+        first.commit()
+
+        replacement = Consumer(broker, "g")
+        replacement.subscribe("alarms")
+        second_batch = list(replacement.stream_values(max_records=100))
+        seen = [v["i"] for v in first_batch] + [v["i"] for v in second_batch]
+        assert sorted(seen) == list(range(30))
+        assert len(seen) == 30  # no duplicates, no loss
+
+    def test_uncommitted_work_is_redelivered(self, broker):
+        """Crash before commit -> a new consumer sees the records again."""
+        Producer(broker).send_many("alarms", [{"i": i} for i in range(10)])
+        crashed = Consumer(broker, "g")
+        crashed.subscribe("alarms")
+        crashed.poll_values(100)  # processed but never committed
+
+        recovered = Consumer(broker, "g")
+        recovered.subscribe("alarms")
+        assert len(recovered.poll_values(100)) == 10
+
+    def test_auto_offset_reset_latest_skips_history(self, broker):
+        Producer(broker).send_many("alarms", [{"i": i} for i in range(10)])
+        consumer = Consumer(broker, "g", auto_offset_reset="latest")
+        consumer.subscribe("alarms")
+        assert consumer.poll_values(100) == []
+
+    def test_invalid_auto_offset_reset(self, broker):
+        with pytest.raises(ValueError):
+            Consumer(broker, "g", auto_offset_reset="middle")
+
+    def test_seek_rewinds(self, broker):
+        Producer(broker).send_many("alarms", [{"i": i} for i in range(4)], key_fn=lambda v: "k")
+        consumer = Consumer(broker, "g")
+        consumer.subscribe("alarms")
+        first = consumer.poll_values(100)
+        tp = [p for p in consumer.assignment() if consumer.lag()[p] == 0
+              and broker.end_offset(p) > 0][0]
+        consumer.seek(tp, 0)
+        again = consumer.poll_values(100)
+        assert again == first
+
+    def test_seek_unassigned_partition_raises(self, broker):
+        consumer = Consumer(broker, "g")
+        with pytest.raises(RebalanceError):
+            consumer.seek(TopicPartition("alarms", 0), 0)
+
+    def test_lag_reflects_unconsumed_records(self, broker):
+        Producer(broker).send_many("alarms", [{"i": i} for i in range(12)])
+        consumer = Consumer(broker, "g")
+        consumer.subscribe("alarms")
+        assert sum(consumer.lag().values()) == 12
+        consumer.poll(100)
+        assert sum(consumer.lag().values()) == 0
+
+    def test_closed_consumer_raises(self, broker):
+        consumer = Consumer(broker, "g")
+        consumer.subscribe("alarms")
+        consumer.close()
+        with pytest.raises(ConsumerClosedError):
+            consumer.poll()
+
+
+class TestGroupAssignment:
+    def test_assignment_partitions_are_disjoint_and_complete(self, broker):
+        partitions = broker.partitions_for("alarms")
+        members = [assign_partitions(partitions, 3, i) for i in range(3)]
+        together = [tp for member in members for tp in member]
+        assert sorted(together) == sorted(partitions)
+        assert len(together) == len(set(together))
+
+    def test_single_member_gets_everything(self, broker):
+        partitions = broker.partitions_for("alarms")
+        assert assign_partitions(partitions, 1, 0) == sorted(partitions)
+
+    def test_two_consumers_split_the_stream(self, broker):
+        Producer(broker).send_many("alarms", [{"i": i} for i in range(40)])
+        consumers = []
+        for member in range(2):
+            c = Consumer(broker, "g")
+            c.subscribe("alarms", num_members=2, member_index=member)
+            consumers.append(c)
+        seen = []
+        for c in consumers:
+            seen.extend(v["i"] for v in c.poll_values(100))
+        assert sorted(seen) == list(range(40))
+
+    def test_invalid_member_index_raises(self, broker):
+        with pytest.raises(RebalanceError):
+            assign_partitions(broker.partitions_for("alarms"), 2, 5)
+
+    def test_invalid_member_count_raises(self, broker):
+        with pytest.raises(RebalanceError):
+            assign_partitions(broker.partitions_for("alarms"), 0, 0)

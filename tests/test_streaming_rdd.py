@@ -1,0 +1,139 @@
+"""Tests for the lazy partitioned dataset, including the cache lesson."""
+
+import pytest
+
+from repro.streaming import PartitionedDataset
+
+
+@pytest.fixture
+def dataset():
+    return PartitionedDataset.from_iterable(range(20), num_partitions=4)
+
+
+class TestConstruction:
+    def test_from_iterable_round_robins(self):
+        ds = PartitionedDataset.from_iterable([0, 1, 2, 3, 4], num_partitions=2)
+        assert ds.collect_partitions() == [[0, 2, 4], [1, 3]]
+
+    def test_from_partitions_preserves_layout(self):
+        ds = PartitionedDataset.from_partitions([[1, 2], [3]])
+        assert ds.collect_partitions() == [[1, 2], [3]]
+        assert ds.num_partitions() == 2
+
+    def test_from_iterable_rejects_zero_partitions(self):
+        with pytest.raises(ValueError):
+            PartitionedDataset.from_iterable([1], num_partitions=0)
+
+    def test_source_mutation_does_not_leak(self):
+        source = [[1, 2], [3]]
+        ds = PartitionedDataset.from_partitions(source)
+        source[0].append(99)
+        assert 99 not in ds.collect()
+
+
+class TestTransformations:
+    def test_map(self, dataset):
+        assert sorted(dataset.map(lambda x: x * 2).collect()) == [i * 2 for i in range(20)]
+
+    def test_filter(self, dataset):
+        assert sorted(dataset.filter(lambda x: x % 2 == 0).collect()) == list(range(0, 20, 2))
+
+    def test_flat_map(self):
+        ds = PartitionedDataset.from_iterable([1, 2], num_partitions=1)
+        assert ds.flat_map(lambda x: [x] * x).collect() == [1, 2, 2]
+
+    def test_distinct_removes_duplicates_globally(self):
+        ds = PartitionedDataset.from_partitions([[1, 2, 2], [2, 3, 1]])
+        assert sorted(ds.distinct().collect()) == [1, 2, 3]
+
+    def test_distinct_preserves_first_seen_order(self):
+        ds = PartitionedDataset.from_partitions([[3, 1], [3, 2]])
+        flat_order = [x for part in ds.distinct().collect_partitions() for x in part]
+        assert set(flat_order) == {1, 2, 3}
+
+    def test_repartition_changes_partition_count(self, dataset):
+        assert dataset.repartition(7).num_partitions() == 7
+        assert sorted(dataset.repartition(7).collect()) == list(range(20))
+
+    def test_repartition_rejects_zero(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.repartition(0)
+
+    def test_union_concatenates(self):
+        a = PartitionedDataset.from_iterable([1, 2], 1)
+        b = PartitionedDataset.from_iterable([3], 1)
+        assert sorted(a.union(b).collect()) == [1, 2, 3]
+
+    def test_transformations_are_lazy(self):
+        calls = []
+        ds = PartitionedDataset.from_iterable([1, 2, 3], 1)
+        mapped = ds.map(lambda x: calls.append(x) or x)
+        assert calls == []  # nothing ran yet
+        mapped.collect()
+        assert calls == [1, 2, 3]
+
+
+class TestActions:
+    def test_count(self, dataset):
+        assert dataset.count() == 20
+
+    def test_reduce(self, dataset):
+        assert dataset.reduce(lambda a, b: a + b) == sum(range(20))
+
+    def test_reduce_empty_raises(self):
+        with pytest.raises(ValueError):
+            PartitionedDataset.from_iterable([], 1).reduce(lambda a, b: a + b)
+
+    def test_iteration(self, dataset):
+        assert sorted(dataset) == list(range(20))
+
+    def test_map_partitions_parallel_returns_per_partition_results(self, dataset):
+        sums = dataset.map_partitions_parallel(sum)
+        assert len(sums) == 4
+        assert sum(sums) == sum(range(20))
+
+    def test_foreach_partition_side_effects(self, dataset):
+        seen = []
+        dataset.foreach_partition(seen.extend)
+        assert sorted(seen) == list(range(20))
+
+
+class TestCaching:
+    """The paper's Section 6.2 lesson: uncached data is recomputed per action."""
+
+    def test_uncached_dataset_recomputes_per_action(self):
+        ds = PartitionedDataset.from_iterable(range(10), 2).map(lambda x: x + 1)
+        ds.collect()
+        ds.count()
+        assert ds.num_computations == 2  # the deserialize-twice bug
+
+    def test_cached_dataset_computes_once(self):
+        ds = PartitionedDataset.from_iterable(range(10), 2).map(lambda x: x + 1).cache()
+        ds.collect()
+        ds.count()
+        ds.collect()
+        assert ds.num_computations == 1
+
+    def test_unpersist_resumes_recomputation(self):
+        ds = PartitionedDataset.from_iterable(range(10), 2).cache()
+        ds.collect()
+        ds.unpersist()
+        ds.collect()
+        ds.collect()
+        assert ds.num_computations == 3
+
+    def test_is_cached_flag(self):
+        ds = PartitionedDataset.from_iterable([1], 1)
+        assert not ds.is_cached
+        assert ds.cache().is_cached
+        assert not ds.unpersist().is_cached
+
+    def test_cache_of_derived_does_not_cache_parent(self):
+        parent = PartitionedDataset.from_iterable(range(5), 1).map(lambda x: x)
+        child = parent.map(lambda x: x * 2).cache()
+        child.collect()
+        child.collect()
+        assert child.num_computations == 1
+        assert parent.num_computations == 1  # computed once via the child
+        parent.collect()
+        assert parent.num_computations == 2  # parent itself is not cached

@@ -1,0 +1,91 @@
+"""Serializer tests: round-trips, cross-compatibility, error handling."""
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.streaming import (
+    CompactJsonSerializer,
+    ReflectiveJsonSerializer,
+    serializer_by_name,
+)
+
+SERIALIZERS = [CompactJsonSerializer(), ReflectiveJsonSerializer()]
+
+SAMPLE_OBJECTS = [
+    {"device": "00:1A:00:01", "zip": "8001", "duration": 42.5},
+    {"nested": {"a": [1, 2, 3], "b": None}},
+    [1, "two", 3.0, False, None],
+    "plain string with ümlauts",
+    12345,
+    3.14159,
+    True,
+    None,
+    {},
+    [],
+]
+
+
+@pytest.mark.parametrize("serializer", SERIALIZERS, ids=lambda s: s.name)
+@pytest.mark.parametrize("obj", SAMPLE_OBJECTS, ids=repr)
+def test_round_trip(serializer, obj):
+    assert serializer.deserialize(serializer.serialize(obj)) == obj
+
+
+@pytest.mark.parametrize("obj", SAMPLE_OBJECTS, ids=repr)
+def test_cross_serializer_compatibility(obj):
+    """A consumer with either serializer reads the other's output."""
+    compact, reflective = CompactJsonSerializer(), ReflectiveJsonSerializer()
+    assert reflective.deserialize(compact.serialize(obj)) == obj
+    assert compact.deserialize(reflective.serialize(obj)) == obj
+
+
+@pytest.mark.parametrize("serializer", SERIALIZERS, ids=lambda s: s.name)
+def test_unserializable_object_raises(serializer):
+    with pytest.raises(SerializationError):
+        serializer.serialize({"bad": object()})
+
+
+@pytest.mark.parametrize("serializer", SERIALIZERS, ids=lambda s: s.name)
+def test_invalid_bytes_raise(serializer):
+    with pytest.raises(SerializationError):
+        serializer.deserialize(b"{not json")
+
+
+@pytest.mark.parametrize("serializer", SERIALIZERS, ids=lambda s: s.name)
+def test_invalid_utf8_raises(serializer):
+    with pytest.raises(SerializationError):
+        serializer.deserialize(b"\xff\xfe")
+
+
+def test_reflective_rejects_non_string_keys():
+    with pytest.raises(SerializationError):
+        ReflectiveJsonSerializer().serialize({1: "a"})
+
+
+def test_reflective_rejects_excessive_nesting():
+    deep = obj = {}
+    for _ in range(70):
+        obj["n"] = {}
+        obj = obj["n"]
+    with pytest.raises(SerializationError):
+        ReflectiveJsonSerializer().serialize(deep)
+
+
+def test_registry_names_and_aliases():
+    assert isinstance(serializer_by_name("gson"), CompactJsonSerializer)
+    assert isinstance(serializer_by_name("jackson"), ReflectiveJsonSerializer)
+    assert isinstance(serializer_by_name("compact"), CompactJsonSerializer)
+    assert isinstance(serializer_by_name("REFLECTIVE"), ReflectiveJsonSerializer)
+
+
+def test_registry_unknown_name_raises():
+    with pytest.raises(SerializationError):
+        serializer_by_name("protobuf")
+
+
+def test_compact_output_is_smaller_than_reflective():
+    """The fast serializer should also produce tighter wire bytes."""
+    obj = {"b": 1, "a": {"c": [1, 2, 3], "d": "text"}}
+    compact = CompactJsonSerializer().serialize(obj)
+    reflective = ReflectiveJsonSerializer().serialize(obj)
+    assert len(compact) <= len(reflective)

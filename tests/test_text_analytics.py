@@ -1,0 +1,185 @@
+"""Text-analytics tests: tokenization, language ID, keywords, dates, locations."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import LanguageDetectionError
+from repro.text import (
+    KeywordFilter,
+    LocationExtractor,
+    detect_language,
+    extract_date,
+    is_relevant,
+    language_scores,
+    match_topics,
+    ngrams,
+    normalize,
+    parse_textual_date,
+    sentence_split,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_basic_words(self):
+        assert tokenize("The fire broke out") == ["the", "fire", "broke", "out"]
+
+    def test_accents_are_stripped(self):
+        assert tokenize("Incendie déclaré à Genève") == [
+            "incendie", "declare", "a", "geneve"
+        ]
+
+    def test_umlauts(self):
+        assert tokenize("Zürich") == ["zurich"]
+
+    def test_sharp_s_expands(self):
+        assert tokenize("Straße") == ["strasse"]
+
+    def test_digits_dropped(self):
+        assert tokenize("alarm 42 at 8001 Zurich") == ["alarm", "at", "zurich"]
+
+    def test_apostrophes_split(self):
+        assert "incendie" in tokenize("l'incendie")
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_normalize_idempotent(self):
+        once = normalize("Über-Straße")
+        assert normalize(once) == once
+
+    def test_ngrams(self):
+        assert list(ngrams(["a", "b", "c"], 2)) == [("a", "b"), ("b", "c")]
+
+    def test_ngrams_bad_n(self):
+        with pytest.raises(ValueError):
+            list(ngrams(["a"], 0))
+
+    def test_sentence_split(self):
+        text = "Fire broke out. Nobody was hurt! Police investigate?"
+        assert len(sentence_split(text)) == 3
+
+
+class TestLanguageDetection:
+    @pytest.mark.parametrize("text,expected", [
+        ("Die Feuerwehr stand mit mehreren Fahrzeugen im Einsatz und die "
+         "Polizei sperrte die Strasse.", "de"),
+        ("Les pompiers sont intervenus rapidement et le feu est maîtrisé "
+         "dans la nuit.", "fr"),
+        ("The fire department responded to the blaze and no injuries were "
+         "reported by the police.", "en"),
+    ])
+    def test_detects_corpus_languages(self, text, expected):
+        assert detect_language(text) == expected
+
+    def test_scores_are_fractions(self):
+        scores = language_scores("der und die oder")
+        assert all(0.0 <= v <= 1.0 for v in scores.values())
+        assert scores["de"] > scores["en"]
+
+    def test_empty_text_raises(self):
+        with pytest.raises(LanguageDetectionError):
+            detect_language("")
+
+    def test_non_linguistic_text_raises(self):
+        with pytest.raises(LanguageDetectionError):
+            detect_language("xqzt gkrm wvlp")
+
+
+class TestKeywords:
+    def test_fire_topics_multilingual(self):
+        for text in ("Ein Brand im Keller", "un incendie violent", "a big fire"):
+            assert match_topics(text) == {"fire"}
+
+    def test_intrusion_topics_multilingual(self):
+        for text in ("Einbruch in Villa", "cambriolage nocturne", "burglary reported"):
+            assert match_topics(text) == {"intrusion"}
+
+    def test_both_topics(self):
+        assert match_topics("Brand nach Einbruch") == {"fire", "intrusion"}
+
+    def test_case_and_accents_ignored(self):
+        assert match_topics("INCENDIE! FUMÉE!") == {"fire"}
+
+    def test_irrelevant_text(self):
+        assert match_topics("football match results") == set()
+        assert not is_relevant("the weather is nice")
+
+    def test_keyword_filter_extra_keywords(self):
+        kf = KeywordFilter(extra_keywords={"flood": {"Überschwemmung", "inondation"}})
+        assert "flood" in kf.topic_names
+        assert kf.topics_of("Schwere Überschwemmung im Tal") == {"flood"}
+
+    def test_filter_keeps_relevant_only(self):
+        kf = KeywordFilter()
+        kept = kf.filter(["ein Brand", "football", "a burglary"])
+        assert [topics for _, topics in kept] == [{"fire"}, {"intrusion"}]
+
+
+class TestDates:
+    def test_swiss_numeric(self):
+        assert parse_textual_date("Am 13.06.2026 brach ein Brand aus") == dt.date(2026, 6, 13)
+
+    def test_french_numeric(self):
+        assert parse_textual_date("le 05/11/2025 à Genève") == dt.date(2025, 11, 5)
+
+    def test_iso(self):
+        assert parse_textual_date("on 2024-02-29 exactly") == dt.date(2024, 2, 29)
+
+    def test_german_month_name(self):
+        assert parse_textual_date("am 3. März 2024") == dt.date(2024, 3, 3)
+
+    def test_french_month_name(self):
+        assert parse_textual_date("le 14 juillet 2023") == dt.date(2023, 7, 14)
+
+    def test_english_month_name(self):
+        assert parse_textual_date("on June 13, 2026") == dt.date(2026, 6, 13)
+
+    def test_invalid_calendar_date_skipped(self):
+        assert parse_textual_date("on 31.02.2024 nothing happened") is None
+
+    def test_relative_words_need_reference(self):
+        assert parse_textual_date("gestern brannte es") is None
+        ref = dt.date(2026, 6, 13)
+        assert parse_textual_date("gestern brannte es", reference=ref) == dt.date(2026, 6, 12)
+
+    def test_metadata_wins(self):
+        date = extract_date("am 01.01.2020", metadata_date="2023-05-05T12:00:00")
+        assert date == dt.date(2023, 5, 5)
+
+    def test_invalid_metadata_falls_back_to_text(self):
+        date = extract_date("am 01.01.2020", metadata_date="not-a-date")
+        assert date == dt.date(2020, 1, 1)
+
+    def test_no_date_returns_none(self):
+        assert extract_date("no date here") is None
+
+
+class TestLocations:
+    @pytest.fixture
+    def extractor(self):
+        return LocationExtractor(["Zürich", "Basel", "La Chaux-de-Fonds", "Chaux"])
+
+    def test_simple_match(self, extractor):
+        assert extractor.extract("Brand in Zürich gestern Abend") == "Zürich"
+
+    def test_accent_insensitive(self, extractor):
+        assert extractor.extract("fire in Zurich downtown") == "Zürich"
+
+    def test_multiword_longest_match_wins(self, extractor):
+        assert extractor.extract("cambriolage à La Chaux-de-Fonds hier") == "La Chaux-de-Fonds"
+
+    def test_extract_all_in_order(self, extractor):
+        places = extractor.extract_all("Von Basel nach Zürich verlegt")
+        assert places == ["Basel", "Zürich"]
+
+    def test_no_match(self, extractor):
+        assert extractor.extract("Brand in Unbekanntdorf") is None
+
+    def test_contains(self, extractor):
+        assert extractor.contains("zurich")
+        assert not extractor.contains("Geneva")
+
+    def test_len(self, extractor):
+        assert len(extractor) == 4

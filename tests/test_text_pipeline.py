@@ -1,0 +1,112 @@
+"""Incident-pipeline tests (the Figure 5 flow)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.storage import Collection
+from repro.text import IncidentPipeline
+
+GAZETTEER = ["Zürich", "Basel", "Bergdorf"]
+
+
+@pytest.fixture
+def pipeline():
+    return IncidentPipeline(GAZETTEER, reference_date=dt.date(2026, 6, 13))
+
+
+class TestAnnotate:
+    def test_full_annotation(self, pipeline):
+        annotated = pipeline.annotate({
+            "text": "In Zürich brach am 12.06.2026 ein Brand aus. Die Feuerwehr "
+                    "war mit mehreren Fahrzeugen im Einsatz.",
+            "source": "twitter",
+        })
+        assert annotated.topics == ("fire",)
+        assert annotated.language == "de"
+        assert annotated.location == "Zürich"
+        assert annotated.date == dt.date(2026, 6, 12)
+        assert annotated.source == "twitter"
+
+    def test_irrelevant_returns_none(self, pipeline):
+        assert pipeline.annotate({"text": "Das Fussballspiel in Basel war gut "
+                                          "und die Zuschauer waren zufrieden."}) is None
+
+    def test_unlocatable_returns_none(self, pipeline):
+        assert pipeline.annotate({
+            "text": "Ein Brand ist in einem unbekannten Dorf ausgebrochen und "
+                    "die Feuerwehr war im Einsatz."
+        }) is None
+
+    def test_metadata_location_trusted(self, pipeline):
+        annotated = pipeline.annotate({
+            "text": "Einbruch in der Nacht, die Polizei sucht nach den Tätern "
+                    "und bittet um Hinweise.",
+            "location": "Basel",
+        })
+        assert annotated.location == "Basel"
+
+    def test_metadata_location_outside_gazetteer_falls_back(self, pipeline):
+        annotated = pipeline.annotate({
+            "text": "Einbruch in Bergdorf: die Polizei hat die Ermittlungen "
+                    "aufgenommen und sucht Zeugen.",
+            "location": "Atlantis",
+        })
+        assert annotated.location == "Bergdorf"
+
+    def test_metadata_date_preferred(self, pipeline):
+        annotated = pipeline.annotate({
+            "text": "A fire broke out in Basel and the fire department "
+                    "responded to the blaze quickly.",
+            "metadata_date": "2026-01-05",
+        })
+        assert annotated.date == dt.date(2026, 1, 5)
+
+    def test_document_round_trip(self, pipeline):
+        annotated = pipeline.annotate({
+            "text": "Burglary in Basel on June 1, 2026: police said the "
+                    "intruder escaped with jewellery.",
+        })
+        doc = annotated.to_document()
+        assert doc["location"] == "Basel"
+        assert doc["topics"] == ["intrusion"]
+        assert doc["date"] == "2026-06-01"
+
+
+class TestRun:
+    def test_counters_add_up(self, pipeline):
+        reports = [
+            {"text": "In Zürich brach ein Brand aus. Die Feuerwehr stand im "
+                     "Einsatz und niemand wurde verletzt."},
+            {"text": "Das Konzert in Basel war ausverkauft und die Stimmung "
+                     "war hervorragend."},                      # irrelevant
+            {"text": "Ein Brand wurde gemeldet aber der Ort ist unbekannt, "
+                     "die Feuerwehr rückte trotzdem aus."},     # no location
+            {"text": "Cambriolage à Basel: la police cantonale a ouvert une "
+                     "enquête après l'effraction."},
+        ]
+        coll = Collection("incidents")
+        stats = pipeline.run(reports, coll)
+        assert stats.collected == 4
+        assert stats.stored == 2
+        assert stats.irrelevant == 1
+        assert stats.no_location == 1
+        assert stats.stored + stats.irrelevant + stats.no_location == 4
+        assert len(coll) == 2
+
+    def test_language_and_topic_counters(self, pipeline):
+        reports = [
+            {"text": "In Zürich brach ein Brand aus und die Feuerwehr war "
+                     "schnell vor Ort im Einsatz."},
+            {"text": "Un incendie s'est déclaré à Basel et les pompiers sont "
+                     "intervenus pour le maîtriser."},
+        ]
+        coll = Collection("incidents")
+        stats = pipeline.run(reports, coll)
+        assert stats.by_language == {"de": 1, "fr": 1}
+        assert stats.by_topic == {"fire": 2}
+
+    def test_empty_input(self, pipeline):
+        coll = Collection("incidents")
+        stats = pipeline.run([], coll)
+        assert stats.collected == 0 and stats.stored == 0
