@@ -14,6 +14,12 @@ they do:
    deserialized window is recomputed per action.
 """
 
+# Heavy paper-reproduction benchmark: excluded from the fast tier-1
+# profile (see pytest.ini); run with `pytest -m slow` or `-m "slow or not slow"`.
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import json
 import time
 

@@ -20,6 +20,12 @@ partitioning mechanics (task-per-partition, record conservation) are still
 exercised.
 """
 
+# Heavy paper-reproduction benchmark: excluded from the fast tier-1
+# profile (see pytest.ini); run with `pytest -m slow` or `-m "slow or not slow"`.
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from conftest import SITASYS_FEATURES, make_pipeline, print_table
 
 from repro.core import (

@@ -7,6 +7,12 @@ open datasets only have the generic features.  Also covers the Section
 accuracy to ~53%.
 """
 
+# Heavy paper-reproduction benchmark: excluded from the fast tier-1
+# profile (see pytest.ini); run with `pytest -m slow` or `-m "slow or not slow"`.
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from conftest import (
     GENERIC_FEATURES,
     SF_FEATURES,

@@ -7,6 +7,12 @@ and asserts the 2x-ish shape (compact faster than reflective on both
 sides, producer faster than consumer).
 """
 
+# Heavy paper-reproduction benchmark: excluded from the fast tier-1
+# profile (see pytest.ini); run with `pytest -m slow` or `-m "slow or not slow"`.
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import time
 
 import pytest

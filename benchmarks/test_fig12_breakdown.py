@@ -7,6 +7,12 @@ extraction).  The bench runs the real consumer application over a window of
 alarms with pre-loaded history and prints the measured shares.
 """
 
+# Heavy paper-reproduction benchmark: excluded from the fast tier-1
+# profile (see pytest.ini); run with `pytest -m slow` or `-m "slow or not slow"`.
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from conftest import SITASYS_FEATURES, make_pipeline, print_table
 
 from repro.core import (

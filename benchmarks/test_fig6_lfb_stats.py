@@ -5,6 +5,12 @@ groups.  The bench generates the scaled LFB corpus, prints per-group and
 per-year counts, and checks the false ratio lands near the published 48%.
 """
 
+# Heavy paper-reproduction benchmark: excluded from the fast tier-1
+# profile (see pytest.ini); run with `pytest -m slow` or `-m "slow or not slow"`.
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from conftest import LFB_INCIDENTS, print_table
 
 from repro.datasets import LondonGenerator

@@ -6,6 +6,12 @@ bench runs the real chain (alarms -> duration labels; reports -> incident
 pipeline) and prints the two counts side by side for the busiest locations.
 """
 
+# Heavy paper-reproduction benchmark: excluded from the fast tier-1
+# profile (see pytest.ini); run with `pytest -m slow` or `-m "slow or not slow"`.
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from conftest import print_table
 
 from repro.core.labeling import label_alarms

@@ -6,6 +6,12 @@ factors from the incident pipeline output, places them on the synthetic
 geography, renders the ASCII map and checks the level structure.
 """
 
+# Heavy paper-reproduction benchmark: excluded from the fast tier-1
+# profile (see pytest.ini); run with `pytest -m slow` or `-m "slow or not slow"`.
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from conftest import print_table
 
 from repro.risk import PlacedRisk, RiskLevel, RiskModel, SecurityMap, incident_counts

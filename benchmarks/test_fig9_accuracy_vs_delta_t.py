@@ -6,6 +6,12 @@ sweep.  The bench re-labels the same alarm stream at each Δt, retrains all
 four algorithms and prints the accuracy matrix.
 """
 
+# Heavy paper-reproduction benchmark: excluded from the fast tier-1
+# profile (see pytest.ini); run with `pytest -m slow` or `-m "slow or not slow"`.
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import numpy as np
 from conftest import SITASYS_FEATURES, make_pipeline, print_table, split_records
 

@@ -12,6 +12,12 @@ measure how the reproduction scales with data volume:
    linearly (n log n) in the number of alarms.
 """
 
+# Heavy paper-reproduction benchmark: excluded from the fast tier-1
+# profile (see pytest.ini); run with `pytest -m slow` or `-m "slow or not slow"`.
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import time
 
 import numpy as np

@@ -5,6 +5,12 @@ Prints the Table 1 mapping and benchmarks the Table-1 adapter step
 path every downstream experiment shares.
 """
 
+# Heavy paper-reproduction benchmark: excluded from the fast tier-1
+# profile (see pytest.ini); run with `pytest -m slow` or `-m "slow or not slow"`.
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from conftest import print_table
 
 from repro.datasets import TABLE1_SCHEMA, sitasys_to_labeled

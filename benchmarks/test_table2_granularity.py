@@ -6,6 +6,12 @@ be aggregated over all districts.  The bench reproduces the table for the
 largest multi-ZIP city of the synthetic gazetteer.
 """
 
+# Heavy paper-reproduction benchmark: excluded from the fast tier-1
+# profile (see pytest.ini); run with `pytest -m slow` or `-m "slow or not slow"`.
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from conftest import print_table
 
 from repro.core.labeling import label_alarms

@@ -10,6 +10,12 @@ authors' cluster and full data sizes; the reproducible *shape* is:
   (narrower one-hot input: ~300 vs ~800 features).
 """
 
+# Heavy paper-reproduction benchmark: excluded from the fast tier-1
+# profile (see pytest.ini); run with `pytest -m slow` or `-m "slow or not slow"`.
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import time
 
 from conftest import (

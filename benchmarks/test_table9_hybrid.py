@@ -14,6 +14,12 @@ multiple train/test splits, and checks the published shape: the strongest
 neutral impact on scenario (a).
 """
 
+# Heavy paper-reproduction benchmark: excluded from the fast tier-1
+# profile (see pytest.ini); run with `pytest -m slow` or `-m "slow or not slow"`.
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import numpy as np
 from conftest import SITASYS_FEATURES, print_table
 

@@ -12,6 +12,12 @@ the selected parameters next to the paper's, and verifies the published
 a trivial one).
 """
 
+# Heavy paper-reproduction benchmark: excluded from the fast tier-1
+# profile (see pytest.ini); run with `pytest -m slow` or `-m "slow or not slow"`.
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import numpy as np
 from conftest import SITASYS_FEATURES, make_pipeline, print_table
 

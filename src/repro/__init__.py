@@ -28,6 +28,11 @@ Subpackages
 ``repro.datasets``
     Synthetic generators for the Sitasys, London and San Francisco alarm
     datasets, the multilingual incident corpus and the Swiss gazetteer.
+``repro.workload``
+    Scenario-driven load generation: declarative traffic scenarios
+    (arrival models, fault injections) replayed through the full
+    pipeline under accelerated virtual time, with ops metrics
+    (throughput, latency percentiles, verification-rate trends).
 """
 
 __version__ = "1.0.0"

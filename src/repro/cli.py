@@ -9,6 +9,10 @@ Exposes the main workflows of the reproduced system without writing code:
 * ``verify``         — classify alarms from a JSONL with a saved model;
 * ``stream-demo``    — run the end-to-end producer/consumer pipeline and
                        print the Figure 12 breakdown;
+* ``loadtest``       — replay a named or file-based traffic scenario
+                       through the full pipeline under accelerated virtual
+                       time and print throughput, latency percentiles and
+                       the verification-rate trend report;
 * ``incidents``      — run the Figure 5 incident pipeline over the
                        synthetic report corpus and print corpus stats;
 * ``security-map``   — render the Figure 8 ASCII risk map.
@@ -22,6 +26,7 @@ import sys
 from typing import Sequence
 
 from repro.core import (
+    ALARM_FEATURES,
     AlarmHistory,
     Alarm,
     ConsumerApplication,
@@ -30,6 +35,7 @@ from repro.core import (
     label_alarms,
 )
 from repro.datasets import Gazetteer, IncidentReportGenerator, SitasysGenerator
+from repro.errors import ReproError
 from repro.ml import (
     FeaturePipeline,
     LinearSVC,
@@ -41,11 +47,9 @@ from repro.risk import PlacedRisk, RiskModel, SecurityMap, incident_counts
 from repro.storage import DocumentStore
 from repro.streaming import Broker
 from repro.text import IncidentPipeline
+from repro.workload import LoadDriver, load_scenario, scenario_names
 
-FEATURES = [
-    "location", "property_type", "alarm_type", "hour_of_day", "day_of_week",
-    "sensor_type", "software_version",
-]
+FEATURES = ALARM_FEATURES
 
 _ALGORITHMS = {
     "rf": lambda seed: RandomForestClassifier(
@@ -145,7 +149,11 @@ def cmd_stream_demo(args: argparse.Namespace) -> int:
 
     broker = Broker()
     broker.create_topic("alarms", num_partitions=4)
-    ProducerApplication(broker, "alarms", test, seed=args.seed).run(args.count)
+    producer_app = ProducerApplication(broker, "alarms", test, seed=args.seed)
+    producer_app.run(args.count)
+    for i, stats in enumerate(producer_app.stats):
+        print(f"producer {i}: {stats.records_per_second:,.0f} records/s, "
+              f"{stats.bytes_per_second / 1e6:.2f} MB/s")
     consumer = ConsumerApplication(
         broker, "alarms", "cli-demo", VerificationService(pipeline),
         history=AlarmHistory(),
@@ -155,6 +163,39 @@ def cmd_stream_demo(args: argparse.Namespace) -> int:
           f"windows at {report.throughput:,.0f}/s")
     for component, share in report.breakdown().items():
         print(f"  {component:10s} {share:6.1%}")
+    return 0
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """``repro loadtest``: replay a traffic scenario end to end."""
+    if args.scenario == "list":
+        for name in scenario_names():
+            print(name)
+        return 0
+    try:
+        scenario = load_scenario(args.scenario)
+        if args.seed is not None:
+            scenario = scenario.with_seed(args.seed)
+        driver = LoadDriver(scenario, speedup=args.speedup)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"scenario {scenario.name!r} (seed {scenario.seed}, "
+          f"speedup {args.speedup:g}x): {scenario.description}")
+    report = driver.run()
+    print(f"scheduled {report.events_scheduled} events; "
+          f"sent {report.records_sent} records "
+          f"({report.bytes_sent / 1e6:.2f} MB) "
+          f"in {report.wall_seconds:.2f}s wall")
+    print(f"producers           {report.produce_records_per_second:,.0f} records/s, "
+          f"{report.produce_bytes_per_second / 1e6:.2f} MB/s "
+          f"({report.backpressure_waits} backpressure waits)")
+    print(report.ops_report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(scenario.to_json())
+            handle.write("\n")
+        print(f"wrote scenario spec to {args.out}")
     return 0
 
 
@@ -241,6 +282,21 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--algorithm", choices=sorted(_ALGORITHMS), default="rf")
     demo.add_argument("--seed", type=int, default=11)
     demo.set_defaults(func=cmd_stream_demo)
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="replay a traffic scenario (library name, file path, or 'list')",
+    )
+    loadtest.add_argument(
+        "--scenario", required=True,
+        help="library scenario name, path to a scenario JSON, or 'list'",
+    )
+    loadtest.add_argument("--seed", type=int, default=None,
+                          help="override the scenario's seed")
+    loadtest.add_argument("--speedup", type=float, default=600.0,
+                          help="virtual-to-wall time compression factor")
+    loadtest.add_argument("--out", help="optional path to dump the scenario JSON")
+    loadtest.set_defaults(func=cmd_loadtest)
 
     incidents = sub.add_parser("incidents", help="run the incident pipeline")
     incidents.add_argument("--count", type=int, default=2_000)

@@ -32,9 +32,14 @@ from repro.core.routing import (
     RoutingReport,
     prioritize,
 )
-from repro.core.verification import Verification, VerificationService
+from repro.core.verification import (
+    ALARM_FEATURES,
+    Verification,
+    VerificationService,
+)
 
 __all__ = [
+    "ALARM_FEATURES",
     "Alarm",
     "LabeledAlarm",
     "ConsumerApplication",

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.alarm import Alarm
 from repro.core.history import AlarmHistory
@@ -99,6 +100,11 @@ class ConsumerApplication:
     keep_verifications:
         Retain every verification in the report (disable for throughput
         benchmarks to avoid unbounded memory).
+    on_window:
+        Optional observer called after each processed window with the
+        window's verifications and the :class:`MicroBatch`; this is how
+        the workload subsystem's ops metrics tap the pipeline without
+        buffering verifications.
     """
 
     def __init__(self, broker: Broker, topic: str, group: str,
@@ -108,7 +114,8 @@ class ConsumerApplication:
                  repartition: int | None = None,
                  parallel_ml: bool = False,
                  keep_verifications: bool = False,
-                 histogram_since: float | None = None) -> None:
+                 histogram_since: float | None = None,
+                 on_window: Callable[[list[Verification], MicroBatch], None] | None = None) -> None:
         if repartition is not None and repartition < 1:
             raise ConfigurationError(f"repartition must be >= 1, got {repartition}")
         self.context = StreamingContext(broker, topic, group, serializer=serializer)
@@ -118,6 +125,7 @@ class ConsumerApplication:
         self.parallel_ml = parallel_ml
         self.keep_verifications = keep_verifications
         self.histogram_since = histogram_since
+        self.on_window = on_window
         self.last_histogram: dict[str, int] = {}
 
     # -- window processing -----------------------------------------------------------
@@ -167,6 +175,8 @@ class ConsumerApplication:
         report.windows += 1
         if self.keep_verifications:
             report.verifications.extend(verifications)
+        if self.on_window is not None:
+            self.on_window(verifications, batch)
 
     # -- run loops ---------------------------------------------------------------------
 
@@ -178,6 +188,37 @@ class ConsumerApplication:
             lambda batch: self._handle_window(batch, report),
             max_records=max_records,
         )
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+    def drain_until(self, done: Callable[[], bool],
+                    max_records: int | None = None,
+                    idle_sleep: float = 0.005) -> ConsumerRunReport:
+        """Process windows until ``done()`` is true *and* the topic is drained.
+
+        This is the completion-driven variant of :meth:`run` used by the
+        load driver: producers signal completion through ``done`` and the
+        consumer keeps going until it has caught up with the log end.
+        """
+        report = ConsumerRunReport()
+        started = time.perf_counter()
+        finishing = False
+        while True:
+            processed = self.context.process_available(
+                lambda batch: self._handle_window(batch, report),
+                max_records=max_records,
+            )
+            if processed:
+                finishing = False
+                continue
+            if finishing:
+                break
+            if done():
+                # One more drain pass: records appended just before ``done``
+                # flipped must still be consumed.
+                finishing = True
+            else:
+                time.sleep(idle_sleep)
         report.elapsed_seconds = time.perf_counter() - started
         return report
 

@@ -66,6 +66,8 @@ class ProducerApplication:
         self.test_alarms = list(test_alarms)
         self.serializer = serializer
         self.seed = seed
+        #: Per-thread producer stats of the most recent :meth:`run`.
+        self.stats: list[ProducerStats] = []
 
     def _documents(self, count: int, seed_offset: int) -> list[dict]:
         rng = np.random.default_rng((self.seed, seed_offset))
@@ -85,6 +87,7 @@ class ProducerApplication:
             raise ConfigurationError(f"num_threads must be >= 1, got {num_threads}")
         per_thread = [num_alarms // num_threads] * num_threads
         per_thread[0] += num_alarms - sum(per_thread)
+        self.stats = []
 
         started = time.perf_counter()
         if num_threads == 1:
@@ -111,6 +114,7 @@ class ProducerApplication:
         producer = Producer(
             self.broker, serializer=self.serializer, rate_limit=rate_limit
         )
+        self.stats.append(producer.stats)
         documents = self._documents(count, seed_offset)
         producer.send_many(
             self.topic, documents, key_fn=lambda doc: doc["device_address"]

@@ -20,7 +20,15 @@ from repro.errors import ConfigurationError
 from repro.ml.pipeline import FeaturePipeline
 from repro.risk.factors import RiskModel
 
-__all__ = ["Verification", "VerificationService"]
+__all__ = ["ALARM_FEATURES", "Verification", "VerificationService"]
+
+#: The categorical feature set extracted from every alarm (Section 5.1.1):
+#: the five dataset-independent features plus the two Sitasys sensor extras.
+#: Train-time pipelines and the scoring service must agree on this list.
+ALARM_FEATURES = [
+    "location", "property_type", "alarm_type", "hour_of_day", "day_of_week",
+    "sensor_type", "software_version",
+]
 
 
 @dataclass(frozen=True)

@@ -181,6 +181,22 @@ class Collection:
         with self._lock:
             return sorted(self._indexes)
 
+    def index_spec(self, field: str) -> dict[str, Any]:
+        """Describe the index on ``field``: ``{"field", "kind"[, "unique"]}``.
+
+        This is the public form persisted in the store manifest; it can be
+        splatted back into :meth:`create_index`-compatible arguments.
+        """
+        with self._lock:
+            try:
+                index = self._indexes[field]
+            except KeyError:
+                raise IndexError_(f"no index on {field!r}") from None
+            spec: dict[str, Any] = {"field": field, "kind": index.kind}
+            if getattr(index, "unique", False):
+                spec["unique"] = True
+            return spec
+
     # -- reads --------------------------------------------------------------------
 
     def find(self, filter_doc: Mapping[str, Any] | None = None,

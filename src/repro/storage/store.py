@@ -84,14 +84,7 @@ class DocumentStore:
 
     @staticmethod
     def _index_specs(coll: Collection) -> list[dict[str, Any]]:
-        specs = []
-        for field in coll.index_fields():
-            index = coll._indexes[field]
-            spec: dict[str, Any] = {"field": field, "kind": index.kind}
-            if getattr(index, "unique", False):
-                spec["unique"] = True
-            specs.append(spec)
-        return specs
+        return [coll.index_spec(field) for field in coll.index_fields()]
 
     @classmethod
     def load(cls, directory: str | Path) -> "DocumentStore":
@@ -104,6 +97,12 @@ class DocumentStore:
             manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
         except (OSError, json.JSONDecodeError) as exc:
             raise PersistenceError(f"cannot read manifest: {exc}") from exc
+        if not isinstance(manifest, dict) or not isinstance(
+            manifest.get("collections", {}), dict
+        ):
+            raise PersistenceError(
+                f"manifest at {manifest_path} is not a collections object"
+            )
         store = cls()
         for name, meta in manifest.get("collections", {}).items():
             coll = store.collection(name)

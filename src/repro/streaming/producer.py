@@ -45,14 +45,32 @@ class ProducerStats:
         self.started_at: float | None = None
         self.finished_at: float | None = None
 
-    def throughput(self) -> float:
-        """Records per second over the producer's active lifetime."""
+    @property
+    def elapsed_seconds(self) -> float:
+        """Active send span; 0.0 before the first send completes."""
         if self.started_at is None or self.finished_at is None:
             return 0.0
-        elapsed = self.finished_at - self.started_at
+        return self.finished_at - self.started_at
+
+    @property
+    def records_per_second(self) -> float:
+        """Records/second over the active span (count itself when instant)."""
+        elapsed = self.elapsed_seconds
         if elapsed <= 0:
             return float(self.records_sent)
         return self.records_sent / elapsed
+
+    @property
+    def bytes_per_second(self) -> float:
+        """Payload bytes/second over the active span (total when instant)."""
+        elapsed = self.elapsed_seconds
+        if elapsed <= 0:
+            return float(self.bytes_sent)
+        return self.bytes_sent / elapsed
+
+    def throughput(self) -> float:
+        """Records per second over the producer's active lifetime."""
+        return self.records_per_second
 
 
 class Producer:

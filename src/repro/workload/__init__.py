@@ -1,0 +1,57 @@
+"""Scenario-driven load generation, replay and ops metrics.
+
+This subsystem turns traffic generation into a first-class declarative
+layer on top of the streaming substrate:
+
+* :mod:`~repro.workload.scenario` — :class:`Scenario` specs (dataset x
+  arrivals x duration x faults) with dict/JSON round-trip;
+* :mod:`~repro.workload.arrivals` — seeded arrival-time models (constant,
+  Poisson, diurnal sinusoid, burst overlays);
+* :mod:`~repro.workload.driver` — :class:`LoadDriver`: concurrent
+  producers replay a scenario into the broker under accelerated virtual
+  time with backpressure, feeding the existing consumer application;
+* :mod:`~repro.workload.opsmetrics` — :class:`OpsMetrics`: throughput,
+  end-to-end latency percentiles, verification-rate trends, SLA/MTTR;
+* :mod:`~repro.workload.library` — named presets (``steady``, ``storm``,
+  ``night-burglary``, ...), also reachable from the CLI via
+  ``python -m repro loadtest --scenario <name|file>``.
+
+Everything is a pure function of ``(scenario, seed)``: the same scenario
+under the same seed replays the identical event timeline.
+"""
+
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    Burst,
+    BurstOverlay,
+    ConstantRate,
+    DiurnalArrivals,
+    PoissonArrivals,
+    arrival_from_dict,
+)
+from repro.workload.driver import LoadDriver, LoadTestReport, ScheduledEvent
+from repro.workload.library import load_scenario, scenario, scenario_names
+from repro.workload.opsmetrics import OpsMetrics, OpsSummary, PRODUCED_AT_KEY
+from repro.workload.scenario import DatasetSpec, FaultInjection, Scenario
+
+__all__ = [
+    "ArrivalProcess",
+    "Burst",
+    "BurstOverlay",
+    "ConstantRate",
+    "DiurnalArrivals",
+    "PoissonArrivals",
+    "arrival_from_dict",
+    "LoadDriver",
+    "LoadTestReport",
+    "ScheduledEvent",
+    "load_scenario",
+    "scenario",
+    "scenario_names",
+    "OpsMetrics",
+    "OpsSummary",
+    "PRODUCED_AT_KEY",
+    "DatasetSpec",
+    "FaultInjection",
+    "Scenario",
+]

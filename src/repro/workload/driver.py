@@ -1,0 +1,355 @@
+"""Load driver: replay a scenario into the broker under accelerated time.
+
+The :class:`LoadDriver` turns a declarative
+:class:`~repro.workload.scenario.Scenario` into a running experiment:
+
+1. **timeline** — the arrival process is sampled, events are drawn from a
+   seeded synthetic alarm population (with optional per-type bias and
+   incident-text payload inflation), and fault windows are applied.  The
+   timeline is a pure function of ``(scenario, seed)``: two builds yield
+   the identical event sequence, which is what makes load tests replayable.
+2. **replay** — ``scenario.producers`` concurrent producer threads send the
+   timeline into a :class:`~repro.streaming.broker.Broker` topic.  Virtual
+   time is compressed by ``speedup`` (a six-hour diurnal profile replays in
+   seconds) and producers apply backpressure: when the consumer lags more
+   than ``scenario.max_inflight`` records they pause instead of flooding
+   the broker.
+3. **consume** — the existing :class:`~repro.core.consumer_app.ConsumerApplication`
+   (history + ML verification) drains the topic concurrently while
+   :class:`~repro.workload.opsmetrics.OpsMetrics` observes every window.
+
+The result is a :class:`LoadTestReport` combining producer-side,
+consumer-side and operational metrics.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.consumer_app import ConsumerApplication, ConsumerRunReport
+from repro.errors import ConfigurationError
+from repro.core.history import AlarmHistory
+from repro.core.labeling import label_alarms
+from repro.core.verification import ALARM_FEATURES, VerificationService
+from repro.datasets.incidents import IncidentReportGenerator
+from repro.datasets.sitasys import SitasysGenerator
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.pipeline import FeaturePipeline
+from repro.storage.store import DocumentStore
+from repro.streaming.broker import Broker
+from repro.streaming.producer import Producer, ProducerStats
+from repro.streaming.serializers import serializer_by_name
+from repro.workload.opsmetrics import OpsMetrics, OpsSummary, PRODUCED_AT_KEY
+from repro.workload.scenario import Scenario
+
+__all__ = ["LoadDriver", "LoadTestReport", "ScheduledEvent"]
+
+
+
+@dataclass(frozen=True)
+class ScheduledEvent:
+    """One event of the replay timeline."""
+
+    time: float            # virtual seconds from scenario start
+    document: dict[str, Any]
+    producer: int          # producer thread that will send it
+
+
+@dataclass
+class LoadTestReport:
+    """Everything one scenario run measured."""
+
+    scenario: str
+    seed: int
+    speedup: float
+    events_scheduled: int
+    records_sent: int
+    bytes_sent: int
+    wall_seconds: float
+    produce_records_per_second: float
+    produce_bytes_per_second: float
+    backpressure_waits: int
+    consumer: ConsumerRunReport
+    ops: OpsSummary
+    ops_report: str = ""
+    producer_stats: list[ProducerStats] = field(default_factory=list)
+
+
+class LoadDriver:
+    """Builds and replays one scenario end to end.
+
+    Parameters
+    ----------
+    scenario:
+        The traffic description to replay.
+    seed:
+        Overrides ``scenario.seed`` (the CLI's ``--seed``).
+    speedup:
+        Virtual-to-wall time compression factor.  At 600x, one virtual
+        hour replays in six wall seconds.
+    service, history, ops:
+        Injectable components; fresh ones are built when omitted (the
+        service is trained on ``scenario.dataset.train_alarms`` synthetic
+        alarms).
+    """
+
+    def __init__(self, scenario: Scenario, seed: int | None = None,
+                 speedup: float = 600.0,
+                 service: VerificationService | None = None,
+                 history: AlarmHistory | None = None,
+                 ops: OpsMetrics | None = None) -> None:
+        if speedup <= 0:
+            raise ConfigurationError(f"speedup must be > 0, got {speedup}")
+        self.scenario = scenario
+        self.seed = scenario.seed if seed is None else seed
+        if self.seed < 0:
+            raise ConfigurationError(
+                f"seed must be >= 0 (numpy rng requirement), got {self.seed}"
+            )
+        self.speedup = speedup
+        self.topic = f"loadtest-{scenario.name}"
+        self._generator = SitasysGenerator(
+            num_devices=scenario.dataset.num_devices,
+            seed=self.seed,
+            sharpness=scenario.dataset.sharpness,
+        )
+        self.service = service
+        self.history = history
+        self._injected_ops = ops
+        #: The metrics of the most recent :meth:`run` (an injected instance,
+        #: or a fresh one per run so repeated runs never mix windows).
+        #: ``None`` until the first run when nothing was injected.
+        self.ops: OpsMetrics | None = ops
+        self._backpressure_waits = 0
+        self._bp_lock = threading.Lock()
+
+    # -- timeline --------------------------------------------------------------
+
+    def build_timeline(self) -> list[ScheduledEvent]:
+        """The deterministic event sequence for ``(scenario, seed)``."""
+        scenario = self.scenario
+        spec = scenario.dataset
+        arrival_times = scenario.arrivals.times(scenario.duration, self.seed)
+        n_events = arrival_times.size
+        if n_events == 0:
+            return []
+
+        # Replay pool: a bounded population sampled with replacement, so the
+        # pool cost stays flat however long the scenario runs.
+        pool_size = int(min(10_000, max(1_000, n_events)))
+        pool = self._generator.generate(pool_size, seed_offset=11)
+        rng = np.random.default_rng((self.seed, 9001))
+        if spec.alarm_type_bias:
+            weights = np.array(
+                [spec.alarm_type_bias.get(a.alarm_type, 1.0) for a in pool]
+            )
+            weights /= weights.sum()
+            picks = rng.choice(pool_size, size=n_events, p=weights)
+        else:
+            picks = rng.integers(0, pool_size, size=n_events)
+
+        incident_texts: list[str] | None = None
+        if spec.attach_incident_text:
+            reports = IncidentReportGenerator(
+                self._generator.gazetteer, self._generator.locality_risk,
+                seed=self.seed,
+            ).generate(500)
+            incident_texts = [report["text"] for report in reports]
+
+        events: list[tuple[float, dict[str, Any]]] = []
+        for i in range(n_events):
+            alarm = pool[int(picks[i])]
+            doc = alarm.to_document()
+            doc["_event_seq"] = i
+            doc["_virtual_time"] = float(arrival_times[i])
+            if incident_texts:
+                doc["incident_text"] = incident_texts[i % len(incident_texts)]
+            events.append((float(arrival_times[i]), doc))
+
+        events = self._apply_faults(events)
+        events.sort(key=lambda item: (item[0], item[1]["_event_seq"]))
+        return [
+            ScheduledEvent(time=t, document=doc, producer=i % scenario.producers)
+            for i, (t, doc) in enumerate(events)
+        ]
+
+    def _apply_faults(
+        self, events: list[tuple[float, dict[str, Any]]]
+    ) -> list[tuple[float, dict[str, Any]]]:
+        for fault_index, fault in enumerate(self.scenario.faults):
+            rng = np.random.default_rng((self.seed, 9100 + fault_index))
+            in_window = lambda t: fault.start <= t < fault.end
+            if fault.kind == "region_outage":
+                fraction = float(fault.params.get("fraction", 0.2))
+                names = sorted(self._generator.locality_risk)
+                k = max(1, int(round(len(names) * fraction)))
+                dark = set(
+                    names[int(i)]
+                    for i in rng.choice(len(names), size=k, replace=False)
+                )
+                events = [
+                    (t, doc) for t, doc in events
+                    if not (in_window(t) and doc.get("locality") in dark)
+                ]
+            elif fault.kind == "duplicate_delivery":
+                probability = float(fault.params.get("probability", 0.5))
+                duplicates = []
+                for t, doc in events:
+                    if in_window(t) and rng.uniform() < probability:
+                        redelivery = dict(doc)
+                        redelivery["_redelivery"] = True
+                        duplicates.append((min(t + 0.001, self.scenario.duration), redelivery))
+                events = events + duplicates
+            elif fault.kind == "producer_stall":
+                # Nothing leaves during the stall; the backlog flushes at the
+                # end of the window, in order, effectively instantaneously.
+                span = max(fault.end - fault.start, 1e-9)
+                events = [
+                    (fault.end + (t - fault.start) / span * 1e-3 if in_window(t) else t,
+                     doc)
+                    for t, doc in events
+                ]
+        return events
+
+    # -- run -------------------------------------------------------------------
+
+    def _build_service(self) -> VerificationService:
+        spec = self.scenario.dataset
+        train = self._generator.generate(spec.train_alarms, seed_offset=12)
+        labeled = label_alarms(train, 60.0)
+        pipeline = FeaturePipeline(
+            RandomForestClassifier(
+                n_estimators=12, max_depth=20, random_state=self.seed
+            ),
+            categorical_features=ALARM_FEATURES, encoding="ordinal",
+        )
+        pipeline.fit(
+            [l.features() for l in labeled], [l.is_false for l in labeled]
+        )
+        return VerificationService(pipeline)
+
+    def _lag(self, broker: Broker, group: str) -> int:
+        total = broker.total_records(self.topic)
+        committed = 0
+        for tp in broker.partitions_for(self.topic):
+            offset = broker.committed(group, tp)
+            committed += offset or 0
+        return total - committed
+
+    def _replay(self, events: list[ScheduledEvent], broker: Broker,
+                group: str, wall_start: float,
+                producer: Producer) -> None:
+        scenario = self.scenario
+        # Sampling the lag on every send would take the broker's global lock
+        # 1 + partitions extra times per record and contend with the
+        # consumer; check periodically instead, scaled to the inflight bound.
+        check_every = max(1, min(32, scenario.max_inflight // 4))
+        for sent, event in enumerate(events):
+            target = wall_start + event.time / self.speedup
+            delay = target - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            if sent % check_every == 0:
+                waited = 0
+                while self._lag(broker, group) > scenario.max_inflight:
+                    time.sleep(0.001)
+                    waited += 1
+                    if waited > 10_000:  # pragma: no cover - 10s safety valve
+                        break
+                if waited:
+                    with self._bp_lock:
+                        self._backpressure_waits += waited
+            doc = dict(event.document)
+            doc[PRODUCED_AT_KEY] = time.perf_counter()
+            producer.send(self.topic, doc, key=doc["device_address"])
+
+    def run(self, max_batch_records: int | None = 2_000) -> LoadTestReport:
+        """Replay the scenario end to end; returns the combined report."""
+        scenario = self.scenario
+        timeline = self.build_timeline()
+        service = self.service if self.service is not None else self._build_service()
+        history = self.history if self.history is not None else AlarmHistory()
+        ops = self._injected_ops
+        if ops is None:
+            ops = OpsMetrics(DocumentStore())  # fresh metrics per run
+        self.ops = ops
+        self._backpressure_waits = 0
+        if scenario.dataset.preload_history:
+            history.record_batch(self._generator.generate(
+                scenario.dataset.preload_history, seed_offset=13
+            ))
+
+        broker = Broker()
+        broker.create_topic(self.topic, num_partitions=scenario.partitions)
+        group = f"{self.topic}-consumer"
+        consumer = ConsumerApplication(
+            broker, self.topic, group, service, history=history,
+            serializer=serializer_by_name(scenario.serializer),
+            on_window=self.ops.observe_window,
+        )
+
+        per_producer: list[list[ScheduledEvent]] = [
+            [] for _ in range(scenario.producers)
+        ]
+        for event in timeline:
+            per_producer[event.producer].append(event)
+        producers = [
+            Producer(broker, serializer=serializer_by_name(scenario.serializer))
+            for _ in range(scenario.producers)
+        ]
+
+        wall_start = time.perf_counter()
+        threads = [
+            threading.Thread(
+                target=self._replay,
+                args=(events, broker, group, wall_start, producer),
+                name=f"loadgen-{i}",
+            )
+            for i, (events, producer) in enumerate(zip(per_producer, producers))
+        ]
+        for thread in threads:
+            thread.start()
+
+        def producers_done() -> bool:
+            return not any(thread.is_alive() for thread in threads)
+
+        consumer_report = consumer.drain_until(
+            producers_done, max_records=max_batch_records
+        )
+        for thread in threads:
+            thread.join()
+        wall_seconds = time.perf_counter() - wall_start
+
+        stats = [producer.stats for producer in producers]
+        for producer in producers:
+            producer.close()
+        records_sent = sum(s.records_sent for s in stats)
+        bytes_sent = sum(s.bytes_sent for s in stats)
+        active = [s for s in stats if s.records_sent]
+        if active:
+            started = min(s.started_at for s in active)
+            finished = max(s.finished_at for s in active)
+            produce_elapsed = max(finished - started, 1e-9)
+        else:
+            produce_elapsed = 1e-9
+        return LoadTestReport(
+            scenario=scenario.name,
+            seed=self.seed,
+            speedup=self.speedup,
+            events_scheduled=len(timeline),
+            records_sent=records_sent,
+            bytes_sent=bytes_sent,
+            wall_seconds=wall_seconds,
+            produce_records_per_second=records_sent / produce_elapsed,
+            produce_bytes_per_second=bytes_sent / produce_elapsed,
+            backpressure_waits=self._backpressure_waits,
+            consumer=consumer_report,
+            ops=self.ops.summary(),
+            ops_report=self.ops.render_report(),
+            producer_stats=stats,
+        )

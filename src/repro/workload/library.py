@@ -1,0 +1,191 @@
+"""Named scenario presets: the traffic shapes a monitoring center sees.
+
+Each preset is a builder returning a fresh :class:`~repro.workload.scenario.Scenario`;
+durations are in virtual seconds (the driver compresses them by its
+``speedup`` factor).  Presets are sized so a default CLI run finishes in
+seconds while still producing a thousand-plus events.
+
+Use :func:`scenario` to fetch one by name, :func:`load_scenario` to accept
+either a preset name or a path to a scenario JSON file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.workload.arrivals import (
+    Burst,
+    BurstOverlay,
+    ConstantRate,
+    DiurnalArrivals,
+    PoissonArrivals,
+)
+from repro.workload.scenario import DatasetSpec, FaultInjection, Scenario
+
+__all__ = ["scenario", "scenario_names", "load_scenario"]
+
+
+def _steady() -> Scenario:
+    """Steady-state floor: constant production traffic, no surprises."""
+    return Scenario(
+        name="steady",
+        description="Constant-rate baseline over one virtual hour.",
+        arrivals=ConstantRate(rate=0.5),
+        duration=3_600.0,
+    )
+
+
+def _night_burglary() -> Scenario:
+    """Diurnal profile with an intrusion-heavy burst in the small hours."""
+    return Scenario(
+        name="night-burglary",
+        description=(
+            "Six virtual hours of diurnal traffic; a burglary wave of "
+            "intrusion alarms erupts two hours in."
+        ),
+        arrivals=BurstOverlay(
+            base=DiurnalArrivals(base_rate=0.12, amplitude=0.9, phase=0.0),
+            bursts=(Burst(start=7_200.0, duration=1_800.0, rate=0.8),),
+        ),
+        duration=21_600.0,
+        dataset=DatasetSpec(alarm_type_bias={"intrusion": 3.0}),
+    )
+
+
+def _storm() -> Scenario:
+    """City-wide storm: technical/fire alarm flood plus a region power cut."""
+    return Scenario(
+        name="storm",
+        description=(
+            "A storm front crosses the country: two waves of mostly "
+            "technical and fire alarms, with one region losing power "
+            "(and its sensors) mid-storm."
+        ),
+        arrivals=BurstOverlay(
+            base=ConstantRate(rate=0.3),
+            bursts=(
+                Burst(start=600.0, duration=900.0, rate=1.5),
+                Burst(start=2_100.0, duration=600.0, rate=2.5),
+            ),
+        ),
+        duration=3_600.0,
+        dataset=DatasetSpec(
+            alarm_type_bias={"technical": 5.0, "fire": 2.5},
+        ),
+        faults=(
+            FaultInjection(
+                kind="region_outage", start=2_100.0, end=3_000.0,
+                params={"fraction": 0.25},
+            ),
+        ),
+    )
+
+
+def _serializer_stress() -> Scenario:
+    """High rate through the slow reflective serializer (the Figure 11 trap)."""
+    return Scenario(
+        name="serializer-stress",
+        description=(
+            "Sustained high-rate traffic through the reflective (Jackson-"
+            "style) serializer — the serialization bottleneck scenario."
+        ),
+        arrivals=PoissonArrivals(rate=1.2),
+        duration=1_800.0,
+        serializer="reflective",
+        producers=4,
+    )
+
+
+def _cold_start() -> Scenario:
+    """Fresh deployment: tiny model, empty history, realistic traffic."""
+    return Scenario(
+        name="cold-start",
+        description=(
+            "A just-deployed center: the model saw only 300 training "
+            "alarms and the history store is empty (every histogram "
+            "query starts from zero)."
+        ),
+        arrivals=PoissonArrivals(rate=0.6),
+        duration=3_600.0,
+        dataset=DatasetSpec(train_alarms=300, preload_history=0),
+    )
+
+
+def _incident_flood() -> Scenario:
+    """Multilingual incident texts attached to every alarm payload."""
+    return Scenario(
+        name="incident-flood",
+        description=(
+            "Every alarm carries a multilingual incident-report text, "
+            "inflating and diversifying payloads (UTF-8 serializer and "
+            "storage stress)."
+        ),
+        arrivals=PoissonArrivals(rate=0.7),
+        duration=2_700.0,
+        dataset=DatasetSpec(
+            attach_incident_text=True,
+            alarm_type_bias={"fire": 2.0, "intrusion": 1.5},
+        ),
+    )
+
+
+def _outage_recovery() -> Scenario:
+    """Producer stall + duplicate redelivery: the messy network day."""
+    return Scenario(
+        name="outage-recovery",
+        description=(
+            "Producers stall for ten virtual minutes and flush the backlog "
+            "at once; the flaky network then redelivers a third of the "
+            "following traffic."
+        ),
+        arrivals=ConstantRate(rate=0.5),
+        duration=3_600.0,
+        faults=(
+            FaultInjection(kind="producer_stall", start=900.0, end=1_500.0),
+            FaultInjection(
+                kind="duplicate_delivery", start=1_500.0, end=2_400.0,
+                params={"probability": 0.33},
+            ),
+        ),
+    )
+
+
+_LIBRARY: dict[str, Callable[[], Scenario]] = {
+    "steady": _steady,
+    "night-burglary": _night_burglary,
+    "storm": _storm,
+    "serializer-stress": _serializer_stress,
+    "cold-start": _cold_start,
+    "incident-flood": _incident_flood,
+    "outage-recovery": _outage_recovery,
+}
+
+
+def scenario_names() -> list[str]:
+    """All preset names, sorted."""
+    return sorted(_LIBRARY)
+
+
+def scenario(name: str) -> Scenario:
+    """Build a fresh preset by name."""
+    try:
+        return _LIBRARY[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; known: {scenario_names()}"
+        ) from None
+
+
+def load_scenario(name_or_path: str) -> Scenario:
+    """Resolve a preset name or a scenario JSON file path."""
+    if name_or_path in _LIBRARY:
+        return _LIBRARY[name_or_path]()
+    path = Path(name_or_path)
+    if path.exists():
+        return Scenario.from_file(path)
+    raise ConfigurationError(
+        f"{name_or_path!r} is neither a library scenario nor a file; "
+        f"library: {scenario_names()}"
+    )

@@ -1,0 +1,281 @@
+"""Online operations metrics for load-test runs.
+
+:class:`OpsMetrics` observes every consumer window and maintains the
+operational numbers a production alarm pipeline is judged by:
+
+* **throughput** — verified alarms per wall-clock second;
+* **end-to-end latency** — produce-to-verdict, with p50/p95/p99 percentiles
+  (events carry a ``_produced_at`` wall timestamp in their extras, stamped
+  by the load driver at send time);
+* **verification rate** — the fraction of alarms auto-classified false per
+  window, and its trend across the run (an operator watches this line: a
+  drifting rate means the model or the traffic changed);
+* **SLA / MTTR** — per-window p95 latency is checked against an SLA bound;
+  compliance is the fraction of healthy windows and MTTR is the mean wall
+  time from an SLA breach back to the first healthy window.
+
+Every window is also persisted as a document in a
+:class:`~repro.storage.store.DocumentStore` collection (``ops_windows``),
+so trend reports are ordinary queries over the same storage layer the rest
+of the system uses — and survive a ``store.save()`` like any other data.
+Each :class:`OpsMetrics` instance observes exactly one run: its documents
+carry a fresh ``run`` id and every query filters on it, so a store shared
+across runs (or reloaded from disk) keeps each run's report separate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.verification import Verification
+from repro.storage.store import DocumentStore
+
+__all__ = ["OpsMetrics", "OpsSummary", "PRODUCED_AT_KEY"]
+
+#: Extras key carrying the producer-side wall timestamp (``time.perf_counter``).
+PRODUCED_AT_KEY = "_produced_at"
+
+#: Trend classification tolerance on the false-rate delta between run halves.
+_TREND_TOLERANCE = 0.02
+
+
+@dataclass(frozen=True)
+class OpsSummary:
+    """Aggregate outcome of one observed run."""
+
+    alarms: int
+    windows: int
+    elapsed_seconds: float
+    throughput: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    verification_rate: float
+    sla_compliance: float
+    mttr_seconds: float | None
+    trend: str
+
+
+class OpsMetrics:
+    """Accumulates per-window operational metrics during a run.
+
+    Parameters
+    ----------
+    store:
+        Document store receiving one document per window (a fresh in-memory
+        store when omitted).
+    collection_name:
+        Target collection for window documents.
+    sla_p95_seconds:
+        Per-window p95 latency bound that defines a "healthy" window.
+    """
+
+    def __init__(self, store: DocumentStore | None = None,
+                 collection_name: str = "ops_windows",
+                 sla_p95_seconds: float = 0.5) -> None:
+        self.store = store if store is not None else DocumentStore()
+        self.collection = self.store.collection(collection_name)
+        if "window" not in self.collection.index_fields():
+            self.collection.create_index("window", kind="sorted")
+        if "run" not in self.collection.index_fields():
+            self.collection.create_index("run", kind="hash")
+        existing_runs = self.collection.distinct("run")
+        self.run = (max(existing_runs) + 1) if existing_runs else 0
+        self.sla_p95_seconds = sla_p95_seconds
+        self.alarms = 0
+        self.windows = 0
+        self._latencies: list[float] = []
+        self._false_count = 0
+        self._started_at: float | None = None
+        self._finished_at: float | None = None
+
+    # -- observation -----------------------------------------------------------
+
+    def observe_window(self, verifications: Sequence[Verification],
+                       batch: Any = None) -> dict[str, Any]:
+        """Record one consumer window; returns the stored window document."""
+        now = time.perf_counter()
+        if self._started_at is None:
+            self._started_at = now
+        self._finished_at = now
+        latencies = [
+            now - float(v.alarm.extras[PRODUCED_AT_KEY])
+            for v in verifications
+            if PRODUCED_AT_KEY in v.alarm.extras
+        ]
+        false_count = sum(1 for v in verifications if v.is_false)
+        count = len(verifications)
+        self.alarms += count
+        self._false_count += false_count
+        self._latencies.extend(latencies)
+        if latencies:
+            arr = np.asarray(latencies)
+            p50, p95, p99 = (float(p) for p in np.percentile(arr, (50, 95, 99)))
+            mean = float(arr.mean())
+        else:
+            p50 = p95 = p99 = mean = 0.0
+        doc = {
+            "run": self.run,
+            "window": self.windows,
+            "count": count,
+            "false_rate": false_count / count if count else 0.0,
+            "latency_mean": mean,
+            "latency_p50": p50,
+            "latency_p95": p95,
+            "latency_p99": p99,
+            "sla_ok": p95 <= self.sla_p95_seconds,
+            "observed_at": now,
+        }
+        self.collection.insert_one(doc)
+        self.windows += 1
+        return doc
+
+    # -- aggregates ------------------------------------------------------------
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Wall time between the first and last observed window."""
+        if self._started_at is None or self._finished_at is None:
+            return 0.0
+        return self._finished_at - self._started_at
+
+    def throughput(self) -> float:
+        """Verified alarms per second of observed wall time."""
+        elapsed = self.elapsed_seconds
+        if elapsed <= 0:
+            return float(self.alarms)
+        return self.alarms / elapsed
+
+    def latency_percentiles(self) -> dict[str, float]:
+        """Run-level p50/p95/p99 end-to-end latency in seconds."""
+        if not self._latencies:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        p50, p95, p99 = np.percentile(np.asarray(self._latencies), (50, 95, 99))
+        return {"p50": float(p50), "p95": float(p95), "p99": float(p99)}
+
+    def verification_rate(self) -> float:
+        """Overall fraction of alarms classified false."""
+        if self.alarms == 0:
+            return 0.0
+        return self._false_count / self.alarms
+
+    def sla_compliance(self) -> float:
+        """Fraction of windows whose p95 latency met the SLA bound."""
+        if self.windows == 0:
+            return 1.0
+        healthy = self.collection.count({"run": self.run, "sla_ok": True})
+        return healthy / self.windows
+
+    def mttr_seconds(self) -> float | None:
+        """Mean wall time from an SLA breach to the next healthy window.
+
+        ``None`` when no breach occurred — or when the only breach began in
+        the final window, where no recovery interval is observable (a 0s
+        "recovery" would make the worst case look like the best).  A breach
+        still open at the end of the run counts from its start to the last
+        observed window.
+        """
+        docs = self.collection.find({"run": self.run}, sort="window")
+        recoveries: list[float] = []
+        breach_started: float | None = None
+        last_seen: float | None = None
+        for doc in docs:
+            last_seen = doc["observed_at"]
+            if not doc["sla_ok"] and breach_started is None:
+                breach_started = doc["observed_at"]
+            elif doc["sla_ok"] and breach_started is not None:
+                recoveries.append(doc["observed_at"] - breach_started)
+                breach_started = None
+        if (breach_started is not None and last_seen is not None
+                and last_seen > breach_started):
+            recoveries.append(last_seen - breach_started)
+        if not recoveries:
+            return None
+        return float(np.mean(recoveries))
+
+    # -- trend reporting ---------------------------------------------------------
+
+    def verification_rate_trend(self, buckets: int = 6) -> list[dict[str, Any]]:
+        """Bucketed false-rate series over the run (the operator trend line).
+
+        Windows are grouped into up to ``buckets`` equal spans; each entry
+        reports the span's window range, alarm count, and aggregate false
+        rate — the shape of an endpoint-incident trend table.
+        """
+        docs = self.collection.find({"run": self.run}, sort="window")
+        if not docs:
+            return []
+        span = max(1, -(-len(docs) // buckets))  # ceil division
+        trend: list[dict[str, Any]] = []
+        for start in range(0, len(docs), span):
+            chunk = docs[start : start + span]
+            alarms = sum(d["count"] for d in chunk)
+            false_alarms = sum(d["count"] * d["false_rate"] for d in chunk)
+            trend.append({
+                "windows": f"{chunk[0]['window']}-{chunk[-1]['window']}",
+                "alarms": alarms,
+                "false_rate": false_alarms / alarms if alarms else 0.0,
+                "latency_p95": max(d["latency_p95"] for d in chunk),
+            })
+        return trend
+
+    def trend_direction(self) -> str:
+        """``rising`` / ``falling`` / ``stable`` false-rate over the run."""
+        docs = self.collection.find({"run": self.run}, sort="window")
+        rates = [d["false_rate"] for d in docs if d["count"] > 0]
+        if len(rates) < 2:
+            return "stable"
+        half = len(rates) // 2
+        first, second = np.mean(rates[:half]), np.mean(rates[half:])
+        if second - first > _TREND_TOLERANCE:
+            return "rising"
+        if first - second > _TREND_TOLERANCE:
+            return "falling"
+        return "stable"
+
+    def summary(self) -> OpsSummary:
+        """Aggregate the run into one :class:`OpsSummary`."""
+        percentiles = self.latency_percentiles()
+        return OpsSummary(
+            alarms=self.alarms,
+            windows=self.windows,
+            elapsed_seconds=self.elapsed_seconds,
+            throughput=self.throughput(),
+            latency_p50=percentiles["p50"],
+            latency_p95=percentiles["p95"],
+            latency_p99=percentiles["p99"],
+            verification_rate=self.verification_rate(),
+            sla_compliance=self.sla_compliance(),
+            mttr_seconds=self.mttr_seconds(),
+            trend=self.trend_direction(),
+        )
+
+    def render_report(self) -> str:
+        """Human-readable run report (what the ``loadtest`` command prints)."""
+        s = self.summary()
+        lines = [
+            f"alarms verified     {s.alarms} in {s.windows} windows "
+            f"({s.elapsed_seconds:.2f}s observed)",
+            f"throughput          {s.throughput:,.0f} alarms/s",
+            f"latency p50/p95/p99 {s.latency_p50 * 1e3:.1f} / "
+            f"{s.latency_p95 * 1e3:.1f} / {s.latency_p99 * 1e3:.1f} ms",
+            f"verification rate   {s.verification_rate:.1%} false "
+            f"({s.trend})",
+            f"SLA compliance      {s.sla_compliance:.1%} of windows "
+            f"(p95 <= {self.sla_p95_seconds * 1e3:.0f} ms)",
+        ]
+        if s.mttr_seconds is not None:
+            lines.append(f"MTTR                {s.mttr_seconds:.2f}s")
+        trend = self.verification_rate_trend()
+        if trend:
+            lines.append("verification-rate trend:")
+            for row in trend:
+                lines.append(
+                    f"  windows {row['windows']:>9s}  alarms {row['alarms']:>6d}  "
+                    f"false {row['false_rate']:6.1%}  p95 {row['latency_p95'] * 1e3:7.1f} ms"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,294 @@
+"""Declarative traffic scenarios: dataset x arrivals x faults as one spec.
+
+A :class:`Scenario` is the unit of reproducible load testing: it composes a
+parametric dataset generator (:class:`DatasetSpec`), an arrival process, a
+virtual duration, and a list of :class:`FaultInjection` windows into one
+value that round-trips through dicts and JSON.  Two runs of the same
+scenario under the same seed produce the *same event timeline* — scenarios
+are seeded functions, not recorded traces, so a library preset and a
+scenario file checked into a repo replay identically anywhere.
+
+Fault kinds understood by the load driver:
+
+* ``region_outage`` — a deterministic fraction of localities goes dark for
+  the window (their events are dropped: sensors without power send nothing);
+* ``duplicate_delivery`` — events in the window are re-delivered with some
+  probability (an at-least-once upstream during network flaps);
+* ``producer_stall`` — the producers stop sending for the window and flush
+  the backlog when it ends (events are delayed, never lost).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import ConfigurationError
+from repro.workload.arrivals import ArrivalProcess, arrival_from_dict
+
+__all__ = ["DatasetSpec", "FaultInjection", "Scenario"]
+
+_FAULT_KINDS = ("region_outage", "duplicate_delivery", "producer_stall")
+_SERIALIZERS = ("compact", "reflective")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Parametric alarm-population spec: ``(params, seed) -> alarms``.
+
+    Parameters
+    ----------
+    num_devices:
+        Fleet size of the synthetic Sitasys generator.
+    sharpness:
+        Generator inverse temperature (passed through).
+    train_alarms:
+        Offline training-set size for the verification model; small values
+        model a cold-start deployment.
+    preload_history:
+        Alarms inserted into the history store before the run starts
+        (0 = empty history, the cold-start case).
+    alarm_type_bias:
+        Optional per-alarm-type sampling weight multipliers applied when
+        events are drawn from the replay pool — ``{"technical": 6.0}``
+        models a storm of technical alarms without touching the latent
+        generative process.
+    attach_incident_text:
+        Attach a multilingual incident-report text to every event's extras,
+        inflating and diversifying payloads (serializer/UTF-8 stress).
+    """
+
+    num_devices: int = 400
+    sharpness: float = 3.5
+    train_alarms: int = 3_000
+    preload_history: int = 1_000
+    alarm_type_bias: Mapping[str, float] | None = None
+    attach_incident_text: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 10:
+            raise ConfigurationError(
+                f"num_devices must be >= 10, got {self.num_devices}"
+            )
+        if self.train_alarms < 50:
+            raise ConfigurationError(
+                f"train_alarms must be >= 50, got {self.train_alarms}"
+            )
+        if self.preload_history < 0:
+            raise ConfigurationError(
+                f"preload_history must be >= 0, got {self.preload_history}"
+            )
+        if self.alarm_type_bias is not None:
+            bias = {}
+            for alarm_type, weight in dict(self.alarm_type_bias).items():
+                try:
+                    weight = float(weight)
+                except (TypeError, ValueError):
+                    raise ConfigurationError(
+                        f"alarm_type_bias[{alarm_type!r}] must be a number, "
+                        f"got {weight!r}"
+                    ) from None
+                if weight <= 0:
+                    raise ConfigurationError(
+                        f"alarm_type_bias[{alarm_type!r}] must be > 0, got {weight}"
+                    )
+                bias[alarm_type] = weight
+            object.__setattr__(self, "alarm_type_bias", bias)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "num_devices": self.num_devices,
+            "sharpness": self.sharpness,
+            "train_alarms": self.train_alarms,
+            "preload_history": self.preload_history,
+            "attach_incident_text": self.attach_incident_text,
+        }
+        if self.alarm_type_bias is not None:
+            out["alarm_type_bias"] = dict(self.alarm_type_bias)
+        return out
+
+    @staticmethod
+    def from_dict(spec: Mapping[str, Any]) -> "DatasetSpec":
+        return DatasetSpec(
+            num_devices=int(spec.get("num_devices", 400)),
+            sharpness=float(spec.get("sharpness", 3.5)),
+            train_alarms=int(spec.get("train_alarms", 3_000)),
+            preload_history=int(spec.get("preload_history", 1_000)),
+            alarm_type_bias=spec.get("alarm_type_bias"),
+            attach_incident_text=bool(spec.get("attach_incident_text", False)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultInjection:
+    """One fault window ``[start, end)`` in virtual seconds."""
+
+    kind: str
+    start: float
+    end: float
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in _FAULT_KINDS:
+            raise ConfigurationError(
+                f"unknown fault kind {self.kind!r}; known: {list(_FAULT_KINDS)}"
+            )
+        if self.start < 0 or self.end <= self.start:
+            raise ConfigurationError(
+                f"fault window must satisfy 0 <= start < end, "
+                f"got [{self.start}, {self.end})"
+            )
+        object.__setattr__(self, "params", dict(self.params))
+        if self.kind == "region_outage":
+            fraction = float(self.params.get("fraction", 0.2))
+            if not 0.0 < fraction <= 1.0:
+                raise ConfigurationError(
+                    f"region_outage fraction must be in (0, 1], got {fraction}"
+                )
+        if self.kind == "duplicate_delivery":
+            probability = float(self.params.get("probability", 0.5))
+            if not 0.0 < probability <= 1.0:
+                raise ConfigurationError(
+                    f"duplicate_delivery probability must be in (0, 1], "
+                    f"got {probability}"
+                )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "start": self.start,
+            "end": self.end,
+            "params": dict(self.params),
+        }
+
+    @staticmethod
+    def from_dict(spec: Mapping[str, Any]) -> "FaultInjection":
+        return FaultInjection(
+            kind=spec["kind"],
+            start=float(spec["start"]),
+            end=float(spec["end"]),
+            params=spec.get("params", {}),
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete, replayable load-test description.
+
+    ``duration`` is in *virtual* seconds; the driver compresses it by its
+    ``speedup`` factor at replay time, so a six-hour diurnal profile runs in
+    seconds of wall clock without changing the event timeline.
+    """
+
+    name: str
+    arrivals: ArrivalProcess
+    duration: float
+    description: str = ""
+    dataset: DatasetSpec = field(default_factory=DatasetSpec)
+    faults: tuple[FaultInjection, ...] = ()
+    producers: int = 2
+    partitions: int = 4
+    serializer: str = "compact"
+    max_inflight: int = 20_000
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario name must not be empty")
+        if self.duration <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {self.duration}")
+        if self.producers < 1:
+            raise ConfigurationError(f"producers must be >= 1, got {self.producers}")
+        if self.partitions < 1:
+            raise ConfigurationError(
+                f"partitions must be >= 1, got {self.partitions}"
+            )
+        if self.serializer not in _SERIALIZERS:
+            raise ConfigurationError(
+                f"serializer must be one of {list(_SERIALIZERS)}, "
+                f"got {self.serializer!r}"
+            )
+        if self.max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1, got {self.max_inflight}"
+            )
+        if self.seed < 0:
+            raise ConfigurationError(
+                f"seed must be >= 0 (numpy rng requirement), got {self.seed}"
+            )
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def with_seed(self, seed: int) -> "Scenario":
+        """A copy of this scenario under a different seed."""
+        return replace(self, seed=seed)
+
+    def expected_events(self) -> int:
+        """Rough event-count estimate over the duration (excludes faults)."""
+        return int(self.arrivals.expected_events(self.duration))
+
+    # -- dict / JSON round-trip ------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "dataset": self.dataset.to_dict(),
+            "arrivals": self.arrivals.to_dict(),
+            "duration": self.duration,
+            "faults": [fault.to_dict() for fault in self.faults],
+            "producers": self.producers,
+            "partitions": self.partitions,
+            "serializer": self.serializer,
+            "max_inflight": self.max_inflight,
+            "seed": self.seed,
+        }
+
+    @staticmethod
+    def from_dict(spec: Mapping[str, Any]) -> "Scenario":
+        if not isinstance(spec, Mapping):
+            raise ConfigurationError("scenario spec must be a mapping")
+        missing = {"name", "arrivals", "duration"} - set(spec)
+        if missing:
+            raise ConfigurationError(
+                f"scenario spec missing required keys: {sorted(missing)}"
+            )
+        return Scenario(
+            name=str(spec["name"]),
+            description=str(spec.get("description", "")),
+            dataset=DatasetSpec.from_dict(spec.get("dataset", {})),
+            arrivals=arrival_from_dict(spec["arrivals"]),
+            duration=float(spec["duration"]),
+            faults=tuple(
+                FaultInjection.from_dict(f) for f in spec.get("faults", [])
+            ),
+            producers=int(spec.get("producers", 2)),
+            partitions=int(spec.get("partitions", 4)),
+            serializer=str(spec.get("serializer", "compact")),
+            max_inflight=int(spec.get("max_inflight", 20_000)),
+            seed=int(spec.get("seed", 42)),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        """Serialize to a JSON document (the scenario-file format)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @staticmethod
+    def from_json(text: str) -> "Scenario":
+        """Inverse of :meth:`to_json`."""
+        try:
+            spec = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid scenario JSON: {exc}") from exc
+        return Scenario.from_dict(spec)
+
+    @staticmethod
+    def from_file(path: str | Path) -> "Scenario":
+        """Load a scenario from a JSON file."""
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read scenario file {path}: {exc}") from exc
+        return Scenario.from_json(text)

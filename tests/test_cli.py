@@ -107,6 +107,55 @@ class TestSecurityMap:
         assert "cells:" in out
 
 
+class TestLoadtest:
+    def test_list_prints_library(self, capsys):
+        code = main(["loadtest", "--scenario", "list"])
+        assert code == 0
+        out = capsys.readouterr().out.splitlines()
+        assert "storm" in out and "steady" in out
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        code = main(["loadtest", "--scenario", "quiet-sunday"])
+        assert code == 2
+        assert "neither a library scenario nor a file" in capsys.readouterr().err
+
+    def test_invalid_speedup_fails_cleanly(self, capsys):
+        code = main(["loadtest", "--scenario", "steady", "--speedup", "0"])
+        assert code == 2
+        assert "speedup" in capsys.readouterr().err
+
+    def test_negative_seed_fails_cleanly(self, capsys):
+        code = main(["loadtest", "--scenario", "steady", "--seed", "-1"])
+        assert code == 2
+        assert "seed must be >= 0" in capsys.readouterr().err
+
+    def test_scenario_file_runs_end_to_end(self, capsys, tmp_path):
+        from repro.workload import ConstantRate, DatasetSpec, Scenario
+        spec = Scenario(
+            name="tiny", arrivals=ConstantRate(rate=2.0), duration=30.0,
+            dataset=DatasetSpec(num_devices=50, train_alarms=200,
+                                preload_history=0),
+        )
+        path = tmp_path / "tiny.json"
+        path.write_text(spec.to_json(), encoding="utf-8")
+        out_path = tmp_path / "dump.json"
+        code = main(["loadtest", "--scenario", str(path),
+                     "--seed", "3", "--speedup", "3000",
+                     "--out", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scheduled 60 events; sent 60 records" in out
+        assert "p50/p95/p99" in out
+        assert "verification-rate trend" in out
+        # The dumped spec carries the seed override and replays identically.
+        dumped = Scenario.from_file(out_path)
+        assert dumped.seed == 3
+        code = main(["loadtest", "--scenario", str(out_path),
+                     "--speedup", "3000"])
+        assert code == 0
+        assert "scheduled 60 events; sent 60 records" in capsys.readouterr().out
+
+
 class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

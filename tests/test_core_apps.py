@@ -160,3 +160,37 @@ class TestConsumerApplication:
         assert report.breakdown() == {
             "streaming": 0.0, "batch": 0.0, "ml": 0.0, "store": 0.0
         }
+
+    def test_on_window_observer_sees_every_verification(self, broker, alarms, service):
+        ProducerApplication(broker, "alarms", alarms, seed=3).run(150)
+        observed = []
+        consumer = ConsumerApplication(
+            broker, "alarms", "g", service,
+            on_window=lambda verifications, batch: observed.append(
+                (len(verifications), batch.index)
+            ),
+        )
+        report = consumer.process_available(max_records=60)
+        assert report.alarms_processed == 150
+        assert sum(count for count, _ in observed) == 150
+        assert len(observed) == report.windows
+
+    def test_drain_until_processes_everything_then_stops(self, broker, alarms, service):
+        ProducerApplication(broker, "alarms", alarms, seed=4).run(120)
+        consumer = ConsumerApplication(broker, "alarms", "g", service)
+        report = consumer.drain_until(lambda: True, max_records=50)
+        assert report.alarms_processed == 120
+        assert report.windows >= 1
+
+    def test_drain_until_waits_for_done_signal(self, broker, alarms, service):
+        consumer = ConsumerApplication(broker, "alarms", "g", service)
+        state = {"calls": 0}
+
+        def done():
+            state["calls"] += 1
+            if state["calls"] == 2:
+                ProducerApplication(broker, "alarms", alarms, seed=5).run(30)
+            return state["calls"] >= 2
+
+        report = consumer.drain_until(done, idle_sleep=0.001)
+        assert report.alarms_processed == 30

@@ -223,3 +223,17 @@ class TestIndexes:
     def test_unique_sorted_index_rejected(self, alarms):
         with pytest.raises(IndexError_):
             alarms.create_index("ts", kind="sorted", unique=True)
+
+    def test_index_spec_describes_each_kind(self, alarms):
+        alarms.create_index("zip")
+        alarms.create_index("ts", kind="sorted")
+        alarms.create_index("duration", unique=True)  # durations are distinct
+        assert alarms.index_spec("zip") == {"field": "zip", "kind": "hash"}
+        assert alarms.index_spec("ts") == {"field": "ts", "kind": "sorted"}
+        assert alarms.index_spec("duration") == {
+            "field": "duration", "kind": "hash", "unique": True,
+        }
+
+    def test_index_spec_unknown_field_raises(self, alarms):
+        with pytest.raises(IndexError_):
+            alarms.index_spec("nope")

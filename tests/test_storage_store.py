@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import PersistenceError, StorageError
+from repro.errors import DuplicateKeyError, PersistenceError, StorageError
 from repro.storage import DocumentStore
 
 
@@ -84,3 +84,61 @@ class TestPersistence:
         store.save(tmp_path / "db")
         store.save(tmp_path / "db")
         assert len(DocumentStore.load(tmp_path / "db").collection("a")) == 1
+
+    def test_unique_and_hash_indexes_survive_round_trip(self, tmp_path):
+        store = DocumentStore()
+        devices = store.collection("devices")
+        devices.create_index("serial", unique=True)
+        devices.create_index("zip")
+        devices.insert_many([
+            {"serial": "A1", "zip": "8001"},
+            {"serial": "B2", "zip": "8001"},
+        ])
+        store.save(tmp_path / "db")
+
+        loaded = DocumentStore.load(tmp_path / "db")
+        coll = loaded.collection("devices")
+        assert coll.index_spec("serial") == {
+            "field": "serial", "kind": "hash", "unique": True,
+        }
+        assert coll.index_spec("zip") == {"field": "zip", "kind": "hash"}
+        # The uniqueness constraint is enforced again after reload.
+        with pytest.raises(DuplicateKeyError):
+            coll.insert_one({"serial": "A1", "zip": "9000"})
+        coll.insert_one({"serial": "C3", "zip": "9000"})
+        assert len(coll) == 3
+
+    def test_missing_jsonl_loads_empty_collection_with_indexes(self, tmp_path):
+        store = DocumentStore()
+        store.collection("a").create_index("k", unique=True)
+        store.collection("a").insert_one({"k": 1})
+        store.save(tmp_path / "db")
+        (tmp_path / "db" / "a.jsonl").unlink()
+
+        loaded = DocumentStore.load(tmp_path / "db")
+        coll = loaded.collection("a")
+        assert len(coll) == 0
+        assert coll.index_spec("k")["unique"] is True
+
+    def test_corrupt_jsonl_raises_persistence_error(self, tmp_path):
+        store = DocumentStore()
+        store.collection("a").insert_one({"k": 1})
+        store.save(tmp_path / "db")
+        (tmp_path / "db" / "a.jsonl").write_text('{"k": 1}\n{broken\n')
+        with pytest.raises(PersistenceError, match="cannot load collection"):
+            DocumentStore.load(tmp_path / "db")
+
+    def test_manifest_wrong_type_raises(self, tmp_path):
+        d = tmp_path / "db"
+        d.mkdir()
+        (d / "manifest.json").write_text("[1, 2, 3]")
+        with pytest.raises(PersistenceError, match="not a collections object"):
+            DocumentStore.load(d)
+
+    def test_unserializable_document_raises(self, tmp_path):
+        store = DocumentStore()
+        store.collection("a").insert_one({"x": float("nan")})
+        # NaN is representable by json.dumps by default; bytes are not.
+        store.collection("b").insert_one({"x": (1).to_bytes(1, "big")})
+        with pytest.raises(PersistenceError, match="cannot save collection"):
+            store.save(tmp_path / "db")

@@ -68,6 +68,33 @@ class TestProducer:
         assert producer.stats.bytes_sent > 0
         assert producer.stats.throughput() > 0
 
+    def test_stats_rate_properties(self, broker):
+        from repro.streaming import ProducerStats
+        # Fresh stats: no sends yet, rates must not divide by zero.
+        empty = ProducerStats()
+        assert empty.elapsed_seconds == 0.0
+        assert empty.records_per_second == 0.0
+        assert empty.bytes_per_second == 0.0
+        producer = Producer(broker)
+        producer.send_many("alarms", [{"i": i} for i in range(10)])
+        stats = producer.stats
+        assert stats.records_per_second > 0
+        assert stats.bytes_per_second > 0
+        # Consistency: bytes/records ratio equals mean payload size.
+        assert stats.bytes_per_second / stats.records_per_second == (
+            pytest.approx(stats.bytes_sent / stats.records_sent)
+        )
+
+    def test_producer_application_exposes_per_thread_stats(self, broker):
+        from repro.core import ProducerApplication
+        from repro.datasets import SitasysGenerator
+        alarms = SitasysGenerator(num_devices=20, seed=1).generate(40)
+        app = ProducerApplication(broker, "alarms", alarms, seed=1)
+        app.run(60, num_threads=2)
+        assert len(app.stats) == 2
+        assert sum(s.records_sent for s in app.stats) == 60
+        assert all(s.records_per_second >= 0 for s in app.stats)
+
     def test_closed_producer_raises(self, broker):
         producer = Producer(broker)
         producer.close()

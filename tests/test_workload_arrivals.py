@@ -1,0 +1,125 @@
+"""Arrival-process tests: determinism, bounds, rates, dict round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload import (
+    Burst,
+    BurstOverlay,
+    ConstantRate,
+    DiurnalArrivals,
+    PoissonArrivals,
+    arrival_from_dict,
+)
+
+PROCESSES = [
+    ConstantRate(rate=0.5),
+    PoissonArrivals(rate=0.5),
+    DiurnalArrivals(base_rate=0.5, amplitude=0.7, period=3_600.0),
+    BurstOverlay(
+        base=ConstantRate(rate=0.2),
+        bursts=(Burst(start=100.0, duration=50.0, rate=2.0),),
+    ),
+]
+
+
+@pytest.mark.parametrize("process", PROCESSES, ids=lambda p: p.kind)
+class TestAllProcesses:
+    def test_deterministic_under_seed(self, process):
+        a = process.times(1_000.0, seed=7)
+        b = process.times(1_000.0, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self, process):
+        if process.kind == "constant":
+            pytest.skip("constant rate ignores the seed by design")
+        a = process.times(1_000.0, seed=7)
+        b = process.times(1_000.0, seed=8)
+        assert a.size != b.size or not np.array_equal(a, b)
+
+    def test_times_sorted_and_in_range(self, process):
+        times = process.times(1_000.0, seed=3)
+        assert np.all(np.diff(times) >= 0)
+        assert times.size == 0 or (times[0] >= 0 and times[-1] < 1_000.0)
+
+    def test_dict_round_trip(self, process):
+        rebuilt = arrival_from_dict(process.to_dict())
+        np.testing.assert_array_equal(
+            rebuilt.times(500.0, seed=5), process.times(500.0, seed=5)
+        )
+
+
+class TestRates:
+    def test_constant_count_is_exact(self):
+        assert ConstantRate(rate=2.0).times(100.0, seed=0).size == 200
+
+    def test_poisson_count_near_expectation(self):
+        times = PoissonArrivals(rate=1.0).times(20_000.0, seed=1)
+        assert times.size == pytest.approx(20_000, rel=0.05)
+
+    def test_diurnal_peak_beats_trough(self):
+        # Peak of sin at t = period/4; trough at 3*period/4.
+        process = DiurnalArrivals(base_rate=0.5, amplitude=0.9, period=4_000.0)
+        times = process.times(40_000.0, seed=2)
+        phase = np.mod(times, 4_000.0)
+        peak = np.sum((phase >= 500) & (phase < 1_500))
+        trough = np.sum((phase >= 2_500) & (phase < 3_500))
+        assert peak > 3 * trough
+
+    def test_burst_overlay_adds_events_inside_window(self):
+        base = ConstantRate(rate=0.1)
+        overlay = BurstOverlay(
+            base=base, bursts=(Burst(start=200.0, duration=100.0, rate=5.0),)
+        )
+        base_times = base.times(1_000.0, seed=4)
+        overlay_times = overlay.times(1_000.0, seed=4)
+        added = overlay_times.size - base_times.size
+        assert added == pytest.approx(500, rel=0.25)
+        extra = overlay_times[
+            (overlay_times >= 200.0) & (overlay_times < 300.0)
+        ]
+        assert extra.size >= added
+
+    def test_expected_events_includes_clipped_bursts(self):
+        overlay = BurstOverlay(
+            base=ConstantRate(rate=0.1),
+            bursts=(
+                Burst(start=200.0, duration=100.0, rate=5.0),
+                Burst(start=950.0, duration=100.0, rate=2.0),  # half clipped
+            ),
+        )
+        # base 100 + burst 500 + clipped burst 2.0 * 50 = 700
+        assert overlay.expected_events(1_000.0) == pytest.approx(700.0)
+        assert ConstantRate(rate=0.5).expected_events(100.0) == pytest.approx(50.0)
+
+    def test_burst_beyond_duration_is_clipped(self):
+        overlay = BurstOverlay(
+            base=ConstantRate(rate=0.1),
+            bursts=(Burst(start=2_000.0, duration=100.0, rate=5.0),),
+        )
+        times = overlay.times(1_000.0, seed=4)
+        assert times.size == 100  # base only
+
+
+class TestValidation:
+    def test_nonpositive_rate_rejected(self):
+        for bad in (0.0, -1.0):
+            with pytest.raises(ConfigurationError):
+                ConstantRate(rate=bad)
+            with pytest.raises(ConfigurationError):
+                PoissonArrivals(rate=bad)
+
+    def test_diurnal_amplitude_bounds(self):
+        with pytest.raises(ConfigurationError):
+            DiurnalArrivals(base_rate=1.0, amplitude=1.5)
+
+    def test_empty_burst_overlay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BurstOverlay(base=ConstantRate(rate=1.0), bursts=())
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            arrival_from_dict({"kind": "fractal"})
+        with pytest.raises(ConfigurationError):
+            arrival_from_dict("not-a-mapping")

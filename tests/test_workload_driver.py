@@ -1,0 +1,157 @@
+"""LoadDriver tests: timeline determinism, fault injection, end-to-end runs."""
+
+import pytest
+
+from repro.workload import (
+    ConstantRate,
+    DatasetSpec,
+    FaultInjection,
+    LoadDriver,
+    PoissonArrivals,
+    Scenario,
+)
+
+
+def small_scenario(**overrides) -> Scenario:
+    base = dict(
+        name="unit",
+        arrivals=ConstantRate(rate=2.0),
+        duration=60.0,
+        dataset=DatasetSpec(
+            num_devices=50, train_alarms=200, preload_history=50
+        ),
+        producers=2,
+        partitions=2,
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestTimeline:
+    def test_deterministic_for_fixed_seed(self):
+        a = LoadDriver(small_scenario(), seed=5).build_timeline()
+        b = LoadDriver(small_scenario(), seed=5).build_timeline()
+        assert len(a) == len(b)
+        assert [e.time for e in a] == [e.time for e in b]
+        assert [e.document for e in a] == [e.document for e in b]
+
+    def test_seed_changes_timeline(self):
+        a = LoadDriver(small_scenario(), seed=5).build_timeline()
+        b = LoadDriver(small_scenario(), seed=6).build_timeline()
+        assert [e.document["device_address"] for e in a] != \
+               [e.document["device_address"] for e in b]
+
+    def test_events_sorted_and_spread_over_producers(self):
+        timeline = LoadDriver(small_scenario(producers=3), seed=1).build_timeline()
+        times = [e.time for e in timeline]
+        assert times == sorted(times)
+        assert {e.producer for e in timeline} == {0, 1, 2}
+
+    def test_alarm_type_bias_shifts_mix(self):
+        plain = LoadDriver(small_scenario(), seed=2).build_timeline()
+        biased = LoadDriver(
+            small_scenario(dataset=DatasetSpec(
+                num_devices=50, train_alarms=200,
+                alarm_type_bias={"technical": 25.0},
+            )),
+            seed=2,
+        ).build_timeline()
+        share = lambda tl: sum(
+            1 for e in tl if e.document["alarm_type"] == "technical"
+        ) / len(tl)
+        assert share(biased) > share(plain) + 0.2
+
+    def test_incident_text_attached(self):
+        timeline = LoadDriver(
+            small_scenario(dataset=DatasetSpec(
+                num_devices=50, train_alarms=200, attach_incident_text=True,
+            )),
+            seed=3,
+        ).build_timeline()
+        assert all("incident_text" in e.document for e in timeline)
+        assert any(len(e.document["incident_text"]) > 20 for e in timeline)
+
+
+class TestFaults:
+    def test_region_outage_drops_events_only_in_window(self):
+        fault = FaultInjection(kind="region_outage", start=10.0, end=30.0,
+                               params={"fraction": 0.5})
+        base = LoadDriver(small_scenario(), seed=4).build_timeline()
+        faulted = LoadDriver(small_scenario(faults=(fault,)), seed=4).build_timeline()
+        assert len(faulted) < len(base)
+        outside = lambda tl: [e for e in tl if not 10.0 <= e.time < 30.0]
+        assert len(outside(faulted)) == len(outside(base))
+
+    def test_duplicate_delivery_adds_marked_redeliveries(self):
+        fault = FaultInjection(kind="duplicate_delivery", start=0.0, end=60.0,
+                               params={"probability": 1.0})
+        base = LoadDriver(small_scenario(), seed=4).build_timeline()
+        faulted = LoadDriver(small_scenario(faults=(fault,)), seed=4).build_timeline()
+        assert len(faulted) == 2 * len(base)
+        redelivered = [e for e in faulted if e.document.get("_redelivery")]
+        assert len(redelivered) == len(base)
+
+    def test_producer_stall_delays_but_keeps_events(self):
+        fault = FaultInjection(kind="producer_stall", start=10.0, end=30.0)
+        base = LoadDriver(small_scenario(), seed=4).build_timeline()
+        faulted = LoadDriver(small_scenario(faults=(fault,)), seed=4).build_timeline()
+        assert len(faulted) == len(base)
+        assert not any(10.0 <= e.time < 30.0 for e in faulted)
+        backlog = [e for e in faulted if 30.0 <= e.time < 30.1]
+        assert len(backlog) >= 40  # ~20s * 2/s flushed at the window end
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def report(self):
+        driver = LoadDriver(small_scenario(), seed=7, speedup=6_000.0)
+        return driver.run(max_batch_records=50)
+
+    def test_every_scheduled_event_is_verified(self, report):
+        assert report.events_scheduled == 120
+        assert report.records_sent == 120
+        assert report.consumer.alarms_processed == 120
+        assert report.ops.alarms == 120
+
+    def test_ops_summary_populated(self, report):
+        assert report.ops.windows >= 1
+        assert report.ops.throughput > 0
+        assert 0.0 <= report.ops.latency_p50 <= report.ops.latency_p99
+        assert 0.0 <= report.ops.verification_rate <= 1.0
+        assert "throughput" in report.ops_report
+
+    def test_producer_rates_exposed(self, report):
+        assert report.produce_records_per_second > 0
+        assert report.produce_bytes_per_second > 0
+        for stats in report.producer_stats:
+            assert stats.records_per_second >= 0
+
+    def test_rerun_sends_identical_counts(self, report):
+        again = LoadDriver(small_scenario(), seed=7, speedup=6_000.0).run(
+            max_batch_records=50
+        )
+        assert again.records_sent == report.records_sent
+        assert again.events_scheduled == report.events_scheduled
+
+    def test_same_driver_runs_twice_with_clean_metrics(self):
+        driver = LoadDriver(small_scenario(), seed=9, speedup=6_000.0)
+        first = driver.run(max_batch_records=50)
+        second = driver.run(max_batch_records=50)
+        # Each run gets fresh ops metrics: no cross-run accumulation.
+        assert first.ops.alarms == first.records_sent == 120
+        assert second.ops.alarms == second.records_sent == 120
+        assert 0.0 <= second.ops.sla_compliance <= 1.0
+
+    def test_backpressure_caps_inflight_records(self):
+        scenario = small_scenario(
+            arrivals=PoissonArrivals(rate=20.0), max_inflight=10, producers=1,
+        )
+        driver = LoadDriver(scenario, seed=8, speedup=60_000.0)
+        report = driver.run(max_batch_records=5)
+        assert report.backpressure_waits > 0
+        assert report.consumer.alarms_processed == report.records_sent
+
+    def test_invalid_speedup_rejected(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            LoadDriver(small_scenario(), speedup=0.0)

@@ -1,0 +1,137 @@
+"""OpsMetrics tests: latency percentiles, SLA/MTTR, trend reports."""
+
+import time
+
+import pytest
+
+from repro.core import Alarm, Verification
+from repro.storage import DocumentStore
+from repro.workload import OpsMetrics, PRODUCED_AT_KEY
+
+
+def make_verification(age_seconds: float, is_false: bool = True) -> Verification:
+    """A verification whose alarm was 'produced' ``age_seconds`` ago."""
+    alarm = Alarm(
+        device_address="00:1A:00:01",
+        zip_code="8001",
+        timestamp=1_450_000_000.0,
+        alarm_type="intrusion",
+        property_type="residential",
+        duration_seconds=10.0,
+        extras={PRODUCED_AT_KEY: time.perf_counter() - age_seconds},
+    )
+    return Verification(
+        alarm=alarm, is_false=is_false,
+        probability_false=0.9 if is_false else 0.1,
+    )
+
+
+class TestObservation:
+    def test_counts_latencies_and_rates(self):
+        ops = OpsMetrics()
+        doc = ops.observe_window([
+            make_verification(0.100, is_false=True),
+            make_verification(0.200, is_false=True),
+            make_verification(0.300, is_false=False),
+        ])
+        assert ops.alarms == 3 and ops.windows == 1
+        assert doc["count"] == 3
+        assert doc["false_rate"] == pytest.approx(2 / 3)
+        assert 0.09 < doc["latency_p50"] < 0.31
+        percentiles = ops.latency_percentiles()
+        assert percentiles["p50"] <= percentiles["p95"] <= percentiles["p99"]
+        assert ops.verification_rate() == pytest.approx(2 / 3)
+
+    def test_windows_persist_to_store(self):
+        store = DocumentStore()
+        ops = OpsMetrics(store, collection_name="ops")
+        ops.observe_window([make_verification(0.01)])
+        ops.observe_window([make_verification(0.01)])
+        docs = store.collection("ops").find(sort="window")
+        assert [d["window"] for d in docs] == [0, 1]
+        assert all(d["count"] == 1 for d in docs)
+
+    def test_shared_store_keeps_runs_separate(self):
+        store = DocumentStore()
+        first = OpsMetrics(store, sla_p95_seconds=0.05)
+        first.observe_window([make_verification(0.5)])     # breach in run 0
+        second = OpsMetrics(store, sla_p95_seconds=0.05)
+        second.observe_window([make_verification(0.001)])  # healthy run 1
+        assert second.run == first.run + 1
+        assert second.sla_compliance() == 1.0
+        assert second.mttr_seconds() is None
+        assert first.sla_compliance() == 0.0
+        assert sum(r["alarms"] for r in second.verification_rate_trend()) == 1
+
+    def test_alarms_without_stamp_count_but_skip_latency(self):
+        ops = OpsMetrics()
+        alarm = Alarm("a", "8000", 0.0, "fire", "public", 5.0)
+        ops.observe_window([Verification(alarm, False, 0.2)])
+        assert ops.alarms == 1
+        assert ops.latency_percentiles() == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_empty_run_summary_is_sane(self):
+        summary = OpsMetrics().summary()
+        assert summary.alarms == 0
+        assert summary.sla_compliance == 1.0
+        assert summary.mttr_seconds is None
+        assert summary.trend == "stable"
+
+
+class TestSlaAndMttr:
+    def test_sla_compliance_fraction(self):
+        ops = OpsMetrics(sla_p95_seconds=0.15)
+        ops.observe_window([make_verification(0.05)])   # healthy
+        ops.observe_window([make_verification(0.40)])   # breach
+        ops.observe_window([make_verification(0.05)])   # recovered
+        assert ops.sla_compliance() == pytest.approx(2 / 3)
+        assert ops.mttr_seconds() is not None
+        assert ops.mttr_seconds() >= 0.0
+
+    def test_no_breach_means_no_mttr(self):
+        ops = OpsMetrics(sla_p95_seconds=10.0)
+        ops.observe_window([make_verification(0.01)])
+        assert ops.mttr_seconds() is None
+
+    def test_breach_in_final_window_is_not_a_zero_recovery(self):
+        # An unrecovered breach that starts in the last window must not
+        # average the MTTR toward zero (the best number for the worst case).
+        ops = OpsMetrics(sla_p95_seconds=0.05)
+        ops.observe_window([make_verification(0.001)])  # healthy
+        ops.observe_window([make_verification(0.5)])    # breach, run ends
+        assert ops.mttr_seconds() is None
+
+
+class TestTrend:
+    def test_rising_false_rate_detected(self):
+        ops = OpsMetrics()
+        for _ in range(4):
+            ops.observe_window([make_verification(0.01, is_false=False)])
+        for _ in range(4):
+            ops.observe_window([make_verification(0.01, is_false=True)])
+        assert ops.trend_direction() == "rising"
+
+    def test_falling_false_rate_detected(self):
+        ops = OpsMetrics()
+        for _ in range(4):
+            ops.observe_window([make_verification(0.01, is_false=True)])
+        for _ in range(4):
+            ops.observe_window([make_verification(0.01, is_false=False)])
+        assert ops.trend_direction() == "falling"
+
+    def test_trend_buckets_cover_all_windows(self):
+        ops = OpsMetrics()
+        for _ in range(13):
+            ops.observe_window([make_verification(0.01)])
+        trend = ops.verification_rate_trend(buckets=6)
+        assert 1 <= len(trend) <= 6
+        assert sum(row["alarms"] for row in trend) == 13
+
+    def test_render_report_mentions_key_metrics(self):
+        ops = OpsMetrics()
+        ops.observe_window([make_verification(0.02)])
+        report = ops.render_report()
+        assert "throughput" in report
+        assert "p50/p95/p99" in report
+        assert "verification rate" in report
+        assert "SLA" in report

@@ -1,0 +1,131 @@
+"""Scenario spec tests: validation, round-trips, library resolution."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workload import (
+    ConstantRate,
+    DatasetSpec,
+    FaultInjection,
+    Scenario,
+    load_scenario,
+    scenario,
+    scenario_names,
+)
+
+
+def make_scenario(**overrides) -> Scenario:
+    base = dict(
+        name="test",
+        arrivals=ConstantRate(rate=1.0),
+        duration=600.0,
+        faults=(
+            FaultInjection(kind="region_outage", start=10.0, end=60.0,
+                           params={"fraction": 0.3}),
+        ),
+        dataset=DatasetSpec(alarm_type_bias={"fire": 2.0}),
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_identity(self):
+        original = make_scenario()
+        assert Scenario.from_dict(original.to_dict()).to_dict() == original.to_dict()
+
+    def test_json_round_trip_is_identity(self):
+        original = make_scenario(serializer="reflective", producers=3)
+        rebuilt = Scenario.from_json(original.to_json())
+        assert rebuilt == original
+
+    def test_file_round_trip(self, tmp_path):
+        original = make_scenario()
+        path = tmp_path / "scenario.json"
+        path.write_text(original.to_json(), encoding="utf-8")
+        assert Scenario.from_file(path) == original
+
+    def test_with_seed_changes_only_seed(self):
+        original = make_scenario(seed=1)
+        reseeded = original.with_seed(99)
+        assert reseeded.seed == 99
+        assert reseeded.to_dict() | {"seed": 1} == original.to_dict()
+
+
+class TestValidation:
+    def test_required_keys_enforced(self):
+        with pytest.raises(ConfigurationError, match="missing required"):
+            Scenario.from_dict({"name": "x"})
+
+    def test_invalid_json_raises(self):
+        with pytest.raises(ConfigurationError, match="invalid scenario JSON"):
+            Scenario.from_json("{nope")
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="cannot read"):
+            Scenario.from_file(tmp_path / "nope.json")
+
+    @pytest.mark.parametrize("overrides", [
+        {"name": ""},
+        {"duration": 0.0},
+        {"producers": 0},
+        {"partitions": 0},
+        {"serializer": "protobuf"},
+        {"max_inflight": 0},
+    ])
+    def test_bad_scalar_fields_rejected(self, overrides):
+        with pytest.raises(ConfigurationError):
+            make_scenario(**overrides)
+
+    def test_alarm_type_bias_strings_coerced(self):
+        # Scenario JSON may carry numbers as strings; coerce like the
+        # other numeric fields instead of failing later with a TypeError.
+        spec = DatasetSpec(alarm_type_bias={"fire": "2.5"})
+        assert spec.alarm_type_bias == {"fire": 2.5}
+        with pytest.raises(ConfigurationError, match="must be a number"):
+            DatasetSpec(alarm_type_bias={"fire": "hot"})
+
+    def test_bad_dataset_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DatasetSpec(num_devices=5)
+        with pytest.raises(ConfigurationError):
+            DatasetSpec(train_alarms=10)
+        with pytest.raises(ConfigurationError):
+            DatasetSpec(preload_history=-1)
+        with pytest.raises(ConfigurationError):
+            DatasetSpec(alarm_type_bias={"fire": 0.0})
+
+    def test_bad_faults_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjection(kind="meteor", start=0.0, end=1.0)
+        with pytest.raises(ConfigurationError):
+            FaultInjection(kind="region_outage", start=5.0, end=5.0)
+        with pytest.raises(ConfigurationError):
+            FaultInjection(kind="region_outage", start=0.0, end=1.0,
+                           params={"fraction": 2.0})
+        with pytest.raises(ConfigurationError):
+            FaultInjection(kind="duplicate_delivery", start=0.0, end=1.0,
+                           params={"probability": 0.0})
+
+
+class TestLibrary:
+    def test_library_has_at_least_six_presets(self):
+        assert len(scenario_names()) >= 6
+
+    def test_every_preset_builds_and_round_trips(self):
+        for name in scenario_names():
+            preset = scenario(name)
+            assert preset.name == name
+            assert Scenario.from_json(preset.to_json()) == preset
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown scenario"):
+            scenario("quiet-sunday")
+
+    def test_load_scenario_resolves_name_and_file(self, tmp_path):
+        assert load_scenario("storm").name == "storm"
+        path = tmp_path / "custom.json"
+        path.write_text(make_scenario(name="custom").to_json(), encoding="utf-8")
+        assert load_scenario(str(path)).name == "custom"
+        with pytest.raises(ConfigurationError, match="neither"):
+            load_scenario("no-such-thing")
