@@ -1,0 +1,248 @@
+"""Streaming-substrate concurrency microbench (tier-1 fast).
+
+Measures the mechanics behind the paper's Section 5.5.2 throughput fixes on
+the refactored broker: batched versus per-record appends under a
+4-producer/2-consumer contention workload, long-poll wakeup latency, and
+end-to-end producer/consumer throughput through the public APIs.
+
+Results are recorded to ``BENCH_streaming.json`` at the repository root (CI
+uploads it as an artifact), so the streaming perf trajectory is tracked
+from this PR onward.  Unlike the paper-figure benches this file is *not*
+marked ``slow``: it runs in seconds and doubles as a regression test for
+the concurrency guarantees (batch append >= 3x per-record append; a blocked
+long-poll returns within 50 ms of the append that satisfies it).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+
+from repro.streaming import Broker, Consumer, Producer, TopicPartition
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_streaming.json"
+
+NUM_PRODUCERS = 4
+NUM_CONSUMERS = 2
+NUM_PARTITIONS = 4
+RECORDS_PER_PRODUCER = 5_000
+BATCH_SIZE = 250
+PAYLOAD = (
+    b'{"device_address":"dev-0001","alarm_type":"burglary",'
+    b'"locality":"district-7","duration":42.5}'
+)
+
+
+def record_result(name: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into ``BENCH_streaming.json``."""
+    data: dict = {"schema": "repro.streaming.concurrency/v1", "benchmarks": {}}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except (ValueError, OSError):
+            pass
+    data.setdefault("benchmarks", {})[name] = payload
+    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def run_contention_workload(batched: bool) -> float:
+    """4 producers appending raw records, 2 consumers long-polling them off.
+
+    Producer ``i`` owns partition ``i`` so per-partition counts are exact;
+    the two consumers split the partitions and fetch with a long-poll, which
+    keeps them contending with the appenders for the whole run.  Returns the
+    wall time until every record is appended *and* consumed.
+    """
+    broker = Broker()
+    broker.create_topic("bench", num_partitions=NUM_PARTITIONS)
+
+    def produce(index: int) -> None:
+        if batched:
+            for start in range(0, RECORDS_PER_PRODUCER, BATCH_SIZE):
+                count = min(BATCH_SIZE, RECORDS_PER_PRODUCER - start)
+                broker.append_batch("bench", index, [(None, PAYLOAD)] * count)
+        else:
+            for _ in range(RECORDS_PER_PRODUCER):
+                broker.append("bench", index, None, PAYLOAD)
+
+    def consume(index: int) -> None:
+        assigned = [
+            TopicPartition("bench", p)
+            for p in range(NUM_PARTITIONS)
+            if p % NUM_CONSUMERS == index
+        ]
+        positions = {tp: 0 for tp in assigned}
+        goal = RECORDS_PER_PRODUCER * len(assigned)
+        seen = 0
+        while seen < goal:
+            got = 0
+            for tp in assigned:
+                records = broker.fetch(tp, positions[tp], max_records=1_000)
+                positions[tp] += len(records)
+                got += len(records)
+            seen += got
+            if not got and seen < goal:
+                broker.wait_for_any(positions, timeout=0.05)
+
+    threads = [
+        threading.Thread(target=produce, args=(i,), name=f"bench-prod-{i}")
+        for i in range(NUM_PRODUCERS)
+    ] + [
+        threading.Thread(target=consume, args=(i,), name=f"bench-cons-{i}")
+        for i in range(NUM_CONSUMERS)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    assert broker.total_records("bench") == RECORDS_PER_PRODUCER * NUM_PRODUCERS
+    return elapsed
+
+
+def test_batch_append_beats_per_record_append():
+    """Batched appends must be >= 3x faster under producer/consumer contention."""
+    # Warm-up pass so interpreter/JIT-free costs (allocator, imports) do not
+    # bias the first measured mode.
+    run_contention_workload(batched=True)
+    per_record_seconds = min(run_contention_workload(batched=False) for _ in range(2))
+    batched_seconds = min(run_contention_workload(batched=True) for _ in range(2))
+    total = RECORDS_PER_PRODUCER * NUM_PRODUCERS
+    speedup = per_record_seconds / batched_seconds
+    record_result("batch_vs_single_append", {
+        "producers": NUM_PRODUCERS,
+        "consumers": NUM_CONSUMERS,
+        "partitions": NUM_PARTITIONS,
+        "records": total,
+        "batch_size": BATCH_SIZE,
+        "per_record_seconds": round(per_record_seconds, 6),
+        "batched_seconds": round(batched_seconds, 6),
+        "per_record_records_per_second": round(total / per_record_seconds),
+        "batched_records_per_second": round(total / batched_seconds),
+        "speedup": round(speedup, 2),
+    })
+    print(
+        f"\nbatch vs single append ({NUM_PRODUCERS}p/{NUM_CONSUMERS}c, "
+        f"{total} records): per-record {per_record_seconds:.3f}s, "
+        f"batched {batched_seconds:.3f}s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 3.0, (
+        f"batched append only {speedup:.2f}x faster than per-record "
+        f"({batched_seconds:.3f}s vs {per_record_seconds:.3f}s)"
+    )
+
+
+def test_long_poll_wakeup_latency():
+    """A blocked fetch(timeout=...) must return within 50 ms of the append."""
+    broker = Broker()
+    broker.create_topic("bench", num_partitions=1)
+    tp = TopicPartition("bench", 0)
+    latencies = []
+    for offset in range(20):
+        blocked = threading.Event()
+        returned_at = {}
+
+        def fetch_blocking():
+            blocked.set()
+            records = broker.fetch(tp, offset, max_records=10, timeout=2.0)
+            returned_at["t"] = time.perf_counter()
+            returned_at["n"] = len(records)
+
+        waiter = threading.Thread(target=fetch_blocking)
+        waiter.start()
+        blocked.wait()
+        time.sleep(0.002)  # let the fetch enter its condition wait
+        appended_at = time.perf_counter()
+        broker.append("bench", 0, None, PAYLOAD)
+        waiter.join(timeout=5.0)
+        assert not waiter.is_alive()
+        assert returned_at["n"] == 1
+        latencies.append(returned_at["t"] - appended_at)
+
+    latencies.sort()
+    worst = latencies[-1]
+    median = latencies[len(latencies) // 2]
+    record_result("long_poll_wakeup", {
+        "iterations": len(latencies),
+        "median_ms": round(median * 1e3, 3),
+        "max_ms": round(worst * 1e3, 3),
+    })
+    print(
+        f"\nlong-poll wakeup latency: median {median * 1e3:.2f} ms, "
+        f"max {worst * 1e3:.2f} ms over {len(latencies)} wakeups"
+    )
+    assert worst < 0.05, f"wakeup took {worst * 1e3:.1f} ms (budget 50 ms)"
+
+
+def test_end_to_end_batched_pipeline_throughput():
+    """Producer/Consumer API throughput: 4 batched senders, 2 group members.
+
+    Exercises the whole refactored path — serialize outside the lock, group
+    into per-partition ``append_batch`` calls, long-poll ``poll(timeout=)``,
+    batched deserialization — and records the resulting records/second.
+    Every record must be consumed exactly once across the group.
+    """
+    broker = Broker()
+    broker.create_topic("bench", num_partitions=NUM_PARTITIONS)
+    producer = Producer(broker)  # one shared, thread-safe producer
+    per_thread = 2_500
+    total = per_thread * NUM_PRODUCERS
+    consumed: list[int] = [0] * NUM_CONSUMERS
+
+    def produce(index: int) -> None:
+        producer.send_many(
+            "bench",
+            ({"t": index, "i": i, "device_address": f"dev-{i % 50}"}
+             for i in range(per_thread)),
+            key_fn=lambda value: value["device_address"],
+            batch_size=BATCH_SIZE,
+        )
+
+    def consume(index: int) -> None:
+        consumer = Consumer(broker, "bench-group")
+        consumer.subscribe("bench", num_members=NUM_CONSUMERS, member_index=index)
+        count = 0
+        while True:
+            values = consumer.poll_values(max_records=2_000, timeout=0.1)
+            if values:
+                count += len(values)
+                continue
+            if not any(thread.is_alive() for thread in producer_threads):
+                # producers are done: one final drain, then stop
+                values = consumer.poll_values(max_records=100_000)
+                count += len(values)
+                if not values:
+                    break
+        consumer.commit()
+        consumed[index] = count
+
+    producer_threads = [
+        threading.Thread(target=produce, args=(i,)) for i in range(NUM_PRODUCERS)
+    ]
+    consumer_threads = [
+        threading.Thread(target=consume, args=(i,)) for i in range(NUM_CONSUMERS)
+    ]
+    started = time.perf_counter()
+    for thread in producer_threads + consumer_threads:
+        thread.start()
+    for thread in producer_threads + consumer_threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+
+    assert sum(consumed) == total, f"consumed {sum(consumed)} of {total}"
+    throughput = total / elapsed
+    record_result("end_to_end_batched_pipeline", {
+        "producers": NUM_PRODUCERS,
+        "consumers": NUM_CONSUMERS,
+        "records": total,
+        "wall_seconds": round(elapsed, 4),
+        "records_per_second": round(throughput),
+        "producer_records_per_second": round(producer.stats.records_per_second),
+    })
+    print(
+        f"\nend-to-end batched pipeline: {total} records in {elapsed:.3f}s "
+        f"({throughput:,.0f} records/s)"
+    )

@@ -199,6 +199,9 @@ class ConsumerApplication:
         This is the completion-driven variant of :meth:`run` used by the
         load driver: producers signal completion through ``done`` and the
         consumer keeps going until it has caught up with the log end.
+        When idle, the consumer blocks on the broker's append notification
+        (waking as soon as a record lands); ``idle_sleep`` only bounds how
+        long one blocking wait can defer the next ``done()`` check.
         """
         report = ConsumerRunReport()
         started = time.perf_counter()
@@ -218,26 +221,32 @@ class ConsumerApplication:
                 # flipped must still be consumed.
                 finishing = True
             else:
-                time.sleep(idle_sleep)
+                self.context.wait_for_records(idle_sleep)
         report.elapsed_seconds = time.perf_counter() - started
         return report
 
     def run(self, duration_seconds: float,
-            max_records: int | None = None) -> ConsumerRunReport:
+            max_records: int | None = None,
+            idle_wait: float = 0.02) -> ConsumerRunReport:
         """Process windows for ``duration_seconds`` of wall time.
 
         Use together with a concurrently-running producer for the
-        Section 5.5 throughput experiments.
+        Section 5.5 throughput experiments.  Idle periods block on the
+        broker's append notification (bounded by ``idle_wait`` per wait so
+        the duration deadline stays responsive) instead of sleep-polling.
         """
         report = ConsumerRunReport()
         started = time.perf_counter()
         deadline = started + duration_seconds
-        while time.perf_counter() < deadline:
+        while True:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
             processed = self.context.process_available(
                 lambda batch: self._handle_window(batch, report),
                 max_records=max_records,
             )
             if not processed:
-                time.sleep(0.02)
+                self.context.wait_for_records(min(idle_wait, remaining))
         report.elapsed_seconds = time.perf_counter() - started
         return report

@@ -75,28 +75,32 @@ class ProducerApplication:
         return [self.test_alarms[int(i)].to_document() for i in picks]
 
     def run(self, num_alarms: int, rate_limit: float | None = None,
-            num_threads: int = 1) -> ProducerRunReport:
+            num_threads: int = 1, batch_size: int = 500) -> ProducerRunReport:
         """Produce ``num_alarms`` alarms, optionally rate-limited / threaded.
 
         Records are keyed by device address so one device's alarms preserve
-        order within a partition.
+        order within a partition.  ``batch_size`` bounds how many records
+        each thread groups into one batched broker append (the fast path);
+        ``batch_size=1`` reproduces the per-record configuration.
         """
         if num_alarms < 1:
             raise ConfigurationError(f"num_alarms must be >= 1, got {num_alarms}")
         if num_threads < 1:
             raise ConfigurationError(f"num_threads must be >= 1, got {num_threads}")
+        if batch_size < 1:
+            raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
         per_thread = [num_alarms // num_threads] * num_threads
         per_thread[0] += num_alarms - sum(per_thread)
         self.stats = []
 
         started = time.perf_counter()
         if num_threads == 1:
-            self._produce(per_thread[0], 0, rate_limit)
+            self._produce(per_thread[0], 0, rate_limit, batch_size)
         else:
             workers = [
                 threading.Thread(
                     target=self._produce,
-                    args=(count, thread_index, rate_limit),
+                    args=(count, thread_index, rate_limit, batch_size),
                 )
                 for thread_index, count in enumerate(per_thread)
                 if count > 0
@@ -110,13 +114,15 @@ class ProducerApplication:
             records_sent=num_alarms, elapsed_seconds=elapsed, threads=num_threads
         )
 
-    def _produce(self, count: int, seed_offset: int, rate_limit: float | None) -> None:
+    def _produce(self, count: int, seed_offset: int, rate_limit: float | None,
+                 batch_size: int = 500) -> None:
         producer = Producer(
             self.broker, serializer=self.serializer, rate_limit=rate_limit
         )
         self.stats.append(producer.stats)
         documents = self._documents(count, seed_offset)
         producer.send_many(
-            self.topic, documents, key_fn=lambda doc: doc["device_address"]
+            self.topic, documents, key_fn=lambda doc: doc["device_address"],
+            batch_size=batch_size,
         )
         producer.close()

@@ -3,10 +3,13 @@
 Public API:
 
 * :class:`~repro.streaming.broker.Broker` — partitioned append-only logs
-  with consumer-group committed offsets.
+  with consumer-group committed offsets, per-partition locking, batched
+  ``append_batch`` and blocking long-poll ``fetch(timeout=...)``.
 * :class:`~repro.streaming.producer.Producer` /
   :class:`~repro.streaming.consumer.Consumer` — serialize/deserialize
-  records; offset commit gives exactly-once processing.
+  records (batched on both sides); offset commit gives exactly-once
+  processing; ``poll(timeout=...)`` blocks for new records instead of
+  sleep-polling.
 * :class:`~repro.streaming.dstream.StreamingContext` — micro-batch
   processing with per-batch datasets.
 * :class:`~repro.streaming.rdd.PartitionedDataset` — lazy cacheable

@@ -7,73 +7,177 @@ a record is neither skipped nor double-processed as long as processing and
 offset commits happen in order, because re-reading after a failure resumes
 from the last committed offset.
 
-Thread safety: all public methods take an internal lock, so one broker can be
-shared by multi-threaded producer and consumer applications (the setup used
-for the throughput experiments in Section 5.5.2).
+Thread safety and the locking model
+-----------------------------------
+The broker is designed for many producer and consumer threads sharing one
+instance (the setup of the Section 5.5.2 throughput experiments), so there
+is deliberately no global data lock:
+
+* **Topic registry** (``_topics``) — read-mostly.  Lookups read the dict
+  without a lock (an atomic operation under CPython); only topic
+  creation/deletion takes ``_registry_lock``.
+* **Partition data** — each :class:`PartitionLog` owns a
+  ``threading.Condition`` guarding its records.  Appends to different
+  partitions never contend, and a blocked long-poll ``fetch(timeout=...)``
+  waits on the partition's condition and is woken by the next append (or by
+  ``delete_topic``, which raises :class:`UnknownTopicError` in the waiter).
+* **Committed offsets** — a separate ``_committed_lock``.
+* **Activity condition** — a broker-wide condition/version counter bumped
+  on every append, commit and topic deletion.  It carries no data; it only
+  lets callers block until *something* changed (:meth:`wait_for_any` for
+  "new records on any of these partitions", :meth:`wait_for_activity` for
+  backpressure-style predicates) instead of sleep-polling.  The notify is
+  gated on a registered-waiter count, so with nobody blocked the hot
+  produce path never acquires this lock.
+
+Batching: :meth:`Broker.append_batch` appends many records under a single
+partition-lock acquisition and a single wakeup, which is what makes the
+producer's batched ``send_many`` path cheap (see
+``benchmarks/test_streaming_concurrency.py``).
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
 
 from repro.errors import (
     OffsetOutOfRangeError,
     UnknownPartitionError,
     UnknownTopicError,
 )
-from repro.streaming.message import Record, TopicPartition, monotonic_timestamp
+from repro.streaming.message import (
+    EMPTY_HEADERS,
+    Record,
+    TopicPartition,
+    monotonic_timestamps,
+)
 
 __all__ = ["Broker", "PartitionLog", "TopicMetadata"]
 
+#: One entry of an ``append_batch`` call: ``(key, value)`` optionally
+#: followed by ``timestamp`` and ``headers`` (``None`` means "assign a
+#: monotonic timestamp" / "no headers").
+BatchEntry = Sequence
+
 
 class PartitionLog:
-    """Append-only record log for a single partition."""
+    """Append-only record log for a single partition.
+
+    All access is guarded by the log's own condition variable, so appends to
+    different partitions of the same broker proceed in parallel.  ``read``
+    with a positive ``timeout`` long-polls: it blocks on the condition until
+    an append lands (the appender notifies) or the deadline passes.
+    """
 
     def __init__(self, topic: str, partition: int):
         self.topic = topic
         self.partition = partition
         self._records: list[Record] = []
+        self._size_bytes = 0  # running counter: size_bytes() is O(1)
+        self._cond = threading.Condition()
+        self._deleted = False
 
     def append(self, key: bytes | None, value: bytes, timestamp: float | None = None,
                headers: dict[str, str] | None = None) -> int:
         """Append one record and return its assigned offset."""
-        offset = len(self._records)
-        record = Record(
-            topic=self.topic,
-            partition=self.partition,
-            offset=offset,
-            key=key,
-            value=value,
-            timestamp=timestamp if timestamp is not None else monotonic_timestamp(),
-            headers=headers or {},
-        )
-        self._records.append(record)
-        return offset
+        return self.append_batch([(key, value, timestamp, headers)])[0]
 
-    def read(self, offset: int, max_records: int) -> list[Record]:
+    def append_batch(self, entries: Iterable[BatchEntry]) -> list[int]:
+        """Append many records under one lock acquisition; returns their offsets.
+
+        Each entry is ``(key, value)``, ``(key, value, timestamp)`` or
+        ``(key, value, timestamp, headers)``.  Missing or ``None`` timestamps
+        get strictly-increasing monotonic stamps assigned in batch.
+        """
+        if not isinstance(entries, (list, tuple)):
+            entries = list(entries)
+        if not entries:
+            return []
+        count = len(entries)
+        stamps = monotonic_timestamps(count)
+        topic, partition = self.topic, self.partition
+        with self._cond:
+            self._check_not_deleted()
+            records = self._records
+            base = len(records)
+            added_bytes = 0
+            for i, entry in enumerate(entries):
+                key = entry[0]
+                value = entry[1]
+                timestamp = entry[2] if len(entry) > 2 else None
+                headers = entry[3] if len(entry) > 3 else None
+                record = Record(
+                    topic, partition, base + i, key, value,
+                    timestamp if timestamp is not None else stamps[i],
+                    headers if headers else EMPTY_HEADERS,
+                )
+                records.append(record)
+                if headers:
+                    added_bytes += record.size_bytes()
+                else:
+                    # headerless fast path of Record.size_bytes()
+                    added_bytes += len(value) + (len(key) if key else 0)
+            self._size_bytes += added_bytes
+            self._cond.notify_all()
+        return list(range(base, base + count))
+
+    def read(self, offset: int, max_records: int,
+             timeout: float | None = None) -> list[Record]:
         """Read up to ``max_records`` records starting at ``offset``.
 
         Reading exactly at the end of the log returns an empty list (there is
         simply nothing new yet); reading beyond it or at a negative offset is
         an error, mirroring Kafka's ``OffsetOutOfRange``.
+
+        With a positive ``timeout`` a read at the log end blocks until a
+        record is appended or the deadline passes (long-poll); ``timeout=0``
+        or ``None`` returns immediately.  If the topic is deleted while
+        waiting, the blocked reader wakes and raises
+        :class:`UnknownTopicError`.
         """
-        if offset < 0 or offset > len(self._records):
-            raise OffsetOutOfRangeError(
-                f"{self.topic}[{self.partition}]: offset {offset} outside [0, {len(self._records)}]"
-            )
-        return self._records[offset : offset + max_records]
+        deadline = (time.monotonic() + timeout) if timeout else None
+        with self._cond:
+            self._check_not_deleted()
+            if offset < 0 or offset > len(self._records):
+                raise OffsetOutOfRangeError(
+                    f"{self.topic}[{self.partition}]: offset {offset} outside [0, {len(self._records)}]"
+                )
+            while deadline is not None and offset == len(self._records):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+                self._check_not_deleted()
+            return self._records[offset : offset + max_records]
 
     def end_offset(self) -> int:
         """The offset that the next appended record will receive."""
-        return len(self._records)
+        with self._cond:
+            return len(self._records)
 
     def size_bytes(self) -> int:
-        """Total payload bytes currently retained in the log."""
-        return sum(record.size_bytes() for record in self._records)
+        """Total payload bytes currently retained in the log (O(1))."""
+        with self._cond:
+            return self._size_bytes
+
+    def mark_deleted(self) -> None:
+        """Mark the log deleted and wake every blocked reader."""
+        with self._cond:
+            self._deleted = True
+            self._cond.notify_all()
+
+    def _check_not_deleted(self) -> None:
+        if self._deleted:
+            raise UnknownTopicError(
+                f"topic {self.topic!r} was deleted"
+            )
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._cond:
+            return len(self._records)
 
 
 @dataclass
@@ -92,16 +196,26 @@ class TopicMetadata:
 class Broker:
     """An in-process, thread-safe, partitioned message broker.
 
-    Supports topic creation, record append, offset-based fetch, per-group
-    committed offsets, and end-offset (high watermark) queries — the subset
-    of the Kafka protocol that the paper's system exercises.
+    Supports topic creation, single and batched record append, offset-based
+    fetch with optional blocking long-poll, per-group committed offsets, and
+    end-offset (high watermark) queries — the subset of the Kafka protocol
+    that the paper's system exercises.  See the module docstring for the
+    locking model.
     """
 
     def __init__(self) -> None:
         self._topics: dict[str, TopicMetadata] = {}
+        self._registry_lock = threading.Lock()  # guards _topics mutation
         # committed[(group, TopicPartition)] = next offset to consume
         self._committed: dict[tuple[str, TopicPartition], int] = {}
-        self._lock = threading.RLock()
+        self._committed_lock = threading.Lock()
+        # Broker-wide change notification: version bumps on append / commit /
+        # delete so waiters can block instead of sleep-polling.  The waiter
+        # count gates the notify: with nobody waiting (the hot produce path)
+        # a bump is one unlocked integer increment, not a lock acquisition.
+        self._activity = threading.Condition()
+        self._activity_version = 0
+        self._activity_waiters = 0
 
     # -- topic administration -------------------------------------------------
 
@@ -109,7 +223,7 @@ class Broker:
         """Create a topic.  Re-creating with the same partition count is a no-op."""
         if num_partitions < 1:
             raise UnknownPartitionError(f"num_partitions must be >= 1, got {num_partitions}")
-        with self._lock:
+        with self._registry_lock:
             existing = self._topics.get(name)
             if existing is not None:
                 if existing.num_partitions != num_partitions:
@@ -123,18 +237,30 @@ class Broker:
             return meta
 
     def delete_topic(self, name: str) -> None:
-        """Remove a topic and all committed offsets referring to it."""
-        with self._lock:
-            if name not in self._topics:
+        """Remove a topic and all committed offsets referring to it.
+
+        Long-poll fetches blocked on one of the topic's partitions wake up
+        and raise :class:`UnknownTopicError`.
+        """
+        with self._registry_lock:
+            meta = self._topics.pop(name, None)
+            if meta is None:
                 raise UnknownTopicError(f"unknown topic {name!r}")
-            del self._topics[name]
-            stale = [key for key in self._committed if key[1].topic == name]
-            for key in stale:
-                del self._committed[key]
+            # Purge offsets while still holding the registry lock: a
+            # concurrent create_topic of the same name blocks until the purge
+            # is done, so the purge can never erase commits that belong to a
+            # freshly re-created topic.
+            with self._committed_lock:
+                stale = [key for key in self._committed if key[1].topic == name]
+                for key in stale:
+                    del self._committed[key]
+        for log in meta.logs:
+            log.mark_deleted()
+        self._bump_activity()
 
     def topics(self) -> list[str]:
         """Names of all existing topics, sorted."""
-        with self._lock:
+        with self._registry_lock:
             return sorted(self._topics)
 
     def num_partitions(self, topic: str) -> int:
@@ -152,70 +278,177 @@ class Broker:
                timestamp: float | None = None,
                headers: dict[str, str] | None = None) -> int:
         """Append one record; returns the assigned offset."""
-        with self._lock:
-            log = self._log(topic, partition)
-            return log.append(key, value, timestamp=timestamp, headers=headers)
+        return self.append_batch(
+            topic, partition, [(key, value, timestamp, headers)]
+        )[0]
 
-    def fetch(self, tp: TopicPartition, offset: int, max_records: int = 500) -> list[Record]:
-        """Fetch up to ``max_records`` records from ``tp`` starting at ``offset``."""
-        with self._lock:
-            return self._log(tp.topic, tp.partition).read(offset, max_records)
+    def append_batch(self, topic: str, partition: int,
+                     entries: Iterable[BatchEntry]) -> list[int]:
+        """Append many records to one partition atomically; returns offsets.
+
+        Each entry is ``(key, value)`` optionally followed by ``timestamp``
+        and ``headers``.  The whole batch lands contiguously under a single
+        partition-lock acquisition and triggers a single wakeup of blocked
+        fetchers, so large batches cost far less than per-record appends.
+        """
+        offsets = self._log(topic, partition).append_batch(entries)
+        if offsets:
+            self._bump_activity()
+        return offsets
+
+    def fetch(self, tp: TopicPartition, offset: int, max_records: int = 500,
+              timeout: float | None = None) -> list[Record]:
+        """Fetch up to ``max_records`` records from ``tp`` starting at ``offset``.
+
+        ``timeout=None`` (default) or ``0`` returns immediately — a fetch at
+        the log end yields an empty list.  A positive ``timeout`` long-polls:
+        the call blocks until an append wakes it (returning the new records)
+        or the deadline passes (returning an empty list).
+        """
+        return self._log(tp.topic, tp.partition).read(offset, max_records, timeout=timeout)
 
     def end_offset(self, tp: TopicPartition) -> int:
         """High watermark of ``tp`` (offset the next record will get)."""
-        with self._lock:
-            return self._log(tp.topic, tp.partition).end_offset()
+        return self._log(tp.topic, tp.partition).end_offset()
 
     def end_offsets(self, topic: str) -> dict[TopicPartition, int]:
         """High watermarks of every partition of ``topic``."""
-        with self._lock:
-            meta = self._metadata(topic)
-            return {
-                TopicPartition(topic, p): meta.logs[p].end_offset()
-                for p in range(meta.num_partitions)
-            }
+        meta = self._metadata(topic)
+        return {
+            TopicPartition(topic, p): meta.logs[p].end_offset()
+            for p in range(meta.num_partitions)
+        }
+
+    # -- blocking helpers ------------------------------------------------------
+
+    def wait_for_any(self, positions: Mapping[TopicPartition, int],
+                     timeout: float) -> bool:
+        """Block until any ``tp`` has records past ``positions[tp]``.
+
+        Returns ``True`` as soon as one of the partitions has data beyond the
+        given next-offset, ``False`` on timeout.  Raises
+        :class:`UnknownTopicError` if a referenced topic disappears while
+        waiting.  This is the multi-partition long-poll used by
+        :meth:`repro.streaming.consumer.Consumer.poll`.
+        """
+        def ready() -> bool:
+            for tp, offset in positions.items():
+                if self._log(tp.topic, tp.partition).end_offset() > offset:
+                    return True
+            return False
+
+        if not positions:
+            return False
+        if ready():
+            return True
+        deadline = time.monotonic() + max(timeout, 0.0)
+        with self._activity:
+            self._activity_waiters += 1
+            try:
+                while True:
+                    # Registering as a waiter *before* this check closes the
+                    # missed-wakeup race: an append that completed before the
+                    # check is visible to ready(); one that completes after
+                    # sees our registration and notifies.
+                    if ready():
+                        return True
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                    self._activity.wait(remaining)
+            finally:
+                self._activity_waiters -= 1
+
+    def activity_version(self) -> int:
+        """Opaque counter that changes on every append / commit / delete."""
+        with self._activity:
+            return self._activity_version
+
+    def wait_for_activity(self, last_version: int, timeout: float) -> int:
+        """Block until the activity version moves past ``last_version``.
+
+        Returns the current version (changed or not, on timeout).  Callers
+        re-check their predicate and wait again from the returned version —
+        an event-driven replacement for fixed-interval sleep polling (used
+        by the load driver's backpressure wait).
+        """
+        deadline = time.monotonic() + max(timeout, 0.0)
+        with self._activity:
+            self._activity_waiters += 1
+            try:
+                while self._activity_version == last_version:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._activity.wait(remaining)
+                return self._activity_version
+            finally:
+                self._activity_waiters -= 1
+
+    def _bump_activity(self) -> None:
+        # Bump first, gate the notify on registered waiters second: a waiter
+        # that registers after this unlocked increment re-checks its
+        # predicate/version before waiting and sees the change, and one that
+        # registered earlier is seen by the waiter-count read below (both
+        # orderings are covered, so no wakeup is ever missed).  Concurrent
+        # unlocked increments may collapse into one, but the version still
+        # moves past every previously observed value, which is all waiters
+        # rely on.
+        self._activity_version += 1
+        if self._activity_waiters:
+            with self._activity:
+                self._activity.notify_all()
 
     # -- consumer-group offsets ------------------------------------------------
 
     def commit(self, group: str, offsets: dict[TopicPartition, int]) -> None:
         """Record ``offsets`` (next offset to consume) for consumer ``group``."""
-        with self._lock:
-            for tp, offset in offsets.items():
-                end = self._log(tp.topic, tp.partition).end_offset()
-                if offset < 0 or offset > end:
-                    raise OffsetOutOfRangeError(
-                        f"cannot commit offset {offset} for {tp} (log end {end})"
-                    )
-                self._committed[(group, tp)] = offset
+        for tp, offset in offsets.items():
+            end = self._log(tp.topic, tp.partition).end_offset()
+            if offset < 0 or offset > end:
+                raise OffsetOutOfRangeError(
+                    f"cannot commit offset {offset} for {tp} (log end {end})"
+                )
+        with self._committed_lock:
+            # Re-validate existence under the lock: delete_topic purges this
+            # map under the same lock after unregistering the topic, so a
+            # commit racing a delete either lands before the purge (and is
+            # purged) or observes the missing topic here — it can never
+            # re-insert offsets for a topic that is already gone.
+            for tp in offsets:
+                self._log(tp.topic, tp.partition)
+            self._committed.update(
+                ((group, tp), offset) for tp, offset in offsets.items()
+            )
+        self._bump_activity()
 
     def committed(self, group: str, tp: TopicPartition) -> int | None:
         """Committed next-offset of ``group`` on ``tp``, or None if never committed."""
-        with self._lock:
-            self._log(tp.topic, tp.partition)  # validate existence
+        self._log(tp.topic, tp.partition)  # validate existence
+        with self._committed_lock:
             return self._committed.get((group, tp))
 
     # -- stats -----------------------------------------------------------------
 
     def total_records(self, topic: str) -> int:
         """Total records across all partitions of ``topic``."""
-        with self._lock:
-            meta = self._metadata(topic)
-            return sum(len(log) for log in meta.logs)
+        meta = self._metadata(topic)
+        return sum(len(log) for log in meta.logs)
 
     def partition_sizes(self, topic: str) -> list[int]:
         """Per-partition record counts (useful for skew diagnostics)."""
-        with self._lock:
-            meta = self._metadata(topic)
-            return [len(log) for log in meta.logs]
+        meta = self._metadata(topic)
+        return [len(log) for log in meta.logs]
 
     # -- internals ---------------------------------------------------------------
 
     def _metadata(self, topic: str) -> TopicMetadata:
-        with self._lock:
-            try:
-                return self._topics[topic]
-            except KeyError:
-                raise UnknownTopicError(f"unknown topic {topic!r}") from None
+        # Lock-free read of the read-mostly registry (atomic under CPython);
+        # mutation happens only under _registry_lock.
+        try:
+            return self._topics[topic]
+        except KeyError:
+            raise UnknownTopicError(f"unknown topic {topic!r}") from None
 
     def _log(self, topic: str, partition: int) -> PartitionLog:
         meta = self._metadata(topic)

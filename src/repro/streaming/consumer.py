@@ -7,29 +7,45 @@ paper's exactly-once processing guarantee (Section 4.2): after a crash, a new
 consumer in the same group resumes from the last committed offset, so every
 record is processed exactly once provided commits follow processing.
 
-:func:`assign_partitions` implements a range-style group assignment so that
-several consumers in one group share a topic's partitions without overlap.
+``poll``/``stream_values`` accept an optional ``timeout`` that rides the
+broker's long-poll machinery: instead of returning empty and forcing the
+caller into a sleep-poll loop, the consumer blocks until a record lands on
+any assigned partition (or the deadline passes).  Deserialization of a
+polled batch goes through the serializer's batched path.
+
+:func:`assign_partitions` implements a modulo round-robin group assignment
+so that several consumers in one group share a topic's partitions without
+overlap.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, Iterator
 
 from repro.errors import ConsumerClosedError, RebalanceError
 from repro.streaming.broker import Broker
 from repro.streaming.message import Record, RecordBatch, TopicPartition
-from repro.streaming.serializers import CompactJsonSerializer, Serializer
+from repro.streaming.serializers import (
+    CompactJsonSerializer,
+    Serializer,
+    deserialize_batch,
+)
 
 __all__ = ["Consumer", "assign_partitions"]
 
 
 def assign_partitions(partitions: list[TopicPartition], num_members: int,
                       member_index: int) -> list[TopicPartition]:
-    """Range assignment of ``partitions`` across ``num_members`` consumers.
+    """Modulo round-robin assignment of ``partitions`` across ``num_members``.
 
-    Deterministic and gap-free: the union over all member indexes is exactly
-    ``partitions`` and the intersection of any two members is empty.
+    The sorted partition list is dealt out like cards: member ``i`` takes
+    every partition whose sorted index is congruent to ``i`` modulo
+    ``num_members`` (not Kafka's "range" assignor, which hands each member
+    one contiguous block).  Deterministic and gap-free: the union over all
+    member indexes is exactly ``partitions`` and the intersection of any two
+    members is empty.
     """
     if num_members < 1:
         raise RebalanceError(f"num_members must be >= 1, got {num_members}")
@@ -126,44 +142,88 @@ class Consumer:
     def seek(self, tp: TopicPartition, offset: int) -> None:
         """Move the fetch position of ``tp`` to ``offset``."""
         with self._lock:
+            self._check_open()
             if tp not in self._positions:
                 raise RebalanceError(f"{tp} is not assigned to this consumer")
             self._positions[tp] = offset
 
     # -- fetch ------------------------------------------------------------------
 
-    def poll(self, max_records: int = 500) -> RecordBatch:
+    def poll(self, max_records: int = 500,
+             timeout: float | None = None) -> RecordBatch:
         """Fetch up to ``max_records`` raw records across assigned partitions.
 
         Records are fetched fairly (per-partition quota) and the consumer's
         in-memory positions advance; offsets are durable only after
         :meth:`commit`.
+
+        With ``timeout=None`` or ``0`` the poll returns immediately (possibly
+        empty).  A positive ``timeout`` blocks on the broker until a record
+        lands on any assigned partition — an event-driven wakeup, not a
+        sleep loop — and returns what arrived, or an empty batch on timeout.
+        """
+        deadline = (time.monotonic() + timeout) if timeout else None
+        while True:
+            with self._lock:
+                self._check_open()
+                if not self._assignment:
+                    return RecordBatch.empty()
+                batch = self._fetch_available(max_records)
+                positions = dict(self._positions)
+            if batch or deadline is None:
+                return batch
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return batch
+            if not self._broker.wait_for_any(positions, remaining):
+                return RecordBatch.empty()
+
+    def _fetch_available(self, max_records: int) -> RecordBatch:
+        """One non-blocking fetch sweep over the assignment (lock held)."""
+        per_partition = max(1, max_records // len(self._assignment))
+        fetched: dict[TopicPartition, list[Record]] = {}
+        for tp in self._assignment:
+            records = self._broker.fetch(tp, self._positions[tp], per_partition)
+            if records:
+                fetched[tp] = records
+                self._positions[tp] = records[-1].offset + 1
+        return RecordBatch(fetched)
+
+    def poll_values(self, max_records: int = 500,
+                    timeout: float | None = None) -> list[Any]:
+        """Poll and batch-deserialize payloads, in partition/offset order."""
+        batch = self.poll(max_records, timeout=timeout)
+        return deserialize_batch(self._serializer, [r.value for r in batch])
+
+    def stream_values(self, max_records: int = 500,
+                      timeout: float | None = None) -> Iterator[Any]:
+        """Yield deserialized payloads until the assigned partitions are drained.
+
+        With a positive ``timeout``, an empty poll blocks up to that long for
+        more records before the stream ends, so a consumer can ride a live
+        producer without an external retry loop.
+        """
+        while True:
+            values = self.poll_values(max_records, timeout=timeout)
+            if not values:
+                return
+            yield from values
+
+    def wait_for_records(self, timeout: float) -> bool:
+        """Block until any assigned partition has records past our position.
+
+        Returns ``True`` when records are available, ``False`` on timeout.
+        With nothing assigned it waits for broker activity instead, so
+        callers never spin.
         """
         with self._lock:
             self._check_open()
-            if not self._assignment:
-                return RecordBatch.empty()
-            per_partition = max(1, max_records // len(self._assignment))
-            fetched: dict[TopicPartition, list[Record]] = {}
-            for tp in self._assignment:
-                records = self._broker.fetch(tp, self._positions[tp], per_partition)
-                if records:
-                    fetched[tp] = records
-                    self._positions[tp] = records[-1].offset + 1
-            return RecordBatch(fetched)
-
-    def poll_values(self, max_records: int = 500) -> list[Any]:
-        """Poll and deserialize payloads, in partition/offset order."""
-        return [self._serializer.deserialize(r.value) for r in self.poll(max_records)]
-
-    def stream_values(self, max_records: int = 500) -> Iterator[Any]:
-        """Yield deserialized payloads until the assigned partitions are drained."""
-        while True:
-            batch = self.poll(max_records)
-            if not batch:
-                return
-            for record in batch:
-                yield self._serializer.deserialize(record.value)
+            positions = dict(self._positions)
+        if not positions:
+            version = self._broker.activity_version()
+            self._broker.wait_for_activity(version, timeout)
+            return False
+        return self._broker.wait_for_any(positions, timeout)
 
     # -- commit -----------------------------------------------------------------
 
@@ -188,7 +248,10 @@ class Consumer:
             }
 
     def close(self) -> None:
-        """Close the consumer; further operations raise :class:`ConsumerClosedError`."""
+        """Close the consumer; further operations raise :class:`ConsumerClosedError`.
+
+        Idempotent: closing an already-closed consumer is a no-op.
+        """
         with self._lock:
             self._closed = True
 

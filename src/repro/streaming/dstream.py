@@ -24,7 +24,7 @@ from repro.streaming.broker import Broker
 from repro.streaming.consumer import Consumer
 from repro.streaming.message import TopicPartition
 from repro.streaming.rdd import PartitionedDataset
-from repro.streaming.serializers import Serializer
+from repro.streaming.serializers import Serializer, deserialize_batch
 
 __all__ = ["MicroBatch", "StreamingContext", "BatchStats"]
 
@@ -91,20 +91,26 @@ class StreamingContext:
         """The underlying consumer (e.g. for lag inspection)."""
         return self._consumer
 
-    def next_batch(self, max_records: int | None = None) -> MicroBatch:
+    def next_batch(self, max_records: int | None = None,
+                   timeout: float | None = None) -> MicroBatch:
         """Drain available records into one micro-batch (may be empty).
 
         The batch's dataset has one partition per Kafka partition that
         contributed records — this is the Direct DStream 1:1 mapping, and it
         is why an un-partitioned topic yields a single-partition dataset that
         downstream actions process serially.
+
+        A positive ``timeout`` long-polls the broker for the first record
+        instead of returning an empty batch immediately.
         """
         started = time.perf_counter()
-        batch = self._consumer.poll(max_records or 10_000)
+        batch = self._consumer.poll(max_records or 10_000, timeout=timeout)
         partitions: list[list[Any]] = []
         serializer = self._consumer.serializer
         for tp in batch.partitions():
-            partitions.append([serializer.deserialize(r.value) for r in batch.records(tp)])
+            partitions.append(
+                deserialize_batch(serializer, [r.value for r in batch.records(tp)])
+            )
         deserialize_seconds = time.perf_counter() - started
         if not partitions:
             partitions = [[]]
@@ -121,6 +127,15 @@ class StreamingContext:
     def commit(self) -> None:
         """Commit the consumer's positions (call after the handler succeeds)."""
         self._consumer.commit()
+
+    def wait_for_records(self, timeout: float) -> bool:
+        """Block until the topic has unread records or ``timeout`` passes.
+
+        Event-driven idle wait for streaming loops: wakes on the broker's
+        append notification instead of sleep-polling.  Returns ``True`` when
+        records are available.
+        """
+        return self._consumer.wait_for_records(timeout)
 
     def process_available(self, handler: Callable[[MicroBatch], None],
                           max_records: int | None = None) -> list[BatchStats]:
@@ -154,15 +169,19 @@ class StreamingContext:
             window_seconds: float = 0.05) -> list[BatchStats]:
         """Run periodic micro-batches for ``duration_seconds`` of wall time.
 
-        Sleeps ``window_seconds`` between empty polls so a concurrent
-        producer can fill the topic — the Producer/Consumer experiment setup
-        of Section 5.5.1.
+        Between empty polls the context blocks up to ``window_seconds`` on
+        the broker's append notification (waking immediately when a
+        concurrent producer fills the topic) — the Producer/Consumer
+        experiment setup of Section 5.5.1 without sleep-polling.
         """
         deadline = time.perf_counter() + duration_seconds
         all_stats: list[BatchStats] = []
-        while time.perf_counter() < deadline:
+        while True:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
             processed = self.process_available(handler)
             all_stats.extend(processed)
             if not processed:
-                time.sleep(window_seconds)
+                self.wait_for_records(min(window_seconds, remaining))
         return all_stats

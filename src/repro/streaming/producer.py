@@ -5,6 +5,17 @@ topic, choosing a partition with a pluggable partitioner (hash of the key by
 default, round-robin for key-less records).  It mirrors the handcrafted
 Producer application of Section 5.5.1, which replays test-set alarms into
 Kafka at a controlled rate; rate control is available via ``rate_limit``.
+
+Concurrency model: a producer may be shared by many threads.  Its internal
+lock protects only the closed flag and the partitioning counter — payload
+serialization, the partitioner call, the broker append and any rate-limit
+sleep all happen *outside* the lock, so one thread serializing a large
+record (or throttling) never stalls its siblings.  ``send_many`` groups
+records into per-partition batches and lands each group with a single
+:meth:`~repro.streaming.broker.Broker.append_batch` call, which is the fast
+path measured in ``benchmarks/test_streaming_concurrency.py``.
+:class:`ProducerStats` guards its counters with its own lock, so shared-
+producer statistics stay exact under concurrent senders.
 """
 
 from __future__ import annotations
@@ -15,7 +26,6 @@ from typing import Any, Callable, Iterable
 
 from repro.errors import ProducerClosedError
 from repro.streaming.broker import Broker
-from repro.streaming.message import monotonic_timestamp
 from repro.streaming.serializers import CompactJsonSerializer, Serializer
 
 __all__ = ["Producer", "ProducerStats", "hash_partitioner", "round_robin_partitioner"]
@@ -37,20 +47,62 @@ def round_robin_partitioner(key: bytes | None, num_partitions: int, counter: int
 
 
 class ProducerStats:
-    """Counters exposed by a producer for throughput measurements."""
+    """Counters exposed by a producer for throughput measurements.
+
+    Updates are guarded by an internal lock so a producer shared by several
+    sender threads reports exact totals; reads return consistent snapshots.
+    """
 
     def __init__(self) -> None:
-        self.records_sent = 0
-        self.bytes_sent = 0
-        self.started_at: float | None = None
-        self.finished_at: float | None = None
+        self._lock = threading.Lock()
+        self._records_sent = 0
+        self._bytes_sent = 0
+        self._started_at: float | None = None
+        self._finished_at: float | None = None
+
+    def mark_started(self) -> None:
+        """Stamp the start of the active span (first call wins)."""
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = time.perf_counter()
+
+    def record_send(self, records: int, payload_bytes: int) -> None:
+        """Atomically account one completed send of ``records`` records."""
+        now = time.perf_counter()
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = now
+            self._records_sent += records
+            self._bytes_sent += payload_bytes
+            self._finished_at = now
+
+    @property
+    def records_sent(self) -> int:
+        with self._lock:
+            return self._records_sent
+
+    @property
+    def bytes_sent(self) -> int:
+        with self._lock:
+            return self._bytes_sent
+
+    @property
+    def started_at(self) -> float | None:
+        with self._lock:
+            return self._started_at
+
+    @property
+    def finished_at(self) -> float | None:
+        with self._lock:
+            return self._finished_at
 
     @property
     def elapsed_seconds(self) -> float:
         """Active send span; 0.0 before the first send completes."""
-        if self.started_at is None or self.finished_at is None:
-            return 0.0
-        return self.finished_at - self.started_at
+        with self._lock:
+            if self._started_at is None or self._finished_at is None:
+                return 0.0
+            return self._finished_at - self._started_at
 
     @property
     def records_per_second(self) -> float:
@@ -88,6 +140,9 @@ class Producer:
         Callable ``(key, num_partitions, counter) -> partition``.
     rate_limit:
         Optional maximum records/second.  ``None`` means unthrottled.
+        Throttle sleeps happen outside the producer lock, so a rate-limited
+        producer shared by several threads never serializes its siblings
+        behind one thread's sleep.
     """
 
     def __init__(
@@ -116,45 +171,90 @@ class Producer:
              headers: dict[str, str] | None = None) -> tuple[int, int]:
         """Serialize ``value`` and append it to ``topic``.
 
-        Returns ``(partition, offset)`` of the stored record.
+        Returns ``(partition, offset)`` of the stored record.  Serialization
+        and partitioning run outside the producer lock; only the closed-check
+        and counter increment are serialized between threads.
         """
-        with self._lock:
-            if self._closed:
-                raise ProducerClosedError("send() on closed producer")
-            payload = self._serializer.serialize(value)
-            key_bytes = key.encode("utf-8") if key is not None else None
-            if partition is None:
-                num_partitions = self._broker.num_partitions(topic)
-                partition = self._partitioner(key_bytes, num_partitions, self._counter)
-            self._counter += 1
-            if self.stats.started_at is None:
-                self.stats.started_at = time.perf_counter()
-            offset = self._broker.append(
-                topic, partition, key_bytes, payload,
-                timestamp=monotonic_timestamp(), headers=headers,
-            )
-            self.stats.records_sent += 1
-            self.stats.bytes_sent += len(payload)
-            self.stats.finished_at = time.perf_counter()
-            self._maybe_throttle()
-            return partition, offset
+        if self._closed:
+            raise ProducerClosedError("send() on closed producer")
+        payload = self._serializer.serialize(value)
+        key_bytes = key.encode("utf-8") if key is not None else None
+        counter = self._next_counter(1)
+        if partition is None:
+            num_partitions = self._broker.num_partitions(topic)
+            partition = self._partitioner(key_bytes, num_partitions, counter)
+        self.stats.mark_started()
+        offset = self._broker.append(topic, partition, key_bytes, payload,
+                                     headers=headers)
+        self.stats.record_send(1, len(payload))
+        self._maybe_throttle()
+        return partition, offset
 
     def send_many(self, topic: str, values: Iterable[Any],
-                  key_fn: Callable[[Any], str | None] | None = None) -> int:
+                  key_fn: Callable[[Any], str | None] | None = None,
+                  batch_size: int = 500) -> int:
         """Send every object in ``values``; returns the number sent.
 
         ``key_fn`` extracts a routing key per object (e.g. the device address,
         so one device's alarms land in one partition and stay ordered).
+
+        Records are serialized and partitioned up front, grouped into
+        per-partition batches of at most ``batch_size`` records, and appended
+        via :meth:`Broker.append_batch` — one lock round-trip and one
+        fetcher wakeup per partition group instead of per record.  Relative
+        order within a partition is preserved.
+
+        With ``rate_limit`` set, throttling happens between chunks, so the
+        chunk size is capped at ~50 ms worth of records to keep the paced
+        stream from degenerating into ``batch_size``-sized bursts.
         """
-        count = 0
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if self._rate_limit is not None:
+            batch_size = min(batch_size, max(1, int(self._rate_limit * 0.05)))
+        total = 0
+        chunk: list[Any] = []
+        for value in values:
+            chunk.append(value)
+            if len(chunk) >= batch_size:
+                total += self._send_chunk(topic, chunk, key_fn)
+                chunk = []
+        if chunk:
+            total += self._send_chunk(topic, chunk, key_fn)
+        return total
+
+    def _send_chunk(self, topic: str, values: list[Any],
+                    key_fn: Callable[[Any], str | None] | None) -> int:
+        if self._closed:
+            raise ProducerClosedError("send_many() on closed producer")
+        serialize = self._serializer.serialize
+        entries: list[tuple[bytes | None, bytes]] = []
+        payload_bytes = 0
         for value in values:
             key = key_fn(value) if key_fn is not None else None
-            self.send(topic, value, key=key)
-            count += 1
-        return count
+            key_bytes = key.encode("utf-8") if key is not None else None
+            payload = serialize(value)
+            payload_bytes += len(payload)
+            entries.append((key_bytes, payload))
+        num_partitions = self._broker.num_partitions(topic)
+        base = self._next_counter(len(entries))
+        partitioner = self._partitioner
+        grouped: dict[int, list[tuple[bytes | None, bytes]]] = {}
+        for i, entry in enumerate(entries):
+            target = partitioner(entry[0], num_partitions, base + i)
+            grouped.setdefault(target, []).append(entry)
+        self.stats.mark_started()
+        for partition in sorted(grouped):
+            self._broker.append_batch(topic, partition, grouped[partition])
+        self.stats.record_send(len(entries), payload_bytes)
+        self._maybe_throttle()
+        return len(entries)
 
     def close(self) -> None:
-        """Close the producer; further sends raise :class:`ProducerClosedError`."""
+        """Close the producer; further sends raise :class:`ProducerClosedError`.
+
+        Idempotent: closing an already-closed producer is a no-op.
+        """
         with self._lock:
             self._closed = True
 
@@ -164,11 +264,26 @@ class Producer:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    def _next_counter(self, count: int) -> int:
+        """Reserve ``count`` partitioning-counter values; returns the first."""
+        with self._lock:
+            if self._closed:
+                raise ProducerClosedError("send() on closed producer")
+            base = self._counter
+            self._counter += count
+            return base
+
     def _maybe_throttle(self) -> None:
-        """Sleep just enough to respect ``rate_limit`` (token-bucket style)."""
-        if self._rate_limit is None or self.stats.started_at is None:
+        """Sleep just enough to respect ``rate_limit`` (token-bucket style).
+
+        Runs outside the producer lock: a throttled thread sleeps alone.
+        """
+        if self._rate_limit is None:
+            return
+        started = self.stats.started_at
+        if started is None:
             return
         expected_elapsed = self.stats.records_sent / self._rate_limit
-        actual_elapsed = time.perf_counter() - self.stats.started_at
+        actual_elapsed = time.perf_counter() - started
         if expected_elapsed > actual_elapsed:
             time.sleep(expected_elapsed - actual_elapsed)

@@ -28,6 +28,7 @@ __all__ = [
     "Serializer",
     "CompactJsonSerializer",
     "ReflectiveJsonSerializer",
+    "deserialize_batch",
     "serializer_by_name",
 ]
 
@@ -44,6 +45,21 @@ class Serializer(Protocol):
     def deserialize(self, data: bytes) -> Any:
         """Decode bytes back into an object.  Raises :class:`SerializationError`."""
         ...
+
+
+def deserialize_batch(serializer: Serializer, payloads: list[bytes]) -> list[Any]:
+    """Deserialize many payloads through ``serializer`` in one call.
+
+    Dispatches to the serializer's own ``deserialize_batch`` when it has one
+    (both built-ins do — they skip per-record dispatch overhead) and falls
+    back to a plain loop for third-party serializers that only implement the
+    record-at-a-time protocol.
+    """
+    batched = getattr(serializer, "deserialize_batch", None)
+    if batched is not None:
+        return batched(payloads)
+    deserialize = serializer.deserialize
+    return [deserialize(data) for data in payloads]
 
 
 class CompactJsonSerializer:
@@ -64,6 +80,14 @@ class CompactJsonSerializer:
     def deserialize(self, data: bytes) -> Any:
         try:
             return json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SerializationError(f"cannot deserialize payload: {exc}") from exc
+
+    def deserialize_batch(self, payloads: list[bytes]) -> list[Any]:
+        """Decode many payloads with the parse call hoisted out of the loop."""
+        loads = json.loads
+        try:
+            return [loads(data.decode("utf-8")) for data in payloads]
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise SerializationError(f"cannot deserialize payload: {exc}") from exc
 
@@ -108,6 +132,10 @@ class ReflectiveJsonSerializer:
             raise SerializationError(f"cannot deserialize payload: {exc}") from exc
         self._validate(obj, depth=0)
         return obj
+
+    def deserialize_batch(self, payloads: list[bytes]) -> list[Any]:
+        """Decode many payloads; the validation walk still runs per record."""
+        return [self.deserialize(data) for data in payloads]
 
     def _validate(self, obj: Any, depth: int) -> None:
         """Recursive structural validation (the deliberate overhead)."""

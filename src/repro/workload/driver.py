@@ -245,22 +245,31 @@ class LoadDriver:
                 group: str, wall_start: float,
                 producer: Producer) -> None:
         scenario = self.scenario
-        # Sampling the lag on every send would take the broker's global lock
-        # 1 + partitions extra times per record and contend with the
-        # consumer; check periodically instead, scaled to the inflight bound.
+        # Sampling the lag on every send would query every partition log and
+        # contend with the consumer; check periodically instead, scaled to
+        # the inflight bound.
         check_every = max(1, min(32, scenario.max_inflight // 4))
         for sent, event in enumerate(events):
             target = wall_start + event.time / self.speedup
             delay = target - time.perf_counter()
             if delay > 0:
+                # Timeline pacing: one bounded sleep to this event's absolute
+                # deadline (not an idle poll loop — those are gone, see the
+                # backpressure wait below).
                 time.sleep(delay)
             if sent % check_every == 0:
+                # Event-driven backpressure: when the consumer lags too far,
+                # block on the broker's activity condition — each commit (or
+                # append) wakes us to re-check the lag — instead of
+                # sleep-polling at a fixed interval.
                 waited = 0
+                give_up_at = time.perf_counter() + 10.0  # safety valve
+                version = broker.activity_version()
                 while self._lag(broker, group) > scenario.max_inflight:
-                    time.sleep(0.001)
-                    waited += 1
-                    if waited > 10_000:  # pragma: no cover - 10s safety valve
+                    if time.perf_counter() > give_up_at:  # pragma: no cover
                         break
+                    version = broker.wait_for_activity(version, timeout=0.05)
+                    waited += 1
                 if waited:
                     with self._bp_lock:
                         self._backpressure_waits += waited

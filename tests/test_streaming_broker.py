@@ -1,4 +1,9 @@
-"""Unit tests for the broker: topics, partitions, offsets, commits."""
+"""Unit tests for the broker: topics, partitions, offsets, commits,
+batched appends, and blocking long-poll fetch under the per-partition
+locking model."""
+
+import threading
+import time
 
 import pytest
 
@@ -139,3 +144,161 @@ class TestCommittedOffsets:
         broker.append("alarms", 0, None, b"x")
         broker.commit("g", {tp: 1})  # == end offset, means "all consumed"
         assert broker.committed("g", tp) == 1
+
+    def test_commit_after_delete_raises_and_leaves_no_offsets(self, broker):
+        tp = TopicPartition("alarms", 0)
+        broker.append("alarms", 0, None, b"x")
+        broker.delete_topic("alarms")
+        with pytest.raises(UnknownTopicError):
+            broker.commit("g", {tp: 1})
+        # Re-creating the topic must not surface stale committed offsets.
+        broker.create_topic("alarms", num_partitions=3)
+        assert broker.committed("g", tp) is None
+
+    def test_commit_beyond_end_after_batch_append_raises(self, broker):
+        tp = TopicPartition("alarms", 0)
+        broker.append_batch("alarms", 0, [(None, b"a"), (None, b"b")])
+        with pytest.raises(OffsetOutOfRangeError):
+            broker.commit("g", {tp: 3})
+        # a failed commit leaves nothing behind
+        assert broker.committed("g", tp) is None
+
+
+class TestBatchAppend:
+    def test_append_batch_assigns_contiguous_offsets(self, broker):
+        offsets = broker.append_batch(
+            "alarms", 1, [(None, f"m{i}".encode()) for i in range(5)]
+        )
+        assert offsets == [0, 1, 2, 3, 4]
+        records = broker.fetch(TopicPartition("alarms", 1), 0, max_records=10)
+        assert [r.value for r in records] == [b"m0", b"m1", b"m2", b"m3", b"m4"]
+
+    def test_append_batch_interleaves_with_single_appends(self, broker):
+        broker.append("alarms", 0, None, b"first")
+        broker.append_batch("alarms", 0, [(b"k", b"mid", None, {"h": "1"})])
+        assert broker.append("alarms", 0, None, b"last") == 2
+        records = broker.fetch(TopicPartition("alarms", 0), 0, max_records=10)
+        assert [r.value for r in records] == [b"first", b"mid", b"last"]
+        assert records[1].key == b"k"
+        assert records[1].headers == {"h": "1"}
+
+    def test_append_batch_timestamps_strictly_increase(self, broker):
+        broker.append_batch("alarms", 0, [(None, b"x")] * 50)
+        records = broker.fetch(TopicPartition("alarms", 0), 0, max_records=50)
+        stamps = [r.timestamp for r in records]
+        assert all(a < b for a, b in zip(stamps, stamps[1:]))
+
+    def test_append_batch_empty_is_noop(self, broker):
+        assert broker.append_batch("alarms", 0, []) == []
+        assert broker.total_records("alarms") == 0
+
+    def test_append_batch_unknown_topic_raises(self, broker):
+        with pytest.raises(UnknownTopicError):
+            broker.append_batch("ghost", 0, [(None, b"x")])
+
+    def test_size_bytes_counter_matches_recomputation(self, broker):
+        from repro.streaming import PartitionLog
+        log = PartitionLog("t", 0)
+        log.append(b"key", b"value", headers={"a": "bb"})
+        log.append_batch([(None, b"xyz"), (b"k2", b"0123456789")])
+        recomputed = sum(
+            r.size_bytes() for r in log.read(0, max_records=100)
+        )
+        assert log.size_bytes() == recomputed > 0
+
+
+class TestLongPollFetch:
+    def test_fetch_at_end_with_zero_timeout_returns_immediately(self, broker):
+        broker.append("alarms", 0, None, b"x")
+        started = time.perf_counter()
+        records = broker.fetch(TopicPartition("alarms", 0), 1, timeout=0)
+        elapsed = time.perf_counter() - started
+        assert records == []
+        assert elapsed < 0.05
+
+    def test_blocked_fetch_wakes_on_append(self, broker):
+        tp = TopicPartition("alarms", 0)
+        results = {}
+
+        def blocked_fetch():
+            results["records"] = broker.fetch(tp, 0, timeout=5.0)
+            results["returned_at"] = time.perf_counter()
+
+        waiter = threading.Thread(target=blocked_fetch)
+        waiter.start()
+        time.sleep(0.05)  # let the fetch block
+        appended_at = time.perf_counter()
+        broker.append("alarms", 0, None, b"wake")
+        waiter.join(timeout=5.0)
+        assert not waiter.is_alive()
+        assert [r.value for r in results["records"]] == [b"wake"]
+        assert results["returned_at"] - appended_at < 0.05
+
+    def test_blocked_fetch_times_out_empty(self, broker):
+        records = broker.fetch(TopicPartition("alarms", 0), 0, timeout=0.05)
+        assert records == []
+
+    def test_delete_topic_wakes_blocked_fetch_with_unknown_topic(self, broker):
+        tp = TopicPartition("alarms", 0)
+        results = {}
+
+        def blocked_fetch():
+            try:
+                broker.fetch(tp, 0, timeout=5.0)
+                results["outcome"] = "returned"
+            except UnknownTopicError:
+                results["outcome"] = "unknown-topic"
+                results["at"] = time.perf_counter()
+
+        waiter = threading.Thread(target=blocked_fetch)
+        waiter.start()
+        time.sleep(0.05)
+        deleted_at = time.perf_counter()
+        broker.delete_topic("alarms")
+        waiter.join(timeout=5.0)
+        assert not waiter.is_alive()
+        assert results["outcome"] == "unknown-topic"
+        assert results["at"] - deleted_at < 0.05
+
+    def test_wait_for_any_sees_existing_records(self, broker):
+        broker.append("alarms", 2, None, b"x")
+        assert broker.wait_for_any({TopicPartition("alarms", 2): 0}, timeout=0.0)
+
+    def test_wait_for_any_times_out(self, broker):
+        assert not broker.wait_for_any(
+            {TopicPartition("alarms", 0): 0}, timeout=0.05
+        )
+
+    def test_wait_for_any_wakes_on_append_to_any_partition(self, broker):
+        positions = {TopicPartition("alarms", p): 0 for p in range(3)}
+        results = {}
+
+        def wait():
+            results["woke"] = broker.wait_for_any(positions, timeout=5.0)
+            results["at"] = time.perf_counter()
+
+        waiter = threading.Thread(target=wait)
+        waiter.start()
+        time.sleep(0.05)
+        appended_at = time.perf_counter()
+        broker.append("alarms", 2, None, b"x")
+        waiter.join(timeout=5.0)
+        assert not waiter.is_alive()
+        assert results["woke"]
+        assert results["at"] - appended_at < 0.05
+
+    def test_wait_for_activity_wakes_on_commit(self, broker):
+        broker.append("alarms", 0, None, b"x")
+        version = broker.activity_version()
+        results = {}
+
+        def wait():
+            results["version"] = broker.wait_for_activity(version, timeout=5.0)
+
+        waiter = threading.Thread(target=wait)
+        waiter.start()
+        time.sleep(0.05)
+        broker.commit("g", {TopicPartition("alarms", 0): 1})
+        waiter.join(timeout=5.0)
+        assert not waiter.is_alive()
+        assert results["version"] > version

@@ -104,3 +104,34 @@ class TestRunLoop:
                 duration_seconds=0.5, window_seconds=0.01)
         thread.join()
         assert len(total) == 25
+
+
+class TestBlockingWaits:
+    def test_next_batch_timeout_waits_for_producer(self, broker):
+        import threading
+        import time
+
+        ctx = StreamingContext(broker, "alarms", "g")
+
+        def produce_later():
+            time.sleep(0.03)
+            fill(broker, 5)
+
+        thread = threading.Thread(target=produce_later)
+        thread.start()
+        batch = ctx.next_batch(timeout=2.0)
+        thread.join()
+        assert len(batch) == 5
+
+    def test_next_batch_timeout_expires_empty(self, broker):
+        ctx = StreamingContext(broker, "alarms", "g")
+        batch = ctx.next_batch(timeout=0.05)
+        assert batch.is_empty()
+
+    def test_wait_for_records_signals_availability(self, broker):
+        ctx = StreamingContext(broker, "alarms", "g")
+        assert not ctx.wait_for_records(0.02)  # nothing yet
+        fill(broker, 1)
+        assert ctx.wait_for_records(0.02)
+        ctx.process_available(lambda batch: None)
+        assert not ctx.wait_for_records(0.02)  # drained again

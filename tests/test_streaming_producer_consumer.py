@@ -1,4 +1,8 @@
-"""Producer/consumer tests: partitioning, exactly-once offsets, groups."""
+"""Producer/consumer tests: partitioning, exactly-once offsets, groups,
+batched sends, concurrent stats, idempotent close, and long-poll timeouts."""
+
+import threading
+import time
 
 import pytest
 
@@ -101,11 +105,71 @@ class TestProducer:
         with pytest.raises(ProducerClosedError):
             producer.send("alarms", {"x": 1})
 
+    def test_close_is_idempotent_and_send_many_raises(self, broker):
+        producer = Producer(broker)
+        producer.send("alarms", {"x": 1})
+        producer.close()
+        producer.close()  # second close is a no-op
+        with pytest.raises(ProducerClosedError):
+            producer.send("alarms", {"x": 2})
+        with pytest.raises(ProducerClosedError):
+            producer.send_many("alarms", [{"x": 3}])
+        assert broker.total_records("alarms") == 1
+
     def test_context_manager_closes(self, broker):
         with Producer(broker) as producer:
             producer.send("alarms", {"x": 1})
         with pytest.raises(ProducerClosedError):
             producer.send("alarms", {"x": 2})
+
+    def test_send_many_batches_preserve_per_key_order(self, broker):
+        producer = Producer(broker)
+        producer.send_many(
+            "alarms",
+            [{"i": i, "dev": f"dev-{i % 3}"} for i in range(60)],
+            key_fn=lambda v: v["dev"],
+            batch_size=7,  # force several partial chunks
+        )
+        consumer = Consumer(broker, "g")
+        consumer.subscribe("alarms")
+        per_device: dict[str, list[int]] = {}
+        for value in consumer.stream_values(max_records=1000):
+            per_device.setdefault(value["dev"], []).append(value["i"])
+        assert sum(len(v) for v in per_device.values()) == 60
+        for seen in per_device.values():
+            assert seen == sorted(seen)  # arrival order preserved per device
+
+    def test_send_many_rejects_bad_batch_size(self, broker):
+        with pytest.raises(ValueError):
+            Producer(broker).send_many("alarms", [{"x": 1}], batch_size=0)
+
+    def test_stats_exact_under_concurrent_senders(self, broker):
+        producer = Producer(broker)
+        per_thread, threads = 200, 4
+
+        def sender(index: int) -> None:
+            producer.send_many(
+                "alarms", [{"t": index, "i": i} for i in range(per_thread)],
+                batch_size=16,
+            )
+
+        workers = [
+            threading.Thread(target=sender, args=(t,)) for t in range(threads)
+        ]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join()
+        assert producer.stats.records_sent == per_thread * threads
+        assert broker.total_records("alarms") == per_thread * threads
+        stored_payload_bytes = sum(
+            len(r.value)
+            for p in range(4)
+            for r in broker.fetch(
+                TopicPartition("alarms", p), 0, max_records=10_000
+            )
+        )
+        assert producer.stats.bytes_sent == stored_payload_bytes
 
     def test_rate_limit_slows_production(self, broker):
         import time
@@ -208,6 +272,77 @@ class TestConsumer:
         with pytest.raises(ConsumerClosedError):
             consumer.poll()
 
+    def test_consumer_close_is_idempotent_and_operations_raise(self, broker):
+        consumer = Consumer(broker, "g")
+        consumer.subscribe("alarms")
+        tp = consumer.assignment()[0]
+        consumer.close()
+        consumer.close()  # second close is a no-op
+        for operation in (
+            lambda: consumer.poll(),
+            lambda: consumer.poll_values(),
+            lambda: consumer.commit(),
+            lambda: consumer.assign([tp]),
+            lambda: consumer.seek(tp, 0),
+            lambda: consumer.wait_for_records(0.01),
+        ):
+            with pytest.raises(ConsumerClosedError):
+                operation()
+
+    def test_poll_timeout_returns_empty_after_deadline(self, broker):
+        consumer = Consumer(broker, "g")
+        consumer.subscribe("alarms")
+        started = time.perf_counter()
+        batch = consumer.poll(timeout=0.05)
+        elapsed = time.perf_counter() - started
+        assert not batch
+        assert 0.03 <= elapsed < 1.0
+
+    def test_poll_timeout_zero_never_blocks(self, broker):
+        consumer = Consumer(broker, "g")
+        consumer.subscribe("alarms")
+        started = time.perf_counter()
+        assert not consumer.poll(timeout=0)
+        assert time.perf_counter() - started < 0.05
+
+    def test_poll_timeout_rides_long_poll_wakeup(self, broker):
+        consumer = Consumer(broker, "g")
+        consumer.subscribe("alarms")
+        results = {}
+
+        def blocked_poll():
+            results["values"] = consumer.poll_values(timeout=5.0)
+            results["at"] = time.perf_counter()
+
+        waiter = threading.Thread(target=blocked_poll)
+        waiter.start()
+        time.sleep(0.05)
+        appended_at = time.perf_counter()
+        Producer(broker).send("alarms", {"wake": True})
+        waiter.join(timeout=5.0)
+        assert not waiter.is_alive()
+        assert results["values"] == [{"wake": True}]
+        assert results["at"] - appended_at < 0.05
+
+    def test_stream_values_timeout_rides_live_producer(self, broker):
+        consumer = Consumer(broker, "g")
+        consumer.subscribe("alarms")
+        producer = Producer(broker)
+
+        def late_producer():
+            time.sleep(0.03)
+            producer.send_many("alarms", [{"i": i} for i in range(5)])
+
+        thread = threading.Thread(target=late_producer)
+        thread.start()
+        values = []
+        for value in consumer.stream_values(max_records=100, timeout=0.5):
+            values.append(value)
+            if len(values) == 5:
+                break
+        thread.join()
+        assert sorted(v["i"] for v in values) == list(range(5))
+
 
 class TestGroupAssignment:
     def test_assignment_partitions_are_disjoint_and_complete(self, broker):
@@ -240,3 +375,30 @@ class TestGroupAssignment:
     def test_invalid_member_count_raises(self, broker):
         with pytest.raises(RebalanceError):
             assign_partitions(broker.partitions_for("alarms"), 0, 0)
+
+    @pytest.mark.parametrize("num_partitions", [1, 3, 4, 7])
+    @pytest.mark.parametrize("num_members", [1, 2, 3, 5])
+    def test_assignment_gap_free_and_overlap_free(self, num_partitions, num_members):
+        """Pin the documented invariants for every shape: the union over all
+        members is exactly the partition set and no partition is assigned
+        twice — even with more members than partitions."""
+        partitions = [TopicPartition("t", p) for p in range(num_partitions)]
+        members = [
+            assign_partitions(partitions, num_members, i)
+            for i in range(num_members)
+        ]
+        together = [tp for member in members for tp in member]
+        assert sorted(together) == sorted(partitions)  # gap-free
+        assert len(together) == len(set(together))     # overlap-free
+
+    def test_assignment_is_round_robin_not_range(self):
+        """The assignor deals sorted partitions modulo the member count
+        (documented as round-robin): member 0 of 2 takes the even sorted
+        indexes, not the first contiguous half."""
+        partitions = [TopicPartition("t", p) for p in range(6)]
+        assert assign_partitions(partitions, 2, 0) == [
+            TopicPartition("t", 0), TopicPartition("t", 2), TopicPartition("t", 4)
+        ]
+        assert assign_partitions(partitions, 2, 1) == [
+            TopicPartition("t", 1), TopicPartition("t", 3), TopicPartition("t", 5)
+        ]
