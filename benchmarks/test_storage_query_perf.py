@@ -1,0 +1,232 @@
+"""Storage-engine query microbench (tier-1 fast).
+
+Measures the mechanics behind the query-compilation + planner overhaul on a
+50k-document alarm collection:
+
+* **compiled vs interpreted matching** — one :func:`compile_filter` pass
+  reused across documents versus per-document :func:`matches` calls (which
+  re-validate and re-build the operator tree every time);
+* **indexed top-k vs full-sort** — ``find(sort=..., limit=k)`` walking the
+  sorted index and cloning only ``k`` documents, versus the pre-planner
+  read path that cloned every match and sorted the copies;
+* **aggregate pushdown** — a ``$match``-led pipeline answered through the
+  collection planner versus the old path that filtered full copies of the
+  collection;
+* **covered count** — a pure index-intersection ``count()`` versus a
+  compiled full scan.
+
+Results are recorded to ``BENCH_storage.json`` at the repository root (CI
+uploads it as an artifact next to ``BENCH_streaming.json`` and fails the
+perf-smoke step if any recorded speedup ratio dips below 1.0).  The file is
+*not* marked ``slow``: it runs in seconds and doubles as a regression test
+for the planner guarantees (compiled matching >= 3x, indexed top-k >= 5x).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.storage import Collection, aggregate, compile_filter, matches
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_storage.json"
+
+NUM_DOCS = 50_000
+NUM_DEVICES = 500
+ALARM_TYPES = ["burglary", "fire", "technical", "water", "cms"]
+
+FILTER = {
+    "alarm_type": {"$in": ["burglary", "fire"]},
+    "duration": {"$gte": 30.0, "$lt": 600.0},
+    "device_address": {"$regex": r"^dev-01"},
+}
+
+
+def record_result(name: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into ``BENCH_storage.json``."""
+    data: dict = {"schema": "repro.storage.query/v1", "benchmarks": {}}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except (ValueError, OSError):
+            pass
+    data.setdefault("benchmarks", {})[name] = payload
+    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def best_of(fn, repeats: int = 2) -> tuple[float, object]:
+    """Best wall time over ``repeats`` runs plus the (last) return value."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def make_documents() -> list[dict]:
+    rng = random.Random(7)
+    docs = []
+    for i in range(NUM_DOCS):
+        docs.append({
+            "device_address": f"dev-{i % NUM_DEVICES:04d}",
+            "alarm_type": ALARM_TYPES[i % len(ALARM_TYPES)],
+            "zip_code": str(8000 + i % 40),
+            "duration": round(rng.uniform(0.5, 900.0), 3),
+            "timestamp": 1_600_000_000.0 + i * 3 + rng.random(),
+            "verified": rng.random() < 0.4,
+        })
+    return docs
+
+
+@pytest.fixture(scope="module")
+def documents() -> list[dict]:
+    return make_documents()
+
+
+@pytest.fixture(scope="module")
+def alarms(documents) -> Collection:
+    coll = Collection("alarms")
+    coll.insert_many(documents)
+    coll.create_index("device_address", kind="hash")
+    coll.create_index("alarm_type", kind="hash")
+    coll.create_index("timestamp", kind="sorted")
+    return coll
+
+
+def test_compiled_filter_beats_interpreted_matching(documents):
+    """Compile-once matching must be >= 3x per-document matches() calls."""
+    interpreted_seconds, interpreted_hits = best_of(
+        lambda: sum(1 for doc in documents if matches(doc, FILTER))
+    )
+
+    def compiled_pass():
+        pred = compile_filter(FILTER)  # include compilation in the timing
+        return sum(1 for doc in documents if pred(doc))
+
+    compiled_seconds, compiled_hits = best_of(compiled_pass)
+    assert compiled_hits == interpreted_hits and interpreted_hits > 0
+    speedup = interpreted_seconds / compiled_seconds
+    record_result("compiled_vs_interpreted_match", {
+        "documents": NUM_DOCS,
+        "matching": interpreted_hits,
+        "interpreted_seconds": round(interpreted_seconds, 6),
+        "compiled_seconds": round(compiled_seconds, 6),
+        "interpreted_docs_per_second": round(NUM_DOCS / interpreted_seconds),
+        "compiled_docs_per_second": round(NUM_DOCS / compiled_seconds),
+        "speedup": round(speedup, 2),
+    })
+    print(
+        f"\ncompiled vs interpreted match ({NUM_DOCS} docs, "
+        f"{interpreted_hits} hits): interpreted {interpreted_seconds:.3f}s, "
+        f"compiled {compiled_seconds:.3f}s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 3.0, (
+        f"compiled matching only {speedup:.2f}x faster than interpreted "
+        f"({compiled_seconds:.3f}s vs {interpreted_seconds:.3f}s)"
+    )
+
+
+def test_indexed_top_k_beats_full_sort(alarms):
+    """Index-order sort+limit must be >= 5x the clone-all-then-sort path."""
+    k = 10
+
+    def naive_top_k():
+        # The pre-planner read path: clone every matching document, sort the
+        # copies, slice afterwards.
+        docs = alarms.find({})
+        docs.sort(key=lambda d: d["timestamp"], reverse=True)
+        return docs[:k]
+
+    def indexed_top_k():
+        return alarms.find({}, sort=("timestamp", -1), limit=k)
+
+    naive_seconds, naive_docs = best_of(naive_top_k)
+    indexed_seconds, indexed_docs = best_of(indexed_top_k)
+    assert [d["_id"] for d in indexed_docs] == [d["_id"] for d in naive_docs]
+    plan = alarms.explain({}, sort=("timestamp", -1), limit=k)
+    assert plan["sort"]["strategy"] == "index-order"
+    speedup = naive_seconds / indexed_seconds
+    record_result("indexed_top_k_vs_full_sort", {
+        "documents": NUM_DOCS,
+        "k": k,
+        "full_sort_seconds": round(naive_seconds, 6),
+        "indexed_seconds": round(indexed_seconds, 6),
+        "speedup": round(speedup, 2),
+        "strategy": plan["sort"]["strategy"],
+    })
+    print(
+        f"\nindexed top-{k} vs full sort ({NUM_DOCS} docs): "
+        f"full-sort {naive_seconds:.3f}s, indexed {indexed_seconds * 1e3:.2f}ms, "
+        f"speedup {speedup:.0f}x"
+    )
+    assert speedup >= 5.0, (
+        f"indexed top-k only {speedup:.2f}x faster than full sort "
+        f"({indexed_seconds:.4f}s vs {naive_seconds:.4f}s)"
+    )
+
+
+def test_aggregate_match_pushdown(alarms):
+    """A $match-led pipeline through the planner vs filtering full copies."""
+    since = 1_600_000_000.0 + (NUM_DOCS - 2_000) * 3  # top ~2k documents
+    pipeline = [
+        {"$match": {"timestamp": {"$gte": since}}},
+        {"$group": {"_id": "$alarm_type", "n": {"$sum": 1}}},
+        {"$sort": {"n": -1}},
+    ]
+    baseline_seconds, baseline_rows = best_of(
+        lambda: aggregate(alarms.all_documents(), pipeline)
+    )
+    pushdown_seconds, pushdown_rows = best_of(lambda: aggregate(alarms, pipeline))
+    assert pushdown_rows == baseline_rows and baseline_rows
+    speedup = baseline_seconds / pushdown_seconds
+    record_result("aggregate_match_pushdown", {
+        "documents": NUM_DOCS,
+        "matched": sum(row["n"] for row in baseline_rows),
+        "full_copy_seconds": round(baseline_seconds, 6),
+        "pushdown_seconds": round(pushdown_seconds, 6),
+        "speedup": round(speedup, 2),
+    })
+    print(
+        f"\naggregate $match pushdown ({NUM_DOCS} docs, "
+        f"{sum(r['n'] for r in baseline_rows)} matched): full-copy "
+        f"{baseline_seconds:.3f}s, pushdown {pushdown_seconds * 1e3:.2f}ms, "
+        f"speedup {speedup:.0f}x"
+    )
+    assert speedup >= 2.0, f"pushdown only {speedup:.2f}x faster"
+
+
+def test_covered_count_beats_full_scan(alarms, documents):
+    """A fully index-served count vs a compiled full scan."""
+    filter_doc = {
+        "device_address": "dev-0100",
+        "timestamp": {"$gte": 1_600_000_000.0 + (NUM_DOCS // 2) * 3},
+    }
+    plan = alarms.explain(filter_doc)
+    assert plan["covered"] is True and plan["verified"] == 0
+
+    pred = compile_filter(filter_doc)
+    scan_seconds, scan_count = best_of(
+        lambda: sum(1 for doc in documents if pred(doc))
+    )
+    covered_seconds, covered_count = best_of(lambda: alarms.count(filter_doc))
+    assert covered_count == scan_count and scan_count > 0
+    speedup = scan_seconds / covered_seconds
+    record_result("covered_count_vs_scan", {
+        "documents": NUM_DOCS,
+        "matching": scan_count,
+        "scan_seconds": round(scan_seconds, 6),
+        "covered_seconds": round(covered_seconds, 6),
+        "speedup": round(speedup, 2),
+    })
+    print(
+        f"\ncovered count vs scan ({NUM_DOCS} docs, {scan_count} matching): "
+        f"scan {scan_seconds * 1e3:.1f}ms, covered {covered_seconds * 1e3:.2f}ms, "
+        f"speedup {speedup:.0f}x"
+    )
+    assert speedup >= 1.0

@@ -70,7 +70,11 @@ class AlarmHistory:
         single ``$in`` query: with hundreds of alarming devices per window
         the per-document ``$in`` membership scan dominates the window time,
         while per-device hash-index lookups stay linear in the number of
-        matching documents.
+        matching documents.  Both the equality and the ``$gte`` conjunct
+        are exactly answered by the ``device_address`` hash index and the
+        ``timestamp`` sorted index, so the planner serves each count as a
+        **covered** query — an index intersection size, with no document
+        ever verified or cloned (``explain(...)["covered"]`` is True).
         """
         histogram: dict[str, int] = {}
         for address in set(device_addresses):

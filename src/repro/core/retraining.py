@@ -121,9 +121,24 @@ class RetrainingManager:
     # -- building -----------------------------------------------------------------
 
     def _training_alarms(self) -> list[Alarm]:
+        # The history keeps a sorted index on "timestamp", so this
+        # newest-first capped read is served in index order (top-k without a
+        # full sort) and only the kept documents are ever cloned.
         documents = self.history.collection.find(sort=("timestamp", -1),
                                                  limit=self.max_training_alarms)
         return [Alarm.from_document(doc) for doc in documents]
+
+    def training_plan(self) -> dict:
+        """The storage plan behind the training-set read (ops introspection).
+
+        Exposes :meth:`Collection.explain` for the exact query
+        :meth:`retrain` issues, so operators can confirm the nightly rebuild
+        pulls its alarms through the timestamp index rather than a full
+        collection sort.
+        """
+        return self.history.collection.explain(
+            sort=("timestamp", -1), limit=self.max_training_alarms
+        )
 
     def retrain(self, now: float | None = None) -> RetrainRecord:
         """Unconditionally rebuild and swap the serving model."""

@@ -9,13 +9,15 @@ Public API:
 * :func:`~repro.storage.aggregate.aggregate` /
   :func:`~repro.storage.aggregate.group_histogram` — aggregation pipelines
   (the paper's per-device alarm histogram is ``group_histogram``).
-* :func:`~repro.storage.query.matches` — the pure filter matcher.
+* :func:`~repro.storage.query.compile_filter` — the query compiler: one
+  validation pass, then a reusable fused predicate.
+* :func:`~repro.storage.query.matches` — the pure one-off filter matcher.
 """
 
 from repro.storage.aggregate import aggregate, group_histogram
 from repro.storage.collection import Collection
 from repro.storage.index import HashIndex, SortedIndex
-from repro.storage.query import matches, resolve_path, validate_filter
+from repro.storage.query import compile_filter, matches, resolve_path, validate_filter
 from repro.storage.store import DocumentStore
 
 __all__ = [
@@ -24,6 +26,7 @@ __all__ = [
     "Collection",
     "HashIndex",
     "SortedIndex",
+    "compile_filter",
     "matches",
     "resolve_path",
     "validate_filter",

@@ -12,6 +12,13 @@ Group accumulators: ``$sum``, ``$avg``, ``$min``, ``$max``, ``$push``,
 
 Expressions: ``"$field"`` path references (dotted paths supported) and
 literal values.
+
+When the ``documents`` argument is a :class:`~repro.storage.collection
+.Collection` (the form :meth:`DocumentStore.aggregate` uses), a leading
+``$match`` — and a single-field ``$sort`` with trailing ``$skip``/``$limit``
+— is **pushed down** into the collection's query planner, so index-assisted
+candidate pruning, index-order sorts and top-k limits apply before a single
+document is cloned, instead of filtering full copies of the collection.
 """
 
 from __future__ import annotations
@@ -20,9 +27,10 @@ import copy
 from typing import Any, Iterable, Mapping
 
 from repro.errors import QueryError
-from repro.storage.query import matches, resolve_path
+from repro.storage.collection import Collection
+from repro.storage.query import compile_filter, matches, rank_value, resolve_path
 
-__all__ = ["aggregate", "group_histogram"]
+__all__ = ["aggregate", "group_histogram", "plan_pushdown"]
 
 
 def _evaluate(expression: Any, document: Mapping[str, Any]) -> Any:
@@ -136,25 +144,14 @@ def _stage_project(documents: list[dict[str, Any]], spec: Mapping[str, Any]) -> 
 def _stage_sort(documents: list[dict[str, Any]], spec: Mapping[str, Any]) -> list[dict[str, Any]]:
     result = list(documents)
     # Apply sort keys in reverse so the first key is the primary one.
+    # rank_value is the same ordering rule Collection sorts use, which is
+    # what makes the $sort pushdown a pure optimization.
     for field, direction in reversed(list(spec.items())):
         if direction not in (1, -1):
             raise QueryError(f"$sort direction must be 1 or -1, got {direction!r}")
-        result.sort(key=lambda d, f=field: _orderable(_evaluate(f"${f}", d)),
+        result.sort(key=lambda d, f=field: rank_value(_evaluate(f"${f}", d)),
                     reverse=direction == -1)
     return result
-
-
-def _orderable(value: Any) -> tuple[int, Any]:
-    """Type-ranked wrapper so mixed-type sorts never raise."""
-    if value is None:
-        return (3, 0)
-    if isinstance(value, bool):
-        return (0, int(value))
-    if isinstance(value, (int, float)):
-        return (0, value)
-    if isinstance(value, str):
-        return (1, value)
-    return (2, repr(value))
 
 
 def _stage_unwind(documents: list[dict[str, Any]], spec: Any) -> list[dict[str, Any]]:
@@ -182,10 +179,84 @@ def _stage_unwind(documents: list[dict[str, Any]], spec: Any) -> list[dict[str, 
     return out
 
 
-def aggregate(documents: Iterable[Mapping[str, Any]],
+def plan_pushdown(pipeline: list[Mapping[str, Any]]) -> tuple[dict[str, Any], int]:
+    """Split ``pipeline`` into planner arguments and the residual stages.
+
+    Returns ``(find_kwargs, consumed)`` where ``find_kwargs`` are arguments
+    for :meth:`Collection.find` covering the leading prefix of ``consumed``
+    stages.  Only well-formed, exactly-translatable stages are consumed:
+    any number of leading ``$match`` (combined with ``$and``), then
+    optionally one single-field non-dotted ``$sort``, then ``$skip`` and/or
+    ``$limit`` in that order.  Anything questionable is left for the
+    interpreter so stage validation errors surface unchanged.
+    """
+    kwargs: dict[str, Any] = {}
+    filters: list[Mapping[str, Any]] = []
+    consumed = 0
+
+    def stage_at(position: int) -> tuple[str, Any] | None:
+        if position >= len(pipeline):
+            return None
+        stage = pipeline[position]
+        if not isinstance(stage, Mapping) or len(stage) != 1:
+            return None
+        return next(iter(stage.items()))
+
+    while (entry := stage_at(consumed)) is not None and entry[0] == "$match":
+        if not isinstance(entry[1], Mapping):
+            break
+        try:
+            compile_filter(entry[1])
+        except QueryError:
+            break  # malformed filter: let the interpreter raise in place
+        filters.append(entry[1])
+        consumed += 1
+    if len(filters) == 1:
+        kwargs["filter_doc"] = filters[0]
+    elif filters:
+        kwargs["filter_doc"] = {"$and": filters}
+
+    entry = stage_at(consumed)
+    if entry is not None and entry[0] == "$sort" and isinstance(entry[1], Mapping) \
+            and len(entry[1]) == 1:
+        (field, direction), = entry[1].items()
+        # Dotted paths can fan out over arrays, where find() and the $sort
+        # stage rank multi-valued documents differently — don't push those.
+        if direction in (1, -1) and isinstance(field, str) and "." not in field:
+            kwargs["sort"] = (field, direction)
+            consumed += 1
+
+    entry = stage_at(consumed)
+    if entry is not None and entry[0] == "$skip" \
+            and isinstance(entry[1], int) and not isinstance(entry[1], bool) \
+            and entry[1] >= 0:
+        kwargs["skip"] = entry[1]
+        consumed += 1
+    entry = stage_at(consumed)
+    if entry is not None and entry[0] == "$limit" \
+            and isinstance(entry[1], int) and not isinstance(entry[1], bool) \
+            and entry[1] >= 0:
+        kwargs["limit"] = entry[1]
+        consumed += 1
+    return kwargs, consumed
+
+
+def aggregate(documents: Iterable[Mapping[str, Any]] | Collection,
               pipeline: list[Mapping[str, Any]]) -> list[dict[str, Any]]:
-    """Run ``pipeline`` over ``documents`` and return the resulting rows."""
-    current: list[dict[str, Any]] = [dict(doc) for doc in documents]
+    """Run ``pipeline`` over ``documents`` and return the resulting rows.
+
+    ``documents`` may be a :class:`Collection`, in which case the leading
+    ``$match``/``$sort``/``$skip``/``$limit`` prefix is answered by the
+    collection's query planner (see :func:`plan_pushdown`).
+    """
+    if isinstance(documents, Collection):
+        kwargs, consumed = plan_pushdown(pipeline)
+        # find() already returns freshly cloned dicts nobody else holds;
+        # reuse them directly instead of shallow-copying every row again.
+        current: list[dict[str, Any]] = documents.find(**kwargs)
+        pipeline = pipeline[consumed:]
+    else:
+        current = [dict(doc) for doc in documents]
     for stage in pipeline:
         if not isinstance(stage, Mapping) or len(stage) != 1:
             raise QueryError("each pipeline stage must be a single-operator document")

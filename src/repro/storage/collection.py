@@ -1,22 +1,44 @@
-"""Document collection with index-assisted queries (MongoDB analogue).
+"""Document collection with a planning, index-assisted query engine.
 
 A :class:`Collection` stores schemaless JSON-like documents under an
-auto-assigned integer ``_id`` and answers filter-document queries.  The query
-planner is intentionally simple but real: top-level equality / ``$in`` /
-range conditions that have a matching index produce a candidate id set,
-and the full filter is then verified per candidate — i.e. indexes are an
-optimization, never a semantic change.  This is validated by property tests
-comparing indexed and non-indexed execution.
+auto-assigned integer ``_id`` and answers filter-document queries.  Reads go
+through a real (if small) query planner:
+
+* filters are **compiled once** (:func:`repro.storage.query.compile_filter`)
+  and the resulting predicate is reused for every candidate document;
+* candidate id sets from **all** applicable indexes are intersected, and the
+  planner descends into ``$and`` branches to find more of them;
+* conjuncts that an index answers *exactly* need no per-document
+  verification — a fully index-served filter makes ``count()`` a pure index
+  operation and lets ``find()`` skip the matcher entirely;
+* a ``sort=`` on a :class:`SortedIndex` field is satisfied by walking the
+  index in key order instead of sorting, and a ``limit=`` without a usable
+  index runs a ``heapq`` top-k instead of a full sort;
+* documents are cloned only *after* skip/limit cut the result down, the
+  projection is applied *before* cloning so dropped fields are never copied,
+  and the clone itself happens outside the collection lock (ids and
+  references are snapshotted under it).
+
+Indexes remain an optimization, never a semantic change: property tests
+compare every planned execution against a naive full scan with
+:func:`~repro.storage.query.matches`.  :meth:`Collection.explain` exposes
+the chosen plan for tests and operations.
 """
 
 from __future__ import annotations
 
+import heapq
 import threading
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.errors import IndexError_, QueryError
 from repro.storage.index import HashIndex, SortedIndex
-from repro.storage.query import matches, resolve_path, validate_filter
+from repro.storage.query import (
+    compile_filter,
+    is_operator_doc,
+    rank_value,
+    resolve_path,
+)
 
 __all__ = ["Collection"]
 
@@ -38,6 +60,31 @@ def _clone(value: Any) -> Any:
     return value
 
 
+def _project_clone(doc: dict[str, Any], keep: set[str] | None) -> dict[str, Any]:
+    """Clone ``doc``, copying only projected fields when ``keep`` is given."""
+    if keep is None:
+        return _clone(doc)
+    return {key: _clone(value) for key, value in doc.items() if key in keep}
+
+
+class _Plan:
+    """Outcome of planning one filter: candidates, used indexes, coverage."""
+
+    __slots__ = ("candidates", "indexes", "covered")
+
+    def __init__(self) -> None:
+        #: Superset of matching ids, or None when only a full scan will do.
+        self.candidates: set[int] | None = None
+        #: Descriptors of every index consulted: {"field", "kind", "op"}.
+        self.indexes: list[dict[str, Any]] = []
+        #: True when the candidate set *exactly* equals the matching set,
+        #: so no per-document verification is needed.
+        self.covered = True
+
+    def narrow(self, ids: set[int]) -> None:
+        self.candidates = ids if self.candidates is None else self.candidates & ids
+
+
 class Collection:
     """A named set of documents with secondary indexes."""
 
@@ -55,54 +102,76 @@ class Collection:
 
     def insert_one(self, document: Mapping[str, Any]) -> int:
         """Insert a copy of ``document``; returns its assigned ``_id``."""
-        if not isinstance(document, Mapping):
-            raise QueryError(f"documents must be mappings, got {type(document).__name__}")
         with self._lock:
-            doc = _clone(dict(document))
-            doc_id = self._next_id
-            doc["_id"] = doc_id
-            # Validate unique constraints before mutating any index.
-            for index in self._indexes.values():
-                if isinstance(index, HashIndex) and index.unique:
-                    index.add(doc_id, doc)  # raises DuplicateKeyError
-            for index in self._indexes.values():
-                if not (isinstance(index, HashIndex) and index.unique):
-                    index.add(doc_id, doc)
-            self._documents[doc_id] = doc
-            self._next_id += 1
-            return doc_id
+            return self._insert_locked(document)
 
     def insert_many(self, documents: Iterable[Mapping[str, Any]]) -> list[int]:
-        """Insert several documents; returns their ids in order."""
-        return [self.insert_one(doc) for doc in documents]
+        """Insert several documents under one lock; returns their ids in order."""
+        with self._lock:
+            return [self._insert_locked(doc) for doc in documents]
+
+    def _insert_locked(self, document: Mapping[str, Any]) -> int:
+        if not isinstance(document, Mapping):
+            raise QueryError(f"documents must be mappings, got {type(document).__name__}")
+        doc = _clone(dict(document))
+        doc_id = self._next_id
+        doc["_id"] = doc_id
+        # Validate every unique constraint before mutating any index, so a
+        # rejected insert leaves all indexes untouched.
+        for index in self._indexes.values():
+            if isinstance(index, HashIndex):
+                index.validate_unique(doc_id, doc)
+        for index in self._indexes.values():
+            if isinstance(index, HashIndex):
+                index.add(doc_id, doc, validated=True)
+            else:
+                index.add(doc_id, doc)
+        self._documents[doc_id] = doc
+        self._next_id += 1
+        return doc_id
 
     def update_many(self, filter_doc: Mapping[str, Any],
                     update: Callable[[dict[str, Any]], None] | Mapping[str, Any]) -> int:
-        """Update matching documents in place; returns the count updated.
+        """Update matching documents; returns the count updated.
 
         ``update`` is either a ``$set``-style mapping (``{"$set": {...}}``)
-        or a callable mutating the document dict directly.
+        or a callable mutating the document dict directly.  Each document is
+        updated transactionally with respect to the indexes: the updated
+        version is validated against every unique constraint *before* any
+        index entry is removed, so a :class:`DuplicateKeyError` leaves both
+        the failing document and all indexes consistent (documents earlier
+        in the batch stay updated, as in MongoDB's ordered updates).
         """
         updater = self._compile_update(update)
+        pred = compile_filter(filter_doc)
         with self._lock:
-            count = 0
-            for doc_id, doc in list(self._documents.items()):
-                if not matches(doc, filter_doc):
-                    continue
+            matching = self._matching_ids_locked(filter_doc, pred)
+            unique_indexes = [
+                index for index in self._indexes.values()
+                if isinstance(index, HashIndex) and index.unique
+            ]
+            for doc_id in matching:
+                doc = self._documents[doc_id]
+                updated = _clone(doc)
+                updater(updated)
+                updated["_id"] = doc_id  # _id is immutable
+                for index in unique_indexes:
+                    index.validate_unique(doc_id, updated)  # raises pre-mutation
                 for index in self._indexes.values():
                     index.remove(doc_id, doc)
-                updater(doc)
-                doc["_id"] = doc_id  # _id is immutable
+                self._documents[doc_id] = updated
                 for index in self._indexes.values():
-                    index.add(doc_id, doc)
-                count += 1
-            return count
+                    if isinstance(index, HashIndex):
+                        index.add(doc_id, updated, validated=True)
+                    else:
+                        index.add(doc_id, updated)
+            return len(matching)
 
     def delete_many(self, filter_doc: Mapping[str, Any]) -> int:
         """Delete matching documents; returns the count deleted."""
+        pred = compile_filter(filter_doc)
         with self._lock:
-            doomed = [doc_id for doc_id in self._candidate_ids(filter_doc)
-                      if matches(self._documents[doc_id], filter_doc)]
+            doomed = self._matching_ids_locked(filter_doc, pred)
             for doc_id in doomed:
                 doc = self._documents.pop(doc_id)
                 for index in self._indexes.values():
@@ -159,14 +228,15 @@ class Collection:
                 raise IndexError_(f"index on {field!r} already exists")
             if kind == "hash":
                 index: HashIndex | SortedIndex = HashIndex(field, unique=unique)
+                for doc_id, doc in self._documents.items():
+                    index.add(doc_id, doc)
             elif kind == "sorted":
                 if unique:
                     raise IndexError_("unique is only supported on hash indexes")
                 index = SortedIndex(field)
+                index.bulk_load(self._documents.items())
             else:
                 raise IndexError_(f"unknown index kind {kind!r}")
-            for doc_id, doc in self._documents.items():
-                index.add(doc_id, doc)
             self._indexes[field] = index
 
     def drop_index(self, field: str) -> None:
@@ -208,29 +278,21 @@ class Collection:
 
         ``sort`` is a field name or ``(field, direction)`` with direction
         ``1``/``-1``.  ``projection`` keeps only the listed fields plus
-        ``_id``.
+        ``_id``.  ``limit`` and ``skip`` must be non-negative.
         """
         filter_doc = filter_doc or {}
-        validate_filter(filter_doc)
+        pred = compile_filter(filter_doc)
+        _validate_window(limit, skip)
+        sort_field, reverse = _parse_sort(sort)
         with self._lock:
-            results = [_clone(self._documents[doc_id])
-                       for doc_id in self._matching_ids(filter_doc)]
-        if sort is not None:
-            field, direction = sort if isinstance(sort, tuple) else (sort, 1)
-            results.sort(
-                key=lambda d: _sort_key(d, field),
-                reverse=direction < 0,
-            )
-        else:
-            results.sort(key=lambda d: d["_id"])
-        if skip:
-            results = results[skip:]
-        if limit is not None:
-            results = results[:limit]
-        if projection is not None:
-            keep = set(projection) | {"_id"}
-            results = [{k: v for k, v in doc.items() if k in keep} for doc in results]
-        return results
+            ordered = self._ordered_ids_locked(filter_doc, pred, sort_field,
+                                               reverse, limit, skip)
+            if skip:
+                ordered = ordered[skip:]
+            if limit is not None:
+                ordered = ordered[:limit]
+            snapshot = [(doc_id, self._documents[doc_id]) for doc_id in ordered]
+        return self._materialize(snapshot, projection)
 
     def find_one(self, filter_doc: Mapping[str, Any] | None = None) -> dict[str, Any] | None:
         """First matching document in ``_id`` order, or None."""
@@ -244,29 +306,49 @@ class Collection:
             return _clone(doc) if doc is not None else None
 
     def count(self, filter_doc: Mapping[str, Any] | None = None) -> int:
-        """Number of matching documents."""
+        """Number of matching documents.
+
+        A filter whose every conjunct is exactly answered by an index is
+        counted from the index intersection alone — no document is touched.
+        """
         filter_doc = filter_doc or {}
-        validate_filter(filter_doc)
+        pred = compile_filter(filter_doc)
         with self._lock:
             if not filter_doc:
                 return len(self._documents)
-            return sum(1 for _ in self._matching_ids(filter_doc))
+            plan = self._plan_filter(filter_doc)
+            candidates = self._note_candidates(plan)
+            if plan.covered and plan.candidates is not None:
+                return len(plan.candidates)
+            docs = self._documents
+            return sum(1 for doc_id in candidates if pred(docs[doc_id]))
 
     def distinct(self, field: str, filter_doc: Mapping[str, Any] | None = None) -> list[Any]:
         """Distinct values of ``field`` over matching documents, sorted when possible."""
         filter_doc = filter_doc or {}
+        pred = compile_filter(filter_doc)
+        out: list[Any] = []
+        seen_hashable: set[Any] = set()
+        seen_unhashable: list[Any] = []
         with self._lock:
-            seen: list[Any] = []
-            for doc_id in self._matching_ids(filter_doc):
+            for doc_id in self._matching_ids_locked(filter_doc, pred):
                 for value in resolve_path(self._documents[doc_id], field):
                     candidates = value if isinstance(value, list) else [value]
                     for candidate in candidates:
-                        if candidate not in seen:
-                            seen.append(candidate)
+                        try:
+                            if candidate in seen_hashable:
+                                continue
+                            seen_hashable.add(candidate)
+                        except TypeError:
+                            # Unhashable (dict/list) values: linear fallback.
+                            if candidate in seen_unhashable:
+                                continue
+                            seen_unhashable.append(candidate)
+                        out.append(_clone(candidate))
         try:
-            return sorted(seen)
+            return sorted(out)
         except TypeError:
-            return seen
+            return out
 
     def all_documents(self) -> Iterator[dict[str, Any]]:
         """Iterate copies of all documents in ``_id`` order."""
@@ -283,75 +365,334 @@ class Collection:
 
     # -- planner ---------------------------------------------------------------------
 
-    def _matching_ids(self, filter_doc: Mapping[str, Any]) -> list[int]:
-        candidates = self._candidate_ids(filter_doc)
-        return sorted(
-            doc_id for doc_id in candidates if matches(self._documents[doc_id], filter_doc)
-        )
+    def explain(self, filter_doc: Mapping[str, Any] | None = None,
+                sort: str | tuple[str, int] | None = None,
+                limit: int | None = None,
+                skip: int = 0) -> dict[str, Any]:
+        """Describe the plan :meth:`find` would choose, without executing it.
 
-    def _candidate_ids(self, filter_doc: Mapping[str, Any]) -> set[int]:
-        """Narrow the id set using the most selective applicable index."""
-        best: set[int] | None = None
-        for field, condition in filter_doc.items():
-            if field.startswith("$"):
-                continue
-            index = self._indexes.get(field)
-            if index is None:
-                continue
-            ids = self._ids_from_index(index, condition)
-            if ids is None:
-                continue
-            if best is None or len(ids) < len(best):
-                best = ids
-        if best is None:
+        Returns a dict with ``mode`` (``"index"``/``"scan"``), the list of
+        ``indexes`` consulted (field, kind, op), the ``candidates`` count the
+        plan would verify, ``covered`` (True when no per-document
+        verification is needed), ``verified`` (candidates actually run
+        through the matcher), and — when ``sort`` is given — the chosen
+        ``sort`` strategy: ``index-order``, ``top-k-heap`` or ``full-sort``.
+        """
+        filter_doc = filter_doc or {}
+        compile_filter(filter_doc)  # surface filter errors exactly like find()
+        _validate_window(limit, skip)
+        sort_field, reverse = _parse_sort(sort)
+        with self._lock:
+            plan = self._plan_filter(filter_doc)
+            total = len(self._documents)
+            candidates = total if plan.candidates is None else len(plan.candidates)
+            covered = plan.covered
+            report: dict[str, Any] = {
+                "collection": self.name,
+                "filter": _clone(dict(filter_doc)),
+                "mode": "scan" if plan.candidates is None else "index",
+                "documents": total,
+                "candidates": candidates,
+                "indexes": plan.indexes,
+                "covered": covered,
+                "verified": 0 if covered else candidates,
+                "sort": None,
+            }
+            if sort_field is not None:
+                if self._index_order_usable(sort_field, plan.candidates):
+                    strategy = "index-order"
+                elif limit is not None:
+                    strategy = "top-k-heap"
+                else:
+                    strategy = "full-sort"
+                report["sort"] = {
+                    "field": sort_field,
+                    "direction": -1 if reverse else 1,
+                    "strategy": strategy,
+                }
+            return report
+
+    def _plan_filter(self, filter_doc: Mapping[str, Any]) -> _Plan:
+        """Plan ``filter_doc``: intersect every applicable index, descending
+        into ``$and`` branches; track exactness for covered execution."""
+        plan = _Plan()
+        self._plan_into(filter_doc, plan)
+        return plan
+
+    def _plan_into(self, filter_doc: Mapping[str, Any], plan: _Plan) -> None:
+        for key, condition in filter_doc.items():
+            if key == "$and":
+                # compile_filter already validated the shape.
+                for sub in condition:
+                    self._plan_into(sub, plan)
+            elif key.startswith("$"):
+                plan.covered = False  # $or / $nor need per-document checks
+            else:
+                index = self._indexes.get(key)
+                served = None if index is None else _ids_from_index(index, condition)
+                if served is None:
+                    plan.covered = False
+                else:
+                    ids, op_desc, exact = served
+                    plan.narrow(ids)
+                    plan.indexes.append({"field": key, "kind": index.kind, "op": op_desc})
+                    if not exact:
+                        plan.covered = False
+
+    def _note_candidates(self, plan: _Plan) -> Iterable[int]:
+        """Record scan/index-hit instrumentation; return the candidate ids."""
+        if plan.candidates is None:
             self.scans += 1
-            return set(self._documents)
+            return self._documents.keys()
         self.index_hits += 1
-        return best
+        return plan.candidates
 
-    @staticmethod
-    def _ids_from_index(index: HashIndex | SortedIndex, condition: Any) -> set[int] | None:
-        is_operator_doc = isinstance(condition, Mapping) and any(
-            key.startswith("$") for key in condition
-        )
-        if not is_operator_doc:
-            if isinstance(condition, Mapping) or condition is None:
-                return None  # nested-doc equality / null: fall back to scan
-            return index.lookup(condition)
-        if isinstance(index, HashIndex):
-            if set(condition) == {"$eq"}:
-                return index.lookup(condition["$eq"])
-            if set(condition) == {"$in"} and isinstance(condition["$in"], (list, tuple)):
-                return index.lookup_in(list(condition["$in"]))
+    def _matching_ids_locked(self, filter_doc: Mapping[str, Any],
+                             pred: Callable[[Mapping[str, Any]], bool]) -> list[int]:
+        """Sorted ids of matching documents (caller holds the lock)."""
+        plan = self._plan_filter(filter_doc)
+        candidates = self._note_candidates(plan)
+        docs = self._documents
+        if plan.covered and plan.candidates is not None:
+            return sorted(candidates)
+        return sorted(doc_id for doc_id in candidates if pred(docs[doc_id]))
+
+    def _index_order_usable(self, sort_field: str, candidates: set[int] | None) -> bool:
+        """True when walking the sorted index on ``sort_field`` reproduces
+        the matcher's sort order for every candidate document."""
+        index = self._indexes.get(sort_field)
+        if not isinstance(index, SortedIndex):
+            return False
+        irregular = index.irregular_ids
+        if not irregular:
+            return True
+        return candidates is not None and candidates.isdisjoint(irregular)
+
+    def _ordered_ids_locked(self, filter_doc: Mapping[str, Any],
+                            pred: Callable[[Mapping[str, Any]], bool],
+                            sort_field: str | None, reverse: bool,
+                            limit: int | None, skip: int) -> list[int]:
+        """Matching ids in final result order, truncated to skip+limit when
+        possible (caller holds the lock; slicing happens in find())."""
+        plan = self._plan_filter(filter_doc)
+        candidates = self._note_candidates(plan)
+        docs = self._documents
+        covered = plan.covered and plan.candidates is not None
+        need = None if limit is None else skip + limit
+
+        if sort_field is None:
+            if covered:
+                ids: Iterable[int] = candidates
+            else:
+                ids = [doc_id for doc_id in candidates if pred(docs[doc_id])]
+            if need is not None:
+                return heapq.nsmallest(need, ids)
+            return sorted(ids)
+
+        if self._index_order_usable(sort_field, plan.candidates):
+            return self._ids_in_index_order(sort_field, plan.candidates, covered,
+                                            pred, reverse, need)
+
+        if covered:
+            matching: Iterable[int] = candidates
+        else:
+            matching = (doc_id for doc_id in candidates if pred(docs[doc_id]))
+        if need is not None:
+            # Top-k heap: ties must break by ascending id in both directions,
+            # mirroring a stable sort over id-ordered input.
+            if reverse:
+                top = heapq.nlargest(
+                    need,
+                    ((_sort_key(docs[i], sort_field), -i) for i in matching),
+                )
+                return [-neg for _, neg in top]
+            top = heapq.nsmallest(
+                need, ((_sort_key(docs[i], sort_field), i) for i in matching)
+            )
+            return [i for _, i in top]
+        if reverse:
+            pairs = sorted(((_sort_key(docs[i], sort_field), -i) for i in matching),
+                           reverse=True)
+            return [-neg for _, neg in pairs]
+        pairs = sorted((_sort_key(docs[i], sort_field), i) for i in matching)
+        return [i for _, i in pairs]
+
+    def _ids_in_index_order(self, sort_field: str, candidates: set[int] | None,
+                            covered: bool, pred: Callable[[Mapping[str, Any]], bool],
+                            reverse: bool, need: int | None) -> list[int]:
+        """Produce result order by walking the sorted index.
+
+        Documents absent from the index (missing/null sort field; every
+        candidate is known "regular" here) form the missing bucket: last for
+        ascending sorts, first for descending ones — exactly where the
+        matcher's missing-last sort key puts them under ``reverse``.
+        """
+        docs = self._documents
+        index = self._indexes[sort_field]
+        assert isinstance(index, SortedIndex)
+        in_candidates = (lambda i: True) if candidates is None else candidates.__contains__
+
+        def accepted(doc_id: int) -> bool:
+            return in_candidates(doc_id) and (covered or pred(docs[doc_id]))
+
+        def missing_bucket() -> list[int]:
+            # All candidates are regular here, so each indexed doc holds
+            # exactly one entry: a full-size index means nothing is missing.
+            if candidates is None and len(index) == len(docs):
+                return []
+            pool = docs.keys() if candidates is None else candidates
+            out = []
+            for doc_id in pool:
+                values = resolve_path(docs[doc_id], sort_field)
+                if (not values or values[0] is None) and (covered or pred(docs[doc_id])):
+                    out.append(doc_id)
+            out.sort()
+            return out
+
+        if not reverse:
+            picked: list[int] = []
+            for doc_id in index.ordered_ids():
+                if accepted(doc_id):
+                    picked.append(doc_id)
+                    if need is not None and len(picked) >= need:
+                        return picked
+            return picked + missing_bucket()
+
+        ordered = missing_bucket()
+        if need is not None and len(ordered) >= need:
+            return ordered[:need]
+        for doc_id in index.ordered_ids(reverse=True):
+            if accepted(doc_id):
+                ordered.append(doc_id)
+                if need is not None and len(ordered) >= need:
+                    break
+        return ordered
+
+    def _materialize(self, snapshot: list[tuple[int, dict[str, Any]]],
+                     projection: list[str] | None) -> list[dict[str, Any]]:
+        """Clone snapshotted documents outside the lock, projecting first so
+        dropped fields are never copied."""
+        keep = None if projection is None else set(projection) | {"_id"}
+        out: list[dict[str, Any]] = []
+        for doc_id, doc in snapshot:
+            try:
+                out.append(_project_clone(doc, keep))
+            except RuntimeError:
+                # The document was mutated in place while we cloned it
+                # lock-free; retake the lock for a consistent copy.
+                with self._lock:
+                    current = self._documents.get(doc_id, doc)
+                    out.append(_project_clone(current, keep))
+        return out
+
+
+def _validate_window(limit: int | None, skip: int) -> None:
+    """Reject negative limit/skip: the top-k paths cannot honour Python's
+    negative-slice semantics, so refuse them deterministically."""
+    if limit is not None and limit < 0:
+        raise QueryError(f"limit must be non-negative, got {limit}")
+    if skip < 0:
+        raise QueryError(f"skip must be non-negative, got {skip}")
+
+
+def _parse_sort(sort: str | tuple[str, int] | None) -> tuple[str | None, bool]:
+    if sort is None:
+        return None, False
+    field, direction = sort if isinstance(sort, tuple) else (sort, 1)
+    return field, direction < 0
+
+
+def _ids_from_index(index: HashIndex | SortedIndex,
+                    condition: Any) -> tuple[set[int], str, bool] | None:
+    """Candidate ids an index contributes for one ``field: condition`` pair.
+
+    Returns ``(ids, op, exact)`` or None when the index cannot serve the
+    condition.  ``exact`` means the id set equals the matching set for this
+    conjunct (no verification needed); inexact sets are supersets — e.g. a
+    range condition carrying extra operators, or a sorted index with
+    irregular (array/bool/off-family) values unioned back in.
+    """
+    if isinstance(index, HashIndex):
+        return _ids_from_hash(index, condition)
+    return _ids_from_sorted(index, condition)
+
+
+def _ids_from_hash(index: HashIndex, condition: Any) -> tuple[set[int], str, bool] | None:
+    if not is_operator_doc(condition):
+        # {field: None} also matches missing docs; nested-document equality
+        # and unhashable operands fall back to scanning.
+        if condition is None or isinstance(condition, Mapping):
             return None
-        # SortedIndex: handle pure range/equality operator documents.
-        if not set(condition) <= (_RANGE_OPS | {"$eq"}):
+        try:
+            return index.lookup(condition), "eq", True
+        except TypeError:
             return None
-        if "$eq" in condition:
-            return index.lookup(condition["$eq"])
-        low = condition.get("$gt", condition.get("$gte"))
-        high = condition.get("$lt", condition.get("$lte"))
-        return index.range(
+    if "$eq" in condition:
+        operand = condition["$eq"]
+        if operand is not None and not isinstance(operand, Mapping):
+            try:
+                return index.lookup(operand), "eq", set(condition) == {"$eq"}
+            except TypeError:
+                pass
+    if "$in" in condition:
+        operand = condition["$in"]
+        # None in the operand list matches missing documents, which no
+        # index entry covers — scan instead.
+        if isinstance(operand, (list, tuple)) and all(c is not None for c in operand):
+            try:
+                return index.lookup_in(list(operand)), "in", set(condition) == {"$in"}
+            except TypeError:
+                pass  # unhashable member
+    return None
+
+
+def _ids_from_sorted(index: SortedIndex, condition: Any) -> tuple[set[int], str, bool] | None:
+    # Documents the index could not represent faithfully (array fan-out,
+    # bools, off-family values) are unioned back into the candidates so the
+    # matcher gets to judge them; their presence also voids exactness.
+    irregular = index.irregular_ids
+    if not is_operator_doc(condition):
+        if condition is None or isinstance(condition, Mapping):
+            return None
+        try:
+            ids = index.lookup(condition)
+        except TypeError:
+            return None  # off-family probe: index inapplicable
+        return ids | irregular, "eq", not irregular
+    ops = set(condition)
+    if "$eq" in condition:
+        operand = condition["$eq"]
+        if operand is None or isinstance(operand, Mapping):
+            return None
+        try:
+            ids = index.lookup(operand)
+        except TypeError:
+            return None
+        return ids | irregular, "eq", ops == {"$eq"} and not irregular
+    range_ops = ops & _RANGE_OPS
+    if not range_ops or any(condition[op] is None for op in range_ops):
+        return None
+    low = condition.get("$gt", condition.get("$gte"))
+    high = condition.get("$lt", condition.get("$lte"))
+    # With both $gt and $gte (or $lt and $lte) the scan below keeps only the
+    # $gt/$lt operand but widens it to inclusive — still a candidate
+    # superset, so the index is usable, but never exact.
+    doubled = ("$gt" in condition and "$gte" in condition) \
+        or ("$lt" in condition and "$lte" in condition)
+    try:
+        ids = index.range(
             low=low,
             high=high,
             include_low="$gte" in condition or "$gt" not in condition,
             include_high="$lte" in condition or "$lt" not in condition,
         )
+    except TypeError:
+        return None
+    exact = ops <= _RANGE_OPS and not doubled and not irregular
+    return ids | irregular, "range", exact
 
 
-def _sort_key(document: Mapping[str, Any], field: str) -> tuple[int, int, Any]:
-    """Missing-last, type-ranked sort key so mixed-type sorts never raise.
-
-    Rank order: numbers < strings < everything else < missing/None.
-    """
+def _sort_key(document: Mapping[str, Any], field: str) -> tuple[int, Any]:
+    """Missing-last, type-ranked sort key (see :func:`rank_value`)."""
     values = resolve_path(document, field)
-    if not values or values[0] is None:
-        return (3, 0, 0)
-    value = values[0]
-    if isinstance(value, bool):
-        return (0, 0, int(value))
-    if isinstance(value, (int, float)):
-        return (0, 0, value)
-    if isinstance(value, str):
-        return (1, 0, value)
-    return (2, 0, str(value))
+    return rank_value(values[0]) if values else (3, 0)

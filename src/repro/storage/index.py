@@ -5,17 +5,20 @@ Two index types cover the query shapes the paper's batch component issues:
 * :class:`HashIndex` — equality lookups (``find({"address": ...})`` for the
   per-device alarm histogram).
 * :class:`SortedIndex` — range lookups (``$gt/$gte/$lt/$lte`` on timestamps,
-  e.g. "alarms since time t").
+  e.g. "alarms since time t") and index-order scans that let the planner
+  satisfy ``sort=`` without sorting.
 
 Indexes map field values to document ids and are maintained incrementally on
 insert/update/delete.  ``unique=True`` on a hash index enforces a uniqueness
-constraint at insert time.
+constraint at insert time; :meth:`HashIndex.validate_unique` checks the
+constraint *without* mutating the index so writers can validate every unique
+index before touching any of them.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Any, Hashable, Iterator
+from typing import Any, Hashable, Iterable, Iterator
 
 from repro.errors import DuplicateKeyError
 from repro.storage.query import resolve_path
@@ -48,17 +51,26 @@ class HashIndex:
         self.unique = unique
         self._entries: dict[Hashable, set[int]] = {}
 
-    def add(self, doc_id: int, document: dict[str, Any]) -> None:
-        """Index ``document``; raises :class:`DuplicateKeyError` if unique is violated."""
-        keys = _index_keys(document, self.field)
-        if self.unique:
-            for key in keys:
-                existing = self._entries.get(key)
-                if existing and doc_id not in existing:
-                    raise DuplicateKeyError(
-                        f"duplicate value {key!r} for unique index on {self.field!r}"
-                    )
-        for key in keys:
+    def validate_unique(self, doc_id: int, document: dict[str, Any]) -> None:
+        """Raise :class:`DuplicateKeyError` if indexing ``document`` would
+        violate the unique constraint.  Never mutates the index."""
+        if not self.unique:
+            return
+        for key in _index_keys(document, self.field):
+            existing = self._entries.get(key)
+            if existing and doc_id not in existing:
+                raise DuplicateKeyError(
+                    f"duplicate value {key!r} for unique index on {self.field!r}"
+                )
+
+    def add(self, doc_id: int, document: dict[str, Any],
+            validated: bool = False) -> None:
+        """Index ``document``; raises :class:`DuplicateKeyError` if unique is
+        violated.  ``validated=True`` skips the constraint check for writers
+        that already ran :meth:`validate_unique` across every index."""
+        if not validated:
+            self.validate_unique(doc_id, document)
+        for key in _index_keys(document, self.field):
             self._entries.setdefault(key, set()).add(doc_id)
 
     def remove(self, doc_id: int, document: dict[str, Any]) -> None:
@@ -95,6 +107,16 @@ class SortedIndex:
     Only values of one orderable type family should be indexed together;
     mixed-type values raise ``TypeError`` from ``bisect``, so the index skips
     values that do not compare against its first key.
+
+    Beyond range candidate sets, the index supports **order-producing
+    scans** (:meth:`ordered_ids`) that the query planner uses to satisfy
+    ``sort=`` without sorting.  That is only equivalent to the matcher's
+    sort semantics for documents whose field value is a single scalar of the
+    index's type family (missing/``None`` values sort in the trailing
+    bucket); documents violating this — array fan-out, bools, values of
+    another type family, nested documents — are tracked in
+    :attr:`irregular_ids` so the planner can fall back to a real sort when
+    any of them is in play.
     """
 
     kind = "sorted"
@@ -103,14 +125,58 @@ class SortedIndex:
         self.field = field
         self._keys: list[Any] = []
         self._ids: list[int] = []
+        self._irregular: set[int] = set()
+
+    @property
+    def irregular_ids(self) -> set[int]:
+        """Doc ids whose indexed shape cannot drive an index-order sort."""
+        return self._irregular
+
+    def _accepted_keys(self, document: dict[str, Any],
+                       family_key: Any) -> tuple[list[Any], bool, Any]:
+        """Indexable keys of ``document`` plus whether the doc sorts regularly.
+
+        ``family_key`` anchors the type-family check (the first key ever
+        accepted); returns the possibly-updated anchor so bulk loading can
+        replicate incremental insertion-order semantics.
+        """
+        values = resolve_path(document, self.field)
+        if not values or (len(values) == 1 and values[0] is None):
+            # Missing/null: not indexed; sorts in the missing-last bucket,
+            # which the planner reproduces, so the doc is still "regular".
+            return [], True, family_key
+        accepted: list[Any] = []
+        for value in values:
+            candidates = value if isinstance(value, list) else [value]
+            for candidate in candidates:
+                if not isinstance(candidate, Hashable):
+                    continue
+                if candidate is None or isinstance(candidate, bool):
+                    continue
+                if family_key is not None and not _comparable(family_key, candidate):
+                    continue
+                if family_key is None:
+                    family_key = candidate
+                accepted.append(candidate)
+        # Regular means "walking the index reproduces the matcher's sort
+        # order for this doc": exactly one indexed scalar whose native
+        # ordering matches the type-ranked sort key — true for numbers and
+        # strings, but not for e.g. Decimal/tuple values, which the matcher
+        # ranks by str() while the index compares natively.
+        regular = (
+            len(values) == 1
+            and len(accepted) == 1
+            and isinstance(values[0], (int, float, str))
+        )
+        return accepted, regular, family_key
 
     def add(self, doc_id: int, document: dict[str, Any]) -> None:
         """Index orderable values of ``document``'s field."""
-        for key in _index_keys(document, self.field):
-            if key is None or isinstance(key, bool):
-                continue
-            if self._keys and not self._comparable(key):
-                continue
+        family = self._keys[0] if self._keys else None
+        accepted, regular, _ = self._accepted_keys(document, family)
+        if not regular:
+            self._irregular.add(doc_id)
+        for key in accepted:
             pos = bisect.bisect_left(self._keys, key)
             # Skip past equal keys with smaller doc ids for deterministic order.
             while pos < len(self._keys) and self._keys[pos] == key and self._ids[pos] < doc_id:
@@ -118,10 +184,29 @@ class SortedIndex:
             self._keys.insert(pos, key)
             self._ids.insert(pos, doc_id)
 
+    def bulk_load(self, items: Iterable[tuple[int, dict[str, Any]]]) -> None:
+        """Backfill an *empty* index from ``(doc_id, document)`` pairs.
+
+        One sort instead of per-document ``list.insert`` shifts: O(n log n)
+        for a backfill versus O(n²) incremental inserts.
+        """
+        if self._keys:
+            raise ValueError("bulk_load requires an empty index")
+        pending: list[tuple[Any, int]] = []
+        family: Any = None
+        for doc_id, document in items:
+            accepted, regular, family = self._accepted_keys(document, family)
+            if not regular:
+                self._irregular.add(doc_id)
+            pending.extend((key, doc_id) for key in accepted)
+        pending.sort()
+        self._keys = [key for key, _ in pending]
+        self._ids = [doc_id for _, doc_id in pending]
+
     def remove(self, doc_id: int, document: dict[str, Any]) -> None:
         """Un-index ``document``'s values."""
         for key in _index_keys(document, self.field):
-            if key is None or isinstance(key, bool) or not self._comparable(key):
+            if key is None or isinstance(key, bool) or not self._in_family(key):
                 continue
             pos = bisect.bisect_left(self._keys, key)
             while pos < len(self._keys) and self._keys[pos] == key:
@@ -130,10 +215,16 @@ class SortedIndex:
                     del self._ids[pos]
                     break
                 pos += 1
+        self._irregular.discard(doc_id)
 
     def range(self, low: Any = None, high: Any = None,
               include_low: bool = True, include_high: bool = True) -> set[int]:
-        """Document ids with indexed value in the given (optionally open) range."""
+        """Document ids with indexed value in the given (optionally open) range.
+
+        Raises ``TypeError`` when a bound does not compare against the
+        indexed type family (the planner treats that as "index inapplicable"
+        and falls back to a scan).
+        """
         if low is None:
             start = 0
         elif include_low:
@@ -152,6 +243,24 @@ class SortedIndex:
         """Equality via the range machinery."""
         return self.range(low=value, high=value)
 
+    def ordered_ids(self, reverse: bool = False) -> Iterator[int]:
+        """Doc ids in key order; equal keys always in ascending doc-id order.
+
+        The ascending-id tie rule in *both* directions mirrors a stable
+        ``list.sort(..., reverse=...)`` over documents pre-ordered by id,
+        which is exactly what the naive find path produces.
+        """
+        if not reverse:
+            yield from self._ids
+            return
+        i = len(self._keys) - 1
+        while i >= 0:
+            j = i
+            while j > 0 and self._keys[j - 1] == self._keys[i]:
+                j -= 1
+            yield from self._ids[j:i + 1]
+            i = j - 1
+
     def min_key(self) -> Any:
         """Smallest indexed value (None when empty)."""
         return self._keys[0] if self._keys else None
@@ -160,12 +269,16 @@ class SortedIndex:
         """Largest indexed value (None when empty)."""
         return self._keys[-1] if self._keys else None
 
-    def _comparable(self, key: Any) -> bool:
-        try:
-            self._keys[0] <= key  # noqa: B015 — probe comparison only
-            return True
-        except TypeError:
-            return False
+    def _in_family(self, key: Any) -> bool:
+        return not self._keys or _comparable(self._keys[0], key)
 
     def __len__(self) -> int:
         return len(self._keys)
+
+
+def _comparable(anchor: Any, key: Any) -> bool:
+    try:
+        anchor <= key  # noqa: B015 — probe comparison only
+        return True
+    except TypeError:
+        return False

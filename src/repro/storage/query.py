@@ -1,4 +1,4 @@
-"""Filter-document query matching (MongoDB query-language analogue).
+"""Filter-document query engine (MongoDB query-language analogue).
 
 Implements the subset of the MongoDB filter language that the paper's batch
 component needs, plus the common comparison/logical operators a downstream
@@ -13,32 +13,53 @@ user would expect:
 * dotted paths: ``{"device.sensor": "smoke"}`` descends nested documents and
   fans out over arrays, following MongoDB semantics.
 
-The entry point is :func:`matches` — pure, side-effect free, usable both by
-collection scans and by tests that compare index-assisted queries against a
-naive full scan.
+The engine is a **query compiler**: :func:`compile_filter` validates the
+filter document once and emits a tree of fused closures — dotted paths are
+pre-split, ``$regex`` patterns pre-compiled, ``$in`` operands pre-built into
+hash sets, and comparison operators bound to their operand — so evaluating
+the compiled predicate against a document does no per-call parsing,
+validation or dispatch.  :func:`matches` remains as a thin compatibility
+wrapper (compile + apply) for one-off checks and for tests that compare
+index-assisted queries against a naive full scan.
 """
 
 from __future__ import annotations
 
+import operator
 import re
-from typing import Any, Mapping
+from functools import lru_cache
+from typing import Any, Callable, Mapping
 
 from repro.errors import QueryError
 
-__all__ = ["matches", "resolve_path", "validate_filter", "OPERATORS"]
+__all__ = ["compile_filter", "matches", "rank_value", "resolve_path", "validate_filter"]
 
 _MISSING = object()
 
+#: A compiled filter: document -> bool.
+Predicate = Callable[[Mapping[str, Any]], bool]
 
-def resolve_path(document: Mapping[str, Any], path: str) -> list[Any]:
-    """Resolve dotted ``path`` inside ``document``.
+
+@lru_cache(maxsize=4096)
+def split_path(path: str) -> tuple[str, ...]:
+    """Split a dotted path once and memoise it.
+
+    Path resolution runs per document per field on every scan and on every
+    index maintenance call, so the ``str.split`` is hoisted out of the hot
+    loop.
+    """
+    return tuple(path.split("."))
+
+
+def resolve_parts(document: Mapping[str, Any], parts: tuple[str, ...]) -> list[Any]:
+    """Resolve a pre-split dotted path inside ``document``.
 
     Returns a list of reached values because MongoDB paths fan out over
     arrays: ``a.b`` on ``{"a": [{"b": 1}, {"b": 2}]}`` reaches ``[1, 2]``.
     An unreachable path yields an empty list.
     """
     values: list[Any] = [document]
-    for part in path.split("."):
+    for part in parts:
         next_values: list[Any] = []
         for value in values:
             if isinstance(value, Mapping):
@@ -61,64 +82,172 @@ def resolve_path(document: Mapping[str, Any], path: str) -> list[Any]:
     return values
 
 
-def _compare(a: Any, b: Any, op: str) -> bool:
-    """Ordered comparison that never raises on mixed types (returns False)."""
-    try:
-        if op == "gt":
-            return a > b
-        if op == "gte":
-            return a >= b
-        if op == "lt":
-            return a < b
-        return a <= b
-    except TypeError:
-        return False
+def resolve_path(document: Mapping[str, Any], path: str) -> list[Any]:
+    """Resolve dotted ``path`` inside ``document`` (see :func:`resolve_parts`)."""
+    return resolve_parts(document, split_path(path))
 
 
-def _values_for(document: Mapping[str, Any], path: str) -> list[Any]:
-    """Candidate values at ``path``: the reached values plus array fan-out.
+def rank_value(value: Any) -> tuple[int, Any]:
+    """Type-ranked sort wrapper so mixed-type sorts never raise.
+
+    Rank order: numbers < strings < everything else (by ``str()``) <
+    missing/``None``.  This is the *single* ordering rule shared by
+    collection sorts and the aggregation ``$sort`` stage — keeping them the
+    same function is what makes pushing a ``$sort`` down into the collection
+    planner a pure optimization.
+    """
+    if value is None:
+        return (3, 0)
+    if isinstance(value, bool):
+        return (0, int(value))
+    if isinstance(value, (int, float)):
+        return (0, value)
+    if isinstance(value, str):
+        return (1, value)
+    return (2, str(value))
+
+
+# -- compiled value access ---------------------------------------------------------
+
+def _make_resolver(path: str) -> Callable[[Mapping[str, Any]], list[Any]]:
+    """Reached-values getter with a fast path for non-dotted fields."""
+    parts = split_path(path)
+    if len(parts) == 1:
+        part = parts[0]
+
+        def resolve_flat(doc: Mapping[str, Any]) -> list[Any]:
+            value = doc.get(part, _MISSING)
+            return [] if value is _MISSING else [value]
+
+        return resolve_flat
+
+    def resolve_deep(doc: Mapping[str, Any]) -> list[Any]:
+        return resolve_parts(doc, parts)
+
+    return resolve_deep
+
+
+def _make_values_for(path: str) -> Callable[[Mapping[str, Any]], list[Any]]:
+    """Candidate-values getter: reached values plus array element fan-out.
 
     Mirrors MongoDB: a filter on an array field matches if the array itself
     or any of its elements satisfies the predicate.
     """
-    reached = resolve_path(document, path)
-    candidates: list[Any] = []
-    for value in reached:
-        candidates.append(value)
-        if isinstance(value, list):
-            candidates.extend(value)
-    return candidates
+    resolve = _make_resolver(path)
+
+    def values_for(doc: Mapping[str, Any]) -> list[Any]:
+        candidates: list[Any] = []
+        for value in resolve(doc):
+            candidates.append(value)
+            if isinstance(value, list):
+                candidates.extend(value)
+        return candidates
+
+    return values_for
 
 
-# -- operator implementations -----------------------------------------------------
+# -- operator compilers ------------------------------------------------------------
+#
+# Each compiler validates its operand once and returns a fused closure.
 
-def _op_eq(doc: Mapping[str, Any], path: str, operand: Any) -> bool:
-    values = _values_for(doc, path)
+def _compile_eq(path: str, operand: Any) -> Predicate:
+    values_for = _make_values_for(path)
     if operand is None:
         # Mongo semantics: {field: None} also matches missing fields.
-        return not resolve_path(doc, path) or any(v is None for v in values)
-    return any(v == operand for v in values)
+        def pred_null(doc: Mapping[str, Any]) -> bool:
+            values = values_for(doc)
+            return not values or any(v is None for v in values)
+
+        return pred_null
+
+    def pred(doc: Mapping[str, Any]) -> bool:
+        return any(v == operand for v in values_for(doc))
+
+    return pred
 
 
-def _op_ne(doc: Mapping[str, Any], path: str, operand: Any) -> bool:
-    return not _op_eq(doc, path, operand)
+def _compile_ne(path: str, operand: Any) -> Predicate:
+    eq = _compile_eq(path, operand)
+    return lambda doc: not eq(doc)
 
 
-def _op_in(doc: Mapping[str, Any], path: str, operand: Any) -> bool:
+_COMPARATORS = {
+    "$gt": operator.gt,
+    "$gte": operator.ge,
+    "$lt": operator.lt,
+    "$lte": operator.le,
+}
+
+
+def _make_compare_compiler(op_name: str):
+    compare = _COMPARATORS[op_name]
+
+    def compile_compare(path: str, operand: Any) -> Predicate:
+        values_for = _make_values_for(path)
+
+        def pred(doc: Mapping[str, Any]) -> bool:
+            for value in values_for(doc):
+                try:
+                    if compare(value, operand):
+                        return True
+                except TypeError:
+                    # Mixed-type comparisons never match (and never raise).
+                    continue
+            return False
+
+        return pred
+
+    return compile_compare
+
+
+def _split_in_operand(operand: Any) -> tuple[set, list, bool]:
+    """Pre-build ``$in`` membership structures: hash set, unhashable rest, None flag."""
+    hashable: set = set()
+    unhashable: list = []
+    for candidate in operand:
+        try:
+            hashable.add(candidate)
+        except TypeError:
+            unhashable.append(candidate)
+    return hashable, unhashable, any(c is None for c in operand)
+
+
+def _compile_in(path: str, operand: Any) -> Predicate:
     if not isinstance(operand, (list, tuple)):
         raise QueryError("$in requires a list operand")
-    return any(_op_eq(doc, path, candidate) for candidate in operand)
+    values_for = _make_values_for(path)
+    hashable, unhashable, has_none = _split_in_operand(operand)
+
+    def pred(doc: Mapping[str, Any]) -> bool:
+        values = values_for(doc)
+        if not values:
+            return has_none  # {$in: [..., None]} matches missing fields
+        for value in values:
+            try:
+                if value in hashable:
+                    return True
+            except TypeError:
+                pass  # unhashable document value: equality loop below
+            for candidate in unhashable:
+                if value == candidate:
+                    return True
+        return False
+
+    return pred
 
 
-def _op_nin(doc: Mapping[str, Any], path: str, operand: Any) -> bool:
+def _compile_nin(path: str, operand: Any) -> Predicate:
     if not isinstance(operand, (list, tuple)):
         raise QueryError("$nin requires a list operand")
-    return not _op_in(doc, path, operand)
+    member = _compile_in(path, operand)
+    return lambda doc: not member(doc)
 
 
-def _op_exists(doc: Mapping[str, Any], path: str, operand: Any) -> bool:
-    exists = bool(resolve_path(doc, path))
-    return exists if operand else not exists
+def _compile_exists(path: str, operand: Any) -> Predicate:
+    resolve = _make_resolver(path)
+    if operand:
+        return lambda doc: bool(resolve(doc))
+    return lambda doc: not resolve(doc)
 
 
 _TYPE_NAMES = {
@@ -132,133 +261,175 @@ _TYPE_NAMES = {
 }
 
 
-def _op_type(doc: Mapping[str, Any], path: str, operand: Any) -> bool:
+def _compile_type(path: str, operand: Any) -> Predicate:
     expected = _TYPE_NAMES.get(operand)
     if expected is None:
         raise QueryError(f"unknown $type name {operand!r}")
-    values = resolve_path(doc, path)
+    resolve = _make_resolver(path)
     if expected is int:
         # bool is a subclass of int in Python; exclude it explicitly.
-        return any(isinstance(v, int) and not isinstance(v, bool) for v in values)
-    return any(isinstance(v, expected) for v in values)
+        return lambda doc: any(
+            isinstance(v, int) and not isinstance(v, bool) for v in resolve(doc)
+        )
+    return lambda doc: any(isinstance(v, expected) for v in resolve(doc))
 
 
-def _op_regex(doc: Mapping[str, Any], path: str, operand: Any) -> bool:
+def _compile_regex(path: str, operand: Any) -> Predicate:
     try:
         pattern = re.compile(operand)
-    except re.error as exc:
+    except (re.error, TypeError) as exc:
         raise QueryError(f"invalid $regex pattern: {exc}") from exc
-    return any(isinstance(v, str) and pattern.search(v) for v in _values_for(doc, path))
+    values_for = _make_values_for(path)
+    search = pattern.search
+    return lambda doc: any(
+        isinstance(v, str) and search(v) for v in values_for(doc)
+    )
 
 
-def _op_mod(doc: Mapping[str, Any], path: str, operand: Any) -> bool:
+def _compile_mod(path: str, operand: Any) -> Predicate:
     if not isinstance(operand, (list, tuple)) or len(operand) != 2:
         raise QueryError("$mod requires [divisor, remainder]")
     divisor, remainder = operand
     if divisor == 0:
         raise QueryError("$mod divisor must be non-zero")
-    return any(
-        isinstance(v, (int, float)) and not isinstance(v, bool) and v % divisor == remainder
-        for v in _values_for(doc, path)
+    values_for = _make_values_for(path)
+    return lambda doc: any(
+        isinstance(v, (int, float)) and not isinstance(v, bool)
+        and v % divisor == remainder
+        for v in values_for(doc)
     )
 
 
-def _op_size(doc: Mapping[str, Any], path: str, operand: Any) -> bool:
+def _compile_size(path: str, operand: Any) -> Predicate:
     if not isinstance(operand, int) or isinstance(operand, bool):
         raise QueryError("$size requires an integer operand")
-    return any(isinstance(v, list) and len(v) == operand for v in resolve_path(doc, path))
+    resolve = _make_resolver(path)
+    return lambda doc: any(
+        isinstance(v, list) and len(v) == operand for v in resolve(doc)
+    )
 
 
-def _op_all(doc: Mapping[str, Any], path: str, operand: Any) -> bool:
+def _compile_all(path: str, operand: Any) -> Predicate:
     if not isinstance(operand, (list, tuple)):
         raise QueryError("$all requires a list operand")
-    return all(_op_eq(doc, path, needed) for needed in operand)
+    needed = [_compile_eq(path, candidate) for candidate in operand]
+    return lambda doc: all(pred(doc) for pred in needed)
 
 
-def _op_elem_match(doc: Mapping[str, Any], path: str, operand: Any) -> bool:
+def _compile_elem_match(path: str, operand: Any) -> Predicate:
     if not isinstance(operand, Mapping):
         raise QueryError("$elemMatch requires a filter document")
-    for value in resolve_path(doc, path):
-        if isinstance(value, list):
-            for element in value:
-                if isinstance(element, Mapping) and matches(element, operand):
-                    return True
-    return False
+    element_pred = compile_filter(operand)
+    resolve = _make_resolver(path)
+
+    def pred(doc: Mapping[str, Any]) -> bool:
+        for value in resolve(doc):
+            if isinstance(value, list):
+                for element in value:
+                    if isinstance(element, Mapping) and element_pred(element):
+                        return True
+        return False
+
+    return pred
 
 
-OPERATORS = {
-    "$eq": _op_eq,
-    "$ne": _op_ne,
-    "$gt": lambda d, p, o: any(_compare(v, o, "gt") for v in _values_for(d, p)),
-    "$gte": lambda d, p, o: any(_compare(v, o, "gte") for v in _values_for(d, p)),
-    "$lt": lambda d, p, o: any(_compare(v, o, "lt") for v in _values_for(d, p)),
-    "$lte": lambda d, p, o: any(_compare(v, o, "lte") for v in _values_for(d, p)),
-    "$in": _op_in,
-    "$nin": _op_nin,
-    "$exists": _op_exists,
-    "$type": _op_type,
-    "$regex": _op_regex,
-    "$mod": _op_mod,
-    "$size": _op_size,
-    "$all": _op_all,
-    "$elemMatch": _op_elem_match,
+_OP_COMPILERS: dict[str, Callable[[str, Any], Predicate]] = {
+    "$eq": _compile_eq,
+    "$ne": _compile_ne,
+    "$gt": _make_compare_compiler("$gt"),
+    "$gte": _make_compare_compiler("$gte"),
+    "$lt": _make_compare_compiler("$lt"),
+    "$lte": _make_compare_compiler("$lte"),
+    "$in": _compile_in,
+    "$nin": _compile_nin,
+    "$exists": _compile_exists,
+    "$type": _compile_type,
+    "$regex": _compile_regex,
+    "$mod": _compile_mod,
+    "$size": _compile_size,
+    "$all": _compile_all,
+    "$elemMatch": _compile_elem_match,
 }
 
 
-def _match_condition(document: Mapping[str, Any], path: str, condition: Any) -> bool:
-    """Match one ``path: condition`` pair of a filter document."""
-    if isinstance(condition, Mapping) and any(k.startswith("$") for k in condition):
+def is_operator_doc(condition: Any) -> bool:
+    """True when ``condition`` is an operator document like ``{"$gt": 5}``."""
+    return isinstance(condition, Mapping) and any(
+        key.startswith("$") for key in condition
+    )
+
+
+def _compile_condition(path: str, condition: Any) -> Predicate:
+    """Compile one ``path: condition`` pair of a filter document."""
+    if is_operator_doc(condition):
+        preds: list[Predicate] = []
         for op_name, operand in condition.items():
             if op_name == "$not":
                 if not isinstance(operand, Mapping):
                     raise QueryError("$not requires an operator document")
-                if _match_condition(document, path, operand):
-                    return False
+                inner = _compile_condition(path, operand)
+                preds.append(lambda doc, _inner=inner: not _inner(doc))
                 continue
-            handler = OPERATORS.get(op_name)
-            if handler is None:
+            compiler = _OP_COMPILERS.get(op_name)
+            if compiler is None:
                 raise QueryError(f"unknown operator {op_name!r}")
-            if not handler(document, path, operand):
-                return False
-        return True
-    return _op_eq(document, path, condition)
+            preds.append(compiler(path, operand))
+        if len(preds) == 1:
+            return preds[0]
+        return lambda doc: all(pred(doc) for pred in preds)
+    return _compile_eq(path, condition)
+
+
+def _compile_clause_list(op: str, condition: Any) -> list[Predicate]:
+    if not isinstance(condition, (list, tuple)) or not condition:
+        raise QueryError(f"{op} requires a non-empty list of filters")
+    return [compile_filter(sub) for sub in condition]
+
+
+_MATCH_ALL: Predicate = lambda doc: True  # noqa: E731 — shared empty-filter predicate
+
+
+def compile_filter(filter_doc: Mapping[str, Any]) -> Predicate:
+    """Compile ``filter_doc`` into a reusable predicate.
+
+    Validation (operand shapes, operator names, regex syntax) happens here,
+    once; the returned closure tree does only the per-document work.  Raises
+    :class:`QueryError` on a malformed filter.  An empty filter compiles to
+    a predicate that matches every document (MongoDB ``find({})``).
+    """
+    if not isinstance(filter_doc, Mapping):
+        raise QueryError(f"filter must be a mapping, got {type(filter_doc).__name__}")
+    preds: list[Predicate] = []
+    for key, condition in filter_doc.items():
+        if key == "$and":
+            subs = _compile_clause_list("$and", condition)
+            preds.append(lambda doc, _s=subs: all(p(doc) for p in _s))
+        elif key == "$or":
+            subs = _compile_clause_list("$or", condition)
+            preds.append(lambda doc, _s=subs: any(p(doc) for p in _s))
+        elif key == "$nor":
+            subs = _compile_clause_list("$nor", condition)
+            preds.append(lambda doc, _s=subs: not any(p(doc) for p in _s))
+        elif key.startswith("$"):
+            raise QueryError(f"unknown top-level operator {key!r}")
+        else:
+            preds.append(_compile_condition(key, condition))
+    if not preds:
+        return _MATCH_ALL
+    if len(preds) == 1:
+        return preds[0]
+    return lambda doc: all(pred(doc) for pred in preds)
 
 
 def matches(document: Mapping[str, Any], filter_doc: Mapping[str, Any]) -> bool:
     """True if ``document`` satisfies ``filter_doc``.
 
-    An empty filter matches every document (MongoDB ``find({})``).
+    Compatibility wrapper over :func:`compile_filter` for one-off checks;
+    loops should compile once and reuse the predicate.
     """
-    for key, condition in filter_doc.items():
-        if key == "$and":
-            if not isinstance(condition, (list, tuple)) or not condition:
-                raise QueryError("$and requires a non-empty list of filters")
-            if not all(matches(document, sub) for sub in condition):
-                return False
-        elif key == "$or":
-            if not isinstance(condition, (list, tuple)) or not condition:
-                raise QueryError("$or requires a non-empty list of filters")
-            if not any(matches(document, sub) for sub in condition):
-                return False
-        elif key == "$nor":
-            if not isinstance(condition, (list, tuple)) or not condition:
-                raise QueryError("$nor requires a non-empty list of filters")
-            if any(matches(document, sub) for sub in condition):
-                return False
-        elif key.startswith("$"):
-            raise QueryError(f"unknown top-level operator {key!r}")
-        else:
-            if not _match_condition(document, key, condition):
-                return False
-    return True
+    return compile_filter(filter_doc)(document)
 
 
 def validate_filter(filter_doc: Mapping[str, Any]) -> None:
-    """Raise :class:`QueryError` if ``filter_doc`` is structurally malformed.
-
-    Evaluating against an empty document exercises every operator's operand
-    validation without touching data.
-    """
-    if not isinstance(filter_doc, Mapping):
-        raise QueryError(f"filter must be a mapping, got {type(filter_doc).__name__}")
-    matches({}, filter_doc)
+    """Raise :class:`QueryError` if ``filter_doc`` is structurally malformed."""
+    compile_filter(filter_doc)

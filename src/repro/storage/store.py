@@ -53,8 +53,14 @@ class DocumentStore:
             return sorted(self._collections)
 
     def aggregate(self, collection: str, pipeline: list[Mapping[str, Any]]) -> list[dict[str, Any]]:
-        """Run an aggregation pipeline over one collection."""
-        return aggregate(self.collection(collection).all_documents(), pipeline)
+        """Run an aggregation pipeline over one collection.
+
+        The collection object itself is handed to :func:`aggregate`, so a
+        leading ``$match`` (and ``$sort``/``$skip``/``$limit``) is answered
+        by the collection's index-assisted planner instead of filtering full
+        copies of every document.
+        """
+        return aggregate(self.collection(collection), pipeline)
 
     # -- persistence ----------------------------------------------------------------
 

@@ -18,6 +18,11 @@ Every window is also persisted as a document in a
 :class:`~repro.storage.store.DocumentStore` collection (``ops_windows``),
 so trend reports are ordinary queries over the same storage layer the rest
 of the system uses — and survive a ``store.save()`` like any other data.
+The report queries lean on that layer's planner: the per-run SLA count
+narrows through the ``run`` hash index (verifying only that run's window
+documents), window ordering rides the ``window`` sorted index instead of
+sorting, and every trend read projects *before* cloning so only the handful
+of numeric fields it consumes are ever copied.
 Each :class:`OpsMetrics` instance observes exactly one run: its documents
 carry a fresh ``run`` id and every query filters on it, so a store shared
 across runs (or reloaded from disk) keeps each run's report separate.
@@ -179,7 +184,8 @@ class OpsMetrics:
         still open at the end of the run counts from its start to the last
         observed window.
         """
-        docs = self.collection.find({"run": self.run}, sort="window")
+        docs = self.collection.find({"run": self.run}, sort="window",
+                                    projection=["sla_ok", "observed_at"])
         recoveries: list[float] = []
         breach_started: float | None = None
         last_seen: float | None = None
@@ -206,7 +212,10 @@ class OpsMetrics:
         reports the span's window range, alarm count, and aggregate false
         rate — the shape of an endpoint-incident trend table.
         """
-        docs = self.collection.find({"run": self.run}, sort="window")
+        docs = self.collection.find(
+            {"run": self.run}, sort="window",
+            projection=["window", "count", "false_rate", "latency_p95"],
+        )
         if not docs:
             return []
         span = max(1, -(-len(docs) // buckets))  # ceil division
@@ -225,7 +234,8 @@ class OpsMetrics:
 
     def trend_direction(self) -> str:
         """``rising`` / ``falling`` / ``stable`` false-rate over the run."""
-        docs = self.collection.find({"run": self.run}, sort="window")
+        docs = self.collection.find({"run": self.run}, sort="window",
+                                    projection=["false_rate", "count"])
         rates = [d["false_rate"] for d in docs if d["count"] > 0]
         if len(rates) < 2:
             return "stable"

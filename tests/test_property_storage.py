@@ -119,6 +119,129 @@ def test_sorted_index_range_equals_manual_filter(docs, low, high):
     assert len(found) == len(manual)
 
 
+# -- planner equivalence suite ---------------------------------------------------
+#
+# The planner overhaul (multi-index intersection, $and descent, covered
+# counts, index-order sorts, heap top-k) must be invisible: any planned
+# execution equals a naive full scan with the pure matcher, for documents
+# that include every shape the indexes handle specially — bools, None,
+# missing fields and arrays on indexed fields.
+
+irregular_values = st.one_of(
+    st.integers(min_value=-50, max_value=650),
+    st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+    st.booleans(),
+    st.none(),
+    st.lists(st.integers(min_value=0, max_value=9), max_size=3),
+)
+
+planner_documents = st.lists(
+    st.fixed_dictionaries(
+        {"zip": st.sampled_from(["8001", "4001", "4051", "9000"]),
+         "type": st.sampled_from(["fire", "intrusion", "technical"])},
+        optional={"duration": irregular_values,
+                  "extra": scalars},
+    ),
+    max_size=30,
+)
+
+planner_filters = st.one_of(
+    filters,
+    st.fixed_dictionaries(
+        {"duration": st.fixed_dictionaries(
+            {"$gt": st.integers(0, 600), "$gte": st.integers(0, 600)}
+        )}
+    ),
+    st.fixed_dictionaries({
+        "$and": st.tuples(
+            st.fixed_dictionaries({"zip": st.sampled_from(["8001", "4001"])}),
+            st.fixed_dictionaries(
+                {"duration": st.fixed_dictionaries({"$gte": st.integers(0, 600)})}
+            ),
+        ).map(list)
+    }),
+    st.fixed_dictionaries(
+        {"zip": st.sampled_from(["8001", "9000"]),
+         "type": st.sampled_from(["fire", "technical"]),
+         "duration": st.fixed_dictionaries({"$lt": st.integers(0, 600)})}
+    ),
+    st.just({}),
+)
+
+sorts = st.one_of(
+    st.none(),
+    st.sampled_from(["duration", "zip", "missing_field"]),
+    st.tuples(st.sampled_from(["duration", "zip"]), st.sampled_from([1, -1])),
+)
+
+
+def _naive_find(docs_with_ids, flt, sort=None, limit=None, skip=0):
+    """Reference implementation: pure matcher + stable type-ranked sort."""
+    from repro.storage.collection import _sort_key
+
+    out = [dict(d) for d in docs_with_ids if matches(d, flt)]
+    out.sort(key=lambda d: d["_id"])
+    if sort is not None:
+        field, direction = sort if isinstance(sort, tuple) else (sort, 1)
+        out.sort(key=lambda d: _sort_key(d, field), reverse=direction < 0)
+    if skip:
+        out = out[skip:]
+    if limit is not None:
+        out = out[:limit]
+    return out
+
+
+def _indexed_collection(docs):
+    coll = Collection("indexed")
+    coll.create_index("zip", kind="hash")
+    coll.create_index("type", kind="hash")
+    coll.create_index("duration", kind="sorted")
+    coll.insert_many(docs)
+    return coll
+
+
+@given(docs=planner_documents, flt=planner_filters, sort=sorts,
+       limit=st.one_of(st.none(), st.integers(0, 8)),
+       skip=st.integers(0, 3))
+@settings(max_examples=150, deadline=None)
+def test_planned_find_equals_naive_scan(docs, flt, sort, limit, skip):
+    coll = _indexed_collection(docs)
+    reference = _naive_find(list(coll.all_documents()), flt, sort, limit, skip)
+    assert coll.find(flt, sort=sort, limit=limit, skip=skip) == reference
+
+
+@given(docs=planner_documents, flt=planner_filters)
+@settings(max_examples=120, deadline=None)
+def test_planned_count_equals_naive_scan(docs, flt):
+    coll = _indexed_collection(docs)
+    assert coll.count(flt) == len(_naive_find(list(coll.all_documents()), flt))
+
+
+@given(docs=planner_documents, flt=planner_filters)
+@settings(max_examples=80, deadline=None)
+def test_explain_candidates_are_a_superset_of_matches(docs, flt):
+    coll = _indexed_collection(docs)
+    plan = coll.explain(flt)
+    assert plan["candidates"] >= coll.count(flt)
+    if plan["covered"]:
+        assert plan["candidates"] == coll.count(flt)
+        assert plan["verified"] == 0
+
+
+@given(docs=planner_documents, since=st.integers(0, 600),
+       limit=st.integers(1, 5))
+@settings(max_examples=60, deadline=None)
+def test_aggregate_pushdown_equals_interpreter(docs, since, limit):
+    coll = _indexed_collection(docs)
+    pipeline = [
+        {"$match": {"duration": {"$gte": since}}},
+        {"$sort": {"duration": -1}},
+        {"$limit": limit},
+        {"$group": {"_id": "$zip", "n": {"$sum": 1}}},
+    ]
+    assert aggregate(coll, pipeline) == aggregate(coll.all_documents(), pipeline)
+
+
 @given(docs=documents)
 @settings(max_examples=40, deadline=None)
 def test_persistence_round_trip_preserves_documents(docs, tmp_path_factory):

@@ -115,3 +115,74 @@ class TestSortedIndex:
         assert idx.min_key() is None
         assert idx.max_key() is None
         assert idx.range(low=0, high=10) == set()
+
+
+class TestUniqueValidation:
+    def test_validate_unique_never_mutates(self):
+        idx = HashIndex("mac", unique=True)
+        idx.add(0, {"mac": "aa"})
+        with pytest.raises(DuplicateKeyError):
+            idx.validate_unique(1, {"mac": "aa"})
+        assert idx.lookup("aa") == {0}
+        idx.validate_unique(0, {"mac": "aa"})  # self-match is fine
+
+    def test_validate_unique_noop_on_non_unique_index(self):
+        idx = HashIndex("mac")
+        idx.add(0, {"mac": "aa"})
+        idx.validate_unique(1, {"mac": "aa"})  # no raise
+
+
+class TestSortedIndexOrder:
+    def test_ordered_ids_ascending(self):
+        idx = SortedIndex("ts")
+        for doc_id, ts in ((0, 30), (1, 10), (2, 20), (3, 10)):
+            idx.add(doc_id, {"ts": ts})
+        assert list(idx.ordered_ids()) == [1, 3, 2, 0]
+
+    def test_ordered_ids_descending_keeps_ascending_ids_within_ties(self):
+        idx = SortedIndex("ts")
+        for doc_id, ts in ((0, 30), (1, 10), (2, 20), (3, 10)):
+            idx.add(doc_id, {"ts": ts})
+        assert list(idx.ordered_ids(reverse=True)) == [0, 2, 1, 3]
+
+    def test_regular_docs_are_not_flagged(self):
+        idx = SortedIndex("ts")
+        idx.add(0, {"ts": 5})
+        idx.add(1, {"other": 1})   # missing: sorts in the trailing bucket
+        idx.add(2, {"ts": None})   # null: same bucket
+        assert idx.irregular_ids == set()
+
+    def test_irregular_docs_are_flagged(self):
+        idx = SortedIndex("ts")
+        idx.add(0, {"ts": 5})
+        idx.add(1, {"ts": [1, 2]})     # array fan-out
+        idx.add(2, {"ts": True})       # bool: excluded from the index
+        idx.add(3, {"ts": "text"})     # off-family: excluded
+        idx.add(4, {"ts": {"n": 1}})   # unhashable: excluded
+        assert idx.irregular_ids == {1, 2, 3, 4}
+        idx.remove(1, {"ts": [1, 2]})
+        assert idx.irregular_ids == {2, 3, 4}
+
+    def test_bulk_load_matches_incremental(self):
+        docs = [(i, {"ts": ts}) for i, ts in
+                enumerate([30, 10, None, [5, 8], 10, True])]
+        incremental = SortedIndex("ts")
+        for doc_id, doc in docs:
+            incremental.add(doc_id, doc)
+        bulk = SortedIndex("ts")
+        bulk.bulk_load(docs)
+        assert list(bulk.ordered_ids()) == list(incremental.ordered_ids())
+        assert bulk.irregular_ids == incremental.irregular_ids
+        assert len(bulk) == len(incremental)
+
+    def test_bulk_load_requires_empty_index(self):
+        idx = SortedIndex("ts")
+        idx.add(0, {"ts": 1})
+        with pytest.raises(ValueError):
+            idx.bulk_load([(1, {"ts": 2})])
+
+    def test_range_raises_on_off_family_probe(self):
+        idx = SortedIndex("ts")
+        idx.add(0, {"ts": 5})
+        with pytest.raises(TypeError):
+            idx.range(low="text")

@@ -1,0 +1,332 @@
+"""Planner tests: explain()-verified plan selection plus write-path fixes.
+
+Covers the query-planner overhaul: multi-index intersection, ``$and``
+descent, covered counts, sorted-index order production, heap top-k — all
+asserted through :meth:`Collection.explain` — plus the ``update_many`` /
+``insert_one`` unique-index consistency regressions and the ``distinct``
+unhashable fallback.
+"""
+
+import pytest
+
+from repro.errors import DuplicateKeyError
+from repro.storage import Collection, DocumentStore, aggregate, matches
+
+
+@pytest.fixture
+def alarms():
+    coll = Collection("alarms")
+    coll.insert_many([
+        {"zip": "8001", "type": "fire", "duration": 30.0, "ts": 100},
+        {"zip": "8001", "type": "intrusion", "duration": 200.0, "ts": 200},
+        {"zip": "4001", "type": "fire", "duration": 45.0, "ts": 300},
+        {"zip": "4051", "type": "technical", "duration": 5.0, "ts": 400},
+        {"zip": "4001", "type": "intrusion", "duration": 600.0, "ts": 500},
+        {"zip": "8001", "type": "fire", "duration": 12.0, "ts": 600},
+    ])
+    coll.create_index("zip", kind="hash")
+    coll.create_index("type", kind="hash")
+    coll.create_index("ts", kind="sorted")
+    return coll
+
+
+class TestPlanSelection:
+    def test_multi_index_intersection(self, alarms):
+        plan = alarms.explain({"zip": "8001", "type": "fire"})
+        assert plan["mode"] == "index"
+        assert {ix["field"] for ix in plan["indexes"]} == {"zip", "type"}
+        # dev 0 and dev 5 are fire alarms in 8001: the intersection is exact.
+        assert plan["candidates"] == 2
+        assert plan["covered"] is True
+        assert plan["verified"] == 0
+
+    def test_hash_and_sorted_intersect(self, alarms):
+        plan = alarms.explain({"zip": "8001", "ts": {"$gte": 150}})
+        assert {(ix["field"], ix["op"]) for ix in plan["indexes"]} == {
+            ("zip", "eq"), ("ts", "range"),
+        }
+        assert plan["candidates"] == 2  # ts 200 and 600 in zip 8001
+        assert plan["covered"] is True
+
+    def test_and_branches_are_descended(self, alarms):
+        plan = alarms.explain({"$and": [{"zip": "8001"}, {"ts": {"$lt": 300}}]})
+        assert plan["mode"] == "index"
+        assert {ix["field"] for ix in plan["indexes"]} == {"zip", "ts"}
+        assert plan["covered"] is True
+        assert plan["candidates"] == alarms.count(
+            {"$and": [{"zip": "8001"}, {"ts": {"$lt": 300}}]}
+        )
+
+    def test_or_forces_verification(self, alarms):
+        plan = alarms.explain({"$or": [{"zip": "8001"}, {"zip": "4001"}]})
+        assert plan["mode"] == "scan"
+        assert plan["covered"] is False
+        assert plan["verified"] == plan["documents"]
+
+    def test_unindexed_field_scans(self, alarms):
+        plan = alarms.explain({"duration": 30.0})
+        assert plan["mode"] == "scan"
+        assert plan["indexes"] == []
+        assert plan["covered"] is False
+
+    def test_extra_operator_voids_coverage_but_keeps_index(self, alarms):
+        plan = alarms.explain({"ts": {"$gte": 150, "$ne": 200}})
+        assert plan["mode"] == "index"
+        assert plan["indexes"][0]["op"] == "range"
+        assert plan["covered"] is False
+        assert plan["verified"] == plan["candidates"] > 0
+
+    def test_doubled_range_bound_is_never_covered(self):
+        # {$gt: 5, $gte: 0} narrows to an inclusive [5, ...) candidate
+        # superset; marking it exact would wrongly return the x=5 doc.
+        coll = Collection("c")
+        coll.create_index("x", kind="sorted")
+        coll.insert_many([{"x": 5}, {"x": 6}, {"x": 7}])
+        filter_doc = {"x": {"$gt": 5, "$gte": 0}}
+        plan = coll.explain(filter_doc)
+        assert plan["mode"] == "index"
+        assert plan["covered"] is False
+        assert coll.count(filter_doc) == 2
+        assert [d["x"] for d in coll.find(filter_doc)] == [6, 7]
+        assert coll.count({"x": {"$lt": 7, "$lte": 100}}) == 2
+
+    def test_in_with_none_falls_back_to_scan(self, alarms):
+        # {$in: [..., None]} matches documents missing the field entirely,
+        # which no index entry covers.
+        coll = Collection("c")
+        coll.create_index("zip", kind="hash")
+        coll.insert_many([{"zip": "8001"}, {"other": 1}])
+        plan = coll.explain({"zip": {"$in": ["8001", None]}})
+        assert plan["mode"] == "scan"
+        assert coll.count({"zip": {"$in": ["8001", None]}}) == 2
+
+    def test_empty_filter_explain(self, alarms):
+        plan = alarms.explain()
+        assert plan["mode"] == "scan"
+        assert plan["covered"] is True  # nothing to verify
+        assert plan["candidates"] == len(alarms)
+
+
+class TestCoveredCount:
+    def test_covered_count_equals_find(self, alarms):
+        filter_doc = {"zip": "8001", "ts": {"$gte": 150}}
+        assert alarms.explain(filter_doc)["covered"] is True
+        assert alarms.count(filter_doc) == len(alarms.find(filter_doc))
+
+    def test_covered_count_registers_index_hit(self, alarms):
+        before = alarms.index_hits
+        alarms.count({"zip": "8001"})
+        assert alarms.index_hits == before + 1
+
+
+class TestSortStrategies:
+    def test_sorted_index_serves_order(self, alarms):
+        plan = alarms.explain({}, sort="ts")
+        assert plan["sort"] == {"field": "ts", "direction": 1,
+                               "strategy": "index-order"}
+        ts = [d["ts"] for d in alarms.find(sort="ts")]
+        assert ts == sorted(ts)
+
+    def test_sorted_index_serves_descending_order(self, alarms):
+        plan = alarms.explain({"zip": "8001"}, sort=("ts", -1), limit=2)
+        assert plan["sort"]["strategy"] == "index-order"
+        ts = [d["ts"] for d in alarms.find({"zip": "8001"}, sort=("ts", -1), limit=2)]
+        assert ts == [600, 200]
+
+    def test_missing_sort_values_go_last_ascending_first_descending(self):
+        coll = Collection("c")
+        coll.create_index("ts", kind="sorted")
+        coll.insert_many([{"ts": 2}, {"name": "no-ts"}, {"ts": 1}, {"ts": None}])
+        assert coll.explain({}, sort="ts")["sort"]["strategy"] == "index-order"
+        ascending = [d["_id"] for d in coll.find(sort="ts")]
+        assert ascending == [2, 0, 1, 3]
+        descending = [d["_id"] for d in coll.find(sort=("ts", -1))]
+        assert descending == [1, 3, 0, 2]
+
+    def test_heap_top_k_without_index(self, alarms):
+        plan = alarms.explain({}, sort="duration", limit=3)
+        assert plan["sort"]["strategy"] == "top-k-heap"
+        durations = [d["duration"] for d in alarms.find(sort="duration", limit=3)]
+        assert durations == [5.0, 12.0, 30.0]
+
+    def test_full_sort_without_index_or_limit(self, alarms):
+        plan = alarms.explain({}, sort=("duration", -1))
+        assert plan["sort"]["strategy"] == "full-sort"
+        durations = [d["duration"] for d in alarms.find(sort=("duration", -1))]
+        assert durations == sorted(durations, reverse=True)
+
+    def test_irregular_documents_disable_index_order(self):
+        coll = Collection("c")
+        coll.create_index("ts", kind="sorted")
+        coll.insert_many([{"ts": 5}, {"ts": [3, 9]}, {"ts": 1}])
+        plan = coll.explain({}, sort="ts")
+        assert plan["sort"]["strategy"] == "full-sort"
+        # Results still obey the matcher's type-ranked order: numbers first,
+        # then the array value (rank "everything else").
+        assert [d["_id"] for d in coll.find(sort="ts")] == [2, 0, 1]
+
+    def test_rank2_scalars_disable_index_order(self):
+        # Decimal compares natively in the index but by str() in the
+        # matcher's type-ranked sort key: the index must not claim order.
+        from decimal import Decimal
+        coll = Collection("c")
+        coll.create_index("x", kind="sorted")
+        coll.insert_many([{"x": Decimal(10)}, {"x": Decimal(2)}])
+        plan = coll.explain({}, sort="x")
+        assert plan["sort"]["strategy"] == "full-sort"
+        # str("10") < str("2"): the matcher's rank-2 order, index or not.
+        assert [d["x"] for d in coll.find(sort="x")] == [Decimal(10), Decimal(2)]
+
+    def test_skip_limit_windows_match_full_result(self, alarms):
+        full = alarms.find(sort=("ts", -1))
+        for skip in range(0, 7):
+            for limit in range(0, 4):
+                page = alarms.find(sort=("ts", -1), skip=skip, limit=limit)
+                assert page == full[skip:skip + limit]
+
+    def test_negative_limit_or_skip_is_rejected(self, alarms):
+        from repro.errors import QueryError
+        with pytest.raises(QueryError):
+            alarms.find(limit=-1)
+        with pytest.raises(QueryError):
+            alarms.find(skip=-1)
+        with pytest.raises(QueryError):
+            alarms.explain(limit=-1)
+
+
+class TestWritePathRegressions:
+    def test_update_many_duplicate_leaves_indexes_consistent(self):
+        coll = Collection("devices")
+        coll.create_index("mac", kind="hash", unique=True)
+        coll.insert_many([{"mac": "aa", "n": 1}, {"mac": "bb", "n": 2}])
+        with pytest.raises(DuplicateKeyError):
+            coll.update_many({"mac": "bb"}, {"$set": {"mac": "aa"}})
+        # The failing document is untouched and every index entry survives.
+        assert coll.count({"mac": "aa"}) == 1
+        assert coll.count({"mac": "bb"}) == 1
+        assert coll.find_one({"mac": "bb"})["n"] == 2
+        coll.update_many({"mac": "bb"}, {"$set": {"mac": "cc"}})
+        assert coll.count({"mac": "cc"}) == 1
+
+    def test_update_many_self_overwrite_is_allowed(self):
+        coll = Collection("devices")
+        coll.create_index("mac", kind="hash", unique=True)
+        coll.insert_one({"mac": "aa", "n": 1})
+        assert coll.update_many({"mac": "aa"}, {"$set": {"n": 9}}) == 1
+        assert coll.find_one({"mac": "aa"})["n"] == 9
+
+    def test_update_error_mid_batch_keeps_indexes_consistent(self):
+        coll = Collection("c")
+        coll.create_index("v", kind="hash")
+        coll.insert_many([{"v": 1}, {"v": "text"}])
+        from repro.errors import QueryError
+        with pytest.raises(QueryError):
+            coll.update_many({}, {"$inc": {"v": 1}})  # fails on "text"
+        # Doc 0 was updated before the failure; both stay index-reachable.
+        assert coll.count({"v": 2}) == 1
+        assert coll.count({"v": "text"}) == 1
+
+    def test_insert_rejected_by_second_unique_index_leaves_first_clean(self):
+        coll = Collection("devices")
+        coll.create_index("a", kind="hash", unique=True)
+        coll.create_index("b", kind="hash", unique=True)
+        coll.insert_one({"a": 1, "b": 1})
+        with pytest.raises(DuplicateKeyError):
+            coll.insert_one({"a": 2, "b": 1})
+        # A leftover a=2 entry from the rejected insert would break this.
+        assert coll.insert_one({"a": 2, "b": 2}) == 1
+        assert coll.count({"a": 2}) == 1
+
+
+class TestDistinct:
+    def test_distinct_handles_unhashable_values(self):
+        coll = Collection("c")
+        coll.insert_many([
+            {"v": {"x": 1}},
+            {"v": {"x": 1}},
+            {"v": {"x": 2}},
+            {"v": 7},
+            {"v": 7},
+        ])
+        values = coll.distinct("v")
+        assert len(values) == 3
+        assert 7 in values
+        assert {"x": 1} in values and {"x": 2} in values
+
+    def test_distinct_values_are_copies(self):
+        coll = Collection("c")
+        coll.insert_one({"v": {"x": 1}})
+        coll.distinct("v")[0]["x"] = 99
+        assert coll.find_one()["v"] == {"x": 1}
+
+
+class TestAggregatePushdown:
+    PIPELINES = [
+        [{"$match": {"type": "fire"}},
+         {"$group": {"_id": "$zip", "n": {"$sum": 1}}}],
+        [{"$match": {"ts": {"$gte": 200}}}, {"$match": {"zip": "8001"}},
+         {"$sort": {"ts": -1}}, {"$limit": 2}],
+        [{"$sort": {"ts": -1}}, {"$skip": 1}, {"$limit": 3},
+         {"$project": {"ts": 1}}],
+        [{"$match": {"zip": {"$in": ["8001", "4001"]}}},
+         {"$sort": {"duration": 1}},
+         {"$group": {"_id": "$type", "first": {"$first": "$ts"}}}],
+        [{"$count": "total"}],
+    ]
+
+    @pytest.mark.parametrize("pipeline", PIPELINES)
+    def test_pushdown_equals_interpreter(self, alarms, pipeline):
+        assert aggregate(alarms, pipeline) == aggregate(
+            alarms.all_documents(), pipeline
+        )
+
+    def test_pushdown_sort_matches_interpreter_for_rank2_values(self):
+        # Rank-2 sort values (here Decimals) must order identically whether
+        # the $sort is pushed into the planner or interpreted.
+        from decimal import Decimal
+        coll = Collection("c")
+        coll.create_index("x", kind="sorted")
+        coll.insert_many([{"x": Decimal(10)}, {"x": Decimal(2)}, {"x": 1}])
+        pipeline = [{"$sort": {"x": 1}}, {"$project": {"x": 1}}]
+        assert aggregate(coll, pipeline) == aggregate(
+            coll.all_documents(), pipeline
+        )
+
+    def test_store_aggregate_uses_pushdown(self, alarms):
+        store = DocumentStore()
+        coll = store.collection("alarms")
+        coll.create_index("ts", kind="sorted")
+        coll.insert_many(d for d in alarms.all_documents()
+                         if d.pop("_id") is not None)
+        before = coll.index_hits
+        rows = store.aggregate("alarms", [
+            {"$match": {"ts": {"$gte": 300}}},
+            {"$group": {"_id": None, "n": {"$sum": 1}}},
+        ])
+        assert rows == [{"_id": None, "n": 4}]
+        assert coll.index_hits == before + 1
+
+
+class TestHistoryAndRetrainingPlans:
+    def test_device_histogram_counts_are_covered(self):
+        from repro.core.history import AlarmHistory
+        history = AlarmHistory()
+        plan = history.collection.explain(
+            {"device_address": "dev-1", "timestamp": {"$gte": 0.0}}
+        )
+        assert plan["covered"] is True
+        assert {ix["field"] for ix in plan["indexes"]} == {
+            "device_address", "timestamp",
+        }
+
+    def test_training_read_rides_the_timestamp_index(self):
+        from repro.core.history import AlarmHistory
+        history = AlarmHistory()
+        plan = history.collection.explain(sort=("timestamp", -1), limit=100)
+        assert plan["sort"]["strategy"] == "index-order"
+
+
+def test_find_results_always_satisfy_matches(alarms):
+    filter_doc = {"zip": {"$in": ["8001", "4001"]}, "ts": {"$gte": 150}}
+    for doc in alarms.find(filter_doc, sort=("ts", -1)):
+        assert matches(doc, filter_doc)

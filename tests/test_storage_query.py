@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import QueryError
-from repro.storage import matches, resolve_path, validate_filter
+from repro.storage import compile_filter, matches, resolve_path, validate_filter
 
 DOC = {
     "zip": "8001",
@@ -177,6 +177,71 @@ class TestLogicalOperators:
     def test_unknown_field_operator_raises(self):
         with pytest.raises(QueryError):
             matches(DOC, {"zip": {"$near": "8001"}})
+
+
+class TestCompileFilter:
+    FILTERS = [
+        {},
+        {"zip": "8001"},
+        {"zip": "8001", "count": {"$lt": 10}},
+        {"tags": "fire"},
+        {"nullable": None},
+        {"missing_field": None},
+        {"duration": {"$gte": 42.5, "$lt": 100}},
+        {"zip": {"$in": ["8000", "8001"]}},
+        {"zip": {"$nin": ["8000"]}},
+        {"zip": {"$regex": r"^80"}},
+        {"count": {"$mod": [3, 1]}},
+        {"tags": {"$size": 2}, "device.sensor": "smoke"},
+        {"readings": {"$elemMatch": {"v": {"$gt": 15}}}},
+        {"count": {"$not": {"$gt": 10}}},
+        {"$and": [{"zip": "8001"}, {"count": 7}]},
+        {"$or": [{"zip": "bad"}, {"count": 7}]},
+        {"$nor": [{"zip": "bad"}, {"count": 8}]},
+        {"readings.v": 20},
+    ]
+
+    @pytest.mark.parametrize("flt", FILTERS)
+    def test_compiled_predicate_equals_matches(self, flt):
+        pred = compile_filter(flt)
+        for doc in (DOC, {}, {"zip": "9999"}, {"tags": []}):
+            assert pred(doc) is matches(doc, flt)
+
+    def test_compiled_predicate_is_reusable(self):
+        pred = compile_filter({"count": {"$gte": 5}})
+        assert [pred({"count": n}) for n in (4, 5, 6)] == [False, True, True]
+        assert pred({"count": 7}) and not pred({})
+
+    @pytest.mark.parametrize("flt", [
+        {"zip": {"$in": "not-a-list"}},
+        {"zip": {"$bogus": 1}},
+        {"zip": {"$regex": "("}},
+        {"count": {"$mod": [0, 1]}},
+        {"tags": {"$size": "2"}},
+        {"readings": {"$elemMatch": "not-a-doc"}},
+        {"count": {"$not": 5}},
+        {"$and": []},
+        {"$xor": [{"a": 1}]},
+        {"zip": {"$type": "decimal128"}},
+    ])
+    def test_errors_surface_at_compile_time(self, flt):
+        with pytest.raises(QueryError):
+            compile_filter(flt)
+
+    def test_validation_is_eager_even_for_later_operators(self):
+        # The interpreter only validated operands it actually reached; the
+        # compiler validates the whole filter up front.
+        with pytest.raises(QueryError):
+            compile_filter({"zip": {"$eq": "8001", "$in": "not-a-list"}})
+
+    def test_in_with_unhashable_members(self):
+        pred = compile_filter({"tags": {"$in": [["fire", "night"], "x"]}})
+        assert pred(DOC)  # whole-array equality against the list member
+        assert not pred({"tags": ["other"]})
+
+    def test_non_mapping_filter_raises(self):
+        with pytest.raises(QueryError):
+            compile_filter(["not", "a", "filter"])
 
 
 class TestValidateFilter:
