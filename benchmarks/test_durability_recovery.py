@@ -1,0 +1,226 @@
+"""Durability microbench (tier-1 fast): group commit, recovery, exactly-once.
+
+Three measurements, recorded to ``BENCH_durability.json`` at the repository
+root (CI uploads it as an artifact and fails the build if the exactly-once
+invariants break):
+
+* **WAL group-commit throughput** versus per-record fsync — the group
+  commit must be >= 2x faster (it amortizes the fsync over the batch);
+* **recovery time versus snapshot freshness** — recovering a store from a
+  fresh checkpoint must replay (almost) nothing, while a snapshot-less
+  recovery replays the full journal; both times are recorded so the
+  trade-off stays visible over the project's history;
+* **end-to-end crash safety** — a ``process_crash`` scenario (plus
+  at-least-once redeliveries) through the LoadDriver must lose zero
+  verified alarms and produce zero duplicate verification documents after
+  recovery.
+
+Like the streaming/storage microbenches this file is *not* marked ``slow``:
+it runs in seconds and doubles as the regression test for the durability
+guarantees.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.durability import DurableDocumentStore, WriteAheadLog
+from repro.workload import (
+    ConstantRate,
+    DatasetSpec,
+    FaultInjection,
+    LoadDriver,
+    Scenario,
+)
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_durability.json"
+
+WAL_RECORDS = 2_000
+WAL_BATCH = 100
+PAYLOAD = (
+    b'{"op":"ins","collection":"alarms","doc":{"device_address":"dev-0001",'
+    b'"alarm_type":"burglary","duration_seconds":42.5}}'
+)
+STORE_OPS = 3_000
+
+
+def record_result(name: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into ``BENCH_durability.json``."""
+    data: dict = {"schema": "repro.durability.recovery/v1", "benchmarks": {}}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except (ValueError, OSError):
+            pass
+    data.setdefault("benchmarks", {})[name] = payload
+    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def test_group_commit_beats_per_record_fsync(tmp_path):
+    """Group commit (one fsync per batch) must be >= 2x per-record fsync."""
+    # Warm-up: fault the files/allocator in before either measured mode.
+    warm = WriteAheadLog(tmp_path / "warm", sync="always")
+    for _ in range(50):
+        warm.append(PAYLOAD)
+    warm.close()
+
+    per_record = WriteAheadLog(tmp_path / "per-record", sync="always")
+    started = time.perf_counter()
+    for _ in range(WAL_RECORDS):
+        per_record.append(PAYLOAD)
+    per_record_seconds = time.perf_counter() - started
+    per_record.close()
+
+    grouped = WriteAheadLog(tmp_path / "grouped", sync="batch")
+    started = time.perf_counter()
+    for start in range(0, WAL_RECORDS, WAL_BATCH):
+        grouped.append_many([PAYLOAD] * min(WAL_BATCH, WAL_RECORDS - start))
+    grouped_seconds = time.perf_counter() - started
+    grouped.close()
+
+    # Durability is identical: both logs replay every record.
+    for name in ("per-record", "grouped"):
+        with WriteAheadLog(tmp_path / name) as check:
+            assert check.record_count() == WAL_RECORDS
+
+    speedup = per_record_seconds / grouped_seconds
+    record_result("wal_group_commit", {
+        "records": WAL_RECORDS,
+        "batch_size": WAL_BATCH,
+        "per_record_fsync_seconds": round(per_record_seconds, 6),
+        "group_commit_seconds": round(grouped_seconds, 6),
+        "per_record_records_per_second": round(WAL_RECORDS / per_record_seconds),
+        "group_commit_records_per_second": round(WAL_RECORDS / grouped_seconds),
+        "speedup": round(speedup, 2),
+    })
+    print(
+        f"\nWAL group commit ({WAL_RECORDS} records, batch {WAL_BATCH}): "
+        f"per-record fsync {per_record_seconds:.3f}s, "
+        f"group {grouped_seconds:.3f}s, speedup {speedup:.1f}x"
+    )
+    assert speedup >= 2.0, (
+        f"group commit only {speedup:.2f}x faster than per-record fsync "
+        f"({grouped_seconds:.3f}s vs {per_record_seconds:.3f}s)"
+    )
+
+
+def test_recovery_time_vs_snapshot_freshness(tmp_path):
+    """A fresh checkpoint turns recovery from full-journal replay into a
+    snapshot load: the replayed-op count must collapse accordingly."""
+    def build(directory):
+        store = DurableDocumentStore(
+            directory, min_compact_records=10 * STORE_OPS  # no auto-compaction
+        )
+        coll = store.collection("alarms")
+        coll.create_index("device", kind="hash")
+        coll.insert_many(
+            [{"device": f"dev-{i % 97}", "i": i} for i in range(STORE_OPS // 2)]
+        )
+        for i in range(STORE_OPS // 2):
+            coll.insert_one({"device": f"dev-{i % 97}", "i": i, "late": True})
+        return store
+
+    cold = build(tmp_path / "cold")
+    cold.simulate_crash()
+    started = time.perf_counter()
+    recovered_cold = DurableDocumentStore(tmp_path / "cold")
+    cold_seconds = time.perf_counter() - started
+    assert len(recovered_cold.collection("alarms")) == STORE_OPS
+    cold_replayed = recovered_cold.replayed_ops
+    recovered_cold.close()
+
+    fresh = build(tmp_path / "fresh")
+    fresh.checkpoint()
+    fresh.simulate_crash()
+    started = time.perf_counter()
+    recovered_fresh = DurableDocumentStore(tmp_path / "fresh")
+    fresh_seconds = time.perf_counter() - started
+    assert len(recovered_fresh.collection("alarms")) == STORE_OPS
+    fresh_replayed = recovered_fresh.replayed_ops
+    recovered_fresh.close()
+
+    record_result("recovery_vs_snapshot_freshness", {
+        "journal_ops": STORE_OPS,
+        "no_snapshot_seconds": round(cold_seconds, 6),
+        "no_snapshot_ops_replayed": cold_replayed,
+        "fresh_snapshot_seconds": round(fresh_seconds, 6),
+        "fresh_snapshot_ops_replayed": fresh_replayed,
+        "replay_reduction": cold_replayed - fresh_replayed,
+    })
+    print(
+        f"\nrecovery: no snapshot {cold_seconds:.3f}s ({cold_replayed} ops "
+        f"replayed) vs fresh snapshot {fresh_seconds:.3f}s "
+        f"({fresh_replayed} ops replayed)"
+    )
+    assert cold_replayed > STORE_OPS // 2
+    assert fresh_replayed == 0, "a fresh checkpoint must leave nothing to replay"
+
+
+def test_end_to_end_crash_loses_nothing_and_duplicates_nothing(tmp_path):
+    """The acceptance invariant: a process_crash scenario through the
+    LoadDriver ends with exactly one verification document per scheduled
+    unique event — no losses, no duplicates — despite the mid-run crash,
+    offset rewind, and at-least-once redeliveries."""
+    scenario = Scenario(
+        name="crash-recovery-bench",
+        arrivals=ConstantRate(rate=40.0),
+        duration=30.0,
+        dataset=DatasetSpec(num_devices=60, train_alarms=300, preload_history=50),
+        faults=(
+            FaultInjection(kind="duplicate_delivery", start=2.0, end=10.0,
+                           params={"probability": 0.4}),
+            FaultInjection(kind="process_crash", start=15.0, end=16.0),
+        ),
+        producers=2,
+        partitions=2,
+        seed=13,
+    )
+    driver = LoadDriver(
+        scenario, speedup=400.0, durable_dir=tmp_path / "pipeline",
+        offset_checkpoint_every=4,
+    )
+    expected_uids = {
+        event.document["_event_seq"] for event in driver.build_timeline()
+    }
+
+    started = time.perf_counter()
+    report = driver.run()
+    wall_seconds = time.perf_counter() - started
+
+    log = driver.verification_log
+    stored_uids = {
+        doc["alarm_uid"] for doc in log.collection.all_documents()
+    }
+    timeline_id = f"{scenario.name}/{scenario.seed}"
+    no_loss = stored_uids == {f"seq:{timeline_id}:{uid}" for uid in expected_uids}
+    no_duplicates = log.duplicate_uids() == []
+
+    record_result("end_to_end_crash_recovery", {
+        "events_scheduled": report.events_scheduled,
+        "unique_events": len(expected_uids),
+        "records_sent": report.records_sent,
+        "alarms_processed": report.consumer.alarms_processed,
+        "duplicates_skipped": report.duplicates_skipped,
+        "verified_unique": report.verified_unique,
+        "crashes": len(report.recoveries),
+        "recovery_broker_records": report.recoveries[0].broker_records,
+        "recovery_seconds": round(report.recoveries[0].seconds, 6),
+        "wall_seconds": round(wall_seconds, 4),
+        "no_loss": no_loss,
+        "no_duplicates": no_duplicates,
+    })
+    print(
+        f"\nend-to-end crash recovery: {report.events_scheduled} events "
+        f"({len(expected_uids)} unique), {report.consumer.alarms_processed} "
+        f"processed, {report.duplicates_skipped} duplicates deduplicated, "
+        f"{report.verified_unique} verified; "
+        f"recovery: {report.recoveries[0].summary()}"
+    )
+    assert len(report.recoveries) == 1, "the process_crash fault must fire"
+    assert no_loss, (
+        f"lost {len(expected_uids) - len(stored_uids)} verified alarms"
+    )
+    assert no_duplicates, "duplicate verification documents after recovery"
+    assert report.verified_unique == len(expected_uids)

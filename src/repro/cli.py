@@ -23,6 +23,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from typing import Sequence
 
 from repro.core import (
@@ -47,7 +48,7 @@ from repro.risk import PlacedRisk, RiskModel, SecurityMap, incident_counts
 from repro.storage import DocumentStore
 from repro.streaming import Broker
 from repro.text import IncidentPipeline
-from repro.workload import LoadDriver, load_scenario, scenario_names
+from repro.workload import FaultInjection, LoadDriver, load_scenario, scenario_names
 
 FEATURES = ALARM_FEATURES
 
@@ -176,7 +177,24 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         scenario = load_scenario(args.scenario)
         if args.seed is not None:
             scenario = scenario.with_seed(args.seed)
-        driver = LoadDriver(scenario, speedup=args.speedup)
+        # --out must dump a spec that replays standalone, i.e. without the
+        # durable-only crash fault injected below.
+        dump_scenario = scenario
+        if args.durable and not any(
+            fault.kind == "process_crash" for fault in scenario.faults
+        ):
+            # Durable runs exist to demonstrate crash recovery: inject a
+            # mid-scenario crash (with a short downtime window) when the
+            # scenario does not already carry one.
+            crash = FaultInjection(
+                kind="process_crash",
+                start=scenario.duration / 2,
+                end=scenario.duration / 2 + max(scenario.duration * 0.02, 1e-3),
+            )
+            scenario = replace(scenario, faults=scenario.faults + (crash,))
+        driver = LoadDriver(
+            scenario, speedup=args.speedup, durable_dir=args.durable
+        )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -191,9 +209,15 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
           f"{report.produce_bytes_per_second / 1e6:.2f} MB/s "
           f"({report.backpressure_waits} backpressure waits)")
     print(report.ops_report)
+    if report.durable:
+        print(f"durable pipeline at {args.durable}: "
+              f"{report.verified_unique} unique verification documents, "
+              f"{report.duplicates_skipped} replayed duplicates deduplicated")
+        for i, recovery in enumerate(report.recoveries, 1):
+            print(f"  crash {i}: {recovery.summary()}")
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(scenario.to_json())
+            handle.write(dump_scenario.to_json())
             handle.write("\n")
         print(f"wrote scenario spec to {args.out}")
     return 0
@@ -295,6 +319,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="override the scenario's seed")
     loadtest.add_argument("--speedup", type=float, default=600.0,
                           help="virtual-to-wall time compression factor")
+    loadtest.add_argument(
+        "--durable", metavar="DIR", default=None,
+        help="run against the durable store/broker rooted at DIR and print "
+             "recovery stats after an injected mid-scenario process crash",
+    )
     loadtest.add_argument("--out", help="optional path to dump the scenario JSON")
     loadtest.set_defaults(func=cmd_loadtest)
 

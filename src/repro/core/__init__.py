@@ -37,6 +37,7 @@ from repro.core.verification import (
     Verification,
     VerificationService,
 )
+from repro.core.verification_log import VerificationLog, alarm_uid
 
 __all__ = [
     "ALARM_FEATURES",
@@ -62,4 +63,6 @@ __all__ = [
     "prioritize",
     "Verification",
     "VerificationService",
+    "VerificationLog",
+    "alarm_uid",
 ]

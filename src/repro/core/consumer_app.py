@@ -27,6 +27,7 @@ from typing import Callable
 from repro.core.alarm import Alarm
 from repro.core.history import AlarmHistory
 from repro.core.verification import Verification, VerificationService
+from repro.core.verification_log import VerificationLog
 from repro.errors import ConfigurationError
 from repro.streaming.broker import Broker
 from repro.streaming.dstream import MicroBatch, StreamingContext
@@ -46,6 +47,10 @@ class ConsumerRunReport:
     ml_seconds: float = 0.0         # classification
     store_seconds: float = 0.0      # appending the window to history
     elapsed_seconds: float = 0.0
+    #: Re-processed alarms dropped by the idempotent verification sink
+    #: (only non-zero when a ``verification_log`` is attached): replayed
+    #: windows after crash recovery and at-least-once redeliveries.
+    duplicates_skipped: int = 0
     verifications: list[Verification] = field(default_factory=list)
 
     @property
@@ -100,6 +105,14 @@ class ConsumerApplication:
     keep_verifications:
         Retain every verification in the report (disable for throughput
         benchmarks to avoid unbounded memory).
+    verification_log:
+        Optional idempotent sink
+        (:class:`~repro.core.verification_log.VerificationLog`).  When
+        attached, each window's outcomes are recorded keyed by alarm uid
+        *before* offsets are committed, and only the newly-written subset
+        reaches the history — so re-processing a window after a crash (or
+        an at-least-once redelivery) is exactly-once: duplicates are
+        skipped and counted, never double-recorded.
     on_window:
         Optional observer called after each processed window with the
         window's verifications and the :class:`MicroBatch`; this is how
@@ -115,6 +128,7 @@ class ConsumerApplication:
                  parallel_ml: bool = False,
                  keep_verifications: bool = False,
                  histogram_since: float | None = None,
+                 verification_log: VerificationLog | None = None,
                  on_window: Callable[[list[Verification], MicroBatch], None] | None = None) -> None:
         if repartition is not None and repartition < 1:
             raise ConfigurationError(f"repartition must be >= 1, got {repartition}")
@@ -125,6 +139,7 @@ class ConsumerApplication:
         self.parallel_ml = parallel_ml
         self.keep_verifications = keep_verifications
         self.histogram_since = histogram_since
+        self.verification_log = verification_log
         self.on_window = on_window
         self.last_histogram: dict[str, int] = {}
 
@@ -166,9 +181,22 @@ class ConsumerApplication:
         verifications = [v for part in partition_results for v in part]
         report.ml_seconds += time.perf_counter() - started
 
-        # (4) persist the window into the history.
+        # (4) persist the window: through the idempotent sink when attached
+        # (replayed/redelivered alarms are dropped there and never reach the
+        # history; on a shared durable store the sink journals verification
+        # + history rows as one atomic group), plainly otherwise.  This
+        # happens *before* the streaming context commits offsets, so a
+        # crash between persist and commit only ever causes re-processing —
+        # which the sink deduplicates — never loss.
         started = time.perf_counter()
-        self.history.record_batch(v.alarm for v in verifications)
+        recorded = verifications
+        if self.verification_log is not None:
+            recorded = self.verification_log.record_batch(
+                verifications, history=self.history
+            )
+            report.duplicates_skipped += len(verifications) - len(recorded)
+        else:
+            self.history.record_batch(v.alarm for v in verifications)
         report.store_seconds += time.perf_counter() - started
 
         report.alarms_processed += len(verifications)
@@ -176,7 +204,10 @@ class ConsumerApplication:
         if self.keep_verifications:
             report.verifications.extend(verifications)
         if self.on_window is not None:
-            self.on_window(verifications, batch)
+            # Observers see what was *recorded*: with an idempotent sink
+            # attached, replayed duplicates are excluded so ops metrics
+            # (throughput, SLA, verification-rate) stay exactly-once too.
+            self.on_window(recorded, batch)
 
     # -- run loops ---------------------------------------------------------------------
 

@@ -1,0 +1,45 @@
+"""Durability subsystem: WAL, snapshots, journaled stores, crash recovery.
+
+Turns the in-memory pipeline (broker logs, document store, consumer
+offsets) into a crash-safe system with exactly-once end-to-end semantics:
+
+* :mod:`~repro.durability.wal` — :class:`WriteAheadLog`: append-only,
+  length-prefixed, CRC32-checksummed segments with group commit, rotation,
+  torn-tail truncation on open, and deterministic crash simulation;
+* :mod:`~repro.durability.snapshot` — :class:`SnapshotManager`: atomic
+  (write-temp-then-rename) DocumentStore snapshots that record the WAL
+  position they cover;
+* :mod:`~repro.durability.journal` — :class:`DurableDocumentStore`:
+  WAL-before-apply hooks over every collection write path, with snapshot
+  compaction once the journal outgrows a configurable ratio;
+* :mod:`~repro.durability.broker_log` — :class:`DurableBroker`: persistent
+  partition logs (group-committed appends) plus a checkpointed
+  committed-offset journal, so consumer groups resume from their last
+  durable commit;
+* :mod:`~repro.durability.recovery` — :class:`RecoveryManager`: restores
+  broker + store + offsets to a consistent cut and reports replayed /
+  deduplicated counts.
+
+Exactly-once is the composition: acknowledged produces and store writes are
+durable (group-committed fsyncs), offsets are at-least-once (checkpointed),
+and the consumer's verification sink is idempotent (unique alarm uid), so
+replay after a crash drops duplicates instead of double-counting.
+"""
+
+from repro.durability.broker_log import DurableBroker
+from repro.durability.journal import DurableCollection, DurableDocumentStore
+from repro.durability.recovery import RecoveryManager, RecoveryReport
+from repro.durability.snapshot import SnapshotInfo, SnapshotManager
+from repro.durability.wal import SYNC_POLICIES, WriteAheadLog
+
+__all__ = [
+    "DurableBroker",
+    "DurableCollection",
+    "DurableDocumentStore",
+    "RecoveryManager",
+    "RecoveryReport",
+    "SnapshotInfo",
+    "SnapshotManager",
+    "SYNC_POLICIES",
+    "WriteAheadLog",
+]

@@ -1,0 +1,410 @@
+"""Persistent broker: durable partition logs and checkpointed offsets.
+
+:class:`DurableBroker` extends the in-process
+:class:`~repro.streaming.broker.Broker` with a disk image of everything a
+consumer-facing broker must not lose:
+
+* **Topic metadata** — ``topics.json``, rewritten atomically (temp file +
+  ``os.replace``) on every create/delete, fsynced before the in-memory
+  registry changes.
+* **Partition records** — one :class:`~repro.durability.wal.WriteAheadLog`
+  per partition (``topics/<topic>/p<partition>/``).  ``append_batch`` is a
+  group commit: the whole batch is framed, written and fsynced *before*
+  the in-memory append, so an acknowledged produce is durable.  Record
+  framing is binary (key/value bytes, timestamp, optional JSON headers).
+* **Committed offsets** — an append-only offset journal (``offsets/``)
+  under a *checkpoint* policy: commits are appended (flushed, not fsynced)
+  and every ``offset_checkpoint_every``-th commit fsyncs the journal.  A
+  crash can therefore rewind a group by at most one checkpoint interval —
+  consumers re-process a bounded suffix, which the pipeline's idempotent
+  verification sink deduplicates (at-least-once offsets + idempotent sink
+  = exactly-once end to end).  The offset journal is compacted to a
+  last-value-wins checkpoint record once it outgrows its live key set.
+
+Opening a :class:`DurableBroker` on a non-empty directory recovers all
+three: topics re-created, partition WALs replayed into fresh in-memory
+logs (torn tails truncated), offsets folded last-write-wins.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import struct
+import threading
+from pathlib import Path
+from typing import Iterable
+
+from repro.errors import DurabilityError, UnknownTopicError, WALError
+from repro.streaming.broker import BatchEntry, Broker, TopicMetadata
+from repro.streaming.message import TopicPartition, monotonic_timestamps
+from repro.durability.wal import WriteAheadLog
+
+__all__ = ["DurableBroker"]
+
+_TOPICS_NAME = "topics.json"
+_TOPICS_DIR = "topics"
+_OFFSETS_DIR = "offsets"
+
+# Record frame inside a partition WAL payload: key length (-1 = None),
+# value length, header-json length, then timestamp as a float64.
+_RECORD_HEADER = struct.Struct(">iiid")
+
+
+def _encode_record(key: bytes | None, value: bytes, timestamp: float,
+                   headers: dict[str, str] | None) -> bytes:
+    header_blob = b""
+    if headers:
+        header_blob = json.dumps(headers, separators=(",", ":")).encode("utf-8")
+    return (
+        _RECORD_HEADER.pack(
+            -1 if key is None else len(key), len(value), len(header_blob), timestamp
+        )
+        + (key or b"") + value + header_blob
+    )
+
+
+def _decode_record(payload: bytes) -> tuple[bytes | None, bytes, float, dict | None]:
+    klen, vlen, hlen, timestamp = _RECORD_HEADER.unpack_from(payload, 0)
+    pos = _RECORD_HEADER.size
+    key = None
+    if klen >= 0:
+        key = payload[pos:pos + klen]
+        pos += klen
+    value = payload[pos:pos + vlen]
+    pos += vlen
+    headers = None
+    if hlen:
+        headers = json.loads(payload[pos:pos + hlen].decode("utf-8"))
+    return key, value, timestamp, headers
+
+
+class DurableBroker(Broker):
+    """A broker whose acknowledged state survives process crashes.
+
+    Parameters
+    ----------
+    directory:
+        Durability root.  Opening a non-empty one recovers topics, records
+        and committed offsets; ``recovered_records`` / ``recovered_offsets``
+        report what was restored.
+    offset_checkpoint_every:
+        Fsync the offset journal every N commits (1 = every commit is
+        durable; larger values trade a bounded replay window for commit
+        throughput).
+    segment_max_bytes:
+        Partition WAL rotation threshold.
+    """
+
+    def __init__(self, directory: str | Path, offset_checkpoint_every: int = 8,
+                 segment_max_bytes: int = 4 * 1024 * 1024) -> None:
+        if offset_checkpoint_every < 1:
+            raise DurabilityError(
+                f"offset_checkpoint_every must be >= 1, got {offset_checkpoint_every}"
+            )
+        super().__init__()
+        self.directory = Path(directory)
+        self.offset_checkpoint_every = offset_checkpoint_every
+        self.segment_max_bytes = segment_max_bytes
+        self._partition_wals: dict[tuple[str, int], WriteAheadLog] = {}
+        # One lock per partition held across (WAL append, in-memory append)
+        # so the replayed record order always equals the served one even
+        # with concurrent producers on the same partition.
+        self._append_locks: dict[tuple[str, int], threading.Lock] = {}
+        self._commits_since_sync = 0
+        self._crashed = False
+        #: Recovery statistics of this open.
+        self.recovered_records = 0
+        self.recovered_offsets = 0
+        self.truncated_bytes = 0
+        try:
+            (self.directory / _TOPICS_DIR).mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise DurabilityError(
+                f"cannot create broker directory {self.directory}: {exc}"
+            ) from exc
+        # Guards the offset journal handle across append / fsync /
+        # compaction: commits may come from several consumer threads, and
+        # compaction closes and swaps the journal out from under them.
+        self._offset_lock = threading.Lock()
+        self._restore_offset_journal()
+        self._offset_wal = WriteAheadLog(self.directory / _OFFSETS_DIR, sync="never")
+        self.truncated_bytes += self._offset_wal.truncated_bytes
+        self._recover()
+
+    # -- recovery -------------------------------------------------------------------
+
+    def _topics_path(self) -> Path:
+        return self.directory / _TOPICS_NAME
+
+    def _recover(self) -> None:
+        topics_path = self._topics_path()
+        if topics_path.exists():
+            try:
+                spec = json.loads(topics_path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError) as exc:
+                raise DurabilityError(f"unreadable {topics_path}: {exc}") from exc
+            for name, partitions in sorted(spec.items()):
+                super().create_topic(name, int(partitions))
+                for p in range(int(partitions)):
+                    wal = self._open_partition_wal(name, p)
+                    self.truncated_bytes += wal.truncated_bytes
+                    entries = [
+                        _decode_record(payload) for _lsn, payload in wal.replay()
+                    ]
+                    if entries:
+                        super().append_batch(name, p, entries)
+                        self.recovered_records += len(entries)
+        restored: set[tuple[str, TopicPartition]] = set()
+        for _lsn, payload in self._offset_wal.replay():
+            entry = json.loads(payload.decode("utf-8"))
+            group, topic, partition, offset = entry
+            tp = TopicPartition(topic, int(partition))
+            # Journal entries can outlive their topic (deleted after the
+            # commit, before the next journal compaction): resurrecting them
+            # would hand a re-created topic someone else's offsets.
+            if (topic, int(partition)) not in self._partition_wals:
+                continue
+            with self._committed_lock:
+                self._committed[(group, tp)] = int(offset)
+            restored.add((group, tp))
+        self.recovered_offsets = len(restored)
+
+    def _restore_offset_journal(self) -> None:
+        """Undo a torn offset-journal compaction swap.
+
+        ``_compact_offsets`` renames ``offsets`` aside before renaming the
+        rewritten journal into place; a crash between the two renames
+        leaves no live directory — the previous journal (a superset of the
+        rewrite) survives as ``offsets.old`` and is restored here.  Any
+        remaining ``.old`` / ``.compacting`` directories are debris.
+        """
+        live = self.directory / _OFFSETS_DIR
+        old = self.directory / f"{_OFFSETS_DIR}.old"
+        fresh = self.directory / f"{_OFFSETS_DIR}.compacting"
+        if not live.exists() and old.exists():
+            os.rename(old, live)
+        shutil.rmtree(old, ignore_errors=True)
+        shutil.rmtree(fresh, ignore_errors=True)
+
+    def _open_partition_wal(self, topic: str, partition: int) -> WriteAheadLog:
+        wal = WriteAheadLog(
+            self.directory / _TOPICS_DIR / topic / f"p{partition}",
+            segment_max_bytes=self.segment_max_bytes,
+            sync="batch",
+        )
+        self._partition_wals[(topic, partition)] = wal
+        self._append_locks[(topic, partition)] = threading.Lock()
+        return wal
+
+    def _partition_wal(self, topic: str, partition: int) -> WriteAheadLog:
+        try:
+            return self._partition_wals[(topic, partition)]
+        except KeyError:
+            # Partition existence was already validated by the caller's
+            # in-memory lookup; an absent WAL means the topic is gone.
+            raise UnknownTopicError(f"unknown topic {topic!r}") from None
+
+    def _persist_topics(self) -> None:
+        spec = {name: meta.num_partitions for name, meta in self._topics.items()}
+        tmp = self._topics_path().with_suffix(".json.tmp")
+        try:
+            with tmp.open("w", encoding="utf-8") as handle:
+                handle.write(json.dumps(spec, indent=2, sort_keys=True))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self._topics_path())
+        except OSError as exc:
+            raise DurabilityError(f"cannot persist topic metadata: {exc}") from exc
+
+    # -- topic administration --------------------------------------------------------
+
+    def create_topic(self, name: str, num_partitions: int = 1) -> TopicMetadata:
+        self._check_alive()
+        if "/" in name or name.startswith("."):
+            raise DurabilityError(f"invalid durable topic name {name!r}")
+        meta = super().create_topic(name, num_partitions)
+        if (name, 0) not in self._partition_wals:
+            # A crashed delete may have left orphan partition dirs (the
+            # topic was durably unregistered first): a new topic of the
+            # same name must start empty, not inherit them.
+            shutil.rmtree(self.directory / _TOPICS_DIR / name, ignore_errors=True)
+            for p in range(num_partitions):
+                self._open_partition_wal(name, p)
+            with self._registry_lock:
+                self._persist_topics()
+        return meta
+
+    def delete_topic(self, name: str) -> None:
+        self._check_alive()
+        super().delete_topic(name)
+        doomed = [key for key in self._partition_wals if key[0] == name]
+        for key in doomed:
+            self._partition_wals.pop(key).close()
+            self._append_locks.pop(key, None)
+        # Unregister durably *before* destroying data: a crash in between
+        # loses only already-deleted records, whereas the reverse order
+        # would resurrect the topic empty on recovery (topics.json still
+        # listing it) with another incarnation's offsets attached.
+        with self._registry_lock:
+            self._persist_topics()
+        # The offset journal still holds the deleted topic's commits; rewrite
+        # it from the (already purged) in-memory map so recovery can never
+        # resurrect stale offsets onto a re-created topic of the same name.
+        with self._offset_lock:
+            self._compact_offsets()
+        shutil.rmtree(self.directory / _TOPICS_DIR / name, ignore_errors=True)
+
+    def partition_wals_for(self, topic: str) -> list[WriteAheadLog]:
+        """The partition WALs of ``topic`` (exposed for tests)."""
+        return [
+            wal for (name, _p), wal in sorted(self._partition_wals.items())
+            if name == topic
+        ]
+
+    # -- produce ---------------------------------------------------------------------
+
+    def append_batch(self, topic: str, partition: int,
+                     entries: Iterable[BatchEntry]) -> list[int]:
+        """Durable group commit: log + fsync the batch, then apply in memory.
+
+        Timestamps are materialized before logging so the recovered records
+        are byte-identical to the served ones.
+        """
+        self._check_alive()
+        if not isinstance(entries, (list, tuple)):
+            entries = list(entries)
+        if not entries:
+            return []
+        self._log(topic, partition)  # validate before touching the WAL
+        stamps = monotonic_timestamps(len(entries))
+        normalized: list[tuple] = []
+        payloads = []
+        for i, entry in enumerate(entries):
+            key = entry[0]
+            value = entry[1]
+            timestamp = entry[2] if len(entry) > 2 and entry[2] is not None else stamps[i]
+            headers = entry[3] if len(entry) > 3 else None
+            normalized.append((key, value, timestamp, headers))
+            payloads.append(_encode_record(key, value, timestamp, headers))
+        wal = self._partition_wal(topic, partition)
+        lock = self._append_locks.get((topic, partition))
+        if lock is None:  # delete_topic raced us after validation
+            raise UnknownTopicError(f"topic {topic!r} was deleted")
+        with lock:
+            try:
+                wal.append_many(payloads)
+            except WALError:
+                # The WAL was closed out from under us by a concurrent
+                # delete_topic; surface the base broker's error contract.
+                if topic not in self._topics:
+                    raise UnknownTopicError(f"topic {topic!r} was deleted") from None
+                raise
+            return super().append_batch(topic, partition, normalized)
+
+    # -- offsets ---------------------------------------------------------------------
+
+    def commit(self, group: str, offsets: dict[TopicPartition, int]) -> None:
+        """Validate + apply via the base broker, then journal the offsets.
+
+        The journal append is flushed but only fsynced on every
+        ``offset_checkpoint_every``-th commit — the *checkpointed offsets*
+        policy.  :meth:`sync_offsets` forces a checkpoint.
+        """
+        self._check_alive()
+        super().commit(group, offsets)
+        payloads = [
+            json.dumps([group, tp.topic, tp.partition, offset],
+                       separators=(",", ":")).encode("utf-8")
+            for tp, offset in sorted(offsets.items())
+        ]
+        if not payloads:
+            return
+        with self._offset_lock:
+            self._offset_wal.append_many(payloads)
+            self._commits_since_sync += 1
+            if self._commits_since_sync >= self.offset_checkpoint_every:
+                self._sync_offsets_locked()
+            elif self._offset_wal.record_count() > self._offset_compact_threshold():
+                self._compact_offsets()
+
+    def sync_offsets(self) -> None:
+        """Checkpoint: fsync the offset journal (and compact it when large)."""
+        with self._offset_lock:
+            self._sync_offsets_locked()
+
+    def _sync_offsets_locked(self) -> None:
+        self._offset_wal.sync()
+        self._commits_since_sync = 0
+        if self._offset_wal.record_count() > self._offset_compact_threshold():
+            self._compact_offsets()
+
+    def _offset_compact_threshold(self) -> int:
+        with self._committed_lock:
+            live = len(self._committed)
+        return max(1_000, 8 * live)
+
+    def _compact_offsets(self) -> None:
+        """Rewrite the offset journal as one last-value-wins checkpoint.
+
+        Caller holds ``_offset_lock``, so no commit can append to (or read
+        from) the journal while it is closed and swapped.
+        """
+        with self._committed_lock:
+            entries = [
+                (group, tp.topic, tp.partition, offset)
+                for (group, tp), offset in sorted(
+                    self._committed.items(), key=lambda kv: (kv[0][0], kv[0][1])
+                )
+            ]
+        self._offset_wal.close()
+        fresh = self.directory / f"{_OFFSETS_DIR}.compacting"
+        shutil.rmtree(fresh, ignore_errors=True)
+        wal = WriteAheadLog(fresh, sync="never")
+        wal.append_many([
+            json.dumps(list(entry), separators=(",", ":")).encode("utf-8")
+            for entry in entries
+        ], sync=True)
+        wal.close()
+        live = self.directory / _OFFSETS_DIR
+        old = self.directory / f"{_OFFSETS_DIR}.old"
+        shutil.rmtree(old, ignore_errors=True)
+        os.rename(live, old)
+        os.rename(fresh, live)
+        shutil.rmtree(old, ignore_errors=True)
+        self._offset_wal = WriteAheadLog(live, sync="never")
+        self._commits_since_sync = 0
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def simulate_crash(self) -> None:
+        """Discard all un-fsynced bytes everywhere and render the broker dead.
+
+        Acknowledged produces (fsynced per batch) survive; offset commits
+        survive only up to the last checkpoint — exactly the crash contract
+        the recovery pipeline is built around.
+        """
+        for wal in self._partition_wals.values():
+            wal.simulate_crash()
+        with self._offset_lock:
+            self._offset_wal.simulate_crash()
+        self._crashed = True
+
+    def close(self) -> None:
+        """Flush everything (including a final offset checkpoint) and close."""
+        if self._crashed:
+            return
+        try:
+            with self._offset_lock:
+                self._offset_wal.sync()
+        finally:
+            for wal in self._partition_wals.values():
+                wal.close()
+            with self._offset_lock:
+                self._offset_wal.close()
+            self._crashed = True
+
+    def _check_alive(self) -> None:
+        if self._crashed:
+            raise DurabilityError("operation on crashed/closed durable broker")

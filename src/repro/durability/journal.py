@@ -1,0 +1,405 @@
+"""Journaled document store: WAL-before-apply writes with snapshot compaction.
+
+:class:`DurableDocumentStore` wraps a regular in-memory
+:class:`~repro.storage.store.DocumentStore` so that every write on every
+collection path (``insert_one`` / ``insert_many`` / ``update_many`` /
+``delete_many``, plus index and collection DDL) is **logged to the WAL
+before it is applied**.  Because the in-memory store is exactly "snapshot
+state + journaled operations applied in LSN order", recovery is:
+
+1. load the newest snapshot (``snapshots/``), which records the WAL LSN it
+   covers;
+2. replay the WAL suffix (``wal/``) from that LSN, re-applying each
+   operation.
+
+Operations are journaled *logically* (documents, filters, update operator
+docs) rather than physically, so replay does not depend on internal ``_id``
+assignment.  An operation that failed when first applied (e.g. an insert
+rejected by a unique index — the idempotent-sink case) fails identically on
+replay and is counted, not fatal: ``replayed``/``deduplicated`` totals are
+exposed for the recovery report.
+
+Compaction: once the journal holds more than ``compact_ratio`` times as
+many operations as there are live documents (and at least
+``min_compact_records``), the store checkpoints itself — snapshot, then
+drop sealed WAL segments below the snapshot LSN.
+
+Writes across collections are serialized by a store-wide lock so the WAL
+order always equals the apply order (the invariant replay depends on).
+Reads are delegated untouched to the underlying collections and stay
+concurrent.
+
+Limitations: ``update_many`` accepts only operator-document updates
+(callables cannot be journaled) and documents must be JSON-serializable —
+both surface as :class:`~repro.errors.DurabilityError` /
+``PersistenceError`` at write time, never at recovery time.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.errors import DurabilityError, StorageError
+from repro.storage.aggregate import aggregate
+from repro.storage.collection import Collection
+from repro.storage.store import DocumentStore
+from repro.durability.snapshot import SnapshotManager
+from repro.durability.wal import WriteAheadLog
+
+__all__ = ["DurableCollection", "DurableDocumentStore"]
+
+_WAL_DIR = "wal"
+_SNAPSHOT_DIR = "snapshots"
+
+
+def _encode_op(op: list[Any]) -> bytes:
+    try:
+        return json.dumps(op, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise DurabilityError(
+            f"cannot journal operation (not JSON-serializable): {exc}"
+        ) from exc
+
+
+class DurableCollection:
+    """Write-through proxy over one :class:`Collection`.
+
+    Every mutating method journals the logical operation first and applies
+    it second (under the store's write lock).  Reads — ``find``, ``count``,
+    ``distinct``, ``explain``, ``get``, index introspection — are delegated
+    verbatim to the wrapped collection.
+    """
+
+    def __init__(self, store: "DurableDocumentStore", inner: Collection):
+        self._store = store
+        self._inner = inner
+        self.name = inner.name
+
+    # -- journaled writes -----------------------------------------------------------
+
+    def insert_one(self, document: Mapping[str, Any]) -> int:
+        doc = dict(document)
+        doc.pop("_id", None)
+        return self._store._journal_apply(["ins", self.name, [doc]])[0]
+
+    def insert_many(self, documents) -> list[int]:
+        docs = []
+        for document in documents:
+            doc = dict(document)
+            doc.pop("_id", None)
+            docs.append(doc)
+        if not docs:
+            return []
+        return self._store._journal_apply(["ins", self.name, docs])
+
+    def update_many(self, filter_doc: Mapping[str, Any],
+                    update: Mapping[str, Any]) -> int:
+        if callable(update):
+            raise DurabilityError(
+                "durable collections require operator-document updates "
+                "({'$set': ...}); callables cannot be journaled"
+            )
+        return self._store._journal_apply(
+            ["upd", self.name, dict(filter_doc), dict(update)]
+        )
+
+    def delete_many(self, filter_doc: Mapping[str, Any]) -> int:
+        return self._store._journal_apply(["del", self.name, dict(filter_doc)])
+
+    def create_index(self, field: str, kind: str = "hash", unique: bool = False) -> None:
+        self._store._journal_apply(["idx", self.name, field, kind, bool(unique)])
+
+    def drop_index(self, field: str) -> None:
+        self._store._journal_apply(["dropidx", self.name, field])
+
+    # -- delegated reads ------------------------------------------------------------
+
+    def __getattr__(self, item: str) -> Any:
+        return getattr(self._inner, item)
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+
+class DurableDocumentStore:
+    """Crash-safe document store: snapshot + WAL suffix = current state.
+
+    Parameters
+    ----------
+    directory:
+        Durability root (``wal/`` and ``snapshots/`` live under it).
+        Opening a non-empty directory *recovers* it: newest snapshot loaded,
+        WAL suffix replayed.
+    compact_ratio:
+        Auto-checkpoint once journaled ops since the snapshot exceed this
+        multiple of the live document count.
+    min_compact_records:
+        Lower bound on journaled ops before auto-compaction triggers (keeps
+        tiny stores from snapshotting constantly).
+    sync:
+        WAL sync policy (see :data:`~repro.durability.wal.SYNC_POLICIES`).
+        The default ``batch`` fsyncs once per journaled operation — a
+        batched ``insert_many`` is one group commit.
+    snapshots_kept:
+        Completed snapshots retained after each checkpoint.
+    """
+
+    def __init__(self, directory: str | Path, compact_ratio: float = 4.0,
+                 min_compact_records: int = 2_000, sync: str = "batch",
+                 snapshots_kept: int = 2) -> None:
+        if compact_ratio <= 0:
+            raise DurabilityError(f"compact_ratio must be > 0, got {compact_ratio}")
+        if min_compact_records < 1:
+            raise DurabilityError(
+                f"min_compact_records must be >= 1, got {min_compact_records}"
+            )
+        self.directory = Path(directory)
+        self.compact_ratio = compact_ratio
+        self.min_compact_records = min_compact_records
+        self._write_lock = threading.RLock()
+        self._proxies: dict[str, DurableCollection] = {}
+        self._closed = False
+
+        self._snapshots = SnapshotManager(
+            self.directory / _SNAPSHOT_DIR, keep=snapshots_kept
+        )
+        self._wal = WriteAheadLog(self.directory / _WAL_DIR, sync=sync)
+        #: Recovery statistics of the most recent open (all zero for a
+        #: fresh directory): ops replayed from the WAL suffix, ops whose
+        #: re-apply failed identically to the original attempt (counted as
+        #: deduplicated — the idempotent-sink case), torn-tail bytes dropped,
+        #: and documents restored from the snapshot image.
+        self.replayed_ops = 0
+        self.deduplicated_ops = 0
+        self.truncated_bytes = self._wal.truncated_bytes
+        self._store, self._snapshot_lsn = self._snapshots.load_latest()
+        self.snapshot_documents = self._document_count()
+        # A crash can truncate an un-fsynced journal below the snapshot LSN
+        # (sync="never"); the snapshot already holds those ops, but the LSN
+        # space must move past it or new appends would hide behind it.
+        self._wal.reanchor(self._snapshot_lsn)
+        self._recover()
+
+    # -- recovery -------------------------------------------------------------------
+
+    def _recover(self) -> None:
+        for _lsn, payload in self._wal.replay(self._snapshot_lsn):
+            try:
+                op = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise DurabilityError(f"undecodable journal record: {exc}") from exc
+            self.replayed_ops += 1
+            try:
+                self._apply(op)
+            except StorageError:
+                # The original apply failed the same way after its WAL write
+                # (e.g. a duplicate-key insert from an idempotent sink);
+                # replay reproduces the failure, not the effect.
+                self.deduplicated_ops += 1
+
+    def _apply(self, op: list[Any]) -> Any:
+        kind = op[0]
+        if kind == "ins":
+            return self._store.collection(op[1]).insert_many(op[2])
+        if kind == "upd":
+            return self._store.collection(op[1]).update_many(op[2], op[3])
+        if kind == "del":
+            return self._store.collection(op[1]).delete_many(op[2])
+        if kind == "idx":
+            return self._store.collection(op[1]).create_index(
+                op[2], kind=op[3], unique=op[4]
+            )
+        if kind == "dropidx":
+            return self._store.collection(op[1]).drop_index(op[2])
+        if kind == "dropcoll":
+            return self._store.drop_collection(op[1])
+        if kind == "multi":
+            # Sub-operations are tolerated individually: one failing exactly
+            # as it did live must not swallow its siblings.
+            for sub in op[1]:
+                try:
+                    self._apply(sub)
+                except StorageError:
+                    self.deduplicated_ops += 1
+            return None
+        raise DurabilityError(f"unknown journal operation {kind!r}")
+
+    # -- journaled write path -------------------------------------------------------
+
+    def _journal_apply(self, op: list[Any]) -> Any:
+        """Log ``op`` durably, then apply it — the WAL-before-apply rule.
+
+        What is applied is the *decoded journal payload*, not the caller's
+        original objects: the JSON round-trip normalizes values (tuples
+        become lists, etc.), and running it on the live path too guarantees
+        the recovered state is byte-identical to the served one.
+        """
+        payload = _encode_op(op)
+        with self._write_lock:
+            self._check_open()
+            self._wal.append(payload)
+            try:
+                result = self._apply(json.loads(payload.decode("utf-8")))
+            finally:
+                self._maybe_compact()
+            return result
+
+    def _maybe_compact(self) -> None:
+        ops_since_snapshot = self._wal.next_lsn - self._snapshot_lsn
+        if ops_since_snapshot < self.min_compact_records:
+            return
+        if ops_since_snapshot >= self.compact_ratio * max(1, self._document_count()):
+            self.checkpoint()
+
+    def _document_count(self) -> int:
+        return sum(
+            len(self._store.collection(name))
+            for name in self._store.collection_names()
+        )
+
+    def insert_group(self, batches: Sequence[tuple[str, Sequence[Mapping[str, Any]]]]) -> None:
+        """Insert into several collections as **one** journaled group.
+
+        The whole group is a single WAL record (one group-committed fsync),
+        so a crash can never land between the batches: recovery replays
+        either none of them (record not durable yet) or all of them.  This
+        is what lets the consumer keep its verification sink and the alarm
+        history atomically in step.
+
+        A sub-batch that fails to apply (e.g. a duplicate key) does not
+        abort its siblings — every sub-batch is attempted, then the first
+        error is re-raised.  Replay tolerates failed sub-operations the
+        same way, so the recovered state always equals the live one.
+        """
+        ops: list[list[Any]] = []
+        for name, documents in batches:
+            docs = []
+            for document in documents:
+                doc = dict(document)
+                doc.pop("_id", None)
+                docs.append(doc)
+            if docs:
+                ops.append(["ins", name, docs])
+        if not ops:
+            return
+        op = ops[0] if len(ops) == 1 else ["multi", ops]
+        payload = _encode_op(op)
+        with self._write_lock:
+            self._check_open()
+            self._wal.append(payload)
+            # Apply the decoded payload (JSON-normalized, like replay does).
+            decoded = json.loads(payload.decode("utf-8"))
+            subs = [decoded] if decoded[0] == "ins" else decoded[1]
+            first_error: StorageError | None = None
+            try:
+                for sub in subs:
+                    try:
+                        self._store.collection(sub[1]).insert_many(sub[2])
+                    except StorageError as exc:
+                        if first_error is None:
+                            first_error = exc
+            finally:
+                self._maybe_compact()
+            if first_error is not None:
+                raise first_error
+
+    # -- checkpointing --------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Snapshot the current state and drop sealed WAL segments below it.
+
+        Returns the WAL LSN the new snapshot covers.  Recovery after a
+        checkpoint replays only operations journaled after it.
+        """
+        with self._write_lock:
+            self._check_open()
+            lsn = self._wal.next_lsn
+            self._snapshots.write(self._store, lsn)
+            self._snapshot_lsn = lsn
+            self._wal.truncate_until(lsn)
+            return lsn
+
+    # -- store API -------------------------------------------------------------------
+
+    def collection(self, name: str) -> DurableCollection:
+        """Get or create the journaled proxy for collection ``name``."""
+        with self._write_lock:
+            proxy = self._proxies.get(name)
+            if proxy is None:
+                proxy = DurableCollection(self, self._store.collection(name))
+                self._proxies[name] = proxy
+            return proxy
+
+    def drop_collection(self, name: str) -> None:
+        self._journal_apply(["dropcoll", name])
+        with self._write_lock:
+            self._proxies.pop(name, None)
+
+    def collection_names(self) -> list[str]:
+        return self._store.collection_names()
+
+    def aggregate(self, collection: str, pipeline: list[Mapping[str, Any]]) -> list[dict[str, Any]]:
+        """Aggregation over the live in-memory store (reads need no journal)."""
+        return aggregate(self._store.collection(collection), pipeline)
+
+    @property
+    def store(self) -> DocumentStore:
+        """The wrapped in-memory store (reads only; writes must go through
+        the journaled proxies or recovery breaks)."""
+        return self._store
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        """The underlying journal (exposed for tests and benchmarks)."""
+        return self._wal
+
+    @property
+    def snapshots(self) -> SnapshotManager:
+        return self._snapshots
+
+    @property
+    def snapshot_lsn(self) -> int:
+        """WAL position covered by the newest snapshot (0 = none)."""
+        return self._snapshot_lsn
+
+    def journal_ops_since_snapshot(self) -> int:
+        return self._wal.next_lsn - self._snapshot_lsn
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def simulate_crash(self) -> None:
+        """Drop all un-fsynced journal bytes and render this instance dead.
+
+        The in-memory store contents are *not* saved — exactly what a
+        process crash does.  Re-open the directory (or use
+        :class:`~repro.durability.recovery.RecoveryManager`) to recover.
+        """
+        with self._write_lock:
+            self._wal.simulate_crash()
+            self._closed = True
+
+    def close(self) -> None:
+        """Flush and close the journal.  Idempotent.  No implicit snapshot:
+        reopening replays the WAL suffix, which must equal this state."""
+        with self._write_lock:
+            if self._closed:
+                return
+            self._wal.close()
+            self._closed = True
+
+    def __enter__(self) -> "DurableDocumentStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise DurabilityError("operation on closed durable store")
+
+    def iter_collections(self) -> Iterator[DurableCollection]:
+        for name in self.collection_names():
+            yield self.collection(name)

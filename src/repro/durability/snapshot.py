@@ -1,0 +1,173 @@
+"""Atomic DocumentStore snapshots anchored to WAL positions.
+
+A snapshot is a full :class:`~repro.storage.store.DocumentStore` image plus
+a ``SNAPSHOT.json`` metadata file recording the WAL LSN the image covers:
+every journaled operation with ``lsn < wal_lsn`` is already reflected in the
+image, so recovery is *load snapshot, then replay the WAL suffix from
+``wal_lsn``*.
+
+Atomicity uses the write-temp-then-rename protocol: the image is fully
+materialized (and fsynced) under a temporary name inside the snapshot
+directory, then renamed to its final ``snapshot-<lsn>`` name in one atomic
+``os.rename``.  A crash mid-write leaves only a ``tmp-*`` directory, which
+the manager sweeps on open; a visible ``snapshot-*`` directory is always
+complete.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import PersistenceError, RecoveryError
+from repro.storage.store import DocumentStore
+
+__all__ = ["SnapshotInfo", "SnapshotManager"]
+
+_META_NAME = "SNAPSHOT.json"
+_PREFIX = "snapshot-"
+_TMP_PREFIX = "tmp-"
+
+
+@dataclass(frozen=True)
+class SnapshotInfo:
+    """One complete on-disk snapshot: its directory and the LSN it covers."""
+
+    path: Path
+    wal_lsn: int
+    documents: int
+
+
+class SnapshotManager:
+    """Writes, lists, prunes and loads store snapshots in one directory.
+
+    Parameters
+    ----------
+    directory:
+        Snapshot root; created if missing.
+    keep:
+        Completed snapshots retained after :meth:`write` (older ones are
+        pruned; at least 1).
+    """
+
+    def __init__(self, directory: str | Path, keep: int = 2) -> None:
+        if keep < 1:
+            raise RecoveryError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.keep = keep
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise RecoveryError(
+                f"cannot create snapshot directory {self.directory}: {exc}"
+            ) from exc
+        self._sweep_tmp()
+
+    def _sweep_tmp(self) -> None:
+        """Remove half-written snapshots left behind by a crash mid-write.
+
+        Everything in this managed directory that is not a completed
+        ``snapshot-*`` image is debris: our own ``tmp-*`` staging dirs and
+        the hidden ``.tmp-*.saving-<pid>`` dirs the store's atomic save
+        stages inside them.
+        """
+        for path in self.directory.iterdir():
+            if path.is_dir() and not path.name.startswith(_PREFIX):
+                shutil.rmtree(path, ignore_errors=True)
+
+    # -- write ----------------------------------------------------------------------
+
+    def write(self, store: DocumentStore, wal_lsn: int) -> SnapshotInfo:
+        """Persist ``store`` as the snapshot covering WAL positions < ``wal_lsn``.
+
+        The image becomes visible atomically; re-snapshotting an LSN that
+        already has a complete image is a no-op returning the existing one
+        (state at a given LSN is deterministic).  Older snapshots beyond
+        ``keep`` are pruned afterwards.
+        """
+        if wal_lsn < 0:
+            raise RecoveryError(f"wal_lsn must be >= 0, got {wal_lsn}")
+        final = self.directory / f"{_PREFIX}{wal_lsn:020d}"
+        if final.exists():
+            # A snapshot at this LSN already exists and state-at-an-LSN is
+            # deterministic (snapshot + journal prefix), so rewriting it
+            # could only recreate the same image — while deleting it first
+            # would open a crash window with *no* snapshot covering a
+            # possibly already-truncated WAL.  Keep the existing image.
+            for info in self.list():
+                if info.wal_lsn == wal_lsn:
+                    return info
+        tmp = self.directory / f"{_TMP_PREFIX}{wal_lsn:020d}-{os.getpid()}"
+        documents = sum(
+            len(store.collection(name)) for name in store.collection_names()
+        )
+        try:
+            store.save(tmp)
+            meta = {"wal_lsn": wal_lsn, "documents": documents}
+            # fsync before the publishing rename: a visible snapshot dir
+            # must never hold torn metadata (list() treats that as fatal).
+            with (tmp / _META_NAME).open("w", encoding="utf-8") as handle:
+                handle.write(json.dumps(meta, indent=2))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.rename(tmp, final)
+        except (OSError, PersistenceError) as exc:
+            # store.save wraps its own OSErrors in PersistenceError; both
+            # must surface under this module's RecoveryError contract and
+            # neither may leave the staging directory behind.
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise RecoveryError(f"cannot write snapshot {final.name}: {exc}") from exc
+        self.prune()
+        return SnapshotInfo(path=final, wal_lsn=wal_lsn, documents=documents)
+
+    def prune(self) -> int:
+        """Drop all but the newest ``keep`` snapshots; returns the count removed."""
+        snapshots = self.list()
+        removed = 0
+        for info in snapshots[:-self.keep]:
+            shutil.rmtree(info.path, ignore_errors=True)
+            removed += 1
+        return removed
+
+    # -- read -----------------------------------------------------------------------
+
+    def list(self) -> list[SnapshotInfo]:
+        """All complete snapshots, oldest first."""
+        out = []
+        for path in sorted(self.directory.iterdir()):
+            if not path.name.startswith(_PREFIX) or not path.is_dir():
+                continue
+            meta_path = path / _META_NAME
+            if not meta_path.exists():
+                continue  # unreachable via write(), but never trust disk
+            try:
+                meta = json.loads(meta_path.read_text(encoding="utf-8"))
+            except (OSError, json.JSONDecodeError) as exc:
+                raise RecoveryError(
+                    f"unreadable snapshot metadata {meta_path}: {exc}"
+                ) from exc
+            out.append(SnapshotInfo(
+                path=path,
+                wal_lsn=int(meta["wal_lsn"]),
+                documents=int(meta.get("documents", 0)),
+            ))
+        return out
+
+    def latest(self) -> SnapshotInfo | None:
+        """The newest complete snapshot, or None when the directory is empty."""
+        snapshots = self.list()
+        return snapshots[-1] if snapshots else None
+
+    def load_latest(self) -> tuple[DocumentStore, int]:
+        """Restore the newest snapshot.
+
+        Returns ``(store, wal_lsn)`` — the LSN to replay the WAL from.  With
+        no snapshot on disk this is a fresh empty store at LSN 0.
+        """
+        info = self.latest()
+        if info is None:
+            return DocumentStore(), 0
+        return DocumentStore.load(info.path), info.wal_lsn

@@ -1,0 +1,442 @@
+"""Append-only, checksummed write-ahead log with group commit.
+
+The WAL is the durability primitive underneath every persistent component
+(journaled document store, persistent broker partitions, committed-offset
+store).  Its guarantees are deliberately minimal and testable:
+
+* **Framing** — every record is length-prefixed and CRC32-checksummed
+  (``[length:u32][crc32:u32][payload]``, big-endian), so a reader can always
+  tell a complete record from a torn or corrupted one.
+* **Torn-tail truncation** — opening a log scans its newest segment and
+  truncates at the first incomplete or checksum-failing frame, exactly like
+  a database discarding a torn page after power loss.  Corruption in the
+  *middle* of the log (an older, supposedly-sealed segment) is not silently
+  repairable and raises :class:`~repro.errors.WALCorruptionError`.
+* **Group commit** — :meth:`WriteAheadLog.append_many` writes a whole batch
+  of records and issues a *single* ``fsync``, amortizing the dominant cost
+  of durable writes.  ``benchmarks/test_durability_recovery.py`` pins group
+  commit at >= 2x the per-record-fsync throughput.
+* **Segment rotation** — records land in numbered segment files
+  (``wal-<first lsn>.log``); a segment past ``segment_max_bytes`` is sealed
+  and a new one started, which is what makes compaction
+  (:meth:`truncate_until`) an O(segments) file-unlink operation.
+* **Crash simulation** — ``fsync`` is meaningless to test in-process (the
+  page cache of a live OS never "loses" flushed writes), so the log tracks
+  the durable byte frontier of every segment and :meth:`simulate_crash`
+  discards everything past it — a faithful, deterministic model of losing
+  the kernel buffer on power failure.
+
+Log sequence numbers (LSNs) are dense record indexes starting at 0; the
+``lsn`` returned by an append is the position :meth:`replay` uses to resume.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import zlib
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.errors import WALCorruptionError, WALError
+
+__all__ = ["WriteAheadLog", "SYNC_POLICIES"]
+
+_HEADER = struct.Struct(">II")  # payload length, crc32(payload)
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".log"
+
+#: ``always`` — fsync after every append (strictest, slowest);
+#: ``batch`` — fsync once per :meth:`append_many` group (group commit);
+#: ``never`` — leave flushing to the OS (fastest; durable only at
+#: explicit :meth:`sync` calls, e.g. periodic offset checkpoints).
+SYNC_POLICIES = ("always", "batch", "never")
+
+
+def _segment_name(first_lsn: int) -> str:
+    return f"{_SEGMENT_PREFIX}{first_lsn:020d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_first_lsn(path: Path) -> int:
+    stem = path.name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+    try:
+        return int(stem)
+    except ValueError:
+        raise WALCorruptionError(f"malformed segment name {path.name!r}") from None
+
+
+class _Segment:
+    """One on-disk segment: its path, first LSN, record count and sizes."""
+
+    __slots__ = ("path", "first_lsn", "records", "size", "durable_size")
+
+    def __init__(self, path: Path, first_lsn: int):
+        self.path = path
+        self.first_lsn = first_lsn
+        self.records = 0
+        self.size = 0
+        #: Bytes guaranteed on stable storage (advanced by fsync); anything
+        #: past this is lost by :meth:`WriteAheadLog.simulate_crash`.
+        self.durable_size = 0
+
+
+class WriteAheadLog:
+    """Segmented, CRC-checked append-only log of opaque byte payloads.
+
+    Parameters
+    ----------
+    directory:
+        Segment directory; created if missing.  Opening an existing
+        directory recovers its contents (validating every frame and
+        truncating a torn tail on the newest segment).
+    segment_max_bytes:
+        Rotation threshold; a segment that reaches it is sealed.
+    sync:
+        Default durability policy for appends — see :data:`SYNC_POLICIES`.
+    """
+
+    def __init__(self, directory: str | Path, segment_max_bytes: int = 4 * 1024 * 1024,
+                 sync: str = "batch") -> None:
+        if sync not in SYNC_POLICIES:
+            raise WALError(f"sync must be one of {list(SYNC_POLICIES)}, got {sync!r}")
+        if segment_max_bytes < 1:
+            raise WALError(f"segment_max_bytes must be >= 1, got {segment_max_bytes}")
+        self.directory = Path(directory)
+        self.segment_max_bytes = segment_max_bytes
+        self.sync_policy = sync
+        self._lock = threading.RLock()
+        self._segments: list[_Segment] = []
+        self._handle = None
+        self._closed = False
+        #: Bytes dropped from a torn tail during open (0 on a clean log).
+        self.truncated_bytes = 0
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise WALError(f"cannot create WAL directory {self.directory}: {exc}") from exc
+        self._recover()
+
+    # -- recovery -----------------------------------------------------------------
+
+    def _recover(self) -> None:
+        paths = sorted(
+            p for p in self.directory.iterdir()
+            if p.name.startswith(_SEGMENT_PREFIX) and p.name.endswith(_SEGMENT_SUFFIX)
+        )
+        expected = None
+        for i, path in enumerate(paths):
+            segment = _Segment(path, _segment_first_lsn(path))
+            if expected is not None and segment.first_lsn != expected:
+                raise WALCorruptionError(
+                    f"segment {path.name} starts at lsn {segment.first_lsn}, "
+                    f"expected {expected} (missing segment?)"
+                )
+            last = i == len(paths) - 1
+            valid_bytes, records = self._scan_segment(path, last)
+            segment.records = records
+            segment.size = valid_bytes
+            segment.durable_size = valid_bytes
+            self._segments.append(segment)
+            expected = segment.first_lsn + records
+        if not self._segments:
+            self._start_segment(0)
+        else:
+            self._open_tail()
+
+    def _scan_segment(self, path: Path, is_last: bool) -> tuple[int, int]:
+        """Validate every frame; returns (valid bytes, record count).
+
+        A bad frame on the last segment is a torn tail: the file is
+        truncated at the last valid boundary.  On any earlier segment it is
+        unrepairable corruption.
+        """
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise WALError(f"cannot read WAL segment {path}: {exc}") from exc
+        pos, records = 0, 0
+        while pos + _HEADER.size <= len(data):
+            length, crc = _HEADER.unpack_from(data, pos)
+            end = pos + _HEADER.size + length
+            if end > len(data):
+                break  # incomplete payload: torn write
+            payload = data[pos + _HEADER.size:end]
+            if zlib.crc32(payload) != crc:
+                break  # checksum mismatch: torn or corrupted frame
+            pos = end
+            records += 1
+        if pos != len(data):
+            if not is_last:
+                raise WALCorruptionError(
+                    f"corrupt frame at byte {pos} of sealed segment {path.name}"
+                )
+            self.truncated_bytes += len(data) - pos
+            with path.open("r+b") as handle:
+                handle.truncate(pos)
+                handle.flush()
+                os.fsync(handle.fileno())
+        return pos, records
+
+    # -- segment management --------------------------------------------------------
+
+    def _start_segment(self, first_lsn: int) -> None:
+        segment = _Segment(self.directory / _segment_name(first_lsn), first_lsn)
+        self._segments.append(segment)
+        self._open_tail()
+
+    def _open_tail(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+        tail = self._segments[-1]
+        try:
+            self._handle = tail.path.open("ab")
+        except OSError as exc:
+            raise WALError(f"cannot open WAL segment {tail.path}: {exc}") from exc
+
+    def _rotate_if_needed(self) -> None:
+        tail = self._segments[-1]
+        if tail.size >= self.segment_max_bytes:
+            # Seal the full segment durably before opening its successor so
+            # recovery never sees a successor whose predecessor has a torn tail.
+            self._fsync()
+            self._start_segment(tail.first_lsn + tail.records)
+
+    # -- appends -------------------------------------------------------------------
+
+    @property
+    def next_lsn(self) -> int:
+        """LSN the next appended record will receive."""
+        with self._lock:
+            tail = self._segments[-1]
+            return tail.first_lsn + tail.records
+
+    @property
+    def first_lsn(self) -> int:
+        """Oldest LSN still retained (moves forward on :meth:`truncate_until`)."""
+        with self._lock:
+            return self._segments[0].first_lsn
+
+    def append(self, payload: bytes, sync: bool | None = None) -> int:
+        """Append one record; returns its LSN.
+
+        ``sync=True``/``False`` force the fsync decision; ``None`` applies
+        the log's policy — ``always`` and ``batch`` fsync (a single append
+        is a group of one), ``never`` leaves flushing to the OS.
+        """
+        return self.append_many([payload], sync=sync)[0]
+
+    def append_many(self, payloads: Sequence[bytes], sync: bool | None = None) -> list[int]:
+        """Group commit: append every payload, then fsync (at most) once.
+
+        Under the ``batch`` policy the whole batch becomes durable with a
+        single fsync — the group-commit optimization.  Returns the assigned
+        LSNs in order.
+        """
+        if not payloads:
+            return []
+        frames = []
+        for payload in payloads:
+            if not isinstance(payload, (bytes, bytearray, memoryview)):
+                raise WALError(
+                    f"WAL payloads must be bytes, got {type(payload).__name__}"
+                )
+            payload = bytes(payload)
+            frames.append(_HEADER.pack(len(payload), zlib.crc32(payload)) + payload)
+        blob = b"".join(frames)
+        with self._lock:
+            self._check_open()
+            tail = self._segments[-1]
+            base = tail.first_lsn + tail.records
+            try:
+                self._handle.write(blob)
+                self._handle.flush()
+            except OSError as exc:
+                # Roll the file back to the last accounted byte: a partial
+                # frame left behind (e.g. ENOSPC mid-write) would desync the
+                # on-disk bytes from the segment counters and corrupt the
+                # lsn->payload mapping of every later acknowledged append.
+                try:
+                    self._handle.close()
+                    with tail.path.open("r+b") as repair:
+                        repair.truncate(tail.size)
+                    self._open_tail()
+                except OSError:
+                    self._closed = True  # cannot repair: poison the log
+                raise WALError(f"cannot append to WAL: {exc}") from exc
+            tail.records += len(frames)
+            tail.size += len(blob)
+            do_sync = sync if sync is not None else self.sync_policy in ("always", "batch")
+            if do_sync:
+                self._fsync()
+            self._rotate_if_needed()
+            return list(range(base, base + len(frames)))
+
+    def sync(self) -> None:
+        """Force everything appended so far onto stable storage."""
+        with self._lock:
+            self._check_open()
+            self._handle.flush()
+            self._fsync()
+
+    def _fsync(self) -> None:
+        try:
+            os.fsync(self._handle.fileno())
+        except OSError as exc:  # pragma: no cover - exotic filesystems
+            raise WALError(f"fsync failed: {exc}") from exc
+        tail = self._segments[-1]
+        tail.durable_size = tail.size
+
+    # -- reads ---------------------------------------------------------------------
+
+    def replay(self, start_lsn: int = 0) -> Iterator[tuple[int, bytes]]:
+        """Yield ``(lsn, payload)`` for every record with ``lsn >= start_lsn``.
+
+        ``start_lsn`` below :attr:`first_lsn` (already compacted away) is an
+        error: the caller's snapshot is older than the retained log.
+        """
+        with self._lock:
+            self._check_open()
+            if start_lsn < self._segments[0].first_lsn:
+                raise WALError(
+                    f"lsn {start_lsn} predates the oldest retained segment "
+                    f"(first lsn {self._segments[0].first_lsn})"
+                )
+            # Snapshot the segment list; the files themselves are append-only.
+            segments = [
+                (seg.path, seg.first_lsn, seg.records, seg.size)
+                for seg in self._segments
+            ]
+        for path, first_lsn, records, size in segments:
+            if first_lsn + records <= start_lsn:
+                continue
+            try:
+                data = path.read_bytes()[:size]
+            except OSError as exc:
+                # A concurrent truncate_until unlinked the snapshotted
+                # segment mid-iteration; surface it under our contract.
+                raise WALError(
+                    f"segment {path.name} disappeared during replay "
+                    f"(concurrent compaction?): {exc}"
+                ) from exc
+            pos = 0
+            for lsn in range(first_lsn, first_lsn + records):
+                length, crc = _HEADER.unpack_from(data, pos)
+                payload = data[pos + _HEADER.size:pos + _HEADER.size + length]
+                if zlib.crc32(payload) != crc:
+                    raise WALCorruptionError(
+                        f"checksum mismatch at lsn {lsn} in {path.name}"
+                    )
+                pos += _HEADER.size + length
+                if lsn >= start_lsn:
+                    yield lsn, payload
+
+    def record_count(self) -> int:
+        """Records currently retained across all segments."""
+        with self._lock:
+            return sum(seg.records for seg in self._segments)
+
+    def size_bytes(self) -> int:
+        """Total bytes currently retained across all segments."""
+        with self._lock:
+            return sum(seg.size for seg in self._segments)
+
+    def segment_count(self) -> int:
+        with self._lock:
+            return len(self._segments)
+
+    # -- compaction ----------------------------------------------------------------
+
+    def truncate_until(self, lsn: int) -> int:
+        """Drop whole segments whose records all precede ``lsn``.
+
+        Called after a snapshot covering everything below ``lsn`` lands.
+        Only sealed segments are removed (the active tail always survives);
+        returns the number of segments unlinked.
+        """
+        with self._lock:
+            self._check_open()
+            removed = 0
+            while len(self._segments) > 1:
+                head = self._segments[0]
+                if head.first_lsn + head.records > lsn:
+                    break
+                try:
+                    head.path.unlink()
+                except OSError as exc:
+                    raise WALError(f"cannot remove segment {head.path}: {exc}") from exc
+                self._segments.pop(0)
+                removed += 1
+            return removed
+
+    def reanchor(self, lsn: int) -> bool:
+        """Advance the LSN space so the next append receives ``lsn``.
+
+        Used after recovery when a crash truncated the log below a
+        snapshot's LSN (possible under the ``never`` sync policy): every
+        retained record then predates the snapshot — i.e. is already
+        reflected in it — so the segments are dropped and a fresh one
+        starts at ``lsn``.  Without this, new appends would reuse LSNs the
+        snapshot claims to cover and be skipped by every future replay.
+        Returns True when a re-anchor happened (no-op if already past).
+        """
+        with self._lock:
+            self._check_open()
+            if self.next_lsn >= lsn:
+                return False
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            for segment in self._segments:
+                if segment.path.exists():
+                    segment.path.unlink()
+            self._segments = []
+            self._start_segment(lsn)
+            return True
+
+    # -- crash simulation / lifecycle ----------------------------------------------
+
+    def simulate_crash(self) -> None:
+        """Discard every byte not yet fsynced and close the log.
+
+        Models a power failure: flushed-but-unsynced data lives only in the
+        (now lost) kernel page cache.  The on-disk files are truncated to
+        their durable frontiers so a subsequent open recovers exactly the
+        synced prefix.  The instance itself becomes unusable.
+        """
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+            for segment in self._segments:
+                if segment.path.exists() and segment.durable_size < segment.size:
+                    # Truncate, never unlink: an empty tail file still
+                    # carries the LSN frontier in its name.  Removing it
+                    # would restart the LSN space at the previous segment's
+                    # end (or zero), making later appends invisible to a
+                    # snapshot that already recorded the higher LSN.
+                    with segment.path.open("r+b") as handle:
+                        handle.truncate(segment.durable_size)
+            self._closed = True
+
+    def close(self) -> None:
+        """Sync and close.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            if self._handle is not None:
+                self._handle.flush()
+                self._fsync()
+                self._handle.close()
+                self._handle = None
+            self._closed = True
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise WALError("operation on closed WAL")

@@ -64,6 +64,22 @@ class PersistenceError(StorageError):
     """The store could not be saved to or loaded from disk."""
 
 
+class DurabilityError(ReproError):
+    """Base class for errors raised by the durability subsystem."""
+
+
+class WALError(DurabilityError):
+    """A write-ahead-log operation failed."""
+
+
+class WALCorruptionError(WALError):
+    """A sealed WAL segment failed validation (unrepairable corruption)."""
+
+
+class RecoveryError(DurabilityError):
+    """Crash recovery could not restore a consistent state."""
+
+
 class MLError(ReproError):
     """Base class for errors raised by the machine-learning subsystem."""
 

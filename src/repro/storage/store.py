@@ -11,6 +11,8 @@ collection" requirement of Section 4.3.
 from __future__ import annotations
 
 import json
+import os
+import shutil
 import threading
 from pathlib import Path
 from typing import Any, Mapping
@@ -22,6 +24,51 @@ from repro.storage.collection import Collection
 __all__ = ["DocumentStore"]
 
 _MANIFEST_NAME = "manifest.json"
+
+
+def _writer_is_live(candidate: Path) -> bool:
+    """True when the pid suffix of a ``.saving-``/``.replaced-`` sibling
+    belongs to another still-running process — its save is in progress,
+    not crashed, and its staging/rollback dirs must be left alone."""
+    pid_text = candidate.name.rpartition("-")[2]
+    try:
+        pid = int(pid_text)
+    except ValueError:
+        return False
+    if pid == os.getpid():
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True  # exists but not ours to signal
+    return True
+
+
+def _save_debris(path: Path) -> list[Path]:
+    """Leftover ``.<name>.saving-*`` / ``.<name>.replaced-*`` siblings of
+    ``path`` from *crashed* saves (a sibling whose writer is still alive
+    is a concurrent save in progress, not debris)."""
+    return [
+        p for pattern in (f".{path.name}.saving-*", f".{path.name}.replaced-*")
+        for p in path.parent.glob(pattern)
+        if not _writer_is_live(p)
+    ]
+
+
+def _stranded_previous_save(path: Path) -> Path | None:
+    """The previous good image a crashed swap left behind, if any.
+
+    Only meaningful while ``path`` itself does not exist (the window
+    between the swap's two renames); a complete ``.replaced-*`` sibling
+    holding a manifest — whose writer is gone — is the last successful
+    save.
+    """
+    for candidate in sorted(path.parent.glob(f".{path.name}.replaced-*")):
+        if (candidate / _MANIFEST_NAME).exists() and not _writer_is_live(candidate):
+            return candidate
+    return None
 
 
 class DocumentStore:
@@ -65,12 +112,64 @@ class DocumentStore:
     # -- persistence ----------------------------------------------------------------
 
     def save(self, directory: str | Path) -> None:
-        """Write every collection as ``<name>.jsonl`` plus a manifest."""
+        """Write every collection as ``<name>.jsonl`` plus a manifest.
+
+        The save is atomic at the directory level: everything is written
+        (and fsynced) into a temporary sibling directory, which is then
+        swapped into place.  A crash or error mid-save never leaves
+        ``directory`` holding a mix of rewritten ``.jsonl`` files and a
+        stale or missing manifest — the previous contents survive intact.
+        """
         path = Path(directory)
+        tmp = path.parent / f".{path.name}.saving-{os.getpid()}"
+        old = path.parent / f".{path.name}.replaced-{os.getpid()}"
         try:
-            path.mkdir(parents=True, exist_ok=True)
+            # Sweep debris any earlier crashed save left behind (whatever
+            # its pid): if the target itself is gone, the stranded
+            # .replaced-* sibling IS the last good save — put it back first
+            # (mirrors the restore in load()); everything else is garbage.
+            path.parent.mkdir(parents=True, exist_ok=True)
+            survivor = None if path.exists() else _stranded_previous_save(path)
+            if survivor is not None:
+                os.rename(survivor, path)
+            for stale in _save_debris(path):
+                shutil.rmtree(stale, ignore_errors=True)
+            tmp.mkdir(parents=True)
         except OSError as exc:
-            raise PersistenceError(f"cannot create {path}: {exc}") from exc
+            raise PersistenceError(f"cannot create {tmp}: {exc}") from exc
+        # The swap replaces the whole directory, so refuse to discard one
+        # that holds foreign content (non-empty but no manifest): it was
+        # not written by save() and may be someone's unrelated data.
+        if (path.exists() and not (path / _MANIFEST_NAME).exists()
+                and any(path.iterdir())):
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise PersistenceError(
+                f"refusing to overwrite {path}: directory is not empty and "
+                f"holds no {_MANIFEST_NAME} (not a previous save)"
+            )
+        try:
+            self._write_contents(tmp)
+        except PersistenceError:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+        replaced = False
+        try:
+            if path.exists():
+                os.rename(path, old)
+                replaced = True
+            os.rename(tmp, path)
+        except OSError as exc:
+            if replaced:  # put the previous good save back
+                try:
+                    os.rename(old, path)
+                except OSError:  # pragma: no cover - doubly broken filesystem
+                    pass
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise PersistenceError(f"cannot swap {tmp} into {path}: {exc}") from exc
+        shutil.rmtree(old, ignore_errors=True)
+
+    def _write_contents(self, path: Path) -> None:
+        """Write the jsonl files and manifest into ``path``, fsyncing each."""
         manifest: dict[str, Any] = {"collections": {}}
         with self._lock:
             for name, coll in self._collections.items():
@@ -80,11 +179,17 @@ class DocumentStore:
                         for doc in coll.all_documents():
                             handle.write(json.dumps(doc, separators=(",", ":")))
                             handle.write("\n")
+                        handle.flush()
+                        os.fsync(handle.fileno())
                 except (OSError, TypeError, ValueError) as exc:
                     raise PersistenceError(f"cannot save collection {name!r}: {exc}") from exc
                 manifest["collections"][name] = {"indexes": self._index_specs(coll)}
         try:
-            (path / _MANIFEST_NAME).write_text(json.dumps(manifest, indent=2), encoding="utf-8")
+            manifest_path = path / _MANIFEST_NAME
+            with manifest_path.open("w", encoding="utf-8") as handle:
+                handle.write(json.dumps(manifest, indent=2))
+                handle.flush()
+                os.fsync(handle.fileno())
         except OSError as exc:
             raise PersistenceError(f"cannot write manifest: {exc}") from exc
 
@@ -94,8 +199,23 @@ class DocumentStore:
 
     @classmethod
     def load(cls, directory: str | Path) -> "DocumentStore":
-        """Rebuild a store previously written by :meth:`save`."""
+        """Rebuild a store previously written by :meth:`save`.
+
+        If a save crashed between its two swap renames, the target
+        directory is briefly absent while the previous good image sits in
+        a hidden ``.<name>.replaced-*`` sibling — that image is restored
+        and loaded, so a torn swap never loses the last successful save.
+        """
         path = Path(directory)
+        if not path.exists():
+            survivor = _stranded_previous_save(path)
+            if survivor is not None:
+                try:
+                    os.rename(survivor, path)
+                except OSError as exc:
+                    raise PersistenceError(
+                        f"cannot restore {survivor} to {path}: {exc}"
+                    ) from exc
         manifest_path = path / _MANIFEST_NAME
         if not manifest_path.exists():
             raise PersistenceError(f"no manifest at {manifest_path}")

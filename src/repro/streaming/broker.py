@@ -97,7 +97,12 @@ class PartitionLog:
         if not entries:
             return []
         count = len(entries)
-        stamps = monotonic_timestamps(count)
+        # Stamps are materialized lazily: a fully-timestamped batch (e.g.
+        # one the durable broker already stamped for its WAL) never takes
+        # the process-wide clock lock here.
+        stamps: list[float] | None = None
+        if any(len(entry) < 3 or entry[2] is None for entry in entries):
+            stamps = monotonic_timestamps(count)
         topic, partition = self.topic, self.partition
         with self._cond:
             self._check_not_deleted()

@@ -4,7 +4,8 @@ This subsystem turns traffic generation into a first-class declarative
 layer on top of the streaming substrate:
 
 * :mod:`~repro.workload.scenario` — :class:`Scenario` specs (dataset x
-  arrivals x duration x faults) with dict/JSON round-trip;
+  arrivals x duration x faults, including ``process_crash``) with
+  dict/JSON round-trip;
 * :mod:`~repro.workload.arrivals` — seeded arrival-time models (constant,
   Poisson, diurnal sinusoid, burst overlays);
 * :mod:`~repro.workload.driver` — :class:`LoadDriver`: concurrent

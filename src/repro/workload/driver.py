@@ -20,6 +20,19 @@ The :class:`LoadDriver` turns a declarative
 
 The result is a :class:`LoadTestReport` combining producer-side,
 consumer-side and operational metrics.
+
+**Durable mode** (``durable_dir=``): the broker, alarm history and
+verification outputs are backed by the durability subsystem
+(:class:`~repro.durability.recovery.RecoveryManager`), and a
+``process_crash`` fault window becomes a real mid-scenario crash: at the
+fault's start the driver kills the pipeline (every un-fsynced byte is
+lost), recovers broker + store + offsets from disk, and replays the rest of
+the scenario against the recovered components.  Offsets may rewind to
+their last checkpoint, so some windows are re-processed — the idempotent
+verification sink (:class:`~repro.core.verification_log.VerificationLog`)
+drops the duplicates, which is what makes the run exactly-once end to end:
+zero verified alarms lost, zero duplicate verification documents (the
+tier-1 invariant of ``benchmarks/test_durability_recovery.py``).
 """
 
 from __future__ import annotations
@@ -27,11 +40,14 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 import numpy as np
 
 from repro.core.consumer_app import ConsumerApplication, ConsumerRunReport
+from repro.core.verification_log import VerificationLog
+from repro.durability.recovery import RecoveryManager, RecoveryReport
 from repro.errors import ConfigurationError
 from repro.core.history import AlarmHistory
 from repro.core.labeling import label_alarms
@@ -78,6 +94,13 @@ class LoadTestReport:
     ops: OpsSummary
     ops_report: str = ""
     producer_stats: list[ProducerStats] = field(default_factory=list)
+    #: Durable-mode extras: whether the run used the durable pipeline, one
+    #: recovery report per simulated crash, re-processed alarms dropped by
+    #: the idempotent sink, and the unique verification-document count.
+    durable: bool = False
+    recoveries: list[RecoveryReport] = field(default_factory=list)
+    duplicates_skipped: int = 0
+    verified_unique: int | None = None
 
 
 class LoadDriver:
@@ -96,13 +119,24 @@ class LoadDriver:
         Injectable components; fresh ones are built when omitted (the
         service is trained on ``scenario.dataset.train_alarms`` synthetic
         alarms).
+    durable_dir:
+        When set, the broker and document store are the crash-safe durable
+        implementations rooted at this directory, verification outputs go
+        through the idempotent :class:`VerificationLog`, and
+        ``process_crash`` faults actually crash and recover the pipeline
+        mid-run.  Required for scenarios containing ``process_crash``.
+    offset_checkpoint_every:
+        Durable-broker offset checkpoint interval (fsync every N commits);
+        smaller values shrink the re-processing window after a crash.
     """
 
     def __init__(self, scenario: Scenario, seed: int | None = None,
                  speedup: float = 600.0,
                  service: VerificationService | None = None,
                  history: AlarmHistory | None = None,
-                 ops: OpsMetrics | None = None) -> None:
+                 ops: OpsMetrics | None = None,
+                 durable_dir: str | Path | None = None,
+                 offset_checkpoint_every: int = 8) -> None:
         if speedup <= 0:
             raise ConfigurationError(f"speedup must be > 0, got {speedup}")
         self.scenario = scenario
@@ -120,6 +154,25 @@ class LoadDriver:
         )
         self.service = service
         self.history = history
+        self.durable_dir = Path(durable_dir) if durable_dir is not None else None
+        if self.durable_dir is None and any(
+            fault.kind == "process_crash" for fault in scenario.faults
+        ):
+            raise ConfigurationError(
+                "scenario contains a process_crash fault, which needs the "
+                "durable pipeline: pass durable_dir= (CLI: --durable DIR)"
+            )
+        if self.durable_dir is not None and history is not None:
+            raise ConfigurationError(
+                "durable runs build their history on the durable store; "
+                "an injected history= cannot be made crash-safe"
+            )
+        self.offset_checkpoint_every = offset_checkpoint_every
+        #: Durable-mode handles of the most recent :meth:`run` (None in
+        #: memory-only mode): the recovery manager owning broker + store,
+        #: and the idempotent verification sink.
+        self.recovery_manager: RecoveryManager | None = None
+        self.verification_log: VerificationLog | None = None
         self._injected_ops = ops
         #: The metrics of the most recent :meth:`run` (an injected instance,
         #: or a fresh one per run so repeated runs never mix windows).
@@ -161,11 +214,17 @@ class LoadDriver:
             ).generate(500)
             incident_texts = [report["text"] for report in reports]
 
+        timeline_id = f"{scenario.name}/{self.seed}"
         events: list[tuple[float, dict[str, Any]]] = []
         for i in range(n_events):
             alarm = pool[int(picks[i])]
             doc = alarm.to_document()
             doc["_event_seq"] = i
+            # Scopes the exactly-once uid: the same (scenario, seed) replays
+            # onto the same uids (idempotent re-runs deduplicate), while a
+            # different scenario or seed over the same durable store gets
+            # fresh identities instead of colliding on bare seq numbers.
+            doc["_timeline_id"] = timeline_id
             doc["_virtual_time"] = float(arrival_times[i])
             if incident_texts:
                 doc["incident_text"] = incident_texts[i % len(incident_texts)]
@@ -205,9 +264,13 @@ class LoadDriver:
                         redelivery["_redelivery"] = True
                         duplicates.append((min(t + 0.001, self.scenario.duration), redelivery))
                 events = events + duplicates
-            elif fault.kind == "producer_stall":
-                # Nothing leaves during the stall; the backlog flushes at the
-                # end of the window, in order, effectively instantaneously.
+            elif fault.kind in ("producer_stall", "process_crash"):
+                # Nothing leaves during the window (a stalled producer, or a
+                # dead process whose upstream buffers); the backlog flushes
+                # at the end of the window, in order, effectively
+                # instantaneously.  For process_crash the driver's run loop
+                # additionally kills and recovers the pipeline at
+                # ``fault.start`` when running durably.
                 span = max(fault.end - fault.start, 1e-9)
                 events = [
                     (fault.end + (t - fault.start) / span * 1e-3 if in_window(t) else t,
@@ -243,14 +306,14 @@ class LoadDriver:
 
     def _replay(self, events: list[ScheduledEvent], broker: Broker,
                 group: str, wall_start: float,
-                producer: Producer) -> None:
+                producer: Producer, base_time: float = 0.0) -> None:
         scenario = self.scenario
         # Sampling the lag on every send would query every partition log and
         # contend with the consumer; check periodically instead, scaled to
         # the inflight bound.
         check_every = max(1, min(32, scenario.max_inflight // 4))
         for sent, event in enumerate(events):
-            target = wall_start + event.time / self.speedup
+            target = wall_start + (event.time - base_time) / self.speedup
             delay = target - time.perf_counter()
             if delay > 0:
                 # Timeline pacing: one bounded sleep to this event's absolute
@@ -277,46 +340,26 @@ class LoadDriver:
             doc[PRODUCED_AT_KEY] = time.perf_counter()
             producer.send(self.topic, doc, key=doc["device_address"])
 
-    def run(self, max_batch_records: int | None = 2_000) -> LoadTestReport:
-        """Replay the scenario end to end; returns the combined report."""
+    def _run_phase(self, phase_events: list[ScheduledEvent], broker: Broker,
+                   group: str, consumer: ConsumerApplication,
+                   max_batch_records: int | None) -> list[ProducerStats]:
+        """Replay one contiguous slice of the timeline and drain it."""
         scenario = self.scenario
-        timeline = self.build_timeline()
-        service = self.service if self.service is not None else self._build_service()
-        history = self.history if self.history is not None else AlarmHistory()
-        ops = self._injected_ops
-        if ops is None:
-            ops = OpsMetrics(DocumentStore())  # fresh metrics per run
-        self.ops = ops
-        self._backpressure_waits = 0
-        if scenario.dataset.preload_history:
-            history.record_batch(self._generator.generate(
-                scenario.dataset.preload_history, seed_offset=13
-            ))
-
-        broker = Broker()
-        broker.create_topic(self.topic, num_partitions=scenario.partitions)
-        group = f"{self.topic}-consumer"
-        consumer = ConsumerApplication(
-            broker, self.topic, group, service, history=history,
-            serializer=serializer_by_name(scenario.serializer),
-            on_window=self.ops.observe_window,
-        )
-
         per_producer: list[list[ScheduledEvent]] = [
             [] for _ in range(scenario.producers)
         ]
-        for event in timeline:
+        for event in phase_events:
             per_producer[event.producer].append(event)
         producers = [
             Producer(broker, serializer=serializer_by_name(scenario.serializer))
             for _ in range(scenario.producers)
         ]
-
+        base_time = phase_events[0].time if phase_events else 0.0
         wall_start = time.perf_counter()
         threads = [
             threading.Thread(
                 target=self._replay,
-                args=(events, broker, group, wall_start, producer),
+                args=(events, broker, group, wall_start, producer, base_time),
                 name=f"loadgen-{i}",
             )
             for i, (events, producer) in enumerate(zip(per_producer, producers))
@@ -327,16 +370,127 @@ class LoadDriver:
         def producers_done() -> bool:
             return not any(thread.is_alive() for thread in threads)
 
-        consumer_report = consumer.drain_until(
-            producers_done, max_records=max_batch_records
-        )
+        report = consumer.drain_until(producers_done, max_records=max_batch_records)
+        self._phase_reports.append(report)
         for thread in threads:
             thread.join()
-        wall_seconds = time.perf_counter() - wall_start
-
         stats = [producer.stats for producer in producers]
         for producer in producers:
             producer.close()
+        return stats
+
+    @staticmethod
+    def _split_phases(timeline: list[ScheduledEvent],
+                      crash_points: list[float]) -> list[list[ScheduledEvent]]:
+        """Cut the timeline at each crash instant (events are pre-shifted out
+        of every crash window, so a boundary never splits a window)."""
+        phases: list[list[ScheduledEvent]] = []
+        rest = timeline
+        for point in crash_points:
+            phase = [e for e in rest if e.time < point]
+            rest = [e for e in rest if e.time >= point]
+            phases.append(phase)
+        phases.append(rest)
+        return phases
+
+    def _open_durable_components(
+        self, manager: RecoveryManager
+    ) -> tuple[Broker, AlarmHistory, VerificationLog]:
+        """Wire the pipeline onto the manager's current (freshly recovered)
+        broker + store; used identically at start-up and after each crash."""
+        history = AlarmHistory(store=manager.store)
+        verification_log = VerificationLog(manager.store)
+        self.verification_log = verification_log
+        return manager.broker, history, verification_log
+
+    @staticmethod
+    def _merge_consumer_reports(reports: list[ConsumerRunReport]) -> ConsumerRunReport:
+        merged = ConsumerRunReport()
+        for report in reports:
+            merged.alarms_processed += report.alarms_processed
+            merged.windows += report.windows
+            merged.streaming_seconds += report.streaming_seconds
+            merged.batch_seconds += report.batch_seconds
+            merged.ml_seconds += report.ml_seconds
+            merged.store_seconds += report.store_seconds
+            merged.elapsed_seconds += report.elapsed_seconds
+            merged.duplicates_skipped += report.duplicates_skipped
+            merged.verifications.extend(report.verifications)
+        return merged
+
+    def run(self, max_batch_records: int | None = 2_000) -> LoadTestReport:
+        """Replay the scenario end to end; returns the combined report.
+
+        With ``durable_dir`` set the broker/history/verification stores are
+        the crash-safe implementations, and each ``process_crash`` fault
+        splits the replay: the phase before it is produced and drained,
+        the pipeline is crashed (losing all un-fsynced state) and recovered
+        from disk, and the next phase continues against the recovered
+        components under the same consumer group.
+        """
+        scenario = self.scenario
+        timeline = self.build_timeline()
+        crash_points = sorted(
+            fault.start for fault in scenario.faults
+            if fault.kind == "process_crash"
+        )
+        durable = self.durable_dir is not None
+        service = self.service if self.service is not None else self._build_service()
+        ops = self._injected_ops
+        if ops is None:
+            ops = OpsMetrics(DocumentStore())  # fresh metrics per run
+        self.ops = ops
+        self._backpressure_waits = 0
+        self._phase_reports: list[ConsumerRunReport] = []
+
+        recoveries: list[RecoveryReport] = []
+        verification_log: VerificationLog | None = None
+        if durable:
+            manager = RecoveryManager(
+                self.durable_dir,
+                offset_checkpoint_every=self.offset_checkpoint_every,
+            )
+            manager.recover()
+            self.recovery_manager = manager
+            broker, history, verification_log = self._open_durable_components(manager)
+        else:
+            broker = Broker()
+            history = self.history if self.history is not None else AlarmHistory()
+        if scenario.dataset.preload_history and not (durable and len(history)):
+            history.record_batch(self._generator.generate(
+                scenario.dataset.preload_history, seed_offset=13
+            ))
+
+        broker.create_topic(self.topic, num_partitions=scenario.partitions)
+        group = f"{self.topic}-consumer"
+        serializer = serializer_by_name(scenario.serializer)
+        phases = self._split_phases(timeline, crash_points)
+
+        stats: list[ProducerStats] = []
+        wall_start = time.perf_counter()
+        for phase_index, phase_events in enumerate(phases):
+            consumer = ConsumerApplication(
+                broker, self.topic, group, service, history=history,
+                serializer=serializer, verification_log=verification_log,
+                on_window=self.ops.observe_window,
+            )
+            stats.extend(self._run_phase(
+                phase_events, broker, group, consumer, max_batch_records
+            ))
+            if phase_index < len(phases) - 1:
+                # The process_crash fault fires: every byte not yet fsynced
+                # is gone, then the pipeline is rebuilt from disk.  Offsets
+                # may rewind to their last checkpoint, so the next phase's
+                # consumer re-processes a suffix — deduplicated by the sink.
+                manager.crash()
+                recoveries.append(manager.recover())
+                broker, history, verification_log = \
+                    self._open_durable_components(manager)
+        wall_seconds = time.perf_counter() - wall_start
+        if durable:
+            manager.close()
+
+        consumer_report = self._merge_consumer_reports(self._phase_reports)
         records_sent = sum(s.records_sent for s in stats)
         bytes_sent = sum(s.bytes_sent for s in stats)
         active = [s for s in stats if s.records_sent]
@@ -361,4 +515,10 @@ class LoadDriver:
             ops=self.ops.summary(),
             ops_report=self.ops.render_report(),
             producer_stats=stats,
+            durable=durable,
+            recoveries=recoveries,
+            duplicates_skipped=consumer_report.duplicates_skipped,
+            verified_unique=(
+                verification_log.count() if verification_log is not None else None
+            ),
         )

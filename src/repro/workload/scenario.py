@@ -15,7 +15,12 @@ Fault kinds understood by the load driver:
 * ``duplicate_delivery`` — events in the window are re-delivered with some
   probability (an at-least-once upstream during network flaps);
 * ``producer_stall`` — the producers stop sending for the window and flush
-  the backlog when it ends (events are delayed, never lost).
+  the backlog when it ends (events are delayed, never lost);
+* ``process_crash`` — the whole pipeline process dies at ``start`` and is
+  restarted (crash recovery) at ``end``; events in the window are buffered
+  upstream and flushed after the restart.  Requires the durable pipeline
+  (``LoadDriver(durable_dir=...)``) — a crash without durability would
+  simply lose the run.
 """
 
 from __future__ import annotations
@@ -30,7 +35,9 @@ from repro.workload.arrivals import ArrivalProcess, arrival_from_dict
 
 __all__ = ["DatasetSpec", "FaultInjection", "Scenario"]
 
-_FAULT_KINDS = ("region_outage", "duplicate_delivery", "producer_stall")
+_FAULT_KINDS = (
+    "region_outage", "duplicate_delivery", "producer_stall", "process_crash",
+)
 _SERIALIZERS = ("compact", "reflective")
 
 

@@ -155,6 +155,67 @@ class TestLoadtest:
         assert code == 0
         assert "scheduled 60 events; sent 60 records" in capsys.readouterr().out
 
+    def test_durable_flag_runs_crash_recovery_and_prints_stats(self, capsys, tmp_path):
+        """--durable DIR: the scenario runs against the durable pipeline;
+        with no process_crash fault in the spec one is injected mid-run,
+        and the recovery statistics are printed."""
+        from repro.workload import ConstantRate, DatasetSpec, Scenario
+        spec = Scenario(
+            name="tiny-durable", arrivals=ConstantRate(rate=4.0), duration=30.0,
+            dataset=DatasetSpec(num_devices=50, train_alarms=200,
+                                preload_history=0),
+        )
+        path = tmp_path / "tiny.json"
+        path.write_text(spec.to_json(), encoding="utf-8")
+        durable_dir = tmp_path / "pipeline"
+        code = main(["loadtest", "--scenario", str(path),
+                     "--speedup", "3000", "--durable", str(durable_dir)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "durable pipeline at" in out
+        assert "120 unique verification documents" in out
+        assert "crash 1: recovered" in out
+        # The durable state is really on disk.
+        assert (durable_dir / "broker" / "topics.json").exists()
+        assert (durable_dir / "store" / "wal").is_dir()
+
+    def test_durable_out_dump_replays_standalone(self, capsys, tmp_path):
+        """--out under --durable must dump the original spec, not the one
+        carrying the auto-injected crash fault (which cannot replay
+        without --durable)."""
+        from repro.workload import ConstantRate, DatasetSpec, Scenario
+        spec = Scenario(
+            name="dumpable", arrivals=ConstantRate(rate=2.0), duration=30.0,
+            dataset=DatasetSpec(num_devices=50, train_alarms=200,
+                                preload_history=0),
+        )
+        path = tmp_path / "in.json"
+        path.write_text(spec.to_json(), encoding="utf-8")
+        out_path = tmp_path / "out.json"
+        code = main(["loadtest", "--scenario", str(path), "--speedup", "3000",
+                     "--durable", str(tmp_path / "d"), "--out", str(out_path)])
+        assert code == 0
+        capsys.readouterr()
+        dumped = Scenario.from_file(out_path)
+        assert dumped.faults == ()
+        code = main(["loadtest", "--scenario", str(out_path), "--speedup", "3000"])
+        assert code == 0, "dumped spec must replay without --durable"
+        capsys.readouterr()
+
+    def test_process_crash_without_durable_fails_cleanly(self, capsys, tmp_path):
+        from repro.workload import ConstantRate, DatasetSpec, FaultInjection, Scenario
+        spec = Scenario(
+            name="crashy", arrivals=ConstantRate(rate=2.0), duration=30.0,
+            dataset=DatasetSpec(num_devices=50, train_alarms=200,
+                                preload_history=0),
+            faults=(FaultInjection(kind="process_crash", start=10.0, end=11.0),),
+        )
+        path = tmp_path / "crashy.json"
+        path.write_text(spec.to_json(), encoding="utf-8")
+        code = main(["loadtest", "--scenario", str(path), "--speedup", "3000"])
+        assert code == 2
+        assert "durable" in capsys.readouterr().err
+
 
 class TestParser:
     def test_unknown_command_exits(self):

@@ -1,0 +1,773 @@
+"""Durability subsystem tests: WAL, snapshots, journal, broker, recovery.
+
+Crash behaviour is exercised through ``simulate_crash()``, which discards
+every byte not yet fsynced — the deterministic in-process model of power
+loss (a live OS never loses flushed writes, so killing the process alone
+would prove nothing).
+"""
+
+import pytest
+
+from repro.core import (
+    Alarm,
+    AlarmHistory,
+    ConsumerApplication,
+    VerificationLog,
+    alarm_uid,
+)
+from repro.durability import (
+    DurableBroker,
+    DurableDocumentStore,
+    RecoveryManager,
+    SnapshotManager,
+    WriteAheadLog,
+)
+from repro.errors import (
+    DuplicateKeyError,
+    DurabilityError,
+    UnknownTopicError,
+    WALCorruptionError,
+    WALError,
+)
+from repro.storage import DocumentStore
+from repro.streaming.message import TopicPartition
+
+
+def wal_segments(directory):
+    return sorted(directory.glob("wal-*.log"))
+
+
+class TestWriteAheadLog:
+    def test_append_assigns_dense_lsns_and_replays_in_order(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        assert wal.append(b"one") == 0
+        assert wal.append_many([b"two", b"three"]) == [1, 2]
+        assert list(wal.replay()) == [(0, b"one"), (1, b"two"), (2, b"three")]
+        assert list(wal.replay(start_lsn=2)) == [(2, b"three")]
+        assert wal.next_lsn == 3
+        wal.close()
+
+    def test_reopen_recovers_records(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append_many([b"a", b"b"])
+        reopened = WriteAheadLog(tmp_path)
+        assert reopened.truncated_bytes == 0
+        assert [p for _, p in reopened.replay()] == [b"a", b"b"]
+        assert reopened.append(b"c") == 2
+        reopened.close()
+
+    def test_segment_rotation_and_compaction(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, segment_max_bytes=32)
+        for payload in (b"x" * 24, b"y" * 24, b"z" * 24):
+            wal.append(payload)  # each append fills and seals one segment
+        assert wal.segment_count() >= 3
+        removed = wal.truncate_until(2)
+        assert removed == 2
+        assert wal.first_lsn == 2
+        assert list(wal.replay(2)) == [(2, b"z" * 24)]
+        with pytest.raises(WALError, match="predates"):
+            list(wal.replay(0))
+        wal.close()
+
+    def test_active_tail_survives_compaction(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.append(b"only")
+        assert wal.truncate_until(10) == 0  # never unlink the live tail
+        assert wal.record_count() == 1
+        wal.close()
+
+    def test_torn_tail_is_truncated_on_open(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append_many([b"good-1", b"good-2"])
+        segment = wal_segments(tmp_path)[-1]
+        with segment.open("ab") as handle:
+            handle.write(b"\x00\x00\x00\x09\xde\xad\xbe\xefpartial")
+        recovered = WriteAheadLog(tmp_path)
+        assert recovered.truncated_bytes > 0
+        assert [p for _, p in recovered.replay()] == [b"good-1", b"good-2"]
+        # The torn bytes are physically gone: a re-open is clean.
+        recovered.close()
+        assert WriteAheadLog(tmp_path).truncated_bytes == 0
+
+    def test_corrupt_payload_in_tail_is_discarded(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append_many([b"keep", b"doomed"])
+        segment = wal_segments(tmp_path)[-1]
+        blob = bytearray(segment.read_bytes())
+        blob[-1] ^= 0xFF  # flip one payload byte of the last record
+        segment.write_bytes(bytes(blob))
+        recovered = WriteAheadLog(tmp_path)
+        assert [p for _, p in recovered.replay()] == [b"keep"]
+        assert recovered.next_lsn == 1
+        recovered.close()
+
+    def test_corruption_in_sealed_segment_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, segment_max_bytes=16)
+        wal.append_many([b"a" * 16, b"b" * 16])  # two sealed-ish segments
+        wal.close()
+        first = wal_segments(tmp_path)[0]
+        blob = bytearray(first.read_bytes())
+        blob[-1] ^= 0xFF
+        first.write_bytes(bytes(blob))
+        with pytest.raises(WALCorruptionError, match="sealed segment"):
+            WriteAheadLog(tmp_path)
+
+    def test_crash_loses_only_unsynced_records(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, sync="never")
+        wal.append_many([b"durable-1", b"durable-2"], sync=True)
+        wal.append_many([b"lost-1", b"lost-2"])  # flushed, never fsynced
+        wal.simulate_crash()
+        recovered = WriteAheadLog(tmp_path)
+        assert [p for _, p in recovered.replay()] == [b"durable-1", b"durable-2"]
+        recovered.close()
+
+    def test_crash_preserves_lsn_frontier_of_empty_tail(self, tmp_path):
+        """An empty rotated tail carries the LSN frontier in its filename;
+        crash simulation must truncate, never unlink, or post-recovery
+        appends would reuse LSNs a snapshot already claims to cover."""
+        wal = WriteAheadLog(tmp_path, segment_max_bytes=16)
+        wal.append(b"x" * 16)  # fills segment 0, rotates to empty tail at lsn 1
+        wal.truncate_until(1)  # compaction drops the sealed segment
+        assert wal.next_lsn == 1
+        wal.simulate_crash()
+        recovered = WriteAheadLog(tmp_path)
+        assert recovered.next_lsn == 1, "LSN space must not reset after crash"
+        assert recovered.append(b"y") == 1
+        recovered.close()
+
+    def test_group_commit_is_durable_as_a_unit(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, sync="batch")
+        wal.append_many([b"a", b"b", b"c"])  # one fsync for the group
+        wal.simulate_crash()
+        recovered = WriteAheadLog(tmp_path)
+        assert recovered.record_count() == 3
+        recovered.close()
+
+    def test_rejects_bad_inputs(self, tmp_path):
+        with pytest.raises(WALError, match="sync"):
+            WriteAheadLog(tmp_path / "a", sync="sometimes")
+        wal = WriteAheadLog(tmp_path / "b")
+        with pytest.raises(WALError, match="bytes"):
+            wal.append("not-bytes")
+        wal.close()
+        with pytest.raises(WALError, match="closed"):
+            wal.append(b"late")
+
+
+class TestSnapshotManager:
+    def make_store(self, n=5):
+        store = DocumentStore()
+        coll = store.collection("docs")
+        coll.create_index("k", kind="hash", unique=True)
+        coll.insert_many([{"k": i, "v": i * i} for i in range(n)])
+        return store
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        manager = SnapshotManager(tmp_path)
+        info = manager.write(self.make_store(), wal_lsn=17)
+        assert info.wal_lsn == 17 and info.documents == 5
+        loaded, lsn = SnapshotManager(tmp_path).load_latest()
+        assert lsn == 17
+        assert loaded.collection("docs").find_one({"k": 3})["v"] == 9
+        assert "k" in loaded.collection("docs").index_fields()
+
+    def test_empty_directory_loads_fresh_store(self, tmp_path):
+        store, lsn = SnapshotManager(tmp_path).load_latest()
+        assert lsn == 0 and store.collection_names() == []
+
+    def test_prune_keeps_newest(self, tmp_path):
+        manager = SnapshotManager(tmp_path, keep=2)
+        for lsn in (5, 10, 15, 20):
+            manager.write(self.make_store(), wal_lsn=lsn)
+        assert [info.wal_lsn for info in manager.list()] == [15, 20]
+        assert manager.latest().wal_lsn == 20
+
+    def test_rewriting_same_lsn_keeps_existing_image(self, tmp_path):
+        """A second write() at an LSN that already has a complete snapshot
+        must not delete-then-replace it (a crash in that window would leave
+        no snapshot at all for an already-truncated WAL)."""
+        manager = SnapshotManager(tmp_path)
+        first = manager.write(self.make_store(), wal_lsn=7)
+        again = manager.write(self.make_store(), wal_lsn=7)
+        assert again.wal_lsn == 7
+        assert [info.wal_lsn for info in manager.list()] == [7]
+        assert first.path == again.path
+
+    def test_half_written_tmp_dirs_are_swept_and_ignored(self, tmp_path):
+        manager = SnapshotManager(tmp_path)
+        manager.write(self.make_store(), wal_lsn=3)
+        litter = tmp_path / "tmp-00000000000000000009-123"
+        litter.mkdir()
+        (litter / "docs.jsonl").write_text('{"k": 1}\n')
+        fresh = SnapshotManager(tmp_path)
+        assert fresh.latest().wal_lsn == 3
+        assert not litter.exists()
+
+
+class TestDurableDocumentStore:
+    def test_crash_recovery_replays_every_write_kind(self, tmp_path):
+        store = DurableDocumentStore(tmp_path)
+        coll = store.collection("alarms")
+        coll.create_index("uid", kind="hash", unique=True)
+        coll.insert_many([{"uid": i, "n": 0} for i in range(6)])
+        coll.update_many({"uid": {"$lt": 3}}, {"$set": {"n": 1}})
+        coll.delete_many({"uid": 5})
+        store.collection("other").insert_one({"x": 1})
+        store.drop_collection("other")
+        store.simulate_crash()
+
+        recovered = DurableDocumentStore(tmp_path)
+        coll = recovered.collection("alarms")
+        assert len(coll) == 5
+        assert coll.count({"n": 1}) == 3
+        assert coll.find_one({"uid": 5}) is None
+        assert "other" not in recovered.collection_names()
+        assert recovered.replayed_ops == 6
+        recovered.close()
+
+    def test_writes_after_checkpointed_crash_survive_a_second_crash(self, tmp_path):
+        """Checkpoint -> crash -> write -> crash: the post-recovery writes
+        land above the snapshot LSN and must be replayed by the second
+        recovery (regression for the LSN-space reset on empty-tail crash)."""
+        store = DurableDocumentStore(tmp_path)
+        store.collection("docs").insert_many([{"i": i} for i in range(4)])
+        store.checkpoint()
+        store.simulate_crash()
+        middle = DurableDocumentStore(tmp_path)
+        middle.collection("docs").insert_one({"i": 99})
+        middle.simulate_crash()
+        final = DurableDocumentStore(tmp_path)
+        assert len(final.collection("docs")) == 5
+        assert final.replayed_ops == 1
+        final.close()
+
+    def test_wal_reanchors_when_crash_truncates_below_snapshot(self, tmp_path):
+        """sync="never": a crash can drop journal records the snapshot
+        already covers, leaving next_lsn < snapshot_lsn.  Recovery must
+        re-anchor the LSN space so later (even fsynced) writes are not
+        hidden behind the snapshot on the next recovery."""
+        store = DurableDocumentStore(tmp_path, sync="never")
+        store.collection("docs").insert_one({"x": 1})  # journaled, not fsynced
+        store.checkpoint()                             # snapshot at LSN 1
+        store.simulate_crash()                         # journal tail lost
+
+        middle = DurableDocumentStore(tmp_path, sync="never")
+        assert len(middle.collection("docs")) == 1     # snapshot had it
+        assert middle.wal.next_lsn >= middle.snapshot_lsn
+        middle.collection("docs").insert_one({"x": 2})
+        middle.wal.sync()
+        middle.close()
+
+        final = DurableDocumentStore(tmp_path)
+        assert len(final.collection("docs")) == 2, \
+            "post-reanchor writes must replay on the next recovery"
+        final.close()
+
+    def test_values_are_json_normalized_identically_live_and_replayed(self, tmp_path):
+        """The live apply runs the decoded journal payload, so non-JSON
+        shapes (tuples) normalize to lists immediately — the recovered
+        state can never diverge from the served one."""
+        store = DurableDocumentStore(tmp_path)
+        store.collection("docs").insert_one({"pair": (1, 2)})
+        assert store.collection("docs").find_one({"pair": [1, 2]}) is not None
+        live = store.collection("docs").find_one({})["pair"]
+        store.simulate_crash()
+        recovered = DurableDocumentStore(tmp_path)
+        assert recovered.collection("docs").find_one({})["pair"] == live == [1, 2]
+        recovered.close()
+
+    def test_checkpoint_bounds_replay_to_the_wal_suffix(self, tmp_path):
+        store = DurableDocumentStore(tmp_path)
+        coll = store.collection("docs")
+        coll.insert_many([{"i": i} for i in range(10)])
+        lsn = store.checkpoint()
+        coll.insert_one({"i": 10})
+        store.simulate_crash()
+
+        recovered = DurableDocumentStore(tmp_path)
+        assert recovered.snapshot_lsn == lsn
+        assert recovered.snapshot_documents == 10
+        assert recovered.replayed_ops == 1  # only the post-checkpoint insert
+        assert len(recovered.collection("docs")) == 11
+        recovered.close()
+
+    def test_auto_compaction_when_journal_outgrows_ratio(self, tmp_path):
+        store = DurableDocumentStore(
+            tmp_path, compact_ratio=2.0, min_compact_records=4
+        )
+        coll = store.collection("docs")
+        for i in range(8):  # 8 single-doc ops over few live docs
+            coll.insert_one({"i": i})
+            coll.delete_many({"i": i})
+        assert store.snapshot_lsn > 0, "ratio trigger must have checkpointed"
+        assert store.journal_ops_since_snapshot() < 16
+        store.close()
+
+    def test_replayed_duplicate_insert_counts_as_deduplicated(self, tmp_path):
+        store = DurableDocumentStore(tmp_path)
+        coll = store.collection("sink")
+        coll.create_index("uid", kind="hash", unique=True)
+        coll.insert_one({"uid": "a"})
+        with pytest.raises(DuplicateKeyError):
+            coll.insert_one({"uid": "a"})  # journaled, then failed to apply
+        store.simulate_crash()
+
+        recovered = DurableDocumentStore(tmp_path)
+        assert len(recovered.collection("sink")) == 1
+        assert recovered.deduplicated_ops == 1
+        recovered.close()
+
+    def test_callable_updates_are_rejected(self, tmp_path):
+        store = DurableDocumentStore(tmp_path)
+        store.collection("docs").insert_one({"a": 1})
+        with pytest.raises(DurabilityError, match="journaled"):
+            store.collection("docs").update_many({}, lambda doc: doc)
+        store.close()
+
+    def test_unjournalable_document_fails_before_any_state_change(self, tmp_path):
+        store = DurableDocumentStore(tmp_path)
+        coll = store.collection("docs")
+        with pytest.raises(DurabilityError, match="JSON"):
+            coll.insert_one({"payload": b"raw-bytes"})
+        assert len(coll) == 0
+        assert store.wal.record_count() == 0
+        store.close()
+
+    def test_insert_group_failed_sub_batch_does_not_abort_siblings(self, tmp_path):
+        """Live apply and replay must converge: a duplicate in one
+        sub-batch raises, but the sibling sub-batch is still applied — and
+        recovery reproduces exactly that state."""
+        store = DurableDocumentStore(tmp_path)
+        sink = store.collection("sink")
+        sink.create_index("uid", kind="hash", unique=True)
+        sink.insert_one({"uid": "taken"})
+        with pytest.raises(DuplicateKeyError):
+            store.insert_group([
+                ("sink", [{"uid": "taken"}]),
+                ("history", [{"row": 1}, {"row": 2}]),
+            ])
+        assert len(store.collection("sink")) == 1
+        assert len(store.collection("history")) == 2
+        store.simulate_crash()
+
+        recovered = DurableDocumentStore(tmp_path)
+        assert len(recovered.collection("sink")) == 1
+        assert len(recovered.collection("history")) == 2
+        recovered.close()
+
+    def test_reads_are_delegated(self, tmp_path):
+        store = DurableDocumentStore(tmp_path)
+        coll = store.collection("docs")
+        coll.insert_many([{"i": i, "tag": "even" if i % 2 == 0 else "odd"}
+                          for i in range(6)])
+        assert coll.count({"tag": "even"}) == 3
+        assert coll.distinct("tag") == ["even", "odd"]
+        assert [d["i"] for d in coll.find({}, sort=("i", -1), limit=2)] == [5, 4]
+        rows = store.aggregate("docs", [
+            {"$group": {"_id": "$tag", "n": {"$sum": 1}}},
+        ])
+        assert {row["_id"]: row["n"] for row in rows} == {"even": 3, "odd": 3}
+        store.close()
+
+
+class TestDurableBroker:
+    def test_records_offsets_and_metadata_survive_crash(self, tmp_path):
+        broker = DurableBroker(tmp_path, offset_checkpoint_every=1)
+        broker.create_topic("alarms", num_partitions=2)
+        broker.append_batch("alarms", 0, [
+            (b"k1", b"v1", 123.5, {"h": "x"}), (None, b"v2"),
+        ])
+        broker.append("alarms", 1, None, b"v3")
+        broker.commit("grp", {TopicPartition("alarms", 0): 2})
+        broker.simulate_crash()
+
+        recovered = DurableBroker(tmp_path)
+        assert recovered.topics() == ["alarms"]
+        assert recovered.num_partitions("alarms") == 2
+        assert recovered.recovered_records == 3
+        assert recovered.committed("grp", TopicPartition("alarms", 0)) == 2
+        records = recovered.fetch(TopicPartition("alarms", 0), 0)
+        assert (records[0].key, records[0].value) == (b"k1", b"v1")
+        assert records[0].timestamp == 123.5
+        assert records[0].headers == {"h": "x"}
+        assert records[1].key is None
+        recovered.close()
+
+    def test_offsets_rewind_to_last_checkpoint_after_crash(self, tmp_path):
+        broker = DurableBroker(tmp_path, offset_checkpoint_every=3)
+        broker.create_topic("t", 1)
+        tp = TopicPartition("t", 0)
+        broker.append_batch("t", 0, [(None, b"x")] * 10)
+        for offset in (1, 2, 3):  # third commit hits the checkpoint
+            broker.commit("g", {tp: offset})
+        for offset in (4, 5):     # flushed, not yet checkpointed
+            broker.commit("g", {tp: offset})
+        broker.simulate_crash()
+
+        recovered = DurableBroker(tmp_path)
+        assert recovered.committed("g", tp) == 3, \
+            "post-checkpoint commits are lost, never torn"
+        assert recovered.total_records("t") == 10
+        recovered.close()
+
+    def test_clean_close_checkpoints_pending_offsets(self, tmp_path):
+        broker = DurableBroker(tmp_path, offset_checkpoint_every=100)
+        broker.create_topic("t", 1)
+        tp = TopicPartition("t", 0)
+        broker.append("t", 0, None, b"x")
+        broker.commit("g", {tp: 1})
+        broker.close()
+        recovered = DurableBroker(tmp_path)
+        assert recovered.committed("g", tp) == 1
+        recovered.close()
+
+    def test_offset_journal_compacts_to_live_keys(self, tmp_path):
+        broker = DurableBroker(tmp_path, offset_checkpoint_every=10_000)
+        broker.create_topic("t", 1)
+        tp = TopicPartition("t", 0)
+        broker.append_batch("t", 0, [(None, b"x")] * 2)
+        for i in range(1_100):
+            broker.commit("g", {tp: 1 + (i % 2)})
+        broker.sync_offsets()
+        # Compaction fired when the journal crossed its live-key threshold:
+        # 1100 commit records collapse to (one checkpoint record per live
+        # key) + the commits appended since.
+        assert broker._offset_wal.record_count() < 200, \
+            "journal must compact to last-value-wins, not grow unboundedly"
+        broker.simulate_crash()
+        recovered = DurableBroker(tmp_path)
+        assert recovered.committed("g", tp) == 2  # last commit (i=1099)
+        recovered.close()
+
+    def test_torn_offset_compaction_swap_is_restored(self, tmp_path):
+        """A crash between compaction's two directory renames leaves the
+        previous journal stranded as offsets.old; reopening must restore
+        it instead of silently recovering zero offsets."""
+        import os
+
+        broker = DurableBroker(tmp_path, offset_checkpoint_every=1)
+        broker.create_topic("t", 1)
+        tp = TopicPartition("t", 0)
+        broker.append("t", 0, None, b"x")
+        broker.commit("g", {tp: 1})
+        broker.close()
+        os.rename(tmp_path / "offsets", tmp_path / "offsets.old")  # torn swap
+
+        recovered = DurableBroker(tmp_path)
+        assert recovered.committed("g", tp) == 1
+        assert not (tmp_path / "offsets.old").exists()
+        recovered.close()
+
+    def test_delete_topic_removes_disk_state(self, tmp_path):
+        broker = DurableBroker(tmp_path)
+        broker.create_topic("gone", 1)
+        broker.append("gone", 0, None, b"x")
+        broker.delete_topic("gone")
+        broker.close()
+        recovered = DurableBroker(tmp_path)
+        assert recovered.topics() == []
+        recovered.close()
+
+    def test_stale_offset_journal_entries_do_not_resurrect(self, tmp_path):
+        """Offsets journaled before a topic deletion must not leak into a
+        topic re-created with the same name after recovery."""
+        broker = DurableBroker(tmp_path, offset_checkpoint_every=1)
+        broker.create_topic("t", 1)
+        tp = TopicPartition("t", 0)
+        broker.append("t", 0, None, b"x")
+        broker.commit("g", {tp: 1})
+        broker.delete_topic("t")
+        broker.close()
+
+        recovered = DurableBroker(tmp_path)
+        recovered.create_topic("t", 1)
+        assert recovered.committed("g", tp) is None
+        assert recovered.recovered_offsets == 0
+        recovered.close()
+
+    def test_offsets_of_recreated_topic_do_not_resurrect(self, tmp_path):
+        """delete + re-create of the same topic name within one process:
+        recovery must not hand the re-created (empty) topic the old
+        generation's committed offsets."""
+        broker = DurableBroker(tmp_path, offset_checkpoint_every=1)
+        broker.create_topic("t", 1)
+        tp = TopicPartition("t", 0)
+        broker.append_batch("t", 0, [(None, b"x")] * 5)
+        broker.commit("g", {tp: 5})
+        broker.delete_topic("t")
+        broker.create_topic("t", 1)  # new, empty generation
+        broker.close()
+
+        recovered = DurableBroker(tmp_path)
+        assert recovered.topics() == ["t"]
+        assert recovered.total_records("t") == 0
+        assert recovered.committed("g", tp) is None
+        recovered.close()
+
+    def test_concurrent_appends_recover_in_served_order(self, tmp_path):
+        """The replayed record sequence must be byte-identical to the one
+        served before the crash, even with racing producers on one
+        partition (the WAL write and the in-memory append happen under one
+        per-partition lock)."""
+        import threading
+
+        broker = DurableBroker(tmp_path)
+        broker.create_topic("t", 1)
+
+        def produce(tag):
+            for i in range(50):
+                broker.append("t", 0, None, f"{tag}-{i}".encode())
+
+        threads = [threading.Thread(target=produce, args=(t,)) for t in "ab"]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        served = [r.value for r in broker.fetch(TopicPartition("t", 0), 0,
+                                                max_records=1_000)]
+        broker.simulate_crash()
+
+        recovered = DurableBroker(tmp_path)
+        replayed = [r.value for r in recovered.fetch(TopicPartition("t", 0), 0,
+                                                     max_records=1_000)]
+        assert replayed == served
+        recovered.close()
+
+    def test_orphan_partition_dirs_do_not_leak_into_recreated_topic(self, tmp_path):
+        """A delete that crashed after the durable unregister but before
+        the data rmtree leaves orphan partition dirs; re-creating the topic
+        must start empty, not inherit the old generation's records."""
+        import shutil as sh
+
+        broker = DurableBroker(tmp_path)
+        broker.create_topic("t", 1)
+        broker.append("t", 0, None, b"old-generation")
+        broker.close()
+        # Simulate the crashed delete: unregistered, data left behind.
+        (tmp_path / "topics.json").write_text("{}", encoding="utf-8")
+
+        recovered = DurableBroker(tmp_path)
+        assert recovered.topics() == []
+        recovered.create_topic("t", 1)
+        assert recovered.total_records("t") == 0
+        recovered.simulate_crash()
+        final = DurableBroker(tmp_path)
+        assert final.total_records("t") == 0
+        final.close()
+        sh.rmtree(tmp_path / "topics", ignore_errors=True)
+
+    def test_append_to_unknown_topic_is_not_journaled(self, tmp_path):
+        broker = DurableBroker(tmp_path)
+        with pytest.raises(UnknownTopicError):
+            broker.append("ghost", 0, None, b"x")
+        broker.close()
+        assert not (tmp_path / "topics" / "ghost").exists()
+
+    def test_recreating_topic_is_idempotent(self, tmp_path):
+        broker = DurableBroker(tmp_path)
+        broker.create_topic("t", 2)
+        broker.append("t", 0, None, b"x")
+        broker.create_topic("t", 2)
+        assert broker.total_records("t") == 1
+        broker.close()
+
+
+def make_alarm(seq=None, device="dev-1", timestamp=1000.0):
+    extras = {} if seq is None else {"_event_seq": seq}
+    return Alarm(
+        device_address=device, zip_code="8000", timestamp=timestamp,
+        alarm_type="burglary", property_type="residential",
+        duration_seconds=30.0, extras=extras,
+    )
+
+
+def make_verification(alarm):
+    from repro.core import Verification
+    return Verification(alarm=alarm, is_false=True, probability_false=0.9)
+
+
+class TestVerificationLog:
+    def test_uid_prefers_event_seq_and_falls_back_to_content_hash(self):
+        assert alarm_uid(make_alarm(seq=7)) == "seq::7"
+        a = alarm_uid(make_alarm())
+        assert a.startswith("sha:")
+        assert a == alarm_uid(make_alarm())
+        assert a != alarm_uid(make_alarm(timestamp=1001.0))
+
+    def test_uid_is_scoped_by_timeline(self):
+        """The same seq from two different timelines (scenario/seed pairs)
+        must be two identities — replaying a *different* scenario into one
+        durable store is new data, not a duplicate."""
+        one = Alarm(
+            device_address="d", zip_code="8000", timestamp=1.0,
+            alarm_type="fire", property_type="residential",
+            duration_seconds=1.0,
+            extras={"_event_seq": 3, "_timeline_id": "storm/1"},
+        )
+        other = Alarm(
+            device_address="d", zip_code="8000", timestamp=1.0,
+            alarm_type="fire", property_type="residential",
+            duration_seconds=1.0,
+            extras={"_event_seq": 3, "_timeline_id": "storm/2"},
+        )
+        assert alarm_uid(one) == "seq:storm/1:3"
+        assert alarm_uid(one) != alarm_uid(other)
+
+    def test_record_batch_is_idempotent(self):
+        log = VerificationLog(DocumentStore())
+        window = [make_verification(make_alarm(seq=i)) for i in range(4)]
+        fresh = log.record_batch(window)
+        assert len(fresh) == 4
+        replayed = log.record_batch(window)  # crash-recovery re-processing
+        assert replayed == []
+        assert log.duplicates_skipped == 4
+        assert log.count() == 4
+        assert log.duplicate_uids() == []
+
+    def test_within_batch_redeliveries_collapse(self):
+        log = VerificationLog(DocumentStore())
+        window = [
+            make_verification(make_alarm(seq=1)),
+            make_verification(make_alarm(seq=1)),  # at-least-once redelivery
+        ]
+        assert len(log.record_batch(window)) == 1
+        assert log.duplicates_skipped == 1
+
+    def test_grouped_history_write_is_atomic_with_verifications(self, tmp_path):
+        """On a shared durable store the sink journals verification docs and
+        history rows as ONE WAL record, so recovery restores both or
+        neither — never a verification without its history row."""
+        store = DurableDocumentStore(tmp_path)
+        history = AlarmHistory(store=store)
+        log = VerificationLog(store)
+        lsn_before = store.wal.next_lsn
+        window = [make_verification(make_alarm(seq=i)) for i in range(3)]
+        fresh = log.record_batch(window, history=history)
+        assert len(fresh) == 3
+        assert store.wal.next_lsn == lsn_before + 1, \
+            "verifications + history must be one journaled group"
+        store.simulate_crash()
+
+        recovered = DurableDocumentStore(tmp_path)
+        assert len(recovered.collection("verifications")) == 3
+        assert len(recovered.collection("alarms")) == 3
+        recovered.close()
+
+    def test_record_batch_with_separate_history_store(self):
+        """Different stores (the in-memory configuration): the fresh subset
+        still reaches the history exactly once."""
+        log = VerificationLog(DocumentStore())
+        history = AlarmHistory()
+        window = [make_verification(make_alarm(seq=i)) for i in range(5)]
+        assert len(log.record_batch(window, history=history)) == 5
+        assert len(history) == 5
+        assert log.record_batch(window, history=history) == []
+        assert len(history) == 5
+
+    def test_consumer_app_reprocessing_is_exactly_once(self):
+        """Two consumer groups over the same records, one shared sink: the
+        second (simulating a post-crash replay from offset 0) writes nothing
+        new to the sink or the history."""
+        from repro.streaming import Broker, Producer
+
+        class StubService:
+            def verify_batch(self, alarms):
+                return [make_verification(a) for a in alarms]
+
+        store = DocumentStore()
+        log = VerificationLog(store)
+        history = AlarmHistory()
+        broker = Broker()
+        broker.create_topic("alarms", num_partitions=1)
+        producer = Producer(broker)
+        docs = [make_alarm(seq=i).to_document() for i in range(20)]
+        producer.send_many("alarms", docs,
+                           key_fn=lambda d: d["device_address"])
+
+        first = ConsumerApplication(
+            broker, "alarms", "g1", StubService(), history=history,
+            verification_log=log,
+        )
+        report1 = first.process_available()
+        assert report1.alarms_processed == 20
+        assert report1.duplicates_skipped == 0
+
+        replay = ConsumerApplication(
+            broker, "alarms", "g2-pretend-crash", StubService(),
+            history=history, verification_log=log,
+        )
+        report2 = replay.process_available()
+        assert report2.alarms_processed == 20
+        assert report2.duplicates_skipped == 20
+        assert log.count() == 20
+        assert len(history) == 20, "deduped alarms must not reach the history"
+
+
+class TestDurableLoadDriver:
+    def test_injected_history_is_rejected_in_durable_mode(self, tmp_path):
+        from repro.errors import ConfigurationError
+        from repro.workload import ConstantRate, DatasetSpec, Scenario, LoadDriver
+
+        scenario = Scenario(
+            name="t", arrivals=ConstantRate(rate=1.0), duration=10.0,
+            dataset=DatasetSpec(num_devices=50, train_alarms=200),
+        )
+        with pytest.raises(ConfigurationError, match="durable"):
+            LoadDriver(scenario, durable_dir=tmp_path,
+                       history=AlarmHistory())
+
+    def test_process_crash_without_durable_dir_is_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.workload import (
+            ConstantRate, DatasetSpec, FaultInjection, Scenario, LoadDriver,
+        )
+
+        scenario = Scenario(
+            name="t", arrivals=ConstantRate(rate=1.0), duration=10.0,
+            dataset=DatasetSpec(num_devices=50, train_alarms=200),
+            faults=(FaultInjection(kind="process_crash", start=5.0, end=6.0),),
+        )
+        with pytest.raises(ConfigurationError, match="process_crash"):
+            LoadDriver(scenario)
+
+
+class TestRecoveryManager:
+    def test_fresh_directory_yields_empty_components(self, tmp_path):
+        manager = RecoveryManager(tmp_path)
+        report = manager.recover()
+        assert report.broker_records == 0
+        assert report.store_ops_replayed == 0
+        assert manager.broker.topics() == []
+        manager.close()
+
+    def test_crash_and_recover_reports_the_cut(self, tmp_path):
+        manager = RecoveryManager(tmp_path, offset_checkpoint_every=1)
+        manager.recover()
+        manager.broker.create_topic("t", 1)
+        manager.broker.append_batch("t", 0, [(None, b"r")] * 4)
+        manager.broker.commit("g", {TopicPartition("t", 0): 2})
+        coll = manager.store.collection("c")
+        coll.insert_many([{"i": i} for i in range(3)])
+        manager.crash()
+
+        report = manager.recover()
+        assert report.broker_records == 4
+        assert report.broker_offsets == 1
+        assert report.topics == ["t"]
+        assert report.store_ops_replayed == 1
+        assert report.seconds > 0
+        assert "recovered 4 broker records" in report.summary()
+        assert len(manager.store.collection("c")) == 3
+        manager.close()
+
+    def test_recover_after_clean_close_is_lossless(self, tmp_path):
+        manager = RecoveryManager(tmp_path)
+        manager.recover()
+        manager.broker.create_topic("t", 1)
+        manager.broker.append("t", 0, None, b"x")
+        manager.store.collection("c").insert_one({"a": 1})
+        manager.close()
+        report = manager.recover()
+        assert report.broker_records == 1
+        assert len(manager.store.collection("c")) == 1
+        manager.close()

@@ -65,12 +65,23 @@ class TestStreamingEndToEnd:
         assert run.windows >= 2  # multiple micro-batches
 
     def test_breakdown_is_ml_dominated(self, world):
-        _, _, _, test, pipeline = world
+        _, _, train, test, _ = world
+        # The Figure 12 shape (ml dominates the window time) holds for the
+        # paper's production classifier, a random forest.  The shared LR
+        # fixture pipeline is too cheap at inference time: its ml share
+        # ties with the history write and the assertion flips on scheduler
+        # noise, so this test trains the forest it actually measures.
+        labeled = label_alarms(train, 60.0)
+        forest = FeaturePipeline(
+            RandomForestClassifier(n_estimators=12, max_depth=20, random_state=0),
+            CATS, encoding="ordinal",
+        )
+        forest.fit([l.features() for l in labeled], [l.is_false for l in labeled])
         broker = Broker()
         broker.create_topic("alarms", num_partitions=2)
         ProducerApplication(broker, "alarms", test, seed=2).run(400)
         consumer = ConsumerApplication(
-            broker, "alarms", "verify", VerificationService(pipeline)
+            broker, "alarms", "verify", VerificationService(forest)
         )
         run = consumer.process_available()
         breakdown = run.breakdown()

@@ -142,3 +142,88 @@ class TestPersistence:
         store.collection("b").insert_one({"x": (1).to_bytes(1, "big")})
         with pytest.raises(PersistenceError, match="cannot save collection"):
             store.save(tmp_path / "db")
+
+    def test_failed_save_preserves_previous_contents(self, tmp_path):
+        """Atomicity: a save that dies partway (here: collection "b" holds
+        an unserializable document, and "a" < "b" writes first) must leave
+        the target directory exactly as the previous successful save left
+        it — never a mix of rewritten .jsonl files and a stale manifest."""
+        target = tmp_path / "db"
+        good = DocumentStore()
+        good.collection("a").insert_one({"x": "original"})
+        good.save(target)
+
+        bad = DocumentStore()
+        bad.collection("a").insert_one({"x": "partial-rewrite"})
+        bad.collection("b").insert_one({"x": (1).to_bytes(1, "big")})
+        with pytest.raises(PersistenceError, match="cannot save collection 'b'"):
+            bad.save(target)
+
+        reloaded = DocumentStore.load(target)
+        assert reloaded.collection_names() == ["a"]
+        assert reloaded.collection("a").find_one({})["x"] == "original"
+        # No temp debris left next to the target either.
+        assert [p.name for p in tmp_path.iterdir()] == ["db"]
+
+    def test_failed_save_into_fresh_directory_leaves_nothing(self, tmp_path):
+        store = DocumentStore()
+        store.collection("b").insert_one({"x": (1).to_bytes(1, "big")})
+        with pytest.raises(PersistenceError):
+            store.save(tmp_path / "db")
+        assert not (tmp_path / "db").exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_save_refuses_to_overwrite_foreign_directory(self, tmp_path):
+        """The swap replaces the whole directory, so a non-empty target
+        that was not written by save() (no manifest) must be refused, not
+        silently destroyed."""
+        target = tmp_path / "results"
+        target.mkdir()
+        (target / "notes.txt").write_text("do not lose me")
+        store = DocumentStore()
+        store.collection("a").insert_one({"x": 1})
+        with pytest.raises(PersistenceError, match="refusing to overwrite"):
+            store.save(target)
+        assert (target / "notes.txt").read_text() == "do not lose me"
+        # An *empty* pre-existing directory is fine (the tmp-dir idiom).
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        store.save(empty)
+        assert DocumentStore.load(empty).collection_names() == ["a"]
+
+    @staticmethod
+    def _dead_pid() -> int:
+        """A pid guaranteed to belong to no live process (spawn-and-reap)."""
+        import subprocess
+        proc = subprocess.Popen(["true"])
+        proc.wait()
+        return proc.pid
+
+    def test_torn_swap_is_recovered_on_load(self, tmp_path):
+        """A crash between the swap's two renames leaves the previous good
+        image stranded as '.db.replaced-<pid>' with no visible target (any
+        pid — the writer is gone).  load() must restore and read it."""
+        target = tmp_path / "db"
+        store = DocumentStore()
+        store.collection("a").insert_one({"x": "survivor"})
+        store.save(target)
+        import os
+        os.rename(target, tmp_path / f".db.replaced-{self._dead_pid()}")
+
+        loaded = DocumentStore.load(target)
+        assert loaded.collection("a").find_one({})["x"] == "survivor"
+        assert target.exists()  # restored in place, not just read
+
+    def test_save_after_torn_swap_restores_then_replaces(self, tmp_path):
+        target = tmp_path / "db"
+        store = DocumentStore()
+        store.collection("a").insert_one({"x": "old"})
+        store.save(target)
+        import os
+        os.rename(target, tmp_path / f".db.replaced-{self._dead_pid()}")
+
+        fresh = DocumentStore()
+        fresh.collection("a").insert_one({"x": "new"})
+        fresh.save(target)
+        assert DocumentStore.load(target).collection("a").find_one({})["x"] == "new"
+        assert [p.name for p in tmp_path.iterdir()] == ["db"]  # debris swept

@@ -163,6 +163,29 @@ class TestCommittedOffsets:
         # a failed commit leaves nothing behind
         assert broker.committed("g", tp) is None
 
+    def test_commit_for_unknown_topic_raises(self, broker):
+        """Offsets are validated against topic metadata: a commit naming a
+        topic that was never created must be rejected, not silently stored
+        (a consumer would otherwise "resume" from a phantom position)."""
+        with pytest.raises(UnknownTopicError):
+            broker.commit("g", {TopicPartition("phantom", 0): 0})
+
+    def test_commit_for_unknown_partition_raises(self, broker):
+        with pytest.raises(UnknownPartitionError):
+            broker.commit("g", {TopicPartition("alarms", 99): 0})
+
+    def test_mixed_commit_with_unknown_topic_stores_nothing(self, broker):
+        """Validation happens for the whole offset map before any entry is
+        applied: one bad topic/partition poisons the entire commit."""
+        good = TopicPartition("alarms", 0)
+        broker.append("alarms", 0, None, b"x")
+        with pytest.raises(UnknownTopicError):
+            broker.commit("g", {good: 1, TopicPartition("phantom", 0): 0})
+        assert broker.committed("g", good) is None
+        with pytest.raises(UnknownPartitionError):
+            broker.commit("g", {good: 1, TopicPartition("alarms", 7): 0})
+        assert broker.committed("g", good) is None
+
 
 class TestBatchAppend:
     def test_append_batch_assigns_contiguous_offsets(self, broker):

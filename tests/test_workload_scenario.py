@@ -107,6 +107,30 @@ class TestValidation:
             FaultInjection(kind="duplicate_delivery", start=0.0, end=1.0,
                            params={"probability": 0.0})
 
+    def test_process_crash_fault_round_trips(self):
+        crash = FaultInjection(kind="process_crash", start=120.0, end=130.0)
+        assert FaultInjection.from_dict(crash.to_dict()) == crash
+        scenario = make_scenario(faults=(crash,))
+        rebuilt = Scenario.from_dict(scenario.to_dict())
+        assert rebuilt.faults == (crash,)
+        assert Scenario.from_json(scenario.to_json()).to_dict() == scenario.to_dict()
+
+    def test_process_crash_window_must_be_well_formed(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjection(kind="process_crash", start=-1.0, end=5.0)
+        with pytest.raises(ConfigurationError):
+            FaultInjection(kind="process_crash", start=5.0, end=5.0)
+
+    def test_from_dict_rejects_unknown_fault_kinds(self):
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            FaultInjection.from_dict(
+                {"kind": "power_surge", "start": 0.0, "end": 1.0}
+            )
+        spec = make_scenario().to_dict()
+        spec["faults"] = [{"kind": "process_crash_v2", "start": 0.0, "end": 1.0}]
+        with pytest.raises(ConfigurationError, match="unknown fault kind"):
+            Scenario.from_dict(spec)
+
 
 class TestLibrary:
     def test_library_has_at_least_six_presets(self):
