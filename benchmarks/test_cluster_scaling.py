@@ -1,0 +1,279 @@
+"""Cluster microbench (tier-1 fast): sharded writes, rebalance exactly-once.
+
+Two measurements, recorded to ``BENCH_cluster.json`` at the repository root
+(CI uploads it as an artifact and fails the build if the scaling speedup
+drops below 1.0 or the rebalance invariant breaks):
+
+* **Sharded write throughput under contention** — 4 writer threads
+  inserting durable (per-record-fsynced) documents into one
+  :class:`DurableDocumentStore` versus a 4-shard
+  :class:`ShardedDocumentStore` (one durability root per shard).  The
+  single store serializes every fsync behind its write lock; the shards
+  overlap theirs.  The benchmark first measures the machine's **raw
+  parallel-fsync ceiling** (4 files fsynced from 4 threads vs one file
+  serially): on hardware whose filesystem parallelizes fsyncs >= 4x the
+  shards must deliver the full **2x**; on boxes with a flatter ceiling
+  (container filesystems whose journal serializes concurrent commits)
+  they must realize at least half of whatever the hardware offers.  Both
+  numbers are recorded so the trade-off stays visible across machines.
+* **Rebalance exactly-once** — a ``consumer_churn`` scenario through
+  ``LoadDriver(shards=2)``: consumers join and leave mid-run (generation
+  bumped and fenced on every change), windows are re-processed across the
+  handovers, and the run must still end with **zero lost and zero
+  duplicated** verification documents in the idempotent
+  :class:`VerificationLog` — the cluster analogue of the durability
+  bench's crash invariant.
+
+Like the streaming/storage/durability microbenches this file is *not*
+marked ``slow``: it runs in seconds and doubles as the regression test for
+the scale-out guarantees.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.cluster import HashRing, ShardedDocumentStore
+from repro.durability import DurableDocumentStore
+from repro.workload import (
+    ConstantRate,
+    DatasetSpec,
+    FaultInjection,
+    LoadDriver,
+    Scenario,
+)
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
+
+WRITER_THREADS = 4
+SHARDS = 4
+RECORDS_PER_THREAD = 150
+PAYLOAD_BYTES = 4096  # big enough that fsync writeback, not CPU, dominates
+REPS = 3
+
+
+def record_result(name: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into ``BENCH_cluster.json``."""
+    data: dict = {"schema": "repro.cluster.scaling/v1", "benchmarks": {}}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except (ValueError, OSError):
+            pass
+    data.setdefault("benchmarks", {})[name] = payload
+    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _parallel_fsync_ceiling(directory: Path) -> float:
+    """How much this machine's filesystem can overlap fsyncs at all.
+
+    4 threads appending+fsyncing 4 separate files versus the same byte
+    count fsynced serially into one file — the hardware upper bound any
+    sharded (per-shard-WAL) write path could hope to reach.
+    """
+    blob = b"x" * PAYLOAD_BYTES
+    per_file = RECORDS_PER_THREAD
+
+    def worker(index: int) -> None:
+        fd = os.open(directory / f"probe-{index}", os.O_CREAT | os.O_WRONLY)
+        try:
+            for _ in range(per_file):
+                os.write(fd, blob)
+                os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    fd = os.open(directory / "probe-serial", os.O_CREAT | os.O_WRONLY)
+    started = time.perf_counter()
+    try:
+        for _ in range(WRITER_THREADS * per_file):
+            os.write(fd, blob)
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+    serial = time.perf_counter() - started
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(WRITER_THREADS)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    parallel = time.perf_counter() - started
+    return serial / parallel
+
+
+def test_sharded_writes_scale_under_contention(tmp_path):
+    """4 contending writer threads: sharded durable writes must beat one
+    durable store by 2x (or >= half the raw parallel-fsync ceiling on
+    machines whose filesystem cannot overlap fsyncs that far)."""
+    # Pre-bucket keys by owning shard so each writer thread stays on one
+    # shard — the steady state of a well-partitioned ingest fleet.
+    ring = HashRing(SHARDS)
+    buckets: dict[int, list[str]] = {i: [] for i in range(SHARDS)}
+    index = 0
+    while any(len(bucket) < RECORDS_PER_THREAD for bucket in buckets.values()):
+        key = f"dev-{index:06d}"
+        index += 1
+        bucket = buckets[ring.shard_for(key)]
+        if len(bucket) < RECORDS_PER_THREAD:
+            bucket.append(key)
+    blob = "x" * PAYLOAD_BYTES
+
+    def write(collection, keys: list[str]) -> None:
+        for key in keys:
+            collection.insert_one({
+                "device_address": key,
+                "incident_text": blob,
+                "duration_seconds": 42.5,
+            })
+
+    def run(store) -> float:
+        collection = store.collection("alarms")
+        threads = [
+            threading.Thread(target=write, args=(collection, buckets[i]))
+            for i in range(WRITER_THREADS)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        assert len(collection) == WRITER_THREADS * RECORDS_PER_THREAD
+        store.close()
+        return elapsed
+
+    def single(root: Path) -> DurableDocumentStore:
+        return DurableDocumentStore(root, sync="batch")
+
+    def sharded(root: Path) -> ShardedDocumentStore:
+        return ShardedDocumentStore(
+            stores=[
+                DurableDocumentStore(root / f"shard-{i}", sync="batch")
+                for i in range(SHARDS)
+            ],
+            shard_keys={"alarms": "device_address"},
+        )
+
+    ceiling = _parallel_fsync_ceiling(tmp_path)
+    # Warm both paths (allocator, dentries), then measure min-of-REPS with
+    # a sync barrier in between so one run's dirty pages don't bill the
+    # next run's fsyncs.
+    run(single(tmp_path / "warm-single"))
+    run(sharded(tmp_path / "warm-sharded"))
+    os.sync()
+    single_seconds, sharded_seconds = [], []
+    for rep in range(REPS):
+        single_seconds.append(run(single(tmp_path / f"single-{rep}")))
+        os.sync()
+        sharded_seconds.append(run(sharded(tmp_path / f"sharded-{rep}")))
+        os.sync()
+    best_single = min(single_seconds)
+    best_sharded = min(sharded_seconds)
+    speedup = best_single / best_sharded
+    required = min(2.0, 0.5 * ceiling)
+    records = WRITER_THREADS * RECORDS_PER_THREAD
+
+    record_result("sharded_write_throughput", {
+        "writer_threads": WRITER_THREADS,
+        "shards": SHARDS,
+        "records": records,
+        "payload_bytes": PAYLOAD_BYTES,
+        "single_store_seconds": round(best_single, 6),
+        "sharded_seconds": round(best_sharded, 6),
+        "single_store_records_per_second": round(records / best_single),
+        "sharded_records_per_second": round(records / best_sharded),
+        "parallel_fsync_ceiling": round(ceiling, 2),
+        "required_speedup": round(required, 2),
+        "speedup": round(speedup, 2),
+    })
+    print(
+        f"\nsharded writes ({records} durable inserts, {WRITER_THREADS} threads): "
+        f"single {best_single:.3f}s, {SHARDS} shards {best_sharded:.3f}s, "
+        f"speedup {speedup:.2f}x (raw parallel-fsync ceiling {ceiling:.2f}x, "
+        f"required {required:.2f}x)"
+    )
+    assert speedup >= 1.0, (
+        f"sharding must never slow writes down, got {speedup:.2f}x"
+    )
+    assert speedup >= required, (
+        f"sharded writes only {speedup:.2f}x faster than the contended single "
+        f"store (machine parallel-fsync ceiling {ceiling:.2f}x demands "
+        f">= {required:.2f}x)"
+    )
+
+
+def test_rebalance_preserves_exactly_once(tmp_path):
+    """The acceptance invariant: a consumer_churn scenario (members joining
+    and leaving mid-run, generation-fenced commits, windows re-processed
+    across handovers) over a sharded store must end with exactly one
+    verification document per scheduled event — zero lost, zero
+    duplicated."""
+    scenario = Scenario(
+        name="rebalance-bench",
+        arrivals=ConstantRate(rate=40.0),
+        duration=24.0,
+        dataset=DatasetSpec(num_devices=60, train_alarms=300, preload_history=50),
+        faults=(
+            FaultInjection(kind="consumer_churn", start=4.0, end=12.0,
+                           params={"consumers": 2}),
+            FaultInjection(kind="consumer_churn", start=14.0, end=20.0,
+                           params={"consumers": 1}),
+        ),
+        producers=2,
+        partitions=4,
+        seed=17,
+    )
+    driver = LoadDriver(scenario, speedup=300.0, shards=2)
+    expected = {
+        event.document["_event_seq"] for event in driver.build_timeline()
+    }
+
+    started = time.perf_counter()
+    report = driver.run()
+    wall_seconds = time.perf_counter() - started
+
+    log = driver.verification_log
+    timeline_id = f"{scenario.name}/{scenario.seed}"
+    stored_uids = {doc["alarm_uid"] for doc in log.collection.all_documents()}
+    expected_uids = {f"seq:{timeline_id}:{seq}" for seq in expected}
+    lost = len(expected_uids - stored_uids)
+    duplicated = log.duplicate_uids()
+
+    record_result("rebalance_exactly_once", {
+        "events_scheduled": report.events_scheduled,
+        "unique_events": len(expected_uids),
+        "shards": report.shards,
+        "rebalances": report.rebalances,
+        "windows_reprocessed_alarms": report.duplicates_skipped,
+        "verified_unique": report.verified_unique,
+        "lost": lost,
+        "duplicated": len(duplicated),
+        "no_loss": lost == 0,
+        "no_duplicates": not duplicated,
+        "wall_seconds": round(wall_seconds, 4),
+    })
+    print(
+        f"\nrebalance exactly-once: {report.events_scheduled} events, "
+        f"{report.rebalances} rebalances, {report.duplicates_skipped} "
+        f"re-processed alarms deduplicated, {report.verified_unique} verified "
+        f"unique, {lost} lost, {len(duplicated)} duplicated"
+    )
+    # Every churn join and leave rebalances (plus the base member's join).
+    assert report.rebalances >= 5, (
+        f"churn faults must drive rebalances, saw {report.rebalances}"
+    )
+    # Handovers usually re-process a window tail (duplicates_skipped > 0 in
+    # practice — it is recorded above), but whether any batch actually
+    # straddles a rebalance is scheduler timing; only the invariant that
+    # re-processing is *harmless* is asserted.
+    assert lost == 0, f"lost {lost} verified alarms across rebalances"
+    assert not duplicated, f"duplicate verification documents: {duplicated[:5]}"
+    assert report.verified_unique == len(expected_uids)

@@ -33,6 +33,11 @@ Subpackages
     (arrival models, fault injections) replayed through the full
     pipeline under accelerated virtual time, with ops metrics
     (throughput, latency percentiles, verification-rate trends).
+``repro.cluster``
+    Horizontal scale-out: consistent-hash sharded document stores with
+    parallel scatter-gather reads and per-shard durability, plus
+    dynamic consumer-group membership with generation-fenced
+    rebalancing.
 """
 
 __version__ = "1.0.0"

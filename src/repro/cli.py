@@ -193,13 +193,17 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             )
             scenario = replace(scenario, faults=scenario.faults + (crash,))
         driver = LoadDriver(
-            scenario, speedup=args.speedup, durable_dir=args.durable
+            scenario, speedup=args.speedup, durable_dir=args.durable,
+            shards=args.shards, consumers=args.consumers,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    cluster_note = ""
+    if args.shards > 1 or args.consumers > 1:
+        cluster_note = f" [{args.shards} store shards, {args.consumers} consumers]"
     print(f"scenario {scenario.name!r} (seed {scenario.seed}, "
-          f"speedup {args.speedup:g}x): {scenario.description}")
+          f"speedup {args.speedup:g}x){cluster_note}: {scenario.description}")
     report = driver.run()
     print(f"scheduled {report.events_scheduled} events; "
           f"sent {report.records_sent} records "
@@ -209,6 +213,13 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
           f"{report.produce_bytes_per_second / 1e6:.2f} MB/s "
           f"({report.backpressure_waits} backpressure waits)")
     print(report.ops_report)
+    if report.rebalances:
+        print(f"consumer group      {report.rebalances} rebalances "
+              f"(generation-fenced, {report.consumers} base consumers)")
+    for recovery in report.shard_recoveries:
+        print(f"  shard {recovery['shard']} outage: recovered "
+              f"{recovery['snapshot_documents']} snapshot docs + "
+              f"{recovery['ops_replayed']} journal ops")
     if report.durable:
         print(f"durable pipeline at {args.durable}: "
               f"{report.verified_unique} unique verification documents, "
@@ -323,6 +334,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--durable", metavar="DIR", default=None,
         help="run against the durable store/broker rooted at DIR and print "
              "recovery stats after an injected mid-scenario process crash",
+    )
+    loadtest.add_argument(
+        "--shards", type=int, default=1,
+        help="store shards backing history/verifications (consistent-hash "
+             "scatter-gather; with --durable each shard recovers from its "
+             "own root)",
+    )
+    loadtest.add_argument(
+        "--consumers", type=int, default=1,
+        help="concurrent consumer-group members (>1 enables dynamic "
+             "membership with generation-fenced rebalancing)",
     )
     loadtest.add_argument("--out", help="optional path to dump the scenario JSON")
     loadtest.set_defaults(func=cmd_loadtest)

@@ -1,0 +1,35 @@
+"""Horizontal scale-out: sharded storage and dynamic consumer groups.
+
+This subsystem adds the two cluster primitives the single-node pipeline
+lacked:
+
+* :class:`~repro.cluster.sharded.ShardedDocumentStore` — documents
+  consistent-hashed (:class:`~repro.cluster.ring.HashRing`) across N
+  independent document stores; ``find``/``count``/``aggregate`` scatter to
+  the shards in parallel threads and gather planner-aware (per-shard
+  covered counts sum, per-shard sorted streams k-way merge, shard-key
+  equality filters route to a single shard).  Shards can be durable, each
+  with its own recovery root, so one shard crashes and recovers while the
+  rest keep serving.
+* :class:`~repro.cluster.coordinator.GroupCoordinator` — dynamic
+  consumer-group membership over the broker: joins and leaves bump a
+  group generation, rebalance partitions across the live members, and
+  fence the broker's offset commits so zombie consumers from superseded
+  generations cannot clobber the new owners' progress.
+
+The workload layer drives both: ``LoadDriver(shards=N)`` shards the
+pipeline's history/verification store, and the ``consumer_churn`` /
+``shard_outage`` fault kinds exercise rebalancing and single-shard
+recovery mid-scenario.
+"""
+
+from repro.cluster.coordinator import GroupCoordinator
+from repro.cluster.ring import HashRing
+from repro.cluster.sharded import ShardedCollection, ShardedDocumentStore
+
+__all__ = [
+    "GroupCoordinator",
+    "HashRing",
+    "ShardedCollection",
+    "ShardedDocumentStore",
+]

@@ -1,0 +1,128 @@
+"""Dynamic consumer-group membership with generation-fenced rebalancing.
+
+:class:`GroupCoordinator` upgrades the static
+:func:`~repro.streaming.consumer.assign_partitions` split into live group
+membership, the in-process analogue of Kafka's group coordinator:
+
+* :meth:`join` / :meth:`leave` trigger a **rebalance**: the group
+  generation is bumped, the broker's commit fence for the group is raised
+  to the new generation (:meth:`~repro.streaming.broker.Broker.fence_group`),
+  and every current member's consumer is re-assigned its share of the
+  topic's partitions under the new generation.
+* Re-assignment resets each consumer's positions from the group's
+  committed offsets, so partitions hand over *at the last commit*: the new
+  owner re-processes at most the previous owner's uncommitted tail
+  (at-least-once across the rebalance; an idempotent sink such as
+  :class:`~repro.core.verification_log.VerificationLog` turns that into
+  exactly-once end to end).
+* A member that missed the rebalance — a **zombie** — still holds its old
+  generation; its next commit raises
+  :class:`~repro.errors.FencedGenerationError` at the broker instead of
+  clobbering the new owner's offsets.
+
+The coordinator mutates consumers synchronously from whatever thread calls
+``join``/``leave``; :meth:`Consumer.assign` is thread-safe against a
+concurrent ``poll``/``commit``, and whichever side loses the race is
+covered by the fence.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.errors import RebalanceError
+from repro.streaming.broker import Broker
+from repro.streaming.consumer import Consumer, assign_partitions
+from repro.streaming.message import TopicPartition
+
+__all__ = ["GroupCoordinator"]
+
+
+class GroupCoordinator:
+    """Coordinates dynamic membership of one consumer group on one topic.
+
+    Parameters
+    ----------
+    broker, topic, group:
+        The partitioned topic whose partitions are dealt out, and the
+        consumer group whose offsets/fence the membership controls.
+    """
+
+    def __init__(self, broker: Broker, topic: str, group: str) -> None:
+        self._broker = broker
+        self.topic = topic
+        self.group = group
+        self._members: dict[str, Consumer] = {}
+        self._generation = 0
+        self._lock = threading.Lock()
+        #: Total rebalances performed (observability for tests/reports).
+        self.rebalances = 0
+
+    @property
+    def generation(self) -> int:
+        """Current group generation (0 before the first member joins)."""
+        with self._lock:
+            return self._generation
+
+    def members(self) -> list[str]:
+        """Current member ids, in assignment order."""
+        with self._lock:
+            return sorted(self._members)
+
+    def join(self, member_id: str, consumer: Consumer) -> int:
+        """Add a member and rebalance; returns the new generation.
+
+        The member's ``consumer`` must belong to this coordinator's group
+        (its commits must carry the group the fence guards).
+        """
+        if consumer.group != self.group:
+            raise RebalanceError(
+                f"consumer group {consumer.group!r} does not match "
+                f"coordinator group {self.group!r}"
+            )
+        with self._lock:
+            if member_id in self._members:
+                raise RebalanceError(f"member {member_id!r} already joined")
+            self._members[member_id] = consumer
+            return self._rebalance_locked()
+
+    def leave(self, member_id: str) -> int:
+        """Remove a member and rebalance; returns the new generation.
+
+        The departed member's consumer is assigned the empty set *under its
+        old generation*: it stops fetching, and any in-flight commit it
+        still attempts is fenced, exactly like a crashed member's would be.
+        """
+        with self._lock:
+            try:
+                departed = self._members.pop(member_id)
+            except KeyError:
+                raise RebalanceError(f"unknown member {member_id!r}") from None
+            stale_generation = self._generation
+            generation = self._rebalance_locked()
+        departed.assign([], generation=stale_generation)
+        return generation
+
+    def assignments(self) -> dict[str, list[TopicPartition]]:
+        """Current member -> partitions map (disjoint, union = topic)."""
+        with self._lock:
+            partitions = self._broker.partitions_for(self.topic)
+            ordered = sorted(self._members)
+            return {
+                member: assign_partitions(partitions, len(ordered), i)
+                for i, member in enumerate(ordered)
+            }
+
+    # -- internals ---------------------------------------------------------------
+
+    def _rebalance_locked(self) -> int:
+        """Bump the generation, raise the fence, re-deal the partitions."""
+        self._generation += 1
+        self._broker.fence_group(self.group, self._generation)
+        partitions = self._broker.partitions_for(self.topic)
+        ordered = sorted(self._members)
+        for i, member in enumerate(ordered):
+            share = assign_partitions(partitions, len(ordered), i)
+            self._members[member].assign(share, generation=self._generation)
+        self.rebalances += 1
+        return self._generation

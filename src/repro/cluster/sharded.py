@@ -1,0 +1,580 @@
+"""Horizontally sharded document store: scatter-gather over N stores.
+
+:class:`ShardedDocumentStore` spreads each collection's documents across N
+independent :class:`~repro.storage.store.DocumentStore` shards by
+consistent-hashing a routing key (:class:`~repro.cluster.ring.HashRing`),
+and answers reads by fanning out to the shards **in parallel threads** and
+merging the partial results planner-aware:
+
+* ``count`` — each shard's planner answers its slice (covered counts stay
+  pure index intersections); the global count is the sum of the per-shard
+  counts.
+* ``find`` with ``sort=`` — every shard returns its slice already ordered
+  (index-order or top-k on the shard), truncated to ``skip + limit``; the
+  global result is a **k-way heap merge** of the sorted per-shard streams
+  under the same missing-last type-ranked key the single store uses.
+* ``find`` with a shard-key equality (or ``$in``) conjunct — the filter is
+  **routed** to just the owning shard(s) instead of the full fan-out, the
+  cross-shard analogue of an index lookup.
+* ``aggregate`` — the pushdown prefix (``$match``/``$sort``/``$skip``/
+  ``$limit``, see :func:`~repro.storage.aggregate.plan_pushdown`) executes
+  sharded; residual stages run centrally over the merged rows.
+
+Routing: each collection may name a ``shard_key`` field (e.g. alarms by
+``device_address``, verifications by ``alarm_uid``); documents without one
+route by a deterministic content hash.  **Unique indexes are enforced per
+shard**, so global uniqueness of a field requires routing the collection by
+that same field — then every candidate duplicate lands on the shard already
+holding the original, and the shard-local unique index is a global one.
+
+Durability is per shard: built over
+:class:`~repro.durability.journal.DurableDocumentStore` instances (one
+root directory each — see
+:meth:`~repro.durability.recovery.RecoveryManager`'s ``store_shards``),
+each shard journals, snapshots, crashes and recovers independently.
+:meth:`restart_shard` models a single-shard outage: the shard loses its
+un-fsynced bytes and is re-opened from its own WAL while the other shards
+keep serving.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.cluster.ring import HashRing
+from repro.errors import ConfigurationError, StorageError
+from repro.storage.aggregate import aggregate, plan_pushdown
+from repro.storage.query import rank_value, resolve_path
+from repro.storage.store import DocumentStore
+
+__all__ = ["ShardedDocumentStore", "ShardedCollection"]
+
+
+def _content_key(document: Mapping[str, Any]) -> str:
+    """Deterministic routing key for a document without a shard-key field."""
+    body = {key: value for key, value in document.items() if key != "_id"}
+    return json.dumps(body, sort_keys=True, separators=(",", ":"), default=repr)
+
+
+def _order_key(field: str) -> Callable[[Mapping[str, Any]], tuple[int, Any]]:
+    """The single store's missing-last type-ranked sort key, for merging."""
+    def key(document: Mapping[str, Any]) -> tuple[int, Any]:
+        values = resolve_path(document, field)
+        return rank_value(values[0]) if values else (3, 0)
+    return key
+
+
+def _heap_merge(parts: list[list[dict[str, Any]]], field: str,
+                reverse: bool) -> list[dict[str, Any]]:
+    """K-way merge of per-shard sorted result lists.
+
+    Ties break by shard order (``heapq.merge`` is stable across its input
+    iterables), mirroring how the single store breaks ties by ascending
+    ``_id`` — deterministic either way.
+    """
+    import heapq
+
+    return list(heapq.merge(*parts, key=_order_key(field), reverse=reverse))
+
+
+class ShardedCollection:
+    """One logical collection spread over every shard of the parent store."""
+
+    def __init__(self, parent: "ShardedDocumentStore", name: str,
+                 shard_key: str | None):
+        self._parent = parent
+        self.name = name
+        self.shard_key = shard_key
+        # Routed (single-shard) reads are only sound while every document's
+        # placement is derivable from a scalar shard-key value.  An array
+        # shard key (equality matches any element, but the document lives
+        # on one shard) or an update that rewrites the key in place (the
+        # document does not move) breaks that derivation, so the first such
+        # write permanently degrades this collection to fan-out reads —
+        # a pure de-optimization, never a correctness change.
+        self._routing_disabled = False
+
+    # -- routing ----------------------------------------------------------------
+
+    def shard_index(self, document: Mapping[str, Any]) -> int:
+        """The shard a document routes to (shard-key value or content hash)."""
+        if self.shard_key is not None:
+            value = document.get(self.shard_key)
+            if isinstance(value, list):
+                self._routing_disabled = True  # element-match can't be routed
+            elif value is not None and not isinstance(value, Mapping):
+                return self._parent.ring.shard_for(value)
+        return self._parent.ring.shard_for(_content_key(document))
+
+    def _route_filter(self, filter_doc: Mapping[str, Any] | None) -> list[int] | None:
+        """Shard subset a filter pins via the shard key, or None for fan-out.
+
+        A top-level equality (bare value or ``{"$eq": v}``) on the shard
+        key routes to one shard; a pure ``{"$in": [...]}`` routes to the
+        owners of its members.  Anything else — ranges, logical operators,
+        extra operators on the conjunct, or a collection whose routing was
+        degraded by irregular shard-key writes — fans out to every shard.
+        """
+        if not filter_doc or self.shard_key is None or self._routing_disabled:
+            return None
+        condition = filter_doc.get(self.shard_key)
+        if condition is None:
+            return None
+        ring = self._parent.ring
+        if not isinstance(condition, Mapping):
+            return [ring.shard_for(condition)]
+        if set(condition) == {"$eq"} and condition["$eq"] is not None \
+                and not isinstance(condition["$eq"], Mapping):
+            return [ring.shard_for(condition["$eq"])]
+        if set(condition) == {"$in"} and isinstance(condition["$in"], (list, tuple)) \
+                and all(m is not None and not isinstance(m, Mapping)
+                        for m in condition["$in"]):
+            return sorted({ring.shard_for(member) for member in condition["$in"]})
+        return None
+
+    # -- writes -----------------------------------------------------------------
+
+    def insert_one(self, document: Mapping[str, Any]) -> int:
+        """Insert on the owning shard; returns the shard-local ``_id``."""
+        shard = self.shard_index(document)
+        return self._parent._on_shard(
+            shard, lambda s: s.collection(self.name).insert_one(document)
+        )
+
+    def insert_many(self, documents) -> list[int]:
+        """Group-by-shard insert; per-shard batches run in parallel.
+
+        Returns the shard-local ids in the order the documents were given.
+        On a durable shard each batch is one journaled group commit, so a
+        multi-shard insert overlaps its fsyncs — the write path the
+        cluster scaling benchmark measures.
+        """
+        docs = list(documents)
+        if not docs:
+            return []
+        groups: dict[int, list[int]] = {}
+        for position, doc in enumerate(docs):
+            groups.setdefault(self.shard_index(doc), []).append(position)
+
+        def insert_group(shard: int) -> list[int]:
+            positions = groups[shard]
+            return self._parent._on_shard(
+                shard,
+                lambda s: s.collection(self.name).insert_many(
+                    [docs[p] for p in positions]
+                ),
+            )
+
+        results = self._parent._fanout(insert_group, sorted(groups))
+        ids: list[int] = [0] * len(docs)
+        for shard, shard_ids in zip(sorted(groups), results):
+            for position, doc_id in zip(groups[shard], shard_ids):
+                ids[position] = doc_id
+        return ids
+
+    def update_many(self, filter_doc: Mapping[str, Any], update) -> int:
+        """Update on the routed shard subset (or everywhere); returns the count.
+
+        Like MongoDB, the shard key is meant to be an immutable document
+        identity.  An update that (possibly) rewrites it — a callable, or
+        an operator document touching the shard-key field — is applied in
+        place (the document does **not** move shards), and the collection
+        falls back to fan-out reads from then on so no routed query can
+        miss the rewritten document.  A unique index on the shard key
+        stops being globally enforceable after such an update.
+        """
+        if self.shard_key is not None and self._touches_shard_key(update):
+            self._routing_disabled = True
+        shards = self._route_filter(filter_doc)
+        counts = self._parent._fanout(
+            lambda i: self._parent._on_shard(
+                i, lambda s: s.collection(self.name).update_many(filter_doc, update)
+            ),
+            shards,
+        )
+        return sum(counts)
+
+    def _touches_shard_key(self, update: Any) -> bool:
+        """Whether ``update`` could rewrite this collection's shard key."""
+        if callable(update):
+            return True  # opaque: assume the worst
+        if not isinstance(update, Mapping):
+            return False  # malformed; the shard-level update will reject it
+        prefix = f"{self.shard_key}."
+        return any(
+            field == self.shard_key or field.startswith(prefix)
+            for spec in update.values() if isinstance(spec, Mapping)
+            for field in spec
+        )
+
+    def delete_many(self, filter_doc: Mapping[str, Any]) -> int:
+        """Delete on the routed shard subset (or everywhere); returns the count."""
+        shards = self._route_filter(filter_doc)
+        counts = self._parent._fanout(
+            lambda i: self._parent._on_shard(
+                i, lambda s: s.collection(self.name).delete_many(filter_doc)
+            ),
+            shards,
+        )
+        return sum(counts)
+
+    # -- index DDL ---------------------------------------------------------------
+
+    def create_index(self, field: str, kind: str = "hash", unique: bool = False) -> None:
+        """Create the index on every shard.
+
+        A ``unique`` index is enforced shard-locally; it is globally unique
+        exactly when ``field`` is this collection's shard key (all
+        candidate duplicates then route to the same shard).
+        """
+        self._parent._fanout(
+            lambda i: self._parent._on_shard(
+                i, lambda s: s.collection(self.name).create_index(
+                    field, kind=kind, unique=unique
+                )
+            )
+        )
+
+    def drop_index(self, field: str) -> None:
+        self._parent._fanout(
+            lambda i: self._parent._on_shard(
+                i, lambda s: s.collection(self.name).drop_index(field)
+            )
+        )
+
+    def index_fields(self) -> list[str]:
+        """Indexed fields (identical on every shard; read from shard 0)."""
+        return self._parent._on_shard(
+            0, lambda s: s.collection(self.name).index_fields()
+        )
+
+    def index_spec(self, field: str) -> dict[str, Any]:
+        return self._parent._on_shard(
+            0, lambda s: s.collection(self.name).index_spec(field)
+        )
+
+    # -- reads -------------------------------------------------------------------
+
+    def find(self, filter_doc: Mapping[str, Any] | None = None,
+             projection: list[str] | None = None,
+             sort: str | tuple[str, int] | None = None,
+             limit: int | None = None,
+             skip: int = 0) -> list[dict[str, Any]]:
+        """Scatter-gather find with planner-aware merge.
+
+        Each shard executes the full query plan on its slice (index
+        routing, covered execution, index-order or top-k sorting) but
+        truncated to ``skip + limit`` — a shard can never contribute more
+        than the global window needs.  Sorted slices are k-way heap-merged;
+        unsorted slices concatenate in shard order.  ``skip`` applies
+        globally, after the merge.
+        """
+        shards = self._route_filter(filter_doc)
+        need = None if limit is None else skip + limit
+        parts = self._parent._fanout(
+            lambda i: self._parent._on_shard(
+                i, lambda s: s.collection(self.name).find(
+                    filter_doc, projection=projection, sort=sort, limit=need
+                )
+            ),
+            shards,
+        )
+        if sort is not None:
+            field, direction = sort if isinstance(sort, tuple) else (sort, 1)
+            merged = _heap_merge(parts, field, reverse=direction < 0)
+        else:
+            merged = [doc for part in parts for doc in part]
+        if skip:
+            merged = merged[skip:]
+        if limit is not None:
+            merged = merged[:limit]
+        return merged
+
+    def find_one(self, filter_doc: Mapping[str, Any] | None = None) -> dict[str, Any] | None:
+        found = self.find(filter_doc, limit=1)
+        return found[0] if found else None
+
+    def count(self, filter_doc: Mapping[str, Any] | None = None) -> int:
+        """Sum of the per-shard counts (covered counts stay covered)."""
+        shards = self._route_filter(filter_doc)
+        counts = self._parent._fanout(
+            lambda i: self._parent._on_shard(
+                i, lambda s: s.collection(self.name).count(filter_doc)
+            ),
+            shards,
+        )
+        return sum(counts)
+
+    def distinct(self, field: str,
+                 filter_doc: Mapping[str, Any] | None = None) -> list[Any]:
+        """Union of the per-shard distinct sets, deduplicated and sorted
+        when the value types allow it (same contract as the single store)."""
+        shards = self._route_filter(filter_doc)
+        parts = self._parent._fanout(
+            lambda i: self._parent._on_shard(
+                i, lambda s: s.collection(self.name).distinct(field, filter_doc)
+            ),
+            shards,
+        )
+        out: list[Any] = []
+        seen_hashable: set[Any] = set()
+        seen_unhashable: list[Any] = []
+        for part in parts:
+            for value in part:
+                try:
+                    if value in seen_hashable:
+                        continue
+                    seen_hashable.add(value)
+                except TypeError:
+                    if value in seen_unhashable:
+                        continue
+                    seen_unhashable.append(value)
+                out.append(value)
+        try:
+            return sorted(out)
+        except TypeError:
+            return out
+
+    def explain(self, filter_doc: Mapping[str, Any] | None = None,
+                **kwargs: Any) -> dict[str, Any]:
+        """Cluster-level plan: routing decision plus each consulted shard's
+        own :meth:`~repro.storage.collection.Collection.explain`."""
+        shards = self._route_filter(filter_doc)
+        consulted = list(range(self._parent.num_shards)) if shards is None else shards
+        return {
+            "collection": self.name,
+            "mode": "fanout" if shards is None else "routed",
+            "shards": consulted,
+            "plans": {
+                i: self._parent._on_shard(
+                    i, lambda s: s.collection(self.name).explain(filter_doc, **kwargs)
+                )
+                for i in consulted
+            },
+        }
+
+    def all_documents(self) -> Iterator[dict[str, Any]]:
+        """Iterate every shard's documents, in shard order."""
+        for i in range(self._parent.num_shards):
+            yield from self._parent._on_shard(
+                i, lambda s: list(s.collection(self.name).all_documents())
+            )
+
+    def __len__(self) -> int:
+        return sum(self._parent._fanout(
+            lambda i: self._parent._on_shard(
+                i, lambda s: len(s.collection(self.name))
+            )
+        ))
+
+
+class ShardedDocumentStore:
+    """N independent document stores behind one store-shaped facade.
+
+    Parameters
+    ----------
+    num_shards:
+        Shard count (ignored when ``stores`` is given).
+    stores:
+        Pre-built backing stores — e.g. per-shard
+        :class:`~repro.durability.journal.DurableDocumentStore` instances
+        with their own durability roots.  Fresh in-memory stores are built
+        when omitted.
+    shard_keys:
+        ``{collection name: routing field}`` — e.g. ``{"alarms":
+        "device_address", "verifications": "alarm_uid"}``.
+    default_shard_key:
+        Routing field for collections not named in ``shard_keys``.
+    reopen:
+        ``shard index -> store`` factory used by :meth:`restart_shard` to
+        re-open a crashed shard from its durability root.
+    vnodes:
+        Virtual points per shard on the hash ring.
+    """
+
+    def __init__(self, num_shards: int = 4,
+                 stores: list[Any] | None = None,
+                 shard_keys: Mapping[str, str] | None = None,
+                 default_shard_key: str | None = None,
+                 reopen: Callable[[int], Any] | None = None,
+                 vnodes: int = 64) -> None:
+        if stores is not None:
+            self._stores = list(stores)
+        else:
+            self._stores = [DocumentStore() for _ in range(num_shards)]
+        if not self._stores:
+            raise ConfigurationError("a sharded store needs at least one shard")
+        self.num_shards = len(self._stores)
+        self.ring = HashRing(self.num_shards, vnodes=vnodes)
+        self.shard_keys = dict(shard_keys or {})
+        self.default_shard_key = default_shard_key
+        self._reopen = reopen
+        self._collections: dict[str, ShardedCollection] = {}
+        self._lock = threading.Lock()
+        # One gate per shard: held for the duration of every delegated
+        # operation, so restart_shard swaps the backing store only while
+        # the shard is quiescent.  Different shards never contend.
+        self._gates = [threading.RLock() for _ in self._stores]
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.num_shards, thread_name_prefix="shard"
+        )
+
+    # -- fan-out plumbing --------------------------------------------------------
+
+    def _on_shard(self, index: int, fn: Callable[[Any], Any]) -> Any:
+        with self._gates[index]:
+            return fn(self._stores[index])
+
+    def _fanout(self, fn: Callable[[int], Any],
+                shards: list[int] | None = None) -> list[Any]:
+        """Run ``fn(shard_index)`` for each shard, in parallel when > 1.
+
+        Results come back in shard order; the first shard's exception (if
+        any) propagates after all futures settle.
+        """
+        indexes = list(range(self.num_shards)) if shards is None else list(shards)
+        if len(indexes) == 1:
+            return [fn(indexes[0])]
+        try:
+            futures = [self._pool.submit(fn, i) for i in indexes]
+        except RuntimeError:
+            # Pool already shut down (store closed/crashed): reads against
+            # the surviving in-memory state still work, just serially.
+            return [fn(i) for i in indexes]
+        results: list[Any] = []
+        first_error: BaseException | None = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            # Raised only after every future settled: no shard's task is
+            # still mutating state when the caller sees the failure.
+            raise first_error
+        return results
+
+    @property
+    def shards(self) -> list[Any]:
+        """The backing stores, by shard index (read-mostly; for tests/ops)."""
+        return list(self._stores)
+
+    # -- store API ---------------------------------------------------------------
+
+    def collection(self, name: str) -> ShardedCollection:
+        """Get or create the sharded collection ``name`` (on every shard)."""
+        with self._lock:
+            coll = self._collections.get(name)
+            if coll is None:
+                shard_key = self.shard_keys.get(name, self.default_shard_key)
+                coll = ShardedCollection(self, name, shard_key)
+                self._collections[name] = coll
+        # Materialize eagerly on every shard so DDL and len() see a uniform
+        # layout whichever shard a first write happens to route to.
+        self._fanout(lambda i: self._on_shard(i, lambda s: s.collection(name)))
+        return coll
+
+    def drop_collection(self, name: str) -> None:
+        self._fanout(
+            lambda i: self._on_shard(i, lambda s: s.drop_collection(name))
+        )
+        with self._lock:
+            self._collections.pop(name, None)
+
+    def collection_names(self) -> list[str]:
+        names: set[str] = set()
+        for part in self._fanout(
+            lambda i: self._on_shard(i, lambda s: s.collection_names())
+        ):
+            names.update(part)
+        return sorted(names)
+
+    def aggregate(self, collection: str,
+                  pipeline: list[Mapping[str, Any]]) -> list[dict[str, Any]]:
+        """Scatter-gather aggregation.
+
+        The exactly-translatable pushdown prefix (leading ``$match`` plus
+        optional ``$sort``/``$skip``/``$limit`` — see
+        :func:`~repro.storage.aggregate.plan_pushdown`) runs sharded
+        through :meth:`ShardedCollection.find`, so each shard's planner
+        serves its slice and sorted slices heap-merge; the residual stages
+        (``$group`` etc.) run centrally over the merged rows, which keeps
+        every accumulator semantics identical to the single store.
+        """
+        coll = self.collection(collection)
+        kwargs, consumed = plan_pushdown(pipeline)
+        rows = coll.find(**kwargs)
+        residual = pipeline[consumed:]
+        if residual:
+            rows = aggregate(rows, residual)
+        return rows
+
+    # -- per-shard durability ----------------------------------------------------
+
+    def restart_shard(self, index: int) -> dict[str, Any]:
+        """Crash shard ``index`` (losing its un-fsynced bytes) and re-open it
+        from its own durability root while every other shard keeps serving.
+
+        Returns the shard's recovery statistics.  Requires durable backing
+        stores and a ``reopen`` factory.
+        """
+        if not 0 <= index < self.num_shards:
+            raise ConfigurationError(
+                f"shard index {index} outside [0, {self.num_shards})"
+            )
+        if self._reopen is None:
+            raise ConfigurationError(
+                "restart_shard needs durable shards opened with a reopen= factory"
+            )
+        with self._gates[index]:
+            old = self._stores[index]
+            if hasattr(old, "simulate_crash"):
+                old.simulate_crash()
+            fresh = self._reopen(index)
+            self._stores[index] = fresh
+            return {
+                "shard": index,
+                "snapshot_documents": getattr(fresh, "snapshot_documents", 0),
+                "ops_replayed": getattr(fresh, "replayed_ops", 0),
+                "ops_deduplicated": getattr(fresh, "deduplicated_ops", 0),
+                "truncated_bytes": getattr(fresh, "truncated_bytes", 0),
+            }
+
+    def checkpoint(self) -> None:
+        """Checkpoint every durable shard (no-op on in-memory shards)."""
+        self._fanout(
+            lambda i: self._on_shard(
+                i, lambda s: s.checkpoint() if hasattr(s, "checkpoint") else None
+            )
+        )
+
+    def simulate_crash(self) -> None:
+        """Crash every shard at once (durable shards lose un-fsynced bytes).
+
+        The fan-out pool is torn down too: a crashed store instance is
+        abandoned wholesale, exactly like a dead process's threads.
+        """
+        for i in range(self.num_shards):
+            self._on_shard(
+                i,
+                lambda s: s.simulate_crash() if hasattr(s, "simulate_crash") else None,
+            )
+        self._pool.shutdown(wait=False)
+
+    def close(self) -> None:
+        """Close every durable shard and the fan-out pool.  Idempotent."""
+        for i in range(self.num_shards):
+            self._on_shard(
+                i, lambda s: s.close() if hasattr(s, "close") else None
+            )
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedDocumentStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

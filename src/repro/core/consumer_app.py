@@ -118,6 +118,13 @@ class ConsumerApplication:
         window's verifications and the :class:`MicroBatch`; this is how
         the workload subsystem's ops metrics tap the pipeline without
         buffering verifications.
+    coordinator, member_id:
+        Dynamic-membership mode: join the given
+        :class:`~repro.cluster.coordinator.GroupCoordinator` as
+        ``member_id`` instead of statically owning every partition.
+        Several applications sharing one coordinator split the topic and
+        re-split on every join/leave; their offset commits are generation
+        fenced.
     """
 
     def __init__(self, broker: Broker, topic: str, group: str,
@@ -129,10 +136,12 @@ class ConsumerApplication:
                  keep_verifications: bool = False,
                  histogram_since: float | None = None,
                  verification_log: VerificationLog | None = None,
-                 on_window: Callable[[list[Verification], MicroBatch], None] | None = None) -> None:
+                 on_window: Callable[[list[Verification], MicroBatch], None] | None = None,
+                 coordinator=None, member_id: str | None = None) -> None:
         if repartition is not None and repartition < 1:
             raise ConfigurationError(f"repartition must be >= 1, got {repartition}")
-        self.context = StreamingContext(broker, topic, group, serializer=serializer)
+        self.context = StreamingContext(broker, topic, group, serializer=serializer,
+                                        coordinator=coordinator, member_id=member_id)
         self.service = service
         self.history = history if history is not None else AlarmHistory()
         self.repartition = repartition
@@ -224,7 +233,8 @@ class ConsumerApplication:
 
     def drain_until(self, done: Callable[[], bool],
                     max_records: int | None = None,
-                    idle_sleep: float = 0.005) -> ConsumerRunReport:
+                    idle_sleep: float = 0.005,
+                    report: ConsumerRunReport | None = None) -> ConsumerRunReport:
         """Process windows until ``done()`` is true *and* the topic is drained.
 
         This is the completion-driven variant of :meth:`run` used by the
@@ -233,8 +243,13 @@ class ConsumerApplication:
         When idle, the consumer blocks on the broker's append notification
         (waking as soon as a record lands); ``idle_sleep`` only bounds how
         long one blocking wait can defer the next ``done()`` check.
+
+        Pass an existing ``report`` to accumulate into it — how a dynamic
+        group member resumes draining after a mid-commit rebalance fenced
+        its previous generation, without losing the windows it already
+        counted.
         """
-        report = ConsumerRunReport()
+        report = report if report is not None else ConsumerRunReport()
         started = time.perf_counter()
         finishing = False
         while True:
@@ -253,7 +268,7 @@ class ConsumerApplication:
                 finishing = True
             else:
                 self.context.wait_for_records(idle_sleep)
-        report.elapsed_seconds = time.perf_counter() - started
+        report.elapsed_seconds += time.perf_counter() - started
         return report
 
     def run(self, duration_seconds: float,

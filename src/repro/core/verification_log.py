@@ -20,6 +20,7 @@ back to a content hash of the identifying fields.
 from __future__ import annotations
 
 import hashlib
+import threading
 from typing import Sequence
 
 from repro.core.verification import Verification
@@ -77,6 +78,11 @@ class VerificationLog:
         #: Running totals across this instance's lifetime.
         self.written = 0
         self.duplicates_skipped = 0
+        # One consumer group can have several live members (dynamic
+        # membership), all recording through this shared sink; the
+        # probe-then-insert sequence must be atomic across them or two
+        # members replaying the same window would race the unique index.
+        self._lock = threading.Lock()
 
     @property
     def collection(self):
@@ -101,6 +107,11 @@ class VerificationLog:
         """
         if not verifications:
             return []
+        with self._lock:
+            return self._record_batch_locked(verifications, history)
+
+    def _record_batch_locked(self, verifications: Sequence[Verification],
+                             history) -> list[Verification]:
         collection = self.collection
         uids = [alarm_uid(verification.alarm) for verification in verifications]
         seen_uids = {
@@ -128,10 +139,10 @@ class VerificationLog:
                 "probability_false": verification.probability_false,
             })
         if docs:
-            # One writer per log (the consumer group's single recording
-            # path), so the existence probe above fully guards the insert:
-            # a DuplicateKeyError here would be a real invariant violation
-            # and is allowed to propagate.
+            # Writers serialize on the sink lock (a group may have several
+            # live members recording concurrently), so the existence probe
+            # above fully guards the insert: a DuplicateKeyError here would
+            # be a real invariant violation and is allowed to propagate.
             if (history is not None
                     and getattr(history, "store", None) is self.store
                     and hasattr(self.store, "insert_group")):

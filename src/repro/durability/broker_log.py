@@ -305,15 +305,20 @@ class DurableBroker(Broker):
 
     # -- offsets ---------------------------------------------------------------------
 
-    def commit(self, group: str, offsets: dict[TopicPartition, int]) -> None:
+    def commit(self, group: str, offsets: dict[TopicPartition, int],
+               generation: int | None = None) -> None:
         """Validate + apply via the base broker, then journal the offsets.
 
         The journal append is flushed but only fsynced on every
         ``offset_checkpoint_every``-th commit — the *checkpointed offsets*
-        policy.  :meth:`sync_offsets` forces a checkpoint.
+        policy.  :meth:`sync_offsets` forces a checkpoint.  A commit fenced
+        off by its group generation raises before anything is journaled.
+        Generation fences themselves are runtime membership state and are
+        not persisted: a recovered broker starts unfenced, exactly like a
+        restarted Kafka group awaiting its first rebalance.
         """
         self._check_alive()
-        super().commit(group, offsets)
+        super().commit(group, offsets, generation=generation)
         payloads = [
             json.dumps([group, tp.topic, tp.partition, offset],
                        separators=(",", ":")).encode("utf-8")

@@ -8,6 +8,20 @@ pipeline deployment::
                   checkpointed offset journal)
       store/    — DurableDocumentStore state (snapshots + journal WAL)
 
+With ``store_shards=N`` (N > 1) the store side becomes a
+:class:`~repro.cluster.sharded.ShardedDocumentStore` over N independent
+durability roots::
+
+    <root>/
+      broker/
+      store/shard-0/ ... store/shard-<N-1>/
+
+Each shard journals, snapshots and recovers on its own; ``recover()``
+re-opens all of them in parallel (one worker per shard root) and
+aggregates their replay statistics, and the sharded store's
+``restart_shard`` re-opens a single crashed shard from its root while the
+others keep serving.
+
 ``recover()`` re-opens both and reports what was restored.  The cut is
 consistent *for the pipeline's write ordering*: the consumer records each
 window's verification documents in the durable store **before** its offsets
@@ -79,14 +93,19 @@ class RecoveryManager:
 
     def __init__(self, directory: str | Path, sync: str = "batch",
                  compact_ratio: float = 4.0, min_compact_records: int = 2_000,
-                 offset_checkpoint_every: int = 8) -> None:
+                 offset_checkpoint_every: int = 8, store_shards: int = 1,
+                 shard_keys: dict[str, str] | None = None) -> None:
+        if store_shards < 1:
+            raise ValueError(f"store_shards must be >= 1, got {store_shards}")
         self.directory = Path(directory)
         self.sync = sync
         self.compact_ratio = compact_ratio
         self.min_compact_records = min_compact_records
         self.offset_checkpoint_every = offset_checkpoint_every
+        self.store_shards = store_shards
+        self.shard_keys = dict(shard_keys or {})
         self.broker: DurableBroker | None = None
-        self.store: DurableDocumentStore | None = None
+        self.store = None
         self.last_report: RecoveryReport | None = None
 
     @property
@@ -97,12 +116,47 @@ class RecoveryManager:
     def store_directory(self) -> Path:
         return self.directory / _STORE_DIR
 
+    def shard_directory(self, index: int) -> Path:
+        """Durability root of store shard ``index`` (sharded layouts only)."""
+        return self.store_directory / f"shard-{index}"
+
+    def _open_store_shard(self, index: int) -> DurableDocumentStore:
+        return DurableDocumentStore(
+            self.shard_directory(index),
+            compact_ratio=self.compact_ratio,
+            min_compact_records=self.min_compact_records,
+            sync=self.sync,
+        )
+
+    def _open_store(self):
+        if self.store_shards == 1:
+            return DurableDocumentStore(
+                self.store_directory,
+                compact_ratio=self.compact_ratio,
+                min_compact_records=self.min_compact_records,
+                sync=self.sync,
+            )
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.cluster.sharded import ShardedDocumentStore
+
+        # Shard roots are independent, so their WAL replays and snapshot
+        # loads overlap — recovery latency stays near one shard's, not N's.
+        with ThreadPoolExecutor(max_workers=self.store_shards) as pool:
+            stores = list(pool.map(self._open_store_shard, range(self.store_shards)))
+        return ShardedDocumentStore(
+            stores=stores,
+            shard_keys=self.shard_keys,
+            reopen=self._open_store_shard,
+        )
+
     def recover(self) -> RecoveryReport:
         """(Re)open the durable broker and store; returns the report.
 
         The freshly recovered instances are available as :attr:`broker` and
         :attr:`store` afterwards (previous instances, e.g. crashed ones, are
-        abandoned — exactly like a restarted process).
+        abandoned — exactly like a restarted process).  In a sharded layout
+        the store-side statistics are summed over the shards.
         """
         import time
 
@@ -111,21 +165,18 @@ class RecoveryManager:
             self.broker_directory,
             offset_checkpoint_every=self.offset_checkpoint_every,
         )
-        store = DurableDocumentStore(
-            self.store_directory,
-            compact_ratio=self.compact_ratio,
-            min_compact_records=self.min_compact_records,
-            sync=self.sync,
-        )
+        store = self._open_store()
+        shard_stores = store.shards if self.store_shards > 1 else [store]
         report = RecoveryReport(
             broker_records=broker.recovered_records,
             broker_offsets=broker.recovered_offsets,
             topics=broker.topics(),
-            snapshot_documents=store.snapshot_documents,
-            store_ops_replayed=store.replayed_ops,
-            store_ops_deduplicated=store.deduplicated_ops,
-            snapshot_lsn=store.snapshot_lsn,
-            truncated_bytes=broker.truncated_bytes + store.truncated_bytes,
+            snapshot_documents=sum(s.snapshot_documents for s in shard_stores),
+            store_ops_replayed=sum(s.replayed_ops for s in shard_stores),
+            store_ops_deduplicated=sum(s.deduplicated_ops for s in shard_stores),
+            snapshot_lsn=max(s.snapshot_lsn for s in shard_stores),
+            truncated_bytes=broker.truncated_bytes
+            + sum(s.truncated_bytes for s in shard_stores),
             seconds=time.perf_counter() - started,
         )
         self.broker = broker

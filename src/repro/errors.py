@@ -44,6 +44,15 @@ class RebalanceError(StreamingError):
     """A consumer-group rebalance could not be completed."""
 
 
+class FencedGenerationError(StreamingError):
+    """A commit carried a consumer-group generation older than the fenced one.
+
+    Raised when a zombie consumer — one that missed a rebalance — tries to
+    commit offsets under a generation the group coordinator has already
+    superseded.  The commit is rejected so the stale member cannot clobber
+    the offsets of the partition's new owner."""
+
+
 class StorageError(ReproError):
     """Base class for errors raised by the document store."""
 

@@ -44,7 +44,9 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
 from repro.errors import (
+    FencedGenerationError,
     OffsetOutOfRangeError,
+    RebalanceError,
     UnknownPartitionError,
     UnknownTopicError,
 )
@@ -214,6 +216,10 @@ class Broker:
         # committed[(group, TopicPartition)] = next offset to consume
         self._committed: dict[tuple[str, TopicPartition], int] = {}
         self._committed_lock = threading.Lock()
+        # Generation fence per consumer group (see fence_group): commits
+        # from generations below the fence are rejected.  Shares
+        # _committed_lock so a fence bump and a racing commit serialize.
+        self._group_generations: dict[str, int] = {}
         # Broker-wide change notification: version bumps on append / commit /
         # delete so waiters can block instead of sleep-polling.  The waiter
         # count gates the notify: with nobody waiting (the hot produce path)
@@ -406,8 +412,40 @@ class Broker:
 
     # -- consumer-group offsets ------------------------------------------------
 
-    def commit(self, group: str, offsets: dict[TopicPartition, int]) -> None:
-        """Record ``offsets`` (next offset to consume) for consumer ``group``."""
+    def fence_group(self, group: str, generation: int) -> None:
+        """Raise the commit fence of ``group`` to ``generation``.
+
+        Called by a group coordinator at every rebalance.  From then on a
+        commit for ``group`` must carry a generation ``>= generation`` or it
+        raises :class:`FencedGenerationError` — the Kafka-style zombie
+        fence: a consumer that missed the rebalance cannot clobber the
+        offsets of the partitions' new owners.  Generations must move
+        strictly forward.
+        """
+        with self._committed_lock:
+            current = self._group_generations.get(group)
+            if current is not None and generation <= current:
+                raise RebalanceError(
+                    f"group {group!r} generation must move forward "
+                    f"(fenced at {current}, got {generation})"
+                )
+            self._group_generations[group] = generation
+
+    def group_generation(self, group: str) -> int | None:
+        """The fenced generation of ``group`` (None when never fenced)."""
+        with self._committed_lock:
+            return self._group_generations.get(group)
+
+    def commit(self, group: str, offsets: dict[TopicPartition, int],
+               generation: int | None = None) -> None:
+        """Record ``offsets`` (next offset to consume) for consumer ``group``.
+
+        ``generation`` is the committer's consumer-group generation.  For a
+        group that was never fenced (static assignment) it is ignored; once
+        a coordinator has fenced the group, any commit whose generation is
+        missing or below the fence raises :class:`FencedGenerationError`
+        and changes nothing.
+        """
         for tp, offset in offsets.items():
             end = self._log(tp.topic, tp.partition).end_offset()
             if offset < 0 or offset > end:
@@ -415,6 +453,15 @@ class Broker:
                     f"cannot commit offset {offset} for {tp} (log end {end})"
                 )
         with self._committed_lock:
+            # The fence check shares the lock with fence_group, so a commit
+            # racing a rebalance either lands before the bump (old owner,
+            # still legitimate) or observes the new fence and is rejected.
+            fence = self._group_generations.get(group)
+            if fence is not None and (generation is None or generation < fence):
+                raise FencedGenerationError(
+                    f"commit for group {group!r} carries generation "
+                    f"{generation!r} but the group is fenced at {fence}"
+                )
             # Re-validate existence under the lock: delete_topic purges this
             # map under the same lock after unregistering the topic, so a
             # commit racing a delete either lands before the purge (and is

@@ -91,8 +91,12 @@ class Consumer:
         self._auto_offset_reset = auto_offset_reset
         self._positions: dict[TopicPartition, int] = {}
         self._assignment: list[TopicPartition] = []
+        self._generation: int | None = None
         self._closed = False
         self._lock = threading.Lock()
+        # Rotates the partition a fetch sweep starts from, so small
+        # max_records caps do not starve high-numbered partitions.
+        self._sweep_start = 0
 
     @property
     def group(self) -> str:
@@ -111,11 +115,21 @@ class Consumer:
         partitions = self._broker.partitions_for(topic)
         self.assign(assign_partitions(partitions, num_members, member_index))
 
-    def assign(self, partitions: list[TopicPartition]) -> None:
-        """Explicitly assign ``partitions``; resets positions from committed offsets."""
+    def assign(self, partitions: list[TopicPartition],
+               generation: int | None = None) -> None:
+        """Explicitly assign ``partitions``; resets positions from committed offsets.
+
+        ``generation`` is the consumer-group generation this assignment
+        belongs to (set by a
+        :class:`~repro.cluster.coordinator.GroupCoordinator`); it rides
+        every subsequent :meth:`commit` so the broker can fence commits
+        from superseded generations.  ``None`` keeps static-assignment
+        semantics (no fencing).
+        """
         with self._lock:
             self._check_open()
             self._assignment = sorted(partitions)
+            self._generation = generation
             self._positions = {}
             for tp in self._assignment:
                 committed = self._broker.committed(self._group, tp)
@@ -129,11 +143,20 @@ class Consumer:
     def assignment(self) -> list[TopicPartition]:
         """Currently assigned partitions."""
         with self._lock:
+            self._check_open()
             return list(self._assignment)
+
+    @property
+    def generation(self) -> int | None:
+        """Group generation of the current assignment (None when static)."""
+        with self._lock:
+            self._check_open()
+            return self._generation
 
     def position(self, tp: TopicPartition) -> int:
         """Next offset this consumer will fetch from ``tp``."""
         with self._lock:
+            self._check_open()
             try:
                 return self._positions[tp]
             except KeyError:
@@ -179,14 +202,50 @@ class Consumer:
                 return RecordBatch.empty()
 
     def _fetch_available(self, max_records: int) -> RecordBatch:
-        """One non-blocking fetch sweep over the assignment (lock held)."""
-        per_partition = max(1, max_records // len(self._assignment))
+        """One non-blocking fetch sweep over the assignment (lock held).
+
+        ``max_records`` is a hard global cap: the quota is divided across
+        the assignment (remainder spread one-by-one), and quota left unused
+        by drained partitions is handed to partitions that still have data
+        in a second sweep.  The sweep's starting partition rotates between
+        polls so a cap smaller than the assignment cannot starve the
+        high-numbered partitions.
+        """
+        assignment = self._assignment
+        n = len(assignment)
+        remaining = max_records
         fetched: dict[TopicPartition, list[Record]] = {}
-        for tp in self._assignment:
-            records = self._broker.fetch(tp, self._positions[tp], per_partition)
+        if remaining <= 0:
+            return RecordBatch(fetched)
+        start = self._sweep_start % n
+        self._sweep_start = (start + 1) % n
+        order = assignment[start:] + assignment[:start]
+        base, extra = divmod(remaining, n)
+        exhausted: set[TopicPartition] = set()
+        for i, tp in enumerate(order):
+            if remaining <= 0:
+                break
+            quota = min(remaining, base + (1 if i < extra else 0))
+            if quota <= 0:
+                continue
+            records = self._broker.fetch(tp, self._positions[tp], quota)
             if records:
                 fetched[tp] = records
                 self._positions[tp] = records[-1].offset + 1
+                remaining -= len(records)
+            if len(records) < quota:
+                exhausted.add(tp)  # at log end; skip in the second sweep
+        if remaining > 0:
+            for tp in order:
+                if remaining <= 0:
+                    break
+                if tp in exhausted:
+                    continue
+                records = self._broker.fetch(tp, self._positions[tp], remaining)
+                if records:
+                    fetched.setdefault(tp, []).extend(records)
+                    self._positions[tp] = records[-1].offset + 1
+                    remaining -= len(records)
         return RecordBatch(fetched)
 
     def poll_values(self, max_records: int = 500,
@@ -228,20 +287,29 @@ class Consumer:
     # -- commit -----------------------------------------------------------------
 
     def commit(self) -> dict[TopicPartition, int]:
-        """Commit current positions for the group; returns what was committed."""
+        """Commit current positions for the group; returns what was committed.
+
+        The commit carries the assignment's group generation (when one was
+        set by :meth:`assign`), so a consumer holding a superseded
+        assignment gets :class:`~repro.errors.FencedGenerationError`
+        instead of clobbering the new owners' offsets.
+        """
         with self._lock:
             self._check_open()
             offsets = dict(self._positions)
-            self._broker.commit(self._group, offsets)
+            self._broker.commit(self._group, offsets, generation=self._generation)
             return offsets
 
     def committed(self, tp: TopicPartition) -> int | None:
         """The group's committed next-offset on ``tp`` (None if never committed)."""
+        with self._lock:
+            self._check_open()
         return self._broker.committed(self._group, tp)
 
     def lag(self) -> dict[TopicPartition, int]:
         """Records remaining per assigned partition (end offset - position)."""
         with self._lock:
+            self._check_open()
             return {
                 tp: self._broker.end_offset(tp) - self._positions[tp]
                 for tp in self._assignment

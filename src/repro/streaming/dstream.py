@@ -74,15 +74,26 @@ class StreamingContext:
         Payload serializer shared with the consumer.
     max_batch_size:
         Maximum records drained into one micro-batch.
+    coordinator, member_id:
+        When a :class:`~repro.cluster.coordinator.GroupCoordinator` is
+        given, the context joins it as ``member_id`` instead of statically
+        subscribing to every partition: the coordinator deals this context
+        its share of the topic and re-deals (with a bumped, fenced
+        generation) whenever membership changes.
     """
 
     def __init__(self, broker: Broker, topic: str, group: str,
                  serializer: Serializer | None = None,
-                 max_batch_size: int = 10_000) -> None:
+                 max_batch_size: int = 10_000,
+                 coordinator: Any | None = None,
+                 member_id: str | None = None) -> None:
         self._broker = broker
         self._topic = topic
         self._consumer = Consumer(broker, group, serializer=serializer)
-        self._consumer.subscribe(topic)
+        if coordinator is not None:
+            coordinator.join(member_id or f"member-{id(self):x}", self._consumer)
+        else:
+            self._consumer.subscribe(topic)
         self._batch_index = 0
         self.history: list[BatchStats] = []
 

@@ -13,7 +13,13 @@ micro-batch engine in :mod:`repro.streaming.dstream` windows by
 
 Windows are aligned to the epoch (window ``k`` covers
 ``[k*size, (k+1)*size)`` for tumbling), so assignments are deterministic
-and independent of the data seen so far.
+and independent of the data seen so far.  Window bounds are always derived
+from the *integer* window index ``k`` — never by accumulating or scaling
+the raw timestamp — so every timestamp inside one mathematical window
+produces the bit-identical :class:`Window` value.  With non-integer sizes
+(0.1, 0.3, ...) the old ``floor(ts / size) * size`` arithmetic drifted in
+the last float ulps, splitting one logical window into several distinct
+dict keys in :func:`windowed_counts`.
 """
 
 from __future__ import annotations
@@ -43,6 +49,22 @@ class Window:
         return self.end - self.start
 
 
+def _window_index(timestamp: float, step: float) -> int:
+    """Index ``k`` of the step-aligned window containing ``timestamp``.
+
+    ``floor(timestamp / step)`` can land one index off when the division
+    rounds across an integer (half-ulp effects with non-integer steps), so
+    the candidate is nudged until ``k * step <= timestamp < (k + 1) * step``
+    holds under the exact same float products used to build the window.
+    """
+    k = math.floor(timestamp / step)
+    if (k + 1) * step <= timestamp:
+        k += 1
+    elif k * step > timestamp:
+        k -= 1
+    return k
+
+
 class TumblingWindows:
     """Non-overlapping fixed-size windows aligned to the epoch."""
 
@@ -53,8 +75,8 @@ class TumblingWindows:
 
     def assign(self, timestamp: float) -> list[Window]:
         """The single window containing ``timestamp``."""
-        start = math.floor(timestamp / self.size) * self.size
-        return [Window(start, start + self.size)]
+        k = _window_index(timestamp, self.size)
+        return [Window(k * self.size, (k + 1) * self.size)]
 
 
 class SlidingWindows:
@@ -76,12 +98,11 @@ class SlidingWindows:
 
     def assign(self, timestamp: float) -> list[Window]:
         """All windows whose interval covers ``timestamp``."""
-        last_start = math.floor(timestamp / self.slide) * self.slide
+        j = _window_index(timestamp, self.slide)
         windows = []
-        start = last_start
-        while start + self.size > timestamp:
-            windows.append(Window(start, start + self.size))
-            start -= self.slide
+        while j * self.slide + self.size > timestamp:
+            windows.append(Window(j * self.slide, j * self.slide + self.size))
+            j -= 1
         windows.reverse()
         return windows
 

@@ -45,10 +45,12 @@ from typing import Any
 
 import numpy as np
 
+from repro.cluster.coordinator import GroupCoordinator
+from repro.cluster.sharded import ShardedDocumentStore
 from repro.core.consumer_app import ConsumerApplication, ConsumerRunReport
 from repro.core.verification_log import VerificationLog
 from repro.durability.recovery import RecoveryManager, RecoveryReport
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FencedGenerationError
 from repro.core.history import AlarmHistory
 from repro.core.labeling import label_alarms
 from repro.core.verification import ALARM_FEATURES, VerificationService
@@ -63,7 +65,16 @@ from repro.streaming.serializers import serializer_by_name
 from repro.workload.opsmetrics import OpsMetrics, OpsSummary, PRODUCED_AT_KEY
 from repro.workload.scenario import Scenario
 
-__all__ = ["LoadDriver", "LoadTestReport", "ScheduledEvent"]
+__all__ = ["LoadDriver", "LoadTestReport", "ScheduledEvent", "PIPELINE_SHARD_KEYS"]
+
+#: Routing fields for the pipeline's sharded collections: alarms co-locate
+#: per device (the history histogram is a per-device query), verification
+#: documents co-locate per alarm uid so the per-shard unique index on
+#: ``alarm_uid`` is globally unique.
+PIPELINE_SHARD_KEYS = {
+    "alarms": "device_address",
+    "verifications": "alarm_uid",
+}
 
 
 
@@ -101,6 +112,13 @@ class LoadTestReport:
     recoveries: list[RecoveryReport] = field(default_factory=list)
     duplicates_skipped: int = 0
     verified_unique: int | None = None
+    #: Cluster extras: store shards backing the run, concurrent consumers,
+    #: coordinator rebalances performed (joins/leaves during churn), and
+    #: one stats dict per single-shard outage recovered mid-run.
+    shards: int = 1
+    consumers: int = 1
+    rebalances: int = 0
+    shard_recoveries: list[dict[str, Any]] = field(default_factory=list)
 
 
 class LoadDriver:
@@ -128,6 +146,20 @@ class LoadDriver:
     offset_checkpoint_every:
         Durable-broker offset checkpoint interval (fsync every N commits);
         smaller values shrink the re-processing window after a crash.
+    shards:
+        Store shards backing the alarm history and verification log.  With
+        ``shards > 1`` the pipeline writes through a
+        :class:`~repro.cluster.sharded.ShardedDocumentStore` (durable runs
+        get one durability root per shard and recover them independently).
+        Required >= 2 for scenarios containing ``shard_outage`` faults
+        (which also need ``durable_dir``).
+    consumers:
+        Concurrent consumer-group members draining the topic.  More than
+        one — or any ``consumer_churn`` fault — switches the consume side
+        to dynamic membership under a
+        :class:`~repro.cluster.coordinator.GroupCoordinator` with
+        generation-fenced commits, and attaches the idempotent
+        verification sink so rebalance re-processing stays exactly-once.
     """
 
     def __init__(self, scenario: Scenario, seed: int | None = None,
@@ -136,9 +168,14 @@ class LoadDriver:
                  history: AlarmHistory | None = None,
                  ops: OpsMetrics | None = None,
                  durable_dir: str | Path | None = None,
-                 offset_checkpoint_every: int = 8) -> None:
+                 offset_checkpoint_every: int = 8,
+                 shards: int = 1, consumers: int = 1) -> None:
         if speedup <= 0:
             raise ConfigurationError(f"speedup must be > 0, got {speedup}")
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        if consumers < 1:
+            raise ConfigurationError(f"consumers must be >= 1, got {consumers}")
         self.scenario = scenario
         self.seed = scenario.seed if seed is None else seed
         if self.seed < 0:
@@ -167,12 +204,42 @@ class LoadDriver:
                 "durable runs build their history on the durable store; "
                 "an injected history= cannot be made crash-safe"
             )
+        self.shards = shards
+        self.consumers = consumers
+        # Any churn fault (or a multi-member group) moves the consume side
+        # to coordinator-managed dynamic membership.
+        self._cluster_consume = consumers > 1 or any(
+            fault.kind == "consumer_churn" for fault in scenario.faults
+        )
+        if shards > 1 and history is not None:
+            raise ConfigurationError(
+                "sharded runs build their history on the sharded store; "
+                "an injected history= cannot be sharded"
+            )
+        for fault in scenario.faults:
+            if fault.kind != "shard_outage":
+                continue
+            if self.durable_dir is None or shards < 2:
+                raise ConfigurationError(
+                    "scenario contains a shard_outage fault, which needs the "
+                    "sharded durable pipeline: pass shards>=2 and durable_dir= "
+                    "(CLI: --shards N --durable DIR)"
+                )
+            shard = int(fault.params.get("shard", 0))
+            if shard >= shards:
+                raise ConfigurationError(
+                    f"shard_outage names shard {shard} but the run has "
+                    f"only {shards} shards"
+                )
         self.offset_checkpoint_every = offset_checkpoint_every
-        #: Durable-mode handles of the most recent :meth:`run` (None in
-        #: memory-only mode): the recovery manager owning broker + store,
-        #: and the idempotent verification sink.
+        #: Handles of the most recent :meth:`run`: the recovery manager
+        #: owning broker + store (durable mode only), the idempotent
+        #: verification sink (durable and cluster runs), and the store
+        #: backing history + verifications (a
+        #: :class:`ShardedDocumentStore` when ``shards > 1``).
         self.recovery_manager: RecoveryManager | None = None
         self.verification_log: VerificationLog | None = None
+        self.store: Any = None
         self._injected_ops = ops
         #: The metrics of the most recent :meth:`run` (an injected instance,
         #: or a fresh one per run so repeated runs never mix windows).
@@ -340,10 +407,44 @@ class LoadDriver:
             doc[PRODUCED_AT_KEY] = time.perf_counter()
             producer.send(self.topic, doc, key=doc["device_address"])
 
+    def _phase_fault_actions(
+        self, span: tuple[float, float]
+    ) -> list[tuple[float, str, Any]]:
+        """Timed cluster-fault actions falling inside one phase's span.
+
+        Returns ``(virtual_time, action_kind, fault)`` triples sorted by
+        time.  Churn windows are clamped to the span (a window straddling a
+        ``process_crash`` point releases its members at the crash).
+        """
+        span_start, span_end = span
+        actions: list[tuple[float, str, Any]] = []
+        for index, fault in enumerate(self.scenario.faults):
+            if not span_start <= fault.start < span_end:
+                continue
+            if fault.kind == "consumer_churn":
+                actions.append((fault.start, "join", index))
+                actions.append((min(fault.end, span_end), "leave", index))
+            elif fault.kind == "shard_outage":
+                actions.append((fault.start, "outage", index))
+        actions.sort(key=lambda entry: entry[0])
+        return actions
+
     def _run_phase(self, phase_events: list[ScheduledEvent], broker: Broker,
-                   group: str, consumer: ConsumerApplication,
-                   max_batch_records: int | None) -> list[ProducerStats]:
-        """Replay one contiguous slice of the timeline and drain it."""
+                   group: str, make_consumer: Any, store: Any,
+                   max_batch_records: int | None,
+                   span: tuple[float, float]) -> list[ProducerStats]:
+        """Replay one contiguous slice of the timeline and drain it.
+
+        ``make_consumer(coordinator=None, member_id=None)`` builds a
+        :class:`ConsumerApplication` wired to the phase's (possibly just
+        recovered) components.  Without churn faults or a multi-member
+        group this is the classic path: producers on threads, one consumer
+        draining in the calling thread.  Otherwise the consume side runs as
+        a dynamic consumer group: ``self.consumers`` base members plus the
+        phase's churn members, joining and leaving through a
+        :class:`GroupCoordinator` while a fault thread fires the scheduled
+        membership changes and shard outages at their virtual times.
+        """
         scenario = self.scenario
         per_producer: list[list[ScheduledEvent]] = [
             [] for _ in range(scenario.producers)
@@ -354,7 +455,8 @@ class LoadDriver:
             Producer(broker, serializer=serializer_by_name(scenario.serializer))
             for _ in range(scenario.producers)
         ]
-        base_time = phase_events[0].time if phase_events else 0.0
+        base_time = phase_events[0].time if phase_events else span[0]
+        actions = self._phase_fault_actions(span)
         wall_start = time.perf_counter()
         threads = [
             threading.Thread(
@@ -370,14 +472,142 @@ class LoadDriver:
         def producers_done() -> bool:
             return not any(thread.is_alive() for thread in threads)
 
-        report = consumer.drain_until(producers_done, max_records=max_batch_records)
-        self._phase_reports.append(report)
+        if not self._cluster_consume and not actions:
+            # Classic static-assignment path: one consumer, calling thread.
+            report = make_consumer().drain_until(
+                producers_done, max_records=max_batch_records
+            )
+            self._phase_reports.append(report)
+        else:
+            self._run_cluster_consumers(
+                broker, group, make_consumer, store, max_batch_records,
+                producers_done, actions, wall_start, base_time,
+            )
         for thread in threads:
             thread.join()
         stats = [producer.stats for producer in producers]
         for producer in producers:
             producer.close()
         return stats
+
+    def _run_cluster_consumers(self, broker: Broker, group: str,
+                               make_consumer: Any, store: Any,
+                               max_batch_records: int | None,
+                               producers_done: Any,
+                               actions: list[tuple[float, str, Any]],
+                               wall_start: float, base_time: float) -> None:
+        """Drain one phase with dynamic group membership and fault timers."""
+        scenario = self.scenario
+        coordinator = (
+            GroupCoordinator(broker, self.topic, group)
+            if self._cluster_consume else None
+        )
+        faults_done = threading.Event()
+        report_lock = threading.Lock()
+        member_reports: list[ConsumerRunReport] = []
+
+        def run_member(app: ConsumerApplication, done: Any) -> None:
+            report = ConsumerRunReport()
+            while True:
+                try:
+                    app.drain_until(done, max_records=max_batch_records,
+                                    report=report)
+                except FencedGenerationError:
+                    # A rebalance superseded this member's generation while
+                    # a commit was in flight.  Its uncommitted tail belongs
+                    # to the partitions' new owners now (the idempotent
+                    # sink deduplicates the overlap); keep draining under
+                    # the assignment the coordinator just handed us,
+                    # accumulating into the same report.
+                    continue
+                break
+            with report_lock:
+                member_reports.append(report)
+
+        def base_done() -> bool:
+            return producers_done() and faults_done.is_set()
+
+        if coordinator is None:
+            member_apps = [make_consumer()]
+        else:
+            member_apps = [
+                make_consumer(coordinator, f"static-{i}")
+                for i in range(self.consumers)
+            ]
+        consumer_threads = [
+            threading.Thread(target=run_member, args=(app, base_done),
+                             name=f"consume-{i}")
+            for i, app in enumerate(member_apps)
+        ]
+        for thread in consumer_threads:
+            thread.start()
+
+        churn_threads: list[threading.Thread] = []
+        churn_members: dict[int, list[tuple[str, threading.Event]]] = {}
+        action_errors: list[BaseException] = []
+
+        def execute_actions() -> None:
+            try:
+                for virtual_time, kind, fault_index in actions:
+                    target = wall_start + (virtual_time - base_time) / self.speedup
+                    delay = target - time.perf_counter()
+                    if delay > 0:
+                        time.sleep(delay)
+                    fault = scenario.faults[fault_index]
+                    if kind == "join":
+                        count = int(fault.params.get("consumers", 1))
+                        members = []
+                        for j in range(count):
+                            member_id = f"churn-{fault_index}-{j}"
+                            left = threading.Event()
+                            app = make_consumer(coordinator, member_id)
+                            thread = threading.Thread(
+                                target=run_member, args=(app, left.is_set),
+                                name=member_id,
+                            )
+                            members.append((member_id, left))
+                            churn_threads.append(thread)
+                            thread.start()
+                        churn_members[fault_index] = members
+                    elif kind == "leave":
+                        for member_id, left in churn_members.pop(fault_index, []):
+                            coordinator.leave(member_id)
+                            left.set()
+                    elif kind == "outage":
+                        shard = int(fault.params.get("shard", 0))
+                        recovery = store.restart_shard(shard)
+                        with self._bp_lock:
+                            self._shard_recoveries.append(recovery)
+            except BaseException as exc:  # re-raised after the threads unwind
+                action_errors.append(exc)
+            finally:
+                # Whatever happened, release every drain loop: churn members
+                # whose scheduled leave never ran (an earlier action raised)
+                # must not be left draining forever — that would wedge the
+                # joins below instead of surfacing the error.
+                for members in churn_members.values():
+                    for _member_id, left in members:
+                        left.set()
+                faults_done.set()
+
+        if actions:
+            fault_thread = threading.Thread(target=execute_actions, name="faults")
+            fault_thread.start()
+        else:
+            fault_thread = None
+            faults_done.set()
+
+        if fault_thread is not None:
+            fault_thread.join()
+        for thread in consumer_threads:
+            thread.join()
+        for thread in churn_threads:
+            thread.join()
+        if coordinator is not None:
+            self._rebalances += coordinator.rebalances
+        self._phase_reports.append(self._merge_consumer_reports(member_reports))
+        if action_errors:
+            raise action_errors[0]
 
     @staticmethod
     def _split_phases(timeline: list[ScheduledEvent],
@@ -442,6 +672,8 @@ class LoadDriver:
         self.ops = ops
         self._backpressure_waits = 0
         self._phase_reports: list[ConsumerRunReport] = []
+        self._rebalances = 0
+        self._shard_recoveries: list[dict[str, Any]] = []
 
         recoveries: list[RecoveryReport] = []
         verification_log: VerificationLog | None = None
@@ -449,13 +681,30 @@ class LoadDriver:
             manager = RecoveryManager(
                 self.durable_dir,
                 offset_checkpoint_every=self.offset_checkpoint_every,
+                store_shards=self.shards,
+                shard_keys=PIPELINE_SHARD_KEYS,
             )
             manager.recover()
             self.recovery_manager = manager
             broker, history, verification_log = self._open_durable_components(manager)
+            store = manager.store
         else:
             broker = Broker()
-            history = self.history if self.history is not None else AlarmHistory()
+            if self.shards > 1:
+                store = ShardedDocumentStore(
+                    num_shards=self.shards, shard_keys=PIPELINE_SHARD_KEYS
+                )
+                history = AlarmHistory(store=store)
+            else:
+                history = self.history if self.history is not None else AlarmHistory()
+                store = history.store
+            if self.shards > 1 or self._cluster_consume:
+                # Cluster runs re-process windows across rebalances; the
+                # idempotent sink is what keeps them exactly-once, so it is
+                # attached even without durability.
+                verification_log = VerificationLog(store)
+                self.verification_log = verification_log
+        self.store = store
         if scenario.dataset.preload_history and not (durable and len(history)):
             history.record_batch(self._generator.generate(
                 scenario.dataset.preload_history, seed_offset=13
@@ -465,17 +714,28 @@ class LoadDriver:
         group = f"{self.topic}-consumer"
         serializer = serializer_by_name(scenario.serializer)
         phases = self._split_phases(timeline, crash_points)
+        spans = list(zip(
+            [0.0] + crash_points, crash_points + [float("inf")]
+        ))
 
         stats: list[ProducerStats] = []
         wall_start = time.perf_counter()
         for phase_index, phase_events in enumerate(phases):
-            consumer = ConsumerApplication(
-                broker, self.topic, group, service, history=history,
-                serializer=serializer, verification_log=verification_log,
-                on_window=self.ops.observe_window,
-            )
+            def make_consumer(coordinator: Any = None,
+                              member_id: str | None = None,
+                              _history: AlarmHistory = history,
+                              _log: VerificationLog | None = verification_log,
+                              _broker: Broker = broker) -> ConsumerApplication:
+                return ConsumerApplication(
+                    _broker, self.topic, group, service, history=_history,
+                    serializer=serializer, verification_log=_log,
+                    on_window=self.ops.observe_window,
+                    coordinator=coordinator, member_id=member_id,
+                )
+
             stats.extend(self._run_phase(
-                phase_events, broker, group, consumer, max_batch_records
+                phase_events, broker, group, make_consumer, store,
+                max_batch_records, spans[phase_index],
             ))
             if phase_index < len(phases) - 1:
                 # The process_crash fault fires: every byte not yet fsynced
@@ -486,6 +746,8 @@ class LoadDriver:
                 recoveries.append(manager.recover())
                 broker, history, verification_log = \
                     self._open_durable_components(manager)
+                store = manager.store
+                self.store = store
         wall_seconds = time.perf_counter() - wall_start
         if durable:
             manager.close()
@@ -521,4 +783,8 @@ class LoadDriver:
             verified_unique=(
                 verification_log.count() if verification_log is not None else None
             ),
+            shards=self.shards,
+            consumers=self.consumers,
+            rebalances=self._rebalances,
+            shard_recoveries=list(self._shard_recoveries),
         )

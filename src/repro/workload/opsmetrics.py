@@ -30,6 +30,7 @@ across runs (or reloaded from disk) keeps each run's report separate.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 from typing import Any, Sequence
@@ -97,16 +98,22 @@ class OpsMetrics:
         self._false_count = 0
         self._started_at: float | None = None
         self._finished_at: float | None = None
+        # Several consumers of one group (cluster mode) observe windows
+        # concurrently; the running totals and the window counter must
+        # update atomically.
+        self._observe_lock = threading.Lock()
 
     # -- observation -----------------------------------------------------------
 
     def observe_window(self, verifications: Sequence[Verification],
                        batch: Any = None) -> dict[str, Any]:
-        """Record one consumer window; returns the stored window document."""
+        """Record one consumer window; returns the stored window document.
+
+        Thread-safe: windows reported concurrently by several consumers of
+        one group (dynamic-membership cluster runs) serialize on an
+        internal lock, so counters and window numbering stay consistent.
+        """
         now = time.perf_counter()
-        if self._started_at is None:
-            self._started_at = now
-        self._finished_at = now
         latencies = [
             now - float(v.alarm.extras[PRODUCED_AT_KEY])
             for v in verifications
@@ -114,29 +121,33 @@ class OpsMetrics:
         ]
         false_count = sum(1 for v in verifications if v.is_false)
         count = len(verifications)
-        self.alarms += count
-        self._false_count += false_count
-        self._latencies.extend(latencies)
         if latencies:
             arr = np.asarray(latencies)
             p50, p95, p99 = (float(p) for p in np.percentile(arr, (50, 95, 99)))
             mean = float(arr.mean())
         else:
             p50 = p95 = p99 = mean = 0.0
-        doc = {
-            "run": self.run,
-            "window": self.windows,
-            "count": count,
-            "false_rate": false_count / count if count else 0.0,
-            "latency_mean": mean,
-            "latency_p50": p50,
-            "latency_p95": p95,
-            "latency_p99": p99,
-            "sla_ok": p95 <= self.sla_p95_seconds,
-            "observed_at": now,
-        }
-        self.collection.insert_one(doc)
-        self.windows += 1
+        with self._observe_lock:
+            if self._started_at is None:
+                self._started_at = now
+            self._finished_at = max(self._finished_at or now, now)
+            self.alarms += count
+            self._false_count += false_count
+            self._latencies.extend(latencies)
+            doc = {
+                "run": self.run,
+                "window": self.windows,
+                "count": count,
+                "false_rate": false_count / count if count else 0.0,
+                "latency_mean": mean,
+                "latency_p50": p50,
+                "latency_p95": p95,
+                "latency_p99": p99,
+                "sla_ok": p95 <= self.sla_p95_seconds,
+                "observed_at": now,
+            }
+            self.collection.insert_one(doc)
+            self.windows += 1
         return doc
 
     # -- aggregates ------------------------------------------------------------
@@ -149,10 +160,16 @@ class OpsMetrics:
         return self._finished_at - self._started_at
 
     def throughput(self) -> float:
-        """Verified alarms per second of observed wall time."""
+        """Verified alarms per second of observed wall time.
+
+        With fewer than two observed windows there is no elapsed interval
+        to divide by, so the rate is reported as ``0.0`` — returning the
+        raw alarm count (the old behaviour) made a single-window run look
+        like an absurd alarms-per-second figure.
+        """
         elapsed = self.elapsed_seconds
         if elapsed <= 0:
-            return float(self.alarms)
+            return 0.0
         return self.alarms / elapsed
 
     def latency_percentiles(self) -> dict[str, float]:
@@ -233,14 +250,25 @@ class OpsMetrics:
         return trend
 
     def trend_direction(self) -> str:
-        """``rising`` / ``falling`` / ``stable`` false-rate over the run."""
+        """``rising`` / ``falling`` / ``stable`` false-rate over the run.
+
+        Each half's rate is the *alarm-weighted* aggregate
+        ``sum(false) / sum(alarms)``, not the mean of per-window rates: an
+        unweighted mean would let a 1-alarm window outvote a 1000-alarm
+        window and flip the reported direction on skewed traffic.
+        """
         docs = self.collection.find({"run": self.run}, sort="window",
                                     projection=["false_rate", "count"])
-        rates = [d["false_rate"] for d in docs if d["count"] > 0]
-        if len(rates) < 2:
+        pairs = [(d["false_rate"], d["count"]) for d in docs if d["count"] > 0]
+        if len(pairs) < 2:
             return "stable"
-        half = len(rates) // 2
-        first, second = np.mean(rates[:half]), np.mean(rates[half:])
+        half = len(pairs) // 2
+
+        def weighted_rate(chunk: list[tuple[float, int]]) -> float:
+            alarms = sum(count for _rate, count in chunk)
+            return sum(rate * count for rate, count in chunk) / alarms
+
+        first, second = weighted_rate(pairs[:half]), weighted_rate(pairs[half:])
         if second - first > _TREND_TOLERANCE:
             return "rising"
         if first - second > _TREND_TOLERANCE:

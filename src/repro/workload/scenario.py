@@ -21,6 +21,16 @@ Fault kinds understood by the load driver:
   upstream and flushed after the restart.  Requires the durable pipeline
   (``LoadDriver(durable_dir=...)``) — a crash without durability would
   simply lose the run.
+* ``consumer_churn`` — ``params["consumers"]`` extra consumers join the
+  consumer group at ``start`` and leave at ``end``; each membership change
+  is a generation-bumped, offset-fenced rebalance through the
+  :class:`~repro.cluster.coordinator.GroupCoordinator`.  Events are
+  untouched — the fault stresses the group protocol, and the idempotent
+  verification sink must keep the run exactly-once across the handovers.
+* ``shard_outage`` — store shard ``params["shard"]`` crashes at ``start``
+  (losing its un-fsynced bytes) and is immediately recovered from its own
+  durability root while the other shards keep serving.  Requires the
+  sharded durable pipeline (``LoadDriver(shards=N, durable_dir=...)``).
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ __all__ = ["DatasetSpec", "FaultInjection", "Scenario"]
 
 _FAULT_KINDS = (
     "region_outage", "duplicate_delivery", "producer_stall", "process_crash",
+    "consumer_churn", "shard_outage",
 )
 _SERIALIZERS = ("compact", "reflective")
 
@@ -160,6 +171,18 @@ class FaultInjection:
                 raise ConfigurationError(
                     f"duplicate_delivery probability must be in (0, 1], "
                     f"got {probability}"
+                )
+        if self.kind == "consumer_churn":
+            consumers = int(self.params.get("consumers", 1))
+            if consumers < 1:
+                raise ConfigurationError(
+                    f"consumer_churn consumers must be >= 1, got {consumers}"
+                )
+        if self.kind == "shard_outage":
+            shard = int(self.params.get("shard", 0))
+            if shard < 0:
+                raise ConfigurationError(
+                    f"shard_outage shard must be >= 0, got {shard}"
                 )
 
     def to_dict(self) -> dict[str, Any]:

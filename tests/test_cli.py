@@ -155,6 +155,39 @@ class TestLoadtest:
         assert code == 0
         assert "scheduled 60 events; sent 60 records" in capsys.readouterr().out
 
+    def test_shards_and_consumers_flags_run_cluster_mode(self, capsys, tmp_path):
+        from repro.workload import ConstantRate, DatasetSpec, Scenario
+        spec = Scenario(
+            name="tiny-cluster", arrivals=ConstantRate(rate=2.0), duration=30.0,
+            dataset=DatasetSpec(num_devices=50, train_alarms=200,
+                                preload_history=0),
+        )
+        path = tmp_path / "tiny.json"
+        path.write_text(spec.to_json(), encoding="utf-8")
+        code = main(["loadtest", "--scenario", str(path), "--speedup", "3000",
+                     "--shards", "2", "--consumers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[2 store shards, 2 consumers]" in out
+        assert "scheduled 60 events; sent 60 records" in out
+        assert "rebalances" in out
+
+    def test_shard_outage_without_sharded_durable_fails_cleanly(self, capsys, tmp_path):
+        from repro.workload import (
+            ConstantRate, DatasetSpec, FaultInjection, Scenario,
+        )
+        spec = Scenario(
+            name="needs-shards", arrivals=ConstantRate(rate=2.0), duration=30.0,
+            dataset=DatasetSpec(num_devices=50, train_alarms=200,
+                                preload_history=0),
+            faults=(FaultInjection(kind="shard_outage", start=10.0, end=11.0),),
+        )
+        path = tmp_path / "outage.json"
+        path.write_text(spec.to_json(), encoding="utf-8")
+        code = main(["loadtest", "--scenario", str(path)])
+        assert code == 2
+        assert "shard_outage" in capsys.readouterr().err
+
     def test_durable_flag_runs_crash_recovery_and_prints_stats(self, capsys, tmp_path):
         """--durable DIR: the scenario runs against the durable pipeline;
         with no process_crash fault in the spec one is injected mid-run,

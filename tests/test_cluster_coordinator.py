@@ -1,0 +1,168 @@
+"""Group coordinator tests: dynamic membership, generation fencing,
+rebalance handover semantics, and streaming-context integration."""
+
+import pytest
+
+from repro.cluster import GroupCoordinator
+from repro.errors import FencedGenerationError, RebalanceError
+from repro.streaming import Broker, Consumer, Producer, StreamingContext
+
+
+@pytest.fixture
+def broker():
+    b = Broker()
+    b.create_topic("alarms", num_partitions=8)
+    return b
+
+
+def fill(broker, n, topic="alarms"):
+    Producer(broker).send_many(topic, [{"i": i} for i in range(n)],
+                               key_fn=lambda v: str(v["i"]))
+
+
+class TestMembership:
+    def test_join_deals_partitions_disjoint_and_complete(self, broker):
+        coordinator = GroupCoordinator(broker, "alarms", "g")
+        consumers = {name: Consumer(broker, "g") for name in ("a", "b", "c")}
+        for name, consumer in consumers.items():
+            coordinator.join(name, consumer)
+        assignments = coordinator.assignments()
+        dealt = [tp for share in assignments.values() for tp in share]
+        assert sorted(dealt) == sorted(broker.partitions_for("alarms"))
+        assert len(dealt) == len(set(dealt))
+        for name, consumer in consumers.items():
+            assert consumer.assignment() == sorted(assignments[name])
+
+    def test_every_membership_change_bumps_the_generation(self, broker):
+        coordinator = GroupCoordinator(broker, "alarms", "g")
+        a, b = Consumer(broker, "g"), Consumer(broker, "g")
+        assert coordinator.join("a", a) == 1
+        assert coordinator.join("b", b) == 2
+        assert coordinator.leave("b") == 3
+        assert coordinator.generation == 3
+        assert broker.group_generation("g") == 3
+        assert a.generation == 3
+        assert a.assignment() == sorted(broker.partitions_for("alarms"))
+
+    def test_duplicate_join_and_unknown_leave_raise(self, broker):
+        coordinator = GroupCoordinator(broker, "alarms", "g")
+        coordinator.join("a", Consumer(broker, "g"))
+        with pytest.raises(RebalanceError):
+            coordinator.join("a", Consumer(broker, "g"))
+        with pytest.raises(RebalanceError):
+            coordinator.leave("ghost")
+
+    def test_consumer_from_another_group_is_rejected(self, broker):
+        coordinator = GroupCoordinator(broker, "alarms", "g")
+        with pytest.raises(RebalanceError):
+            coordinator.join("a", Consumer(broker, "other-group"))
+
+
+class TestGenerationFencing:
+    def test_zombie_commit_is_fenced(self, broker):
+        fill(broker, 40)
+        coordinator = GroupCoordinator(broker, "alarms", "g")
+        zombie = Consumer(broker, "g")
+        coordinator.join("zombie", zombie)
+        zombie.poll(100)
+        zombie.commit()  # current generation: fine
+
+        survivor = Consumer(broker, "g")
+        coordinator.join("survivor", survivor)
+        coordinator.leave("zombie")  # zombie keeps its stale generation
+        with pytest.raises(FencedGenerationError):
+            zombie.commit()
+
+    def test_fenced_commit_changes_nothing(self, broker):
+        fill(broker, 16)
+        coordinator = GroupCoordinator(broker, "alarms", "g")
+        old = Consumer(broker, "g")
+        coordinator.join("old", old)
+        old.poll(100)
+        new = Consumer(broker, "g")
+        coordinator.join("new", new)
+        coordinator.leave("old")
+        committed_before = {
+            tp: broker.committed("g", tp) for tp in broker.partitions_for("alarms")
+        }
+        with pytest.raises(FencedGenerationError):
+            broker.commit("g", {tp: 1 for tp in committed_before}, generation=1)
+        committed_after = {
+            tp: broker.committed("g", tp) for tp in broker.partitions_for("alarms")
+        }
+        assert committed_after == committed_before
+
+    def test_unfenced_groups_keep_static_semantics(self, broker):
+        fill(broker, 8)
+        consumer = Consumer(broker, "static-group")
+        consumer.subscribe("alarms")
+        consumer.poll(100)
+        consumer.commit()  # generation=None on an unfenced group: fine
+
+    def test_fence_must_move_forward(self, broker):
+        broker.fence_group("g", 3)
+        with pytest.raises(RebalanceError):
+            broker.fence_group("g", 3)
+        with pytest.raises(RebalanceError):
+            broker.fence_group("g", 2)
+        broker.fence_group("g", 4)
+        assert broker.group_generation("g") == 4
+
+    def test_commit_with_newer_generation_is_accepted(self, broker):
+        fill(broker, 4)
+        broker.fence_group("g", 2)
+        tp = broker.partitions_for("alarms")[0]
+        broker.commit("g", {tp: 0}, generation=5)
+        assert broker.committed("g", tp) == 0
+
+
+class TestRebalanceHandover:
+    def test_handover_resumes_from_committed_offsets(self, broker):
+        """A new member picks up each partition exactly where the previous
+        owner committed — the uncommitted tail is re-read, never skipped."""
+        fill(broker, 40)
+        coordinator = GroupCoordinator(broker, "alarms", "g")
+        first = Consumer(broker, "g")
+        coordinator.join("first", first)
+        first_values = first.poll_values(20)
+        first.commit()
+        first.poll_values(10)  # processed but NOT committed
+
+        second = Consumer(broker, "g")
+        coordinator.join("second", second)
+        coordinator.leave("first")
+        second_values = list(second.stream_values(max_records=100))
+        seen = sorted(v["i"] for v in first_values + second_values)
+        assert seen == list(range(40))  # the uncommitted tail was re-read
+
+    def test_two_members_consume_everything_exactly_once(self, broker):
+        fill(broker, 60)
+        coordinator = GroupCoordinator(broker, "alarms", "g")
+        a, b = Consumer(broker, "g"), Consumer(broker, "g")
+        coordinator.join("a", a)
+        coordinator.join("b", b)
+        values_a = list(a.stream_values(max_records=200))
+        values_b = list(b.stream_values(max_records=200))
+        seen = sorted(v["i"] for v in values_a + values_b)
+        assert seen == list(range(60))
+        assert values_a and values_b  # both shares are non-empty
+
+
+class TestStreamingContextIntegration:
+    def test_contexts_join_instead_of_subscribing(self, broker):
+        fill(broker, 30)
+        coordinator = GroupCoordinator(broker, "alarms", "g")
+        first = StreamingContext(broker, "alarms", "g",
+                                 coordinator=coordinator, member_id="one")
+        second = StreamingContext(broker, "alarms", "g",
+                                  coordinator=coordinator, member_id="two")
+        assert coordinator.members() == ["one", "two"]
+        assert len(first.consumer.assignment()) == 4
+        assert len(second.consumer.assignment()) == 4
+
+        seen = []
+        for context in (first, second):
+            context.process_available(
+                lambda batch: seen.extend(batch.dataset.collect())
+            )
+        assert sorted(doc["i"] for doc in seen) == list(range(30))

@@ -1,0 +1,317 @@
+"""Sharded store tests: ring placement, scatter-gather equivalence,
+routing, global uniqueness via shard keys, and per-shard durability."""
+
+import random
+
+import pytest
+
+from repro.cluster import HashRing, ShardedDocumentStore
+from repro.durability import DurableDocumentStore
+from repro.durability.recovery import RecoveryManager
+from repro.errors import ConfigurationError, DuplicateKeyError, IndexError_
+from repro.storage import DocumentStore
+
+
+class TestHashRing:
+    def test_placement_is_deterministic_across_instances(self):
+        a, b = HashRing(5), HashRing(5)
+        keys = [f"dev-{i}" for i in range(500)]
+        assert [a.shard_for(k) for k in keys] == [b.shard_for(k) for k in keys]
+
+    def test_spread_is_roughly_balanced(self):
+        ring = HashRing(4)
+        spread = ring.spread([f"dev-{i}" for i in range(8000)])
+        assert set(spread) == {0, 1, 2, 3}
+        for count in spread.values():
+            assert 0.5 * 2000 < count < 1.5 * 2000
+
+    def test_resizing_moves_a_minority_of_keys(self):
+        keys = [f"dev-{i}" for i in range(2000)]
+        before = [HashRing(4).shard_for(k) for k in keys]
+        after = [HashRing(5).shard_for(k) for k in keys]
+        moved = sum(1 for b, a in zip(before, after) if b != a)
+        # Consistent hashing: ~1/5 of keys move to the new shard; modulo
+        # hashing would reshuffle ~80%.
+        assert moved < len(keys) * 0.45
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            HashRing(0)
+        with pytest.raises(ConfigurationError):
+            HashRing(2, vnodes=0)
+
+
+def make_docs(n=400, seed=3):
+    rng = random.Random(seed)
+    return [
+        {
+            "device_address": f"d{i % 23}",
+            "ts": rng.random() * 100,
+            "kind": rng.choice(["fire", "intrusion", "technical"]),
+            "i": i,
+        }
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def pair():
+    """The same documents in a 3-shard store and a single store."""
+    sharded = ShardedDocumentStore(
+        num_shards=3, shard_keys={"alarms": "device_address"}
+    )
+    single = DocumentStore()
+    docs = make_docs()
+    for store in (sharded, single):
+        coll = store.collection("alarms")
+        coll.create_index("device_address", kind="hash")
+        coll.create_index("ts", kind="sorted")
+        coll.insert_many(docs)
+    return sharded, single
+
+
+class TestScatterGatherEquivalence:
+    def test_count_is_sum_of_covered_shard_counts(self, pair):
+        sharded, single = pair
+        for filt in ({}, {"device_address": "d3"}, {"ts": {"$gte": 50.0}},
+                     {"kind": "fire"}):
+            assert sharded.collection("alarms").count(filt) == \
+                single.collection("alarms").count(filt)
+        # the equality count is covered (pure index work) on every shard
+        for shard in sharded.shards:
+            plan = shard.collection("alarms").explain({"device_address": "d3"})
+            assert plan["covered"] is True
+
+    @pytest.mark.parametrize("sort", ["ts", ("ts", -1)])
+    @pytest.mark.parametrize("limit,skip", [(None, 0), (25, 0), (10, 5)])
+    def test_sorted_find_merges_like_a_single_store(self, pair, sort, limit, skip):
+        sharded, single = pair
+        filt = {"kind": {"$in": ["fire", "intrusion"]}}
+        got = sharded.collection("alarms").find(
+            filt, sort=sort, limit=limit, skip=skip
+        )
+        want = single.collection("alarms").find(
+            filt, sort=sort, limit=limit, skip=skip
+        )
+        assert [d["i"] for d in got] == [d["i"] for d in want]
+
+    def test_unsorted_find_respects_global_limit(self, pair):
+        sharded, _single = pair
+        got = sharded.collection("alarms").find({"ts": {"$lt": 50.0}}, limit=7)
+        assert len(got) == 7
+
+    def test_distinct_unions_shards(self, pair):
+        sharded, single = pair
+        assert sharded.collection("alarms").distinct("device_address") == \
+            single.collection("alarms").distinct("device_address")
+
+    def test_aggregate_group_matches_single_store(self, pair):
+        sharded, single = pair
+        pipeline = [
+            {"$match": {"ts": {"$lt": 60.0}}},
+            {"$group": {"_id": "$kind", "n": {"$sum": 1}, "hi": {"$max": "$ts"}}},
+        ]
+        got = {r["_id"]: (r["n"], r["hi"]) for r in sharded.aggregate("alarms", pipeline)}
+        want = {r["_id"]: (r["n"], r["hi"]) for r in single.aggregate("alarms", pipeline)}
+        assert got == want
+
+    def test_aggregate_pushdown_prefix_with_sort_limit(self, pair):
+        sharded, single = pair
+        pipeline = [
+            {"$match": {"kind": "fire"}},
+            {"$sort": {"ts": -1}},
+            {"$limit": 5},
+            {"$project": {"ts": 1, "i": 1}},
+        ]
+        got = sharded.aggregate("alarms", pipeline)
+        want = single.aggregate("alarms", pipeline)
+        assert [r["i"] for r in got] == [r["i"] for r in want]
+
+    def test_update_and_delete_fan_out(self, pair):
+        sharded, single = pair
+        for store in pair:
+            coll = store.collection("alarms")
+            assert coll.update_many({"kind": "fire"}, {"$set": {"flag": 1}}) > 0
+            assert coll.delete_many({"ts": {"$gte": 90.0}}) >= 0
+        assert sharded.collection("alarms").count({"flag": 1}) == \
+            single.collection("alarms").count({"flag": 1})
+        assert len(sharded.collection("alarms")) == len(single.collection("alarms"))
+
+
+class TestRouting:
+    def test_shard_key_equality_routes_to_one_shard(self, pair):
+        sharded, _ = pair
+        plan = sharded.collection("alarms").explain({"device_address": "d7"})
+        assert plan["mode"] == "routed"
+        assert len(plan["shards"]) == 1
+
+    def test_shard_key_in_routes_to_member_owners(self, pair):
+        sharded, _ = pair
+        plan = sharded.collection("alarms").explain(
+            {"device_address": {"$in": ["d1", "d2", "d3", "d4"]}}
+        )
+        assert plan["mode"] == "routed"
+        assert 1 <= len(plan["shards"]) <= 3
+
+    def test_non_shard_key_filters_fan_out(self, pair):
+        sharded, _ = pair
+        plan = sharded.collection("alarms").explain({"kind": "fire"})
+        assert plan["mode"] == "fanout"
+        assert plan["shards"] == [0, 1, 2]
+
+    def test_routed_reads_only_touch_the_owning_shard(self, pair):
+        sharded, _ = pair
+        before = [s.collection("alarms").index_hits + s.collection("alarms").scans
+                  for s in sharded.shards]
+        sharded.collection("alarms").find({"device_address": "d7"})
+        after = [s.collection("alarms").index_hits + s.collection("alarms").scans
+                 for s in sharded.shards]
+        assert sum(a - b for a, b in zip(after, before)) == 1
+
+    def test_documents_without_shard_key_route_by_content(self):
+        store = ShardedDocumentStore(num_shards=3, shard_keys={"c": "missing"})
+        coll = store.collection("c")
+        coll.insert_one({"x": 1})
+        coll.insert_one({"x": 1})  # identical content -> same shard
+        sizes = [len(s.collection("c")) for s in store.shards]
+        assert sorted(sizes, reverse=True)[0] == 2
+
+    def test_array_shard_key_degrades_routing_not_results(self):
+        """An array shard-key value matches equality probes on any element
+        but lives on one shard — inserting one must permanently disable
+        routed reads so those probes keep matching (fan-out finds it)."""
+        store = ShardedDocumentStore(num_shards=3, shard_keys={"c": "k"})
+        coll = store.collection("c")
+        coll.insert_one({"k": "scalar", "n": 0})
+        assert coll.explain({"k": "scalar"})["mode"] == "routed"
+        coll.insert_one({"k": ["X", "Y"], "n": 1})
+        assert coll.explain({"k": "X"})["mode"] == "fanout"
+        single = DocumentStore()
+        single.collection("c").insert_many([{"k": "scalar", "n": 0},
+                                            {"k": ["X", "Y"], "n": 1}])
+        for probe in ({"k": "X"}, {"k": "Y"}, {"k": "scalar"},
+                      {"k": {"$in": ["X", "missing"]}}):
+            assert [d["n"] for d in coll.find(probe)] == \
+                [d["n"] for d in single.collection("c").find(probe)]
+
+    def test_shard_key_update_degrades_routing_not_results(self):
+        """Rewriting the shard key in place leaves the document on its old
+        shard; routed probes for the new value must still find it."""
+        store = ShardedDocumentStore(num_shards=3, shard_keys={"c": "k"})
+        coll = store.collection("c")
+        coll.insert_many([{"k": f"key-{i}", "n": i} for i in range(30)])
+        assert coll.explain({"k": "key-1"})["mode"] == "routed"
+        coll.update_many({"k": "key-1"}, {"$set": {"k": "renamed"}})
+        assert coll.explain({"k": "renamed"})["mode"] == "fanout"
+        assert [d["n"] for d in coll.find({"k": "renamed"})] == [1]
+        assert coll.count({"k": "key-1"}) == 0
+
+    def test_numeric_family_routes_together(self):
+        """1, 1.0 and True compare equal in filters, so they must route to
+        one shard — else an int-valued probe misses a float-valued doc."""
+        ring = HashRing(8)
+        assert ring.shard_for(1) == ring.shard_for(1.0) == ring.shard_for(True)
+        assert ring.shard_for(0) == ring.shard_for(0.0) == ring.shard_for(False)
+        store = ShardedDocumentStore(num_shards=4, shard_keys={"c": "k"})
+        coll = store.collection("c")
+        coll.insert_one({"k": 1, "n": "int"})
+        assert [d["n"] for d in coll.find({"k": 1.0})] == ["int"]
+
+    def test_shard_key_routing_is_stable_for_equal_keys(self):
+        store = ShardedDocumentStore(num_shards=4, shard_keys={"v": "uid"})
+        coll = store.collection("v")
+        for i in range(50):
+            coll.insert_one({"uid": f"u-{i % 10}", "n": i})
+        # every uid's documents live on exactly one shard
+        for uid in {f"u-{i}" for i in range(10)}:
+            holders = [
+                s for s in store.shards
+                if s.collection("v").count({"uid": uid})
+            ]
+            assert len(holders) == 1
+
+
+class TestUniqueIndexes:
+    def test_shard_key_unique_index_is_globally_unique(self):
+        store = ShardedDocumentStore(num_shards=4, shard_keys={"v": "uid"})
+        coll = store.collection("v")
+        coll.create_index("uid", kind="hash", unique=True)
+        coll.insert_many([{"uid": f"u{i}"} for i in range(40)])
+        with pytest.raises(DuplicateKeyError):
+            coll.insert_one({"uid": "u7"})
+        assert len(coll) == 40
+
+    def test_ddl_fans_out_to_every_shard(self):
+        store = ShardedDocumentStore(num_shards=3)
+        coll = store.collection("c")
+        coll.create_index("f", kind="sorted")
+        assert coll.index_fields() == ["f"]
+        for shard in store.shards:
+            assert shard.collection("c").index_fields() == ["f"]
+        coll.drop_index("f")
+        with pytest.raises(IndexError_):
+            coll.index_spec("f")
+
+    def test_collection_names_and_drop(self):
+        store = ShardedDocumentStore(num_shards=2)
+        store.collection("a").insert_one({"x": 1})
+        store.collection("b")
+        assert store.collection_names() == ["a", "b"]
+        store.drop_collection("a")
+        assert store.collection_names() == ["b"]
+
+
+class TestPerShardDurability:
+    def test_durable_shards_recover_independently(self, tmp_path):
+        manager = RecoveryManager(
+            tmp_path, store_shards=3, shard_keys={"alarms": "device_address"}
+        )
+        manager.recover()
+        coll = manager.store.collection("alarms")
+        coll.create_index("device_address", kind="hash")
+        coll.insert_many(make_docs(120))
+        total = len(coll)
+        manager.crash()
+
+        recovered = RecoveryManager(
+            tmp_path, store_shards=3, shard_keys={"alarms": "device_address"}
+        )
+        report = recovered.recover()
+        assert len(recovered.store.collection("alarms")) == total
+        assert report.store_ops_replayed > 0
+        # every shard directory holds its own WAL root
+        for i in range(3):
+            assert recovered.shard_directory(i).exists()
+        recovered.close()
+
+    def test_restart_shard_is_a_single_shard_outage(self, tmp_path):
+        shards = [
+            DurableDocumentStore(tmp_path / f"shard-{i}") for i in range(3)
+        ]
+        store = ShardedDocumentStore(
+            stores=shards, shard_keys={"alarms": "device_address"},
+            reopen=lambda i: DurableDocumentStore(tmp_path / f"shard-{i}"),
+        )
+        coll = store.collection("alarms")
+        coll.insert_many(make_docs(90))
+        total = len(coll)
+        by_shard = [len(s.collection("alarms")) for s in store.shards]
+        victim = max(range(3), key=lambda i: by_shard[i])
+
+        stats = store.restart_shard(victim)
+        assert stats["shard"] == victim
+        assert stats["ops_replayed"] > 0 or stats["snapshot_documents"] > 0
+        # nothing lost: acknowledged writes were fsynced per group commit
+        assert len(coll) == total
+        # the other shards were never touched
+        for i in range(3):
+            if i != victim:
+                assert store.shards[i] is shards[i]
+        store.close()
+
+    def test_restart_without_reopen_factory_is_rejected(self):
+        store = ShardedDocumentStore(num_shards=2)
+        with pytest.raises(ConfigurationError):
+            store.restart_shard(0)
+        with pytest.raises(ConfigurationError):
+            ShardedDocumentStore(num_shards=2, reopen=lambda i: None).restart_shard(5)

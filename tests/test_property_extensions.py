@@ -59,6 +59,64 @@ def test_tumbling_counts_conserve_events(events, size):
     assert total == len(events)
 
 
+# -- fractional window sizes: float-drift regression ---------------------------
+#
+# Window bounds are now derived from the integer window index, so equal
+# logical windows must be *bit-identical* Window values (one dict key in
+# windowed_counts) and containment must hold exactly, even for fractional
+# sizes like 0.1 whose products drift in the last ulps.
+
+fractional_sizes = st.sampled_from([0.1, 0.3, 0.7, 1.3, 2.5, 0.05])
+
+
+@given(ts=st.floats(0.0, 10_000.0, allow_nan=False), size=fractional_sizes)
+@settings(max_examples=200, deadline=None)
+def test_tumbling_fractional_sizes_contain_exactly(ts, size):
+    windows = TumblingWindows(size).assign(ts)
+    assert len(windows) == 1
+    assert windows[0].contains(ts)  # exact, no tolerance
+
+
+@given(
+    ts=st.floats(0.0, 5_000.0, allow_nan=False),
+    size=fractional_sizes,
+    divisor=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=200, deadline=None)
+def test_sliding_fractional_sizes_contain_exactly(ts, size, divisor):
+    windows = SlidingWindows(size, size / divisor).assign(ts)
+    assert windows
+    assert all(w.contains(ts) for w in windows)  # exact, no tolerance
+
+
+@given(
+    base=st.integers(min_value=0, max_value=3_000),
+    offsets=st.lists(st.floats(0.0, 1.0, exclude_max=True, allow_nan=False),
+                     min_size=1, max_size=30),
+    size=st.sampled_from([0.1, 0.3]),
+)
+@settings(max_examples=150, deadline=None)
+def test_tumbling_fractional_sizes_dedupe_window_keys(base, offsets, size):
+    """Timestamps in one logical window must produce ONE dict key.
+
+    With the old ``floor(ts/size)*size`` arithmetic, 0.1-sized windows
+    split into several float-drifted keys; keying off the integer window
+    index makes them collapse.
+    """
+    assigner = TumblingWindows(size)
+    # All timestamps inside the logical window that contains base*size+0.01.
+    anchor = assigner.assign(base * size + size / 10)[0]
+    inside = [anchor.start + f * (anchor.end - anchor.start) for f in offsets]
+    inside = [ts for ts in inside if anchor.contains(ts)]
+    counts = windowed_counts(
+        [(ts, "k") for ts in inside], assigner,
+        timestamp_fn=lambda e: e[0], key_fn=lambda e: e[1],
+    )
+    assert len(counts) <= 1
+    if inside:
+        assert counts == {anchor: {"k": len(inside)}}
+
+
 @given(
     outcomes=st.lists(st.sampled_from([0, 1]), min_size=1, max_size=80),
     seed=st.integers(0, 100),

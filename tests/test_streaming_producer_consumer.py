@@ -289,6 +289,78 @@ class TestConsumer:
             with pytest.raises(ConsumerClosedError):
                 operation()
 
+    def test_closed_consumer_contract_is_uniform(self, broker):
+        """Every operation on a closed consumer raises — including the
+        read-only ones (``lag``, ``assignment``, ``position``,
+        ``committed``) that used to silently answer from stale state."""
+        consumer = Consumer(broker, "g")
+        consumer.subscribe("alarms")
+        tp = consumer.assignment()[0]
+        consumer.close()
+        for operation in (
+            consumer.lag,
+            consumer.assignment,
+            lambda: consumer.position(tp),
+            lambda: consumer.committed(tp),
+        ):
+            with pytest.raises(ConsumerClosedError):
+                operation()
+
+    def test_closed_consumer_poll_timeout_zero_raises_not_returns(self, broker):
+        """``poll(timeout=0)`` documents an immediate return — but on a
+        *closed* consumer the closed-consumer error wins, immediately."""
+        consumer = Consumer(broker, "g")
+        consumer.subscribe("alarms")
+        consumer.close()
+        started = time.perf_counter()
+        with pytest.raises(ConsumerClosedError):
+            consumer.poll(timeout=0)
+        assert time.perf_counter() - started < 0.05
+
+    def test_poll_max_records_is_a_hard_cap_across_partitions(self, broker):
+        """Regression: with more assigned partitions than ``max_records``,
+        the old per-partition quota floor of one returned up to one record
+        *per partition*, overshooting the caller's cap."""
+        broker.create_topic("wide", num_partitions=8)
+        producer = Producer(broker, partitioner=round_robin_partitioner)
+        producer.send_many("wide", [{"i": i} for i in range(40)])
+        consumer = Consumer(broker, "g")
+        consumer.subscribe("wide")
+        seen = []
+        while True:
+            batch = consumer.poll(max_records=2)
+            if not batch:
+                break
+            assert len(batch) <= 2, f"poll(max_records=2) returned {len(batch)}"
+            seen.extend(record.offset for record in batch)
+        assert len(seen) == 40  # everything still arrives, two at a time
+
+    def test_poll_small_cap_rotates_across_partitions(self, broker):
+        """A cap smaller than the assignment must not starve any partition:
+        successive polls rotate their sweep start."""
+        broker.create_topic("wide", num_partitions=8)
+        producer = Producer(broker, partitioner=round_robin_partitioner)
+        producer.send_many("wide", [{"i": i} for i in range(24)])
+        consumer = Consumer(broker, "g")
+        consumer.subscribe("wide")
+        touched = set()
+        for _ in range(8):
+            batch = consumer.poll(max_records=2)
+            touched.update(batch.partitions())
+        assert len(touched) == 8  # every partition served within one cycle
+
+    def test_poll_unused_quota_flows_to_partitions_with_data(self, broker):
+        """Quota left by drained partitions is redistributed in the same
+        sweep, so one busy partition fills the whole cap."""
+        broker.create_topic("skewed", num_partitions=4)
+        producer = Producer(broker)
+        producer.send_many("skewed", [{"i": i} for i in range(20)],
+                           key_fn=lambda value: "same-key")  # one partition
+        consumer = Consumer(broker, "g")
+        consumer.subscribe("skewed")
+        batch = consumer.poll(max_records=12)
+        assert len(batch) == 12  # not 12 // 4 == 3
+
     def test_poll_timeout_returns_empty_after_deadline(self, broker):
         consumer = Consumer(broker, "g")
         consumer.subscribe("alarms")

@@ -155,3 +155,83 @@ class TestEndToEnd:
         from repro.errors import ConfigurationError
         with pytest.raises(ConfigurationError):
             LoadDriver(small_scenario(), speedup=0.0)
+
+
+class TestClusterRuns:
+    def test_sharded_run_is_exactly_once(self):
+        driver = LoadDriver(small_scenario(), seed=5, speedup=6_000.0, shards=3)
+        expected = {e.document["_event_seq"] for e in driver.build_timeline()}
+        report = driver.run(max_batch_records=50)
+        assert report.shards == 3
+        assert report.verified_unique == len(expected)
+        assert driver.verification_log.duplicate_uids() == []
+        # the verification documents really are spread over the shards
+        spread = [
+            len(s.collection("verifications")) for s in driver.store.shards
+        ]
+        assert sum(spread) == len(expected)
+        assert sum(1 for n in spread if n) >= 2
+
+    def test_multi_consumer_run_is_exactly_once(self):
+        driver = LoadDriver(small_scenario(), seed=6, speedup=6_000.0, consumers=2)
+        expected = {e.document["_event_seq"] for e in driver.build_timeline()}
+        report = driver.run(max_batch_records=50)
+        assert report.consumers == 2
+        assert report.rebalances >= 2  # both members joined
+        assert report.verified_unique == len(expected)
+        assert driver.verification_log.duplicate_uids() == []
+
+    def test_consumer_churn_fault_rebalances_without_loss(self):
+        scenario = small_scenario(faults=(
+            FaultInjection(kind="consumer_churn", start=15.0, end=45.0,
+                           params={"consumers": 2}),
+        ))
+        driver = LoadDriver(scenario, seed=7, speedup=2_000.0)
+        expected = {e.document["_event_seq"] for e in driver.build_timeline()}
+        report = driver.run(max_batch_records=50)
+        # base join + 2 churn joins + 2 churn leaves
+        assert report.rebalances == 5
+        assert report.verified_unique == len(expected)
+        assert driver.verification_log.duplicate_uids() == []
+        assert report.consumer.alarms_processed >= len(expected)
+
+    def test_shard_outage_requires_sharded_durable_pipeline(self):
+        from repro.errors import ConfigurationError
+        outage = FaultInjection(kind="shard_outage", start=10.0, end=11.0)
+        scenario = small_scenario(faults=(outage,))
+        with pytest.raises(ConfigurationError, match="shard_outage"):
+            LoadDriver(scenario)  # no durable_dir, no shards
+        with pytest.raises(ConfigurationError, match="shard_outage"):
+            LoadDriver(scenario, shards=4)  # still not durable
+
+    def test_shard_outage_must_name_an_existing_shard(self, tmp_path):
+        from repro.errors import ConfigurationError
+        outage = FaultInjection(kind="shard_outage", start=10.0, end=11.0,
+                                params={"shard": 7})
+        with pytest.raises(ConfigurationError, match="only"):
+            LoadDriver(small_scenario(faults=(outage,)), shards=2,
+                       durable_dir=tmp_path)
+
+    def test_shard_outage_recovers_one_shard_mid_run(self, tmp_path):
+        scenario = small_scenario(faults=(
+            FaultInjection(kind="shard_outage", start=30.0, end=31.0,
+                           params={"shard": 1}),
+        ))
+        driver = LoadDriver(scenario, seed=8, speedup=2_000.0, shards=2,
+                            durable_dir=tmp_path / "pipeline")
+        expected = {e.document["_event_seq"] for e in driver.build_timeline()}
+        report = driver.run(max_batch_records=50)
+        assert len(report.shard_recoveries) == 1
+        assert report.shard_recoveries[0]["shard"] == 1
+        assert report.verified_unique == len(expected)
+        assert driver.verification_log.duplicate_uids() == []
+
+    def test_cluster_configuration_validated(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            LoadDriver(small_scenario(), shards=0)
+        with pytest.raises(ConfigurationError):
+            LoadDriver(small_scenario(), consumers=0)
+        from repro.core.history import AlarmHistory
+        with pytest.raises(ConfigurationError):
+            LoadDriver(small_scenario(), shards=2, history=AlarmHistory())

@@ -102,6 +102,25 @@ class TestSlaAndMttr:
         assert ops.mttr_seconds() is None
 
 
+class TestThroughput:
+    def test_single_window_reports_zero_not_raw_count(self):
+        """Regression: one observed window has no elapsed interval, and the
+        old behaviour returned the raw alarm count — a 1000-alarm window
+        read as 1000 alarms/s no matter how long it actually took."""
+        ops = OpsMetrics()
+        ops.observe_window([make_verification(0.01) for _ in range(1000)])
+        assert ops.windows == 1
+        assert ops.throughput() == 0.0
+        assert ops.summary().throughput == 0.0
+
+    def test_multi_window_throughput_uses_elapsed_time(self):
+        ops = OpsMetrics()
+        ops.observe_window([make_verification(0.01)])
+        time.sleep(0.02)
+        ops.observe_window([make_verification(0.01)])
+        assert 0.0 < ops.throughput() <= 2 / 0.02
+
+
 class TestTrend:
     def test_rising_false_rate_detected(self):
         ops = OpsMetrics()
@@ -118,6 +137,32 @@ class TestTrend:
         for _ in range(4):
             ops.observe_window([make_verification(0.01, is_false=False)])
         assert ops.trend_direction() == "falling"
+
+    def test_trend_weighs_windows_by_alarm_count(self):
+        """Regression: the trend must weight each half by alarms, not
+        average per-window rates — a 1-alarm window used to outvote a
+        1000-alarm window and flip the reported direction."""
+        ops = OpsMetrics()
+        # First half: one huge all-false window, one tiny all-true window.
+        ops.observe_window(
+            [make_verification(0.01, is_false=True) for _ in range(1000)]
+        )
+        ops.observe_window([make_verification(0.01, is_false=False)])
+        # Second half: one huge all-true window, one tiny all-false window.
+        ops.observe_window(
+            [make_verification(0.01, is_false=False) for _ in range(1000)]
+        )
+        ops.observe_window([make_verification(0.01, is_false=True)])
+        # Alarm-weighted: ~100% false -> ~0% false = falling.  The
+        # unweighted mean saw 50% -> 50% = "stable" in both halves.
+        assert ops.trend_direction() == "falling"
+
+    def test_trend_ignores_empty_windows(self):
+        ops = OpsMetrics()
+        ops.observe_window([make_verification(0.01, is_false=False)])
+        ops.observe_window([])  # no alarms: carries no rate information
+        ops.observe_window([make_verification(0.01, is_false=True)])
+        assert ops.trend_direction() == "rising"
 
     def test_trend_buckets_cover_all_windows(self):
         ops = OpsMetrics()

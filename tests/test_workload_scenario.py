@@ -121,6 +121,24 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             FaultInjection(kind="process_crash", start=5.0, end=5.0)
 
+    def test_cluster_fault_kinds_round_trip(self):
+        churn = FaultInjection(kind="consumer_churn", start=10.0, end=40.0,
+                               params={"consumers": 3})
+        outage = FaultInjection(kind="shard_outage", start=20.0, end=21.0,
+                                params={"shard": 1})
+        scenario = make_scenario(faults=(churn, outage))
+        rebuilt = Scenario.from_dict(scenario.to_dict())
+        assert rebuilt.faults == (churn, outage)
+        assert Scenario.from_json(scenario.to_json()).to_dict() == scenario.to_dict()
+
+    def test_cluster_fault_params_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjection(kind="consumer_churn", start=0.0, end=1.0,
+                           params={"consumers": 0})
+        with pytest.raises(ConfigurationError):
+            FaultInjection(kind="shard_outage", start=0.0, end=1.0,
+                           params={"shard": -1})
+
     def test_from_dict_rejects_unknown_fault_kinds(self):
         with pytest.raises(ConfigurationError, match="unknown fault kind"):
             FaultInjection.from_dict(
