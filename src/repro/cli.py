@@ -13,6 +13,9 @@ Exposes the main workflows of the reproduced system without writing code:
                        through the full pipeline under accelerated virtual
                        time and print throughput, latency percentiles and
                        the verification-rate trend report;
+* ``metrics``        — render a metrics snapshot written by ``loadtest
+                       --metrics-out`` (pretty table, Prometheus text, or
+                       raw JSON);
 * ``incidents``      — run the Figure 5 incident pipeline over the
                        synthetic report corpus and print corpus stats;
 * ``security-map``   — render the Figure 8 ASCII risk map.
@@ -24,6 +27,7 @@ import argparse
 import json
 import sys
 from dataclasses import replace
+from datetime import datetime
 from typing import Sequence
 
 from repro.core import (
@@ -44,6 +48,7 @@ from repro.ml import (
     NeuralNetworkClassifier,
     RandomForestClassifier,
 )
+from repro.obs.export import render_pretty, render_prometheus, write_json_snapshot
 from repro.risk import PlacedRisk, RiskModel, SecurityMap, incident_counts
 from repro.storage import DocumentStore
 from repro.streaming import Broker
@@ -212,6 +217,17 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     print(f"producers           {report.produce_records_per_second:,.0f} records/s, "
           f"{report.produce_bytes_per_second / 1e6:.2f} MB/s "
           f"({report.backpressure_waits} backpressure waits)")
+    produce_window = _wall_window(
+        [s.started_wall for s in report.producer_stats],
+        [s.finished_wall for s in report.producer_stats],
+    )
+    if produce_window:
+        print(f"produce window      {produce_window}")
+    consume_window = _wall_window(
+        [report.consumer.started_wall], [report.consumer.finished_wall]
+    )
+    if consume_window:
+        print(f"consume window      {consume_window}")
     print(report.ops_report)
     if report.rebalances:
         print(f"consumer group      {report.rebalances} rebalances "
@@ -226,11 +242,51 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
               f"{report.duplicates_skipped} replayed duplicates deduplicated")
         for i, recovery in enumerate(report.recoveries, 1):
             print(f"  crash {i}: {recovery.summary()}")
+    sampled = len(report.traces)
+    if sampled:
+        print(f"tracing             {sampled} end-to-end traces sampled "
+              f"(see --metrics-out for spans)")
+    if args.metrics_out:
+        write_json_snapshot(args.metrics_out, report.metrics)
+        print(f"wrote metrics snapshot to {args.metrics_out}")
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             handle.write(dump_scenario.to_json())
             handle.write("\n")
         print(f"wrote scenario spec to {args.out}")
+    return 0
+
+
+def _wall_window(starts: list, ends: list) -> str | None:
+    """``HH:MM:SS.mmm -> HH:MM:SS.mmm (D.DDDs)`` from wall-clock bounds."""
+    starts = [s for s in starts if s is not None]
+    ends = [e for e in ends if e is not None]
+    if not starts or not ends:
+        return None
+    start, end = min(starts), max(ends)
+    fmt = "%H:%M:%S"
+    return (f"{datetime.fromtimestamp(start).strftime(fmt)}"
+            f".{int(start % 1 * 1000):03d} -> "
+            f"{datetime.fromtimestamp(end).strftime(fmt)}"
+            f".{int(end % 1 * 1000):03d} ({end - start:.3f}s)")
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """``repro metrics``: render a JSON metrics snapshot."""
+    try:
+        with open(args.snapshot, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read snapshot {args.snapshot}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.format == "prometheus":
+        sys.stdout.write(render_prometheus(snapshot))
+    elif args.format == "json":
+        json.dump(snapshot, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        sys.stdout.write(render_pretty(snapshot))
     return 0
 
 
@@ -347,7 +403,22 @@ def build_parser() -> argparse.ArgumentParser:
              "membership with generation-fenced rebalancing)",
     )
     loadtest.add_argument("--out", help="optional path to dump the scenario JSON")
+    loadtest.add_argument(
+        "--metrics-out", metavar="PATH", default=None,
+        help="write the run's full metrics snapshot (histograms, counters, "
+             "sampled traces) as JSON to PATH; render it with `repro metrics`",
+    )
     loadtest.set_defaults(func=cmd_loadtest)
+
+    metrics = sub.add_parser(
+        "metrics", help="render a metrics snapshot written by loadtest"
+    )
+    metrics.add_argument("snapshot", help="path to a metrics snapshot JSON")
+    metrics.add_argument(
+        "--format", choices=("pretty", "prometheus", "json"), default="pretty",
+        help="output format (default: operator-facing table)",
+    )
+    metrics.set_defaults(func=cmd_metrics)
 
     incidents = sub.add_parser("incidents", help="run the incident pipeline")
     incidents.add_argument("--count", type=int, default=2_000)

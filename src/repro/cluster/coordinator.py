@@ -29,8 +29,10 @@ covered by the fence.
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.errors import RebalanceError
+from repro.obs.registry import get_registry
 from repro.streaming.broker import Broker
 from repro.streaming.consumer import Consumer, assign_partitions
 from repro.streaming.message import TopicPartition
@@ -57,6 +59,9 @@ class GroupCoordinator:
         self._lock = threading.Lock()
         #: Total rebalances performed (observability for tests/reports).
         self.rebalances = 0
+        self._rebalance_hist = get_registry().histogram(
+            "repro_cluster_rebalance_seconds"
+        )
 
     @property
     def generation(self) -> int:
@@ -117,6 +122,7 @@ class GroupCoordinator:
 
     def _rebalance_locked(self) -> int:
         """Bump the generation, raise the fence, re-deal the partitions."""
+        started = time.perf_counter()
         self._generation += 1
         self._broker.fence_group(self.group, self._generation)
         partitions = self._broker.partitions_for(self.topic)
@@ -125,4 +131,5 @@ class GroupCoordinator:
             share = assign_partitions(partitions, len(ordered), i)
             self._members[member].assign(share, generation=self._generation)
         self.rebalances += 1
+        self._rebalance_hist.observe(time.perf_counter() - started)
         return self._generation

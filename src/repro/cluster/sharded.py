@@ -41,11 +41,13 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterator, Mapping
 
 from repro.cluster.ring import HashRing
 from repro.errors import ConfigurationError, StorageError
+from repro.obs.registry import get_registry
 from repro.storage.aggregate import aggregate, plan_pushdown
 from repro.storage.query import rank_value, resolve_path
 from repro.storage.store import DocumentStore
@@ -284,7 +286,9 @@ class ShardedCollection:
         )
         if sort is not None:
             field, direction = sort if isinstance(sort, tuple) else (sort, 1)
+            merge_started = time.perf_counter()
             merged = _heap_merge(parts, field, reverse=direction < 0)
+            self._parent._merge_hist.observe(time.perf_counter() - merge_started)
         else:
             merged = [doc for part in parts for doc in part]
         if skip:
@@ -421,6 +425,13 @@ class ShardedDocumentStore:
         self._pool = ThreadPoolExecutor(
             max_workers=self.num_shards, thread_name_prefix="shard"
         )
+        registry = get_registry()
+        self._fanout_hists = [
+            registry.histogram("repro_shard_fanout_seconds",
+                               labels={"shard": str(i)})
+            for i in range(self.num_shards)
+        ]
+        self._merge_hist = registry.histogram("repro_shard_merge_seconds")
 
     # -- fan-out plumbing --------------------------------------------------------
 
@@ -433,17 +444,28 @@ class ShardedDocumentStore:
         """Run ``fn(shard_index)`` for each shard, in parallel when > 1.
 
         Results come back in shard order; the first shard's exception (if
-        any) propagates after all futures settle.
+        any) propagates after all futures settle.  Every per-shard task is
+        timed into ``repro_shard_fanout_seconds{shard=i}`` — on the pooled
+        path that captures queueing plus execution, exactly the latency a
+        straggling shard adds to the scatter-gather.
         """
         indexes = list(range(self.num_shards)) if shards is None else list(shards)
+
+        def timed(index: int) -> Any:
+            started = time.perf_counter()
+            try:
+                return fn(index)
+            finally:
+                self._fanout_hists[index].observe(time.perf_counter() - started)
+
         if len(indexes) == 1:
-            return [fn(indexes[0])]
+            return [timed(indexes[0])]
         try:
-            futures = [self._pool.submit(fn, i) for i in indexes]
+            futures = [self._pool.submit(timed, i) for i in indexes]
         except RuntimeError:
             # Pool already shut down (store closed/crashed): reads against
             # the surviving in-memory state still work, just serially.
-            return [fn(i) for i in indexes]
+            return [timed(i) for i in indexes]
         results: list[Any] = []
         first_error: BaseException | None = None
         for future in futures:

@@ -52,6 +52,10 @@ class ConsumerRunReport:
     #: windows after crash recovery and at-least-once redeliveries.
     duplicates_skipped: int = 0
     verifications: list[Verification] = field(default_factory=list)
+    #: Wall-clock (``time.time()``) bounds of the run: set when the run
+    #: loop starts and when it returns, ``None`` until then.
+    started_wall: float | None = None
+    finished_wall: float | None = None
 
     @property
     def throughput(self) -> float:
@@ -125,6 +129,12 @@ class ConsumerApplication:
         Several applications sharing one coordinator split the topic and
         re-split on every join/leave; their offset commits are generation
         fenced.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer`.  When attached, each
+        trace context sampled into the window's record headers by the
+        producer is completed here after the verification-log insert with
+        five spans — queue dwell (producer send -> consumer poll) plus the
+        window's streaming/history/ml/store stage boundaries.
     """
 
     def __init__(self, broker: Broker, topic: str, group: str,
@@ -137,7 +147,8 @@ class ConsumerApplication:
                  histogram_since: float | None = None,
                  verification_log: VerificationLog | None = None,
                  on_window: Callable[[list[Verification], MicroBatch], None] | None = None,
-                 coordinator=None, member_id: str | None = None) -> None:
+                 coordinator=None, member_id: str | None = None,
+                 tracer=None) -> None:
         if repartition is not None and repartition < 1:
             raise ConfigurationError(f"repartition must be >= 1, got {repartition}")
         self.context = StreamingContext(broker, topic, group, serializer=serializer,
@@ -150,6 +161,7 @@ class ConsumerApplication:
         self.histogram_since = histogram_since
         self.verification_log = verification_log
         self.on_window = on_window
+        self.tracer = tracer
         self.last_histogram: dict[str, int] = {}
 
     # -- window processing -----------------------------------------------------------
@@ -157,7 +169,7 @@ class ConsumerApplication:
     def _handle_window(self, batch: MicroBatch, report: ConsumerRunReport) -> None:
         # (1) streaming: dataset of alarm documents, cached because it is
         # consumed twice (distinct addresses + classification input).
-        started = time.perf_counter()
+        t0 = time.perf_counter()
         dataset = batch.dataset
         if self.repartition is not None:
             dataset = dataset.repartition(self.repartition)
@@ -165,19 +177,17 @@ class ConsumerApplication:
         addresses = sorted(
             dataset.map(lambda doc: doc["device_address"]).distinct().collect()
         )
-        report.streaming_seconds += (
-            time.perf_counter() - started + batch.deserialize_seconds
-        )
+        t1 = time.perf_counter()
+        report.streaming_seconds += t1 - t0 + batch.deserialize_seconds
 
         # (2) batch: histogram of past alarms for the alarming devices.
-        started = time.perf_counter()
         self.last_histogram = self.history.device_histogram(
             addresses, since=self.histogram_since
         )
-        report.batch_seconds += time.perf_counter() - started
+        t2 = time.perf_counter()
+        report.batch_seconds += t2 - t1
 
         # (3) ml: classify the window (one vectorized call per partition).
-        started = time.perf_counter()
         def classify(partition: list) -> list[Verification]:
             alarms = [Alarm.from_document(doc) for doc in partition]
             return self.service.verify_batch(alarms)
@@ -188,7 +198,8 @@ class ConsumerApplication:
                 classify(part) for part in dataset.collect_partitions()
             ]
         verifications = [v for part in partition_results for v in part]
-        report.ml_seconds += time.perf_counter() - started
+        t3 = time.perf_counter()
+        report.ml_seconds += t3 - t2
 
         # (4) persist the window: through the idempotent sink when attached
         # (replayed/redelivered alarms are dropped there and never reach the
@@ -197,7 +208,6 @@ class ConsumerApplication:
         # happens *before* the streaming context commits offsets, so a
         # crash between persist and commit only ever causes re-processing —
         # which the sink deduplicates — never loss.
-        started = time.perf_counter()
         recorded = verifications
         if self.verification_log is not None:
             recorded = self.verification_log.record_batch(
@@ -206,7 +216,22 @@ class ConsumerApplication:
             report.duplicates_skipped += len(verifications) - len(recorded)
         else:
             self.history.record_batch(v.alarm for v in verifications)
-        report.store_seconds += time.perf_counter() - started
+        t4 = time.perf_counter()
+        report.store_seconds += t4 - t3
+
+        if self.tracer is not None:
+            # Close every trace context the window carried: the record's
+            # queue dwell is individual (its own send stamp to this poll);
+            # the four processing spans are the window's stage boundaries,
+            # shared by every record the window batched together.
+            for trace_id, sent_at in batch.traces:
+                self.tracer.record(trace_id, [
+                    ("queue_dwell", sent_at, batch.polled_at),
+                    ("streaming", t0, t1),
+                    ("history", t1, t2),
+                    ("ml", t2, t3),
+                    ("store", t3, t4),
+                ])
 
         report.alarms_processed += len(verifications)
         report.windows += 1
@@ -223,12 +248,14 @@ class ConsumerApplication:
     def process_available(self, max_records: int | None = None) -> ConsumerRunReport:
         """Drain and process everything currently in the topic."""
         report = ConsumerRunReport()
+        report.started_wall = time.time()
         started = time.perf_counter()
         self.context.process_available(
             lambda batch: self._handle_window(batch, report),
             max_records=max_records,
         )
         report.elapsed_seconds = time.perf_counter() - started
+        report.finished_wall = time.time()
         return report
 
     def drain_until(self, done: Callable[[], bool],
@@ -250,6 +277,8 @@ class ConsumerApplication:
         counted.
         """
         report = report if report is not None else ConsumerRunReport()
+        if report.started_wall is None:
+            report.started_wall = time.time()
         started = time.perf_counter()
         finishing = False
         while True:
@@ -269,6 +298,7 @@ class ConsumerApplication:
             else:
                 self.context.wait_for_records(idle_sleep)
         report.elapsed_seconds += time.perf_counter() - started
+        report.finished_wall = time.time()
         return report
 
     def run(self, duration_seconds: float,
@@ -282,6 +312,7 @@ class ConsumerApplication:
         the duration deadline stays responsive) instead of sleep-polling.
         """
         report = ConsumerRunReport()
+        report.started_wall = time.time()
         started = time.perf_counter()
         deadline = started + duration_seconds
         while True:
@@ -295,4 +326,5 @@ class ConsumerApplication:
             if not processed:
                 self.context.wait_for_records(min(idle_wait, remaining))
         report.elapsed_seconds = time.perf_counter() - started
+        report.finished_wall = time.time()
         return report

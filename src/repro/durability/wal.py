@@ -35,11 +35,13 @@ from __future__ import annotations
 import os
 import struct
 import threading
+import time
 import zlib
 from pathlib import Path
 from typing import Iterator, Sequence
 
 from repro.errors import WALCorruptionError, WALError
+from repro.obs.registry import DEFAULT_SIZE_BUCKETS, get_registry
 
 __all__ = ["WriteAheadLog", "SYNC_POLICIES"]
 
@@ -111,6 +113,14 @@ class WriteAheadLog:
         self._closed = False
         #: Bytes dropped from a torn tail during open (0 on a clean log).
         self.truncated_bytes = 0
+        # Shared series across every WAL in the process (partition logs,
+        # journals, offset stores): fsync duration is the dominant durable-
+        # write cost, commit batch size is what group commit amortizes over.
+        registry = get_registry()
+        self._fsync_hist = registry.histogram("repro_wal_fsync_seconds")
+        self._commit_hist = registry.histogram(
+            "repro_wal_commit_batch_records", buckets=DEFAULT_SIZE_BUCKETS
+        )
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
@@ -270,6 +280,7 @@ class WriteAheadLog:
             if do_sync:
                 self._fsync()
             self._rotate_if_needed()
+            self._commit_hist.observe(len(frames))
             return list(range(base, base + len(frames)))
 
     def sync(self) -> None:
@@ -280,10 +291,12 @@ class WriteAheadLog:
             self._fsync()
 
     def _fsync(self) -> None:
+        started = time.perf_counter()
         try:
             os.fsync(self._handle.fileno())
         except OSError as exc:  # pragma: no cover - exotic filesystems
             raise WALError(f"fsync failed: {exc}") from exc
+        self._fsync_hist.observe(time.perf_counter() - started)
         tail = self._segments[-1]
         tail.durable_size = tail.size
 

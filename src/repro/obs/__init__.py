@@ -1,0 +1,66 @@
+"""Observability plane: metrics registry, trace contexts, exporters.
+
+The telemetry substrate underneath every other subsystem (ROADMAP items 3
+and 4):
+
+* :mod:`~repro.obs.registry` — process-wide :class:`MetricsRegistry` of
+  counters, gauges and fixed-bucket latency histograms (p50/p95/p99/p99.9
+  plus jitter straight from the sketch, no raw-sample retention,
+  lock-striped for multi-thread writers, near-zero cost when disabled);
+* :mod:`~repro.obs.trace` — :class:`Tracer`: sampled trace contexts that
+  ride a record's headers from producer send through broker append/fetch,
+  consumer poll, ML scoring and the verification-log insert, yielding
+  per-stage span timings and queue-dwell breakdowns;
+* :mod:`~repro.obs.export` — atomic JSON snapshot writer, Prometheus-style
+  text renderer, and the pretty-printer behind ``python -m repro metrics``.
+
+Instrumented components fetch their instruments from :func:`get_registry`
+at construction time, so the hot paths never pay a registry lookup — only
+one enabled-flag check and a striped bucket increment per observation.
+"""
+
+from repro.obs.registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    scoped_registry,
+    set_registry,
+)
+from repro.obs.trace import (
+    TRACE_ID_HEADER,
+    TRACE_SENT_HEADER,
+    Span,
+    Trace,
+    Tracer,
+)
+from repro.obs.export import (
+    build_snapshot,
+    render_pretty,
+    render_prometheus,
+    write_json_snapshot,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "scoped_registry",
+    "set_registry",
+    "TRACE_ID_HEADER",
+    "TRACE_SENT_HEADER",
+    "Span",
+    "Trace",
+    "Tracer",
+    "build_snapshot",
+    "render_pretty",
+    "render_prometheus",
+    "write_json_snapshot",
+]

@@ -1,0 +1,166 @@
+"""Exporters for the metrics registry: JSON snapshot, Prometheus, pretty.
+
+Three consumers of one :meth:`MetricsRegistry.snapshot` dict:
+
+* :func:`write_json_snapshot` — atomic (temp file + ``os.replace``) JSON
+  writer, the same durability idiom the snapshot manager uses, so a
+  half-written metrics file can never be observed;
+* :func:`render_prometheus` — the text exposition format (``_bucket`` with
+  cumulative ``le`` counts, ``_sum``, ``_count``) so any Prometheus-style
+  scraper can parse a dumped snapshot;
+* :func:`render_pretty` — the operator-facing table behind
+  ``python -m repro metrics``.
+
+All three work on the *snapshot dict*, not the live registry: a snapshot
+written at the end of a load-test run renders identically later.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.obs.registry import MetricsRegistry, get_registry
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "build_snapshot",
+    "write_json_snapshot",
+    "render_prometheus",
+    "render_pretty",
+]
+
+
+def build_snapshot(registry: MetricsRegistry | None = None,
+                   tracer: Tracer | None = None,
+                   extra: dict[str, Any] | None = None) -> dict[str, Any]:
+    """One JSON-serializable dict of everything observable right now."""
+    registry = registry if registry is not None else get_registry()
+    snapshot = registry.snapshot()
+    snapshot["traces"] = tracer.trace_documents() if tracer is not None else []
+    if extra:
+        snapshot.update(extra)
+    return snapshot
+
+
+def write_json_snapshot(path: str | Path, snapshot: dict[str, Any]) -> Path:
+    """Atomically write ``snapshot`` as JSON; returns the final path."""
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def _label_suffix(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{merged[k]}"' for k in sorted(merged))
+    return f"{{{inner}}}"
+
+
+def _format_bound(bound: Any) -> str:
+    if bound == "+Inf":
+        return "+Inf"
+    return repr(float(bound))
+
+
+def render_prometheus(snapshot: dict[str, Any]) -> str:
+    """Render a snapshot dict in the Prometheus text exposition format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            lines.append(f"# TYPE {name} {kind}")
+            typed.add(name)
+
+    for entry in snapshot.get("counters", {}).values():
+        type_line(entry["name"], "counter")
+        lines.append(
+            f"{entry['name']}{_label_suffix(entry['labels'])} {entry['value']}"
+        )
+    for entry in snapshot.get("gauges", {}).values():
+        type_line(entry["name"], "gauge")
+        lines.append(
+            f"{entry['name']}{_label_suffix(entry['labels'])} {entry['value']}"
+        )
+    for entry in snapshot.get("histograms", {}).values():
+        name = entry["name"]
+        type_line(name, "histogram")
+        cumulative = 0
+        for bound, count in entry["buckets"]:
+            cumulative += count
+            suffix = _label_suffix(entry["labels"], {"le": _format_bound(bound)})
+            lines.append(f"{name}_bucket{suffix} {cumulative}")
+        base = _label_suffix(entry["labels"])
+        lines.append(f"{name}_sum{base} {entry['sum']}")
+        lines.append(f"{name}_count{base} {entry['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def _ms(value: float) -> str:
+    return f"{value * 1e3:10.3f}"
+
+
+def render_pretty(snapshot: dict[str, Any]) -> str:
+    """Operator-facing run summary (``python -m repro metrics``)."""
+    lines: list[str] = []
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        lines.append("histograms (ms unless the name says otherwise):")
+        lines.append(
+            f"  {'series':58s} {'count':>8s} {'p50':>10s} {'p95':>10s} "
+            f"{'p99':>10s} {'p99.9':>10s} {'jitter':>10s} {'max':>10s}"
+        )
+        for key, entry in histograms.items():
+            if entry["count"] == 0:
+                continue
+            if entry["name"].endswith("_seconds"):
+                cells = [
+                    _ms(entry["p50"]), _ms(entry["p95"]), _ms(entry["p99"]),
+                    _ms(entry["p999"]), _ms(entry["jitter"]), _ms(entry["max"]),
+                ]
+            else:
+                cells = [
+                    f"{entry[k]:10.1f}"
+                    for k in ("p50", "p95", "p99", "p999", "jitter", "max")
+                ]
+            lines.append(f"  {key:58s} {entry['count']:8d} " + " ".join(cells))
+    counters = {
+        key: entry for key, entry in snapshot.get("counters", {}).items()
+        if entry["value"]
+    }
+    if counters:
+        lines.append("counters:")
+        for key, entry in counters.items():
+            lines.append(f"  {key:58s} {entry['value']:>8d}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("gauges:")
+        for key, entry in gauges.items():
+            lines.append(f"  {key:58s} {entry['value']:>12.4f}")
+    traces = snapshot.get("traces", [])
+    if traces:
+        lines.append(f"traces ({len(traces)} sampled):")
+        for trace in traces[-5:]:
+            stages = " -> ".join(
+                f"{span['stage']} {span['duration_seconds'] * 1e3:.2f}ms"
+                for span in trace["spans"]
+            )
+            lines.append(
+                f"  {trace['trace_id']}  total "
+                f"{trace['total_seconds'] * 1e3:.2f}ms  {stages}"
+            )
+    if not lines:
+        return "no metrics recorded\n"
+    return "\n".join(lines) + "\n"

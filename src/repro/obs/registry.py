@@ -1,0 +1,425 @@
+"""Process-wide metrics registry: counters, gauges, sketch histograms.
+
+Design constraints (the same ones Prometheus client libraries solve):
+
+* **No raw-sample retention.**  A :class:`Histogram` is a fixed-bucket
+  sketch — per-bucket counts plus running sum/sum-of-squares/min/max.
+  Percentiles (p50/p95/p99/p99.9) come from cumulative-bucket
+  interpolation and jitter (the standard deviation) from the moments, so
+  a histogram's memory cost is constant however many observations land.
+* **Lock-striped writers.**  Each histogram spreads its writers over a
+  small power-of-two set of stripes selected by thread id: two broker
+  partitions fsync-ing concurrently never serialize on one metric lock.
+  Reads merge the stripes under all stripe locks, giving a consistent
+  snapshot.
+* **Near-zero cost when disabled.**  Every instrument shares its
+  registry's enabled cell; a disabled registry turns each ``observe`` /
+  ``inc`` into one list-index check and a return — cheap enough to leave
+  instrumentation compiled into the hot paths unconditionally (the
+  overhead guard in ``tests/test_obs_registry.py`` and the CI gate in
+  ``benchmarks/test_observability_overhead.py`` pin this down).
+
+Instruments are identified by name plus an optional immutable label set;
+asking for the same series twice returns the same object, so components
+fetch their instruments once at construction and observations are pure
+attribute calls.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Any, Iterable, Iterator, Mapping
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_SIZE_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "scoped_registry",
+]
+
+#: Latency bucket upper bounds in seconds: ~1 µs to 60 s, roughly
+#: logarithmic (1-2.5-5 per decade) so percentile interpolation error stays
+#: within a factor of ~2.5 anywhere in the range.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6,
+    1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4,
+    1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2,
+    0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0,
+    10.0, 30.0, 60.0,
+)
+
+#: Size bucket upper bounds for batch/record-count histograms.
+DEFAULT_SIZE_BUCKETS: tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500,
+    1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+)
+
+_NUM_STRIPES = 8  # power of two; thread id & (stripes - 1) picks one
+
+
+def series_key(name: str, labels: Mapping[str, str] | None) -> str:
+    """Canonical series identifier: ``name`` or ``name{k="v",...}``."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically increasing integer series."""
+
+    def __init__(self, name: str, labels: Mapping[str, str] | None,
+                 enabled_cell: list[bool]) -> None:
+        self.name = name
+        self.labels = dict(labels or {})
+        self._enabled = enabled_cell
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if not self._enabled[0]:
+            return
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Gauge:
+    """Point-in-time float series (set / add semantics)."""
+
+    def __init__(self, name: str, labels: Mapping[str, str] | None,
+                 enabled_cell: list[bool]) -> None:
+        self.name = name
+        self.labels = dict(labels or {})
+        self._enabled = enabled_cell
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        if not self._enabled[0]:
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        if not self._enabled[0]:
+            return
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class _Stripe:
+    """One writer stripe of a histogram: bucket counts plus moments."""
+
+    __slots__ = ("lock", "counts", "count", "sum", "sumsq", "min", "max")
+
+    def __init__(self, num_buckets: int) -> None:
+        self.lock = threading.Lock()
+        self.counts = [0] * num_buckets
+        self.count = 0
+        self.sum = 0.0
+        self.sumsq = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+
+class Histogram:
+    """Fixed-bucket latency/size sketch with lock-striped writers.
+
+    ``bounds`` are inclusive upper bucket edges (``value <= bound`` lands
+    in that bucket — Prometheus ``le`` semantics); one implicit overflow
+    bucket (``+Inf``) catches everything beyond the last bound.  No raw
+    samples are retained: percentiles interpolate within the bucket that
+    crosses the target rank, clamped to the observed min/max so a
+    single-sample histogram reports that exact sample at every quantile.
+    """
+
+    def __init__(self, name: str, labels: Mapping[str, str] | None,
+                 enabled_cell: list[bool],
+                 buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS) -> None:
+        self.name = name
+        self.labels = dict(labels or {})
+        self._enabled = enabled_cell
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds = bounds
+        self._stripes = [_Stripe(len(bounds) + 1) for _ in range(_NUM_STRIPES)]
+
+    # -- writes ---------------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        if not self._enabled[0]:
+            return
+        stripe = self._stripes[threading.get_ident() & (_NUM_STRIPES - 1)]
+        bucket = bisect_left(self.bounds, value)
+        with stripe.lock:
+            stripe.counts[bucket] += 1
+            stripe.count += 1
+            stripe.sum += value
+            stripe.sumsq += value * value
+            if value < stripe.min:
+                stripe.min = value
+            if value > stripe.max:
+                stripe.max = value
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        if not self._enabled[0]:
+            return
+        for value in values:
+            self.observe(value)
+
+    # -- reads ----------------------------------------------------------------
+
+    def _merged(self) -> tuple[list[int], int, float, float, float, float]:
+        counts = [0] * (len(self.bounds) + 1)
+        total, total_sum, total_sumsq = 0, 0.0, 0.0
+        lo, hi = math.inf, -math.inf
+        for stripe in self._stripes:
+            with stripe.lock:
+                for i, c in enumerate(stripe.counts):
+                    counts[i] += c
+                total += stripe.count
+                total_sum += stripe.sum
+                total_sumsq += stripe.sumsq
+                lo = min(lo, stripe.min)
+                hi = max(hi, stripe.max)
+        return counts, total, total_sum, total_sumsq, lo, hi
+
+    @property
+    def count(self) -> int:
+        return self._merged()[1]
+
+    @property
+    def sum(self) -> float:
+        return self._merged()[2]
+
+    def percentile(self, q: float) -> float:
+        """Interpolated quantile ``q`` in [0, 100]; 0.0 when empty."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        counts, total, _s, _sq, lo, hi = self._merged()
+        if total == 0:
+            return 0.0
+        target = q / 100.0 * total
+        cumulative = 0
+        for i, c in enumerate(counts):
+            if c == 0:
+                continue
+            if cumulative + c >= target:
+                lower = self.bounds[i - 1] if i > 0 else min(lo, self.bounds[0])
+                upper = self.bounds[i] if i < len(self.bounds) else hi
+                fraction = (target - cumulative) / c
+                estimate = lower + (upper - lower) * max(fraction, 0.0)
+                return min(max(estimate, lo), hi)
+            cumulative += c
+        return hi  # pragma: no cover - target <= total always hits a bucket
+
+    def jitter(self) -> float:
+        """Standard deviation from the running moments (no samples kept)."""
+        _c, total, s, sq, _lo, _hi = self._merged()
+        if total == 0:
+            return 0.0
+        mean = s / total
+        variance = sq / total - mean * mean
+        return math.sqrt(max(variance, 0.0))
+
+    def summary(self) -> dict[str, Any]:
+        """Everything an operator wants from the sketch, as one dict."""
+        counts, total, s, _sq, lo, hi = self._merged()
+        buckets = [
+            [self.bounds[i] if i < len(self.bounds) else "+Inf", c]
+            for i, c in enumerate(counts)
+        ]
+        return {
+            "count": total,
+            "sum": s,
+            "mean": (s / total) if total else 0.0,
+            "min": lo if total else 0.0,
+            "max": hi if total else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
+            "jitter": self.jitter(),
+            "buckets": buckets,
+        }
+
+    def reset(self) -> None:
+        for stripe in self._stripes:
+            with stripe.lock:
+                stripe.counts = [0] * (len(self.bounds) + 1)
+                stripe.count = 0
+                stripe.sum = 0.0
+                stripe.sumsq = 0.0
+                stripe.min = math.inf
+                stripe.max = -math.inf
+
+
+class MetricsRegistry:
+    """Named instruments, deduplicated by ``(name, labels)``.
+
+    Asking twice for the same series returns the same instrument (so
+    every broker partition shares one append histogram); asking for an
+    existing name with a different instrument type raises.  Disabling a
+    registry flips one shared cell that every instrument checks first, so
+    the whole plane degrades to a no-op without touching any call site.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._enabled = [bool(enabled)]
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled[0]
+
+    def set_enabled(self, enabled: bool) -> None:
+        """Flip the whole plane on/off; existing instruments follow."""
+        self._enabled[0] = bool(enabled)
+
+    def reset(self) -> None:
+        """Zero every instrument (series identities are kept)."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for instrument in instruments:
+            instrument.reset()
+
+    # -- instrument factories ---------------------------------------------------
+
+    def _get_or_create(self, kind: type, key: str, factory: Any) -> Any:
+        with self._lock:
+            existing = self._instruments.get(key)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise ValueError(
+                        f"metric {key!r} already registered as "
+                        f"{type(existing).__name__}, not {kind.__name__}"
+                    )
+                return existing
+            instrument = factory()
+            self._instruments[key] = instrument
+            return instrument
+
+    def counter(self, name: str,
+                labels: Mapping[str, str] | None = None) -> Counter:
+        key = series_key(name, labels)
+        return self._get_or_create(
+            Counter, key, lambda: Counter(name, labels, self._enabled)
+        )
+
+    def gauge(self, name: str,
+              labels: Mapping[str, str] | None = None) -> Gauge:
+        key = series_key(name, labels)
+        return self._get_or_create(
+            Gauge, key, lambda: Gauge(name, labels, self._enabled)
+        )
+
+    def histogram(self, name: str,
+                  labels: Mapping[str, str] | None = None,
+                  buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS) -> Histogram:
+        key = series_key(name, labels)
+        return self._get_or_create(
+            Histogram, key,
+            lambda: Histogram(name, labels, self._enabled, buckets=buckets),
+        )
+
+    # -- snapshot ---------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Point-in-time dict of every series (JSON-serializable)."""
+        with self._lock:
+            items = sorted(self._instruments.items())
+        counters: dict[str, Any] = {}
+        gauges: dict[str, Any] = {}
+        histograms: dict[str, Any] = {}
+        for key, instrument in items:
+            entry: dict[str, Any] = {
+                "name": instrument.name, "labels": instrument.labels,
+            }
+            if isinstance(instrument, Counter):
+                entry["value"] = instrument.value
+                counters[key] = entry
+            elif isinstance(instrument, Gauge):
+                entry["value"] = instrument.value
+                gauges[key] = entry
+            else:
+                entry.update(instrument.summary())
+                histograms[key] = entry
+        return {
+            "schema": "repro.metrics/v1",
+            "enabled": self.enabled,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+
+# -- process-wide default registry ---------------------------------------------
+
+_default_registry = MetricsRegistry()
+_registry_lock = threading.Lock()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry every instrumented component uses."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one.
+
+    Components fetch instruments at construction time, so a swap affects
+    components built *after* it — which is exactly what tests want:
+    swap in a fresh registry, build the component under test, assert.
+    """
+    global _default_registry
+    with _registry_lock:
+        previous = _default_registry
+        _default_registry = registry
+        return previous
+
+
+@contextmanager
+def scoped_registry(
+    registry: MetricsRegistry | None = None,
+) -> Iterator[MetricsRegistry]:
+    """Temporarily install ``registry`` (a fresh one by default) as the
+    process-wide default; restores the previous registry on exit."""
+    fresh = registry if registry is not None else MetricsRegistry()
+    previous = set_registry(fresh)
+    try:
+        yield fresh
+    finally:
+        set_registry(previous)

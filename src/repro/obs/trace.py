@@ -1,0 +1,176 @@
+"""Sampled end-to-end trace contexts riding record headers.
+
+A :class:`Tracer` stamps every Nth produced record with two headers — a
+trace id and the producer-side send time — which travel with the record
+through broker append, long-poll fetch and consumer poll exactly like
+Kafka record headers (the durable broker journals them too, so a traced
+record recovered after a crash keeps its context).  The consumer side
+(:class:`~repro.core.consumer_app.ConsumerApplication`) closes each trace
+after the verification-log insert with the window's per-stage boundaries,
+yielding spans like::
+
+    queue_dwell  producer send -> consumer poll      (broker + fetch wait)
+    streaming    deserialize + distinct addresses
+    history      device histogram over the alarm history
+    ml           vectorized classification
+    store        verification-log / history insert
+
+Completed traces live in a bounded deque (no unbounded retention) and
+every span also feeds a per-stage histogram in the metrics registry, so
+stage-latency percentiles survive even after a trace is evicted.
+Timestamps are ``time.perf_counter()`` floats and therefore only
+comparable within one process — fine for an in-process pipeline, stated
+here so nobody diffs them against wall clocks.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.obs.registry import MetricsRegistry, get_registry
+
+__all__ = ["Span", "Trace", "Tracer", "TRACE_ID_HEADER", "TRACE_SENT_HEADER"]
+
+#: Record header carrying the sampled trace's id.
+TRACE_ID_HEADER = "x-trace-id"
+#: Record header carrying the producer-side ``perf_counter`` send stamp.
+TRACE_SENT_HEADER = "x-trace-sent"
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named stage of a trace, with absolute perf-counter bounds."""
+
+    stage: str
+    start: float
+    end: float
+
+    @property
+    def duration_seconds(self) -> float:
+        return self.end - self.start
+
+    def to_document(self) -> dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "start": self.start,
+            "end": self.end,
+            "duration_seconds": self.duration_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A completed end-to-end trace: ordered spans for one record."""
+
+    trace_id: str
+    spans: tuple[Span, ...]
+
+    @property
+    def total_seconds(self) -> float:
+        if not self.spans:
+            return 0.0
+        return max(s.end for s in self.spans) - min(s.start for s in self.spans)
+
+    def to_document(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "spans": [span.to_document() for span in self.spans],
+            "total_seconds": self.total_seconds,
+        }
+
+
+class Tracer:
+    """Deterministic every-Nth trace sampler plus completed-trace store.
+
+    Parameters
+    ----------
+    sample_every:
+        Stamp one of every ``sample_every`` produced records with trace
+        headers (1 = trace everything).
+    max_traces:
+        Completed traces retained (oldest evicted first).
+    registry:
+        Metrics registry receiving the per-stage and end-to-end latency
+        histograms; the process-wide one when omitted.
+    """
+
+    def __init__(self, sample_every: int = 32, max_traces: int = 256,
+                 registry: MetricsRegistry | None = None) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        if max_traces < 1:
+            raise ValueError(f"max_traces must be >= 1, got {max_traces}")
+        self.sample_every = sample_every
+        self._registry = registry if registry is not None else get_registry()
+        self._lock = threading.Lock()
+        self._sequence = 0
+        self._completed: deque[Trace] = deque(maxlen=max_traces)
+        self._stage_hists: dict[str, Any] = {}
+        self._e2e_hist = self._registry.histogram("repro_trace_e2e_seconds")
+        self._sampled = self._registry.counter("repro_trace_sampled_total")
+        self._finished = self._registry.counter("repro_trace_completed_total")
+
+    # -- producer side ----------------------------------------------------------
+
+    def sample_headers(self, sent_at: float) -> dict[str, str] | None:
+        """Headers for the next produced record, or ``None`` when unsampled.
+
+        ``sent_at`` is the producer's ``time.perf_counter()`` stamp taken
+        just before the send; the consumer side derives queue-dwell from
+        it.  Thread-safe: concurrent producers draw distinct sequence
+        numbers, so exactly one record in ``sample_every`` carries headers.
+        """
+        with self._lock:
+            sequence = self._sequence
+            self._sequence += 1
+        if sequence % self.sample_every:
+            return None
+        self._sampled.inc()
+        return {
+            TRACE_ID_HEADER: f"t-{sequence:08d}",
+            TRACE_SENT_HEADER: repr(sent_at),
+        }
+
+    # -- consumer side ----------------------------------------------------------
+
+    def _stage_histogram(self, stage: str) -> Any:
+        hist = self._stage_hists.get(stage)
+        if hist is None:
+            hist = self._registry.histogram(
+                "repro_trace_stage_seconds", labels={"stage": stage}
+            )
+            self._stage_hists[stage] = hist
+        return hist
+
+    def record(self, trace_id: str,
+               spans: Iterable[tuple[str, float, float]]) -> Trace:
+        """Complete one trace from ``(stage, start, end)`` triples.
+
+        Each span also lands in the registry's per-stage histogram and the
+        whole trace in the end-to-end histogram, so percentile latency per
+        stage outlives the bounded trace store.
+        """
+        built = tuple(Span(stage, start, end) for stage, start, end in spans)
+        trace = Trace(trace_id=trace_id, spans=built)
+        for span in built:
+            self._stage_histogram(span.stage).observe(span.duration_seconds)
+        if built:
+            self._e2e_hist.observe(trace.total_seconds)
+        self._finished.inc()
+        with self._lock:
+            self._completed.append(trace)
+        return trace
+
+    # -- reads ------------------------------------------------------------------
+
+    def traces(self) -> list[Trace]:
+        """Completed traces, oldest first (bounded by ``max_traces``)."""
+        with self._lock:
+            return list(self._completed)
+
+    def trace_documents(self) -> list[dict[str, Any]]:
+        """Completed traces as JSON-serializable documents."""
+        return [trace.to_document() for trace in self.traces()]

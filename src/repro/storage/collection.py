@@ -29,9 +29,11 @@ from __future__ import annotations
 
 import heapq
 import threading
+import time
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.errors import IndexError_, QueryError
+from repro.obs.registry import get_registry
 from repro.storage.index import HashIndex, SortedIndex
 from repro.storage.query import (
     compile_filter,
@@ -85,6 +87,13 @@ class _Plan:
         self.candidates = ids if self.candidates is None else self.candidates & ids
 
 
+def _plan_mode(plan: _Plan) -> str:
+    """Execution-mode label for the query-latency histogram."""
+    if plan.candidates is None:
+        return "scan"
+    return "covered" if plan.covered else "indexed"
+
+
 class Collection:
     """A named set of documents with secondary indexes."""
 
@@ -97,6 +106,15 @@ class Collection:
         # Planner instrumentation (observable by benchmarks/tests).
         self.scans = 0
         self.index_hits = 0
+        # explain()-grade query timings by execution mode, shared across
+        # collections (one labeled series per mode, resolved once here).
+        registry = get_registry()
+        self._query_timers = {
+            mode: registry.histogram(
+                "repro_storage_query_seconds", labels={"mode": mode}
+            )
+            for mode in ("covered", "indexed", "scan")
+        }
 
     # -- writes -----------------------------------------------------------------
 
@@ -280,19 +298,25 @@ class Collection:
         ``1``/``-1``.  ``projection`` keeps only the listed fields plus
         ``_id``.  ``limit`` and ``skip`` must be non-negative.
         """
+        started = time.perf_counter()
         filter_doc = filter_doc or {}
         pred = compile_filter(filter_doc)
         _validate_window(limit, skip)
         sort_field, reverse = _parse_sort(sort)
         with self._lock:
-            ordered = self._ordered_ids_locked(filter_doc, pred, sort_field,
+            plan = self._plan_filter(filter_doc)
+            ordered = self._ordered_ids_locked(plan, pred, sort_field,
                                                reverse, limit, skip)
             if skip:
                 ordered = ordered[skip:]
             if limit is not None:
                 ordered = ordered[:limit]
             snapshot = [(doc_id, self._documents[doc_id]) for doc_id in ordered]
-        return self._materialize(snapshot, projection)
+        result = self._materialize(snapshot, projection)
+        self._query_timers[_plan_mode(plan)].observe(
+            time.perf_counter() - started
+        )
+        return result
 
     def find_one(self, filter_doc: Mapping[str, Any] | None = None) -> dict[str, Any] | None:
         """First matching document in ``_id`` order, or None."""
@@ -311,6 +335,7 @@ class Collection:
         A filter whose every conjunct is exactly answered by an index is
         counted from the index intersection alone — no document is touched.
         """
+        started = time.perf_counter()
         filter_doc = filter_doc or {}
         pred = compile_filter(filter_doc)
         with self._lock:
@@ -319,9 +344,14 @@ class Collection:
             plan = self._plan_filter(filter_doc)
             candidates = self._note_candidates(plan)
             if plan.covered and plan.candidates is not None:
-                return len(plan.candidates)
-            docs = self._documents
-            return sum(1 for doc_id in candidates if pred(docs[doc_id]))
+                result = len(plan.candidates)
+            else:
+                docs = self._documents
+                result = sum(1 for doc_id in candidates if pred(docs[doc_id]))
+        self._query_timers[_plan_mode(plan)].observe(
+            time.perf_counter() - started
+        )
+        return result
 
     def distinct(self, field: str, filter_doc: Mapping[str, Any] | None = None) -> list[Any]:
         """Distinct values of ``field`` over matching documents, sorted when possible."""
@@ -468,13 +498,12 @@ class Collection:
             return True
         return candidates is not None and candidates.isdisjoint(irregular)
 
-    def _ordered_ids_locked(self, filter_doc: Mapping[str, Any],
+    def _ordered_ids_locked(self, plan: _Plan,
                             pred: Callable[[Mapping[str, Any]], bool],
                             sort_field: str | None, reverse: bool,
                             limit: int | None, skip: int) -> list[int]:
         """Matching ids in final result order, truncated to skip+limit when
         possible (caller holds the lock; slicing happens in find())."""
-        plan = self._plan_filter(filter_doc)
         candidates = self._note_candidates(plan)
         docs = self._documents
         covered = plan.covered and plan.candidates is not None

@@ -50,6 +50,7 @@ from repro.errors import (
     UnknownPartitionError,
     UnknownTopicError,
 )
+from repro.obs.registry import DEFAULT_SIZE_BUCKETS, get_registry
 from repro.streaming.message import (
     EMPTY_HEADERS,
     Record,
@@ -81,6 +82,19 @@ class PartitionLog:
         self._size_bytes = 0  # running counter: size_bytes() is O(1)
         self._cond = threading.Condition()
         self._deleted = False
+        # Shared instruments (one series across all partitions), resolved
+        # once here so the append/read hot paths never touch the registry.
+        registry = get_registry()
+        self._append_hist = registry.histogram(
+            "repro_broker_append_batch_records", buckets=DEFAULT_SIZE_BUCKETS
+        )
+        self._fetch_hist = registry.histogram(
+            "repro_broker_fetch_batch_records", buckets=DEFAULT_SIZE_BUCKETS
+        )
+        self._wake_hist = registry.histogram("repro_broker_longpoll_wake_seconds")
+        self._poll_timeouts = registry.counter(
+            "repro_broker_longpoll_timeouts_total"
+        )
 
     def append(self, key: bytes | None, value: bytes, timestamp: float | None = None,
                headers: dict[str, str] | None = None) -> int:
@@ -129,6 +143,7 @@ class PartitionLog:
                     added_bytes += len(value) + (len(key) if key else 0)
             self._size_bytes += added_bytes
             self._cond.notify_all()
+        self._append_hist.observe(count)
         return list(range(base, base + count))
 
     def read(self, offset: int, max_records: int,
@@ -146,6 +161,7 @@ class PartitionLog:
         :class:`UnknownTopicError`.
         """
         deadline = (time.monotonic() + timeout) if timeout else None
+        waited_since: float | None = None
         with self._cond:
             self._check_not_deleted()
             if offset < 0 or offset > len(self._records):
@@ -153,12 +169,25 @@ class PartitionLog:
                     f"{self.topic}[{self.partition}]: offset {offset} outside [0, {len(self._records)}]"
                 )
             while deadline is not None and offset == len(self._records):
-                remaining = deadline - time.monotonic()
+                now = time.monotonic()
+                remaining = deadline - now
                 if remaining <= 0:
                     break
+                if waited_since is None:
+                    waited_since = now
                 self._cond.wait(remaining)
                 self._check_not_deleted()
-            return self._records[offset : offset + max_records]
+            records = self._records[offset : offset + max_records]
+        if waited_since is not None:
+            # Wake latency is observed even when the wait expired empty, so
+            # fetcher starvation shows up as a latency plateau at the poll
+            # timeout instead of disappearing from the metrics entirely.
+            self._wake_hist.observe(time.monotonic() - waited_since)
+            if not records:
+                self._poll_timeouts.inc()
+        if records:
+            self._fetch_hist.observe(len(records))
+        return records
 
     def end_offset(self) -> int:
         """The offset that the next appended record will receive."""
@@ -227,6 +256,11 @@ class Broker:
         self._activity = threading.Condition()
         self._activity_version = 0
         self._activity_waiters = 0
+        # Zombie commits rejected by the group-generation fence: the
+        # cluster-health counter rebalance tests and operators watch.
+        self._fencing_rejections = get_registry().counter(
+            "repro_broker_fencing_rejections_total"
+        )
 
     # -- topic administration -------------------------------------------------
 
@@ -458,6 +492,7 @@ class Broker:
             # still legitimate) or observes the new fence and is rejected.
             fence = self._group_generations.get(group)
             if fence is not None and (generation is None or generation < fence):
+                self._fencing_rejections.inc()
                 raise FencedGenerationError(
                     f"commit for group {group!r} carries generation "
                     f"{generation!r} but the group is fenced at {fence}"

@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs.trace import TRACE_ID_HEADER, TRACE_SENT_HEADER
 from repro.streaming.broker import Broker
 from repro.streaming.consumer import Consumer
 from repro.streaming.message import TopicPartition
@@ -46,14 +47,25 @@ class BatchStats:
 
 
 class MicroBatch:
-    """One streaming window of deserialized records, as a partitioned dataset."""
+    """One streaming window of deserialized records, as a partitioned dataset.
+
+    ``traces`` carries the sampled trace contexts found in the window's
+    record headers as ``(trace_id, producer_sent_at)`` pairs, and
+    ``polled_at`` is the perf-counter instant the poll returned — together
+    they let the consumer application derive queue-dwell spans (producer
+    send -> consumer poll) without re-scanning raw records.
+    """
 
     def __init__(self, index: int, dataset: PartitionedDataset,
-                 offsets: dict[TopicPartition, int], deserialize_seconds: float):
+                 offsets: dict[TopicPartition, int], deserialize_seconds: float,
+                 traces: list[tuple[str, float]] | None = None,
+                 polled_at: float = 0.0):
         self.index = index
         self.dataset = dataset
         self.offsets = offsets
         self.deserialize_seconds = deserialize_seconds
+        self.traces = traces if traces is not None else []
+        self.polled_at = polled_at
 
     def __len__(self) -> int:
         return self.dataset.count()
@@ -116,12 +128,21 @@ class StreamingContext:
         """
         started = time.perf_counter()
         batch = self._consumer.poll(max_records or 10_000, timeout=timeout)
+        polled_at = time.perf_counter()
         partitions: list[list[Any]] = []
+        traces: list[tuple[str, float]] = []
         serializer = self._consumer.serializer
         for tp in batch.partitions():
+            records = batch.records(tp)
             partitions.append(
-                deserialize_batch(serializer, [r.value for r in batch.records(tp)])
+                deserialize_batch(serializer, [r.value for r in records])
             )
+            for record in records:
+                if record.headers and TRACE_ID_HEADER in record.headers:
+                    traces.append((
+                        record.headers[TRACE_ID_HEADER],
+                        float(record.headers[TRACE_SENT_HEADER]),
+                    ))
         deserialize_seconds = time.perf_counter() - started
         if not partitions:
             partitions = [[]]
@@ -131,6 +152,8 @@ class StreamingContext:
             dataset=dataset,
             offsets=batch.max_offsets(),
             deserialize_seconds=deserialize_seconds,
+            traces=traces,
+            polled_at=polled_at,
         )
         self._batch_index += 1
         return micro

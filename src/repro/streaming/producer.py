@@ -59,22 +59,28 @@ class ProducerStats:
         self._bytes_sent = 0
         self._started_at: float | None = None
         self._finished_at: float | None = None
+        self._started_wall: float | None = None
+        self._finished_wall: float | None = None
 
     def mark_started(self) -> None:
         """Stamp the start of the active span (first call wins)."""
         with self._lock:
             if self._started_at is None:
                 self._started_at = time.perf_counter()
+                self._started_wall = time.time()
 
     def record_send(self, records: int, payload_bytes: int) -> None:
         """Atomically account one completed send of ``records`` records."""
         now = time.perf_counter()
+        now_wall = time.time()
         with self._lock:
             if self._started_at is None:
                 self._started_at = now
+                self._started_wall = now_wall
             self._records_sent += records
             self._bytes_sent += payload_bytes
             self._finished_at = now
+            self._finished_wall = now_wall
 
     @property
     def records_sent(self) -> int:
@@ -95,6 +101,18 @@ class ProducerStats:
     def finished_at(self) -> float | None:
         with self._lock:
             return self._finished_at
+
+    @property
+    def started_wall(self) -> float | None:
+        """Wall-clock (``time.time()``) stamp of the first send, or None."""
+        with self._lock:
+            return self._started_wall
+
+    @property
+    def finished_wall(self) -> float | None:
+        """Wall-clock (``time.time()``) stamp of the last send, or None."""
+        with self._lock:
+            return self._finished_wall
 
     @property
     def elapsed_seconds(self) -> float:

@@ -58,6 +58,9 @@ from repro.datasets.incidents import IncidentReportGenerator
 from repro.datasets.sitasys import SitasysGenerator
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.pipeline import FeaturePipeline
+from repro.obs.export import build_snapshot
+from repro.obs.registry import get_registry
+from repro.obs.trace import Tracer
 from repro.storage.store import DocumentStore
 from repro.streaming.broker import Broker
 from repro.streaming.producer import Producer, ProducerStats
@@ -119,6 +122,11 @@ class LoadTestReport:
     consumers: int = 1
     rebalances: int = 0
     shard_recoveries: list[dict[str, Any]] = field(default_factory=list)
+    #: Telemetry extras: the full metrics snapshot taken at the end of the
+    #: run (registry + sampled traces; see :mod:`repro.obs`) and the
+    #: completed end-to-end traces as plain documents.
+    metrics: dict[str, Any] = field(default_factory=dict)
+    traces: list[dict[str, Any]] = field(default_factory=list)
 
 
 class LoadDriver:
@@ -160,6 +168,10 @@ class LoadDriver:
         :class:`~repro.cluster.coordinator.GroupCoordinator` with
         generation-fenced commits, and attaches the idempotent
         verification sink so rebalance re-processing stays exactly-once.
+    trace_sample_every:
+        Stamp one of every N produced records with a trace context (see
+        :class:`~repro.obs.trace.Tracer`); the consumer closes each trace
+        with queue-dwell plus per-stage spans.  1 traces everything.
     """
 
     def __init__(self, scenario: Scenario, seed: int | None = None,
@@ -169,7 +181,8 @@ class LoadDriver:
                  ops: OpsMetrics | None = None,
                  durable_dir: str | Path | None = None,
                  offset_checkpoint_every: int = 8,
-                 shards: int = 1, consumers: int = 1) -> None:
+                 shards: int = 1, consumers: int = 1,
+                 trace_sample_every: int = 32) -> None:
         if speedup <= 0:
             raise ConfigurationError(f"speedup must be > 0, got {speedup}")
         if shards < 1:
@@ -245,6 +258,7 @@ class LoadDriver:
         #: or a fresh one per run so repeated runs never mix windows).
         #: ``None`` until the first run when nothing was injected.
         self.ops: OpsMetrics | None = ops
+        self.tracer = Tracer(sample_every=trace_sample_every)
         self._backpressure_waits = 0
         self._bp_lock = threading.Lock()
 
@@ -404,8 +418,11 @@ class LoadDriver:
                     with self._bp_lock:
                         self._backpressure_waits += waited
             doc = dict(event.document)
-            doc[PRODUCED_AT_KEY] = time.perf_counter()
-            producer.send(self.topic, doc, key=doc["device_address"])
+            sent_at = time.perf_counter()
+            doc[PRODUCED_AT_KEY] = sent_at
+            headers = self.tracer.sample_headers(sent_at)
+            producer.send(self.topic, doc, key=doc["device_address"],
+                          headers=headers)
 
     def _phase_fault_actions(
         self, span: tuple[float, float]
@@ -646,6 +663,16 @@ class LoadDriver:
             merged.elapsed_seconds += report.elapsed_seconds
             merged.duplicates_skipped += report.duplicates_skipped
             merged.verifications.extend(report.verifications)
+            if report.started_wall is not None:
+                merged.started_wall = (
+                    report.started_wall if merged.started_wall is None
+                    else min(merged.started_wall, report.started_wall)
+                )
+            if report.finished_wall is not None:
+                merged.finished_wall = (
+                    report.finished_wall if merged.finished_wall is None
+                    else max(merged.finished_wall, report.finished_wall)
+                )
         return merged
 
     def run(self, max_batch_records: int | None = 2_000) -> LoadTestReport:
@@ -731,6 +758,7 @@ class LoadDriver:
                     serializer=serializer, verification_log=_log,
                     on_window=self.ops.observe_window,
                     coordinator=coordinator, member_id=member_id,
+                    tracer=self.tracer,
                 )
 
             stats.extend(self._run_phase(
@@ -787,4 +815,6 @@ class LoadDriver:
             consumers=self.consumers,
             rebalances=self._rebalances,
             shard_recoveries=list(self._shard_recoveries),
+            metrics=build_snapshot(get_registry(), tracer=self.tracer),
+            traces=self.tracer.trace_documents(),
         )

@@ -38,6 +38,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.core.verification import Verification
+from repro.obs.registry import get_registry
 from repro.storage.store import DocumentStore
 
 __all__ = ["OpsMetrics", "OpsSummary", "PRODUCED_AT_KEY"]
@@ -64,6 +65,9 @@ class OpsSummary:
     sla_compliance: float
     mttr_seconds: float | None
     trend: str
+    #: Fraction of alarms whose end-to-end latency missed the per-alarm
+    #: deadline (0.0 when no deadline was configured).
+    deadline_miss_rate: float = 0.0
 
 
 class OpsMetrics:
@@ -78,11 +82,16 @@ class OpsMetrics:
         Target collection for window documents.
     sla_p95_seconds:
         Per-window p95 latency bound that defines a "healthy" window.
+    deadline_seconds:
+        Optional per-alarm end-to-end deadline.  When set, every alarm
+        whose produce-to-verdict latency exceeds it counts as a deadline
+        miss; the run report and each window document carry the miss rate.
     """
 
     def __init__(self, store: DocumentStore | None = None,
                  collection_name: str = "ops_windows",
-                 sla_p95_seconds: float = 0.5) -> None:
+                 sla_p95_seconds: float = 0.5,
+                 deadline_seconds: float | None = None) -> None:
         self.store = store if store is not None else DocumentStore()
         self.collection = self.store.collection(collection_name)
         if "window" not in self.collection.index_fields():
@@ -92,12 +101,15 @@ class OpsMetrics:
         existing_runs = self.collection.distinct("run")
         self.run = (max(existing_runs) + 1) if existing_runs else 0
         self.sla_p95_seconds = sla_p95_seconds
+        self.deadline_seconds = deadline_seconds
         self.alarms = 0
         self.windows = 0
         self._latencies: list[float] = []
         self._false_count = 0
+        self._deadline_misses = 0
         self._started_at: float | None = None
         self._finished_at: float | None = None
+        self._latency_hist = get_registry().histogram("repro_e2e_latency_seconds")
         # Several consumers of one group (cluster mode) observe windows
         # concurrently; the running totals and the window counter must
         # update atomically.
@@ -125,14 +137,19 @@ class OpsMetrics:
             arr = np.asarray(latencies)
             p50, p95, p99 = (float(p) for p in np.percentile(arr, (50, 95, 99)))
             mean = float(arr.mean())
+            self._latency_hist.observe_many(latencies)
         else:
             p50 = p95 = p99 = mean = 0.0
+        misses = 0
+        if self.deadline_seconds is not None:
+            misses = sum(1 for lat in latencies if lat > self.deadline_seconds)
         with self._observe_lock:
             if self._started_at is None:
                 self._started_at = now
             self._finished_at = max(self._finished_at or now, now)
             self.alarms += count
             self._false_count += false_count
+            self._deadline_misses += misses
             self._latencies.extend(latencies)
             doc = {
                 "run": self.run,
@@ -144,6 +161,8 @@ class OpsMetrics:
                 "latency_p95": p95,
                 "latency_p99": p99,
                 "sla_ok": p95 <= self.sla_p95_seconds,
+                "deadline_misses": misses,
+                "deadline_miss_rate": misses / count if count else 0.0,
                 "observed_at": now,
             }
             self.collection.insert_one(doc)
@@ -184,6 +203,13 @@ class OpsMetrics:
         if self.alarms == 0:
             return 0.0
         return self._false_count / self.alarms
+
+    def deadline_miss_rate(self) -> float:
+        """Fraction of alarms that missed the per-alarm deadline (0.0 when
+        no ``deadline_seconds`` was configured)."""
+        if self.alarms == 0:
+            return 0.0
+        return self._deadline_misses / self.alarms
 
     def sla_compliance(self) -> float:
         """Fraction of windows whose p95 latency met the SLA bound."""
@@ -290,6 +316,7 @@ class OpsMetrics:
             sla_compliance=self.sla_compliance(),
             mttr_seconds=self.mttr_seconds(),
             trend=self.trend_direction(),
+            deadline_miss_rate=self.deadline_miss_rate(),
         )
 
     def render_report(self) -> str:
@@ -306,6 +333,11 @@ class OpsMetrics:
             f"SLA compliance      {s.sla_compliance:.1%} of windows "
             f"(p95 <= {self.sla_p95_seconds * 1e3:.0f} ms)",
         ]
+        if self.deadline_seconds is not None:
+            lines.append(
+                f"deadline misses     {s.deadline_miss_rate:.1%} of alarms "
+                f"(deadline {self.deadline_seconds * 1e3:.0f} ms)"
+            )
         if s.mttr_seconds is not None:
             lines.append(f"MTTR                {s.mttr_seconds:.2f}s")
         trend = self.verification_rate_trend()

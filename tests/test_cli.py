@@ -250,6 +250,53 @@ class TestLoadtest:
         assert "durable" in capsys.readouterr().err
 
 
+class TestMetrics:
+    def _run_loadtest_with_metrics(self, tmp_path):
+        from repro.workload import ConstantRate, DatasetSpec, Scenario
+        spec = Scenario(
+            name="tiny-metrics", arrivals=ConstantRate(rate=4.0), duration=30.0,
+            dataset=DatasetSpec(num_devices=50, train_alarms=200,
+                                preload_history=0),
+        )
+        path = tmp_path / "tiny.json"
+        path.write_text(spec.to_json(), encoding="utf-8")
+        snapshot_path = tmp_path / "metrics.json"
+        code = main(["loadtest", "--scenario", str(path), "--speedup", "3000",
+                     "--metrics-out", str(snapshot_path)])
+        assert code == 0
+        return snapshot_path
+
+    def test_loadtest_metrics_out_writes_snapshot(self, capsys, tmp_path):
+        snapshot_path = self._run_loadtest_with_metrics(tmp_path)
+        out = capsys.readouterr().out
+        assert "wrote metrics snapshot to" in out
+        assert "produce window" in out
+        assert "consume window" in out
+        snapshot = json.loads(snapshot_path.read_text())
+        assert snapshot["schema"] == "repro.metrics/v1"
+        broker_hist = snapshot["histograms"]["repro_broker_append_batch_records"]
+        assert broker_hist["count"] > 0
+
+    def test_metrics_command_renders_snapshot(self, capsys, tmp_path):
+        snapshot_path = self._run_loadtest_with_metrics(tmp_path)
+        capsys.readouterr()
+        assert main(["metrics", str(snapshot_path)]) == 0
+        pretty = capsys.readouterr().out
+        assert "histograms" in pretty
+        assert "repro_broker_append_batch_records" in pretty
+        assert main(["metrics", str(snapshot_path),
+                     "--format", "prometheus"]) == 0
+        prom = capsys.readouterr().out
+        assert "# TYPE repro_broker_append_batch_records histogram" in prom
+        assert main(["metrics", str(snapshot_path), "--format", "json"]) == 0
+        assert json.loads(capsys.readouterr().out)["schema"] == "repro.metrics/v1"
+
+    def test_metrics_command_missing_file_fails_cleanly(self, capsys, tmp_path):
+        code = main(["metrics", str(tmp_path / "absent.json")])
+        assert code == 2
+        assert "cannot read snapshot" in capsys.readouterr().err
+
+
 class TestParser:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):

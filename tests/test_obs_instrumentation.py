@@ -1,0 +1,214 @@
+"""Instrumentation hooks across broker, WAL, planner, shards, coordinator."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster.coordinator import GroupCoordinator
+from repro.cluster.sharded import ShardedDocumentStore
+from repro.errors import FencedGenerationError
+from repro.obs.registry import get_registry, scoped_registry
+from repro.storage.store import DocumentStore
+from repro.streaming.broker import Broker
+from repro.streaming.consumer import Consumer
+from repro.streaming.message import TopicPartition
+from repro.streaming.producer import Producer
+
+
+def _hist(name: str) -> dict:
+    return get_registry().snapshot()["histograms"].get(name, {"count": 0})
+
+
+def _counter(name: str) -> int:
+    entry = get_registry().snapshot()["counters"].get(name)
+    return entry["value"] if entry else 0
+
+
+class TestBrokerInstrumentation:
+    def test_append_and_fetch_batch_sizes_observed(self):
+        with scoped_registry():
+            broker = Broker()
+            broker.create_topic("t", num_partitions=1)
+            broker.append_batch("t", 0, [(None, b"a"), (None, b"b")])
+            records = broker.fetch(TopicPartition("t", 0), 0)
+            assert len(records) == 2
+            append = _hist("repro_broker_append_batch_records")
+            fetch = _hist("repro_broker_fetch_batch_records")
+            assert append["count"] == 1 and append["sum"] == 2.0
+            assert fetch["count"] == 1 and fetch["sum"] == 2.0
+
+    def test_longpoll_wake_recorded_even_on_empty_timeout(self):
+        # Satellite: a fetch(timeout=) that expires with no data must still
+        # record its wake latency, not vanish from the metrics.
+        with scoped_registry():
+            broker = Broker()
+            broker.create_topic("t", num_partitions=1)
+            records = broker.fetch(TopicPartition("t", 0), 0, timeout=0.02)
+            assert records == []
+            wake = _hist("repro_broker_longpoll_wake_seconds")
+            assert wake["count"] == 1
+            assert wake["sum"] >= 0.015
+            assert _counter("repro_broker_longpoll_timeouts_total") == 1
+
+    def test_longpoll_wake_recorded_on_satisfied_wait(self):
+        import threading
+
+        with scoped_registry():
+            broker = Broker()
+            broker.create_topic("t", num_partitions=1)
+            timer = threading.Timer(
+                0.01, lambda: broker.append("t", 0, None, b"x")
+            )
+            timer.start()
+            try:
+                records = broker.fetch(TopicPartition("t", 0), 0, timeout=1.0)
+            finally:
+                timer.join()
+            assert len(records) == 1
+            assert _hist("repro_broker_longpoll_wake_seconds")["count"] == 1
+            assert _counter("repro_broker_longpoll_timeouts_total") == 0
+
+    def test_immediate_fetch_records_no_wake(self):
+        with scoped_registry():
+            broker = Broker()
+            broker.create_topic("t", num_partitions=1)
+            broker.append("t", 0, None, b"x")
+            broker.fetch(TopicPartition("t", 0), 0)
+            assert _hist("repro_broker_longpoll_wake_seconds")["count"] == 0
+
+    def test_fencing_rejections_counted(self):
+        with scoped_registry():
+            broker = Broker()
+            broker.create_topic("t", num_partitions=1)
+            broker.fence_group("g", 2)
+            with pytest.raises(FencedGenerationError):
+                broker.commit("g", {TopicPartition("t", 0): 0}, generation=1)
+            assert _counter("repro_broker_fencing_rejections_total") == 1
+
+
+class TestWalInstrumentation:
+    def test_fsync_and_commit_batch_observed(self, tmp_path):
+        from repro.durability.wal import WriteAheadLog
+
+        with scoped_registry():
+            wal = WriteAheadLog(tmp_path / "wal", sync="always")
+            wal.append_many([b"one", b"two", b"three"])
+            wal.close()
+            assert _hist("repro_wal_fsync_seconds")["count"] >= 1
+            commit = _hist("repro_wal_commit_batch_records")
+            assert commit["count"] == 1 and commit["sum"] == 3.0
+
+
+class TestPlannerInstrumentation:
+    def test_query_modes_labelled(self):
+        with scoped_registry():
+            store = DocumentStore()
+            coll = store.collection("docs")
+            coll.create_index("kind", kind="hash")
+            coll.insert_many(
+                [{"kind": "a", "rank": i} for i in range(10)]
+            )
+            coll.find({"kind": "a"})              # covered by the hash index
+            coll.find({"rank": {"$gte": 5}})      # full scan
+            coll.find({"kind": "a", "rank": 3})   # indexed + verification
+            snap = get_registry().snapshot()["histograms"]
+            assert snap['repro_storage_query_seconds{mode="covered"}']["count"] == 1
+            assert snap['repro_storage_query_seconds{mode="scan"}']["count"] == 1
+            assert snap['repro_storage_query_seconds{mode="indexed"}']["count"] == 1
+
+    def test_count_observed_too(self):
+        with scoped_registry():
+            store = DocumentStore()
+            coll = store.collection("docs")
+            coll.insert_many([{"n": i} for i in range(5)])
+            coll.count({"n": {"$lt": 3}})
+            assert _hist(
+                'repro_storage_query_seconds{mode="scan"}')["count"] == 1
+
+
+class TestShardInstrumentation:
+    def test_fanout_latency_per_shard(self):
+        with scoped_registry():
+            store = ShardedDocumentStore(num_shards=2)
+            coll = store.collection("docs")
+            coll.insert_many([{"k": str(i), "v": i} for i in range(20)])
+            coll.find({})
+            snap = get_registry().snapshot()["histograms"]
+            for shard in ("0", "1"):
+                entry = snap[f'repro_shard_fanout_seconds{{shard="{shard}"}}']
+                assert entry["count"] >= 1
+            store.close()
+
+    def test_merge_cost_observed_on_sorted_find(self):
+        with scoped_registry():
+            store = ShardedDocumentStore(num_shards=2)
+            coll = store.collection("docs")
+            coll.insert_many([{"k": str(i), "v": i} for i in range(20)])
+            coll.find({}, sort="v")
+            assert _hist("repro_shard_merge_seconds")["count"] == 1
+            coll.find({})  # unsorted: concatenation, no merge
+            assert _hist("repro_shard_merge_seconds")["count"] == 1
+            store.close()
+
+
+class TestCoordinatorInstrumentation:
+    def test_rebalance_duration_observed(self):
+        with scoped_registry():
+            broker = Broker()
+            broker.create_topic("t", num_partitions=4)
+            coordinator = GroupCoordinator(broker, "t", "g")
+            coordinator.join("m0", Consumer(broker, "g"))
+            coordinator.join("m1", Consumer(broker, "g"))
+            coordinator.leave("m1")
+            assert _hist("repro_cluster_rebalance_seconds")["count"] == 3
+
+
+class TestWallClockSatellites:
+    def test_producer_stats_wall_clock_bounds(self):
+        with scoped_registry():
+            broker = Broker()
+            broker.create_topic("t", num_partitions=1)
+            producer = Producer(broker)
+            assert producer.stats.started_wall is None
+            before = time.time()
+            producer.send("t", {"n": 1})
+            after = time.time()
+            assert before <= producer.stats.started_wall <= after
+            assert before <= producer.stats.finished_wall <= after
+            assert producer.stats.started_wall <= producer.stats.finished_wall
+
+    def test_consumer_report_wall_clock_bounds(self):
+        from repro.core.consumer_app import ConsumerApplication
+        from repro.core.verification import VerificationService
+
+        class _StubPipeline:
+            classes_ = [False, True]
+
+            def predict(self, rows):
+                return [True] * len(rows)
+
+            def predict_proba(self, rows):
+                return [[0.0, 1.0]] * len(rows)
+
+        with scoped_registry():
+            broker = Broker()
+            broker.create_topic("alarms", num_partitions=1)
+            producer = Producer(broker)
+            doc = {
+                "device_address": "d1", "alarm_type": "intrusion",
+                "zip_code": "10115", "locality": "Mitte",
+                "property_type": "residential", "duration_seconds": 4.0,
+                "timestamp": 1.0, "uid": "a-1",
+            }
+            producer.send("alarms", doc, key="d1")
+            app = ConsumerApplication(
+                broker, "alarms", "g",
+                VerificationService(_StubPipeline()),
+            )
+            before = time.time()
+            report = app.process_available()
+            after = time.time()
+            assert report.alarms_processed == 1
+            assert before <= report.started_wall <= report.finished_wall <= after

@@ -1,0 +1,286 @@
+"""Metrics registry: counters, gauges, lock-striped histograms, exporters."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs.export import (
+    build_snapshot,
+    render_pretty,
+    render_prometheus,
+    write_json_snapshot,
+)
+from repro.obs.registry import (
+    DEFAULT_SIZE_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    scoped_registry,
+    series_key,
+)
+
+
+class TestSeriesKey:
+    def test_plain_name(self):
+        assert series_key("repro_x_total", None) == "repro_x_total"
+
+    def test_labels_sorted(self):
+        key = series_key("repro_q", {"mode": "scan", "a": "b"})
+        assert key == 'repro_q{a="b",mode="scan"}'
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_test_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_disabled_is_noop(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("repro_test_total")
+        counter.inc()
+        assert counter.value == 0
+
+    def test_gauge_set_add(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("repro_test_gauge")
+        gauge.set(2.5)
+        gauge.add(0.5)
+        assert gauge.value == 3.0
+
+    def test_same_series_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("repro_a") is registry.counter("repro_a")
+        assert registry.histogram("repro_h") is registry.histogram("repro_h")
+
+    def test_type_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_a")
+        with pytest.raises(ValueError):
+            registry.gauge("repro_a")
+
+
+class TestHistogramEdgeCases:
+    def test_empty_percentiles_are_zero(self):
+        hist = MetricsRegistry().histogram("repro_empty")
+        assert hist.count == 0
+        assert hist.percentile(50) == 0.0
+        assert hist.percentile(99.9) == 0.0
+        assert hist.jitter() == 0.0
+        summary = hist.summary()
+        assert summary["count"] == 0
+        assert summary["p50"] == 0.0
+
+    def test_single_sample_every_percentile_is_that_sample(self):
+        hist = MetricsRegistry().histogram("repro_one")
+        hist.observe(0.0123)
+        for q in (0.1, 50, 95, 99, 99.9, 100):
+            assert hist.percentile(q) == pytest.approx(0.0123)
+        assert hist.jitter() == pytest.approx(0.0)
+
+    def test_bucket_boundary_lands_in_le_bucket(self):
+        # Prometheus semantics: a sample equal to a bound belongs to the
+        # bucket with le == bound, not the next one up.
+        hist = MetricsRegistry().histogram("repro_bound", buckets=(1.0, 2.0, 5.0))
+        hist.observe(2.0)
+        buckets = dict(
+            (le, n) for le, n in hist.summary()["buckets"]
+        )
+        assert buckets[2.0] == 1
+        assert buckets[5.0] == 0
+
+    def test_percentiles_clamped_to_observed_range(self):
+        hist = MetricsRegistry().histogram("repro_clamp", buckets=(1.0, 10.0, 100.0))
+        hist.observe(3.0)
+        hist.observe(4.0)
+        # Interpolation inside the (1, 10] bucket must never leave [3, 4].
+        for q in (1, 50, 99):
+            assert 3.0 <= hist.percentile(q) <= 4.0
+
+    def test_observe_many_matches_repeated_observe(self):
+        one = MetricsRegistry().histogram("repro_m1", buckets=DEFAULT_SIZE_BUCKETS)
+        many = MetricsRegistry().histogram("repro_m2", buckets=DEFAULT_SIZE_BUCKETS)
+        values = [1.0, 5.0, 42.0, 900.0]
+        for value in values:
+            one.observe(value)
+        many.observe_many(values)
+        assert one.summary() == many.summary()
+
+    def test_jitter_is_stddev(self):
+        hist = MetricsRegistry().histogram("repro_j", buckets=DEFAULT_SIZE_BUCKETS)
+        hist.observe_many([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert hist.jitter() == pytest.approx(2.0)
+
+    def test_out_of_range_sample_lands_in_inf_bucket(self):
+        hist = MetricsRegistry().histogram("repro_inf", buckets=(1.0, 2.0))
+        hist.observe(1e9)
+        buckets = hist.summary()["buckets"]
+        assert buckets[-1][0] == "+Inf"
+        assert buckets[-1][1] == 1
+        assert hist.percentile(50) == pytest.approx(1e9)
+
+    def test_reset_clears_all_stripes(self):
+        hist = MetricsRegistry().histogram("repro_r")
+        hist.observe_many([0.1, 0.2, 0.3])
+        hist.reset()
+        assert hist.count == 0
+        assert hist.sum == 0.0
+
+
+class TestHistogramConcurrency:
+    def test_concurrent_writers_lose_nothing(self):
+        hist = MetricsRegistry().histogram("repro_conc", buckets=DEFAULT_SIZE_BUCKETS)
+        per_thread, threads = 5_000, 8
+
+        def writer(value: float) -> None:
+            for _ in range(per_thread):
+                hist.observe(value)
+
+        workers = [
+            threading.Thread(target=writer, args=(float(i + 1),))
+            for i in range(threads)
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert hist.count == per_thread * threads
+        assert hist.sum == pytest.approx(
+            per_thread * sum(range(1, threads + 1))
+        )
+
+    def test_enabled_overhead_within_bound(self):
+        # Instrumentation cost on the real hot path: appending batches to
+        # a broker partition with metrics enabled must stay within 5% of
+        # the same workload against a disabled registry.  Observations are
+        # per batch, so the cost amortizes over the batch's records;
+        # min-of-N runs shed scheduler noise.
+        from repro.streaming.broker import Broker
+
+        entries = [(None, b"x" * 64)] * 200
+        batches = 500
+
+        def workload(enabled: bool) -> float:
+            import gc
+
+            with scoped_registry() as registry:
+                registry.set_enabled(enabled)
+                broker = Broker()
+                broker.create_topic("bench", num_partitions=1)
+                # The previous sweep's 100k-record broker is garbage now;
+                # collect it outside the timed section so a GC pause
+                # doesn't land on one side of the comparison.
+                gc.collect()
+                started = time.perf_counter()
+                for _ in range(batches):
+                    broker.append_batch("bench", 0, entries)
+                return time.perf_counter() - started
+
+        workload(True), workload(False)  # warmup
+        # Interleave the two configurations so allocator/GC/frequency
+        # drift hits both sides equally; min-of-N sheds scheduler noise.
+        # A noisy-neighbor spike can still skew one whole attempt, so the
+        # 5% bound only has to hold on one of three measurements.
+        ratios = []
+        for _ in range(3):
+            on_runs, off_runs = [], []
+            for _ in range(5):
+                on_runs.append(workload(True))
+                off_runs.append(workload(False))
+            ratios.append(min(on_runs) / min(off_runs))
+            if ratios[-1] <= 1.05:
+                break
+        assert min(ratios) <= 1.05, (
+            f"instrumentation overhead above 5% in all attempts: {ratios}"
+        )
+
+
+class TestRegistrySnapshot:
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_c", labels={"x": "1"}).inc(3)
+        registry.gauge("repro_g").set(1.5)
+        registry.histogram("repro_h").observe(0.01)
+        snap = registry.snapshot()
+        assert snap["schema"] == "repro.metrics/v1"
+        assert snap["enabled"] is True
+        assert snap["counters"]['repro_c{x="1"}']["value"] == 3
+        assert snap["gauges"]["repro_g"]["value"] == 1.5
+        assert snap["histograms"]["repro_h"]["count"] == 1
+
+    def test_set_enabled_flips_every_instrument(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("repro_c")
+        hist = registry.histogram("repro_h")
+        registry.set_enabled(False)
+        counter.inc()
+        hist.observe(1.0)
+        assert counter.value == 0
+        assert hist.count == 0
+        registry.set_enabled(True)
+        counter.inc()
+        assert counter.value == 1
+
+    def test_scoped_registry_isolates(self):
+        before = get_registry()
+        with scoped_registry() as registry:
+            assert get_registry() is registry
+            assert registry is not before
+        assert get_registry() is before
+
+    def test_snapshot_is_json_serializable(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_h").observe_many([0.001, 0.5, 70.0])
+        json.dumps(registry.snapshot())
+
+
+class TestExporters:
+    def _sample_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_total", labels={"kind": "a"}).inc(7)
+        registry.gauge("repro_depth").set(2.0)
+        registry.histogram("repro_lat_seconds").observe_many([0.002, 0.004])
+        return build_snapshot(registry)
+
+    def test_prometheus_format(self):
+        text = render_prometheus(self._sample_snapshot())
+        assert '# TYPE repro_total counter' in text
+        assert 'repro_total{kind="a"} 7' in text
+        assert '# TYPE repro_lat_seconds histogram' in text
+        assert 'repro_lat_seconds_count 2' in text
+        # Cumulative le counts end at the +Inf bucket == count.
+        assert 'le="+Inf"' in text
+
+    def test_prometheus_buckets_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_h", buckets=(1.0, 2.0))
+        hist.observe_many([0.5, 1.5, 99.0])
+        text = render_prometheus(registry.snapshot())
+        lines = [l for l in text.splitlines() if l.startswith("repro_h_bucket")]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+        assert counts == [1, 2, 3]
+
+    def test_pretty_render_mentions_series(self):
+        out = render_pretty(self._sample_snapshot())
+        assert "repro_lat_seconds" in out
+        assert "repro_total" in out
+
+    def test_pretty_render_empty(self):
+        assert render_pretty({"histograms": {}}) == "no metrics recorded\n"
+
+    def test_json_snapshot_atomic_write(self, tmp_path):
+        snapshot = self._sample_snapshot()
+        path = tmp_path / "metrics.json"
+        write_json_snapshot(path, snapshot)
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == "repro.metrics/v1"
+        assert not (tmp_path / "metrics.json.tmp").exists()
+        # Overwrite is atomic too.
+        write_json_snapshot(path, snapshot)
+        assert json.loads(path.read_text())["schema"] == "repro.metrics/v1"

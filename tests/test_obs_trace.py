@@ -1,0 +1,103 @@
+"""Trace contexts: sampling, span recording, and header propagation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry, scoped_registry
+from repro.obs.trace import TRACE_ID_HEADER, TRACE_SENT_HEADER, Span, Trace, Tracer
+from repro.streaming.broker import Broker
+from repro.streaming.dstream import StreamingContext
+from repro.streaming.producer import Producer
+
+
+class TestSpanTrace:
+    def test_span_duration(self):
+        span = Span("ml", 10.0, 10.25)
+        assert span.duration_seconds == pytest.approx(0.25)
+
+    def test_trace_total_spans_min_to_max(self):
+        trace = Trace("t-1", (Span("a", 1.0, 2.0), Span("b", 1.5, 4.0)))
+        assert trace.total_seconds == pytest.approx(3.0)
+
+    def test_trace_document_round_trips_json_shape(self):
+        trace = Trace("t-1", (Span("a", 0.0, 1.0),))
+        doc = trace.to_document()
+        assert doc["trace_id"] == "t-1"
+        assert doc["spans"][0]["stage"] == "a"
+        assert doc["total_seconds"] == pytest.approx(1.0)
+
+
+class TestTracerSampling:
+    def test_every_nth_record_sampled(self):
+        tracer = Tracer(sample_every=4, registry=MetricsRegistry())
+        sampled = [tracer.sample_headers(0.0) is not None for _ in range(12)]
+        assert sampled == [True, False, False, False] * 3
+
+    def test_sample_every_one_traces_everything(self):
+        tracer = Tracer(sample_every=1, registry=MetricsRegistry())
+        assert all(tracer.sample_headers(0.0) for _ in range(5))
+
+    def test_headers_carry_id_and_send_stamp(self):
+        tracer = Tracer(sample_every=1, registry=MetricsRegistry())
+        headers = tracer.sample_headers(123.456)
+        assert headers[TRACE_ID_HEADER].startswith("t-")
+        assert float(headers[TRACE_SENT_HEADER]) == pytest.approx(123.456)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_every=0)
+        with pytest.raises(ValueError):
+            Tracer(max_traces=0)
+
+
+class TestTracerRecording:
+    def test_record_builds_trace_and_histograms(self):
+        registry = MetricsRegistry()
+        tracer = Tracer(sample_every=1, registry=registry)
+        trace = tracer.record("t-0", [("queue_dwell", 0.0, 0.5),
+                                      ("ml", 0.5, 0.8)])
+        assert [s.stage for s in trace.spans] == ["queue_dwell", "ml"]
+        snap = registry.snapshot()
+        assert snap["histograms"][
+            'repro_trace_stage_seconds{stage="ml"}']["count"] == 1
+        assert snap["histograms"]["repro_trace_e2e_seconds"]["count"] == 1
+        assert snap["counters"]["repro_trace_completed_total"]["value"] == 1
+
+    def test_trace_store_bounded(self):
+        tracer = Tracer(sample_every=1, max_traces=3,
+                        registry=MetricsRegistry())
+        for i in range(10):
+            tracer.record(f"t-{i}", [("x", 0.0, 1.0)])
+        ids = [t.trace_id for t in tracer.traces()]
+        assert ids == ["t-7", "t-8", "t-9"]
+
+
+class TestHeaderPropagation:
+    def test_headers_survive_broker_and_surface_in_microbatch(self):
+        with scoped_registry():
+            broker = Broker()
+            broker.create_topic("traced", num_partitions=2)
+            producer = Producer(broker)
+            tracer = Tracer(sample_every=2)
+            for i in range(6):
+                headers = tracer.sample_headers(float(i))
+                producer.send("traced", {"device_address": f"d{i}", "n": i},
+                              key=f"d{i}", headers=headers)
+            context = StreamingContext(broker, "traced", "trace-group")
+            batch = context.next_batch()
+            assert len(batch) == 6
+            assert len(batch.traces) == 3  # every 2nd record sampled
+            for trace_id, sent_at in batch.traces:
+                assert trace_id.startswith("t-")
+                assert sent_at in (0.0, 2.0, 4.0)
+            assert batch.polled_at > 0.0
+
+    def test_untraced_records_yield_no_trace_contexts(self):
+        with scoped_registry():
+            broker = Broker()
+            broker.create_topic("plain", num_partitions=1)
+            Producer(broker).send("plain", {"device_address": "d", "n": 1},
+                                  key="d")
+            batch = StreamingContext(broker, "plain", "g").next_batch()
+            assert batch.traces == []
