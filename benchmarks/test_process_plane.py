@@ -1,0 +1,398 @@
+"""Process execution plane microbench (tier-1 fast): breaking the GIL.
+
+Three measurements, recorded to ``BENCH_procplane.json`` at the repository
+root (CI uploads it as an artifact and fails the build if a speedup drops
+below its machine-derated requirement or the crash invariant breaks):
+
+* **CPU-bound query scaling** — a regex-heavy full-scan ``count`` over
+  ~24k documents: one in-process store, a 4-shard *threaded*
+  :class:`ShardedDocumentStore` (the GIL serializes its matchers — the
+  plateau this PR exists to break), and a 4-shard *process* plane.  The
+  bench first measures the machine's **multiprocess CPU ceiling** (the
+  same arithmetic in 4 spawned processes vs serially): with >= 4 usable
+  cores the process shards must deliver the full **2x**; a flatter box
+  (CI containers pinned to one core measure a ceiling *below 1* — real
+  parallelism is impossible there) must still realize at least half its
+  ceiling, which keeps the RPC tax visibly bounded.
+* **Durable sharded write throughput** — 4 contending writer threads
+  batch-inserting fsynced documents: threaded shards vs process shards
+  over identical per-shard durability roots.  Process shards overlap the
+  serialization *CPU* on top of the fsyncs the threaded shards already
+  overlap; the requirement derates by the tighter of the CPU and
+  parallel-fsync ceilings.
+* **Worker crash exactly-once** — SIGKILL a shard worker mid
+  ``insert_many``, restart it through the supervisor, and require the
+  recovered shard to hold the batch either completely or not at all
+  (never torn), with one idempotent retry landing the run on exactly the
+  expected count.
+
+Like the other microbenches this file is *not* marked ``slow``: it runs in
+seconds and doubles as the regression test for the process-plane
+guarantees.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.cluster import HashRing, ShardedDocumentStore
+from repro.durability import DurableDocumentStore
+from repro.errors import WorkerCrashedError
+from repro.runtime.supervisor import WorkerSupervisor, open_process_sharded_store
+from repro.storage.store import DocumentStore
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_procplane.json"
+
+SHARDS = 4
+WRITER_THREADS = 4
+QUERY_DOCS = 24_000
+QUERY_REPS = 3
+WRITE_RECORDS_PER_THREAD = 100
+WRITE_BATCH = 20
+WRITE_PAYLOAD_BYTES = 4096
+WRITE_REPS = 2
+
+SHARD_KEYS = {"alarms": "device_address"}
+#: Regex chosen to defeat every index and force the pure-Python matcher —
+#: the CPU-bound shard work the GIL serializes across threads.
+CPU_FILTER = {
+    "incident_text": {"$regex": r"zone 1[0-9] sensor A[0-4]"},
+    "value": {"$gte": 100},
+}
+
+
+def record_result(name: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into ``BENCH_procplane.json``."""
+    data: dict = {"schema": "repro.procplane/v1", "benchmarks": {}}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except (ValueError, OSError):
+            pass
+    data.setdefault("benchmarks", {})[name] = payload
+    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _burn(n: int) -> int:
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+def _cpu_ceiling(workers: int = SHARDS, n: int = 2_000_000) -> float:
+    """How much this machine can overlap pure-Python CPU across processes.
+
+    The same summation run ``workers`` times serially vs in ``workers``
+    spawned processes — the upper bound any process-sharded CPU-bound
+    query could hope to reach.  Pinned-to-one-core containers measure
+    *below 1* (spawn overhead with zero parallelism), which the derated
+    requirements honor.
+    """
+    started = time.perf_counter()
+    for _ in range(workers):
+        _burn(n)
+    serial = time.perf_counter() - started
+
+    ctx = multiprocessing.get_context("spawn")
+    processes = [ctx.Process(target=_burn, args=(n,)) for _ in range(workers)]
+    started = time.perf_counter()
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join()
+    parallel = time.perf_counter() - started
+    return serial / parallel
+
+
+def _parallel_fsync_ceiling(directory: Path) -> float:
+    """Raw filesystem fsync overlap (same probe as the cluster bench)."""
+    blob = b"x" * WRITE_PAYLOAD_BYTES
+    per_file = WRITE_RECORDS_PER_THREAD
+
+    def worker(index: int) -> None:
+        fd = os.open(directory / f"probe-{index}", os.O_CREAT | os.O_WRONLY)
+        try:
+            for _ in range(per_file):
+                os.write(fd, blob)
+                os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    fd = os.open(directory / "probe-serial", os.O_CREAT | os.O_WRONLY)
+    started = time.perf_counter()
+    try:
+        for _ in range(WRITER_THREADS * per_file):
+            os.write(fd, blob)
+            os.fsync(fd)
+    finally:
+        os.close(fd)
+    serial = time.perf_counter() - started
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(WRITER_THREADS)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    parallel = time.perf_counter() - started
+    return serial / parallel
+
+
+def _shard_buckets(per_bucket: int) -> dict[int, list[str]]:
+    """Routing keys pre-grouped by owning shard, one bucket per writer."""
+    ring = HashRing(SHARDS)
+    buckets: dict[int, list[str]] = {i: [] for i in range(SHARDS)}
+    index = 0
+    while any(len(bucket) < per_bucket for bucket in buckets.values()):
+        key = f"dev-{index:06d}"
+        index += 1
+        bucket = buckets[ring.shard_for(key)]
+        if len(bucket) < per_bucket:
+            bucket.append(key)
+    return buckets
+
+
+def test_cpu_bound_queries_scale_across_processes(tmp_path):
+    """The tentpole claim: CPU-bound scatter-gather reads plateau on
+    threaded shards (GIL) but scale on process shards, up to what the
+    machine's cores allow."""
+    ceiling = _cpu_ceiling()
+    documents = [
+        {
+            "device_address": f"dev-{i:05d}",
+            "incident_text": (
+                f"alarm zone {i % 37} sensor {'ABC'[i % 3]}{i % 100} event"
+            ),
+            "value": i % 1000,
+        }
+        for i in range(QUERY_DOCS)
+    ]
+
+    single = DocumentStore()
+    single.collection("alarms").insert_many(documents)
+    threaded = ShardedDocumentStore(num_shards=SHARDS, shard_keys=SHARD_KEYS)
+    threaded.collection("alarms").insert_many(documents)
+    # sync="never" workers: this bench measures query CPU, not load fsyncs.
+    process = open_process_sharded_store(
+        tmp_path / "proc", num_shards=SHARDS, shard_keys=SHARD_KEYS,
+        sync="never",
+    )
+    process.collection("alarms").insert_many(documents)
+
+    def best_of(store) -> tuple[float, int]:
+        best, matches = float("inf"), -1
+        for _ in range(QUERY_REPS):
+            started = time.perf_counter()
+            matches = store.collection("alarms").count(CPU_FILTER)
+            best = min(best, time.perf_counter() - started)
+        return best, matches
+
+    single_s, single_n = best_of(single)
+    threaded_s, threaded_n = best_of(threaded)
+    process_s, process_n = best_of(process)
+    process.supervisor.shutdown()
+
+    assert single_n == threaded_n == process_n > 0  # same answer everywhere
+    threaded_speedup = single_s / threaded_s
+    process_speedup = single_s / process_s
+    required = min(2.0, 0.5 * ceiling)
+
+    record_result("cpu_query_scaling", {
+        "documents": QUERY_DOCS,
+        "shards": SHARDS,
+        "matches": single_n,
+        "single_seconds": round(single_s, 6),
+        "threaded_seconds": round(threaded_s, 6),
+        "process_seconds": round(process_s, 6),
+        "threaded_speedup": round(threaded_speedup, 2),
+        "process_speedup": round(process_speedup, 2),
+        "cpu_ceiling": round(ceiling, 2),
+        "required_process_speedup": round(required, 2),
+    })
+    print(
+        f"\ncpu-bound count over {QUERY_DOCS} docs: single {single_s * 1e3:.1f}ms, "
+        f"threaded {threaded_s * 1e3:.1f}ms ({threaded_speedup:.2f}x), "
+        f"process {process_s * 1e3:.1f}ms ({process_speedup:.2f}x; "
+        f"cpu ceiling {ceiling:.2f}x, required {required:.2f}x)"
+    )
+    assert process_speedup >= required, (
+        f"process shards only {process_speedup:.2f}x over the single store on "
+        f"a machine whose CPU ceiling {ceiling:.2f}x demands >= {required:.2f}x"
+    )
+
+
+def test_durable_writes_scale_on_process_shards(tmp_path):
+    """Contended durable batch writes: process shards must beat the single
+    store by 1.82x where the machine can overlap both the fsyncs and the
+    serialization CPU, derated to half the tighter ceiling elsewhere."""
+    cpu_ceiling = _cpu_ceiling()
+    fsync_ceiling = _parallel_fsync_ceiling(tmp_path)
+    buckets = _shard_buckets(WRITE_RECORDS_PER_THREAD)
+    blob = "x" * WRITE_PAYLOAD_BYTES
+
+    def write(collection, keys: list[str]) -> None:
+        for i in range(0, len(keys), WRITE_BATCH):
+            collection.insert_many([
+                {
+                    "device_address": key,
+                    "incident_text": blob,
+                    "duration_seconds": 42.5,
+                }
+                for key in keys[i:i + WRITE_BATCH]
+            ])
+
+    def run(store, shutdown=None) -> float:
+        collection = store.collection("alarms")
+        threads = [
+            threading.Thread(target=write, args=(collection, buckets[i]))
+            for i in range(WRITER_THREADS)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        assert len(collection) == WRITER_THREADS * WRITE_RECORDS_PER_THREAD
+        store.close()
+        if shutdown is not None:
+            shutdown()
+        return elapsed
+
+    def single(root: Path) -> DurableDocumentStore:
+        return DurableDocumentStore(root, sync="batch")
+
+    def threaded(root: Path) -> ShardedDocumentStore:
+        return ShardedDocumentStore(
+            stores=[
+                DurableDocumentStore(root / f"shard-{i}", sync="batch")
+                for i in range(SHARDS)
+            ],
+            shard_keys=SHARD_KEYS,
+        )
+
+    def process(root: Path):
+        return open_process_sharded_store(
+            root, num_shards=SHARDS, shard_keys=SHARD_KEYS, sync="batch"
+        )
+
+    run(single(tmp_path / "warm-single"))
+    run(threaded(tmp_path / "warm-threaded"))
+    warm = process(tmp_path / "warm-process")
+    run(warm, warm.supervisor.shutdown)
+    os.sync()
+
+    single_seconds, threaded_seconds, process_seconds = [], [], []
+    for rep in range(WRITE_REPS):
+        single_seconds.append(run(single(tmp_path / f"single-{rep}")))
+        os.sync()
+        threaded_seconds.append(run(threaded(tmp_path / f"threaded-{rep}")))
+        os.sync()
+        plane = process(tmp_path / f"process-{rep}")
+        process_seconds.append(run(plane, plane.supervisor.shutdown))
+        os.sync()
+
+    best_single = min(single_seconds)
+    best_threaded = min(threaded_seconds)
+    best_process = min(process_seconds)
+    threaded_speedup = best_single / best_threaded
+    process_speedup = best_single / best_process
+    # Process wins need BOTH overlapped fsyncs and overlapped CPU; the
+    # requirement follows whichever resource this machine bottlenecks on.
+    required = min(1.82, 0.5 * min(cpu_ceiling, fsync_ceiling))
+    records = WRITER_THREADS * WRITE_RECORDS_PER_THREAD
+
+    record_result("durable_write_scaling", {
+        "writer_threads": WRITER_THREADS,
+        "shards": SHARDS,
+        "records": records,
+        "batch": WRITE_BATCH,
+        "payload_bytes": WRITE_PAYLOAD_BYTES,
+        "single_seconds": round(best_single, 6),
+        "threaded_seconds": round(best_threaded, 6),
+        "process_seconds": round(best_process, 6),
+        "threaded_speedup": round(threaded_speedup, 2),
+        "process_speedup": round(process_speedup, 2),
+        "process_records_per_second": round(records / best_process),
+        "cpu_ceiling": round(cpu_ceiling, 2),
+        "parallel_fsync_ceiling": round(fsync_ceiling, 2),
+        "required_process_speedup": round(required, 2),
+    })
+    print(
+        f"\ndurable writes ({records} batched inserts, {WRITER_THREADS} threads): "
+        f"single {best_single:.3f}s, threaded {best_threaded:.3f}s "
+        f"({threaded_speedup:.2f}x), process {best_process:.3f}s "
+        f"({process_speedup:.2f}x; ceilings cpu {cpu_ceiling:.2f}x / "
+        f"fsync {fsync_ceiling:.2f}x, required {required:.2f}x)"
+    )
+    assert process_speedup >= required, (
+        f"process-sharded durable writes only {process_speedup:.2f}x over the "
+        f"single store (ceilings cpu {cpu_ceiling:.2f}x, fsync "
+        f"{fsync_ceiling:.2f}x demand >= {required:.2f}x)"
+    )
+
+
+def test_worker_crash_is_exactly_once(tmp_path):
+    """The acceptance invariant: SIGKILL a worker mid-batch; the batch must
+    recover all-or-none, and one idempotent retry lands exactly once."""
+    supervisor = WorkerSupervisor([tmp_path / "shard-0"], sync="batch")
+    [store] = supervisor.start()
+    collection = store.collection("alarms")
+    collection.insert_many([{"seq": -1}])  # settled baseline
+    batch = [{"seq": i, "pad": "x" * 2_000} for i in range(400)]
+
+    outcome: dict = {}
+
+    def writer() -> None:
+        try:
+            outcome["ids"] = collection.insert_many(batch)
+        except WorkerCrashedError as exc:
+            outcome["error"] = str(exc)
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    time.sleep(0.002)
+    supervisor.kill(0)
+    thread.join(timeout=30.0)
+    assert not thread.is_alive()
+
+    started = time.perf_counter()
+    recovered = supervisor.restart(0)
+    recovery_seconds = time.perf_counter() - started
+    collection = recovered.collection("alarms")
+    after_crash = collection.count({"seq": {"$gte": 0}})
+    torn = after_crash not in (0, len(batch))
+    if after_crash == 0:
+        collection.insert_many(batch)  # the idempotent retry
+    final = collection.count({"seq": {"$gte": 0}})
+    baseline_intact = collection.count({"seq": -1}) == 1
+    supervisor.shutdown()
+
+    record_result("worker_crash_exactly_once", {
+        "batch_records": len(batch),
+        "acked_before_kill": "ids" in outcome,
+        "records_after_crash": after_crash,
+        "torn_batch": torn,
+        "records_after_retry": final,
+        "baseline_intact": baseline_intact,
+        "recovery_ms": round(recovery_seconds * 1e3, 1),
+    })
+    print(
+        f"\nworker crash: batch of {len(batch)} "
+        f"{'acked' if 'ids' in outcome else 'in flight'} at SIGKILL, "
+        f"{after_crash} recovered (torn={torn}), {final} after retry, "
+        f"recovery {recovery_seconds * 1e3:.1f}ms"
+    )
+    assert not torn, (
+        f"crash tore the batch: {after_crash} of {len(batch)} records"
+    )
+    assert final == len(batch)
+    assert baseline_intact

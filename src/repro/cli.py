@@ -200,13 +200,17 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         driver = LoadDriver(
             scenario, speedup=args.speedup, durable_dir=args.durable,
             shards=args.shards, consumers=args.consumers,
+            process_shards=args.process_shards,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     cluster_note = ""
     if args.shards > 1 or args.consumers > 1:
-        cluster_note = f" [{args.shards} store shards, {args.consumers} consumers]"
+        shard_kind = "process shards" if args.process_shards else "store shards"
+        cluster_note = f" [{args.shards} {shard_kind}, {args.consumers} consumers]"
+    elif args.process_shards:
+        cluster_note = " [1 process shard]"
     print(f"scenario {scenario.name!r} (seed {scenario.seed}, "
           f"speedup {args.speedup:g}x){cluster_note}: {scenario.description}")
     report = driver.run()
@@ -254,6 +258,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             handle.write(dump_scenario.to_json())
             handle.write("\n")
         print(f"wrote scenario spec to {args.out}")
+    driver.shutdown_workers()
     return 0
 
 
@@ -391,6 +396,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="run against the durable store/broker rooted at DIR and print "
              "recovery stats after an injected mid-scenario process crash",
     )
+    loadtest.add_argument(
+        "--process-shards", action="store_true",
+        help="host each store shard in its own child process behind the "
+             "framed RPC runtime (GIL-breaking mode; requires --durable)")
     loadtest.add_argument(
         "--shards", type=int, default=1,
         help="store shards backing history/verifications (consistent-hash "

@@ -397,6 +397,10 @@ class ShardedDocumentStore:
         re-open a crashed shard from its durability root.
     vnodes:
         Virtual points per shard on the hash ring.
+    pool_size:
+        Fan-out thread count (defaults to one thread per shard).  Remote
+        (process) shards do their real work off-GIL, so a smaller pool can
+        serve many shards; local shards want the default.
     """
 
     def __init__(self, num_shards: int = 4,
@@ -404,7 +408,8 @@ class ShardedDocumentStore:
                  shard_keys: Mapping[str, str] | None = None,
                  default_shard_key: str | None = None,
                  reopen: Callable[[int], Any] | None = None,
-                 vnodes: int = 64) -> None:
+                 vnodes: int = 64,
+                 pool_size: int | None = None) -> None:
         if stores is not None:
             self._stores = list(stores)
         else:
@@ -422,8 +427,14 @@ class ShardedDocumentStore:
         # operation, so restart_shard swaps the backing store only while
         # the shard is quiescent.  Different shards never contend.
         self._gates = [threading.RLock() for _ in self._stores]
+        if pool_size is not None and pool_size < 1:
+            raise ConfigurationError(
+                f"pool_size must be >= 1, got {pool_size}"
+            )
+        self._closed = False
         self._pool = ThreadPoolExecutor(
-            max_workers=self.num_shards, thread_name_prefix="shard"
+            max_workers=pool_size or self.num_shards,
+            thread_name_prefix="shard",
         )
         registry = get_registry()
         self._fanout_hists = [
@@ -588,7 +599,12 @@ class ShardedDocumentStore:
         self._pool.shutdown(wait=False)
 
     def close(self) -> None:
-        """Close every durable shard and the fan-out pool.  Idempotent."""
+        """Close every durable shard and the fan-out pool.  Idempotent:
+        the second close (e.g. context-manager exit after an explicit
+        close) touches neither the shards nor the pool again."""
+        if self._closed:
+            return
+        self._closed = True
         for i in range(self.num_shards):
             self._on_shard(
                 i, lambda s: s.close() if hasattr(s, "close") else None

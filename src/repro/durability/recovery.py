@@ -94,7 +94,8 @@ class RecoveryManager:
     def __init__(self, directory: str | Path, sync: str = "batch",
                  compact_ratio: float = 4.0, min_compact_records: int = 2_000,
                  offset_checkpoint_every: int = 8, store_shards: int = 1,
-                 shard_keys: dict[str, str] | None = None) -> None:
+                 shard_keys: dict[str, str] | None = None,
+                 process_shards: bool = False) -> None:
         if store_shards < 1:
             raise ValueError(f"store_shards must be >= 1, got {store_shards}")
         self.directory = Path(directory)
@@ -104,6 +105,12 @@ class RecoveryManager:
         self.offset_checkpoint_every = offset_checkpoint_every
         self.store_shards = store_shards
         self.shard_keys = dict(shard_keys or {})
+        #: Host each store shard in its own child process behind the
+        #: :mod:`repro.runtime` RPC plane instead of in this process.
+        #: Process mode always uses the sharded ``store/shard-<i>`` layout
+        #: (even for one shard), which for ``store_shards > 1`` is byte-for-
+        #: byte the in-process layout — the same root recovers either way.
+        self.process_shards = process_shards
         self.broker: DurableBroker | None = None
         self.store = None
         self.last_report: RecoveryReport | None = None
@@ -129,6 +136,24 @@ class RecoveryManager:
         )
 
     def _open_store(self):
+        if self.process_shards:
+            # Each shard recovers inside its own worker process; the
+            # supervisor's spawn handshake waits for every replay, so this
+            # returns (like the in-process paths) only once the store is
+            # fully restored.
+            from repro.runtime.supervisor import open_process_sharded_store
+
+            return open_process_sharded_store(
+                self.store_directory,
+                num_shards=self.store_shards,
+                shard_keys=self.shard_keys,
+                sync=self.sync,
+                compact_ratio=self.compact_ratio,
+                min_compact_records=self.min_compact_records,
+                directories=[
+                    self.shard_directory(i) for i in range(self.store_shards)
+                ],
+            )
         if self.store_shards == 1:
             return DurableDocumentStore(
                 self.store_directory,
@@ -166,7 +191,8 @@ class RecoveryManager:
             offset_checkpoint_every=self.offset_checkpoint_every,
         )
         store = self._open_store()
-        shard_stores = store.shards if self.store_shards > 1 else [store]
+        sharded = self.store_shards > 1 or self.process_shards
+        shard_stores = store.shards if sharded else [store]
         report = RecoveryReport(
             broker_records=broker.recovered_records,
             broker_offsets=broker.recovered_offsets,
@@ -193,8 +219,19 @@ class RecoveryManager:
             self.store.simulate_crash()
 
     def close(self) -> None:
-        """Cleanly shut both components down (flush + final checkpoint)."""
+        """Cleanly shut both components down (flush + final checkpoint).
+
+        Process-mode worker processes stay up to serve post-close reads
+        (mirroring how an in-process closed store remains readable); they
+        are reaped by :meth:`shutdown_workers` or on interpreter exit.
+        """
         if self.broker is not None:
             self.broker.close()
         if self.store is not None:
             self.store.close()
+
+    def shutdown_workers(self) -> None:
+        """Terminate process-mode shard workers, if any.  Idempotent."""
+        supervisor = getattr(self.store, "supervisor", None)
+        if supervisor is not None:
+            supervisor.shutdown()

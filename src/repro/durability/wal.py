@@ -33,19 +33,17 @@ Log sequence numbers (LSNs) are dense record indexes starting at 0; the
 from __future__ import annotations
 
 import os
-import struct
 import threading
 import time
-import zlib
 from pathlib import Path
 from typing import Iterator, Sequence
 
-from repro.errors import WALCorruptionError, WALError
+from repro.errors import FramingError, WALCorruptionError, WALError
 from repro.obs.registry import DEFAULT_SIZE_BUCKETS, get_registry
+from repro.runtime.framing import iter_frames, pack_frame, scan_valid_prefix
 
 __all__ = ["WriteAheadLog", "SYNC_POLICIES"]
 
-_HEADER = struct.Struct(">II")  # payload length, crc32(payload)
 _SEGMENT_PREFIX = "wal-"
 _SEGMENT_SUFFIX = ".log"
 
@@ -165,17 +163,7 @@ class WriteAheadLog:
             data = path.read_bytes()
         except OSError as exc:
             raise WALError(f"cannot read WAL segment {path}: {exc}") from exc
-        pos, records = 0, 0
-        while pos + _HEADER.size <= len(data):
-            length, crc = _HEADER.unpack_from(data, pos)
-            end = pos + _HEADER.size + length
-            if end > len(data):
-                break  # incomplete payload: torn write
-            payload = data[pos + _HEADER.size:end]
-            if zlib.crc32(payload) != crc:
-                break  # checksum mismatch: torn or corrupted frame
-            pos = end
-            records += 1
+        pos, records = scan_valid_prefix(data)
         if pos != len(data):
             if not is_last:
                 raise WALCorruptionError(
@@ -247,12 +235,12 @@ class WriteAheadLog:
             return []
         frames = []
         for payload in payloads:
-            if not isinstance(payload, (bytes, bytearray, memoryview)):
+            try:
+                frames.append(pack_frame(payload))
+            except FramingError:
                 raise WALError(
                     f"WAL payloads must be bytes, got {type(payload).__name__}"
-                )
-            payload = bytes(payload)
-            frames.append(_HEADER.pack(len(payload), zlib.crc32(payload)) + payload)
+                ) from None
         blob = b"".join(frames)
         with self._lock:
             self._check_open()
@@ -332,15 +320,14 @@ class WriteAheadLog:
                     f"segment {path.name} disappeared during replay "
                     f"(concurrent compaction?): {exc}"
                 ) from exc
-            pos = 0
+            frames = iter_frames(data)
             for lsn in range(first_lsn, first_lsn + records):
-                length, crc = _HEADER.unpack_from(data, pos)
-                payload = data[pos + _HEADER.size:pos + _HEADER.size + length]
-                if zlib.crc32(payload) != crc:
+                try:
+                    payload = next(frames)
+                except (FramingError, StopIteration) as exc:
                     raise WALCorruptionError(
                         f"checksum mismatch at lsn {lsn} in {path.name}"
-                    )
-                pos += _HEADER.size + length
+                    ) from exc
                 if lsn >= start_lsn:
                     yield lsn, payload
 

@@ -89,6 +89,36 @@ class RecoveryError(DurabilityError):
     """Crash recovery could not restore a consistent state."""
 
 
+class ProcessPlaneError(ReproError):
+    """Base class for errors raised by the multi-process execution plane."""
+
+
+class FramingError(ProcessPlaneError):
+    """A byte stream could not be framed or a frame failed its checksum."""
+
+
+class TransportError(ProcessPlaneError):
+    """A transport could not send or receive a frame."""
+
+
+class TransportClosedError(TransportError):
+    """The peer closed the transport (EOF) or it was closed locally."""
+
+
+class ProtocolError(ProcessPlaneError):
+    """A request or response message was malformed or version-incompatible."""
+
+
+class WorkerCrashedError(ProcessPlaneError):
+    """A shard worker process died while a request was in flight.
+
+    The in-flight operation is in an *unknown-but-atomic* state: a batched
+    write was journaled as one WAL record, so recovery applies either all
+    of it (the record was on disk) or none of it (it was torn) — never a
+    partial batch.  Callers retry idempotently after the supervisor
+    restarts the worker."""
+
+
 class MLError(ReproError):
     """Base class for errors raised by the machine-learning subsystem."""
 

@@ -1,0 +1,63 @@
+"""Multi-process shard execution plane.
+
+Threads share one GIL, so CPU-bound shard work (compiled filter match,
+aggregation, journal encoding) serializes however many of them fan out.
+This package moves each shard into its own child process behind a small
+length-prefixed, CRC-checksummed request/response protocol:
+
+* :mod:`~repro.runtime.framing` — the shared ``[length:u32][crc32:u32]``
+  frame format (the WAL's idiom, extracted) with a hunt-based stream
+  decoder that survives torn and corrupted frames;
+* :mod:`~repro.runtime.transport` — pluggable byte transports: in-process
+  loopback for tests, sockets (``socketpair`` locally; the same class
+  carries TCP for multi-host later);
+* :mod:`~repro.runtime.protocol` — versioned, batched request/response
+  messages for the remote store surface;
+* :mod:`~repro.runtime.worker` — the shard server: a
+  :class:`~repro.durability.journal.DurableDocumentStore` hosted in a
+  child process, serving requests in a loop, durable before every ack;
+* :mod:`~repro.runtime.remote` — :class:`RemoteShardStore`, the client
+  proxy that plugs into :class:`~repro.cluster.sharded.ShardedDocumentStore`
+  unchanged;
+* :mod:`~repro.runtime.supervisor` — spawn / health-check / restart of
+  workers, and :func:`open_process_sharded_store` tying it all together.
+
+Submodules that touch the durability layer are imported lazily so that
+``durability.wal`` can import :mod:`repro.runtime.framing` without a cycle.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.framing import FrameDecoder, pack_frame, scan_valid_prefix
+
+__all__ = [
+    "FrameDecoder",
+    "pack_frame",
+    "scan_valid_prefix",
+    "LoopbackTransport",
+    "SocketTransport",
+    "Transport",
+    "RemoteShardStore",
+    "ShardWorker",
+    "WorkerSupervisor",
+    "open_process_sharded_store",
+]
+
+_LAZY = {
+    "LoopbackTransport": "repro.runtime.transport",
+    "SocketTransport": "repro.runtime.transport",
+    "Transport": "repro.runtime.transport",
+    "RemoteShardStore": "repro.runtime.remote",
+    "ShardWorker": "repro.runtime.worker",
+    "WorkerSupervisor": "repro.runtime.supervisor",
+    "open_process_sharded_store": "repro.runtime.supervisor",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)

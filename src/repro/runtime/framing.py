@@ -1,0 +1,176 @@
+"""One CRC frame format for every byte stream in the system.
+
+The WAL introduced the idiom — ``[length:u32][crc32:u32][payload]``,
+big-endian, checksum over the payload — and the process execution plane
+speaks the same frames over its transports.  This module is the single
+implementation both sides use, with the two read disciplines the two
+consumers need:
+
+* **Strict prefix scan** (:func:`scan_valid_prefix`, :func:`iter_frames`) —
+  the WAL's rule: frames are valid from byte 0 until the first incomplete
+  or checksum-failing frame.  A log never contains garbage *between*
+  frames, so the first bad byte is the torn tail (or unrepairable
+  corruption, the caller decides).
+* **Frame hunting** (:class:`FrameDecoder`) — the transport's rule: a
+  stream may present torn, truncated or corrupted bytes (a crashed peer, a
+  noisy pipe, a test injecting garbage), and the reader must *resynchronize*
+  rather than die.  The decoder treats every byte offset as a candidate
+  frame start: a plausible header whose payload checks out is a frame;
+  anything else advances the hunt by one byte.  A corrupt frame therefore
+  costs exactly itself — later well-formed frames are still delivered —
+  and a delivered payload is always checksum-verified, never a guess.
+
+Frames are self-delimiting but not self-identifying: a hunt can in theory
+lock onto a byte pattern whose length and CRC happen to agree (probability
+``2**-32`` per candidate offset).  That risk is inherent to any framing
+without out-of-band markers and is the same one the CRC already accepts.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Iterator
+
+from repro.errors import FramingError
+
+__all__ = [
+    "HEADER",
+    "MAX_FRAME_BYTES",
+    "pack_frame",
+    "pack_frames",
+    "scan_valid_prefix",
+    "iter_frames",
+    "FrameDecoder",
+]
+
+#: ``[length:u32][crc32:u32]`` — both big-endian, checksum over the payload.
+HEADER = struct.Struct(">II")
+
+#: Default upper bound on a single frame's payload.  A hunt that trusted an
+#: arbitrary length field could be convinced to wait for 4 GiB that never
+#: arrive; any candidate header past this bound is treated as garbage.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def pack_frame(payload: bytes) -> bytes:
+    """Frame one payload: header + bytes, ready to append or send."""
+    if not isinstance(payload, (bytes, bytearray, memoryview)):
+        raise FramingError(
+            f"frame payloads must be bytes, got {type(payload).__name__}"
+        )
+    payload = bytes(payload)
+    return HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def pack_frames(payloads) -> bytes:
+    """Frame a batch of payloads into one contiguous blob (group commit)."""
+    return b"".join(pack_frame(payload) for payload in payloads)
+
+
+def scan_valid_prefix(data: bytes) -> tuple[int, int]:
+    """Length and record count of the valid frame prefix of ``data``.
+
+    The WAL's recovery discipline: frames are read from byte 0; the scan
+    stops at the first incomplete or checksum-failing frame.  Returns
+    ``(valid_bytes, records)`` — ``valid_bytes == len(data)`` means the
+    whole buffer framed cleanly.
+    """
+    pos, records = 0, 0
+    size = len(data)
+    while pos + HEADER.size <= size:
+        length, crc = HEADER.unpack_from(data, pos)
+        end = pos + HEADER.size + length
+        if end > size:
+            break  # incomplete payload: torn write
+        if zlib.crc32(data[pos + HEADER.size:end]) != crc:
+            break  # checksum mismatch: torn or corrupted frame
+        pos = end
+        records += 1
+    return pos, records
+
+
+def iter_frames(data: bytes) -> Iterator[bytes]:
+    """Yield every payload of a strictly-framed buffer.
+
+    Raises :class:`FramingError` on the first incomplete or
+    checksum-failing frame — the caller (e.g. WAL replay over a segment it
+    already validated) decides whether that is corruption or a torn tail.
+    """
+    pos = 0
+    size = len(data)
+    while pos < size:
+        if pos + HEADER.size > size:
+            raise FramingError(f"truncated frame header at byte {pos}")
+        length, crc = HEADER.unpack_from(data, pos)
+        end = pos + HEADER.size + length
+        if end > size:
+            raise FramingError(f"truncated frame payload at byte {pos}")
+        payload = data[pos + HEADER.size:end]
+        if zlib.crc32(payload) != crc:
+            raise FramingError(f"checksum mismatch at byte {pos}")
+        pos = end
+        yield payload
+
+
+class FrameDecoder:
+    """Incremental frame reader with hunt-based resynchronization.
+
+    Feed it byte chunks of any size (a socket's ``recv`` slices frames
+    arbitrarily); it emits every checksum-verified payload and silently
+    hunts past bytes that cannot start a valid frame.  State it keeps:
+
+    * ``resync_bytes`` — garbage bytes skipped while hunting (0 on a clean
+      stream; a transport surfaces it as a corruption counter).
+    * ``pending_bytes`` — buffered bytes not yet resolved into frames (a
+      partial frame mid-arrival, or a candidate the hunt has not ruled
+      out).
+
+    A frame larger than ``max_frame_bytes`` is by definition garbage: the
+    decoder never waits for more than that many payload bytes before
+    advancing the hunt, which bounds both memory and the damage a corrupt
+    length field can do.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        if max_frame_bytes < 1:
+            raise FramingError(
+                f"max_frame_bytes must be >= 1, got {max_frame_bytes}"
+            )
+        self.max_frame_bytes = max_frame_bytes
+        self.resync_bytes = 0
+        self._buffer = bytearray()
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+    def feed(self, chunk: bytes) -> list[bytes]:
+        """Absorb ``chunk``; return every complete payload it unlocked."""
+        if chunk:
+            self._buffer.extend(chunk)
+        frames: list[bytes] = []
+        buffer = self._buffer
+        pos = 0
+        size = len(buffer)
+        while pos + HEADER.size <= size:
+            length, crc = HEADER.unpack_from(buffer, pos)
+            if length > self.max_frame_bytes:
+                # Implausible header: garbage byte, advance the hunt.
+                pos += 1
+                self.resync_bytes += 1
+                continue
+            end = pos + HEADER.size + length
+            if end > size:
+                # Could be a partial frame still arriving — wait for more
+                # bytes before judging this candidate.
+                break
+            payload = bytes(buffer[pos + HEADER.size:end])
+            if zlib.crc32(payload) == crc:
+                frames.append(payload)
+                pos = end
+            else:
+                pos += 1
+                self.resync_bytes += 1
+        del buffer[:pos]
+        return frames

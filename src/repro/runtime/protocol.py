@@ -1,0 +1,203 @@
+"""Versioned request/response messages for the remote store surface.
+
+One request carries a *batch* of operations (pipelining: a multi-op write
+or a routed read costs one round-trip however many ops it packs); one
+response carries one result — value or error — per op, in order.  Messages
+are JSON payloads inside CRC frames, so the wire format is:
+
+``frame( {"v": 1, "id": n, "ops": [...]}} )`` →
+``frame( {"v": 1, "id": n, "results": [...]} )``
+
+Every op targets either the store itself or one of its collections:
+
+* ``{"t": "store", "m": method, "a": args, "k": kwargs}``
+* ``{"t": "coll", "c": name, "m": method, "a": args, "k": kwargs}``
+
+Methods are allowlisted (:data:`STORE_OPS` / :data:`COLLECTION_OPS`) —
+the server never dispatches an arbitrary attribute name off the wire.  An
+op that failed serializes its exception as ``{"ok": false, "error":
+<class name>, "message": ...}``; the client rehydrates the matching
+:mod:`repro.errors` class so a remote ``DuplicateKeyError`` raises exactly
+like a local one.
+
+``v`` is checked on both sides: a peer speaking a different protocol
+version is rejected with :class:`~repro.errors.ProtocolError` before any
+op executes, which is what makes the format evolvable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro import errors
+from repro.errors import ProtocolError, ReproError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "STORE_OPS",
+    "COLLECTION_OPS",
+    "Request",
+    "Response",
+    "store_op",
+    "collection_op",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+    "error_to_wire",
+    "wire_to_error",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Store-level methods a request may invoke.  ``ping`` returns the worker's
+#: identity and recovery statistics; ``crash`` simulates power loss
+#: (un-fsynced journal bytes are dropped); ``close`` flushes and closes the
+#: journal but keeps serving reads (mirroring ``DurableDocumentStore.close``);
+#: ``shutdown`` ends the serve loop.
+STORE_OPS = frozenset({
+    "collection", "drop_collection", "collection_names", "aggregate",
+    "checkpoint", "journal_ops_since_snapshot",
+    "ping", "close", "crash", "shutdown",
+})
+
+#: Collection-level methods a request may invoke.  ``length`` stands in for
+#: ``__len__`` and ``all_documents`` materializes the iterator (a remote
+#: generator cannot stream lazily over one framed response).
+COLLECTION_OPS = frozenset({
+    "insert_one", "insert_many", "update_many", "delete_many",
+    "create_index", "drop_index", "index_fields", "index_spec",
+    "find", "find_one", "count", "distinct", "explain", "get",
+    "all_documents", "length",
+})
+
+
+@dataclass(frozen=True)
+class Request:
+    """One framed request: correlation id plus a batch of ops."""
+
+    id: int
+    ops: list[dict[str, Any]] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class Response:
+    """One framed response: the request's id plus one result per op."""
+
+    id: int
+    results: list[dict[str, Any]] = field(default_factory=list)
+
+
+def store_op(method: str, *args: Any, **kwargs: Any) -> dict[str, Any]:
+    """Build a store-level op (validated against :data:`STORE_OPS`)."""
+    if method not in STORE_OPS:
+        raise ProtocolError(f"unknown store method {method!r}")
+    return {"t": "store", "m": method, "a": list(args), "k": kwargs}
+
+
+def collection_op(collection: str, method: str, *args: Any,
+                  **kwargs: Any) -> dict[str, Any]:
+    """Build a collection-level op (validated against :data:`COLLECTION_OPS`)."""
+    if method not in COLLECTION_OPS:
+        raise ProtocolError(f"unknown collection method {method!r}")
+    return {
+        "t": "coll", "c": collection, "m": method, "a": list(args), "k": kwargs,
+    }
+
+
+def _encode(body: dict[str, Any]) -> bytes:
+    try:
+        return json.dumps(body, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(
+            f"message not JSON-serializable: {exc}"
+        ) from exc
+
+
+def _decode(payload: bytes) -> dict[str, Any]:
+    try:
+        body = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable message: {exc}") from exc
+    if not isinstance(body, dict):
+        raise ProtocolError(f"message must be an object, got {type(body).__name__}")
+    version = body.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: peer speaks {version!r}, "
+            f"this side speaks {PROTOCOL_VERSION}"
+        )
+    return body
+
+
+def encode_request(request: Request) -> bytes:
+    return _encode({"v": PROTOCOL_VERSION, "id": request.id, "ops": request.ops})
+
+
+def _validate_op(op: Any) -> dict[str, Any]:
+    if not isinstance(op, dict):
+        raise ProtocolError(f"op must be an object, got {type(op).__name__}")
+    target = op.get("t")
+    method = op.get("m")
+    if target == "store":
+        allowed = STORE_OPS
+    elif target == "coll":
+        allowed = COLLECTION_OPS
+        if not isinstance(op.get("c"), str):
+            raise ProtocolError("collection op missing collection name")
+    else:
+        raise ProtocolError(f"unknown op target {target!r}")
+    if method not in allowed:
+        raise ProtocolError(f"unknown {target} method {method!r}")
+    if not isinstance(op.get("a", []), list) or not isinstance(op.get("k", {}), dict):
+        raise ProtocolError(f"malformed args for {target}.{method}")
+    return op
+
+
+def decode_request(payload: bytes) -> Request:
+    body = _decode(payload)
+    ops = body.get("ops")
+    if not isinstance(ops, list) or not ops:
+        raise ProtocolError("request must carry a non-empty op list")
+    return Request(
+        id=int(body.get("id", 0)), ops=[_validate_op(op) for op in ops]
+    )
+
+
+def encode_response(response: Response) -> bytes:
+    return _encode({
+        "v": PROTOCOL_VERSION, "id": response.id, "results": response.results,
+    })
+
+
+def decode_response(payload: bytes) -> Response:
+    body = _decode(payload)
+    results = body.get("results")
+    if not isinstance(results, list):
+        raise ProtocolError("response must carry a result list")
+    for result in results:
+        if not isinstance(result, dict) or "ok" not in result:
+            raise ProtocolError(f"malformed result entry: {result!r}")
+    return Response(id=int(body.get("id", 0)), results=results)
+
+
+def error_to_wire(exc: BaseException) -> dict[str, Any]:
+    """Serialize an exception as an op result."""
+    return {"ok": False, "error": type(exc).__name__, "message": str(exc)}
+
+
+def wire_to_error(result: dict[str, Any]) -> ReproError:
+    """Rehydrate an op error as the matching :mod:`repro.errors` class.
+
+    Unknown names (a worker-side bug, say a ``KeyError``) come back as
+    :class:`~repro.errors.ProcessPlaneError` with the original class name
+    preserved in the message — never silently swallowed.
+    """
+    name = result.get("error", "ProcessPlaneError")
+    message = result.get("message", "")
+    candidate = getattr(errors, str(name), None)
+    if isinstance(candidate, type) and issubclass(candidate, ReproError):
+        return candidate(message)
+    return errors.ProcessPlaneError(f"worker-side {name}: {message}")

@@ -1,0 +1,313 @@
+"""Client proxy for a shard hosted in another process.
+
+:class:`RemoteShardStore` speaks the :mod:`~repro.runtime.protocol`
+messages over a :class:`~repro.runtime.transport.Transport` and presents
+the same duck-typed surface as a local
+:class:`~repro.durability.journal.DurableDocumentStore` — which is what
+lets it plug into :class:`~repro.cluster.sharded.ShardedDocumentStore`'s
+scatter-gather unchanged: the sharded store neither knows nor cares that
+a shard's planner now runs on another core.
+
+Every call is one round-trip (a batch of ops pipelines into a single
+request frame via :meth:`RemoteShardStore.call`), timed into
+``repro_rpc_roundtrip_seconds{shard=i}`` with request and byte counters
+alongside.  A transport that dies mid-request surfaces as
+:class:`~repro.errors.WorkerCrashedError`: the op's fate is unknown, but
+the worker's write batching keeps it atomic — recovery applies all of it
+or none of it.
+
+The proxy is thread-safe (one internal lock serializes the transport),
+but by design the sharded store's per-shard gates already provide that
+serialization.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Iterator, Mapping
+
+from repro.errors import (
+    ProtocolError,
+    TransportError,
+    WorkerCrashedError,
+)
+from repro.obs.registry import get_registry
+from repro.runtime.protocol import (
+    Request,
+    collection_op,
+    decode_response,
+    encode_request,
+    store_op,
+    wire_to_error,
+)
+from repro.runtime.transport import Transport
+
+__all__ = ["RemoteShardStore", "RemoteCollection"]
+
+#: Default per-request timeout.  Generous: a group-commit fsync plus a
+#: snapshot-sized response comfortably fit, while a hung worker still
+#: surfaces as an error instead of a deadlock.
+DEFAULT_TIMEOUT = 60.0
+
+
+class RemoteCollection:
+    """Collection surface forwarded op-by-op to the worker."""
+
+    def __init__(self, store: "RemoteShardStore", name: str) -> None:
+        self._store = store
+        self.name = name
+
+    def _one(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        return self._store.call(
+            [collection_op(self.name, method, *args, **kwargs)]
+        )[0]
+
+    # -- writes -------------------------------------------------------------------
+
+    def insert_one(self, document: Mapping[str, Any]) -> int:
+        return self._one("insert_one", dict(document))
+
+    def insert_many(self, documents) -> list[int]:
+        # One op → one WAL record on the worker: the batch stays atomic
+        # across a crash exactly like a local durable insert_many.
+        return self._one("insert_many", [dict(d) for d in documents])
+
+    def update_many(self, filter_doc: Mapping[str, Any], update: Any) -> int:
+        if callable(update):
+            raise ProtocolError(
+                "callable updates cannot cross the process boundary; "
+                "use an operator document ({'$set': ...})"
+            )
+        return self._one("update_many", filter_doc, update)
+
+    def delete_many(self, filter_doc: Mapping[str, Any]) -> int:
+        return self._one("delete_many", filter_doc)
+
+    # -- index DDL ----------------------------------------------------------------
+
+    def create_index(self, field: str, kind: str = "hash",
+                     unique: bool = False) -> None:
+        self._one("create_index", field, kind=kind, unique=unique)
+
+    def drop_index(self, field: str) -> None:
+        self._one("drop_index", field)
+
+    def index_fields(self) -> list[str]:
+        return self._one("index_fields")
+
+    def index_spec(self, field: str) -> dict[str, Any]:
+        return self._one("index_spec", field)
+
+    # -- reads --------------------------------------------------------------------
+
+    def find(self, filter_doc: Mapping[str, Any] | None = None,
+             projection: list[str] | None = None,
+             sort: str | tuple[str, int] | None = None,
+             limit: int | None = None,
+             skip: int = 0) -> list[dict[str, Any]]:
+        return self._one("find", filter_doc, projection=projection,
+                         sort=sort, limit=limit, skip=skip)
+
+    def find_one(self, filter_doc: Mapping[str, Any] | None = None
+                 ) -> dict[str, Any] | None:
+        return self._one("find_one", filter_doc)
+
+    def get(self, doc_id: int) -> dict[str, Any] | None:
+        return self._one("get", doc_id)
+
+    def count(self, filter_doc: Mapping[str, Any] | None = None) -> int:
+        return self._one("count", filter_doc)
+
+    def distinct(self, field: str,
+                 filter_doc: Mapping[str, Any] | None = None) -> list[Any]:
+        return self._one("distinct", field, filter_doc)
+
+    def explain(self, filter_doc: Mapping[str, Any] | None = None,
+                **kwargs: Any) -> dict[str, Any]:
+        return self._one("explain", filter_doc, **kwargs)
+
+    def all_documents(self) -> Iterator[dict[str, Any]]:
+        return iter(self._one("all_documents"))
+
+    def __len__(self) -> int:
+        return self._one("length")
+
+
+class RemoteShardStore:
+    """Store surface of one worker-hosted shard.
+
+    ``recovery stats`` (``snapshot_documents`` etc.) are captured from the
+    worker's first ``ping`` — the supervisor performs it as the spawn
+    handshake — so :meth:`ShardedDocumentStore.restart_shard` and
+    :class:`~repro.durability.recovery.RecoveryManager` read them off this
+    proxy exactly as they would off a local durable store.
+    """
+
+    def __init__(self, transport: Transport, shard: int = 0,
+                 timeout: float = DEFAULT_TIMEOUT,
+                 on_simulate_crash: Callable[[], None] | None = None) -> None:
+        self.transport = transport
+        self.shard = shard
+        self.timeout = timeout
+        #: Supervisor hook: after the deterministic ``crash`` op, make sure
+        #: the worker process is actually dead and reaped.
+        self.on_simulate_crash = on_simulate_crash
+        self.pid: int | None = None
+        self.snapshot_documents = 0
+        self.replayed_ops = 0
+        self.deduplicated_ops = 0
+        self.truncated_bytes = 0
+        self.snapshot_lsn = 0
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._collections: dict[str, RemoteCollection] = {}
+        self._crashed = False
+        label = {"shard": str(shard)}
+        registry = get_registry()
+        self._roundtrip = registry.histogram(
+            "repro_rpc_roundtrip_seconds", labels=label
+        )
+        self._requests = registry.counter(
+            "repro_rpc_requests_total", labels=label
+        )
+        self._bytes_sent = registry.counter(
+            "repro_rpc_bytes_sent_total", labels=label
+        )
+        self._bytes_received = registry.counter(
+            "repro_rpc_bytes_received_total", labels=label
+        )
+
+    # -- request plumbing ---------------------------------------------------------
+
+    def call(self, ops: list[dict[str, Any]],
+             timeout: float | None = None) -> list[Any]:
+        """One round-trip: send a batch of ops, return their values in order.
+
+        The first failed op's exception is rehydrated and raised; a
+        transport failure mid-request raises
+        :class:`~repro.errors.WorkerCrashedError`.
+        """
+        with self._lock:
+            self._next_id += 1
+            request = Request(id=self._next_id, ops=ops)
+            stats = getattr(self.transport, "stats", None)
+            started = time.perf_counter()
+            try:
+                self.transport.send(encode_request(request))
+                payload = self.transport.recv(
+                    timeout=self.timeout if timeout is None else timeout
+                )
+            except TransportError as exc:
+                self._crashed = True
+                raise WorkerCrashedError(
+                    f"shard {self.shard} worker died mid-request "
+                    f"(op batch of {len(ops)}): {exc}"
+                ) from exc
+            finally:
+                self._roundtrip.observe(time.perf_counter() - started)
+                self._requests.inc()
+                if stats is not None:
+                    # Mirror the transport's running totals into the
+                    # registry (delta since the last mirror).
+                    self._bytes_sent.inc(
+                        stats.bytes_sent - self._bytes_sent.value
+                    )
+                    self._bytes_received.inc(
+                        stats.bytes_received - self._bytes_received.value
+                    )
+        response = decode_response(payload)
+        if response.id != request.id:
+            raise ProtocolError(
+                f"response id {response.id} does not match request "
+                f"{request.id} (shard {self.shard})"
+            )
+        if len(response.results) != len(ops):
+            raise ProtocolError(
+                f"{len(response.results)} results for {len(ops)} ops "
+                f"(shard {self.shard})"
+            )
+        values: list[Any] = []
+        for result in response.results:
+            if not result.get("ok"):
+                raise wire_to_error(result)
+            values.append(result.get("value"))
+        return values
+
+    def _store_call(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        return self.call([store_op(method, *args, **kwargs)])[0]
+
+    # -- store API ----------------------------------------------------------------
+
+    def collection(self, name: str) -> RemoteCollection:
+        coll = self._collections.get(name)
+        if coll is None:
+            self._store_call("collection", name)
+            coll = self._collections[name] = RemoteCollection(self, name)
+        return coll
+
+    def drop_collection(self, name: str) -> None:
+        self._store_call("drop_collection", name)
+        self._collections.pop(name, None)
+
+    def collection_names(self) -> list[str]:
+        return self._store_call("collection_names")
+
+    def aggregate(self, collection: str,
+                  pipeline: list[Mapping[str, Any]]) -> list[dict[str, Any]]:
+        return self._store_call("aggregate", collection, list(pipeline))
+
+    def checkpoint(self) -> Any:
+        return self._store_call("checkpoint")
+
+    def journal_ops_since_snapshot(self) -> int:
+        return self._store_call("journal_ops_since_snapshot")
+
+    def ping(self, timeout: float | None = None) -> dict[str, Any]:
+        """Health probe; refreshes the cached worker identity and recovery
+        statistics that make this proxy quack like a recovered local store."""
+        info = self.call([store_op("ping")], timeout=timeout)[0]
+        self.pid = info.get("pid")
+        for stat in ("snapshot_documents", "replayed_ops", "deduplicated_ops",
+                     "truncated_bytes", "snapshot_lsn"):
+            setattr(self, stat, info.get(stat, 0))
+        return info
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def simulate_crash(self) -> None:
+        """Deterministic power loss: the worker drops its un-fsynced journal
+        bytes and exits; the supervisor hook then reaps the process.
+
+        Tolerates a worker that is *already* dead (a real kill) — the whole
+        point of modelling crashes.
+        """
+        if not self._crashed:
+            try:
+                self._store_call("crash")
+            except WorkerCrashedError:
+                pass  # already dead: nothing left to lose
+            self._crashed = True
+        if self.on_simulate_crash is not None:
+            self.on_simulate_crash()
+        self.transport.close()
+
+    def close(self) -> None:
+        """Close the worker's journal; the worker keeps serving reads
+        (mirror of ``DurableDocumentStore.close``).  Idempotent."""
+        if self._crashed:
+            return
+        try:
+            self._store_call("close")
+        except WorkerCrashedError:
+            self._crashed = True
+
+    def shutdown(self) -> None:
+        """End the worker's serve loop and release the transport."""
+        if not self._crashed:
+            try:
+                self._store_call("shutdown")
+            except WorkerCrashedError:
+                pass
+            self._crashed = True
+        self.transport.close()

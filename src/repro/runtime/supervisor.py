@@ -1,0 +1,232 @@
+"""Worker lifecycle: spawn, health-check, restart, shut down shard processes.
+
+:class:`WorkerSupervisor` owns one child process per shard directory.
+Each spawn hands the child one end of an AF_UNIX ``socketpair`` and the
+shard's durability root; the child (:func:`~repro.runtime.worker.worker_main`)
+recovers the store from that root and serves.  The spawn handshake is a
+``ping``: it both proves the worker is up and carries back the recovery
+statistics (snapshot documents, ops replayed, torn bytes truncated) that
+the rest of the system reads off the :class:`RemoteShardStore` proxy.
+
+Workers start via the ``spawn`` method (never ``fork``): the parent holds
+locks — registry, shard gates, pool internals — that a forked child would
+inherit mid-flight.  Children are daemonic as a leak backstop; orderly
+teardown is :meth:`shutdown`.
+
+:func:`open_process_sharded_store` is the one-call assembly: spawn a
+worker per shard, wrap the proxies in a
+:class:`~repro.cluster.sharded.ShardedDocumentStore` whose ``reopen``
+factory is :meth:`WorkerSupervisor.restart` — so ``restart_shard`` kills
+and respawns the worker, which re-opens the shard from its own WAL, the
+process-plane version of a single-shard outage.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ProcessPlaneError, WorkerCrashedError
+from repro.obs.registry import get_registry
+from repro.runtime.framing import MAX_FRAME_BYTES
+from repro.runtime.remote import RemoteShardStore
+from repro.runtime.transport import SocketTransport
+from repro.runtime.worker import worker_main
+
+__all__ = ["WorkerSupervisor", "open_process_sharded_store"]
+
+#: Seconds to wait for a fresh worker's handshake ping.  Covers interpreter
+#: boot plus a full WAL replay of a large shard; a worker that cannot answer
+#: within this is treated as failed-to-start.
+BOOT_TIMEOUT = 60.0
+
+
+class WorkerSupervisor:
+    """One child process per shard, plus the means to keep them that way."""
+
+    def __init__(self, directories: Sequence[str | Path],
+                 sync: str = "batch", compact_ratio: float = 4.0,
+                 min_compact_records: int = 2_000,
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 request_timeout: float = 60.0,
+                 boot_timeout: float = BOOT_TIMEOUT) -> None:
+        if not directories:
+            raise ProcessPlaneError("a supervisor needs at least one shard root")
+        self.directories = [Path(d) for d in directories]
+        self.num_shards = len(self.directories)
+        self._config = {
+            "sync": sync,
+            "compact_ratio": compact_ratio,
+            "min_compact_records": min_compact_records,
+            "max_frame_bytes": max_frame_bytes,
+        }
+        self._request_timeout = request_timeout
+        self._boot_timeout = boot_timeout
+        self._ctx = multiprocessing.get_context("spawn")
+        self._processes: list[Any] = [None] * self.num_shards
+        self._stores: list[RemoteShardStore | None] = [None] * self.num_shards
+        registry = get_registry()
+        self._restarts = registry.counter("repro_worker_restarts_total")
+        self._spawns = registry.counter("repro_worker_spawns_total")
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def spawn(self, index: int) -> RemoteShardStore:
+        """Start the worker for shard ``index`` and handshake it.
+
+        The shard root is created if missing; a non-empty root is recovered
+        by the worker before it answers the handshake ping.
+        """
+        if self._processes[index] is not None and self._processes[index].is_alive():
+            raise ProcessPlaneError(f"shard {index} worker already running")
+        parent_sock, child_sock = socket.socketpair()
+        directory = self.directories[index]
+        directory.mkdir(parents=True, exist_ok=True)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(child_sock, str(directory), self._config),
+            name=f"repro-shard-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_sock.close()  # the child holds its own copy now
+        transport = SocketTransport(
+            parent_sock, max_frame_bytes=self._config["max_frame_bytes"]
+        )
+        store = RemoteShardStore(
+            transport, shard=index, timeout=self._request_timeout,
+            on_simulate_crash=lambda: self.kill(index),
+        )
+        try:
+            store.ping(timeout=self._boot_timeout)
+        except WorkerCrashedError as exc:
+            process.join(timeout=5.0)
+            raise ProcessPlaneError(
+                f"shard {index} worker failed to start "
+                f"(exitcode {process.exitcode}): {exc}"
+            ) from exc
+        self._processes[index] = process
+        self._stores[index] = store
+        self._spawns.inc()
+        return store
+
+    def start(self) -> list[RemoteShardStore]:
+        """Spawn every shard's worker; returns the proxies in shard order."""
+        return [self.spawn(i) for i in range(self.num_shards)]
+
+    def kill(self, index: int) -> None:
+        """SIGKILL shard ``index``'s worker and reap it.  Idempotent.
+
+        This is the *unclean* path — the worker gets no chance to flush, so
+        un-fsynced journal bytes are lost exactly as in a power cut.
+        """
+        process = self._processes[index]
+        if process is not None:
+            if process.is_alive():
+                process.kill()
+            process.join(timeout=10.0)
+            self._processes[index] = None
+        store = self._stores[index]
+        if store is not None:
+            store.transport.close()
+
+    def restart(self, index: int) -> RemoteShardStore:
+        """Kill (if needed) and respawn shard ``index``; the fresh worker
+        recovers from the shard's WAL.  This is the ``reopen`` factory
+        ``ShardedDocumentStore.restart_shard`` calls."""
+        self.kill(index)
+        store = self.spawn(index)
+        self._restarts.inc()
+        return store
+
+    # -- health -------------------------------------------------------------------
+
+    def is_alive(self, index: int) -> bool:
+        process = self._processes[index]
+        return process is not None and process.is_alive()
+
+    def pid(self, index: int) -> int | None:
+        process = self._processes[index]
+        return process.pid if process is not None else None
+
+    def health_check(self, timeout: float = 5.0) -> dict[int, bool]:
+        """Liveness per shard: the process exists *and* answers a ping."""
+        health: dict[int, bool] = {}
+        for index in range(self.num_shards):
+            store = self._stores[index]
+            if not self.is_alive(index) or store is None:
+                health[index] = False
+                continue
+            try:
+                store.ping(timeout=timeout)
+                health[index] = True
+            except ProcessPlaneError:
+                health[index] = False
+        return health
+
+    # -- teardown -----------------------------------------------------------------
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Graceful stop: ask each worker to exit, then reap (kill on
+        overrun).  Idempotent."""
+        for index in range(self.num_shards):
+            store = self._stores[index]
+            if store is not None:
+                store.shutdown()
+        for index in range(self.num_shards):
+            process = self._processes[index]
+            if process is None:
+                continue
+            process.join(timeout=timeout)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=timeout)
+            self._processes[index] = None
+
+    def __enter__(self) -> "WorkerSupervisor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
+def open_process_sharded_store(root: str | Path, num_shards: int = 4,
+                               shard_keys: Mapping[str, str] | None = None,
+                               default_shard_key: str | None = None,
+                               sync: str = "batch",
+                               compact_ratio: float = 4.0,
+                               min_compact_records: int = 2_000,
+                               directories: Sequence[str | Path] | None = None,
+                               ) -> Any:
+    """Spawn one durable worker per shard and wrap them in a
+    :class:`~repro.cluster.sharded.ShardedDocumentStore`.
+
+    ``root/shard-<i>`` is each shard's durability root unless explicit
+    ``directories`` are given (e.g. ``RecoveryManager.shard_directory``).
+    The returned store carries the supervisor as ``store.supervisor`` —
+    callers shut the plane down with ``store.supervisor.shutdown()`` after
+    ``store.close()``.
+    """
+    from repro.cluster.sharded import ShardedDocumentStore
+
+    if directories is None:
+        directories = [Path(root) / f"shard-{i}" for i in range(num_shards)]
+    supervisor = WorkerSupervisor(
+        directories, sync=sync, compact_ratio=compact_ratio,
+        min_compact_records=min_compact_records,
+    )
+    try:
+        stores = supervisor.start()
+    except ProcessPlaneError:
+        supervisor.shutdown()
+        raise
+    store = ShardedDocumentStore(
+        stores=stores,
+        shard_keys=shard_keys,
+        default_shard_key=default_shard_key,
+        reopen=supervisor.restart,
+    )
+    store.supervisor = supervisor
+    return store

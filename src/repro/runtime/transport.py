@@ -1,0 +1,204 @@
+"""Pluggable byte transports speaking the shared CRC frame format.
+
+A :class:`Transport` moves whole *payloads*: ``send`` frames one payload
+(``[length:u32][crc32:u32][payload]``, see :mod:`repro.runtime.framing`)
+and ``recv`` returns the next checksum-verified payload, hunting past any
+torn or corrupted bytes in between.  Two implementations:
+
+* :class:`LoopbackTransport` — an in-process pair of byte queues.  The
+  bytes still round-trip through ``pack_frame`` and a
+  :class:`~repro.runtime.framing.FrameDecoder`, so every test of the
+  protocol also exercises the framing, and tests can :meth:`inject
+  <LoopbackTransport.inject>` raw garbage to watch the reader resync.
+* :class:`SocketTransport` — a connected ``socket`` (AF_UNIX
+  ``socketpair`` for local workers; the identical class carries an
+  AF_INET socket, which is how TCP drops in for multi-host later).
+
+Transports are *not* thread-safe: the process plane holds one per shard
+behind the sharded store's per-shard gate, which already serializes use.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+from typing import Protocol, runtime_checkable
+
+from repro.errors import TransportClosedError, TransportError
+from repro.runtime.framing import MAX_FRAME_BYTES, FrameDecoder, pack_frame
+
+__all__ = ["Transport", "LoopbackTransport", "SocketTransport"]
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """What the protocol layer needs from any byte carrier."""
+
+    def send(self, payload: bytes) -> None:
+        """Frame and deliver one payload."""
+
+    def recv(self, timeout: float | None = None) -> bytes:
+        """Next verified payload; raises :class:`TransportClosedError` on
+        EOF and :class:`TransportError` on timeout."""
+
+    def close(self) -> None:
+        """Release the carrier.  Idempotent."""
+
+
+class _Stats:
+    """Byte counters every transport keeps (the client surfaces them as
+    process-plane metrics)."""
+
+    __slots__ = ("bytes_sent", "bytes_received")
+
+    def __init__(self) -> None:
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+
+class LoopbackTransport:
+    """One end of an in-process transport pair.
+
+    Build both ends with :meth:`pair`.  Chunks cross between the ends via
+    queues of raw bytes; the receive side feeds them through a hunting
+    :class:`FrameDecoder` exactly like a socket reader would.
+    """
+
+    def __init__(self, inbox: "queue.Queue[bytes | None]",
+                 outbox: "queue.Queue[bytes | None]",
+                 max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self._inbox = inbox
+        self._outbox = outbox
+        self._decoder = FrameDecoder(max_frame_bytes=max_frame_bytes)
+        self._ready: list[bytes] = []
+        self._closed = False
+        self._eof = False
+        self.stats = _Stats()
+
+    @classmethod
+    def pair(cls, max_frame_bytes: int = MAX_FRAME_BYTES
+             ) -> tuple["LoopbackTransport", "LoopbackTransport"]:
+        """A connected (client, server) transport pair."""
+        a_to_b: "queue.Queue[bytes | None]" = queue.Queue()
+        b_to_a: "queue.Queue[bytes | None]" = queue.Queue()
+        return (
+            cls(b_to_a, a_to_b, max_frame_bytes=max_frame_bytes),
+            cls(a_to_b, b_to_a, max_frame_bytes=max_frame_bytes),
+        )
+
+    @property
+    def resync_bytes(self) -> int:
+        """Garbage bytes the reader hunted past (corruption indicator)."""
+        return self._decoder.resync_bytes
+
+    def send(self, payload: bytes) -> None:
+        if self._closed:
+            raise TransportClosedError("send on closed loopback transport")
+        frame = pack_frame(payload)
+        self.stats.bytes_sent += len(frame)
+        self._outbox.put(frame)
+
+    def inject(self, raw: bytes) -> None:
+        """Deliver *unframed* bytes to the peer — corruption for tests."""
+        self._outbox.put(bytes(raw))
+
+    def recv(self, timeout: float | None = None) -> bytes:
+        while not self._ready:
+            if self._eof:
+                raise TransportClosedError("peer closed loopback transport")
+            if self._closed:
+                raise TransportClosedError("recv on closed loopback transport")
+            try:
+                chunk = self._inbox.get(timeout=timeout)
+            except queue.Empty:
+                raise TransportError(
+                    f"recv timed out after {timeout}s"
+                ) from None
+            if chunk is None:
+                self._eof = True
+                continue
+            self.stats.bytes_received += len(chunk)
+            self._ready.extend(self._decoder.feed(chunk))
+        return self._ready.pop(0)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._outbox.put(None)  # EOF marker for the peer
+
+
+class SocketTransport:
+    """Framed payloads over a connected socket.
+
+    Works identically over an AF_UNIX ``socketpair`` (the local worker
+    path) and an AF_INET stream socket (the future multi-host path) — the
+    frame format carries its own integrity, so the carrier only needs to
+    be a byte stream.
+    """
+
+    def __init__(self, sock: socket.socket,
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 read_chunk: int = 64 * 1024) -> None:
+        self._sock = sock
+        self._decoder = FrameDecoder(max_frame_bytes=max_frame_bytes)
+        self._ready: list[bytes] = []
+        self._read_chunk = read_chunk
+        self._closed = False
+        self.stats = _Stats()
+
+    @classmethod
+    def pair(cls, max_frame_bytes: int = MAX_FRAME_BYTES
+             ) -> tuple["SocketTransport", "SocketTransport"]:
+        """A connected (client, server) pair over an AF_UNIX socketpair."""
+        a, b = socket.socketpair()
+        return (cls(a, max_frame_bytes=max_frame_bytes),
+                cls(b, max_frame_bytes=max_frame_bytes))
+
+    @property
+    def resync_bytes(self) -> int:
+        return self._decoder.resync_bytes
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def send(self, payload: bytes) -> None:
+        if self._closed:
+            raise TransportClosedError("send on closed socket transport")
+        frame = pack_frame(payload)
+        try:
+            self._sock.sendall(frame)
+        except (BrokenPipeError, ConnectionResetError) as exc:
+            raise TransportClosedError(f"peer closed connection: {exc}") from exc
+        except OSError as exc:
+            raise TransportError(f"socket send failed: {exc}") from exc
+        self.stats.bytes_sent += len(frame)
+
+    def recv(self, timeout: float | None = None) -> bytes:
+        while not self._ready:
+            if self._closed:
+                raise TransportClosedError("recv on closed socket transport")
+            try:
+                self._sock.settimeout(timeout)
+                chunk = self._sock.recv(self._read_chunk)
+            except socket.timeout:
+                raise TransportError(f"recv timed out after {timeout}s") from None
+            except (ConnectionResetError, BrokenPipeError) as exc:
+                raise TransportClosedError(
+                    f"peer closed connection: {exc}"
+                ) from exc
+            except OSError as exc:
+                raise TransportError(f"socket recv failed: {exc}") from exc
+            if not chunk:
+                raise TransportClosedError("peer closed connection (EOF)")
+            self.stats.bytes_received += len(chunk)
+            self._ready.extend(self._decoder.feed(chunk))
+        return self._ready.pop(0)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass  # peer already gone
+            self._sock.close()

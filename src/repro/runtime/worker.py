@@ -1,0 +1,225 @@
+"""Shard server: a durable document store hosted behind a transport.
+
+:class:`ShardWorker` is the server half of the process plane — a loop that
+receives one framed request, executes its ops against the hosted store,
+and sends one framed response.  :func:`worker_main` is the child-process
+entry point: it opens a :class:`~repro.durability.journal.DurableDocumentStore`
+over the shard's own durability root (recovering it if non-empty) and
+serves until told to shut down or the transport dies.
+
+Durability before acknowledgement: every journaled write fsyncs before
+the call returns (the store's ``sync="batch"`` policy — one group commit
+per op), so by the time the response frame leaves the worker the op is on
+stable storage.  Killing the worker mid-request therefore loses only
+*unacknowledged* work, and a batched ``insert_many`` is one WAL record —
+recovery applies all of it or none of it, never a torn batch.
+
+The worker is deliberately single-threaded: the whole point of the
+process plane is that each shard owns one core, and the client side
+already serializes per-shard access behind the sharded store's gates.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+from pathlib import Path
+from typing import Any
+
+from repro.errors import (
+    ProtocolError,
+    ReproError,
+    TransportError,
+)
+from repro.runtime.framing import MAX_FRAME_BYTES
+from repro.runtime.protocol import (
+    Response,
+    decode_request,
+    encode_response,
+    error_to_wire,
+)
+from repro.runtime.transport import SocketTransport, Transport
+
+__all__ = ["ShardWorker", "worker_main"]
+
+
+class ShardWorker:
+    """Serve one store's remote surface over one transport.
+
+    ``store`` is duck-typed — a :class:`DurableDocumentStore` in
+    production, but any store exposing the same surface (e.g. a plain
+    :class:`~repro.storage.store.DocumentStore` behind a loopback
+    transport) works for tests.
+    """
+
+    def __init__(self, store: Any, transport: Transport) -> None:
+        self.store = store
+        self.transport = transport
+        self._running = False
+
+    # -- op execution ---------------------------------------------------------------
+
+    def _ping(self) -> dict[str, Any]:
+        """Worker identity plus the hosted store's recovery statistics —
+        what the supervisor's health check and ``restart_shard`` report."""
+        store = self.store
+        return {
+            "pid": os.getpid(),
+            "snapshot_documents": getattr(store, "snapshot_documents", 0),
+            "replayed_ops": getattr(store, "replayed_ops", 0),
+            "deduplicated_ops": getattr(store, "deduplicated_ops", 0),
+            "truncated_bytes": getattr(store, "truncated_bytes", 0),
+            "snapshot_lsn": getattr(store, "snapshot_lsn", 0),
+            "collections": store.collection_names(),
+        }
+
+    def _execute_store(self, method: str, args: list[Any],
+                       kwargs: dict[str, Any]) -> Any:
+        if method == "ping":
+            return self._ping()
+        if method == "collection":
+            # Materialize only: the client keeps its own proxy object.
+            self.store.collection(*args, **kwargs)
+            return True
+        if method == "crash":
+            # Deterministic power-loss model: un-fsynced journal bytes are
+            # dropped and the store is dead; the worker exits after the ack
+            # and the supervisor restarts it over the same root.
+            if hasattr(self.store, "simulate_crash"):
+                self.store.simulate_crash()
+            self._running = False
+            return True
+        if method == "close":
+            # Mirrors DurableDocumentStore.close: journal flushed and
+            # closed, reads keep working — the worker stays up to serve
+            # them until shutdown or EOF.
+            if hasattr(self.store, "close"):
+                self.store.close()
+            return True
+        if method == "shutdown":
+            if hasattr(self.store, "close"):
+                try:
+                    self.store.close()
+                except ReproError:
+                    pass  # already crashed/closed — shutdown proceeds
+            self._running = False
+            return True
+        if method == "checkpoint":
+            if hasattr(self.store, "checkpoint"):
+                return self.store.checkpoint()
+            return None
+        return getattr(self.store, method)(*args, **kwargs)
+
+    def _execute_collection(self, name: str, method: str, args: list[Any],
+                            kwargs: dict[str, Any]) -> Any:
+        collection = self.store.collection(name)
+        # JSON turns a ("field", -1) sort tuple into a list; restore it so
+        # the planner's isinstance(sort, tuple) check sees the local form.
+        sort = kwargs.get("sort")
+        if isinstance(sort, list):
+            kwargs["sort"] = tuple(sort)
+        if method == "length":
+            return len(collection)
+        if method == "all_documents":
+            return list(collection.all_documents())
+        return getattr(collection, method)(*args, **kwargs)
+
+    def _execute(self, op: dict[str, Any]) -> dict[str, Any]:
+        try:
+            if op["t"] == "store":
+                value = self._execute_store(op["m"], op.get("a", []),
+                                            op.get("k", {}))
+            else:
+                value = self._execute_collection(op["c"], op["m"],
+                                                 op.get("a", []),
+                                                 op.get("k", {}))
+            return {"ok": True, "value": value}
+        except ReproError as exc:
+            return error_to_wire(exc)
+        except Exception as exc:  # worker-side bug: report, keep serving
+            return error_to_wire(exc)
+
+    # -- serve loop -----------------------------------------------------------------
+
+    def serve_once(self) -> bool:
+        """Handle one request; returns False when the loop should stop."""
+        try:
+            payload = self.transport.recv()
+        except TransportError:
+            return False  # peer gone (client died or closed): stop serving
+        try:
+            request = decode_request(payload)
+        except ProtocolError as exc:
+            # Undecodable request: the correlation id is unknowable, so the
+            # error rides id -1 and the client surfaces the mismatch.
+            self._send(Response(id=-1, results=[error_to_wire(exc)]))
+            return self._running
+        results = [self._execute(op) for op in request.ops]
+        self._send(Response(id=request.id, results=results))
+        return self._running
+
+    def _send(self, response: Response) -> None:
+        try:
+            payload = encode_response(response)
+        except ProtocolError:
+            # Some op returned a non-JSON value; fail those ops, keep the rest.
+            results = []
+            for result in response.results:
+                if result.get("ok"):
+                    try:
+                        encode_response(Response(id=0, results=[result]))
+                        results.append(result)
+                        continue
+                    except ProtocolError as exc:
+                        results.append(error_to_wire(exc))
+                else:
+                    results.append(result)
+            payload = encode_response(Response(id=response.id, results=results))
+        try:
+            self.transport.send(payload)
+        except TransportError:
+            self._running = False  # peer gone mid-reply
+
+    def serve_forever(self) -> None:
+        self._running = True
+        while self.serve_once():
+            pass
+
+
+def worker_main(sock: socket.socket, directory: str, config: dict[str, Any],
+                ) -> None:
+    """Child-process entry point: host one shard over one socket.
+
+    ``config`` carries the durable-store knobs (``sync``,
+    ``compact_ratio``, ``min_compact_records``) plus the transport's
+    ``max_frame_bytes``.  Opening a non-empty ``directory`` *is* the
+    shard's crash recovery — snapshot load plus WAL-suffix replay — and
+    its statistics are served to the supervisor via ``ping``.
+    """
+    # Imported here, not at module top: the parent may import this module
+    # without ever pulling the durability stack into a worker-less process.
+    from repro.durability.journal import DurableDocumentStore
+
+    transport = SocketTransport(
+        sock,
+        max_frame_bytes=config.get("max_frame_bytes") or MAX_FRAME_BYTES,
+    )
+    try:
+        store = DurableDocumentStore(
+            Path(directory),
+            sync=config.get("sync", "batch"),
+            compact_ratio=config.get("compact_ratio", 4.0),
+            min_compact_records=config.get("min_compact_records", 2_000),
+        )
+    except ReproError as exc:
+        # Unrecoverable root (e.g. corrupt sealed segment): report the
+        # failure as a dead worker rather than a hang.
+        print(f"shard worker failed to open {directory}: {exc}", file=sys.stderr)
+        transport.close()
+        raise SystemExit(3)
+    worker = ShardWorker(store, transport)
+    try:
+        worker.serve_forever()
+    finally:
+        transport.close()

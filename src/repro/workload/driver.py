@@ -161,6 +161,14 @@ class LoadDriver:
         get one durability root per shard and recover them independently).
         Required >= 2 for scenarios containing ``shard_outage`` faults
         (which also need ``durable_dir``).
+    process_shards:
+        Host each store shard in its own child process behind the
+        :mod:`repro.runtime` RPC plane (the GIL-breaking execution mode).
+        Requires ``durable_dir`` — the workers journal to the per-shard
+        durability roots and recover from them across ``process_crash``
+        and ``shard_outage`` faults.  Worker processes outlive the run so
+        the report's post-run reads still work; call
+        :meth:`shutdown_workers` (the CLI does) to reap them.
     consumers:
         Concurrent consumer-group members draining the topic.  More than
         one — or any ``consumer_churn`` fault — switches the consume side
@@ -182,6 +190,7 @@ class LoadDriver:
                  durable_dir: str | Path | None = None,
                  offset_checkpoint_every: int = 8,
                  shards: int = 1, consumers: int = 1,
+                 process_shards: bool = False,
                  trace_sample_every: int = 32) -> None:
         if speedup <= 0:
             raise ConfigurationError(f"speedup must be > 0, got {speedup}")
@@ -218,6 +227,12 @@ class LoadDriver:
                 "an injected history= cannot be made crash-safe"
             )
         self.shards = shards
+        self.process_shards = process_shards
+        if process_shards and self.durable_dir is None:
+            raise ConfigurationError(
+                "process shards journal to per-shard durability roots: pass "
+                "durable_dir= as well (CLI: --process-shards --durable DIR)"
+            )
         self.consumers = consumers
         # Any churn fault (or a multi-member group) moves the consume side
         # to coordinator-managed dynamic membership.
@@ -640,6 +655,12 @@ class LoadDriver:
         phases.append(rest)
         return phases
 
+    def shutdown_workers(self) -> None:
+        """Reap process-mode shard workers left serving post-run reads.
+        No-op (and safe) for in-process runs.  Idempotent."""
+        if self.recovery_manager is not None:
+            self.recovery_manager.shutdown_workers()
+
     def _open_durable_components(
         self, manager: RecoveryManager
     ) -> tuple[Broker, AlarmHistory, VerificationLog]:
@@ -710,6 +731,7 @@ class LoadDriver:
                 offset_checkpoint_every=self.offset_checkpoint_every,
                 store_shards=self.shards,
                 shard_keys=PIPELINE_SHARD_KEYS,
+                process_shards=self.process_shards,
             )
             manager.recover()
             self.recovery_manager = manager

@@ -1,0 +1,253 @@
+"""Transports and the RPC protocol layer, including a worker over loopback.
+
+The loopback transport exists precisely so the protocol, the worker's
+dispatch and the corruption handling can all be exercised in-process: the
+bytes still round-trip through real frames, and ``inject`` lets a test
+drip raw garbage into the stream between valid requests.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import (
+    DuplicateKeyError,
+    ProcessPlaneError,
+    ProtocolError,
+    TransportClosedError,
+    TransportError,
+)
+from repro.runtime.protocol import (
+    PROTOCOL_VERSION,
+    Request,
+    Response,
+    collection_op,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    error_to_wire,
+    store_op,
+    wire_to_error,
+)
+from repro.runtime.remote import RemoteShardStore
+from repro.runtime.transport import LoopbackTransport, SocketTransport
+from repro.runtime.worker import ShardWorker
+from repro.storage.store import DocumentStore
+
+
+# -- transports ---------------------------------------------------------------------
+
+
+def test_loopback_roundtrip_and_byte_accounting():
+    a, b = LoopbackTransport.pair()
+    a.send(b"ping")
+    assert b.recv(timeout=1.0) == b"ping"
+    b.send(b"pong")
+    assert a.recv(timeout=1.0) == b"pong"
+    assert a.stats.bytes_sent == b.stats.bytes_received
+    assert a.resync_bytes == 0
+
+
+def test_loopback_injected_garbage_resyncs():
+    # Small frame cap so every garbage offset parses as an implausible
+    # length and is hunted past immediately (a large cap would make the
+    # decoder legitimately wait for the phantom payload to arrive).
+    a, b = LoopbackTransport.pair(max_frame_bytes=1024)
+    a.inject(b"\xdegarbage-that-is-not-a-frame\xff\xfe")
+    a.send(b"still-works")
+    assert b.recv(timeout=1.0) == b"still-works"
+    assert b.resync_bytes > 0
+
+
+def test_loopback_timeout_and_close():
+    a, b = LoopbackTransport.pair()
+    with pytest.raises(TransportError):
+        b.recv(timeout=0.01)
+    a.close()
+    with pytest.raises(TransportClosedError):
+        b.recv(timeout=1.0)
+    with pytest.raises(TransportClosedError):
+        a.send(b"nope")
+
+
+def test_socket_transport_roundtrip_chunked_reads():
+    a, b = SocketTransport.pair()
+    b._read_chunk = 3  # force frame reassembly across many tiny reads
+    payload = b"x" * 1000
+    a.send(payload)
+    a.send(b"second")
+    assert b.recv(timeout=5.0) == payload
+    assert b.recv(timeout=5.0) == b"second"
+    a.close()
+    with pytest.raises(TransportClosedError):
+        b.recv(timeout=5.0)
+    b.close()
+
+
+# -- protocol -----------------------------------------------------------------------
+
+
+def test_request_response_roundtrip():
+    request = Request(id=7, ops=[
+        store_op("ping"),
+        collection_op("alarms", "find", {"zip": "8001"}, limit=3),
+    ])
+    decoded = decode_request(encode_request(request))
+    assert decoded == request
+
+    response = Response(id=7, results=[
+        {"ok": True, "value": {"pid": 1}},
+        {"ok": True, "value": []},
+    ])
+    assert decode_response(encode_response(response)) == response
+
+
+def test_op_builders_validate_methods():
+    with pytest.raises(ProtocolError):
+        store_op("eval")
+    with pytest.raises(ProtocolError):
+        collection_op("alarms", "__init__")
+
+
+def test_decode_rejects_version_mismatch_and_malformed_bodies():
+    import json
+
+    stale = json.dumps({"v": PROTOCOL_VERSION + 1, "id": 1, "ops": []}).encode()
+    with pytest.raises(ProtocolError, match="version mismatch"):
+        decode_request(stale)
+    with pytest.raises(ProtocolError):
+        decode_request(b"\xff not json")
+    with pytest.raises(ProtocolError, match="non-empty"):
+        decode_request(encode_request(Request(id=1, ops=[])))
+    # Off-allowlist methods are rejected at decode time, before dispatch.
+    smuggled = json.dumps({
+        "v": PROTOCOL_VERSION, "id": 1,
+        "ops": [{"t": "store", "m": "save", "a": ["/etc/passwd"], "k": {}}],
+    }).encode()
+    with pytest.raises(ProtocolError, match="unknown store method"):
+        decode_request(smuggled)
+    with pytest.raises(ProtocolError, match="malformed result"):
+        decode_response(encode_response(Response(id=1, results=[{"no": 1}])))
+
+
+def test_error_rehydration():
+    wire = error_to_wire(DuplicateKeyError("dup on uid"))
+    error = wire_to_error(wire)
+    assert isinstance(error, DuplicateKeyError)
+    assert "dup on uid" in str(error)
+
+    unknown = wire_to_error({"ok": False, "error": "KeyError", "message": "'x'"})
+    assert isinstance(unknown, ProcessPlaneError)
+    assert "KeyError" in str(unknown)
+
+
+# -- worker over loopback -----------------------------------------------------------
+
+
+@pytest.fixture()
+def loopback_worker():
+    client_t, server_t = LoopbackTransport.pair()
+    worker = ShardWorker(DocumentStore(), server_t)
+    thread = threading.Thread(target=worker.serve_forever, daemon=True)
+    thread.start()
+    client = RemoteShardStore(client_t, shard=0, timeout=5.0)
+    yield client, worker
+    client.shutdown()
+    thread.join(timeout=5.0)
+    assert not thread.is_alive()
+
+
+def test_remote_surface_matches_local_store(loopback_worker):
+    client, worker = loopback_worker
+    local = DocumentStore()
+    docs = [{"uid": f"u{i}", "zone": i % 3, "w": float(i)} for i in range(30)]
+
+    for store in (client, local):
+        coll = store.collection("alarms")
+        coll.insert_many(docs)
+        coll.create_index("uid", unique=True)
+        coll.create_index("zone")
+
+    remote, local_coll = client.collection("alarms"), local.collection("alarms")
+    assert len(remote) == len(local_coll) == 30
+    assert remote.count({"zone": 1}) == local_coll.count({"zone": 1})
+    assert remote.find({"zone": 2}, sort=("w", -1), limit=4) == \
+        local_coll.find({"zone": 2}, sort=("w", -1), limit=4)
+    assert remote.find_one({"uid": "u7"}) == local_coll.find_one({"uid": "u7"})
+    assert remote.distinct("zone") == local_coll.distinct("zone")
+    assert remote.get(1) == local_coll.get(1)
+    assert sorted(remote.index_fields()) == sorted(local_coll.index_fields())
+    assert remote.index_spec("uid") == local_coll.index_spec("uid")
+    assert list(remote.all_documents()) == list(local_coll.all_documents())
+    assert remote.explain({"uid": "u3"})["mode"] == \
+        local_coll.explain({"uid": "u3"})["mode"]
+    assert client.aggregate("alarms", [
+        {"$match": {"zone": 0}},
+        {"$group": {"_id": None, "total": {"$sum": "$w"}}},
+    ]) == local.aggregate("alarms", [
+        {"$match": {"zone": 0}},
+        {"$group": {"_id": None, "total": {"$sum": "$w"}}},
+    ])
+
+    assert remote.update_many({"zone": 0}, {"$set": {"flag": True}}) == \
+        local_coll.update_many({"zone": 0}, {"$set": {"flag": True}})
+    assert remote.delete_many({"zone": 2}) == local_coll.delete_many({"zone": 2})
+    assert len(remote) == len(local_coll)
+    assert client.collection_names() == local.collection_names()
+
+
+def test_remote_errors_raise_like_local_ones(loopback_worker):
+    client, _ = loopback_worker
+    coll = client.collection("alarms")
+    coll.create_index("uid", unique=True)
+    coll.insert_one({"uid": "dup"})
+    with pytest.raises(DuplicateKeyError):
+        coll.insert_one({"uid": "dup"})
+    with pytest.raises(ProtocolError, match="callable"):
+        coll.update_many({}, lambda doc: doc)
+    assert len(coll) == 1  # the worker survived both failures
+
+
+def test_batched_ops_pipeline_in_one_roundtrip(loopback_worker):
+    client, _ = loopback_worker
+    client.collection("alarms")
+    before = client._requests.value
+    values = client.call([
+        collection_op("alarms", "insert_many", [{"n": i} for i in range(5)]),
+        collection_op("alarms", "count", {}),
+        store_op("collection_names"),
+    ])
+    assert client._requests.value == before + 1
+    assert len(values[0]) == 5
+    assert values[1] == 5
+    assert values[2] == ["alarms"]
+
+
+def test_worker_survives_injected_corruption_between_requests(loopback_worker):
+    client, worker = loopback_worker
+    coll = client.collection("alarms")
+    coll.insert_one({"n": 1})
+    client.transport.inject(b"\xde\xad\xbe\xef torn bytes \x00\x00")
+    assert coll.count({}) == 1  # request after garbage still answered
+    assert worker.transport.resync_bytes > 0
+
+
+def test_worker_rejects_oversized_batch_reply_gracefully():
+    # A non-JSON value from a store method must fail that op, not the worker.
+    class WeirdStore(DocumentStore):
+        def collection_names(self):
+            return {b"bytes-key"}  # not JSON-serializable
+
+    client_t, server_t = LoopbackTransport.pair()
+    worker = ShardWorker(WeirdStore(), server_t)
+    thread = threading.Thread(target=worker.serve_forever, daemon=True)
+    thread.start()
+    client = RemoteShardStore(client_t, shard=0, timeout=5.0)
+    try:
+        with pytest.raises(ProcessPlaneError):
+            client.collection_names()
+        client.collection("alarms").insert_one({"n": 1})  # still serving
+    finally:
+        client.shutdown()
+        thread.join(timeout=5.0)
