@@ -1,0 +1,195 @@
+"""Replication failover bench (tier-1 fast): fenced zero-loss promotion.
+
+Two measurements, recorded to ``BENCH_replication.json`` at the repository
+root (CI uploads it as an artifact and fails the build when the
+zero-loss / zero-duplicate invariant breaks, the stale epoch is not
+fenced, or promotion exceeds its time budget):
+
+* **Mid-scenario leader failover** — a full :class:`LoadDriver` run over a
+  2-shard x 2-replica *process* pipeline (every replica hosted by its own
+  worker process): at t=30s the scenario's ``leader_failover`` fault
+  SIGKILLs shard 1's leader worker and the most-caught-up follower is
+  promoted under a bumped epoch while producers keep writing.  Every
+  event in the pre-built timeline must verify exactly once — zero lost,
+  zero duplicated — and the promotion itself must land inside the budget.
+* **Steady-state lag + fenced drill** — a 2-process replica set under a
+  continuous sync-ack write load: replication lag is sampled after every
+  batch (``sync`` ack means an acked write is on every live follower, so
+  sampled lag must be zero), then the leader takes a real SIGKILL and the
+  timed failover drill runs.  The dead regime must stay dead: an ack
+  attempt carrying the pre-promotion epoch raises
+  :class:`~repro.errors.StaleEpochError`.
+
+Like the other microbenches this file is *not* marked ``slow``: it runs in
+seconds and doubles as the regression test for the replication
+guarantees.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from functools import partial
+from pathlib import Path
+
+from repro.errors import StaleEpochError
+from repro.replication import ReplicaController, ReplicaSet
+from repro.runtime.supervisor import WorkerSupervisor
+from repro.workload import (
+    ConstantRate,
+    DatasetSpec,
+    FaultInjection,
+    LoadDriver,
+    Scenario,
+)
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_replication.json"
+
+#: Ceiling on a single promotion (election + fence + shipper restart).  A
+#: promotion is a handful of local RPCs; seconds of headroom covers the
+#: slowest CI containers without ever excusing a hung election.
+FAILOVER_BUDGET_SECONDS = 10.0
+
+LAG_BATCHES = 30
+LAG_BATCH_RECORDS = 10
+
+
+def record_result(name: str, payload: dict) -> None:
+    """Merge one benchmark's numbers into ``BENCH_replication.json``."""
+    data: dict = {"schema": "repro.replication/v1", "benchmarks": {}}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except (ValueError, OSError):
+            pass
+    data.setdefault("benchmarks", {})[name] = payload
+    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def test_leader_failover_mid_scenario_is_zero_loss(tmp_path):
+    """The acceptance invariant: SIGKILL a shard leader mid-scenario under
+    durable load; a follower is promoted under a bumped epoch and every
+    timeline event still verifies exactly once."""
+    scenario = Scenario(
+        name="bench-leader-failover",
+        arrivals=ConstantRate(rate=3.0),
+        duration=60.0,
+        dataset=DatasetSpec(
+            num_devices=60, train_alarms=240, preload_history=60
+        ),
+        producers=2,
+        partitions=2,
+        faults=(
+            FaultInjection(kind="leader_failover", start=30.0, end=31.0,
+                           params={"shard": 1}),
+        ),
+    )
+    driver = LoadDriver(
+        scenario, seed=42, speedup=2_000.0, shards=2, replicas=2,
+        process_shards=True, durable_dir=tmp_path / "pipeline",
+    )
+    expected = {e.document["_event_seq"] for e in driver.build_timeline()}
+    started = time.perf_counter()
+    report = driver.run(max_batch_records=50)
+    wall = time.perf_counter() - started
+
+    assert len(report.failovers) == 1
+    failover = report.failovers[0]
+    lost = len(expected) - report.verified_unique
+    duplicates = driver.verification_log.duplicate_uids()
+
+    record_result("scenario_leader_failover", {
+        "shards": 2,
+        "replicas": 2,
+        "events": len(expected),
+        "verified_unique": report.verified_unique,
+        "lost": lost,
+        "duplicates": len(duplicates),
+        "failover_shard": failover["shard"],
+        "old_epoch": failover["old_epoch"],
+        "epoch": failover["epoch"],
+        "old_leader": failover["old_leader"],
+        "new_leader": failover["new_leader"],
+        "leader_respawned": failover.get("respawned", False),
+        "failover_ms": round(failover["seconds"] * 1e3, 1),
+        "run_seconds": round(wall, 3),
+    })
+    print(
+        f"\nmid-scenario failover: shard {failover['shard']} leader "
+        f"{failover['old_leader']} -> {failover['new_leader']} (epoch "
+        f"{failover['old_epoch']} -> {failover['epoch']}) in "
+        f"{failover['seconds'] * 1e3:.1f}ms; {report.verified_unique} of "
+        f"{len(expected)} events verified, {lost} lost, "
+        f"{len(duplicates)} duplicated; run {wall:.1f}s"
+    )
+    assert failover["shard"] == 1
+    assert failover["epoch"] == failover["old_epoch"] + 1
+    assert lost == 0, f"{lost} acked events lost across the failover"
+    assert duplicates == [], f"duplicated verifications: {duplicates[:5]}"
+    assert failover["seconds"] <= FAILOVER_BUDGET_SECONDS
+
+
+def test_steady_state_lag_and_fenced_promotion(tmp_path):
+    """Sync-ack replication keeps sampled lag at zero under load, the
+    SIGKILL drill promotes inside the budget, and the dead leader's epoch
+    can no longer ack anything."""
+    supervisor = WorkerSupervisor(
+        [tmp_path / "replica-0", tmp_path / "replica-1"], sync="batch",
+    )
+    peers = supervisor.start()
+    controllers = [
+        ReplicaController(kill=partial(supervisor.kill, r),
+                          respawn=partial(supervisor.restart, r))
+        for r in range(2)
+    ]
+    rs = ReplicaSet(peers, shard=0, ack="sync", controllers=controllers)
+    collection = rs.collection("alarms")
+    lags: list[int] = []
+    for batch in range(LAG_BATCHES):
+        collection.insert_many([
+            {"device_address": f"dev-{batch:03d}-{i}", "value": i}
+            for i in range(LAG_BATCH_RECORDS)
+        ])
+        lags.append(max(rs.replication_lag().values(), default=0))
+    acked = LAG_BATCHES * LAG_BATCH_RECORDS
+
+    old_epoch = rs.epoch
+    started = time.perf_counter()
+    drill = rs.fail_over(kill=True)  # real SIGKILL via the supervisor
+    drill_seconds = time.perf_counter() - started
+    survivors = rs.collection("alarms").count()
+    fenced = False
+    try:
+        rs.leader.apply_write(old_epoch, "alarms", "insert_one",
+                              [{"device_address": "zombie", "value": -1}])
+    except StaleEpochError:
+        fenced = True
+
+    record_result("steady_state_lag_and_fencing", {
+        "acked_records": acked,
+        "lag_samples": len(lags),
+        "max_lag_records": max(lags),
+        "mean_lag_records": round(sum(lags) / len(lags), 3),
+        "records_after_failover": survivors,
+        "promotion_ms": round(drill["seconds"] * 1e3, 1),
+        "drill_ms": round(drill_seconds * 1e3, 1),
+        "leader_respawned": drill["respawned"],
+        "stale_epoch_fenced": fenced,
+    })
+    print(
+        f"\nsteady-state lag over {acked} sync-acked records: max "
+        f"{max(lags)}, mean {sum(lags) / len(lags):.3f}; promotion "
+        f"{drill['seconds'] * 1e3:.1f}ms (drill {drill_seconds * 1e3:.1f}ms "
+        f"incl. respawn), stale epoch fenced={fenced}"
+    )
+    rs.close()
+    supervisor.shutdown()
+
+    assert max(lags) == 0, (
+        f"sync ack must leave no steady-state lag, sampled {max(lags)}"
+    )
+    assert survivors == acked, (
+        f"failover lost {acked - survivors} of {acked} acked records"
+    )
+    assert drill["seconds"] <= FAILOVER_BUDGET_SECONDS
+    assert fenced, "stale leader epoch was still able to ack post-promotion"

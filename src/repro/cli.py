@@ -201,6 +201,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             scenario, speedup=args.speedup, durable_dir=args.durable,
             shards=args.shards, consumers=args.consumers,
             process_shards=args.process_shards,
+            replicas=args.replicas, replica_ack=args.replica_ack,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -211,6 +212,9 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         cluster_note = f" [{args.shards} {shard_kind}, {args.consumers} consumers]"
     elif args.process_shards:
         cluster_note = " [1 process shard]"
+    if args.replicas > 1:
+        cluster_note += (f" [{args.replicas} replicas/shard, "
+                         f"{args.replica_ack} ack]")
     print(f"scenario {scenario.name!r} (seed {scenario.seed}, "
           f"speedup {args.speedup:g}x){cluster_note}: {scenario.description}")
     report = driver.run()
@@ -240,6 +244,12 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         print(f"  shard {recovery['shard']} outage: recovered "
               f"{recovery['snapshot_documents']} snapshot docs + "
               f"{recovery['ops_replayed']} journal ops")
+    for failover in report.failovers:
+        print(f"  shard {failover['shard']} failover: leader "
+              f"{failover['old_leader']} -> {failover['new_leader']} "
+              f"(epoch {failover['old_epoch']} -> {failover['epoch']}, "
+              f"frontier {failover['frontier']}) "
+              f"in {failover['seconds'] * 1e3:.1f} ms")
     if report.durable:
         print(f"durable pipeline at {args.durable}: "
               f"{report.verified_unique} unique verification documents, "
@@ -405,6 +415,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="store shards backing history/verifications (consistent-hash "
              "scatter-gather; with --durable each shard recovers from its "
              "own root)",
+    )
+    loadtest.add_argument(
+        "--replicas", type=int, default=1,
+        help="replicas per store shard (>1 turns each shard into a "
+             "leader/follower replica set with WAL shipping and fenced "
+             "failover; requires --durable)",
+    )
+    loadtest.add_argument(
+        "--replica-ack", choices=("sync", "async"), default="sync",
+        help="replicated write acknowledgement mode (sync = wait for every "
+             "live follower; async = leader fsync only)",
     )
     loadtest.add_argument(
         "--consumers", type=int, default=1,

@@ -577,6 +577,36 @@ class ShardedDocumentStore:
                 "truncated_bytes": getattr(fresh, "truncated_bytes", 0),
             }
 
+    def fail_over_shard(self, index: int, kill: bool = True) -> dict[str, Any]:
+        """Kill shard ``index``'s replica-set leader and promote a follower.
+
+        Replica-aware analogue of :meth:`restart_shard`: requires the
+        backing store to be a :class:`~repro.replication.replica_set.ReplicaSet`.
+        The shard's gate is held for the duration, so concurrent routed
+        operations queue behind the promotion instead of racing it.
+        Returns the promotion record (epoch, leaders, seconds).
+        """
+        if not 0 <= index < self.num_shards:
+            raise ConfigurationError(
+                f"shard index {index} outside [0, {self.num_shards})"
+            )
+        with self._gates[index]:
+            store = self._stores[index]
+            if not hasattr(store, "fail_over"):
+                raise ConfigurationError(
+                    "fail_over_shard needs replicated shards "
+                    "(ReplicaSet backing stores; open with replicas >= 2)"
+                )
+            return store.fail_over(kill=kill)
+
+    def replica_status(self) -> list[dict[str, Any]]:
+        """Per-shard replica-set status (empty for unreplicated shards)."""
+        return self._fanout(
+            lambda i: self._on_shard(
+                i, lambda s: s.status() if hasattr(s, "fail_over") else {}
+            )
+        )
+
     def checkpoint(self) -> None:
         """Checkpoint every durable shard (no-op on in-memory shards)."""
         self._fanout(

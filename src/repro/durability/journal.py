@@ -162,6 +162,10 @@ class DurableDocumentStore:
         self._write_lock = threading.RLock()
         self._proxies: dict[str, DurableCollection] = {}
         self._closed = False
+        #: Set by :meth:`simulate_crash` only.  A cleanly closed store keeps
+        #: serving in-memory reads; a crashed one must not (its memory is
+        #: notionally gone) — replication's liveness probes rely on that.
+        self._crashed = False
 
         self._snapshots = SnapshotManager(
             self.directory / _SNAPSHOT_DIR, keep=snapshots_kept
@@ -306,6 +310,104 @@ class DurableDocumentStore:
             if first_error is not None:
                 raise first_error
 
+    # -- replication ----------------------------------------------------------------
+
+    def apply_replicated(self, lsn: int, payload: bytes) -> int:
+        """Apply one leader-journaled operation at its leader-assigned LSN.
+
+        The follower half of log shipping.  The record is journaled into
+        this store's own WAL *at the same LSN the leader assigned* — the
+        two logs stay position-aligned, which is what makes "highest
+        applied LSN" a comparable replication frontier across replicas.
+        Returns the new frontier (``next_lsn``).
+
+        Idempotent under resend: an ``lsn`` already applied is skipped
+        (a superseded shipper re-delivering its last batch), while a gap
+        (``lsn`` past the frontier) is an error — the shipper must catch
+        the follower up via snapshot first.
+        """
+        with self._write_lock:
+            self._check_open()
+            frontier = self._wal.next_lsn
+            if lsn < frontier:
+                return frontier  # duplicate delivery: already applied
+            if lsn > frontier:
+                raise DurabilityError(
+                    f"replication gap: record lsn {lsn} past local frontier "
+                    f"{frontier} (snapshot catch-up required)"
+                )
+            self._wal.append(payload)
+            try:
+                op = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise DurabilityError(
+                    f"undecodable replicated record at lsn {lsn}: {exc}"
+                ) from exc
+            try:
+                self._apply(op)
+            except StorageError:
+                # The op failed identically on the leader (idempotent-sink
+                # duplicate): the failure, not the effect, is replicated.
+                self.deduplicated_ops += 1
+            finally:
+                self._maybe_compact()
+            return self._wal.next_lsn
+
+    def export_state(self) -> dict[str, Any]:
+        """One consistent image of the live store plus the LSN it covers.
+
+        Taken under the write lock, so ``state`` reflects exactly the
+        operations below ``lsn`` — the payload a late-joining follower
+        installs (:meth:`install_state`) before streaming the WAL suffix.
+        Everything in it is JSON-serializable (documents are; ``_id`` is
+        dropped since install re-inserts in order, exactly like
+        :meth:`~repro.storage.store.DocumentStore.load`).
+        """
+        with self._write_lock:
+            self._check_open()
+            collections: dict[str, Any] = {}
+            for name in self._store.collection_names():
+                coll = self._store.collection(name)
+                collections[name] = {
+                    "indexes": DocumentStore._index_specs(coll),
+                    "documents": [
+                        {k: v for k, v in doc.items() if k != "_id"}
+                        for doc in coll.all_documents()
+                    ],
+                }
+            return {"collections": collections, "lsn": self._wal.next_lsn}
+
+    def install_state(self, state: Mapping[str, Any], lsn: int) -> int:
+        """Replace this store's contents with a leader-exported image.
+
+        The image is snapshotted durably (so a crash right after install
+        recovers to it, not to the pre-install state), the in-memory store
+        is swapped, and the WAL is re-anchored at ``lsn`` so subsequently
+        shipped records land at their leader-assigned positions.  Existing
+        :class:`DurableCollection` proxies are invalidated — fetch fresh
+        ones via :meth:`collection`.  Returns the new frontier (``lsn``).
+        """
+        with self._write_lock:
+            self._check_open()
+            store = DocumentStore()
+            for name, meta in dict(state).get("collections", {}).items():
+                coll = store.collection(name)
+                for spec in meta.get("indexes", []):
+                    coll.create_index(
+                        spec["field"], kind=spec.get("kind", "hash"),
+                        unique=spec.get("unique", False),
+                    )
+                documents = meta.get("documents", [])
+                if documents:
+                    coll.insert_many(documents)
+            self._snapshots.write(store, lsn)
+            self._store = store
+            self._proxies.clear()
+            self._snapshot_lsn = lsn
+            self.snapshot_documents = self._document_count()
+            self._wal.reanchor(lsn)
+            return self._wal.next_lsn
+
     # -- checkpointing --------------------------------------------------------------
 
     def checkpoint(self) -> int:
@@ -380,6 +482,7 @@ class DurableDocumentStore:
         with self._write_lock:
             self._wal.simulate_crash()
             self._closed = True
+            self._crashed = True
 
     def close(self) -> None:
         """Flush and close the journal.  Idempotent.  No implicit snapshot:

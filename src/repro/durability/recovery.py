@@ -95,9 +95,13 @@ class RecoveryManager:
                  compact_ratio: float = 4.0, min_compact_records: int = 2_000,
                  offset_checkpoint_every: int = 8, store_shards: int = 1,
                  shard_keys: dict[str, str] | None = None,
-                 process_shards: bool = False) -> None:
+                 process_shards: bool = False, replicas: int = 1,
+                 replica_ack: str = "sync",
+                 replica_read_from: str = "leader") -> None:
         if store_shards < 1:
             raise ValueError(f"store_shards must be >= 1, got {store_shards}")
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
         self.directory = Path(directory)
         self.sync = sync
         self.compact_ratio = compact_ratio
@@ -111,6 +115,14 @@ class RecoveryManager:
         #: (even for one shard), which for ``store_shards > 1`` is byte-for-
         #: byte the in-process layout — the same root recovers either way.
         self.process_shards = process_shards
+        #: With ``replicas > 1`` each shard becomes a leader/follower
+        #: :class:`~repro.replication.replica_set.ReplicaSet` over
+        #: ``store/shard-<i>/replica-<r>`` roots; re-opening elects the
+        #: most-caught-up replica (highest persisted epoch, then frontier)
+        #: as leader, so a fenced stale leader can never win recovery.
+        self.replicas = replicas
+        self.replica_ack = replica_ack
+        self.replica_read_from = replica_read_from
         self.broker: DurableBroker | None = None
         self.store = None
         self.last_report: RecoveryReport | None = None
@@ -127,6 +139,110 @@ class RecoveryManager:
         """Durability root of store shard ``index`` (sharded layouts only)."""
         return self.store_directory / f"shard-{index}"
 
+    def replica_directory(self, shard: int, replica: int) -> Path:
+        """Durability root of one replica (replicated layouts only)."""
+        return self.shard_directory(shard) / f"replica-{replica}"
+
+    def _open_replica(self, shard: int, replica: int):
+        from repro.replication.peer import LocalReplicaPeer
+
+        directory = self.replica_directory(shard, replica)
+        return LocalReplicaPeer(
+            DurableDocumentStore(
+                directory,
+                compact_ratio=self.compact_ratio,
+                min_compact_records=self.min_compact_records,
+                sync=self.sync,
+            ),
+            directory,
+        )
+
+    def _open_replica_set(self, shard: int):
+        from functools import partial
+
+        from repro.replication.replica_set import (
+            ReplicaController,
+            ReplicaSet,
+        )
+
+        peers = [self._open_replica(shard, r) for r in range(self.replicas)]
+        controllers = [
+            ReplicaController(respawn=partial(self._open_replica, shard, r))
+            for r in range(self.replicas)
+        ]
+        return ReplicaSet(
+            peers, shard=shard, ack=self.replica_ack,
+            read_from=self.replica_read_from, controllers=controllers,
+        )
+
+    def _open_replicated_store(self):
+        """Replicated layout: one ReplicaSet per shard behind a sharded store.
+
+        In process mode every *replica* gets its own worker process (a
+        shard's leader and followers journal to independent roots on
+        independent cores); the supervisor's kill/restart become each
+        replica's controller hooks, so ``fail_over_shard`` SIGKILLs a real
+        process and the promoted follower's zero-loss claim is tested
+        against a real death, not a simulated one.
+        """
+        from functools import partial
+
+        from repro.cluster.sharded import ShardedDocumentStore
+
+        if self.process_shards:
+            from repro.errors import ProcessPlaneError
+            from repro.replication.replica_set import (
+                ReplicaController,
+                ReplicaSet,
+            )
+            from repro.runtime.supervisor import WorkerSupervisor
+
+            directories = [
+                self.replica_directory(i, r)
+                for i in range(self.store_shards)
+                for r in range(self.replicas)
+            ]
+            supervisor = WorkerSupervisor(
+                directories, sync=self.sync,
+                compact_ratio=self.compact_ratio,
+                min_compact_records=self.min_compact_records,
+            )
+            try:
+                peers = supervisor.start()
+                replica_sets = []
+                for i in range(self.store_shards):
+                    base = i * self.replicas
+                    controllers = [
+                        ReplicaController(
+                            kill=partial(supervisor.kill, base + r),
+                            respawn=partial(supervisor.restart, base + r),
+                        )
+                        for r in range(self.replicas)
+                    ]
+                    replica_sets.append(ReplicaSet(
+                        peers[base:base + self.replicas], shard=i,
+                        ack=self.replica_ack,
+                        read_from=self.replica_read_from,
+                        controllers=controllers,
+                    ))
+            except ProcessPlaneError:
+                supervisor.shutdown()
+                raise
+            store = ShardedDocumentStore(
+                stores=replica_sets, shard_keys=self.shard_keys
+            )
+            store.supervisor = supervisor
+            return store
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=self.store_shards) as pool:
+            replica_sets = list(
+                pool.map(self._open_replica_set, range(self.store_shards))
+            )
+        return ShardedDocumentStore(
+            stores=replica_sets, shard_keys=self.shard_keys
+        )
+
     def _open_store_shard(self, index: int) -> DurableDocumentStore:
         return DurableDocumentStore(
             self.shard_directory(index),
@@ -136,6 +252,8 @@ class RecoveryManager:
         )
 
     def _open_store(self):
+        if self.replicas > 1:
+            return self._open_replicated_store()
         if self.process_shards:
             # Each shard recovers inside its own worker process; the
             # supervisor's spawn handshake waits for every replay, so this
@@ -191,7 +309,8 @@ class RecoveryManager:
             offset_checkpoint_every=self.offset_checkpoint_every,
         )
         store = self._open_store()
-        sharded = self.store_shards > 1 or self.process_shards
+        sharded = (self.store_shards > 1 or self.process_shards
+                   or self.replicas > 1)
         shard_stores = store.shards if sharded else [store]
         report = RecoveryReport(
             broker_records=broker.recovered_records,

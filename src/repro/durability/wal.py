@@ -106,6 +106,10 @@ class WriteAheadLog:
         self.segment_max_bytes = segment_max_bytes
         self.sync_policy = sync
         self._lock = threading.RLock()
+        # Tail-follow support: notified after every append so a log
+        # shipper can block on "a record past LSN x exists" instead of
+        # polling.  Shares the WAL lock, so waiters never miss a notify.
+        self._appended = threading.Condition(self._lock)
         self._segments: list[_Segment] = []
         self._handle = None
         self._closed = False
@@ -269,6 +273,7 @@ class WriteAheadLog:
                 self._fsync()
             self._rotate_if_needed()
             self._commit_hist.observe(len(frames))
+            self._appended.notify_all()
             return list(range(base, base + len(frames)))
 
     def sync(self) -> None:
@@ -330,6 +335,55 @@ class WriteAheadLog:
                     ) from exc
                 if lsn >= start_lsn:
                     yield lsn, payload
+
+    def read_batch(self, start_lsn: int, max_records: int = 512,
+                   max_bytes: int = 1 << 20) -> list[tuple[int, bytes]]:
+        """Bounded tail read: up to ``max_records`` records (or ``max_bytes``
+        of payload, whichever fills first) starting at ``start_lsn``.
+
+        The replication shipper's read primitive — it never materializes
+        more than one batch, however far behind the reader is.  At least
+        one record is returned when any exists at ``start_lsn``, even if
+        it alone exceeds ``max_bytes``.  A ``start_lsn`` already compacted
+        away raises :class:`~repro.errors.WALError` exactly like
+        :meth:`replay` (the reader needs a snapshot, not the log).
+        """
+        if max_records < 1:
+            raise WALError(f"max_records must be >= 1, got {max_records}")
+        batch: list[tuple[int, bytes]] = []
+        size = 0
+        for lsn, payload in self.replay(start_lsn):
+            batch.append((lsn, payload))
+            size += len(payload)
+            if len(batch) >= max_records or size >= max_bytes:
+                break
+        return batch
+
+    def wait_for_lsn(self, lsn: int, timeout: float | None = None) -> bool:
+        """Block until a record with this ``lsn`` exists (``next_lsn > lsn``).
+
+        Returns True as soon as the record is appended, False on timeout
+        or when the log is closed while waiting.  Appends proceed while
+        waiters sleep (the condition releases the WAL lock), so a blocked
+        tail-follower never throttles the write path.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._appended:
+            while True:
+                if self._closed:
+                    return False
+                tail = self._segments[-1]
+                if tail.first_lsn + tail.records > lsn:
+                    return True
+                if deadline is None:
+                    self._appended.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._appended.wait(remaining):
+                        if self._closed:
+                            return False
+                        tail = self._segments[-1]
+                        return tail.first_lsn + tail.records > lsn
 
     def record_count(self) -> int:
         """Records currently retained across all segments."""
@@ -418,6 +472,7 @@ class WriteAheadLog:
                     with segment.path.open("r+b") as handle:
                         handle.truncate(segment.durable_size)
             self._closed = True
+            self._appended.notify_all()  # unblock tail-followers
 
     def close(self) -> None:
         """Sync and close.  Idempotent."""
@@ -430,6 +485,7 @@ class WriteAheadLog:
                 self._handle.close()
                 self._handle = None
             self._closed = True
+            self._appended.notify_all()  # unblock tail-followers
 
     def __enter__(self) -> "WriteAheadLog":
         return self

@@ -119,6 +119,33 @@ class WorkerCrashedError(ProcessPlaneError):
     restarts the worker."""
 
 
+class CrashLoopError(ProcessPlaneError):
+    """A shard worker failed several consecutive respawns.
+
+    Raised by :meth:`~repro.runtime.supervisor.WorkerSupervisor.restart`
+    when the configured number of spawn attempts all failed (e.g. the
+    shard's durability root is unrecoverably corrupt): restarting harder
+    will not help, so the crash loop is surfaced instead of spun."""
+
+
+class ReplicationError(ReproError):
+    """Base class for errors raised by the replication subsystem."""
+
+
+class StaleEpochError(ReplicationError):
+    """An operation carried a replica-set epoch older than the fenced one.
+
+    The replication analogue of :class:`FencedGenerationError`: after a
+    failover bumps the epoch and fences the surviving peers, a stale
+    leader (or a client holding its handle) that missed the promotion is
+    rejected — it can neither ack a write nor ship log records under the
+    superseded epoch."""
+
+
+class NotLeaderError(ReplicationError):
+    """A leader-only operation was routed to a follower replica."""
+
+
 class MLError(ReproError):
     """Base class for errors raised by the machine-learning subsystem."""
 

@@ -1,0 +1,35 @@
+"""Per-shard leader/follower replication by WAL log shipping.
+
+The durability layer's segmented, CRC-framed journal is already an ordered
+stream of logical operations; this package ships it:
+
+* :mod:`~repro.replication.peer` — the uniform *replica peer* surface
+  (epoch fence, WAL tail reads, follower apply, snapshot catch-up) plus
+  :class:`LocalReplicaPeer`, which grafts it onto an in-process
+  :class:`~repro.durability.journal.DurableDocumentStore`.  Worker
+  processes host the same surface, so
+  :class:`~repro.runtime.remote.RemoteShardStore` is a peer too.
+* :mod:`~repro.replication.shipper` — :class:`LogShipper`, one thread per
+  follower tailing the leader's WAL and pushing batches, with snapshot +
+  WAL-suffix catch-up when the follower is behind the retained log.
+* :mod:`~repro.replication.replica_set` — :class:`ReplicaSet`, the
+  store-shaped facade over one leader and N followers: fenced writes,
+  ``sync``/``async`` ack modes, leader- or follower-reads, and epoch-bumped
+  promotion of the most-caught-up follower.
+* :mod:`~repro.replication.failover` — :class:`FailoverMonitor`, the
+  health loop that detects a dead leader and triggers promotion.
+"""
+
+from repro.replication.failover import FailoverMonitor
+from repro.replication.peer import EpochFile, LocalReplicaPeer
+from repro.replication.replica_set import ReplicaController, ReplicaSet
+from repro.replication.shipper import LogShipper
+
+__all__ = [
+    "EpochFile",
+    "FailoverMonitor",
+    "LocalReplicaPeer",
+    "LogShipper",
+    "ReplicaController",
+    "ReplicaSet",
+]

@@ -1,0 +1,88 @@
+"""FailoverMonitor: the health loop that turns a dead leader into a promotion.
+
+One daemon thread watches a collection of :class:`ReplicaSet`\\ s.  Each
+tick it probes every set's leader (``replication_status`` — the same
+probe a supervisor ping is built on); a leader that misses
+``failure_threshold`` consecutive probes is declared dead and the set's
+:meth:`~repro.replication.replica_set.ReplicaSet.ensure_leader` runs:
+promote the most-caught-up follower under a bumped epoch and respawn the
+old leader as a follower.  ``ensure_leader`` re-checks liveness itself,
+so a leader that recovered between the last probe and the promotion is
+left alone — the monitor can never demote a healthy leader.
+
+The consecutive-failure threshold is what separates "one slow ping during
+a checkpoint" from "the process is gone": detection latency is
+``interval * failure_threshold`` in the worst case, which is the budget
+the failover-time benchmark measures against.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable
+
+from repro.errors import ReproError
+
+__all__ = ["FailoverMonitor"]
+
+
+class FailoverMonitor:
+    """Probe leaders on an interval; promote when one stays dead."""
+
+    def __init__(self, replica_sets: Iterable[Any], *,
+                 interval: float = 0.1, failure_threshold: int = 2,
+                 on_failover: Callable[[dict[str, Any]], None] | None = None,
+                 ) -> None:
+        self.replica_sets = list(replica_sets)
+        self.interval = interval
+        self.failure_threshold = max(1, failure_threshold)
+        self.on_failover = on_failover
+        self._failures = [0] * len(self.replica_sets)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        #: Every promotion this monitor triggered, in order.
+        self.failovers: list[dict[str, Any]] = []
+
+    def start(self) -> "FailoverMonitor":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run, name="repro-failover-monitor", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=timeout)
+
+    def check_once(self) -> list[dict[str, Any]]:
+        """One probe round; returns the promotions it triggered (if any)."""
+        promoted = []
+        for index, replica_set in enumerate(self.replica_sets):
+            try:
+                alive = replica_set.leader_alive()
+            except ReproError:
+                alive = False
+            if alive:
+                self._failures[index] = 0
+                continue
+            self._failures[index] += 1
+            if self._failures[index] < self.failure_threshold:
+                continue
+            self._failures[index] = 0
+            try:
+                record = replica_set.ensure_leader()
+            except ReproError:
+                continue  # no promotable follower yet; keep watching
+            if record is not None:
+                self.failovers.append(record)
+                promoted.append(record)
+                if self.on_failover is not None:
+                    self.on_failover(record)
+        return promoted
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.check_once()

@@ -1,0 +1,205 @@
+"""LogShipper: one thread tailing the leader's WAL into one follower.
+
+The shipper is the replication data path.  Each iteration it reads one
+bounded batch of journal records from the leader (``wal_read``) and pushes
+it to its follower (``replica_apply``), advancing the follower's *acked
+frontier* — the highest LSN the follower has durably journaled and
+applied.  ``sync``-ack writes block on :meth:`LogShipper.wait_for` until
+that frontier reaches the write's LSN.
+
+Catch-up: a follower whose frontier predates the leader's retained log
+(leader compacted past it, or the follower is fresh) cannot be served from
+the WAL at all — the shipper exports a consistent snapshot from the
+leader, installs it on the follower at the snapshot's LSN, and resumes
+streaming the suffix.  The leader-side :class:`~repro.errors.WALError`
+raised by a racing compaction routes to the same path.
+
+Lifecycle: a shipper belongs to one ``(leader, follower, epoch)`` regime.
+A :class:`~repro.errors.StaleEpochError` from either side means the
+regime was superseded by a promotion — the shipper stops for good (the
+new leader starts fresh shippers).  Any other peer error is transient
+(follower restarting, say): the shipper backs off and retries until
+stopped.
+
+Idle behavior: on a local leader the shipper blocks on the WAL's append
+condition (zero-cost tail-follow); a remote leader's worker is
+single-threaded, so blocking server-side would stall writes — the shipper
+polls instead.
+
+Lag is published to ``repro_replication_lag_records{shard,replica}`` after
+every batch.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from repro.errors import ReproError, StaleEpochError, WALError
+from repro.obs.registry import get_registry
+
+__all__ = ["LogShipper"]
+
+#: Seconds between tail polls against a remote leader (and the bound on a
+#: local blocking wait, so stop() is honoured promptly).
+POLL_INTERVAL = 0.02
+
+#: Back-off after a transient follower/leader error before retrying.
+RETRY_BACKOFF = 0.05
+
+
+class LogShipper:
+    """Stream the leader's journal into one follower until stopped."""
+
+    def __init__(self, leader: Any, follower: Any, epoch: int, *,
+                 shard: int = 0, replica: int = 0,
+                 batch_records: int = 512, batch_bytes: int = 1 << 20,
+                 poll_interval: float = POLL_INTERVAL) -> None:
+        self.leader = leader
+        self.follower = follower
+        self.epoch = epoch
+        self.shard = shard
+        self.replica = replica
+        self.batch_records = batch_records
+        self.batch_bytes = batch_bytes
+        self.poll_interval = poll_interval
+        self._stop = threading.Event()
+        self._acked_cv = threading.Condition()
+        self._acked = -1  # follower frontier unknown until the first probe
+        self._thread: threading.Thread | None = None
+        #: Batches shipped / snapshot installs / transient errors survived.
+        self.batches_shipped = 0
+        self.snapshots_installed = 0
+        self.transient_errors = 0
+        #: Why the shipper stopped ("stale_epoch" after a promotion).
+        self.stopped_reason: str | None = None
+        self._lag_gauge = get_registry().gauge(
+            "repro_replication_lag_records",
+            labels={"shard": str(shard), "replica": str(replica)},
+        )
+
+    # -- lifecycle --------------------------------------------------------------------
+
+    def start(self) -> "LogShipper":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run,
+            name=f"repro-shipper-{self.shard}.{self.replica}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=timeout)
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive() \
+            and not self._stop.is_set()
+
+    # -- ack frontier -----------------------------------------------------------------
+
+    @property
+    def acked(self) -> int:
+        """Highest LSN the follower has durably applied (-1 = unknown)."""
+        with self._acked_cv:
+            return self._acked
+
+    def wait_for(self, lsn: int, timeout: float | None = None) -> bool:
+        """Block until the follower's frontier reaches ``lsn``.
+
+        The ``sync`` ack-mode primitive.  Returns False on timeout or if
+        the shipper stopped (promotion, teardown) before the frontier got
+        there — the caller decides whether that demotes the write's
+        guarantee or fails it.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._acked_cv:
+            while self._acked < lsn:
+                if self._stop.is_set() or not self.running:
+                    return self._acked >= lsn
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._acked_cv.wait(
+                    self.poll_interval if remaining is None
+                    else min(remaining, self.poll_interval)
+                )
+            return True
+
+    def _set_acked(self, frontier: int) -> None:
+        with self._acked_cv:
+            if frontier - 1 > self._acked:
+                self._acked = frontier - 1
+            self._acked_cv.notify_all()
+
+    # -- shipping loop ----------------------------------------------------------------
+
+    def _run(self) -> None:
+        try:
+            frontier = self.follower.replication_status()["next_lsn"]
+            self._set_acked(frontier)
+        except StaleEpochError:
+            self.stopped_reason = "stale_epoch"
+            return
+        except ReproError:
+            frontier = 0
+        while not self._stop.is_set():
+            try:
+                frontier = self._ship_once(frontier)
+            except StaleEpochError:
+                # Superseded by a promotion: this regime is over.
+                self.stopped_reason = "stale_epoch"
+                return
+            except ReproError:
+                # Transient (follower mid-restart, leader checkpointing...):
+                # back off, re-probe the follower's frontier, retry.
+                self.transient_errors += 1
+                if self._stop.wait(RETRY_BACKOFF):
+                    break
+                try:
+                    frontier = self.follower.replication_status()["next_lsn"]
+                except ReproError:
+                    pass
+        self.stopped_reason = self.stopped_reason or "stopped"
+
+    def _ship_once(self, frontier: int) -> int:
+        """Ship one batch (or catch up via snapshot); returns the new frontier."""
+        try:
+            batch = self.leader.wal_read(
+                frontier, max_records=self.batch_records,
+                max_bytes=self.batch_bytes,
+            )
+        except WALError:
+            # Leader compacted past the follower's frontier: snapshot time.
+            return self._catch_up()
+        entries = batch["entries"]
+        if not entries:
+            self._lag_gauge.set(0)
+            self._set_acked(frontier)
+            if getattr(self.leader, "blocking_tail", False):
+                self.leader.wal_wait(frontier, timeout=self.poll_interval)
+            else:
+                self._stop.wait(self.poll_interval)
+            return frontier
+        new_frontier = self.follower.replica_apply(self.epoch, entries)
+        self.batches_shipped += 1
+        self._set_acked(new_frontier)
+        self._lag_gauge.set(max(0, batch["next_lsn"] - new_frontier))
+        return new_frontier
+
+    def _catch_up(self) -> int:
+        snap = self.leader.snapshot_export()
+        frontier = self.follower.snapshot_install(
+            self.epoch, snap["state"], snap["lsn"]
+        )
+        self.snapshots_installed += 1
+        self._set_acked(frontier)
+        return frontier

@@ -57,10 +57,17 @@ PROTOCOL_VERSION = 1
 #: (un-fsynced journal bytes are dropped); ``close`` flushes and closes the
 #: journal but keeps serving reads (mirroring ``DurableDocumentStore.close``);
 #: ``shutdown`` ends the serve loop.
+#: The replication surface (``wal_read`` … ``apply_write``) is part of the
+#: store-level allowlist: a worker-hosted shard *is* a replica peer (the
+#: worker wraps its store in a
+#: :class:`~repro.replication.peer.LocalReplicaPeer`), so log shipping and
+#: fenced failover speak the same framed protocol as everything else.
 STORE_OPS = frozenset({
     "collection", "drop_collection", "collection_names", "aggregate",
     "checkpoint", "journal_ops_since_snapshot",
     "ping", "close", "crash", "shutdown",
+    "wal_read", "replica_apply", "snapshot_export", "snapshot_install",
+    "set_epoch", "replication_status", "apply_write",
 })
 
 #: Collection-level methods a request may invoke.  ``length`` stands in for

@@ -263,6 +263,54 @@ class RemoteShardStore:
     def journal_ops_since_snapshot(self) -> int:
         return self._store_call("journal_ops_since_snapshot")
 
+    # -- replication surface ------------------------------------------------------
+    #
+    # The worker wraps its store in a LocalReplicaPeer, so this proxy can
+    # speak the full replica-peer surface over the same framed protocol —
+    # which is what lets a ReplicaSet mix in-process and process-hosted
+    # replicas freely.
+
+    #: The worker serve loop is single-threaded: a server-side blocking
+    #: tail wait would stall that shard's writes, so shippers poll remote
+    #: leaders instead of calling ``wal_wait``.
+    blocking_tail = False
+
+    @property
+    def epoch(self) -> int:
+        """The worker's fenced epoch (one RPC)."""
+        return int(self.replication_status()["epoch"])
+
+    def replication_status(self) -> dict[str, Any]:
+        return self._store_call("replication_status")
+
+    def set_epoch(self, epoch: int) -> int:
+        return self._store_call("set_epoch", epoch)
+
+    def apply_write(self, epoch: int, collection: str, method: str,
+                    args: list[Any] | tuple[Any, ...] = (),
+                    kwargs: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        return self._store_call(
+            "apply_write", epoch, collection, method,
+            list(args), dict(kwargs or {}),
+        )
+
+    def wal_read(self, start_lsn: int, max_records: int = 512,
+                 max_bytes: int = 1 << 20) -> dict[str, Any]:
+        return self._store_call(
+            "wal_read", start_lsn,
+            max_records=max_records, max_bytes=max_bytes,
+        )
+
+    def replica_apply(self, epoch: int, entries: list[Any]) -> int:
+        return self._store_call("replica_apply", epoch, list(entries))
+
+    def snapshot_export(self) -> dict[str, Any]:
+        return self._store_call("snapshot_export")
+
+    def snapshot_install(self, epoch: int, state: Mapping[str, Any],
+                         lsn: int) -> int:
+        return self._store_call("snapshot_install", epoch, dict(state), lsn)
+
     def ping(self, timeout: float | None = None) -> dict[str, Any]:
         """Health probe; refreshes the cached worker identity and recovery
         statistics that make this proxy quack like a recovered local store."""

@@ -25,22 +25,50 @@ from __future__ import annotations
 
 import multiprocessing
 import socket
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
-from repro.errors import ProcessPlaneError, WorkerCrashedError
+from repro.errors import CrashLoopError, ProcessPlaneError, WorkerCrashedError
 from repro.obs.registry import get_registry
 from repro.runtime.framing import MAX_FRAME_BYTES
 from repro.runtime.remote import RemoteShardStore
 from repro.runtime.transport import SocketTransport
 from repro.runtime.worker import worker_main
 
-__all__ = ["WorkerSupervisor", "open_process_sharded_store"]
+__all__ = ["ShardHealth", "WorkerSupervisor", "open_process_sharded_store"]
 
 #: Seconds to wait for a fresh worker's handshake ping.  Covers interpreter
 #: boot plus a full WAL replay of a large shard; a worker that cannot answer
 #: within this is treated as failed-to-start.
 BOOT_TIMEOUT = 60.0
+
+#: Crash-loop protection defaults for :meth:`WorkerSupervisor.restart`:
+#: up to this many consecutive failed respawns (then
+#: :class:`~repro.errors.CrashLoopError`), sleeping an exponentially
+#: growing backoff between attempts, capped.
+MAX_RESTART_ATTEMPTS = 5
+RESTART_BACKOFF = 0.05
+RESTART_BACKOFF_CAP = 2.0
+
+
+@dataclass(frozen=True)
+class ShardHealth:
+    """One shard's probe result: liveness plus the ping round-trip.
+
+    Truthy iff the shard is healthy, so ``all(health.values())`` and
+    ``if health[i]:`` read exactly like the old plain-bool form.
+    """
+
+    alive: bool
+    #: Ping round-trip in seconds (None when the shard is down).
+    latency: float | None = None
+    error: str | None = None
+
+    def __bool__(self) -> bool:
+        return self.alive
 
 
 class WorkerSupervisor:
@@ -51,11 +79,22 @@ class WorkerSupervisor:
                  min_compact_records: int = 2_000,
                  max_frame_bytes: int = MAX_FRAME_BYTES,
                  request_timeout: float = 60.0,
-                 boot_timeout: float = BOOT_TIMEOUT) -> None:
+                 boot_timeout: float = BOOT_TIMEOUT,
+                 max_restart_attempts: int = MAX_RESTART_ATTEMPTS,
+                 restart_backoff: float = RESTART_BACKOFF,
+                 restart_backoff_cap: float = RESTART_BACKOFF_CAP) -> None:
         if not directories:
             raise ProcessPlaneError("a supervisor needs at least one shard root")
+        if max_restart_attempts < 1:
+            raise ProcessPlaneError(
+                f"max_restart_attempts must be >= 1, got {max_restart_attempts}"
+            )
         self.directories = [Path(d) for d in directories]
         self.num_shards = len(self.directories)
+        self.max_restart_attempts = max_restart_attempts
+        self.restart_backoff = restart_backoff
+        self.restart_backoff_cap = restart_backoff_cap
+        self._consecutive_failures = [0] * self.num_shards
         self._config = {
             "sync": sync,
             "compact_ratio": compact_ratio,
@@ -135,11 +174,40 @@ class WorkerSupervisor:
     def restart(self, index: int) -> RemoteShardStore:
         """Kill (if needed) and respawn shard ``index``; the fresh worker
         recovers from the shard's WAL.  This is the ``reopen`` factory
-        ``ShardedDocumentStore.restart_shard`` calls."""
+        ``ShardedDocumentStore.restart_shard`` calls.
+
+        Crash-loop protection: a failed respawn (the root is corrupt, the
+        interpreter dies on boot, ...) is retried under capped exponential
+        backoff; after ``max_restart_attempts`` *consecutive* failures the
+        loop is surfaced as :class:`~repro.errors.CrashLoopError` instead
+        of spun forever.  The counter spans restart calls and resets on
+        any successful spawn.
+        """
         self.kill(index)
-        store = self.spawn(index)
-        self._restarts.inc()
-        return store
+        while True:
+            try:
+                store = self.spawn(index)
+            except ProcessPlaneError as exc:
+                self._consecutive_failures[index] += 1
+                failures = self._consecutive_failures[index]
+                if failures >= self.max_restart_attempts:
+                    raise CrashLoopError(
+                        f"shard {index} worker failed {failures} consecutive "
+                        f"respawns; giving up: {exc}"
+                    ) from exc
+                delay = min(
+                    self.restart_backoff * (2 ** (failures - 1)),
+                    self.restart_backoff_cap,
+                )
+                time.sleep(delay)
+                continue
+            self._consecutive_failures[index] = 0
+            self._restarts.inc()
+            return store
+
+    def restart_attempts(self, index: int) -> int:
+        """Consecutive failed respawns of shard ``index`` (0 when healthy)."""
+        return self._consecutive_failures[index]
 
     # -- health -------------------------------------------------------------------
 
@@ -151,20 +219,30 @@ class WorkerSupervisor:
         process = self._processes[index]
         return process.pid if process is not None else None
 
-    def health_check(self, timeout: float = 5.0) -> dict[int, bool]:
-        """Liveness per shard: the process exists *and* answers a ping."""
-        health: dict[int, bool] = {}
-        for index in range(self.num_shards):
+    def health_check(self, timeout: float = 5.0) -> dict[int, ShardHealth]:
+        """Probe every shard **in parallel**: process alive *and* answering.
+
+        One thread per shard, so a dead fleet costs one timeout, not
+        ``num_shards`` of them.  Each healthy entry carries the ping's
+        round-trip latency; entries are truthy iff healthy (see
+        :class:`ShardHealth`).
+        """
+        def probe(index: int) -> ShardHealth:
             store = self._stores[index]
             if not self.is_alive(index) or store is None:
-                health[index] = False
-                continue
+                return ShardHealth(alive=False, error="no running worker")
+            started = time.perf_counter()
             try:
                 store.ping(timeout=timeout)
-                health[index] = True
-            except ProcessPlaneError:
-                health[index] = False
-        return health
+            except ProcessPlaneError as exc:
+                return ShardHealth(alive=False, error=str(exc))
+            return ShardHealth(
+                alive=True, latency=time.perf_counter() - started
+            )
+
+        with ThreadPoolExecutor(max_workers=self.num_shards) as pool:
+            results = list(pool.map(probe, range(self.num_shards)))
+        return dict(enumerate(results))
 
     # -- teardown -----------------------------------------------------------------
 

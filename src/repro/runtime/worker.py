@@ -71,6 +71,7 @@ class ShardWorker:
             "deduplicated_ops": getattr(store, "deduplicated_ops", 0),
             "truncated_bytes": getattr(store, "truncated_bytes", 0),
             "snapshot_lsn": getattr(store, "snapshot_lsn", 0),
+            "epoch": getattr(store, "epoch", 0),
             "collections": store.collection_names(),
         }
 
@@ -200,17 +201,26 @@ def worker_main(sock: socket.socket, directory: str, config: dict[str, Any],
     # Imported here, not at module top: the parent may import this module
     # without ever pulling the durability stack into a worker-less process.
     from repro.durability.journal import DurableDocumentStore
+    from repro.replication.peer import LocalReplicaPeer
 
     transport = SocketTransport(
         sock,
         max_frame_bytes=config.get("max_frame_bytes") or MAX_FRAME_BYTES,
     )
     try:
-        store = DurableDocumentStore(
+        # Every worker-hosted shard is also a replica peer: the wrapper
+        # persists the fenced epoch beside the store and serves the
+        # replication ops (wal_read, replica_apply, ...), while everything
+        # else delegates to the store untouched.  A never-replicated shard
+        # just carries epoch 0 forever.
+        store = LocalReplicaPeer(
+            DurableDocumentStore(
+                Path(directory),
+                sync=config.get("sync", "batch"),
+                compact_ratio=config.get("compact_ratio", 4.0),
+                min_compact_records=config.get("min_compact_records", 2_000),
+            ),
             Path(directory),
-            sync=config.get("sync", "batch"),
-            compact_ratio=config.get("compact_ratio", 4.0),
-            min_compact_records=config.get("min_compact_records", 2_000),
         )
     except ReproError as exc:
         # Unrecoverable root (e.g. corrupt sealed segment): report the

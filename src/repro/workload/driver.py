@@ -122,6 +122,11 @@ class LoadTestReport:
     consumers: int = 1
     rebalances: int = 0
     shard_recoveries: list[dict[str, Any]] = field(default_factory=list)
+    #: Replication extras: replicas per shard and one promotion record per
+    #: ``leader_failover`` fault executed mid-run (old/new leader, epochs,
+    #: promotion frontier, failover seconds).
+    replicas: int = 1
+    failovers: list[dict[str, Any]] = field(default_factory=list)
     #: Telemetry extras: the full metrics snapshot taken at the end of the
     #: run (registry + sampled traces; see :mod:`repro.obs`) and the
     #: completed end-to-end traces as plain documents.
@@ -169,6 +174,22 @@ class LoadDriver:
         and ``shard_outage`` faults.  Worker processes outlive the run so
         the report's post-run reads still work; call
         :meth:`shutdown_workers` (the CLI does) to reap them.
+    replicas:
+        Replicas per store shard.  With ``replicas > 1`` every shard is a
+        leader/follower :class:`~repro.replication.replica_set.ReplicaSet`
+        over ``store/shard-<i>/replica-<r>`` durability roots: writes go
+        to the shard's leader and ship to followers over its WAL, and a
+        dead leader is replaced by the most-caught-up follower under a
+        bumped, fenced epoch.  Requires ``durable_dir``; required >= 2 for
+        scenarios containing ``leader_failover`` faults.  Combined with
+        ``process_shards``, every *replica* gets its own worker process.
+    replica_ack:
+        ``"sync"`` (default) acks a write only once every live follower has
+        journalled it — promotion is zero-loss; ``"async"`` acks on the
+        leader's fsync alone and followers catch up in the background.
+    replica_read_from:
+        ``"leader"`` (default) for read-your-writes, or ``"follower"`` to
+        round-robin reads over followers (bounded staleness in async mode).
     consumers:
         Concurrent consumer-group members draining the topic.  More than
         one — or any ``consumer_churn`` fault — switches the consume side
@@ -191,11 +212,15 @@ class LoadDriver:
                  offset_checkpoint_every: int = 8,
                  shards: int = 1, consumers: int = 1,
                  process_shards: bool = False,
+                 replicas: int = 1, replica_ack: str = "sync",
+                 replica_read_from: str = "leader",
                  trace_sample_every: int = 32) -> None:
         if speedup <= 0:
             raise ConfigurationError(f"speedup must be > 0, got {speedup}")
         if shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        if replicas < 1:
+            raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
         if consumers < 1:
             raise ConfigurationError(f"consumers must be >= 1, got {consumers}")
         self.scenario = scenario
@@ -244,21 +269,47 @@ class LoadDriver:
                 "sharded runs build their history on the sharded store; "
                 "an injected history= cannot be sharded"
             )
+        self.replicas = replicas
+        self.replica_ack = replica_ack
+        self.replica_read_from = replica_read_from
+        if replicas > 1 and self.durable_dir is None:
+            raise ConfigurationError(
+                "replicated shards journal to per-replica durability roots: "
+                "pass durable_dir= as well (CLI: --replicas N --durable DIR)"
+            )
         for fault in scenario.faults:
-            if fault.kind != "shard_outage":
-                continue
-            if self.durable_dir is None or shards < 2:
-                raise ConfigurationError(
-                    "scenario contains a shard_outage fault, which needs the "
-                    "sharded durable pipeline: pass shards>=2 and durable_dir= "
-                    "(CLI: --shards N --durable DIR)"
-                )
-            shard = int(fault.params.get("shard", 0))
-            if shard >= shards:
-                raise ConfigurationError(
-                    f"shard_outage names shard {shard} but the run has "
-                    f"only {shards} shards"
-                )
+            if fault.kind == "shard_outage":
+                if self.durable_dir is None or shards < 2:
+                    raise ConfigurationError(
+                        "scenario contains a shard_outage fault, which needs the "
+                        "sharded durable pipeline: pass shards>=2 and durable_dir= "
+                        "(CLI: --shards N --durable DIR)"
+                    )
+                if replicas > 1:
+                    raise ConfigurationError(
+                        "shard_outage restarts an unreplicated shard from its "
+                        "WAL; a replicated run loses a *leader*, not a shard — "
+                        "use a leader_failover fault instead"
+                    )
+                shard = int(fault.params.get("shard", 0))
+                if shard >= shards:
+                    raise ConfigurationError(
+                        f"shard_outage names shard {shard} but the run has "
+                        f"only {shards} shards"
+                    )
+            elif fault.kind == "leader_failover":
+                if self.durable_dir is None or replicas < 2:
+                    raise ConfigurationError(
+                        "scenario contains a leader_failover fault, which needs "
+                        "the replicated durable pipeline: pass replicas>=2 and "
+                        "durable_dir= (CLI: --replicas N --durable DIR)"
+                    )
+                shard = int(fault.params.get("shard", 0))
+                if shard >= shards:
+                    raise ConfigurationError(
+                        f"leader_failover names shard {shard} but the run has "
+                        f"only {shards} shards"
+                    )
         self.offset_checkpoint_every = offset_checkpoint_every
         #: Handles of the most recent :meth:`run`: the recovery manager
         #: owning broker + store (durable mode only), the idempotent
@@ -458,6 +509,8 @@ class LoadDriver:
                 actions.append((min(fault.end, span_end), "leave", index))
             elif fault.kind == "shard_outage":
                 actions.append((fault.start, "outage", index))
+            elif fault.kind == "leader_failover":
+                actions.append((fault.start, "failover", index))
         actions.sort(key=lambda entry: entry[0])
         return actions
 
@@ -610,6 +663,14 @@ class LoadDriver:
                         recovery = store.restart_shard(shard)
                         with self._bp_lock:
                             self._shard_recoveries.append(recovery)
+                    elif kind == "failover":
+                        # Kill the shard's replica-set leader (SIGKILL in
+                        # process mode) and promote the most-caught-up
+                        # follower under a bumped, fenced epoch.
+                        shard = int(fault.params.get("shard", 0))
+                        record = store.fail_over_shard(shard)
+                        with self._bp_lock:
+                            self._failovers.append(record)
             except BaseException as exc:  # re-raised after the threads unwind
                 action_errors.append(exc)
             finally:
@@ -722,6 +783,7 @@ class LoadDriver:
         self._phase_reports: list[ConsumerRunReport] = []
         self._rebalances = 0
         self._shard_recoveries: list[dict[str, Any]] = []
+        self._failovers: list[dict[str, Any]] = []
 
         recoveries: list[RecoveryReport] = []
         verification_log: VerificationLog | None = None
@@ -732,6 +794,9 @@ class LoadDriver:
                 store_shards=self.shards,
                 shard_keys=PIPELINE_SHARD_KEYS,
                 process_shards=self.process_shards,
+                replicas=self.replicas,
+                replica_ack=self.replica_ack,
+                replica_read_from=self.replica_read_from,
             )
             manager.recover()
             self.recovery_manager = manager
@@ -837,6 +902,8 @@ class LoadDriver:
             consumers=self.consumers,
             rebalances=self._rebalances,
             shard_recoveries=list(self._shard_recoveries),
+            replicas=self.replicas,
+            failovers=list(self._failovers),
             metrics=build_snapshot(get_registry(), tracer=self.tracer),
             traces=self.tracer.trace_documents(),
         )

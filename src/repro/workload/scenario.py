@@ -31,6 +31,11 @@ Fault kinds understood by the load driver:
   (losing its un-fsynced bytes) and is immediately recovered from its own
   durability root while the other shards keep serving.  Requires the
   sharded durable pipeline (``LoadDriver(shards=N, durable_dir=...)``).
+* ``leader_failover`` — shard ``params["shard"]``'s replica-set *leader* is
+  killed at ``start`` (SIGKILL in process mode) and the most-caught-up
+  follower is promoted under a bumped, fenced epoch; the old leader
+  rejoins as a follower and catches up.  Requires the replicated durable
+  pipeline (``LoadDriver(replicas>=2, durable_dir=...)``).
 """
 
 from __future__ import annotations
@@ -47,7 +52,7 @@ __all__ = ["DatasetSpec", "FaultInjection", "Scenario"]
 
 _FAULT_KINDS = (
     "region_outage", "duplicate_delivery", "producer_stall", "process_crash",
-    "consumer_churn", "shard_outage",
+    "consumer_churn", "shard_outage", "leader_failover",
 )
 _SERIALIZERS = ("compact", "reflective")
 
@@ -178,11 +183,11 @@ class FaultInjection:
                 raise ConfigurationError(
                     f"consumer_churn consumers must be >= 1, got {consumers}"
                 )
-        if self.kind == "shard_outage":
+        if self.kind in ("shard_outage", "leader_failover"):
             shard = int(self.params.get("shard", 0))
             if shard < 0:
                 raise ConfigurationError(
-                    f"shard_outage shard must be >= 0, got {shard}"
+                    f"{self.kind} shard must be >= 0, got {shard}"
                 )
 
     def to_dict(self) -> dict[str, Any]:

@@ -1,0 +1,440 @@
+"""Replication tests: epoch fencing, WAL shipping, catch-up, failover."""
+
+import threading
+
+import pytest
+
+from repro.durability.journal import DurableDocumentStore
+from repro.durability.recovery import RecoveryManager
+from repro.errors import (
+    ConfigurationError,
+    DurabilityError,
+    ReplicationError,
+    StaleEpochError,
+    WALError,
+)
+from repro.replication import (
+    EpochFile,
+    FailoverMonitor,
+    LocalReplicaPeer,
+    LogShipper,
+    ReplicaController,
+    ReplicaSet,
+)
+
+
+def make_peer(root, name, **kwargs):
+    directory = root / name
+    kwargs.setdefault("sync", "always")
+    return LocalReplicaPeer(DurableDocumentStore(directory, **kwargs), directory)
+
+
+@pytest.fixture
+def trio(tmp_path):
+    """Three-replica set with respawn controllers, sync ack."""
+    peers = [make_peer(tmp_path, f"replica-{r}") for r in range(3)]
+    controllers = [
+        ReplicaController(
+            respawn=lambda r=r: make_peer(tmp_path, f"replica-{r}")
+        )
+        for r in range(3)
+    ]
+    rs = ReplicaSet(peers, shard=0, ack="sync", controllers=controllers)
+    yield rs
+    rs.close()
+
+
+# -- epoch file ---------------------------------------------------------------------
+
+
+class TestEpochFile:
+    def test_starts_at_zero_and_persists(self, tmp_path):
+        ef = EpochFile(tmp_path)
+        assert ef.epoch == 0
+        assert ef.advance(3) == 3
+        assert EpochFile(tmp_path).epoch == 3  # survives reopen
+
+    def test_monotonic(self, tmp_path):
+        ef = EpochFile(tmp_path)
+        ef.advance(5)
+        assert ef.advance(5) == 5  # equal is a no-op
+        with pytest.raises(StaleEpochError):
+            ef.advance(4)
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        (tmp_path / "EPOCH").write_text("not json")
+        with pytest.raises(ReplicationError, match="unreadable"):
+            EpochFile(tmp_path)
+
+
+# -- WAL tail API -------------------------------------------------------------------
+
+
+class TestWalTail:
+    def test_read_batch_is_bounded(self, tmp_path):
+        store = DurableDocumentStore(tmp_path, sync="always")
+        coll = store.collection("t")
+        for i in range(10):
+            coll.insert_one({"i": i})
+        batch = store.wal.read_batch(0, max_records=4)
+        assert [lsn for lsn, _ in batch] == [0, 1, 2, 3]
+        # max_bytes still yields at least one record
+        batch = store.wal.read_batch(0, max_bytes=1)
+        assert len(batch) == 1
+        assert store.wal.read_batch(store.wal.next_lsn) == []
+        store.close()
+
+    def test_read_batch_below_first_lsn_raises(self, tmp_path):
+        from repro.durability.wal import WriteAheadLog
+
+        wal = WriteAheadLog(tmp_path, segment_max_bytes=32, sync="always")
+        for i in range(6):
+            wal.append(b'{"i": %d}' % i)
+        wal.truncate_until(wal.next_lsn)  # drop every sealed segment
+        assert wal.first_lsn > 0
+        wal.append(b'{"i": 6}')
+        with pytest.raises(WALError):
+            wal.read_batch(0)
+        assert wal.read_batch(wal.first_lsn)  # retained suffix still reads
+        wal.close()
+
+    def test_wait_for_lsn(self, tmp_path):
+        store = DurableDocumentStore(tmp_path, sync="always")
+        coll = store.collection("t")
+        coll.insert_one({"i": 0})
+        assert store.wal.wait_for_lsn(0, timeout=0.1)  # already there
+        assert not store.wal.wait_for_lsn(1, timeout=0.05)  # not yet
+
+        def append_soon():
+            coll.insert_one({"i": 1})
+
+        timer = threading.Timer(0.05, append_soon)
+        timer.start()
+        assert store.wal.wait_for_lsn(1, timeout=2.0)  # woken by the append
+        store.close()
+
+
+# -- follower apply -----------------------------------------------------------------
+
+
+class TestApplyReplicated:
+    def test_lsn_aligned_apply_and_dup_skip(self, tmp_path):
+        leader = DurableDocumentStore(tmp_path / "a", sync="always")
+        follower = DurableDocumentStore(tmp_path / "b", sync="always")
+        leader.collection("t").insert_many([{"i": i} for i in range(3)])
+        entries = leader.wal.read_batch(0)
+        for lsn, payload in entries:
+            assert follower.apply_replicated(lsn, payload) == lsn + 1
+        assert follower.collection("t").count() == 3
+        # re-applying is an idempotent no-op
+        lsn0, payload0 = entries[0]
+        assert follower.apply_replicated(lsn0, payload0) == len(entries)
+        assert follower.collection("t").count() == 3
+        leader.close(), follower.close()
+
+    def test_gap_rejected(self, tmp_path):
+        leader = DurableDocumentStore(tmp_path / "a", sync="always")
+        follower = DurableDocumentStore(tmp_path / "b", sync="always")
+        for i in range(3):
+            leader.collection("t").insert_one({"i": i})
+        entries = leader.wal.read_batch(0)
+        assert len(entries) == 3
+        with pytest.raises(DurabilityError, match="gap"):
+            follower.apply_replicated(*entries[2])
+        leader.close(), follower.close()
+
+    def test_export_install_round_trip(self, tmp_path):
+        src = DurableDocumentStore(tmp_path / "a", sync="always")
+        dst = DurableDocumentStore(tmp_path / "b", sync="always")
+        coll = src.collection("t")
+        coll.create_index("k", unique=True)
+        coll.insert_many([{"k": i, "v": i * i} for i in range(8)])
+        state = src.export_state()
+        assert dst.install_state(state, state["lsn"]) == state["lsn"]
+        assert dst.collection("t").count() == 8
+        assert dst.collection("t").find_one({"k": 5})["v"] == 25
+        assert "k" in dst.collection("t").index_fields()
+        assert dst.wal.next_lsn == src.wal.next_lsn
+        src.close(), dst.close()
+
+
+# -- replica set: data path ---------------------------------------------------------
+
+
+class TestReplicaSetDataPath:
+    def test_sync_write_is_on_every_follower(self, trio):
+        coll = trio.collection("alarms")
+        coll.insert_many([{"d": i} for i in range(10)])
+        for index in trio.follower_indexes():
+            peer = trio.peers[index]
+            assert peer.store.collection("alarms").count() == 10
+        assert all(lag == 0 for lag in trio.replication_lag().values())
+
+    def test_async_followers_converge(self, tmp_path):
+        peers = [make_peer(tmp_path, f"r{r}") for r in range(2)]
+        rs = ReplicaSet(peers, ack="async")
+        coll = rs.collection("alarms")
+        coll.insert_many([{"d": i} for i in range(50)])
+        follower = rs.peers[rs.follower_indexes()[0]]
+        deadline = threading.Event()
+        for _ in range(200):
+            if follower.store.collection("alarms").count() == 50:
+                break
+            deadline.wait(0.02)
+        assert follower.store.collection("alarms").count() == 50
+        rs.close()
+
+    def test_follower_reads_round_robin(self, tmp_path):
+        peers = [make_peer(tmp_path, f"r{r}") for r in range(3)]
+        rs = ReplicaSet(peers, ack="sync", read_from="follower")
+        coll = rs.collection("alarms")
+        coll.insert_many([{"d": i} for i in range(6)])
+        assert coll.count() == 6  # served by a follower
+        assert len(coll.find(sort=("d", 1))) == 6
+        rs.close()
+
+    def test_update_and_delete_replicate(self, trio):
+        coll = trio.collection("alarms")
+        coll.insert_many([{"d": i, "hot": False} for i in range(6)])
+        assert coll.update_many({"d": {"$lt": 3}}, {"$set": {"hot": True}}) == 3
+        assert coll.delete_many({"d": 5}) == 1
+        for index in trio.follower_indexes():
+            fcoll = trio.peers[index].store.collection("alarms")
+            assert fcoll.count({"hot": True}) == 3
+            assert fcoll.count() == 5
+
+    def test_non_write_method_rejected(self, trio):
+        with pytest.raises(ReplicationError, match="not a replicated write"):
+            trio._write("alarms", "find", {})
+
+    def test_configuration_validated(self, tmp_path):
+        peer = make_peer(tmp_path, "solo")
+        with pytest.raises(ConfigurationError):
+            ReplicaSet([])
+        with pytest.raises(ConfigurationError):
+            ReplicaSet([peer], ack="quorum")
+        with pytest.raises(ConfigurationError):
+            ReplicaSet([peer], read_from="nearest")
+        with pytest.raises(ConfigurationError):
+            ReplicaSet([peer], controllers=[ReplicaController()] * 2)
+
+    def test_single_peer_set_works(self, tmp_path):
+        rs = ReplicaSet([make_peer(tmp_path, "solo")])
+        coll = rs.collection("t")
+        coll.insert_one({"d": 1})
+        assert coll.count() == 1
+        assert rs.replication_lag() == {}
+        rs.close()
+
+
+# -- fencing ------------------------------------------------------------------------
+
+
+class TestFencing:
+    def test_demoted_leader_cannot_ack_writes(self, trio):
+        coll = trio.collection("alarms")
+        coll.insert_many([{"d": i} for i in range(4)])
+        old_leader = trio.leader
+        old_epoch = trio.epoch
+        record = trio.promote()  # leader is alive; promotion still fences it
+        assert record["epoch"] == old_epoch + 1
+        with pytest.raises(StaleEpochError):
+            old_leader.apply_write(old_epoch, "alarms", "insert_one",
+                                   [{"d": 99}])
+
+    def test_zombie_shipper_rejected_at_replica_apply(self, trio):
+        coll = trio.collection("alarms")
+        coll.insert_one({"d": 0})
+        old_epoch = trio.epoch
+        follower = trio.peers[trio.follower_indexes()[0]]
+        trio.promote()
+        with pytest.raises(StaleEpochError):
+            follower.replica_apply(old_epoch, [])
+
+    def test_set_epoch_is_monotonic(self, trio):
+        follower = trio.peers[trio.follower_indexes()[0]]
+        current = follower.epoch
+        with pytest.raises(StaleEpochError):
+            follower.set_epoch(current - 1)
+
+    def test_peer_adopts_newer_epoch_lazily(self, tmp_path):
+        peer = make_peer(tmp_path, "late")
+        assert peer.epoch == 0
+        peer.apply_write(7, "t", "insert_one", [{"d": 1}])  # missed broadcasts
+        assert peer.epoch == 7
+        with pytest.raises(StaleEpochError):
+            peer.apply_write(6, "t", "insert_one", [{"d": 2}])
+
+
+# -- failover -----------------------------------------------------------------------
+
+
+class TestFailover:
+    def test_promotion_is_zero_loss_under_sync_ack(self, trio):
+        coll = trio.collection("alarms")
+        coll.insert_many([{"d": i} for i in range(25)])
+        trio.peers[trio.leader_index].simulate_crash()
+        record = trio.ensure_leader()
+        assert record is not None
+        assert record["old_epoch"] == 0 and record["epoch"] == 1
+        assert trio.collection("alarms").count() == 25  # nothing acked was lost
+
+    def test_promotion_picks_most_caught_up(self, trio):
+        coll = trio.collection("alarms")
+        coll.insert_many([{"d": i} for i in range(5)])
+        laggard = trio.follower_indexes()[-1]
+        trio._shippers[laggard].stop()  # freeze one follower's frontier
+        coll.insert_many([{"d": i} for i in range(5, 10)])
+        uptodate = [i for i in trio.follower_indexes() if i != laggard][0]
+        record = trio.promote()
+        assert record["new_leader"] == uptodate
+        assert trio.collection("alarms").count() == 10
+
+    def test_fail_over_drill_respawns_old_leader(self, trio):
+        coll = trio.collection("alarms")
+        coll.insert_many([{"d": i} for i in range(8)])
+        old_leader = trio.leader_index
+        record = trio.fail_over(kill=True)
+        assert record["old_leader"] == old_leader
+        assert record["new_leader"] != old_leader
+        assert record["respawned"] is True
+        # the rejoined replica catches up under the new epoch
+        coll.insert_one({"d": 100})
+        rejoined = trio.peers[old_leader]
+        for _ in range(200):
+            if rejoined.store.collection("alarms").count() == 9:
+                break
+            threading.Event().wait(0.02)
+        assert rejoined.store.collection("alarms").count() == 9
+        assert rejoined.epoch == trio.epoch
+
+    def test_writes_reroute_after_leader_death(self, trio):
+        coll = trio.collection("alarms")
+        coll.insert_many([{"d": i} for i in range(4)])
+        trio.peers[trio.leader_index].simulate_crash()
+        coll.insert_one({"d": 4})  # triggers promote-and-retry internally
+        assert len(trio.failovers) == 1
+        assert trio.collection("alarms").count() == 5
+
+    def test_reads_reroute_after_leader_death(self, trio):
+        coll = trio.collection("alarms")
+        coll.insert_many([{"d": i} for i in range(4)])
+        trio.peers[trio.leader_index].simulate_crash()
+        assert coll.count() == 4
+        assert len(trio.failovers) == 1
+
+    def test_ensure_leader_is_idempotent(self, trio):
+        assert trio.ensure_leader() is None  # healthy leader: no-op
+        trio.peers[trio.leader_index].simulate_crash()
+        assert trio.ensure_leader() is not None
+        assert trio.ensure_leader() is None
+
+    def test_promote_with_no_live_follower_fails(self, tmp_path):
+        rs = ReplicaSet([make_peer(tmp_path, "solo")])
+        with pytest.raises(ReplicationError, match="no live follower"):
+            rs.promote()
+        rs.close()
+
+    def test_failover_monitor_promotes_dead_leader(self, trio):
+        trio.collection("alarms").insert_one({"d": 1})
+        monitor = FailoverMonitor([trio], interval=0.02, failure_threshold=2)
+        monitor.start()
+        try:
+            trio.peers[trio.leader_index].simulate_crash()
+            for _ in range(300):
+                if monitor.failovers:
+                    break
+                threading.Event().wait(0.02)
+        finally:
+            monitor.stop()
+        assert len(monitor.failovers) == 1
+        assert trio.collection("alarms").count() == 1
+
+
+# -- catch-up -----------------------------------------------------------------------
+
+
+class TestCatchUp:
+    def test_fresh_follower_catches_up_from_wal(self, tmp_path):
+        peers = [make_peer(tmp_path, f"r{r}") for r in range(2)]
+        peers[0].store.collection("t").insert_many([{"i": i} for i in range(12)])
+        rs = ReplicaSet(peers, ack="sync")
+        assert rs.leader_index == 0  # most caught up
+        rs.collection("t").insert_one({"i": 12})
+        assert peers[1].store.collection("t").count() == 13
+        rs.close()
+
+    def test_follower_behind_retained_log_installs_snapshot(self, tmp_path):
+        # Build a leader whose WAL does not retain LSN 0 (its state was
+        # installed from a snapshot at LSN 20 — the same shape a long-lived
+        # leader has after compaction dropped its early segments).
+        seed = DurableDocumentStore(tmp_path / "seed", sync="always")
+        for i in range(20):
+            seed.collection("t").insert_one({"i": i})
+        state = seed.export_state()
+        seed.close()
+        leader = make_peer(tmp_path, "leader")
+        leader.snapshot_install(0, state, state["lsn"])
+        assert leader.store.wal.first_lsn == 20
+
+        follower = make_peer(tmp_path, "follower")  # frontier 0: behind the log
+        rs = ReplicaSet([leader, follower], ack="sync")
+        assert rs.leader_index == 0
+        shipper = rs._shippers[1]
+        rs.collection("t").insert_one({"i": 20})
+        assert shipper.snapshots_installed == 1
+        assert follower.store.collection("t").count() == 21
+        rs.close()
+
+
+# -- recovery integration -----------------------------------------------------------
+
+
+class TestReplicatedRecovery:
+    def test_replicated_store_recovers_and_reelects(self, tmp_path):
+        mgr = RecoveryManager(tmp_path, replicas=2, sync="always",
+                              shard_keys={"t": "k"})
+        mgr.recover()
+        coll = mgr.store.collection("t")
+        coll.insert_many([{"k": f"k{i}", "v": i} for i in range(15)])
+        mgr.crash()
+
+        mgr2 = RecoveryManager(tmp_path, replicas=2, sync="always",
+                               shard_keys={"t": "k"})
+        report = mgr2.recover()
+        assert report.store_ops_replayed >= 1
+        assert mgr2.store.collection("t").count() == 15
+        mgr2.store.close()
+
+    def test_sharded_replicated_failover(self, tmp_path):
+        mgr = RecoveryManager(tmp_path, store_shards=2, replicas=2,
+                              sync="always", shard_keys={"t": "k"})
+        mgr.recover()
+        store = mgr.store
+        coll = store.collection("t")
+        coll.insert_many([{"k": f"k{i}", "v": i} for i in range(30)])
+        statuses = store.replica_status()
+        assert [s["shard"] for s in statuses] == [0, 1]
+        record = store.fail_over_shard(0)
+        assert record["shard"] == 0
+        assert record["epoch"] == 1
+        assert coll.count() == 30
+        coll.insert_one({"k": "post", "v": 999})
+        assert coll.count() == 31
+        store.close()
+
+    def test_promotion_epoch_survives_recovery(self, tmp_path):
+        mgr = RecoveryManager(tmp_path, replicas=2, sync="always")
+        mgr.recover()
+        store = mgr.store
+        store.collection("t").insert_one({"k": 1})
+        record = store.fail_over_shard(0)
+        assert record["epoch"] == 1
+        mgr.crash()
+
+        mgr2 = RecoveryManager(tmp_path, replicas=2, sync="always")
+        mgr2.recover()
+        replica_set = mgr2.store.shards[0]
+        assert replica_set.epoch >= 1  # the fence never regresses
+        assert mgr2.store.collection("t").count() == 1
+        mgr2.store.close()

@@ -100,8 +100,10 @@ def test_supervisor_health_restart_and_metrics(plane):
     restarts = get_registry().counter("repro_worker_restarts_total")
     before = restarts.value
     supervisor.kill(0)
-    assert supervisor.health_check()[0] is False
-    assert supervisor.health_check()[1] is True  # shard 1 unaffected
+    health = supervisor.health_check()
+    assert not health[0] and health[0].error  # truthy iff healthy
+    assert health[1]  # shard 1 unaffected
+    assert health[1].latency is not None and health[1].latency >= 0
 
     fresh = supervisor.restart(0)
     assert restarts.value == before + 1
@@ -223,3 +225,141 @@ def test_driver_requires_durable_dir_for_process_shards():
 
     with pytest.raises(ConfigurationError, match="process shards"):
         LoadDriver(load_scenario("steady"), process_shards=True)
+
+
+# -- restart under concurrent readers ------------------------------------------------
+
+
+def test_concurrent_readers_see_crash_or_consistent_result(plane):
+    """find() fanned out across shards racing a shard restart must either
+    fail loudly (WorkerCrashedError) or return the complete merged result —
+    never a partial/torn merge that silently drops a shard's rows."""
+    n = 24
+    coll = _seed_alarms(plane, n=n)
+    stop = threading.Event()
+    outcomes: list = []
+    lock = threading.Lock()
+
+    def reader():
+        while not stop.is_set():
+            try:
+                docs = coll.find({}, sort=("value", 1))
+            except WorkerCrashedError:
+                with lock:
+                    outcomes.append("crashed")
+                continue
+            with lock:
+                outcomes.append([d["value"] for d in docs])
+
+    readers = [threading.Thread(target=reader) for _ in range(4)]
+    for thread in readers:
+        thread.start()
+    try:
+        plane.supervisor.kill(0)
+        time.sleep(0.05)  # let some reads hit the dead shard
+        plane.restart_shard(0)
+        time.sleep(0.05)  # and some the recovered one
+    finally:
+        stop.set()
+        for thread in readers:
+            thread.join(timeout=30.0)
+    assert not any(thread.is_alive() for thread in readers)
+    results = [o for o in outcomes if o != "crashed"]
+    assert results, "no read completed"
+    expected = list(range(n))
+    for values in results:
+        assert values == expected  # complete and ordered, never torn
+    assert "crashed" in outcomes  # the race window was really exercised
+
+
+# -- crash-loop protection -----------------------------------------------------------
+
+
+def _corrupt_shard_root(root) -> None:
+    """Build a shard root whose recovery deterministically fails: a sealed
+    WAL segment with corrupt bytes (torn-tail truncation only forgives the
+    *last* segment)."""
+    from repro.durability.wal import WriteAheadLog
+
+    wal = WriteAheadLog(root / "wal", segment_max_bytes=32, sync="always")
+    for i in range(6):
+        wal.append(b'{"op": %d}' % i)
+    wal.close()
+    segments = sorted((root / "wal").glob("wal-*.log"))
+    assert len(segments) >= 2
+    data = bytearray(segments[0].read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    segments[0].write_bytes(bytes(data))
+
+
+def test_restart_crash_loop_raises_after_capped_backoff(tmp_path):
+    from repro.errors import CrashLoopError
+
+    root = tmp_path / "shard-0"
+    supervisor = WorkerSupervisor(
+        [root], max_restart_attempts=2, restart_backoff=0.01,
+        restart_backoff_cap=0.02,
+    )
+    _corrupt_shard_root(root)
+    started = time.perf_counter()
+    with pytest.raises(CrashLoopError, match="2 consecutive"):
+        supervisor.restart(0)
+    assert time.perf_counter() - started < 60.0
+    assert supervisor.restart_attempts(0) == 2
+    supervisor.shutdown()
+
+
+def test_restart_attempts_reset_on_success(tmp_path):
+    supervisor = WorkerSupervisor([tmp_path / "shard-0"], sync="batch")
+    [store] = supervisor.start()
+    _seed_alarms_single(store)
+    supervisor.kill(0)
+    fresh = supervisor.restart(0)
+    assert supervisor.restart_attempts(0) == 0
+    assert fresh.collection("alarms").count({}) == 4
+    supervisor.shutdown()
+
+
+def _seed_alarms_single(store, n=4):
+    store.collection("alarms").insert_many(
+        [{"device_address": f"dev-{i}", "value": i} for i in range(n)]
+    )
+
+
+# -- replicated process plane --------------------------------------------------------
+
+
+def test_process_replica_set_failover_is_zero_loss(tmp_path):
+    """Two worker processes form one replica set; SIGKILLing the leader and
+    promoting must lose nothing that was acked under sync replication, and
+    the promoted regime must fence the dead leader's epoch."""
+    from repro.errors import StaleEpochError
+    from repro.replication import ReplicaController, ReplicaSet
+    from functools import partial
+
+    supervisor = WorkerSupervisor(
+        [tmp_path / "replica-0", tmp_path / "replica-1"], sync="always",
+    )
+    peers = supervisor.start()
+    controllers = [
+        ReplicaController(kill=partial(supervisor.kill, r),
+                          respawn=partial(supervisor.restart, r))
+        for r in range(2)
+    ]
+    rs = ReplicaSet(peers, shard=0, ack="sync", controllers=controllers)
+    coll = rs.collection("alarms")
+    coll.insert_many([{"device_address": f"dev-{i}", "value": i}
+                      for i in range(12)])
+    old_epoch = rs.epoch
+    record = rs.fail_over(kill=True)  # real SIGKILL via the supervisor
+    assert record["epoch"] == old_epoch + 1
+    assert record["respawned"] is True
+    assert rs.collection("alarms").count() == 12  # zero loss
+    coll.insert_one({"device_address": "dev-99", "value": 99})
+    assert rs.collection("alarms").count() == 13
+    # A handle still speaking the old epoch is fenced out.
+    with pytest.raises(StaleEpochError):
+        rs.leader.apply_write(old_epoch, "alarms", "insert_one",
+                              [{"device_address": "zombie", "value": -1}])
+    rs.close()
+    supervisor.shutdown()

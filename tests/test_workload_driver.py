@@ -226,6 +226,58 @@ class TestClusterRuns:
         assert report.verified_unique == len(expected)
         assert driver.verification_log.duplicate_uids() == []
 
+    def test_leader_failover_requires_replicated_durable_pipeline(self):
+        from repro.errors import ConfigurationError
+        failover = FaultInjection(kind="leader_failover", start=10.0, end=11.0)
+        scenario = small_scenario(faults=(failover,))
+        with pytest.raises(ConfigurationError, match="leader_failover"):
+            LoadDriver(scenario)  # neither replicas nor durable_dir
+
+    def test_leader_failover_requires_at_least_two_replicas(self, tmp_path):
+        from repro.errors import ConfigurationError
+        failover = FaultInjection(kind="leader_failover", start=10.0, end=11.0)
+        scenario = small_scenario(faults=(failover,))
+        with pytest.raises(ConfigurationError, match="leader_failover"):
+            LoadDriver(scenario, durable_dir=tmp_path)  # replicas=1
+
+    def test_leader_failover_must_name_an_existing_shard(self, tmp_path):
+        from repro.errors import ConfigurationError
+        failover = FaultInjection(kind="leader_failover", start=10.0, end=11.0,
+                                  params={"shard": 7})
+        with pytest.raises(ConfigurationError, match="only"):
+            LoadDriver(small_scenario(faults=(failover,)), shards=2,
+                       replicas=2, durable_dir=tmp_path)
+
+    def test_shard_outage_rejected_on_replicated_runs(self, tmp_path):
+        from repro.errors import ConfigurationError
+        outage = FaultInjection(kind="shard_outage", start=10.0, end=11.0)
+        with pytest.raises(ConfigurationError, match="leader_failover"):
+            LoadDriver(small_scenario(faults=(outage,)), shards=2,
+                       replicas=2, durable_dir=tmp_path)
+
+    def test_replicated_run_requires_durable_dir(self):
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError, match="durable_dir"):
+            LoadDriver(small_scenario(), replicas=2)
+
+    def test_leader_failover_promotes_without_loss_mid_run(self, tmp_path):
+        scenario = small_scenario(faults=(
+            FaultInjection(kind="leader_failover", start=30.0, end=31.0,
+                           params={"shard": 1}),
+        ))
+        driver = LoadDriver(scenario, seed=9, speedup=2_000.0, shards=2,
+                            replicas=2, durable_dir=tmp_path / "pipeline")
+        expected = {e.document["_event_seq"] for e in driver.build_timeline()}
+        report = driver.run(max_batch_records=50)
+        assert report.replicas == 2
+        assert len(report.failovers) == 1
+        record = report.failovers[0]
+        assert record["shard"] == 1
+        assert record["epoch"] == record["old_epoch"] + 1
+        assert record["new_leader"] != record["old_leader"]
+        assert report.verified_unique == len(expected)
+        assert driver.verification_log.duplicate_uids() == []
+
     def test_cluster_configuration_validated(self):
         from repro.errors import ConfigurationError
         with pytest.raises(ConfigurationError):

@@ -139,6 +139,21 @@ class TestValidation:
             FaultInjection(kind="shard_outage", start=0.0, end=1.0,
                            params={"shard": -1})
 
+    def test_leader_failover_fault_round_trips(self):
+        failover = FaultInjection(kind="leader_failover", start=25.0, end=26.0,
+                                  params={"shard": 1})
+        assert FaultInjection.from_dict(failover.to_dict()) == failover
+        scenario = make_scenario(faults=(failover,))
+        rebuilt = Scenario.from_dict(scenario.to_dict())
+        assert rebuilt.faults == (failover,)
+        assert Scenario.from_json(scenario.to_json()).to_dict() == \
+            scenario.to_dict()
+
+    def test_leader_failover_params_validated(self):
+        with pytest.raises(ConfigurationError):
+            FaultInjection(kind="leader_failover", start=0.0, end=1.0,
+                           params={"shard": -1})
+
     def test_from_dict_rejects_unknown_fault_kinds(self):
         with pytest.raises(ConfigurationError, match="unknown fault kind"):
             FaultInjection.from_dict(
