@@ -16,6 +16,9 @@ Exposes the main workflows of the reproduced system without writing code:
 * ``metrics``        — render a metrics snapshot written by ``loadtest
                        --metrics-out`` (pretty table, Prometheus text, or
                        raw JSON);
+* ``serve-metrics``  — stand up the ``/metrics`` + ``/healthz`` HTTP
+                       endpoint over the live registry or a saved
+                       snapshot;
 * ``incidents``      — run the Figure 5 incident pipeline over the
                        synthetic report corpus and print corpus stats;
 * ``security-map``   — render the Figure 8 ASCII risk map.
@@ -202,6 +205,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             shards=args.shards, consumers=args.consumers,
             process_shards=args.process_shards,
             replicas=args.replicas, replica_ack=args.replica_ack,
+            metrics_port=args.metrics_port,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -217,6 +221,9 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
                          f"{args.replica_ack} ack]")
     print(f"scenario {scenario.name!r} (seed {scenario.seed}, "
           f"speedup {args.speedup:g}x){cluster_note}: {scenario.description}")
+    if args.metrics_port is not None:
+        print(f"serving live telemetry on http://127.0.0.1:{args.metrics_port} "
+              f"(/metrics, /metrics.json, /healthz) for the duration of the run")
     report = driver.run()
     print(f"scheduled {report.events_scheduled} events; "
           f"sent {report.records_sent} records "
@@ -302,6 +309,44 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         sys.stdout.write("\n")
     else:
         sys.stdout.write(render_pretty(snapshot))
+    return 0
+
+
+def cmd_serve_metrics(args: argparse.Namespace) -> int:
+    """``repro serve-metrics``: stand up the /metrics + /healthz endpoint.
+
+    With ``--snapshot`` it serves a saved loadtest snapshot (a static
+    Prometheus-scrapeable view of a past run); without it, the process's
+    own live registry — useful mostly when embedded by other tooling.
+    """
+    from repro.obs.http import ClusterTelemetry, MetricsHTTPServer, StaticTelemetry
+    from repro.obs.registry import get_registry
+
+    if args.snapshot:
+        try:
+            with open(args.snapshot, "r", encoding="utf-8") as handle:
+                provider = StaticTelemetry(json.load(handle))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read snapshot {args.snapshot}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        provider = ClusterTelemetry(registry=get_registry)
+    server = MetricsHTTPServer(provider, host=args.host, port=args.port)
+    server.start()
+    print(f"serving telemetry on {server.url} "
+          f"(/metrics, /metrics.json, /healthz); Ctrl-C to stop")
+    try:
+        if args.duration is not None:
+            import time as _time
+            _time.sleep(args.duration)
+        else:
+            import threading as _threading
+            _threading.Event().wait()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
     return 0
 
 
@@ -438,6 +483,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the run's full metrics snapshot (histograms, counters, "
              "sampled traces) as JSON to PATH; render it with `repro metrics`",
     )
+    loadtest.add_argument(
+        "--metrics-port", type=int, metavar="PORT", default=None,
+        help="serve live cluster telemetry (/metrics Prometheus text, "
+             "/metrics.json, /healthz) on 127.0.0.1:PORT while the run "
+             "executes; every scrape merges the current worker snapshots",
+    )
     loadtest.set_defaults(func=cmd_loadtest)
 
     metrics = sub.add_parser(
@@ -449,6 +500,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: operator-facing table)",
     )
     metrics.set_defaults(func=cmd_metrics)
+
+    serve = sub.add_parser(
+        "serve-metrics",
+        help="serve /metrics + /healthz over HTTP (live registry or a "
+             "saved snapshot)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9644,
+                       help="bind port (0 = ephemeral; printed on start)")
+    serve.add_argument("--snapshot", metavar="PATH", default=None,
+                       help="serve this saved metrics snapshot instead of "
+                            "the live registry")
+    serve.add_argument("--duration", type=float, default=None,
+                       help="serve for this many seconds then exit "
+                            "(default: until Ctrl-C)")
+    serve.set_defaults(func=cmd_serve_metrics)
 
     incidents = sub.add_parser("incidents", help="run the incident pipeline")
     incidents.add_argument("--count", type=int, default=2_000)

@@ -46,8 +46,9 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterator, Mapping
 
 from repro.cluster.ring import HashRing
-from repro.errors import ConfigurationError, StorageError
+from repro.errors import ConfigurationError, ReproError, StorageError
 from repro.obs.registry import get_registry
+from repro.obs.trace import adopt_trace, current_trace
 from repro.storage.aggregate import aggregate, plan_pushdown
 from repro.storage.query import rank_value, resolve_path
 from repro.storage.store import DocumentStore
@@ -461,11 +462,17 @@ class ShardedDocumentStore:
         straggling shard adds to the scatter-gather.
         """
         indexes = list(range(self.num_shards)) if shards is None else list(shards)
+        # Thread-locals don't cross the pool boundary: capture the caller's
+        # active trace here and re-install it inside each pool task, so a
+        # traced store stage keeps its identity all the way into the RPC
+        # client (adopting None is a no-op on the untraced fast path).
+        trace = current_trace()
 
         def timed(index: int) -> Any:
             started = time.perf_counter()
             try:
-                return fn(index)
+                with adopt_trace(trace):
+                    return fn(index)
             finally:
                 self._fanout_hists[index].observe(time.perf_counter() - started)
 
@@ -606,6 +613,38 @@ class ShardedDocumentStore:
                 i, lambda s: s.status() if hasattr(s, "fail_over") else {}
             )
         )
+
+    def collect_metrics(self) -> list[dict[str, Any]]:
+        """Harvest worker-process metrics snapshots from every shard.
+
+        Per-shard backing decides what a shard contributes: a
+        :class:`~repro.replication.replica_set.ReplicaSet` harvests its
+        process-hosted peers (``{shard, replica}``-labeled), a bare
+        :class:`~repro.runtime.remote.RemoteShardStore` harvests its one
+        worker (``{shard}``-labeled), and an in-process shard contributes
+        nothing — its series already live in the parent registry.  Dead
+        workers come back as tombstones; the fan-out never raises.
+        """
+        from repro.obs.aggregate import relabel_snapshot, tombstone_snapshot
+
+        def harvest(index: int) -> list[dict[str, Any]]:
+            def on_store(store: Any) -> list[dict[str, Any]]:
+                if hasattr(store, "collect_metrics"):
+                    return list(store.collect_metrics())
+                harvest_one = getattr(store, "metrics_snapshot", None)
+                if harvest_one is None:
+                    return []
+                try:
+                    return [relabel_snapshot(harvest_one(), {"shard": index})]
+                except ReproError as exc:
+                    return [tombstone_snapshot(shard=index, error=str(exc))]
+
+            return self._on_shard(index, on_store)
+
+        snapshots: list[dict[str, Any]] = []
+        for part in self._fanout(harvest):
+            snapshots.extend(part)
+        return snapshots
 
     def checkpoint(self) -> None:
         """Checkpoint every durable shard (no-op on in-memory shards)."""

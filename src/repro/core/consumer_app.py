@@ -21,6 +21,7 @@ parallelism of single-partition topics (the Kafka fix of Section 5.5.2).
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -29,6 +30,7 @@ from repro.core.history import AlarmHistory
 from repro.core.verification import Verification, VerificationService
 from repro.core.verification_log import VerificationLog
 from repro.errors import ConfigurationError
+from repro.obs.trace import trace_context
 from repro.streaming.broker import Broker
 from repro.streaming.dstream import MicroBatch, StreamingContext
 from repro.streaming.serializers import Serializer
@@ -208,14 +210,23 @@ class ConsumerApplication:
         # happens *before* the streaming context commits offsets, so a
         # crash between persist and commit only ever causes re-processing —
         # which the sink deduplicates — never loss.
-        recorded = verifications
-        if self.verification_log is not None:
-            recorded = self.verification_log.record_batch(
-                verifications, history=self.history
-            )
-            report.duplicates_skipped += len(verifications) - len(recorded)
+        if self.tracer is not None and batch.traces:
+            # The window's store stage runs under the first sampled trace's
+            # context: a sharded/process-hosted sink then propagates the
+            # trace id over its RPCs and the workers' rpc_* spans splice
+            # into that trace when it completes below.
+            store_stage = trace_context(self.tracer, batch.traces[0][0], "store")
         else:
-            self.history.record_batch(v.alarm for v in verifications)
+            store_stage = nullcontext()
+        with store_stage:
+            recorded = verifications
+            if self.verification_log is not None:
+                recorded = self.verification_log.record_batch(
+                    verifications, history=self.history
+                )
+                report.duplicates_skipped += len(verifications) - len(recorded)
+            else:
+                self.history.record_batch(v.alarm for v in verifications)
         t4 = time.perf_counter()
         report.store_seconds += t4 - t3
 

@@ -12,7 +12,13 @@ and 4):
   consumer poll, ML scoring and the verification-log insert, yielding
   per-stage span timings and queue-dwell breakdowns;
 * :mod:`~repro.obs.export` — atomic JSON snapshot writer, Prometheus-style
-  text renderer, and the pretty-printer behind ``python -m repro metrics``.
+  text renderer, and the pretty-printer behind ``python -m repro metrics``;
+* :mod:`~repro.obs.aggregate` — cluster-wide snapshot merging: counters
+  sum, gauges take a ``process``-labeled last-writer, histograms merge
+  bucket-by-bucket exactly; worker harvests relabel with shard/replica;
+* :mod:`~repro.obs.http` — the live ``/metrics`` + ``/metrics.json`` +
+  ``/healthz`` endpoint (``LoadDriver(metrics_port=...)``,
+  ``python -m repro serve-metrics``).
 
 Instrumented components fetch their instruments from :func:`get_registry`
 at construction time, so the hot paths never pay a registry lookup — only
@@ -36,12 +42,26 @@ from repro.obs.trace import (
     Span,
     Trace,
     Tracer,
+    adopt_trace,
+    current_trace,
+    trace_context,
 )
 from repro.obs.export import (
     build_snapshot,
     render_pretty,
     render_prometheus,
     write_json_snapshot,
+)
+from repro.obs.aggregate import (
+    collect_cluster_snapshot,
+    relabel_snapshot,
+    snapshot_merge,
+    tombstone_snapshot,
+)
+from repro.obs.http import (
+    ClusterTelemetry,
+    MetricsHTTPServer,
+    StaticTelemetry,
 )
 
 __all__ = [
@@ -59,8 +79,18 @@ __all__ = [
     "Span",
     "Trace",
     "Tracer",
+    "adopt_trace",
+    "current_trace",
+    "trace_context",
     "build_snapshot",
     "render_pretty",
     "render_prometheus",
     "write_json_snapshot",
+    "collect_cluster_snapshot",
+    "relabel_snapshot",
+    "snapshot_merge",
+    "tombstone_snapshot",
+    "ClusterTelemetry",
+    "MetricsHTTPServer",
+    "StaticTelemetry",
 ]

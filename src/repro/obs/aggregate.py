@@ -1,0 +1,328 @@
+"""Cluster-wide snapshot merging: many process-local snapshots, one view.
+
+Every shard worker is a spawned child with its own process-local
+:class:`~repro.obs.registry.MetricsRegistry`, so a cluster's telemetry
+arrives as N independent :func:`~repro.obs.export.build_snapshot` dicts —
+one from the parent plus one per reachable worker.  :func:`snapshot_merge`
+folds them into a single snapshot with per-instrument-kind semantics:
+
+* **Counters sum.**  Monotonic totals from different processes add; the
+  merged series is the cluster total.
+* **Gauges are labeled last-writer.**  A gauge is a point-in-time reading
+  of *one* process, so merged gauges gain a ``process`` label (the source
+  pid) — readings from different processes coexist as distinct series
+  instead of clobbering each other.  When the same process contributes
+  the same series twice (a re-merge), the snapshot with the highest
+  ``(collected_at, sequence)`` wins, making the merge order-insensitive.
+* **Histograms merge bucket-by-bucket.**  Bucket layouts are fixed at
+  construction (:data:`~repro.obs.registry.DEFAULT_LATENCY_BUCKETS` et
+  al.), so summing per-bucket counts is *exact*: the merged sketch is
+  identical to one histogram that observed the union of every process's
+  samples.  Count/sum/sum-of-squares/min/max pool exactly too, and the
+  percentiles and jitter are recomputed from the pooled state with the
+  same interpolation a live :class:`~repro.obs.registry.Histogram` uses.
+
+The merged snapshot keeps the ``repro.metrics/v1`` schema (a superset of
+any input's series), so every existing consumer — ``render_prometheus``,
+``render_pretty``, ``repro metrics`` — renders it unchanged.
+
+Dead workers contribute a :func:`tombstone_snapshot` rather than an
+exception: the merge records the loss in ``meta.processes`` and carries
+on, because a harvest that dies whenever one worker does would be useless
+exactly when it matters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Mapping
+
+from repro.obs.registry import series_key
+
+__all__ = [
+    "snapshot_merge",
+    "relabel_snapshot",
+    "tombstone_snapshot",
+    "collect_cluster_snapshot",
+]
+
+_SCHEMA = "repro.metrics/v1"
+_KINDS = ("counters", "gauges", "histograms")
+
+
+def tombstone_snapshot(**meta: Any) -> dict[str, Any]:
+    """An empty snapshot standing in for an unreachable/dead process.
+
+    Merges as zero series but is recorded in the merged ``meta.processes``
+    list (with ``tombstone: True``), so "3 of 4 workers answered" is
+    visible in the merged snapshot instead of silently looking like a
+    smaller cluster.
+    """
+    return {
+        "schema": _SCHEMA,
+        "tombstone": True,
+        "enabled": False,
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+        "traces": [],
+        "meta": {"role": "worker", **meta},
+    }
+
+
+def relabel_snapshot(snapshot: Mapping[str, Any],
+                     extra_labels: Mapping[str, Any]) -> dict[str, Any]:
+    """A copy of ``snapshot`` with ``extra_labels`` stamped onto every series.
+
+    The harvest path uses this to attribute worker-local series — a
+    worker's WAL-fsync histogram carries no labels inside the worker, but
+    surfaces in the parent as ``repro_wal_fsync_seconds{shard="2"}`` (plus
+    ``replica`` in replicated mode).  Existing labels win on collision:
+    a series that already says which shard it belongs to keeps its claim.
+    """
+    extra = {str(k): str(v) for k, v in extra_labels.items()}
+    merged: dict[str, Any] = {
+        key: value for key, value in snapshot.items() if key not in _KINDS
+    }
+    for kind in _KINDS:
+        entries: dict[str, Any] = {}
+        for entry in snapshot.get(kind, {}).values():
+            labels = {**extra, **entry.get("labels", {})}
+            relabeled = {**entry, "labels": labels}
+            entries[series_key(entry["name"], labels)] = relabeled
+        merged[kind] = entries
+    return merged
+
+
+def _source_meta(snapshot: Mapping[str, Any]) -> dict[str, Any]:
+    meta = dict(snapshot.get("meta") or {})
+    if snapshot.get("tombstone"):
+        meta["tombstone"] = True
+    return meta
+
+
+def _gauge_stamp(entry: Mapping[str, Any],
+                 meta: Mapping[str, Any]) -> tuple[float, int]:
+    """Last-writer ordering stamp for one gauge entry: the entry's own
+    stamp when it survived a previous merge, its snapshot's otherwise."""
+    collected = entry.get("collected_at", meta.get("collected_at", 0.0))
+    sequence = entry.get("sequence", meta.get("sequence", 0))
+    return (float(collected or 0.0), int(sequence or 0))
+
+
+def _merge_counters(merged: dict[str, Any], snapshot: Mapping[str, Any]) -> None:
+    for key, entry in snapshot.get("counters", {}).items():
+        existing = merged.get(key)
+        if existing is None:
+            merged[key] = {
+                "name": entry["name"],
+                "labels": dict(entry.get("labels", {})),
+                "value": int(entry.get("value", 0)),
+            }
+        else:
+            existing["value"] += int(entry.get("value", 0))
+
+
+def _merge_gauges(merged: dict[str, Any], snapshot: Mapping[str, Any]) -> None:
+    meta = snapshot.get("meta") or {}
+    pid = meta.get("pid")
+    for entry in snapshot.get("gauges", {}).values():
+        labels = dict(entry.get("labels", {}))
+        if "process" not in labels:
+            labels["process"] = str(pid if pid is not None else "unknown")
+        key = series_key(entry["name"], labels)
+        stamp = _gauge_stamp(entry, meta)
+        candidate = {
+            "name": entry["name"],
+            "labels": labels,
+            "value": entry.get("value", 0.0),
+            "collected_at": stamp[0],
+            "sequence": stamp[1],
+        }
+        existing = merged.get(key)
+        if existing is None:
+            merged[key] = candidate
+            continue
+        # Deterministic last-writer: newest stamp wins; a full tie breaks
+        # on the value itself so A+B == B+A bit-for-bit.
+        have = (existing["collected_at"], existing["sequence"],
+                existing["value"])
+        want = (candidate["collected_at"], candidate["sequence"],
+                candidate["value"])
+        if want > have:
+            merged[key] = candidate
+
+
+def _entry_sumsq(entry: Mapping[str, Any]) -> float:
+    """The entry's second moment — direct when present, else reconstructed
+    exactly from (count, mean, jitter): sumsq = n * (jitter^2 + mean^2)."""
+    if "sumsq" in entry:
+        return float(entry["sumsq"])
+    count = entry.get("count", 0)
+    mean = float(entry.get("mean", 0.0))
+    jitter = float(entry.get("jitter", 0.0))
+    return count * (jitter * jitter + mean * mean)
+
+
+def _percentile_from_buckets(bounds: list[Any], counts: list[int],
+                             total: int, lo: float, hi: float,
+                             q: float) -> float:
+    """The same cumulative-bucket interpolation
+    :meth:`~repro.obs.registry.Histogram.percentile` uses, over pooled
+    bucket counts (``bounds`` excludes the implicit ``+Inf`` bucket)."""
+    if total == 0:
+        return 0.0
+    target = q / 100.0 * total
+    cumulative = 0
+    for i, c in enumerate(counts):
+        if c == 0:
+            continue
+        if cumulative + c >= target:
+            lower = bounds[i - 1] if i > 0 else min(lo, bounds[0])
+            upper = bounds[i] if i < len(bounds) else hi
+            fraction = (target - cumulative) / c
+            estimate = lower + (upper - lower) * max(fraction, 0.0)
+            return min(max(estimate, lo), hi)
+        cumulative += c
+    return hi
+
+
+def _merge_histograms(merged: dict[str, Any],
+                      snapshot: Mapping[str, Any]) -> None:
+    for key, entry in snapshot.get("histograms", {}).items():
+        existing = merged.get(key)
+        if existing is None:
+            merged[key] = {
+                "name": entry["name"],
+                "labels": dict(entry.get("labels", {})),
+                "count": entry.get("count", 0),
+                "sum": float(entry.get("sum", 0.0)),
+                "sumsq": _entry_sumsq(entry),
+                "min": entry.get("min", 0.0),
+                "max": entry.get("max", 0.0),
+                "buckets": [list(b) for b in entry.get("buckets", [])],
+            }
+            continue
+        ours = [b[0] for b in existing["buckets"]]
+        theirs = [b[0] for b in entry.get("buckets", [])]
+        if ours != theirs:
+            raise ValueError(
+                f"histogram {key!r} has mismatched bucket layouts across "
+                f"snapshots; bucket-exact merging needs identical bounds"
+            )
+        for bucket, (_bound, count) in zip(existing["buckets"],
+                                           entry.get("buckets", [])):
+            bucket[1] += count
+        had, got = existing["count"], entry.get("count", 0)
+        if got:
+            # min/max of an empty side are the 0.0 placeholders
+            # summary() reports, not observations — never pool those.
+            if had:
+                existing["min"] = min(existing["min"], entry.get("min", 0.0))
+                existing["max"] = max(existing["max"], entry.get("max", 0.0))
+            else:
+                existing["min"] = entry.get("min", 0.0)
+                existing["max"] = entry.get("max", 0.0)
+        existing["count"] = had + got
+        existing["sum"] += float(entry.get("sum", 0.0))
+        existing["sumsq"] += _entry_sumsq(entry)
+
+
+def _finalize_histogram(entry: dict[str, Any]) -> dict[str, Any]:
+    """Recompute the derived statistics from the pooled sketch state."""
+    total = entry["count"]
+    bounds = [b[0] for b in entry["buckets"] if b[0] != "+Inf"]
+    counts = [b[1] for b in entry["buckets"]]
+    lo = entry["min"] if total else 0.0
+    hi = entry["max"] if total else 0.0
+    mean = (entry["sum"] / total) if total else 0.0
+    variance = (entry["sumsq"] / total - mean * mean) if total else 0.0
+    entry["mean"] = mean
+    entry["jitter"] = math.sqrt(max(variance, 0.0))
+    for name, q in (("p50", 50.0), ("p95", 95.0),
+                    ("p99", 99.0), ("p999", 99.9)):
+        entry[name] = _percentile_from_buckets(bounds, counts, total, lo, hi, q)
+    return entry
+
+
+def snapshot_merge(snapshots: Iterable[Mapping[str, Any]]) -> dict[str, Any]:
+    """Merge process-local snapshots into one cluster-wide snapshot.
+
+    Commutative and associative: any grouping and ordering of the same
+    inputs yields the same merged series (gauge last-writer is resolved
+    by source stamps, not argument position), so a merge of merges is a
+    merge of the originals.  Tombstones contribute no series but are
+    recorded in ``meta.processes``.
+    """
+    snapshots = list(snapshots)
+    if not snapshots:
+        raise ValueError("snapshot_merge needs at least one snapshot")
+    counters: dict[str, Any] = {}
+    gauges: dict[str, Any] = {}
+    histograms: dict[str, Any] = {}
+    traces: list[dict[str, Any]] = []
+    processes: list[dict[str, Any]] = []
+    enabled = False
+    for snapshot in snapshots:
+        meta = _source_meta(snapshot)
+        if meta.get("role") == "cluster":
+            # A previously merged snapshot folds its sources in flat, so a
+            # merge-of-merges attributes processes identically to a single
+            # merge of the originals.
+            processes.extend(meta.get("processes", []))
+        elif meta:
+            processes.append(meta)
+        if snapshot.get("tombstone"):
+            continue
+        enabled = enabled or bool(snapshot.get("enabled"))
+        _merge_counters(counters, snapshot)
+        _merge_gauges(gauges, snapshot)
+        _merge_histograms(histograms, snapshot)
+        traces.extend(snapshot.get("traces", []))
+    for entry in histograms.values():
+        _finalize_histogram(entry)
+    traces.sort(key=lambda t: t.get("trace_id", ""))
+    stamps = [
+        (p.get("collected_at", 0.0) or 0.0, p.get("sequence", 0) or 0)
+        for p in processes
+    ]
+    return {
+        "schema": _SCHEMA,
+        "enabled": enabled,
+        "counters": {key: counters[key] for key in sorted(counters)},
+        "gauges": {key: gauges[key] for key in sorted(gauges)},
+        "histograms": {key: histograms[key] for key in sorted(histograms)},
+        "traces": traces,
+        "meta": {
+            "role": "cluster",
+            "merged": len(processes),
+            "collected_at": max((s[0] for s in stamps), default=0.0),
+            "sequence": max((s[1] for s in stamps), default=0),
+            "processes": processes,
+        },
+    }
+
+
+def collect_cluster_snapshot(registry: Any = None, tracer: Any = None,
+                             store: Any = None) -> dict[str, Any]:
+    """The parent's snapshot merged with every worker's, in one call.
+
+    ``store`` is duck-typed: anything exposing ``collect_metrics()``
+    (:class:`~repro.cluster.sharded.ShardedDocumentStore`,
+    :class:`~repro.replication.replica_set.ReplicaSet`) contributes its
+    worker snapshots; anything else — or a store whose workers are all
+    gone — degrades to the parent-only snapshot, same schema.
+    """
+    from repro.errors import ReproError
+    from repro.obs.export import build_snapshot
+
+    parent = build_snapshot(registry, tracer=tracer, role="parent")
+    workers: list[dict[str, Any]] = []
+    if store is not None and hasattr(store, "collect_metrics"):
+        try:
+            workers = store.collect_metrics()
+        except ReproError:
+            workers = []
+    if not workers:
+        return parent
+    return snapshot_merge([parent] + workers)

@@ -17,8 +17,10 @@ written at the end of a load-test run renders identically later.
 
 from __future__ import annotations
 
+import itertools
 import json
 import os
+import time
 from pathlib import Path
 from typing import Any
 
@@ -32,14 +34,34 @@ __all__ = [
     "render_pretty",
 ]
 
+#: Process-wide monotonic snapshot sequence: two snapshots of the same
+#: process are ordered by it even when ``time.time()`` ties (or steps
+#: backwards under NTP), which is what gauge last-writer merging keys on.
+_snapshot_sequence = itertools.count(1)
+
 
 def build_snapshot(registry: MetricsRegistry | None = None,
                    tracer: Tracer | None = None,
-                   extra: dict[str, Any] | None = None) -> dict[str, Any]:
-    """One JSON-serializable dict of everything observable right now."""
+                   extra: dict[str, Any] | None = None,
+                   role: str = "parent") -> dict[str, Any]:
+    """One JSON-serializable dict of everything observable right now.
+
+    ``meta`` attributes the snapshot to its source process: ``pid`` and
+    ``role`` (``"parent"`` in the driver/CLI process, ``"worker"`` inside
+    a shard worker) say who produced it, ``collected_at`` is the wall
+    clock, and ``sequence`` is a per-process monotonic counter —
+    :func:`~repro.obs.aggregate.snapshot_merge` uses ``(pid, sequence)``
+    to resolve gauge last-writer deterministically.
+    """
     registry = registry if registry is not None else get_registry()
     snapshot = registry.snapshot()
     snapshot["traces"] = tracer.trace_documents() if tracer is not None else []
+    snapshot["meta"] = {
+        "pid": os.getpid(),
+        "role": role,
+        "collected_at": time.time(),
+        "sequence": next(_snapshot_sequence),
+    }
     if extra:
         snapshot.update(extra)
     return snapshot
@@ -58,13 +80,26 @@ def write_json_snapshot(path: str | Path, snapshot: dict[str, Any]) -> Path:
     return path
 
 
+def _escape_label_value(value: Any) -> str:
+    """Prometheus text-format label-value escaping: backslash first, then
+    double-quote and newline (the exposition-format spec's three escapes)."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _label_suffix(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
     merged = dict(labels)
     if extra:
         merged.update(extra)
     if not merged:
         return ""
-    inner = ",".join(f'{k}="{merged[k]}"' for k in sorted(merged))
+    inner = ",".join(
+        f'{k}="{_escape_label_value(merged[k])}"' for k in sorted(merged)
+    )
     return f"{{{inner}}}"
 
 

@@ -1,0 +1,226 @@
+"""Live telemetry endpoint: /metrics, /metrics.json, /healthz over stdlib HTTP.
+
+A long-running replicated cluster needs a scrape surface, not just a
+post-run snapshot file.  :class:`MetricsHTTPServer` is a daemon-threaded
+``ThreadingHTTPServer`` serving three routes off a *provider*:
+
+* ``GET /metrics`` — the merged cluster snapshot in the Prometheus text
+  exposition format (:func:`~repro.obs.export.render_prometheus` — the
+  same renderer the CLI uses on saved snapshots, now over live data);
+* ``GET /metrics.json`` — the merged snapshot as JSON, schema
+  ``repro.metrics/v1``;
+* ``GET /healthz`` — liveness JSON, status 200 when every shard can
+  serve and 503 otherwise (a dead *follower* is degraded-but-healthy; a
+  dead leader, a dead unreplicated worker, or a crash-looping shard is
+  not).
+
+Two providers: :class:`ClusterTelemetry` harvests a live store/supervisor
+on every request (accepting values *or* zero-arg callables, because the
+load driver swaps its store across crash-recovery phases), and
+:class:`StaticTelemetry` serves a saved snapshot (``python -m repro
+serve-metrics --snapshot run.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Mapping
+
+from repro.errors import ReproError
+from repro.obs.aggregate import collect_cluster_snapshot
+from repro.obs.export import render_prometheus
+from repro.obs.registry import MetricsRegistry
+
+__all__ = ["ClusterTelemetry", "StaticTelemetry", "MetricsHTTPServer"]
+
+#: Content type Prometheus scrapers expect from a text-format endpoint.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _resolve(source: Any) -> Any:
+    """A provider source may be the object itself or a zero-arg callable
+    returning it (the driver's store is rebuilt across crash phases, so a
+    fixed reference would go stale)."""
+    return source() if callable(source) else source
+
+
+class ClusterTelemetry:
+    """Live provider: harvest + merge + health-check on every request."""
+
+    def __init__(self, registry: MetricsRegistry | Any = None,
+                 tracer: Any = None, store: Any = None,
+                 supervisor: Any = None) -> None:
+        self._registry = registry
+        self._tracer = tracer
+        self._store = store
+        self._supervisor = supervisor
+
+    def cluster_snapshot(self) -> dict[str, Any]:
+        return collect_cluster_snapshot(
+            _resolve(self._registry), _resolve(self._tracer),
+            _resolve(self._store),
+        )
+
+    def _shard_health(self, index: int, store: Any) -> dict[str, Any]:
+        if hasattr(store, "fail_over"):
+            # Replica set: the shard serves iff its leader answers.  A
+            # dead follower degrades redundancy, not service.
+            try:
+                alive = store.leader_alive()
+                lag = store.replication_lag() if alive else {}
+                dead = sorted(getattr(store, "_dead", ()))
+                return {
+                    "shard": index,
+                    "kind": "replica_set",
+                    "healthy": alive,
+                    "epoch": store.epoch,
+                    "leader": store.leader_index,
+                    "dead_replicas": dead,
+                    "replication_lag": {str(k): v for k, v in lag.items()},
+                }
+            except ReproError as exc:
+                return {
+                    "shard": index, "kind": "replica_set",
+                    "healthy": False, "error": str(exc),
+                }
+        if hasattr(store, "metrics_snapshot"):
+            # Bare worker-hosted shard: it serves iff it answers a ping.
+            try:
+                store.ping(timeout=2.0)
+                return {"shard": index, "kind": "worker",
+                        "healthy": True, "pid": store.pid}
+            except ReproError as exc:
+                return {"shard": index, "kind": "worker",
+                        "healthy": False, "error": str(exc)}
+        return {"shard": index, "kind": "local", "healthy": True}
+
+    def health(self) -> dict[str, Any]:
+        store = _resolve(self._store)
+        supervisor = _resolve(self._supervisor)
+        if supervisor is None and store is not None:
+            supervisor = getattr(store, "supervisor", None)
+        shards: list[dict[str, Any]] = []
+        if store is not None and hasattr(store, "shards"):
+            for index, shard_store in enumerate(store.shards):
+                shards.append(self._shard_health(index, shard_store))
+        elif store is not None and hasattr(store, "fail_over"):
+            shards.append(self._shard_health(
+                getattr(store, "shard", 0), store
+            ))
+        healthy = all(s["healthy"] for s in shards)
+        crash_looping: list[int] = []
+        if supervisor is not None:
+            for index in range(supervisor.num_shards):
+                if supervisor.restart_attempts(index) > 0:
+                    crash_looping.append(index)
+            if crash_looping:
+                healthy = False
+        return {
+            "healthy": healthy,
+            "shards": shards,
+            "crash_looping_workers": crash_looping,
+        }
+
+
+class StaticTelemetry:
+    """Provider over a saved snapshot: always healthy, never harvests."""
+
+    def __init__(self, snapshot: Mapping[str, Any]) -> None:
+        self._snapshot = dict(snapshot)
+
+    def cluster_snapshot(self) -> dict[str, Any]:
+        return self._snapshot
+
+    def health(self) -> dict[str, Any]:
+        return {"healthy": True, "shards": [], "static": True}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Set per-server via the factory in MetricsHTTPServer.
+    provider: Any = None
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                body = render_prometheus(
+                    self.provider.cluster_snapshot()
+                ).encode("utf-8")
+                self._reply(200, PROMETHEUS_CONTENT_TYPE, body)
+            elif path == "/metrics.json":
+                body = json.dumps(
+                    self.provider.cluster_snapshot(), sort_keys=True
+                ).encode("utf-8")
+                self._reply(200, "application/json", body)
+            elif path == "/healthz":
+                health = self.provider.health()
+                body = json.dumps(health, sort_keys=True).encode("utf-8")
+                self._reply(200 if health.get("healthy") else 503,
+                            "application/json", body)
+            else:
+                self._reply(404, "text/plain; charset=utf-8",
+                            b"unknown path; try /metrics, /metrics.json, /healthz\n")
+        except Exception as exc:  # a scrape must never kill the server
+            self._reply(500, "text/plain; charset=utf-8",
+                        f"telemetry error: {exc}\n".encode("utf-8"))
+
+    def _reply(self, status: int, content_type: str, body: bytes) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        pass  # scrapes are high-frequency; stay quiet
+
+
+class MetricsHTTPServer:
+    """The /metrics + /healthz endpoint, served from a daemon thread.
+
+    ``port=0`` binds an ephemeral port (tests, parallel runs); the bound
+    port is ``server.port`` and the scrape root ``server.url``.  Start
+    with :meth:`start`, stop idempotently with :meth:`stop` — or use it
+    as a context manager.
+    """
+
+    def __init__(self, provider: Any, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        handler = type("_BoundHandler", (_Handler,), {"provider": provider})
+        self.provider = provider
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "MetricsHTTPServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-metrics-http", daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -254,7 +254,7 @@ class Histogram:
 
     def summary(self) -> dict[str, Any]:
         """Everything an operator wants from the sketch, as one dict."""
-        counts, total, s, _sq, lo, hi = self._merged()
+        counts, total, s, sq, lo, hi = self._merged()
         buckets = [
             [self.bounds[i] if i < len(self.bounds) else "+Inf", c]
             for i, c in enumerate(counts)
@@ -262,6 +262,9 @@ class Histogram:
         return {
             "count": total,
             "sum": s,
+            # Second moment: what lets a cross-process merge recompute the
+            # pooled jitter exactly instead of approximating it.
+            "sumsq": sq,
             "mean": (s / total) if total else 0.0,
             "min": lo if total else 0.0,
             "max": hi if total else 0.0,

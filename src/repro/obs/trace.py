@@ -27,12 +27,22 @@ from __future__ import annotations
 
 import threading
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
 from repro.obs.registry import MetricsRegistry, get_registry
 
-__all__ = ["Span", "Trace", "Tracer", "TRACE_ID_HEADER", "TRACE_SENT_HEADER"]
+__all__ = [
+    "Span",
+    "Trace",
+    "Tracer",
+    "TRACE_ID_HEADER",
+    "TRACE_SENT_HEADER",
+    "trace_context",
+    "adopt_trace",
+    "current_trace",
+]
 
 #: Record header carrying the sampled trace's id.
 TRACE_ID_HEADER = "x-trace-id"
@@ -42,23 +52,37 @@ TRACE_SENT_HEADER = "x-trace-sent"
 
 @dataclass(frozen=True)
 class Span:
-    """One named stage of a trace, with absolute perf-counter bounds."""
+    """One named stage of a trace, with absolute perf-counter bounds.
+
+    ``shard`` attributes a remote span to the worker-hosted shard that
+    emitted it (``None`` for the in-process pipeline stages); ``remote``
+    marks spans whose timestamps were rebased from another process's
+    clock into this one's (see
+    :meth:`~repro.runtime.remote.RemoteShardStore.call`).
+    """
 
     stage: str
     start: float
     end: float
+    shard: int | None = None
+    remote: bool = False
 
     @property
     def duration_seconds(self) -> float:
         return self.end - self.start
 
     def to_document(self) -> dict[str, Any]:
-        return {
+        doc: dict[str, Any] = {
             "stage": self.stage,
             "start": self.start,
             "end": self.end,
             "duration_seconds": self.duration_seconds,
         }
+        if self.shard is not None:
+            doc["shard"] = self.shard
+        if self.remote:
+            doc["remote"] = True
+        return doc
 
 
 @dataclass(frozen=True)
@@ -80,6 +104,47 @@ class Trace:
             "spans": [span.to_document() for span in self.spans],
             "total_seconds": self.total_seconds,
         }
+
+
+# -- active trace context -------------------------------------------------------
+#
+# The consumer's store stage fans out over a thread pool and, in process
+# mode, over RPC.  The active-trace context is how the trace id crosses
+# those seams without threading it through every signature: the consumer
+# installs it around the store stage, the sharded store's pool tasks adopt
+# the submitting thread's context, and the RPC client stamps it into the
+# request so the worker's spans come home to the right trace.
+
+_active_trace = threading.local()
+
+
+def current_trace() -> tuple["Tracer", str, str] | None:
+    """The calling thread's ``(tracer, trace_id, parent_stage)``, if any."""
+    return getattr(_active_trace, "context", None)
+
+
+@contextmanager
+def trace_context(tracer: "Tracer", trace_id: str,
+                  parent_stage: str = "store") -> Iterator[None]:
+    """Install an active trace on this thread for the duration."""
+    previous = getattr(_active_trace, "context", None)
+    _active_trace.context = (tracer, trace_id, parent_stage)
+    try:
+        yield
+    finally:
+        _active_trace.context = previous
+
+
+@contextmanager
+def adopt_trace(context: tuple["Tracer", str, str] | None) -> Iterator[None]:
+    """Install a context captured by :func:`current_trace` on another thread
+    (``None`` adopts cleanly as no-context — pool tasks never branch)."""
+    previous = getattr(_active_trace, "context", None)
+    _active_trace.context = context
+    try:
+        yield
+    finally:
+        _active_trace.context = previous
 
 
 class Tracer:
@@ -108,6 +173,12 @@ class Tracer:
         self._lock = threading.Lock()
         self._sequence = 0
         self._completed: deque[Trace] = deque(maxlen=max_traces)
+        #: Remote spans awaiting their trace's completion, by trace id.
+        #: Bounded: a trace that never completes (its window was lost to a
+        #: crash, say) must not pin its spans forever — oldest ids are
+        #: evicted past the cap, exactly like the completed-trace deque.
+        self._pending_remote: dict[str, list[Span]] = {}
+        self._pending_cap = max(max_traces * 4, 64)
         self._stage_hists: dict[str, Any] = {}
         self._e2e_hist = self._registry.histogram("repro_trace_e2e_seconds")
         self._sampled = self._registry.counter("repro_trace_sampled_total")
@@ -145,15 +216,37 @@ class Tracer:
             self._stage_hists[stage] = hist
         return hist
 
+    def add_remote_spans(self, trace_id: str,
+                         spans: Iterable[Span]) -> None:
+        """Stage spans emitted by another process for ``trace_id``.
+
+        They splice into the trace when :meth:`record` completes it —
+        which happens *after* the store stage, so every RPC the stage
+        issued has already parked its spans here by then.
+        """
+        spans = list(spans)
+        if not spans:
+            return
+        with self._lock:
+            self._pending_remote.setdefault(trace_id, []).extend(spans)
+            while len(self._pending_remote) > self._pending_cap:
+                self._pending_remote.pop(next(iter(self._pending_remote)))
+
     def record(self, trace_id: str,
                spans: Iterable[tuple[str, float, float]]) -> Trace:
         """Complete one trace from ``(stage, start, end)`` triples.
 
-        Each span also lands in the registry's per-stage histogram and the
-        whole trace in the end-to-end histogram, so percentile latency per
-        stage outlives the bounded trace store.
+        Remote spans previously staged for this id (worker-side
+        ``rpc_*`` stages) are appended to the trace.  Each span also
+        lands in the registry's per-stage histogram and the whole trace
+        in the end-to-end histogram, so percentile latency per stage
+        outlives the bounded trace store.
         """
         built = tuple(Span(stage, start, end) for stage, start, end in spans)
+        with self._lock:
+            remote = tuple(self._pending_remote.pop(trace_id, ()))
+        if remote:
+            built = built + remote
         trace = Trace(trace_id=trace_id, spans=built)
         for span in built:
             self._stage_histogram(span.stage).observe(span.duration_seconds)

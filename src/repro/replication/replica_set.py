@@ -313,6 +313,36 @@ class ReplicaSet:
     def leader_alive(self) -> bool:
         return _peer_status(self.leader) is not None
 
+    def collect_metrics(self) -> list[dict[str, Any]]:
+        """Harvest the metrics snapshot of every process-hosted replica.
+
+        Only peers with a ``metrics_snapshot`` surface contribute (a
+        :class:`~repro.replication.peer.LocalReplicaPeer` shares the
+        parent's registry — harvesting it would double-count).  Each
+        snapshot is relabeled ``{shard, replica}``, so a worker's WAL and
+        planner series surface in the merged cluster view attributed to
+        the replica that recorded them; a dead peer contributes a
+        tombstone.
+        """
+        from repro.obs.aggregate import relabel_snapshot, tombstone_snapshot
+
+        snapshots: list[dict[str, Any]] = []
+        for index, peer in enumerate(self._peers):
+            harvest = getattr(peer, "metrics_snapshot", None)
+            if harvest is None:
+                continue
+            labels = {"shard": self.shard, "replica": index}
+            if index in self._dead:
+                snapshots.append(tombstone_snapshot(
+                    error="replica marked dead", **labels
+                ))
+                continue
+            try:
+                snapshots.append(relabel_snapshot(harvest(), labels))
+            except ReproError as exc:
+                snapshots.append(tombstone_snapshot(error=str(exc), **labels))
+        return snapshots
+
     # -- write path -------------------------------------------------------------------
 
     def _write(self, collection: str, method: str, *args: Any,

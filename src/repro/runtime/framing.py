@@ -122,6 +122,9 @@ class FrameDecoder:
 
     * ``resync_bytes`` — garbage bytes skipped while hunting (0 on a clean
       stream; a transport surfaces it as a corruption counter).
+    * ``resyncs`` — hunt *episodes*: consecutive skipped bytes count as one
+      resync, so "three corruption events" and "three thousand garbage
+      bytes" are distinguishable in the exported metrics.
     * ``pending_bytes`` — buffered bytes not yet resolved into frames (a
       partial frame mid-arrival, or a candidate the hunt has not ruled
       out).
@@ -139,7 +142,9 @@ class FrameDecoder:
             )
         self.max_frame_bytes = max_frame_bytes
         self.resync_bytes = 0
+        self.resyncs = 0
         self._buffer = bytearray()
+        self._hunting = False
 
     @property
     def pending_bytes(self) -> int:
@@ -158,7 +163,7 @@ class FrameDecoder:
             if length > self.max_frame_bytes:
                 # Implausible header: garbage byte, advance the hunt.
                 pos += 1
-                self.resync_bytes += 1
+                self._skip_byte()
                 continue
             end = pos + HEADER.size + length
             if end > size:
@@ -169,8 +174,16 @@ class FrameDecoder:
             if zlib.crc32(payload) == crc:
                 frames.append(payload)
                 pos = end
+                self._hunting = False
             else:
                 pos += 1
-                self.resync_bytes += 1
+                self._skip_byte()
         del buffer[:pos]
         return frames
+
+    def _skip_byte(self) -> None:
+        """Account one hunted-past byte; a run of them is one resync."""
+        self.resync_bytes += 1
+        if not self._hunting:
+            self._hunting = True
+            self.resyncs += 1

@@ -68,6 +68,7 @@ STORE_OPS = frozenset({
     "ping", "close", "crash", "shutdown",
     "wal_read", "replica_apply", "snapshot_export", "snapshot_install",
     "set_epoch", "replication_status", "apply_write",
+    "metrics_snapshot",
 })
 
 #: Collection-level methods a request may invoke.  ``length`` stands in for
@@ -83,18 +84,34 @@ COLLECTION_OPS = frozenset({
 
 @dataclass(frozen=True)
 class Request:
-    """One framed request: correlation id plus a batch of ops."""
+    """One framed request: correlation id plus a batch of ops.
+
+    ``trace_id``/``parent_span`` carry a sampled trace's context across
+    the process boundary (``None`` on the untraced fast path).  They ride
+    as *optional* wire keys a version-1 decoder without them would simply
+    ignore — additive evolution, no version bump.
+    """
 
     id: int
     ops: list[dict[str, Any]] = field(default_factory=list)
+    trace_id: str | None = None
+    parent_span: str | None = None
 
 
 @dataclass(frozen=True)
 class Response:
-    """One framed response: the request's id plus one result per op."""
+    """One framed response: the request's id plus one result per op.
+
+    ``spans`` returns the worker-side timing spans for a traced request
+    (``[{"stage", "start", "end"}, ...]`` in the *worker's* perf-counter
+    clock; the client rebases them — see
+    :meth:`~repro.runtime.remote.RemoteShardStore.call`).  Empty for
+    untraced requests, and optional on the wire.
+    """
 
     id: int
     results: list[dict[str, Any]] = field(default_factory=list)
+    spans: list[dict[str, Any]] = field(default_factory=list)
 
 
 def store_op(method: str, *args: Any, **kwargs: Any) -> dict[str, Any]:
@@ -140,7 +157,14 @@ def _decode(payload: bytes) -> dict[str, Any]:
 
 
 def encode_request(request: Request) -> bytes:
-    return _encode({"v": PROTOCOL_VERSION, "id": request.id, "ops": request.ops})
+    body: dict[str, Any] = {
+        "v": PROTOCOL_VERSION, "id": request.id, "ops": request.ops,
+    }
+    if request.trace_id is not None:
+        body["tid"] = request.trace_id
+        if request.parent_span is not None:
+            body["ps"] = request.parent_span
+    return _encode(body)
 
 
 def _validate_op(op: Any) -> dict[str, Any]:
@@ -168,15 +192,22 @@ def decode_request(payload: bytes) -> Request:
     ops = body.get("ops")
     if not isinstance(ops, list) or not ops:
         raise ProtocolError("request must carry a non-empty op list")
+    trace_id = body.get("tid")
+    parent_span = body.get("ps")
     return Request(
-        id=int(body.get("id", 0)), ops=[_validate_op(op) for op in ops]
+        id=int(body.get("id", 0)), ops=[_validate_op(op) for op in ops],
+        trace_id=str(trace_id) if trace_id is not None else None,
+        parent_span=str(parent_span) if parent_span is not None else None,
     )
 
 
 def encode_response(response: Response) -> bytes:
-    return _encode({
+    body: dict[str, Any] = {
         "v": PROTOCOL_VERSION, "id": response.id, "results": response.results,
-    })
+    }
+    if response.spans:
+        body["spans"] = response.spans
+    return _encode(body)
 
 
 def decode_response(payload: bytes) -> Response:
@@ -187,7 +218,14 @@ def decode_response(payload: bytes) -> Response:
     for result in results:
         if not isinstance(result, dict) or "ok" not in result:
             raise ProtocolError(f"malformed result entry: {result!r}")
-    return Response(id=int(body.get("id", 0)), results=results)
+    spans = body.get("spans", [])
+    if not isinstance(spans, list):
+        raise ProtocolError("response spans must be a list")
+    for span in spans:
+        if (not isinstance(span, dict) or "stage" not in span
+                or "start" not in span or "end" not in span):
+            raise ProtocolError(f"malformed span entry: {span!r}")
+    return Response(id=int(body.get("id", 0)), results=results, spans=spans)
 
 
 def error_to_wire(exc: BaseException) -> dict[str, Any]:

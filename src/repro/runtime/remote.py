@@ -33,6 +33,7 @@ from repro.errors import (
     WorkerCrashedError,
 )
 from repro.obs.registry import get_registry
+from repro.obs.trace import Span, current_trace
 from repro.runtime.protocol import (
     Request,
     collection_op,
@@ -177,6 +178,12 @@ class RemoteShardStore:
         self._bytes_received = registry.counter(
             "repro_rpc_bytes_received_total", labels=label
         )
+        self._frame_resyncs = registry.counter(
+            "repro_frame_resyncs_total", labels=label
+        )
+        self._frame_garbage = registry.counter(
+            "repro_frame_garbage_bytes_total", labels=label
+        )
 
     # -- request plumbing ---------------------------------------------------------
 
@@ -187,10 +194,21 @@ class RemoteShardStore:
         The first failed op's exception is rehydrated and raised; a
         transport failure mid-request raises
         :class:`~repro.errors.WorkerCrashedError`.
+
+        When the calling thread carries an active trace context
+        (:func:`~repro.obs.trace.current_trace`), the trace id rides the
+        request and the worker's timing spans come back in the response —
+        rebased here into this process's clock and staged on the tracer.
         """
+        context = current_trace()
+        ended = 0.0
         with self._lock:
             self._next_id += 1
-            request = Request(id=self._next_id, ops=ops)
+            request = Request(
+                id=self._next_id, ops=ops,
+                trace_id=context[1] if context is not None else None,
+                parent_span=context[2] if context is not None else None,
+            )
             stats = getattr(self.transport, "stats", None)
             started = time.perf_counter()
             try:
@@ -198,6 +216,7 @@ class RemoteShardStore:
                 payload = self.transport.recv(
                     timeout=self.timeout if timeout is None else timeout
                 )
+                ended = time.perf_counter()
             except TransportError as exc:
                 self._crashed = True
                 raise WorkerCrashedError(
@@ -216,6 +235,15 @@ class RemoteShardStore:
                     self._bytes_received.inc(
                         stats.bytes_received - self._bytes_received.value
                     )
+                    resyncs = getattr(self.transport, "resyncs", None)
+                    if resyncs is not None:
+                        self._frame_resyncs.inc(
+                            resyncs - self._frame_resyncs.value
+                        )
+                        self._frame_garbage.inc(
+                            self.transport.resync_bytes
+                            - self._frame_garbage.value
+                        )
         response = decode_response(payload)
         if response.id != request.id:
             raise ProtocolError(
@@ -227,12 +255,50 @@ class RemoteShardStore:
                 f"{len(response.results)} results for {len(ops)} ops "
                 f"(shard {self.shard})"
             )
+        if context is not None and response.spans:
+            self._splice_remote_spans(context, response.spans, started, ended)
         values: list[Any] = []
         for result in response.results:
             if not result.get("ok"):
                 raise wire_to_error(result)
             values.append(result.get("value"))
         return values
+
+    def _splice_remote_spans(self, context: tuple[Any, str, str],
+                             spans: list[dict[str, Any]],
+                             t0: float, t1: float) -> None:
+        """Rebase worker-clock spans into this process's clock and stage
+        them on the tracer for the trace's completion.
+
+        ``perf_counter`` values are process-local, so the worker's window
+        is centered inside the client's observed roundtrip ``[t0, t1]`` —
+        the symmetric-delay assumption every clock-sync protocol starts
+        from.  The gap between ``t0`` and the rebased first worker stamp
+        is then the request's queue dwell (transit + time parked in the
+        worker's socket buffer), synthesized as its own span.
+        """
+        tracer, trace_id, _parent_stage = context
+        starts = [float(span["start"]) for span in spans]
+        ends = [float(span["end"]) for span in spans]
+        w0 = min(starts)
+        window = max(ends) - w0
+        offset = t0 + ((t1 - t0) - window) / 2.0 - w0
+        rebased = [
+            Span(
+                stage=str(span["stage"]),
+                start=float(span["start"]) + offset,
+                end=float(span["end"]) + offset,
+                shard=self.shard,
+                remote=True,
+            )
+            for span in spans
+        ]
+        dwell_end = max(w0 + offset, t0)
+        rebased.insert(0, Span(
+            stage="rpc_queue_dwell", start=t0, end=dwell_end,
+            shard=self.shard, remote=True,
+        ))
+        tracer.add_remote_spans(trace_id, rebased)
 
     def _store_call(self, method: str, *args: Any, **kwargs: Any) -> Any:
         return self.call([store_op(method, *args, **kwargs)])[0]
@@ -262,6 +328,10 @@ class RemoteShardStore:
 
     def journal_ops_since_snapshot(self) -> int:
         return self._store_call("journal_ops_since_snapshot")
+
+    def metrics_snapshot(self, timeout: float | None = None) -> dict[str, Any]:
+        """The worker process's full metrics snapshot (one harvest RPC)."""
+        return self.call([store_op("metrics_snapshot")], timeout=timeout)[0]
 
     # -- replication surface ------------------------------------------------------
     #

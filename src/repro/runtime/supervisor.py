@@ -244,6 +244,34 @@ class WorkerSupervisor:
             results = list(pool.map(probe, range(self.num_shards)))
         return dict(enumerate(results))
 
+    # -- metrics harvest ----------------------------------------------------------
+
+    def collect_metrics(self, timeout: float = 5.0) -> list[dict[str, Any]]:
+        """Harvest every worker's metrics snapshot **in parallel**.
+
+        One ``metrics_snapshot`` RPC per live worker, fanned out on
+        threads like :meth:`health_check`.  A dead or unresponsive worker
+        contributes a :func:`~repro.obs.aggregate.tombstone_snapshot`
+        instead of an exception — a harvest must degrade, not die, when
+        part of the fleet does.  Snapshots come back relabeled with
+        ``{"shard": i}`` so one worker's series never collide with
+        another's in the merge.
+        """
+        from repro.obs.aggregate import relabel_snapshot, tombstone_snapshot
+
+        def harvest(index: int) -> dict[str, Any]:
+            store = self._stores[index]
+            if not self.is_alive(index) or store is None:
+                return tombstone_snapshot(shard=index, error="no running worker")
+            try:
+                snapshot = store.metrics_snapshot(timeout=timeout)
+            except ProcessPlaneError as exc:
+                return tombstone_snapshot(shard=index, error=str(exc))
+            return relabel_snapshot(snapshot, {"shard": index})
+
+        with ThreadPoolExecutor(max_workers=self.num_shards) as pool:
+            return list(pool.map(harvest, range(self.num_shards)))
+
     # -- teardown -----------------------------------------------------------------
 
     def shutdown(self, timeout: float = 10.0) -> None:

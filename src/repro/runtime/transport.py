@@ -91,6 +91,11 @@ class LoopbackTransport:
         """Garbage bytes the reader hunted past (corruption indicator)."""
         return self._decoder.resync_bytes
 
+    @property
+    def resyncs(self) -> int:
+        """Resynchronization episodes (runs of hunted bytes)."""
+        return self._decoder.resyncs
+
     def send(self, payload: bytes) -> None:
         if self._closed:
             raise TransportClosedError("send on closed loopback transport")
@@ -157,6 +162,10 @@ class SocketTransport:
     @property
     def resync_bytes(self) -> int:
         return self._decoder.resync_bytes
+
+    @property
+    def resyncs(self) -> int:
+        return self._decoder.resyncs
 
     def fileno(self) -> int:
         return self._sock.fileno()

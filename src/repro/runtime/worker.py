@@ -24,6 +24,7 @@ from __future__ import annotations
 import os
 import socket
 import sys
+import time
 from pathlib import Path
 from typing import Any
 
@@ -110,7 +111,30 @@ class ShardWorker:
             if hasattr(self.store, "checkpoint"):
                 return self.store.checkpoint()
             return None
+        if method == "metrics_snapshot":
+            return self._metrics_snapshot()
         return getattr(self.store, method)(*args, **kwargs)
+
+    def _metrics_snapshot(self) -> dict[str, Any]:
+        """This process's full metrics snapshot (the harvest op).
+
+        The transport's framing stats are mirrored into the registry
+        first, so resync episodes and garbage bytes the worker hunted
+        past surface in the merged cluster snapshot as
+        ``repro_frame_resyncs_total`` / ``repro_frame_garbage_bytes_total``
+        (the harvest relabels them with the shard).
+        """
+        from repro.obs.export import build_snapshot
+        from repro.obs.registry import get_registry
+
+        registry = get_registry()
+        resyncs = getattr(self.transport, "resyncs", None)
+        if resyncs is not None:
+            counter = registry.counter("repro_frame_resyncs_total")
+            counter.inc(resyncs - counter.value)
+            garbage = registry.counter("repro_frame_garbage_bytes_total")
+            garbage.inc(self.transport.resync_bytes - garbage.value)
+        return build_snapshot(registry, role="worker")
 
     def _execute_collection(self, name: str, method: str, args: list[Any],
                             kwargs: dict[str, Any]) -> Any:
@@ -156,8 +180,28 @@ class ShardWorker:
             # error rides id -1 and the client surfaces the mismatch.
             self._send(Response(id=-1, results=[error_to_wire(exc)]))
             return self._running
+        if request.trace_id is None:
+            results = [self._execute(op) for op in request.ops]
+            self._send(Response(id=request.id, results=results))
+            return self._running
+        # Traced request (sampled, ~1/N): time op execution and result
+        # encoding separately, in this worker's perf-counter clock.  The
+        # extra encode pass prices the serialization the real reply pays;
+        # the client rebases the stamps into its own clock and splices
+        # the spans into the e2e trace.
+        w0 = time.perf_counter()
         results = [self._execute(op) for op in request.ops]
-        self._send(Response(id=request.id, results=results))
+        w1 = time.perf_counter()
+        try:
+            encode_response(Response(id=request.id, results=results))
+        except ProtocolError:
+            pass  # _send's fallback path will repair the results
+        w2 = time.perf_counter()
+        spans = [
+            {"stage": "rpc_execute", "start": w0, "end": w1},
+            {"stage": "rpc_encode", "start": w1, "end": w2},
+        ]
+        self._send(Response(id=request.id, results=results, spans=spans))
         return self._running
 
     def _send(self, response: Response) -> None:
@@ -176,7 +220,9 @@ class ShardWorker:
                         results.append(error_to_wire(exc))
                 else:
                     results.append(result)
-            payload = encode_response(Response(id=response.id, results=results))
+            payload = encode_response(
+                Response(id=response.id, results=results, spans=response.spans)
+            )
         try:
             self.transport.send(payload)
         except TransportError:

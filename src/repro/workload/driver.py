@@ -58,7 +58,6 @@ from repro.datasets.incidents import IncidentReportGenerator
 from repro.datasets.sitasys import SitasysGenerator
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.pipeline import FeaturePipeline
-from repro.obs.export import build_snapshot
 from repro.obs.registry import get_registry
 from repro.obs.trace import Tracer
 from repro.storage.store import DocumentStore
@@ -201,6 +200,13 @@ class LoadDriver:
         Stamp one of every N produced records with a trace context (see
         :class:`~repro.obs.trace.Tracer`); the consumer closes each trace
         with queue-dwell plus per-stage spans.  1 traces everything.
+    metrics_port:
+        When set, serve the live cluster telemetry endpoint
+        (``/metrics`` Prometheus text, ``/metrics.json``, ``/healthz``)
+        on ``127.0.0.1:<port>`` for the duration of :meth:`run` (0 binds
+        an ephemeral port — read it off ``driver.metrics_server.port``).
+        Every scrape harvests and merges the current worker snapshots,
+        so mid-run worker-side series are visible live.
     """
 
     def __init__(self, scenario: Scenario, seed: int | None = None,
@@ -214,7 +220,8 @@ class LoadDriver:
                  process_shards: bool = False,
                  replicas: int = 1, replica_ack: str = "sync",
                  replica_read_from: str = "leader",
-                 trace_sample_every: int = 32) -> None:
+                 trace_sample_every: int = 32,
+                 metrics_port: int | None = None) -> None:
         if speedup <= 0:
             raise ConfigurationError(f"speedup must be > 0, got {speedup}")
         if shards < 1:
@@ -325,6 +332,14 @@ class LoadDriver:
         #: ``None`` until the first run when nothing was injected.
         self.ops: OpsMetrics | None = ops
         self.tracer = Tracer(sample_every=trace_sample_every)
+        if metrics_port is not None and not 0 <= metrics_port <= 65535:
+            raise ConfigurationError(
+                f"metrics_port must be in [0, 65535], got {metrics_port}"
+            )
+        self.metrics_port = metrics_port
+        #: The live :class:`~repro.obs.http.MetricsHTTPServer` while
+        #: :meth:`run` is executing with ``metrics_port`` set, else None.
+        self.metrics_server: Any = None
         self._backpressure_waits = 0
         self._bp_lock = threading.Lock()
 
@@ -766,7 +781,31 @@ class LoadDriver:
         the pipeline is crashed (losing all un-fsynced state) and recovered
         from disk, and the next phase continues against the recovered
         components under the same consumer group.
+
+        With ``metrics_port`` set, the live telemetry endpoint serves
+        ``/metrics`` + ``/healthz`` for the duration of the run.
         """
+        server = None
+        if self.metrics_port is not None:
+            from repro.obs.http import ClusterTelemetry, MetricsHTTPServer
+
+            # Callables, not values: the store is rebuilt across
+            # crash-recovery phases and the telemetry must follow it.
+            telemetry = ClusterTelemetry(
+                registry=get_registry,
+                tracer=lambda: self.tracer,
+                store=lambda: self.store,
+            )
+            server = MetricsHTTPServer(telemetry, port=self.metrics_port)
+            self.metrics_server = server.start()
+        try:
+            return self._run(max_batch_records)
+        finally:
+            if server is not None:
+                server.stop()
+                self.metrics_server = None
+
+    def _run(self, max_batch_records: int | None) -> LoadTestReport:
         scenario = self.scenario
         timeline = self.build_timeline()
         crash_points = sorted(
@@ -904,6 +943,21 @@ class LoadDriver:
             shard_recoveries=list(self._shard_recoveries),
             replicas=self.replicas,
             failovers=list(self._failovers),
-            metrics=build_snapshot(get_registry(), tracer=self.tracer),
+            metrics=self._cluster_metrics(),
             traces=self.tracer.trace_documents(),
+        )
+
+    def _cluster_metrics(self) -> dict[str, Any]:
+        """The report's ``metrics`` field: the *merged* cluster snapshot.
+
+        In process-shard mode the parent snapshot merges with a harvest of
+        every worker (their WAL/journal/planner series surface with
+        ``{shard[, replica]}`` labels); otherwise — or when no worker
+        answers — this degrades to exactly the parent-only snapshot the
+        report carried before, same schema, so old callers keep working.
+        """
+        from repro.obs.aggregate import collect_cluster_snapshot
+
+        return collect_cluster_snapshot(
+            get_registry(), tracer=self.tracer, store=self.store,
         )

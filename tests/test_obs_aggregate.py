@@ -1,0 +1,254 @@
+"""Tests for cross-process snapshot merging (:mod:`repro.obs.aggregate`).
+
+The merge invariants that make cluster-wide telemetry trustworthy:
+
+* merging per-process histogram snapshots is *exactly* equivalent to
+  having observed the union of samples in one registry — counts, sums,
+  extrema, percentiles and jitter all match, because the merge works
+  bucket-by-bucket and pools sum-of-squares rather than approximating;
+* counters sum by series key; gauges take a ``process``-labeled
+  last-writer; merging is associative and commutative;
+* tombstones (dead workers) contribute no series but stay visible in
+  the merged ``meta.processes`` audit trail.
+"""
+
+import math
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.obs.aggregate import (
+    collect_cluster_snapshot,
+    relabel_snapshot,
+    snapshot_merge,
+    tombstone_snapshot,
+)
+from repro.obs.export import build_snapshot
+from repro.obs.registry import MetricsRegistry
+
+
+def _snap(role="worker", **series):
+    """Build a snapshot from ``name -> value`` counter shorthand."""
+    registry = MetricsRegistry()
+    for name, value in series.items():
+        registry.counter(name).inc(value)
+    return build_snapshot(registry, role=role)
+
+
+# -- histograms ---------------------------------------------------------------------
+
+
+samples_strategy = st.lists(
+    st.floats(min_value=1e-6, max_value=30.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=0, max_size=60,
+)
+
+
+@given(samples_strategy, samples_strategy, samples_strategy)
+@settings(max_examples=80, deadline=None)
+def test_histogram_merge_equals_union_of_samples(a, b, c):
+    parts = []
+    for chunk in (a, b, c):
+        registry = MetricsRegistry()
+        if chunk:
+            registry.histogram("repro_lat_seconds").observe_many(chunk)
+        parts.append(build_snapshot(registry, role="worker"))
+    union_registry = MetricsRegistry()
+    union = a + b + c
+    if union:
+        union_registry.histogram("repro_lat_seconds").observe_many(union)
+    expected = build_snapshot(union_registry)["histograms"].get(
+        "repro_lat_seconds"
+    )
+
+    merged = snapshot_merge(parts)["histograms"].get("repro_lat_seconds")
+    if not union:
+        assert merged is None or merged["count"] == 0
+        return
+    assert merged["count"] == expected["count"] == len(union)
+    for field in ("sum", "min", "max", "mean", "jitter",
+                  "p50", "p95", "p99", "p999"):
+        assert merged[field] == pytest.approx(expected[field], abs=1e-9), (
+            f"{field}: merged {merged[field]} != union {expected[field]}"
+        )
+    assert [b[1] for b in merged["buckets"]] == \
+        [b[1] for b in expected["buckets"]]
+
+
+def test_histogram_merge_ignores_empty_side_extrema():
+    # An empty histogram summary reports 0.0 min/max placeholders; they
+    # must not pollute the pooled extrema of the non-empty side.
+    empty = MetricsRegistry()
+    empty.histogram("repro_lat_seconds")  # registered, never observed
+    full = MetricsRegistry()
+    full.histogram("repro_lat_seconds").observe_many([3.0, 5.0])
+    merged = snapshot_merge([
+        build_snapshot(empty), build_snapshot(full),
+    ])["histograms"]["repro_lat_seconds"]
+    assert merged["count"] == 2
+    assert merged["min"] == pytest.approx(3.0)
+    assert merged["max"] == pytest.approx(5.0)
+
+
+def test_histogram_merge_rejects_mismatched_bucket_layouts():
+    one = MetricsRegistry()
+    one.histogram("repro_h", buckets=(1.0, 2.0)).observe(0.5)
+    other = MetricsRegistry()
+    other.histogram("repro_h", buckets=(1.0, 4.0)).observe(0.5)
+    with pytest.raises(ValueError, match="mismatched bucket layouts"):
+        snapshot_merge([build_snapshot(one), build_snapshot(other)])
+
+
+# -- counters and gauges ------------------------------------------------------------
+
+
+def test_counters_sum_by_series_key():
+    merged = snapshot_merge([
+        _snap(repro_a_total=3, repro_b_total=10),
+        _snap(repro_a_total=4),
+    ])
+    assert merged["counters"]["repro_a_total"]["value"] == 7
+    assert merged["counters"]["repro_b_total"]["value"] == 10
+
+
+def test_counters_with_labels_keep_distinct_series():
+    one = MetricsRegistry()
+    one.counter("repro_ops_total", labels={"shard": "0"}).inc(2)
+    two = MetricsRegistry()
+    two.counter("repro_ops_total", labels={"shard": "1"}).inc(5)
+    merged = snapshot_merge([build_snapshot(one), build_snapshot(two)])
+    assert merged["counters"]['repro_ops_total{shard="0"}']["value"] == 2
+    assert merged["counters"]['repro_ops_total{shard="1"}']["value"] == 5
+
+
+def test_gauges_take_process_labeled_last_writer():
+    old = MetricsRegistry()
+    old.gauge("repro_depth").set(4.0)
+    new = MetricsRegistry()
+    new.gauge("repro_depth").set(9.0)
+    snaps = [build_snapshot(old), build_snapshot(new)]
+    # Force a deterministic recency order regardless of wall clock.
+    snaps[0]["meta"].update(collected_at=100.0, sequence=1, pid=111)
+    snaps[1]["meta"].update(collected_at=200.0, sequence=2, pid=222)
+    merged = snapshot_merge(snaps)
+    assert 'repro_depth{process="111"}' in merged["gauges"]
+    assert merged["gauges"]['repro_depth{process="222"}']["value"] == 9.0
+
+
+def test_gauge_winner_is_order_independent():
+    snaps = []
+    for pid, value in ((10, 1.0), (20, 2.0)):
+        registry = MetricsRegistry()
+        registry.gauge("repro_g").set(value)
+        snap = build_snapshot(registry)
+        snap["meta"].update(collected_at=50.0, sequence=3, pid=pid)
+        snaps.append(snap)
+    forward = snapshot_merge(snaps)["gauges"]
+    backward = snapshot_merge(list(reversed(snaps)))["gauges"]
+    assert forward == backward
+
+
+# -- algebraic properties -----------------------------------------------------------
+
+
+def test_merge_is_associative_and_commutative():
+    registries = []
+    for i in range(3):
+        registry = MetricsRegistry()
+        registry.counter("repro_total").inc(i + 1)
+        registry.histogram("repro_lat_seconds").observe_many(
+            [0.001 * (i + 1), 0.1 * (i + 1)]
+        )
+        registries.append(registry)
+    a, b, c = (build_snapshot(r, role="worker") for r in registries)
+    left = snapshot_merge([snapshot_merge([a, b]), c])
+    right = snapshot_merge([a, snapshot_merge([b, c])])
+    flat = snapshot_merge([c, a, b])
+    for merged in (right, flat):
+        assert merged["counters"] == left["counters"]
+        assert merged["histograms"] == left["histograms"]
+    # Merge-of-merges flattens, never nests, the process audit trail.
+    assert len(left["meta"]["processes"]) == 3
+
+
+def test_merge_edge_inputs():
+    with pytest.raises(ValueError):
+        snapshot_merge([])
+    single = _snap(repro_total=5)
+    merged = snapshot_merge([single])
+    assert merged["counters"]["repro_total"]["value"] == 5
+    assert merged["meta"]["role"] == "cluster"
+    # Disjoint metric sets union cleanly.
+    merged = snapshot_merge([_snap(repro_x_total=1), _snap(repro_y_total=2)])
+    assert set(merged["counters"]) == {"repro_x_total", "repro_y_total"}
+
+
+def test_merge_enabled_flag_is_or():
+    on = _snap(repro_total=1)
+    off = _snap(repro_total=1)
+    off["enabled"] = False
+    assert snapshot_merge([off, on])["enabled"] is True
+    assert snapshot_merge([off, off])["enabled"] is False
+
+
+def test_merge_collects_traces_sorted():
+    a = _snap()
+    a["traces"] = [{"trace_id": "t-02", "spans": []}]
+    b = _snap()
+    b["traces"] = [{"trace_id": "t-01", "spans": []}]
+    merged = snapshot_merge([a, b])
+    assert [t["trace_id"] for t in merged["traces"]] == ["t-01", "t-02"]
+
+
+# -- tombstones and relabeling ------------------------------------------------------
+
+
+def test_tombstones_carry_no_series_but_stay_auditable():
+    live = _snap(repro_total=4)
+    dead = tombstone_snapshot(shard=3, error="no running worker")
+    merged = snapshot_merge([live, dead])
+    assert merged["counters"]["repro_total"]["value"] == 4
+    tombstones = [p for p in merged["meta"]["processes"]
+                  if p.get("tombstone")]
+    assert len(tombstones) == 1
+    assert tombstones[0]["shard"] == 3
+    assert tombstones[0]["error"] == "no running worker"
+
+
+def test_relabel_adds_labels_without_clobbering_existing():
+    registry = MetricsRegistry()
+    registry.counter("repro_total", labels={"shard": "9"}).inc(1)
+    registry.counter("repro_plain_total").inc(2)
+    registry.histogram("repro_lat_seconds").observe(0.01)
+    registry.gauge("repro_depth").set(1.0)
+    relabeled = relabel_snapshot(
+        build_snapshot(registry), {"shard": 0, "replica": 1}
+    )
+    # Pre-existing labels win on collision; new ones attach everywhere.
+    assert 'repro_total{replica="1",shard="9"}' in relabeled["counters"]
+    assert 'repro_plain_total{replica="1",shard="0"}' in relabeled["counters"]
+    assert 'repro_lat_seconds{replica="1",shard="0"}' in relabeled["histograms"]
+    assert 'repro_depth{replica="1",shard="0"}' in relabeled["gauges"]
+
+
+def test_collect_cluster_snapshot_without_store_is_parent_passthrough():
+    registry = MetricsRegistry()
+    registry.counter("repro_total").inc(3)
+    snapshot = collect_cluster_snapshot(registry)
+    assert snapshot["counters"]["repro_total"]["value"] == 3
+    assert snapshot["meta"]["role"] == "parent"
+
+
+def test_collect_cluster_snapshot_merges_worker_harvest():
+    class FakeStore:
+        def collect_metrics(self):
+            return [relabel_snapshot(_snap(repro_total=2), {"shard": 0})]
+
+    registry = MetricsRegistry()
+    registry.counter("repro_total").inc(1)
+    snapshot = collect_cluster_snapshot(registry, store=FakeStore())
+    assert snapshot["meta"]["role"] == "cluster"
+    assert snapshot["counters"]["repro_total"]["value"] == 1
+    assert snapshot["counters"]['repro_total{shard="0"}']["value"] == 2

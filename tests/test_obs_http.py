@@ -1,0 +1,215 @@
+"""Tests for the live /metrics + /healthz endpoint (:mod:`repro.obs.http`).
+
+Served over an ephemeral port and scraped with urllib, same as an
+external Prometheus would: the text route must parse as valid exposition
+format, the JSON route must round-trip the merged snapshot schema, and
+/healthz must flip between 200 and 503 with shard liveness.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import WorkerCrashedError
+from repro.obs.export import build_snapshot
+from repro.obs.http import (
+    PROMETHEUS_CONTENT_TYPE,
+    ClusterTelemetry,
+    MetricsHTTPServer,
+    StaticTelemetry,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def _sample_registry():
+    registry = MetricsRegistry()
+    registry.counter("repro_demo_total", labels={"q": 'a"b\\c'}).inc(5)
+    registry.histogram("repro_demo_seconds").observe_many([0.002, 0.2])
+    return registry
+
+
+def _parse_prometheus(text):
+    """Minimal exposition-format validation: every non-comment line is
+    ``series value`` with a float-parseable value."""
+    series = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        key, value = line.rsplit(" ", 1)
+        series[key] = float(value)
+    return series
+
+
+class TestRoutes:
+    @pytest.fixture()
+    def server(self):
+        provider = ClusterTelemetry(registry=_sample_registry())
+        with MetricsHTTPServer(provider) as running:
+            yield running
+
+    def test_metrics_is_valid_prometheus_text(self, server):
+        status, headers, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        series = _parse_prometheus(body.decode("utf-8"))
+        assert series['repro_demo_total{q="a\\"b\\\\c"}'] == 5.0
+        assert series["repro_demo_seconds_count"] == 2.0
+
+    def test_metrics_json_round_trips_schema(self, server):
+        status, headers, body = _get(server.url + "/metrics.json")
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        snapshot = json.loads(body)
+        assert snapshot["schema"] == "repro.metrics/v1"
+        # JSON keys carry raw label values; only /metrics escapes them.
+        assert snapshot["counters"]['repro_demo_total{q="a"b\\c"}'][
+            "value"] == 5
+
+    def test_healthz_ok_when_no_cluster_attached(self, server):
+        status, _, body = _get(server.url + "/healthz")
+        assert status == 200
+        assert json.loads(body)["healthy"] is True
+
+    def test_unknown_path_is_404(self, server):
+        status, _, _ = _get(server.url + "/nope")
+        assert status == 404
+
+    def test_query_strings_are_ignored(self, server):
+        status, _, _ = _get(server.url + "/metrics?format=text")
+        assert status == 200
+
+    def test_provider_failure_is_500_not_crash(self):
+        class Broken:
+            def cluster_snapshot(self):
+                raise RuntimeError("harvest exploded")
+
+            def health(self):
+                return {"healthy": True}
+
+        with MetricsHTTPServer(Broken()) as server:
+            status, _, body = _get(server.url + "/metrics")
+            assert status == 500
+            assert b"harvest exploded" in body
+            # The server survives and keeps answering.
+            status, _, _ = _get(server.url + "/healthz")
+            assert status == 200
+
+    def test_stop_is_idempotent(self):
+        server = MetricsHTTPServer(StaticTelemetry({"histograms": {}}))
+        server.start()
+        server.stop()
+        server.stop()
+
+
+class TestClusterHealth:
+    class FakeReplicaSet:
+        def __init__(self, shard, alive=True, dead=()):
+            self.shard = shard
+            self.epoch = 2
+            self.leader_index = 0
+            self._alive = alive
+            self._dead = set(dead)
+
+        def fail_over(self):  # marker attribute for kind detection
+            raise NotImplementedError
+
+        def leader_alive(self):
+            return self._alive
+
+        def replication_lag(self):
+            return {1: 0}
+
+    class FakeWorkerStore:
+        def __init__(self, alive=True):
+            self.pid = 4321
+            self._alive = alive
+
+        def metrics_snapshot(self, timeout=None):  # marker attribute
+            return {}
+
+        def ping(self, timeout=None):
+            if not self._alive:
+                raise WorkerCrashedError("worker is gone")
+            return {"pid": self.pid}
+
+    class FakeSharded:
+        def __init__(self, shards, supervisor=None):
+            self.shards = shards
+            if supervisor is not None:
+                self.supervisor = supervisor
+
+    class FakeSupervisor:
+        def __init__(self, attempts):
+            self._attempts = attempts
+            self.num_shards = len(attempts)
+
+        def restart_attempts(self, index):
+            return self._attempts[index]
+
+    def test_dead_follower_is_degraded_but_healthy(self):
+        store = self.FakeSharded([self.FakeReplicaSet(0, dead=(1,))])
+        health = ClusterTelemetry(store=store).health()
+        assert health["healthy"] is True
+        assert health["shards"][0]["dead_replicas"] == [1]
+
+    def test_dead_leader_is_unhealthy(self):
+        store = self.FakeSharded([
+            self.FakeReplicaSet(0),
+            self.FakeReplicaSet(1, alive=False),
+        ])
+        health = ClusterTelemetry(store=store).health()
+        assert health["healthy"] is False
+        assert [s["healthy"] for s in health["shards"]] == [True, False]
+
+    def test_unreplicated_worker_health_follows_ping(self):
+        alive = self.FakeSharded([self.FakeWorkerStore()])
+        assert ClusterTelemetry(store=alive).health()["healthy"] is True
+        dead = self.FakeSharded([self.FakeWorkerStore(alive=False)])
+        health = ClusterTelemetry(store=dead).health()
+        assert health["healthy"] is False
+        assert "worker is gone" in health["shards"][0]["error"]
+
+    def test_crash_looping_worker_flips_overall_health(self):
+        store = self.FakeSharded(
+            [self.FakeWorkerStore()],
+            supervisor=self.FakeSupervisor([3]),
+        )
+        health = ClusterTelemetry(store=store).health()
+        assert health["healthy"] is False
+        assert health["crash_looping_workers"] == [0]
+
+    def test_single_replica_set_store_is_accepted(self):
+        health = ClusterTelemetry(store=self.FakeReplicaSet(2)).health()
+        assert health["healthy"] is True
+        assert health["shards"][0]["shard"] == 2
+
+    def test_callable_sources_resolve_per_request(self):
+        # The driver hands callables because its store is rebuilt across
+        # crash phases; each health() call must see the current object.
+        stores = [self.FakeSharded([self.FakeReplicaSet(0, alive=False)]),
+                  self.FakeSharded([self.FakeReplicaSet(0)])]
+        telemetry = ClusterTelemetry(store=lambda: stores[-1])
+        assert telemetry.health()["healthy"] is True
+        stores.append(self.FakeSharded([self.FakeReplicaSet(0, alive=False)]))
+        assert telemetry.health()["healthy"] is False
+
+
+def test_static_provider_serves_saved_snapshot():
+    snapshot = build_snapshot(_sample_registry())
+    with MetricsHTTPServer(StaticTelemetry(snapshot)) as server:
+        status, _, body = _get(server.url + "/metrics")
+        assert status == 200
+        assert b"repro_demo_seconds_count" in body
+        status, _, body = _get(server.url + "/healthz")
+        assert status == 200
+        assert json.loads(body)["static"] is True

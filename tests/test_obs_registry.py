@@ -266,6 +266,25 @@ class TestExporters:
         counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
         assert counts == [1, 2, 3]
 
+    def test_prometheus_escapes_label_values(self):
+        # Backslash, double-quote and newline must come out as \\, \" and
+        # \n per the exposition format, and backslash must be escaped
+        # first so the other escapes aren't double-mangled.
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_esc_total", labels={"p": 'a"b\\c\nd'}
+        ).inc(1)
+        text = render_prometheus(registry.snapshot())
+        assert 'repro_esc_total{p="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_prometheus_escaped_output_has_no_raw_newlines_in_series(self):
+        registry = MetricsRegistry()
+        registry.gauge("repro_g", labels={"q": "line1\nline2"}).set(3.0)
+        text = render_prometheus(registry.snapshot())
+        series_lines = [l for l in text.splitlines()
+                        if l.startswith("repro_g")]
+        assert series_lines == ['repro_g{q="line1\\nline2"} 3.0']
+
     def test_pretty_render_mentions_series(self):
         out = render_pretty(self._sample_snapshot())
         assert "repro_lat_seconds" in out

@@ -158,6 +158,41 @@ def test_single_bit_flip_loses_at_most_the_corrupted_frame(data):
     assert decoder.resync_bytes > 0
 
 
+def test_resync_episodes_count_runs_not_bytes():
+    # A run of consecutive hunted-past garbage bytes is ONE resync
+    # episode, however long; resync_bytes still counts every byte.  The
+    # distinction is what makes the exported counters diagnosable: many
+    # resyncs = flaky peer, few resyncs with many bytes = one big tear.
+    decoder = FrameDecoder(max_frame_bytes=1024)
+    first_garbage, second_garbage = b"\xff" * 17, b"\xff" * 5
+    got = decoder.feed(first_garbage + pack_frame(b"one"))
+    assert got == [b"one"]
+    assert decoder.resyncs == 1
+    assert decoder.resync_bytes == len(first_garbage)
+    got = decoder.feed(second_garbage + pack_frame(b"two"))
+    assert got == [b"two"]
+    assert decoder.resyncs == 2
+    assert decoder.resync_bytes == len(first_garbage) + len(second_garbage)
+
+
+def test_resync_episode_spans_chunked_feeds():
+    # Hunting across feed() boundaries is still one episode: the run only
+    # ends when a frame is delivered, not when the input buffer drains.
+    decoder = FrameDecoder(max_frame_bytes=1024)
+    decoder.feed(b"\xff" * 8)
+    decoder.feed(b"\xff" * 8)
+    assert decoder.feed(pack_frame(b"ok")) == [b"ok"]
+    assert decoder.resyncs == 1
+    assert decoder.resync_bytes == 16
+
+
+def test_clean_stream_has_zero_resync_episodes():
+    decoder = FrameDecoder()
+    assert decoder.feed(pack_frames([b"a", b"b", b"c"])) == [b"a", b"b", b"c"]
+    assert decoder.resyncs == 0
+    assert decoder.resync_bytes == 0
+
+
 def test_bit_flipped_wal_prefix_stops_at_corruption():
     payloads = [b"one", b"two", b"three"]
     stream = bytearray(pack_frames(payloads))

@@ -251,3 +251,108 @@ def test_worker_rejects_oversized_batch_reply_gracefully():
     finally:
         client.shutdown()
         thread.join(timeout=5.0)
+
+
+# -- trace propagation and metrics harvest ------------------------------------------
+
+
+def test_trace_fields_round_trip_and_stay_optional():
+    import json
+
+    traced = Request(id=3, ops=[store_op("ping")],
+                     trace_id="t-00000042", parent_span="store")
+    decoded = decode_request(encode_request(traced))
+    assert decoded.trace_id == "t-00000042"
+    assert decoded.parent_span == "store"
+
+    # Untraced requests must not grow wire keys: protocol v1 stays
+    # readable by peers that predate tracing.
+    bare = json.loads(encode_request(Request(id=4, ops=[store_op("ping")])))
+    assert "tid" not in bare and "ps" not in bare
+    assert decode_request(encode_request(Request(id=4, ops=[store_op("ping")]))
+                          ).trace_id is None
+
+    spans = [{"stage": "rpc_execute", "start": 1.0, "end": 2.0}]
+    response = Response(id=3, results=[{"ok": True, "value": None}],
+                        spans=spans)
+    assert decode_response(encode_response(response)).spans == spans
+    plain = json.loads(encode_response(
+        Response(id=4, results=[{"ok": True, "value": None}])
+    ))
+    assert "spans" not in plain
+
+
+def test_decode_rejects_malformed_spans():
+    import json
+
+    body = {
+        "v": PROTOCOL_VERSION, "id": 1,
+        "results": [{"ok": True, "value": None}],
+        "spans": [{"stage": "rpc_execute"}],  # missing start/end
+    }
+    with pytest.raises(ProtocolError, match="malformed span"):
+        decode_response(json.dumps(body).encode())
+    body["spans"] = "not-a-list"
+    with pytest.raises(ProtocolError, match="spans must be a list"):
+        decode_response(json.dumps(body).encode())
+
+
+def test_metrics_snapshot_op_returns_worker_snapshot(loopback_worker):
+    client, worker = loopback_worker
+    client.collection("alarms").insert_one({"n": 1})
+    snapshot = client.metrics_snapshot()
+    assert snapshot["schema"] == "repro.metrics/v1"
+    assert snapshot["meta"]["role"] == "worker"
+    assert snapshot["meta"]["pid"] > 0
+
+
+def test_worker_exports_frame_resync_counters(loopback_worker):
+    client, worker = loopback_worker
+    coll = client.collection("alarms")
+    coll.insert_one({"n": 1})
+    client.transport.inject(b"\xff" * 9)  # one garbage run hits the worker
+    assert coll.count({}) == 1
+    snapshot = client.metrics_snapshot()
+    resyncs = snapshot["counters"].get("repro_frame_resyncs_total")
+    garbage = snapshot["counters"].get("repro_frame_garbage_bytes_total")
+    assert resyncs is not None and resyncs["value"] == 1
+    assert garbage is not None and garbage["value"] == 9
+
+
+def test_traced_request_splices_worker_spans_into_parent_trace(loopback_worker):
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.trace import Tracer, trace_context
+
+    client, worker = loopback_worker
+    tracer = Tracer(sample_every=1, registry=MetricsRegistry())
+    with trace_context(tracer, "t-00000001", "store"):
+        client.collection("alarms").insert_one({"uid": "traced"})
+    trace = tracer.record("t-00000001", [("store", 0.0, 1e-5)])
+
+    stages = [span.stage for span in trace.spans]
+    assert "rpc_execute" in stages
+    assert "rpc_encode" in stages
+    assert "rpc_queue_dwell" in stages
+    remote = {span.stage: span for span in trace.spans if span.remote}
+    assert remote["rpc_execute"].shard == 0
+    # Rebasing keeps worker spans inside the parent's observed window
+    # and in causal order: queue dwell ends where execution starts.
+    assert remote["rpc_queue_dwell"].end <= remote["rpc_execute"].start + 1e-6
+    assert remote["rpc_execute"].end <= remote["rpc_encode"].end + 1e-6
+    for span in remote.values():
+        assert span.end >= span.start
+
+
+def test_untraced_requests_carry_no_spans(loopback_worker):
+    client, worker = loopback_worker
+    client.collection("alarms").insert_one({"n": 1})  # no ambient context
+    # The worker only times traced requests; the plain path stays lean.
+    # (Indirect check: a subsequent traced call is the first to splice.)
+    from repro.obs.registry import MetricsRegistry
+    from repro.obs.trace import Tracer, trace_context
+
+    tracer = Tracer(sample_every=1, registry=MetricsRegistry())
+    with trace_context(tracer, "t-00000009", "store"):
+        client.collection("alarms").insert_one({"n": 2})
+    trace = tracer.record("t-00000009", [("store", 0.0, 1e-5)])
+    assert sum(1 for s in trace.spans if s.stage == "rpc_execute") == 1
