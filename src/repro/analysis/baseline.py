@@ -1,0 +1,93 @@
+"""Baseline file: known findings a lint run does not fail on.
+
+``analysis-baseline.json`` holds the fingerprints of accepted findings so
+the CI gate fails only on *new* violations.  The repo ships an **empty**
+baseline — every launch-rule finding was either fixed or carries a
+justified inline ``# repro: noqa[rule]`` — but the mechanism is what
+lets a future rule land with its legacy findings ratcheted instead of
+blocking the tree.
+
+Matching is by :meth:`~repro.analysis.findings.Finding.fingerprint`
+(rule, path, message) with multiset semantics: two identical findings in
+one file need two baseline entries, and a baselined finding that
+disappears is simply unused (``--update-baseline`` garbage-collects it).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline"]
+
+_VERSION = 1
+
+
+class Baseline:
+    """Multiset of accepted finding fingerprints."""
+
+    def __init__(self, entries: list[dict[str, str]] | None = None) -> None:
+        self.entries = list(entries or [])
+        self._counts = Counter(
+            (e["rule"], e["path"], e["message"]) for e in self.entries
+        )
+
+    # -- persistence ------------------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            body = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(f"unreadable baseline {path}: {exc}") from exc
+        if not isinstance(body, dict) or body.get("version") != _VERSION:
+            raise ConfigurationError(
+                f"baseline {path} must be a v{_VERSION} object, got: "
+                f"{type(body).__name__}"
+            )
+        entries = body.get("findings", [])
+        if not isinstance(entries, list) or not all(
+            isinstance(e, dict) and {"rule", "path", "message"} <= e.keys()
+            for e in entries
+        ):
+            raise ConfigurationError(f"malformed baseline entries in {path}")
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        return cls([
+            {"rule": f.rule, "path": f.path, "message": f.message}
+            for f in sorted(findings, key=lambda f: (f.path, f.rule, f.message))
+        ])
+
+    def save(self, path: str | Path) -> None:
+        body = {"version": _VERSION, "findings": self.entries}
+        Path(path).write_text(
+            json.dumps(body, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    # -- matching ---------------------------------------------------------------------
+
+    def split(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding]]:
+        """Partition into (new, baselined) with multiset semantics."""
+        remaining = Counter(self._counts)
+        new: list[Finding] = []
+        known: list[Finding] = []
+        for finding in findings:
+            key = finding.fingerprint()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                known.append(finding)
+            else:
+                new.append(finding)
+        return new, known
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,224 @@
+"""Rule engine: load the tree once, run every rule, filter, report.
+
+The :class:`Analyzer` owns the lint pipeline::
+
+    SourceTree.load_directory()        # parse every .py once
+      -> rule.check(ctx) for each rule # findings
+      -> noqa filter                   # inline ``# repro: noqa[rule]``
+      -> baseline subtract             # analysis-baseline.json
+      -> report (pretty / json)
+
+Rules subclass :class:`Rule` and receive an :class:`AnalysisContext`
+bundling the parsed tree with the :class:`AnalysisConfig`.  They never
+touch the filesystem — everything they inspect comes from the tree —
+which keeps them unit-testable against fixture directories.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.errors import ConfigurationError
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceFile, SourceTree
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisContext",
+    "Analyzer",
+    "LintReport",
+    "Rule",
+    "default_config",
+]
+
+
+@dataclass
+class AnalysisConfig:
+    """Where to look and what the project-specific rules anchor on."""
+
+    root: Path
+    source_roots: tuple[Path, ...]
+    readme: Path | None = None
+    baseline_path: Path | None = None
+    #: Modules whose ``raise`` sites must use ``repro.errors`` types
+    #: (relative-path suffixes, resolved via ``SourceTree.find_suffix``).
+    error_rule_modules: tuple[str, ...] = ()
+    #: Worker entrypoint whose import closure must be side-effect free.
+    spawn_entry: str = "runtime/worker.py"
+    #: Files exempt from metric-name checks (the instrument definitions
+    #: themselves and the exporters that echo arbitrary names).
+    metric_exclude: tuple[str, ...] = ()
+
+    def iter_source_files(self) -> list[Path]:
+        paths: list[Path] = []
+        for root in self.source_roots:
+            if root.is_file():
+                paths.append(root)
+            elif root.is_dir():
+                paths.extend(sorted(root.rglob("*.py")))
+            else:
+                raise ConfigurationError(f"missing source root: {root}")
+        return paths
+
+
+def default_config(root: str | Path) -> AnalysisConfig:
+    """Config for the repro tree itself (``root`` = repository root)."""
+    root = Path(root).resolve()
+    return AnalysisConfig(
+        root=root,
+        source_roots=(root / "src" / "repro",),
+        readme=root / "README.md",
+        baseline_path=root / "analysis-baseline.json",
+        error_rule_modules=(
+            "runtime/worker.py",
+            "durability/journal.py",
+            "durability/wal.py",
+            "durability/snapshot.py",
+            "replication/peer.py",
+            "replication/replica_set.py",
+            "storage/collection.py",
+            "store.py",
+            "query.py",
+            "index.py",
+            "aggregate.py",
+        ),
+        spawn_entry="runtime/worker.py",
+        metric_exclude=(
+            "obs/registry.py",
+            "obs/export.py",
+            "obs/aggregate.py",
+            "obs/http.py",
+        ),
+    )
+
+
+@dataclass
+class AnalysisContext:
+    """Everything a rule may inspect."""
+
+    tree: SourceTree
+    config: AnalysisConfig
+
+
+class Rule:
+    """One invariant checker.
+
+    Subclasses set :attr:`id` / :attr:`description` and implement
+    :meth:`check`, yielding :class:`Finding` objects.  ``id`` doubles as
+    the ``# repro: noqa[id]`` suppression key.
+    """
+
+    id: str = ""
+    description: str = ""
+
+    def check(self, ctx: AnalysisContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # Convenience used by every rule.
+    def finding(self, file: SourceFile, line: int, message: str,
+                hint: str = "") -> Finding:
+        return Finding(rule=self.id, path=file.rel, line=line,
+                       message=message, hint=hint)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one analyzer run."""
+
+    findings: list[Finding]            # new (not baselined, not suppressed)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    parse_errors: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+    def render_pretty(self) -> str:
+        lines: list[str] = []
+        for rel, error in self.parse_errors:
+            lines.append(f"{rel}: [parse-error] {error}")
+        for finding in self.findings:
+            lines.append(finding.render())
+        summary = (
+            f"{len(self.findings)} finding(s)"
+            f" · {len(self.baselined)} baselined"
+            f" · {len(self.suppressed)} suppressed"
+        )
+        if self.parse_errors:
+            summary += f" · {len(self.parse_errors)} parse error(s)"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def render_json(self) -> str:
+        return json.dumps({
+            "ok": self.ok,
+            "findings": [f.to_dict() for f in self.findings],
+            "baselined": [f.to_dict() for f in self.baselined],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "parse_errors": [
+                {"path": rel, "error": error} for rel, error in self.parse_errors
+            ],
+        }, indent=2, sort_keys=True) + "\n"
+
+
+class Analyzer:
+    """Runs a rule set over a source tree and applies the filters."""
+
+    def __init__(self, config: AnalysisConfig,
+                 rules: Sequence[Rule] | None = None) -> None:
+        if rules is None:
+            from repro.analysis.rules import default_rules
+            rules = default_rules()
+        ids = [rule.id for rule in rules]
+        if len(ids) != len(set(ids)):
+            raise ConfigurationError(f"duplicate rule ids: {sorted(ids)}")
+        self.config = config
+        self.rules = list(rules)
+
+    def load_tree(self) -> SourceTree:
+        return SourceTree.load(self.config.root, self.config.iter_source_files())
+
+    def run(self, tree: SourceTree | None = None,
+            baseline: Baseline | None = None) -> LintReport:
+        if tree is None:
+            tree = self.load_tree()
+        if baseline is None:
+            if self.config.baseline_path is not None:
+                baseline = Baseline.load(self.config.baseline_path)
+            else:
+                baseline = Baseline()
+        ctx = AnalysisContext(tree=tree, config=self.config)
+
+        raw: list[Finding] = []
+        for rule in self.rules:
+            raw.extend(rule.check(ctx))
+        raw.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+
+        suppressed: list[Finding] = []
+        active: list[Finding] = []
+        for finding in raw:
+            file = tree.get(finding.path)
+            if file is not None and file.suppresses(finding.rule, finding.line):
+                suppressed.append(finding)
+            else:
+                active.append(finding)
+
+        new, known = baseline.split(active)
+        parse_errors = [
+            (f.rel, f.parse_error) for f in tree if f.parse_error is not None
+        ]
+        return LintReport(findings=new, baselined=known,
+                          suppressed=suppressed, parse_errors=parse_errors)
+
+    def update_baseline(self, tree: SourceTree | None = None) -> Baseline:
+        """Accept every current (unsuppressed) finding as the new baseline."""
+        report = self.run(tree=tree, baseline=Baseline())
+        baseline = Baseline.from_findings(report.findings)
+        if self.config.baseline_path is not None:
+            baseline.save(self.config.baseline_path)
+        return baseline

@@ -1,0 +1,42 @@
+"""Findings: what a rule reports and how a baseline matches it.
+
+A :class:`Finding` pins one invariant violation to a ``file:line`` with a
+human message and a fix hint.  Line numbers are *presentation* — baseline
+matching deliberately ignores them (an unrelated edit above a known
+finding must not turn it into a "new" one), so the identity of a finding
+is its :meth:`Finding.fingerprint`: ``(rule, path, message)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative, posix separators
+    line: int
+    message: str
+    hint: str = field(default="", compare=False)
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Baseline identity: stable across unrelated line-number drift."""
+        return (self.rule, self.path, self.message)
+
+    def render(self) -> str:
+        text = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }

@@ -1,0 +1,97 @@
+"""Rule ``error-rehydration``: RPC-path exceptions must survive the wire.
+
+``error_to_wire`` serializes an exception as its class *name*;
+``wire_to_error`` rehydrates it with ``getattr(repro.errors, name)``.
+Any exception type raised on a code path an RPC handler can reach that
+is **not** defined in :mod:`repro.errors` therefore degrades to a
+generic ``ProcessPlaneError`` client-side — the remote caller loses the
+type it would have caught locally.
+
+The rule scans the configured RPC-reachable modules
+(:attr:`~repro.analysis.engine.AnalysisConfig.error_rule_modules`) for
+``raise`` statements whose exception class is resolvable by name and
+checks each name against the classes defined in ``repro/errors.py``
+plus a small builtin whitelist (``SystemExit`` for process exit codes,
+control-flow exceptions, and ``NotImplementedError`` for abstract
+surfaces — none of which are meant to cross the wire).  Re-raises
+(``raise`` bare, ``raise exc``) and dynamically-constructed exceptions
+are out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import AnalysisContext, Rule
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceFile
+
+__all__ = ["ErrorRehydrationRule"]
+
+#: Exception names allowed on RPC paths without a repro.errors definition.
+_BUILTIN_WHITELIST = frozenset({
+    "SystemExit",            # worker exit codes, never serialized
+    "StopIteration",         # generator control flow
+    "StopAsyncIteration",
+    "KeyboardInterrupt",     # operator interrupt, not a wire error
+    "NotImplementedError",   # abstract-surface guard, a server-side bug
+    "AssertionError",        # invariant guard, a server-side bug
+})
+
+
+def _exception_name(node: ast.expr) -> str | None:
+    """Class name of ``raise X(...)`` / ``raise X`` / ``raise mod.X(...)``."""
+    if isinstance(node, ast.Call):
+        return _exception_name(node.func)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class ErrorRehydrationRule(Rule):
+    id = "error-rehydration"
+    description = (
+        "exceptions raised on RPC-reachable paths must be defined in "
+        "repro.errors so wire_to_error can rehydrate them by name"
+    )
+
+    def check(self, ctx: AnalysisContext) -> Iterator[Finding]:
+        errors_file = ctx.tree.find_suffix("repro/errors.py") \
+            or ctx.tree.find_suffix("errors.py")
+        if errors_file is None or errors_file.tree is None:
+            return
+        registered = {
+            node.name for node in errors_file.tree.body
+            if isinstance(node, ast.ClassDef)
+        }
+        for suffix in ctx.config.error_rule_modules:
+            file = ctx.tree.find_suffix(suffix)
+            if file is None or file.tree is None or file is errors_file:
+                continue
+            yield from self._scan(file, registered)
+
+    def _scan(self, file: SourceFile,
+              registered: set[str]) -> Iterator[Finding]:
+        assert file.tree is not None
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            name = _exception_name(node.exc)
+            if name is None:
+                continue  # `raise exc_var` — re-raise, out of scope
+            if not name[:1].isupper():
+                continue  # lowercase: a variable, not a class reference
+            if name in registered or name in _BUILTIN_WHITELIST:
+                continue
+            yield self.finding(
+                file, node.lineno,
+                f"`raise {name}` on an RPC-reachable path but repro.errors "
+                f"defines no `{name}`",
+                hint="wire_to_error rehydrates by name from repro.errors; "
+                     "this type degrades to ProcessPlaneError client-side — "
+                     "define it there (subclass ReproError) or raise an "
+                     "existing repro.errors type",
+            )

@@ -1,0 +1,335 @@
+"""Rule ``lock-discipline``: no blocking I/O under a lock, no order cycles.
+
+Two families of finding:
+
+1. **Blocking call under a held lock.**  Within the lexical body of a
+   ``with <lock>:`` statement, flag calls that can block indefinitely or
+   hit the disk/network: ``fsync``-like calls, ``time.sleep``, socket or
+   transport ``send``/``recv``/``request``, WAL ``append``/``append_many``
+   (the project's WALs fsync inside append), thread ``join``, and
+   ``wait``/``wait_for`` on a synchronization object *other than* one of
+   the locks currently held (waiting on the held condition releases it
+   and is the sanctioned long-poll idiom).
+
+2. **Lock-acquisition-order cycle.**  Every lexical nesting
+   ``with A: ... with B:`` contributes an ``A -> B`` edge to a
+   tree-wide graph; any cycle is a deadlock waiting for the right
+   interleaving.  ``self.attr`` locks are keyed per-class
+   (``Broker._registry_lock``) so edges line up across methods and
+   modules.  Self-loops are skipped — the project's re-entrant locks
+   (``RLock``) legitimately re-enter.
+
+Lock-ness is lexical: a ``with`` target whose terminal name looks like a
+lock (``_lock``, ``_cond``, ``mutex``, ``_activity`` …).  That is a
+heuristic, which is exactly why findings carry ``# repro: noqa`` escape
+hatches — e.g. a WAL append *deliberately* held under the store write
+lock to pin WAL order to apply order.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.engine import AnalysisContext, Rule
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceFile
+
+__all__ = ["LockDisciplineRule"]
+
+#: Terminal attribute/variable names treated as locks when used in ``with``.
+_LOCKISH = re.compile(
+    r"(?:^|_)(lock|locks|cond|condition|cv|mutex|gate|gates|activity)$",
+    re.IGNORECASE,
+)
+
+#: Receiver names that look like a network endpoint.
+_NETWORKISH = re.compile(
+    r"(transport|sock|socket|conn|connection|channel|client)", re.IGNORECASE
+)
+
+#: Receiver names that look like a WAL (append fsyncs in this project).
+_WALISH = re.compile(r"wal", re.IGNORECASE)
+
+#: Receiver names that look like a joinable thread/process.
+_THREADISH = re.compile(r"(thread|proc|process|worker|shipper)", re.IGNORECASE)
+
+_SEND_RECV = frozenset({"send", "sendall", "recv", "recv_exact", "recv_into",
+                        "request"})
+_WAIT = frozenset({"wait", "wait_for"})
+_WAL_APPEND = frozenset({"append", "append_many"})
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _terminal_name(node: ast.expr) -> str | None:
+    """Rightmost identifier of a dotted/subscripted expression."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Subscript):
+        return _terminal_name(node.value)
+    if isinstance(node, ast.Call):
+        return _terminal_name(node.func)
+    return None
+
+
+def _is_lockish(node: ast.expr) -> bool:
+    name = _terminal_name(node)
+    return name is not None and _LOCKISH.search(name) is not None
+
+
+def _safe_unparse(node: ast.expr) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on parsed trees
+        return "<expr>"
+
+
+class _HeldLock:
+    """One lock currently held on the lexical ``with`` stack."""
+
+    __slots__ = ("key", "text", "line")
+
+    def __init__(self, key: str, text: str, line: int) -> None:
+        self.key = key
+        self.text = text
+        self.line = line
+
+
+class LockDisciplineRule(Rule):
+    id = "lock-discipline"
+    description = (
+        "no blocking I/O inside `with <lock>:` bodies; "
+        "no cycles in the lock-acquisition-order graph"
+    )
+
+    def check(self, ctx: AnalysisContext) -> Iterator[Finding]:
+        # edge (src_key, dst_key) -> (file, line, "src -> dst") first site
+        edges: dict[tuple[str, str], tuple[SourceFile, int]] = {}
+        for file in ctx.tree:
+            if file.tree is None:
+                continue
+            yield from self._scan_module(file, edges)
+        yield from self._cycle_findings(edges)
+
+    # -- per-module scan --------------------------------------------------------------
+
+    def _scan_module(
+        self,
+        file: SourceFile,
+        edges: dict[tuple[str, str], tuple[SourceFile, int]],
+    ) -> Iterator[Finding]:
+        assert file.tree is not None
+        yield from self._scan_stmts(file, file.tree.body, held=[],
+                                    class_name=None, edges=edges)
+
+    def _lock_key(self, expr: ast.expr, class_name: str | None) -> str:
+        """Stable identity for the order graph.
+
+        ``self.attr`` inside ``class C`` keys as ``C.attr`` so the same
+        lock lines up across methods; subscripted lock tables collapse
+        their index (``self._locks[pid]`` -> ``C._locks[*]``).
+        """
+        if isinstance(expr, ast.Subscript):
+            return self._lock_key(expr.value, class_name) + "[*]"
+        if (isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self" and class_name):
+            return f"{class_name}.{expr.attr}"
+        return _safe_unparse(expr)
+
+    def _scan_stmts(
+        self,
+        file: SourceFile,
+        stmts: list[ast.stmt],
+        held: list[_HeldLock],
+        class_name: str | None,
+        edges: dict[tuple[str, str], tuple[SourceFile, int]],
+    ) -> Iterator[Finding]:
+        for stmt in stmts:
+            yield from self._scan_stmt(file, stmt, held, class_name, edges)
+
+    def _scan_stmt(
+        self,
+        file: SourceFile,
+        stmt: ast.stmt,
+        held: list[_HeldLock],
+        class_name: str | None,
+        edges: dict[tuple[str, str], tuple[SourceFile, int]],
+    ) -> Iterator[Finding]:
+        if isinstance(stmt, ast.ClassDef):
+            yield from self._scan_stmts(file, stmt.body, held=[],
+                                        class_name=stmt.name, edges=edges)
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # New runtime frame: locks held lexically outside are held at
+            # *definition* time, not call time.
+            yield from self._scan_stmts(file, stmt.body, held=[],
+                                        class_name=class_name, edges=edges)
+            return
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            inner = list(held)
+            for item in stmt.items:
+                expr = item.context_expr
+                if _is_lockish(expr):
+                    key = self._lock_key(expr, class_name)
+                    for outer in inner:
+                        if outer.key != key:  # RLock re-entry is fine
+                            edges.setdefault((outer.key, key),
+                                             (file, expr.lineno))
+                    inner = inner + [_HeldLock(key, _safe_unparse(expr),
+                                               expr.lineno)]
+                elif held:
+                    yield from self._scan_expr(file, expr, held)
+            yield from self._scan_stmts(file, stmt.body, inner, class_name,
+                                        edges)
+            return
+        # Generic statement: check its expressions under the current lock
+        # stack, then recurse into any nested statement lists (if/for/try...).
+        if held:
+            yield from self._scan_expr(file, stmt, held)
+        for _name, value in ast.iter_fields(stmt):
+            if isinstance(value, ast.stmt):
+                yield from self._scan_stmt(file, value, held, class_name, edges)
+            elif isinstance(value, list):
+                for child in value:
+                    if isinstance(child, ast.stmt):
+                        yield from self._scan_stmt(file, child, held,
+                                                   class_name, edges)
+
+    # -- blocking-call detection ------------------------------------------------------
+
+    def _scan_expr(self, file: SourceFile, node: ast.AST,
+                   held: list[_HeldLock]) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.stmt, ast.Lambda)) or isinstance(
+                    child, _SCOPE_NODES):
+                continue
+            if isinstance(child, ast.Call):
+                finding = self._check_call(file, child, held)
+                if finding is not None:
+                    yield finding
+            yield from self._scan_expr(file, child, held)
+
+    def _check_call(self, file: SourceFile, call: ast.Call,
+                    held: list[_HeldLock]) -> Finding | None:
+        func = call.func
+        innermost = held[-1]
+        if isinstance(func, ast.Name):
+            name, receiver = func.id, None
+        elif isinstance(func, ast.Attribute):
+            name, receiver = func.attr, func.value
+        else:
+            return None
+
+        def flag(what: str, hint: str) -> Finding:
+            return self.finding(
+                file, call.lineno,
+                f"{what} while holding `{innermost.text}`",
+                hint=hint,
+            )
+
+        if "fsync" in name.lower():
+            return flag(
+                f"fsync call `{_safe_unparse(func)}(...)`",
+                "fsync under a lock serializes all waiters behind the disk; "
+                "flush outside the critical section or noqa with the "
+                "ordering invariant that requires it",
+            )
+        if name == "sleep" and (
+                receiver is None
+                or (isinstance(receiver, ast.Name) and receiver.id == "time")):
+            return flag(
+                "`time.sleep(...)`",
+                "sleeping under a lock stalls every waiter; sleep before "
+                "acquiring or use a condition wait with a timeout",
+            )
+        recv_name = _terminal_name(receiver) if receiver is not None else None
+        if name in _SEND_RECV and recv_name and _NETWORKISH.search(recv_name):
+            return flag(
+                f"network call `{_safe_unparse(func)}(...)`",
+                "socket/transport I/O under a lock couples every waiter to "
+                "the peer's latency; copy state under the lock, do I/O "
+                "outside",
+            )
+        if name in _WAL_APPEND and recv_name and _WALISH.search(recv_name):
+            return flag(
+                f"WAL append `{_safe_unparse(func)}(...)`",
+                "WAL appends fsync; if append order must match apply order "
+                "keep it and noqa with that justification, else append "
+                "outside the lock",
+            )
+        if name in _WAIT:
+            recv_text = _safe_unparse(receiver) if receiver is not None else ""
+            if recv_text and all(recv_text != lock.text for lock in held):
+                return flag(
+                    f"wait on `{recv_text}`",
+                    "waiting on a different object than the held lock cannot "
+                    "release the lock and deadlocks any writer that needs it; "
+                    "wait on the condition guarding this state instead",
+                )
+            return None
+        if name == "join" and recv_name and _THREADISH.search(recv_name):
+            return flag(
+                f"thread join `{_safe_unparse(func)}(...)`",
+                "joining a thread under a lock deadlocks if that thread "
+                "needs the lock to exit; join after releasing",
+            )
+        return None
+
+    # -- lock-order cycles ------------------------------------------------------------
+
+    def _cycle_findings(
+        self, edges: dict[tuple[str, str], tuple[SourceFile, int]],
+    ) -> Iterator[Finding]:
+        graph: dict[str, list[str]] = {}
+        for (src, dst) in edges:
+            graph.setdefault(src, []).append(dst)
+        for succs in graph.values():
+            succs.sort()
+
+        reported: set[tuple[str, ...]] = set()
+        for (src, dst), (file, line) in sorted(
+                edges.items(), key=lambda kv: (kv[1][0].rel, kv[1][1])):
+            path = self._find_path(graph, dst, src)
+            if path is None:
+                continue
+            cycle = [src] + path[:-1]  # path ends at src; drop the repeat
+            canon = self._canonical(cycle)
+            if canon in reported:
+                continue
+            reported.add(canon)
+            chain = " -> ".join(cycle + [cycle[0]])
+            yield self.finding(
+                file, line,
+                f"lock-order cycle: {chain}",
+                hint="threads acquiring these locks in different orders can "
+                     "deadlock; pick one global order and acquire in it "
+                     "everywhere",
+            )
+
+    @staticmethod
+    def _find_path(graph: dict[str, list[str]], start: str,
+                   goal: str) -> list[str] | None:
+        """Shortest node path start..goal following edges (BFS)."""
+        if start == goal:
+            return [start]
+        queue: list[list[str]] = [[start]]
+        seen = {start}
+        while queue:
+            path = queue.pop(0)
+            for nxt in graph.get(path[-1], ()):
+                if nxt == goal:
+                    return path + [nxt]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    queue.append(path + [nxt])
+        return None
+
+    @staticmethod
+    def _canonical(cycle: list[str]) -> tuple[str, ...]:
+        pivot = cycle.index(min(cycle))
+        return tuple(cycle[pivot:] + cycle[:pivot])

@@ -1,0 +1,156 @@
+"""Rule ``metric-drift``: metric names follow conventions and match the README.
+
+Every ``registry.counter/gauge/histogram("name")`` literal outside the
+instrument plumbing itself is checked two ways:
+
+* **Prometheus conventions** — lowercase ``[a-z0-9_]``, the project's
+  ``repro_`` namespace prefix, counters end ``_total``, histograms and
+  gauges carry a unit suffix (``_seconds``/``_records``/``_bytes``),
+  gauges never end ``_total``.
+* **README catalog round-trip** — the name appears in a README metric
+  catalog table (header ``| series | type | ... |``; names are listed
+  unprefixed there), and every catalog row names a series that still
+  exists in code.  The catalog is the operator's scrape contract; PR 9
+  grew it by hand and this rule is what keeps it from rotting.
+
+Catalog checks are skipped when the config has no README (fixture
+trees); convention checks always run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.engine import AnalysisContext, Rule
+from repro.analysis.findings import Finding
+
+__all__ = ["MetricDriftRule"]
+
+_INSTRUMENTS = frozenset({"counter", "gauge", "histogram"})
+_NAME_OK = re.compile(r"^[a-z][a-z0-9_]*$")
+_PREFIX = "repro_"
+_UNIT_SUFFIXES = ("_seconds", "_records", "_bytes", "_total", "_ratio")
+_HEADER = re.compile(r"^\|\s*series\s*\|", re.IGNORECASE)
+_BACKTICKED = re.compile(r"`([a-z][a-z0-9_]*)`")
+
+
+class MetricDriftRule(Rule):
+    id = "metric-drift"
+    description = (
+        "metric name literals follow Prometheus conventions and round-trip "
+        "with the README metric catalog"
+    )
+
+    def check(self, ctx: AnalysisContext) -> Iterator[Finding]:
+        code_names: dict[str, tuple[str, int]] = {}  # name -> first site
+        for file in ctx.tree:
+            if file.tree is None or any(
+                    file.rel == ex or file.rel.endswith("/" + ex)
+                    for ex in ctx.config.metric_exclude):
+                continue
+            for node in ast.walk(file.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute) \
+                        or func.attr not in _INSTRUMENTS or not node.args:
+                    continue
+                first = node.args[0]
+                if not isinstance(first, ast.Constant) \
+                        or not isinstance(first.value, str):
+                    continue
+                name = first.value
+                code_names.setdefault(name, (file.rel, node.lineno))
+                yield from self._convention_findings(
+                    file.rel, node.lineno, func.attr, name)
+
+        catalog = self._read_catalog(ctx)
+        if catalog is None:
+            return
+        names, lines, readme_rel = catalog
+        for name, (rel, lineno) in sorted(code_names.items()):
+            bare = name[len(_PREFIX):] if name.startswith(_PREFIX) else name
+            if bare not in names and name not in names:
+                yield Finding(
+                    rule=self.id, path=rel, line=lineno,
+                    message=f"metric `{name}` is not in the README metric "
+                            "catalog",
+                    hint="add a `| series | type | labels | layer |` row — "
+                         "the catalog is the operator's scrape contract",
+                )
+        code_bare = {
+            n[len(_PREFIX):] if n.startswith(_PREFIX) else n
+            for n in code_names
+        }
+        for name in sorted(names):
+            if name not in code_bare and _PREFIX + name not in code_names:
+                yield Finding(
+                    rule=self.id, path=readme_rel, line=lines[name],
+                    message=f"README catalog lists `{name}` but no "
+                            "instrument in code creates it",
+                    hint="remove the stale row or restore the instrument",
+                )
+
+    def _convention_findings(self, rel: str, lineno: int, kind: str,
+                             name: str) -> Iterator[Finding]:
+        def bad(why: str, hint: str) -> Finding:
+            return Finding(rule=self.id, path=rel, line=lineno,
+                           message=f"metric `{name}` {why}", hint=hint)
+
+        if not _NAME_OK.match(name):
+            yield bad("is not a valid Prometheus series name",
+                      "use lowercase [a-z0-9_], starting with a letter")
+            return
+        if not name.startswith(_PREFIX):
+            yield bad(f"lacks the `{_PREFIX}` namespace prefix",
+                      "all project series share the repro_ namespace so one "
+                      "scrape filter catches them")
+        if kind == "counter" and not name.endswith("_total"):
+            yield bad("is a counter but does not end `_total`",
+                      "Prometheus counters are suffixed _total")
+        if kind == "gauge" and name.endswith("_total"):
+            yield bad("is a gauge but ends `_total`",
+                      "_total marks a counter; name the gauge for its unit "
+                      "(_records, _bytes, _seconds)")
+        if kind in ("histogram", "gauge") \
+                and not name.endswith(tuple(s for s in _UNIT_SUFFIXES
+                                            if s != "_total")):
+            yield bad(f"({kind}) lacks a unit suffix",
+                      "suffix the unit: _seconds, _records, _bytes or "
+                      "_ratio")
+
+    def _read_catalog(
+        self, ctx: AnalysisContext,
+    ) -> tuple[set[str], dict[str, int], str] | None:
+        readme = ctx.config.readme
+        if readme is None or not readme.exists():
+            return None
+        try:
+            rel = readme.resolve().relative_to(ctx.tree.root).as_posix()
+        except ValueError:
+            rel = readme.name
+        names: set[str] = set()
+        lines: dict[str, int] = {}
+        in_table = False
+        for lineno, line in enumerate(
+                readme.read_text(encoding="utf-8").splitlines(), start=1):
+            stripped = line.strip()
+            if _HEADER.match(stripped):
+                in_table = True
+                continue
+            if in_table:
+                if not stripped.startswith("|"):
+                    in_table = False
+                    continue
+                cells = stripped.split("|")
+                if len(cells) < 2:
+                    continue
+                first_cell = cells[1]
+                if set(first_cell.strip()) <= {"-", ":"}:
+                    continue  # separator row
+                for name in _BACKTICKED.findall(first_cell):
+                    names.add(name)
+                    lines.setdefault(name, lineno)
+        return names, lines, rel

@@ -1,0 +1,298 @@
+"""Rule ``rpc-surface``: the wire contract stays in three-way sync.
+
+The remote store surface is defined three times — deliberately (the
+allowlist is the security boundary; the worker dispatch is the server;
+the remote proxies are the client) — and PR 5 showed how easily those
+copies drift.  This rule parses all three and cross-checks:
+
+* every method the client invokes (``store_op("m")`` /
+  ``_store_call("m")`` / ``_one("m")`` / ``collection_op(_, "m")``
+  literals) is in the matching allowlist;
+* every allowlisted op is reachable on the server: an explicit
+  ``if method == "m"`` handler in ``ShardWorker``, or — when the
+  dispatcher has a ``getattr`` fallback — a method of one of the
+  fallback target classes (``DurableDocumentStore`` /
+  ``LocalReplicaPeer`` for store ops, ``Collection`` /
+  ``DurableCollection`` for collection ops);
+* every allowlisted op has a client proxy (an op nobody can invoke is
+  drift in the other direction);
+* explicit worker handlers for ops *not* in the allowlist are dead
+  code the validator will never route to;
+* **v1 compatibility**: any ``Request``/``Response`` dataclass field
+  beyond the original ``id``/``ops``/``results`` must carry a default,
+  so a peer that never sends the new key still decodes (additive wire
+  evolution, no version bump).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import AnalysisContext, Rule
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceFile, SourceTree
+
+__all__ = ["RpcSurfaceRule"]
+
+#: Original v1 wire keys; everything else must be optional.
+_V1_FIELDS = frozenset({"id", "ops", "results"})
+
+_STORE_FALLBACK_CLASSES = ("DurableDocumentStore", "LocalReplicaPeer")
+_COLLECTION_FALLBACK_CLASSES = ("Collection", "DurableCollection")
+
+
+def _str_const(node: ast.expr | None) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _frozenset_literal(node: ast.expr) -> set[str] | None:
+    """String members of ``frozenset({...})`` / ``set(...)`` / a set literal."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("frozenset", "set") and node.args:
+        node = node.args[0]
+    if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        members = [_str_const(elt) for elt in node.elts]
+        if all(m is not None for m in members):
+            return set(members)  # type: ignore[arg-type]
+    return None
+
+
+def _class_methods(cls: ast.ClassDef) -> set[str]:
+    return {
+        node.name for node in cls.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+class _Surface:
+    """One side's view of the wire contract: ops -> first-seen line."""
+
+    def __init__(self) -> None:
+        self.ops: dict[str, int] = {}
+
+    def add(self, op: str, line: int) -> None:
+        self.ops.setdefault(op, line)
+
+
+class RpcSurfaceRule(Rule):
+    id = "rpc-surface"
+    description = (
+        "protocol allowlists, ShardWorker dispatch, and the remote client "
+        "surface agree; new Request/Response wire keys are optional"
+    )
+
+    def check(self, ctx: AnalysisContext) -> Iterator[Finding]:
+        tree = ctx.tree
+        protocol = self._find_protocol(tree)
+        if protocol is None:
+            return  # tree without a protocol module: nothing to cross-check
+        proto_file, allow = protocol
+        yield from self._check_v1_compat(proto_file)
+
+        worker = tree.find_class("ShardWorker")
+        client_store, client_coll = self._client_surface(tree, proto_file)
+
+        for kind, fallbacks in (("store", _STORE_FALLBACK_CLASSES),
+                                ("coll", _COLLECTION_FALLBACK_CLASSES)):
+            allowed, allow_line = allow[kind]
+            client = client_store if kind == "store" else client_coll
+            label = "STORE_OPS" if kind == "store" else "COLLECTION_OPS"
+
+            if client is not None:
+                for op, line in sorted(client.ops.items()):
+                    if op not in allowed:
+                        yield self.finding(
+                            client.file, line,
+                            f"client invokes {kind} op `{op}` absent from "
+                            f"protocol.{label}",
+                            hint=f"add `{op}` to {label} or drop the client "
+                                 "method; store_op()/collection_op() will "
+                                 "reject it at runtime",
+                        )
+                for op in sorted(allowed - set(client.ops)):
+                    yield self.finding(
+                        proto_file, allow_line,
+                        f"{label} allows `{op}` but no remote client method "
+                        "invokes it",
+                        hint="expose it on RemoteShardStore/RemoteCollection "
+                             "or remove it from the allowlist",
+                    )
+
+            if worker is not None:
+                handlers, has_fallback, dispatch_line = self._worker_dispatch(
+                    worker[1], kind)
+                worker_file = worker[0]
+                for op, line in sorted(handlers.items()):
+                    if op not in allowed:
+                        yield self.finding(
+                            worker_file, line,
+                            f"ShardWorker handles {kind} op `{op}` absent "
+                            f"from protocol.{label}",
+                            hint="the request validator rejects unlisted ops "
+                                 "before dispatch — this handler is dead "
+                                 f"code; add `{op}` to {label} or delete it",
+                        )
+                fallback_methods = self._fallback_methods(tree, fallbacks)
+                for op in sorted(allowed - set(handlers)):
+                    if not has_fallback:
+                        yield self.finding(
+                            worker_file, dispatch_line,
+                            f"{label} op `{op}` has no ShardWorker handler "
+                            "and the dispatcher has no fallback",
+                            hint=f"add an explicit `if method == \"{op}\"` "
+                                 "branch",
+                        )
+                    elif fallback_methods is not None \
+                            and op not in fallback_methods:
+                        yield self.finding(
+                            worker_file, dispatch_line,
+                            f"{label} op `{op}` resolves via getattr but no "
+                            f"fallback class ({', '.join(fallbacks)}) "
+                            "defines it",
+                            hint="a request for it raises AttributeError "
+                                 "server-side; implement the method or drop "
+                                 "the op",
+                        )
+
+    # -- protocol side ----------------------------------------------------------------
+
+    def _find_protocol(
+        self, tree: SourceTree,
+    ) -> tuple[SourceFile, dict[str, tuple[set[str], int]]] | None:
+        """The file assigning both STORE_OPS and COLLECTION_OPS."""
+        for file in tree:
+            if file.tree is None:
+                continue
+            found: dict[str, tuple[set[str], int]] = {}
+            for node in file.tree.body:
+                if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                    continue
+                target = node.targets[0]
+                if not isinstance(target, ast.Name):
+                    continue
+                if target.id in ("STORE_OPS", "COLLECTION_OPS"):
+                    members = _frozenset_literal(node.value)
+                    if members is not None:
+                        key = "store" if target.id == "STORE_OPS" else "coll"
+                        found[key] = (members, node.lineno)
+            if len(found) == 2:
+                return file, found
+        return None
+
+    def _check_v1_compat(self, proto_file: SourceFile) -> Iterator[Finding]:
+        assert proto_file.tree is not None
+        for node in proto_file.tree.body:
+            if not isinstance(node, ast.ClassDef) \
+                    or node.name not in ("Request", "Response"):
+                continue
+            for stmt in node.body:
+                if not isinstance(stmt, ast.AnnAssign) \
+                        or not isinstance(stmt.target, ast.Name):
+                    continue
+                name = stmt.target.id
+                if name in _V1_FIELDS or name.startswith("_"):
+                    continue
+                if stmt.value is None:
+                    yield self.finding(
+                        proto_file, stmt.lineno,
+                        f"{node.name}.{name} is a new wire key without a "
+                        "default",
+                        hint="new keys must be optional so a v1 peer that "
+                             "never sends them still decodes — give it a "
+                             "default (None/field(default_factory=...))",
+                    )
+
+    # -- client side ------------------------------------------------------------------
+
+    def _client_surface(
+        self, tree: SourceTree, proto_file: SourceFile,
+    ) -> tuple["_ClientSurface | None", "_ClientSurface | None"]:
+        remote = tree.find_class("RemoteShardStore") \
+            or tree.find_class("RemoteCollection")
+        if remote is None:
+            return None, None
+        file = remote[0]
+        assert file.tree is not None
+        store = _ClientSurface(file)
+        coll = _ClientSurface(file)
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None)
+            if name in ("_store_call", "store_op") and node.args:
+                op = _str_const(node.args[0])
+                if op is not None:
+                    store.add(op, node.lineno)
+            elif name == "_one" and node.args:
+                op = _str_const(node.args[0])
+                if op is not None:
+                    coll.add(op, node.lineno)
+            elif name == "collection_op" and len(node.args) >= 2:
+                op = _str_const(node.args[1])
+                if op is not None:
+                    coll.add(op, node.lineno)
+        return store, coll
+
+    # -- server side ------------------------------------------------------------------
+
+    def _worker_dispatch(
+        self, worker: ast.ClassDef, kind: str,
+    ) -> tuple[dict[str, int], bool, int]:
+        """(explicit handlers, has getattr fallback, dispatcher line)."""
+        target = "_execute_store" if kind == "store" else "_execute_collection"
+        handlers: dict[str, int] = {}
+        has_fallback = False
+        line = worker.lineno
+        for node in worker.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    or node.name != target:
+                continue
+            line = node.lineno
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Compare) \
+                        and isinstance(sub.left, ast.Name) \
+                        and sub.left.id == "method" \
+                        and len(sub.ops) == 1 \
+                        and isinstance(sub.ops[0], (ast.Eq, ast.In)):
+                    for comparator in sub.comparators:
+                        op = _str_const(comparator)
+                        if op is not None:
+                            handlers.setdefault(op, sub.lineno)
+                        elif isinstance(comparator, (ast.Tuple, ast.Set,
+                                                     ast.List)):
+                            for elt in comparator.elts:
+                                member = _str_const(elt)
+                                if member is not None:
+                                    handlers.setdefault(member, sub.lineno)
+                if isinstance(sub, ast.Call) \
+                        and isinstance(sub.func, ast.Name) \
+                        and sub.func.id == "getattr" \
+                        and len(sub.args) >= 2 \
+                        and isinstance(sub.args[1], ast.Name) \
+                        and sub.args[1].id == "method":
+                    has_fallback = True
+        return handlers, has_fallback, line
+
+    def _fallback_methods(
+        self, tree: SourceTree, class_names: tuple[str, ...],
+    ) -> set[str] | None:
+        """Union of methods on the fallback classes; None if none found."""
+        methods: set[str] = set()
+        found = False
+        for name in class_names:
+            hit = tree.find_class(name)
+            if hit is not None:
+                found = True
+                methods |= _class_methods(hit[1])
+        return methods if found else None
+
+
+class _ClientSurface(_Surface):
+    def __init__(self, file: SourceFile) -> None:
+        super().__init__()
+        self.file = file

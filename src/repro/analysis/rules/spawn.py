@@ -1,0 +1,323 @@
+"""Rule ``spawn-safety``: the worker import closure is side-effect free.
+
+Shard workers start via ``multiprocessing`` spawn: the child interpreter
+re-imports the worker entrypoint module and everything it imports at
+module level, *before* ``worker_main`` runs.  A module-level side effect
+in that closure — opening a file, starting a thread, touching the
+process-global metrics registry — runs once per worker process at an
+uncontrolled moment, and is exactly the class of bug that only shows up
+as a flaky spawn.
+
+The rule resolves the entrypoint's module-level import closure *within
+the analyzed tree* (stdlib and external imports are out of scope — the
+project controls only its own modules) including the package
+``__init__`` modules Python executes along the way, then checks every
+top-level statement in the closure is import-time pure: imports,
+``def``/``class`` (with whitelisted decorators), constant/typing
+assignments, calls from a small constructor whitelist
+(``frozenset``, ``TypeVar``, ``re.compile``, ``logging.getLogger``, …),
+docstrings, ``TYPE_CHECKING``/``__main__`` guards, ``try`` import
+fallbacks.  ``get_registry()`` is deliberately **not** whitelisted:
+binding the global registry at import time pins metrics to whichever
+process imported first.
+
+Function-level imports are invisible to this rule by design — deferring
+an import into the function body is the sanctioned fix.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import AnalysisContext, Rule
+from repro.analysis.findings import Finding
+from repro.analysis.source import SourceFile, SourceTree
+
+__all__ = ["SpawnSafetyRule"]
+
+#: Decorators that may run at import time.
+_DECORATOR_WHITELIST = frozenset({
+    "dataclass", "runtime_checkable", "property", "staticmethod",
+    "classmethod", "contextmanager", "total_ordering", "wraps",
+    "abstractmethod", "overload", "cached_property", "final",
+    "lru_cache", "setter", "getter", "deleter", "register",
+})
+
+#: Callables pure enough to run at import time (constant construction).
+_CALL_WHITELIST = frozenset({
+    "frozenset", "set", "tuple", "dict", "list", "bytes", "bytearray",
+    "int", "float", "str", "bool", "object", "type", "len", "range",
+    "sorted", "min", "max", "ord", "chr", "TypeVar", "ParamSpec",
+    "namedtuple", "compile", "Struct", "field", "Path", "getLogger",
+    "deque", "OrderedDict", "Counter", "defaultdict", "partial",
+    "itemgetter", "attrgetter", "dataclass",
+})
+
+
+def _terminal(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Call):
+        return _terminal(node.func)
+    return None
+
+
+def _mentions(node: ast.expr, name: str) -> bool:
+    return any(
+        isinstance(sub, ast.Name) and sub.id == name
+        or isinstance(sub, ast.Attribute) and sub.attr == name
+        for sub in ast.walk(node)
+    )
+
+
+def _is_main_guard(test: ast.expr) -> bool:
+    return (isinstance(test, ast.Compare)
+            and isinstance(test.left, ast.Name)
+            and test.left.id == "__name__")
+
+
+class _ModuleIndex:
+    """Resolve dotted import names to files inside the analyzed tree."""
+
+    def __init__(self, tree: SourceTree) -> None:
+        # (module parts, file); __init__.py is keyed by its package path.
+        self.modules: list[tuple[tuple[str, ...], SourceFile]] = []
+        for file in tree:
+            parts = file.rel[:-3].split("/") if file.rel.endswith(".py") \
+                else file.rel.split("/")
+            if parts and parts[-1] == "__init__":
+                parts = parts[:-1]
+            if parts:
+                self.modules.append((tuple(parts), file))
+
+    def parts_of(self, file: SourceFile) -> tuple[str, ...]:
+        for parts, candidate in self.modules:
+            if candidate is file:
+                return parts
+        return ()
+
+    def resolve(self, dotted: str) -> list[SourceFile]:
+        """Files executed by importing ``dotted``: the module itself plus
+        every in-tree package ``__init__`` on its dotted path."""
+        want = tuple(part for part in dotted.split(".") if part)
+        if not want:
+            return []
+        hits = [
+            (parts, file) for parts, file in self.modules
+            if len(parts) >= len(want) and parts[-len(want):] == want
+        ]
+        if not hits:
+            return []
+        # Prefer the shallowest match (fixture trees are flat anyway).
+        hits.sort(key=lambda entry: len(entry[0]))
+        parts, file = hits[0]
+        executed = [file]
+        # Packages along the imported dotted path also execute.
+        for depth in range(len(parts) - len(want) + 1, len(parts)):
+            prefix = parts[:depth]
+            for other_parts, other in self.modules:
+                if other_parts == prefix and other is not file:
+                    executed.append(other)
+        return executed
+
+
+class SpawnSafetyRule(Rule):
+    id = "spawn-safety"
+    description = (
+        "modules in the worker entrypoint's import closure must be free "
+        "of module-level side effects"
+    )
+
+    def check(self, ctx: AnalysisContext) -> Iterator[Finding]:
+        entry = ctx.tree.find_suffix(ctx.config.spawn_entry)
+        if entry is None or entry.tree is None:
+            return
+        index = _ModuleIndex(ctx.tree)
+        closure: dict[str, SourceFile] = {}
+        chains: dict[str, str] = {}
+        queue: list[tuple[SourceFile, str]] = [(entry, entry.rel)]
+        while queue:
+            file, chain = queue.pop(0)
+            if file.rel in closure:
+                continue
+            closure[file.rel] = file
+            chains[file.rel] = chain
+            for dotted in self._module_imports(file, index):
+                for imported in index.resolve(dotted):
+                    if imported.rel not in closure:
+                        queue.append((imported, f"{chain} -> {imported.rel}"))
+        for rel in sorted(closure):
+            yield from self._scan_module(closure[rel], chains[rel])
+
+    # -- import extraction ------------------------------------------------------------
+
+    def _module_imports(self, file: SourceFile,
+                        index: _ModuleIndex) -> list[str]:
+        if file.tree is None:
+            return []
+        dotted: list[str] = []
+        parts = index.parts_of(file)
+
+        def visit(stmts: list[ast.stmt]) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, ast.Import):
+                    for alias in stmt.names:
+                        dotted.append(alias.name)
+                elif isinstance(stmt, ast.ImportFrom):
+                    if stmt.level:
+                        # relative: anchor at this module's package
+                        package = list(parts[:-1]) if parts else []
+                        package = package[:len(package) - (stmt.level - 1)] \
+                            if stmt.level > 1 else package
+                        base = ".".join(package)
+                    else:
+                        base = ""
+                    module = stmt.module or ""
+                    stem = ".".join(p for p in (base, module) if p)
+                    if stem:
+                        dotted.append(stem)
+                    for alias in stmt.names:
+                        if alias.name != "*" and stem:
+                            dotted.append(f"{stem}.{alias.name}")
+                elif isinstance(stmt, ast.Try):
+                    visit(stmt.body)
+                    for handler in stmt.handlers:
+                        visit(handler.body)
+                    visit(stmt.orelse)
+                    visit(stmt.finalbody)
+                elif isinstance(stmt, ast.If):
+                    # TYPE_CHECKING imports never execute; __main__ guards
+                    # don't execute on import.
+                    if _mentions(stmt.test, "TYPE_CHECKING") \
+                            or _is_main_guard(stmt.test):
+                        continue
+                    visit(stmt.body)
+                    visit(stmt.orelse)
+
+        visit(file.tree.body)
+        return dotted
+
+    # -- purity check -----------------------------------------------------------------
+
+    def _scan_module(self, file: SourceFile, chain: str) -> Iterator[Finding]:
+        if file.tree is None:
+            return
+        yield from self._scan_stmts(file, file.tree.body, chain)
+
+    def _scan_stmts(self, file: SourceFile, stmts: list[ast.stmt],
+                    chain: str) -> Iterator[Finding]:
+        for stmt in stmts:
+            yield from self._scan_stmt(file, stmt, chain)
+
+    def _scan_stmt(self, file: SourceFile, stmt: ast.stmt,
+                   chain: str) -> Iterator[Finding]:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom, ast.Pass,
+                             ast.Global, ast.Nonlocal)):
+            return
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            for decorator in stmt.decorator_list:
+                name = _terminal(decorator)
+                if name is None or name not in _DECORATOR_WHITELIST:
+                    yield self._impure(
+                        file, decorator.lineno,
+                        f"decorator `@{ast.unparse(decorator)}`", chain)
+            if isinstance(stmt, ast.ClassDef):
+                # Class bodies execute at import: apply the same checks.
+                yield from self._scan_stmts(file, stmt.body, chain)
+            return
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            value = stmt.value
+            if value is not None:
+                offender = self._impure_expr(value)
+                if offender is not None:
+                    yield self._impure(
+                        file, offender.lineno,
+                        f"call `{ast.unparse(offender)}`", chain)
+            return
+        if isinstance(stmt, ast.Expr):
+            if isinstance(stmt.value, ast.Constant):
+                return  # docstring
+            offender = self._impure_expr(stmt.value)
+            if offender is None and isinstance(stmt.value, ast.Call):
+                return
+            target = offender if offender is not None else stmt.value
+            yield self._impure(
+                file, target.lineno,
+                f"expression `{ast.unparse(target)}`", chain)
+            return
+        if isinstance(stmt, ast.If):
+            if _mentions(stmt.test, "TYPE_CHECKING") \
+                    or _is_main_guard(stmt.test):
+                return
+            offender = self._impure_expr(stmt.test)
+            if offender is not None:
+                yield self._impure(file, offender.lineno,
+                                   f"call `{ast.unparse(offender)}`", chain)
+            yield from self._scan_stmts(file, stmt.body, chain)
+            yield from self._scan_stmts(file, stmt.orelse, chain)
+            return
+        if isinstance(stmt, ast.Try):
+            yield from self._scan_stmts(file, stmt.body, chain)
+            for handler in stmt.handlers:
+                yield from self._scan_stmts(file, handler.body, chain)
+            yield from self._scan_stmts(file, stmt.orelse, chain)
+            yield from self._scan_stmts(file, stmt.finalbody, chain)
+            return
+        if isinstance(stmt, ast.Assert):
+            offender = self._impure_expr(stmt.test)
+            if offender is not None:
+                yield self._impure(file, offender.lineno,
+                                   f"call `{ast.unparse(offender)}`", chain)
+            return
+        if isinstance(stmt, ast.Delete):
+            return  # del of a module temp is harmless
+        # Anything else at module level (with, for, while, raise...) is a
+        # side effect by construction.
+        yield self._impure(
+            file, stmt.lineno,
+            f"statement `{type(stmt).__name__.lower()}`", chain)
+
+    def _impure(self, file: SourceFile, line: int, what: str,
+                chain: str) -> Finding:
+        hint = ("spawn re-imports this module in every worker process; "
+                "defer the work into a function or guard it under "
+                "`if __name__ == \"__main__\"`")
+        if "get_registry" in what:
+            hint = ("binding get_registry() at import time pins metrics to "
+                    "whichever process imported first; call it lazily "
+                    "inside the function that records")
+        return self.finding(
+            file, line,
+            f"module-level side effect: {what} "
+            f"(worker import chain: {chain})",
+            hint=hint,
+        )
+
+    def _impure_expr(self, node: ast.expr) -> ast.expr | None:
+        """First impure sub-expression, or None when import-time pure."""
+        if isinstance(node, ast.Call):
+            name = _terminal(node.func)
+            if name is None or name not in _CALL_WHITELIST:
+                return node
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                offender = self._impure_expr(arg)
+                if offender is not None:
+                    return offender
+            return None
+        if isinstance(node, ast.Lambda):
+            return None  # body runs at call time, not import time
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                offender = self._impure_expr(child)
+                if offender is not None:
+                    return offender
+            elif isinstance(child, ast.comprehension):
+                for sub in [child.iter] + list(child.ifs):
+                    offender = self._impure_expr(sub)
+                    if offender is not None:
+                        return offender
+        return None

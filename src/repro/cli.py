@@ -397,6 +397,30 @@ def cmd_security_map(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """``repro lint``: run the project static-analysis rules.
+
+    Exit code 0 when no *new* findings (everything is fixed, suppressed
+    inline, or accepted in ``analysis-baseline.json``); 1 otherwise.
+    """
+    from repro.analysis import Analyzer, default_config
+
+    config = default_config(args.root)
+    analyzer = Analyzer(config)
+    if args.update_baseline:
+        tree = analyzer.load_tree()
+        baseline = analyzer.update_baseline(tree)
+        print(f"baseline updated: {len(baseline)} finding(s) accepted "
+              f"-> {config.baseline_path}")
+        return 0
+    report = analyzer.run()
+    if args.format == "json":
+        sys.stdout.write(report.render_json())
+    else:
+        print(report.render_pretty())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -529,6 +553,17 @@ def build_parser() -> argparse.ArgumentParser:
     security_map.add_argument("--width", type=int, default=60)
     security_map.add_argument("--height", type=int, default=22)
     security_map.set_defaults(func=cmd_security_map)
+
+    lint = sub.add_parser(
+        "lint", help="run the project static-analysis rules")
+    lint.add_argument("--format", choices=("pretty", "json"),
+                      default="pretty", help="report format")
+    lint.add_argument("--root", default=".",
+                      help="repository root (default: cwd)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="accept all current findings into "
+                           "analysis-baseline.json")
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

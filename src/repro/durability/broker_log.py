@@ -294,7 +294,9 @@ class DurableBroker(Broker):
             raise UnknownTopicError(f"topic {topic!r} was deleted")
         with lock:
             try:
-                wal.append_many(payloads)
+                # Durable-before-serve: the per-partition lock pins WAL
+                # order to the offsets handed out; append must stay inside.
+                wal.append_many(payloads)  # repro: noqa[lock-discipline]
             except WALError:
                 # The WAL was closed out from under us by a concurrent
                 # delete_topic; surface the base broker's error contract.
@@ -327,7 +329,9 @@ class DurableBroker(Broker):
         if not payloads:
             return
         with self._offset_lock:
-            self._offset_wal.append_many(payloads)
+            # Commit records must hit the offset WAL in commit order or
+            # recovery could resurrect a stale consumer position.
+            self._offset_wal.append_many(payloads)  # repro: noqa[lock-discipline]
             self._commits_since_sync += 1
             if self._commits_since_sync >= self.offset_checkpoint_every:
                 self._sync_offsets_locked()

@@ -244,7 +244,9 @@ class DurableDocumentStore:
         payload = _encode_op(op)
         with self._write_lock:
             self._check_open()
-            self._wal.append(payload)
+            # WAL append order must equal apply order (recovery replays the
+            # log sequentially), so the append stays inside the write lock.
+            self._wal.append(payload)  # repro: noqa[lock-discipline]
             try:
                 result = self._apply(json.loads(payload.decode("utf-8")))
             finally:
@@ -293,7 +295,8 @@ class DurableDocumentStore:
         payload = _encode_op(op)
         with self._write_lock:
             self._check_open()
-            self._wal.append(payload)
+            # Same invariant as _journal_apply: WAL order == apply order.
+            self._wal.append(payload)  # repro: noqa[lock-discipline]
             # Apply the decoded payload (JSON-normalized, like replay does).
             decoded = json.loads(payload.decode("utf-8"))
             subs = [decoded] if decoded[0] == "ins" else decoded[1]
@@ -336,7 +339,9 @@ class DurableDocumentStore:
                     f"replication gap: record lsn {lsn} past local frontier "
                     f"{frontier} (snapshot catch-up required)"
                 )
-            self._wal.append(payload)
+            # Replicated entries must land in the local WAL in shipped LSN
+            # order before applying — same WAL-order-==-apply-order invariant.
+            self._wal.append(payload)  # repro: noqa[lock-discipline]
             try:
                 op = json.loads(payload.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:

@@ -270,7 +270,9 @@ class WriteAheadLog:
             tail.size += len(blob)
             do_sync = sync if sync is not None else self.sync_policy in ("always", "batch")
             if do_sync:
-                self._fsync()
+                # Durability contract: records are acknowledged only after
+                # they are stable, so the fsync is the critical section.
+                self._fsync()  # repro: noqa[lock-discipline]
             self._rotate_if_needed()
             self._commit_hist.observe(len(frames))
             self._appended.notify_all()
@@ -281,7 +283,9 @@ class WriteAheadLog:
         with self._lock:
             self._check_open()
             self._handle.flush()
-            self._fsync()
+            # sync() promises everything appended-so-far is stable on
+            # return; racing appends past the flush would break that.
+            self._fsync()  # repro: noqa[lock-discipline]
 
     def _fsync(self) -> None:
         started = time.perf_counter()
@@ -481,7 +485,8 @@ class WriteAheadLog:
                 return
             if self._handle is not None:
                 self._handle.flush()
-                self._fsync()
+                # Final fsync before close: no writer can race a closed WAL.
+                self._fsync()  # repro: noqa[lock-discipline]
                 self._handle.close()
                 self._handle = None
             self._closed = True

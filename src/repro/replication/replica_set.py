@@ -39,7 +39,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.errors import (
     ConfigurationError,
@@ -97,7 +97,7 @@ class ReplicatedCollection:
     def insert_one(self, document: Mapping[str, Any]) -> int:
         return self._set._write(self.name, "insert_one", dict(document))
 
-    def insert_many(self, documents) -> list[int]:
+    def insert_many(self, documents: Iterable[Mapping[str, Any]]) -> list[int]:
         return self._set._write(
             self.name, "insert_many", [dict(d) for d in documents]
         )
@@ -147,7 +147,7 @@ class ReplicatedCollection:
     def index_spec(self, field: str) -> dict[str, Any]:
         return self._read("index_spec", field)
 
-    def all_documents(self):
+    def all_documents(self) -> Iterator[dict[str, Any]]:
         return iter(self._read("all_documents"))
 
     def __len__(self) -> int:

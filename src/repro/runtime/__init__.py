@@ -28,6 +28,8 @@ Submodules that touch the durability layer are imported lazily so that
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.runtime.framing import FrameDecoder, pack_frame, scan_valid_prefix
 
 __all__ = [
@@ -54,7 +56,7 @@ _LAZY = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     module_name = _LAZY.get(name)
     if module_name is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import struct
 import zlib
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.errors import FramingError
 
@@ -63,7 +63,7 @@ def pack_frame(payload: bytes) -> bytes:
     return HEADER.pack(len(payload), zlib.crc32(payload)) + payload
 
 
-def pack_frames(payloads) -> bytes:
+def pack_frames(payloads: Iterable[bytes]) -> bytes:
     """Frame a batch of payloads into one contiguous blob (group commit)."""
     return b"".join(pack_frame(payload) for payload in payloads)
 

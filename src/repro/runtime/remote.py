@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Callable, Iterator, Mapping
+from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.errors import (
     ProtocolError,
@@ -69,7 +69,7 @@ class RemoteCollection:
     def insert_one(self, document: Mapping[str, Any]) -> int:
         return self._one("insert_one", dict(document))
 
-    def insert_many(self, documents) -> list[int]:
+    def insert_many(self, documents: Iterable[Mapping[str, Any]]) -> list[int]:
         # One op → one WAL record on the worker: the batch stays atomic
         # across a crash exactly like a local durable insert_many.
         return self._one("insert_many", [dict(d) for d in documents])
@@ -212,8 +212,11 @@ class RemoteShardStore:
             stats = getattr(self.transport, "stats", None)
             started = time.perf_counter()
             try:
-                self.transport.send(encode_request(request))
-                payload = self.transport.recv(
+                # This lock exists to serialize the transport: the framed
+                # protocol is strictly request/response per connection, so
+                # send+recv must be one atomic exchange.
+                self.transport.send(encode_request(request))  # repro: noqa[lock-discipline]
+                payload = self.transport.recv(  # repro: noqa[lock-discipline]
                     timeout=self.timeout if timeout is None else timeout
                 )
                 ended = time.perf_counter()

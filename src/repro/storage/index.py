@@ -20,7 +20,7 @@ from __future__ import annotations
 import bisect
 from typing import Any, Hashable, Iterable, Iterator
 
-from repro.errors import DuplicateKeyError
+from repro.errors import DuplicateKeyError, IndexError_
 from repro.storage.query import resolve_path
 
 __all__ = ["HashIndex", "SortedIndex"]
@@ -191,7 +191,9 @@ class SortedIndex:
         for a backfill versus O(n²) incremental inserts.
         """
         if self._keys:
-            raise ValueError("bulk_load requires an empty index")
+            # IndexError_ (not ValueError): create_index is RPC-reachable and
+            # only repro.errors types rehydrate by name on the client side.
+            raise IndexError_("bulk_load requires an empty index")
         pending: list[tuple[Any, int]] = []
         family: Any = None
         for doc_id, document in items:

@@ -169,21 +169,31 @@ class DocumentStore:
         shutil.rmtree(old, ignore_errors=True)
 
     def _write_contents(self, path: Path) -> None:
-        """Write the jsonl files and manifest into ``path``, fsyncing each."""
-        manifest: dict[str, Any] = {"collections": {}}
+        """Write the jsonl files and manifest into ``path``, fsyncing each.
+
+        The registry is snapshotted under the lock (``all_documents``
+        yields copies, so the materialized lists are immutable to
+        concurrent writers); the file writes and fsyncs happen with the
+        lock released so a slow disk never stalls readers.
+        """
         with self._lock:
-            for name, coll in self._collections.items():
-                file_path = path / f"{name}.jsonl"
-                try:
-                    with file_path.open("w", encoding="utf-8") as handle:
-                        for doc in coll.all_documents():
-                            handle.write(json.dumps(doc, separators=(",", ":")))
-                            handle.write("\n")
-                        handle.flush()
-                        os.fsync(handle.fileno())
-                except (OSError, TypeError, ValueError) as exc:
-                    raise PersistenceError(f"cannot save collection {name!r}: {exc}") from exc
-                manifest["collections"][name] = {"indexes": self._index_specs(coll)}
+            snapshot = [
+                (name, list(coll.all_documents()), self._index_specs(coll))
+                for name, coll in self._collections.items()
+            ]
+        manifest: dict[str, Any] = {"collections": {}}
+        for name, documents, indexes in snapshot:
+            file_path = path / f"{name}.jsonl"
+            try:
+                with file_path.open("w", encoding="utf-8") as handle:
+                    for doc in documents:
+                        handle.write(json.dumps(doc, separators=(",", ":")))
+                        handle.write("\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            except (OSError, TypeError, ValueError) as exc:
+                raise PersistenceError(f"cannot save collection {name!r}: {exc}") from exc
+            manifest["collections"][name] = {"indexes": indexes}
         try:
             manifest_path = path / _MANIFEST_NAME
             with manifest_path.open("w", encoding="utf-8") as handle:

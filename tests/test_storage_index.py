@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import DuplicateKeyError
+from repro.errors import DuplicateKeyError, IndexError_
 from repro.storage import HashIndex, SortedIndex
 
 
@@ -178,7 +178,8 @@ class TestSortedIndexOrder:
     def test_bulk_load_requires_empty_index(self):
         idx = SortedIndex("ts")
         idx.add(0, {"ts": 1})
-        with pytest.raises(ValueError):
+        # IndexError_ so the failure rehydrates by name over RPC.
+        with pytest.raises(IndexError_):
             idx.bulk_load([(1, {"ts": 2})])
 
     def test_range_raises_on_off_family_probe(self):

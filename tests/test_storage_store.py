@@ -227,3 +227,36 @@ class TestPersistence:
         fresh.save(target)
         assert DocumentStore.load(target).collection("a").find_one({})["x"] == "new"
         assert [p.name for p in tmp_path.iterdir()] == ["db"]  # debris swept
+
+
+class TestSaveLockDiscipline:
+    def test_fsync_runs_outside_registry_lock(self, tmp_path, monkeypatch):
+        """Regression (lock-discipline): save() snapshots under the lock but
+        must release it before file writes/fsyncs, so a slow disk never
+        stalls concurrent readers."""
+        import os
+        import threading
+
+        store = DocumentStore()
+        store.collection("a").insert_one({"x": 1})
+        real_fsync = os.fsync
+        probes: list[bool] = []
+
+        def probing_fsync(fd):
+            # The store lock is an RLock, so probe from a second thread:
+            # acquire fails there iff the saving thread still holds it.
+            def probe():
+                got = store._lock.acquire(blocking=False)
+                if got:
+                    store._lock.release()
+                probes.append(got)
+
+            t = threading.Thread(target=probe)
+            t.start()
+            t.join()
+            return real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", probing_fsync)
+        store.save(tmp_path / "db")
+        assert probes and all(probes)
+        assert DocumentStore.load(tmp_path / "db").collection("a").count({}) == 1

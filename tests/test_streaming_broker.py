@@ -325,3 +325,31 @@ class TestLongPollFetch:
         waiter.join(timeout=5.0)
         assert not waiter.is_alive()
         assert results["version"] > version
+
+
+class TestLongPollLockDiscipline:
+    def test_wake_latency_observed_outside_partition_cond(self):
+        """Regression (lock-discipline audit): the long-poll wake histogram
+        is observed after the partition condition is released — a slow
+        metrics sink must never extend the critical section."""
+        from repro.streaming import PartitionLog
+
+        log = PartitionLog("t", 0)
+        probes: list[bool] = []
+        real_observe = log._wake_hist.observe
+
+        def probing_observe(value):
+            # Condition wraps a non-reentrant Lock: same-thread acquire
+            # fails iff read() is still inside `with self._cond`.
+            got = log._cond.acquire(blocking=False)
+            if got:
+                log._cond.release()
+            probes.append(got)
+            return real_observe(value)
+
+        log._wake_hist.observe = probing_observe
+        try:
+            assert log.read(0, 10, timeout=0.01) == []  # expires empty
+        finally:
+            log._wake_hist.observe = real_observe
+        assert probes == [True]
